@@ -1,0 +1,135 @@
+package dynamicdf_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dynamicdf"
+	"dynamicdf/internal/core"
+	"dynamicdf/internal/dataflow"
+)
+
+// TestCapstoneSimulatedPlanDrivesRealExecution exercises the repository's
+// whole story end to end: the paper's heuristics plan alternates and
+// data-parallelism against the cloud model, the plan is applied to the
+// real floe runtime, real messages flow, and the realized throughput
+// reflects the planned parallelism.
+func TestCapstoneSimulatedPlanDrivesRealExecution(t *testing.T) {
+	// 1. The application: a two-stage pipeline whose heavy stage has a
+	//    precise and a fast alternate (costs in core-seconds per message).
+	g := dynamicdf.NewBuilder().
+		AddPE("parse", dynamicdf.Alt("only", 1, 0.05, 1)).
+		AddPE("score",
+			dynamicdf.Alt("precise", 1.0, 2.0, 1),
+			dynamicdf.Alt("fast", 0.85, 0.8, 1)).
+		AddPE("emit", dynamicdf.Alt("only", 1, 0.05, 1)).
+		Chain("parse", "score", "emit").
+		MustBuild()
+
+	// 2. Plan with Alg. 1 for 12 msg/s. The menu uses standard (speed-1)
+	//    cores so a planned core maps one-to-one onto a runtime worker.
+	menu := dynamicdf.MustMenu([]*dynamicdf.Class{
+		{Name: "c4", Cores: 4, CoreSpeed: 1, NetMbps: 100, PricePerHour: 0.10},
+	})
+	sel, err := core.SelectAlternates(g, core.Global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[1] != 1 {
+		t.Fatalf("expected the fast alternate by value/cost ratio, got %d", sel[1])
+	}
+	plan, err := core.PlanAllocation(g, menu, sel,
+		dataflow.DefaultRouting(g), dataflow.InputRates{0: 12}, 0.95, core.Global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := plan.Workers(g.N())
+	// 12 msg/s x 0.8 core-s x 0.95 needs >= 10 standard cores on score.
+	if workers[1] < 8 {
+		t.Fatalf("plan gave score %d cores — sizing broken", workers[1])
+	}
+
+	// 3. Execute for real at a compressed timescale: 1 model core-second
+	//    of work = 1 real millisecond of worker time, so one worker is a
+	//    1000x standard core and the planned core counts carry over.
+	// Sub-0.2ms stages run unslept: Go's sleep granularity would otherwise
+	// inflate the cheap stages past the heavy one and invert the
+	// bottleneck the plan sized for.
+	opFor := func(coreSec float64) func() dynamicdf.Operator {
+		d := time.Duration(coreSec * float64(time.Millisecond))
+		return func() dynamicdf.Operator {
+			return dynamicdf.OperatorFunc(func(p any) ([]any, error) {
+				if d >= 200*time.Microsecond {
+					time.Sleep(d)
+				}
+				return []any{p}, nil
+			})
+		}
+	}
+	rt, err := dynamicdf.NewRuntime(dynamicdf.RuntimeConfig{
+		Graph: g,
+		Impls: map[int][]dynamicdf.Impl{
+			0: {{Name: "only", New: opFor(0.05)}},
+			1: {{Name: "precise", New: opFor(2.0)}, {Name: "fast", New: opFor(0.8)}},
+			2: {{Name: "only", New: opFor(0.05)}},
+		},
+		QueueLen: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rt.Subscribe(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	if err := rt.ApplyPlan(workers, sel); err != nil {
+		t.Fatal(err)
+	}
+	// Give parse/emit enough width that the bottleneck stays on score as
+	// planned (their planned single cores share the compressed scale).
+	_ = rt.SetParallelism(0, 2)
+	_ = rt.SetParallelism(2, 2)
+
+	// 4. Offer a burst and measure the makespan. With W workers at 0.8 ms
+	//    per message the theoretical floor is n*0.8/W ms; a single-worker
+	//    (unplanned) deployment would need n*0.8 ms.
+	const n = 1200
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = rt.Ingest(0, i)
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		select {
+		case <-out:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("stalled at %d/%d", i, n)
+		}
+	}
+	elapsed := time.Since(start)
+
+	floor := time.Duration(float64(n)*0.8/float64(workers[1])) * time.Millisecond
+	single := time.Duration(n*8/10) * time.Millisecond
+	if elapsed > single/2 {
+		t.Fatalf("planned parallelism did not materialize: %v elapsed vs %v single-worker bound (floor %v)",
+			elapsed, single, floor)
+	}
+
+	// 5. The plan's decisions visibly took effect on the runtime.
+	st, err := rt.Stats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != workers[1] {
+		t.Fatalf("score runs %d workers, plan said %d", st.Workers, workers[1])
+	}
+	if st.Alternate != sel[1] {
+		t.Fatalf("score runs alternate %d, plan said %d", st.Alternate, sel[1])
+	}
+}

@@ -1,0 +1,165 @@
+// Command dfbench regenerates every table and figure of the paper's
+// evaluation section and prints the rows/series the paper reports.
+//
+// Usage:
+//
+//	dfbench [-quick] [-seed N] [-horizon HOURS]
+//
+// -quick runs a reduced sweep (shorter horizon, fewer rates) for smoke
+// testing; the default reproduces the full 10-hour evaluation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dynamicdf/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dfbench: ")
+	quick := flag.Bool("quick", false, "reduced sweep for smoke runs")
+	seed := flag.Int64("seed", 42, "seed for traces and profiles")
+	horizon := flag.Float64("horizon", 0, "override horizon in hours (0 = config default)")
+	only := flag.String("only", "", "run a single figure: 2,3,4,5,6,7,8,9, ft (fault tolerance), latency, spot, scalability, ablations or vmtable")
+	csvDir := flag.String("csvdir", "", "also write plot-ready CSVs for every figure into this directory")
+	check := flag.Bool("check", false, "verify the paper's qualitative claims and print a reproduction scorecard")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	if *horizon > 0 {
+		cfg.HorizonSec = int64(*horizon * 3600)
+	}
+
+	runAll := *only == ""
+	out := os.Stdout
+
+	if *check {
+		sc, err := experiments.CheckClaims(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, sc.Table())
+		if sc.Passed() != len(sc.Claims) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		err := experiments.WriteAllCSVs(cfg, func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(*csvDir, name+".csv"))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "wrote per-figure CSVs to %s\n", *csvDir)
+	}
+
+	if runAll || *only == "vmtable" {
+		fmt.Fprintln(out, experiments.VMClassTable())
+	}
+	if runAll || *only == "2" {
+		r, err := experiments.RunFig2(cfg.Seed, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, r.Table())
+	}
+	if runAll || *only == "3" {
+		r, err := experiments.RunFig3(cfg.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, r.Table())
+	}
+	if runAll || *only == "4" {
+		r, err := experiments.RunFig4(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, r.Table())
+	}
+	if runAll || *only == "5" {
+		r, err := experiments.RunFig5(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, r.Table())
+	}
+	if runAll || *only == "6" {
+		r, err := experiments.RunFig6(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, r.Table())
+	}
+	if runAll || *only == "7" {
+		r, err := experiments.RunFig7(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, r.Table())
+	}
+	if runAll || *only == "scalability" {
+		r, err := experiments.RunScalability(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, r.Table())
+	}
+	if runAll || *only == "ablations" {
+		r, err := experiments.RunAblations(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, r.Table())
+	}
+	if runAll || *only == "latency" {
+		r, err := experiments.RunLatencyQoS(cfg, 15)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, r.Table())
+	}
+	if runAll || *only == "spot" {
+		r, err := experiments.RunSpotMarket(cfg, 20, 0.3, 1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, r.Table())
+	}
+	if runAll || *only == "ft" {
+		r, err := experiments.RunFaultTolerance(cfg, 20, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, r.Table())
+	}
+	if runAll || *only == "8" || *only == "9" {
+		f8, err := experiments.RunFig8(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if runAll || *only == "8" {
+			fmt.Fprintln(out, f8.Table())
+		}
+		f9, err := experiments.DeriveFig9(f8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, f9.Table())
+	}
+}

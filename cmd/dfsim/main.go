@@ -1,0 +1,119 @@
+// Command dfsim runs one dynamic-dataflow simulation scenario described by
+// a JSON file (see internal/scenario for the schema) and prints the period
+// summary, optionally writing the per-interval metric series as CSV and
+// the scheduler action log as JSON lines.
+//
+// Usage:
+//
+//	dfsim -config scenario.json [-csv metrics.csv] [-audit actions.jsonl]
+//	dfsim -example > scenario.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dynamicdf/internal/scenario"
+)
+
+const exampleScenario = `{
+  "graph": {
+    "pes": [
+      {"name": "ingest", "alternates": [{"name": "only", "value": 1, "cost": 0.25, "selectivity": 1}]},
+      {"name": "analyze", "alternates": [
+        {"name": "deep", "value": 1.0, "cost": 1.4, "selectivity": 1},
+        {"name": "fast", "value": 0.8, "cost": 0.9, "selectivity": 1}
+      ]},
+      {"name": "sink", "alternates": [{"name": "only", "value": 1, "cost": 0.35, "selectivity": 1}]}
+    ],
+    "edges": [["ingest", "analyze"], ["analyze", "sink"]]
+  },
+  "rate": {"kind": "wave", "mean": 10, "amplitude": 4, "periodSec": 1800},
+  "infra": {"kind": "replayed", "seed": 42},
+  "policy": {"kind": "global", "dynamic": true},
+  "horizonHours": 4,
+  "omegaHat": 0.7,
+  "epsilon": 0.05
+}`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dfsim: ")
+	configPath := flag.String("config", "", "path to a scenario JSON file")
+	csvPath := flag.String("csv", "", "write per-interval metrics CSV here")
+	auditPath := flag.String("audit", "", "write the scheduler action log (JSON lines) here")
+	example := flag.Bool("example", false, "print an example scenario and exit")
+	flag.Parse()
+
+	if *example {
+		fmt.Println(exampleScenario)
+		return
+	}
+	if *configPath == "" {
+		log.Fatal("need -config (or -example for a template)")
+	}
+	f, err := os.Open(*configPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := scenario.Parse(f)
+	_ = f.Close()
+	if err != nil {
+		log.Fatalf("parse %s: %v", *configPath, err)
+	}
+	sc.Audit = sc.Audit || *auditPath != ""
+
+	built, err := sc.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := built.Engine.Run(built.Scheduler)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	obj := built.Objective
+	met := "MET"
+	if !obj.MeetsConstraint(sum.MeanOmega) {
+		met = "MISSED"
+	}
+	fmt.Printf("policy=%s %s\n", built.Scheduler.Name(), sum)
+	fmt.Printf("constraint omega>=%.2f (eps %.2f): %s; theta=%.4f (sigma=%.5f)\n",
+		obj.OmegaHat, obj.Epsilon, met, obj.Theta(sum.MeanGamma, sum.TotalCostUSD), obj.Sigma)
+	if obj.LatencyHatSec > 0 {
+		latMet := "MET"
+		if !obj.MeetsLatency(sum.MeanLatencySec) {
+			latMet = "MISSED"
+		}
+		fmt.Printf("latency bound %.0fs: %s (mean %.1fs)\n", obj.LatencyHatSec, latMet, sum.MeanLatencySec)
+	}
+	if built.Engine.Crashes() > 0 {
+		fmt.Printf("crashes: %d (%d preemptions), lost messages: %.0f\n",
+			built.Engine.Crashes(), built.Engine.Preemptions(), built.Engine.LostMessages())
+	}
+
+	if *csvPath != "" {
+		out, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		if err := built.Engine.Collector().WriteCSV(out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("per-interval metrics: %s (%d rows)\n", *csvPath, built.Engine.Collector().Len())
+	}
+	if *auditPath != "" {
+		out, err := os.Create(*auditPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		if err := built.Engine.WriteAuditJSONL(out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("action log: %s (%d entries)\n", *auditPath, len(built.Engine.AuditLog()))
+	}
+}

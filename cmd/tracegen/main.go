@@ -1,0 +1,69 @@
+// Command tracegen emits synthetic IaaS performance-variability traces —
+// the CPU coefficient, pairwise latency and pairwise bandwidth series the
+// simulator replays — as CSV, and prints their characterization (the
+// statistics Figs. 2-3 of the paper report for the FutureGrid traces).
+//
+// Usage:
+//
+//	tracegen -kind cpu -samples 5760 -seed 1 -out cpu.csv
+//	tracegen -kind bandwidth -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"dynamicdf/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	kind := flag.String("kind", "cpu", "trace kind: cpu | latency | bandwidth")
+	samples := flag.Int("samples", trace.FourDays, "number of samples (one per period)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output CSV path (default stdout)")
+	statsOnly := flag.Bool("stats", false, "print characterization only, no CSV")
+	flag.Parse()
+
+	var cfg trace.GenConfig
+	switch *kind {
+	case "cpu":
+		cfg = trace.DefaultCPUConfig()
+	case "latency":
+		cfg = trace.DefaultLatencyConfig()
+	case "bandwidth":
+		cfg = trace.DefaultBandwidthConfig()
+	default:
+		log.Fatalf("unknown kind %q (want cpu, latency or bandwidth)", *kind)
+	}
+
+	s, err := cfg.Generate(rand.New(rand.NewSource(*seed)), *samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := trace.Characterize(s)
+	fmt.Fprintf(os.Stderr, "%s trace: %s\n", *kind, st)
+
+	if *statsOnly {
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := s.WriteCSV(w); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d samples to %s\n", len(s.Samples), *out)
+	}
+}

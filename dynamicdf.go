@@ -1,0 +1,334 @@
+// Package dynamicdf is a library for building and executing dynamic
+// dataflows — continuous dataflow applications whose processing elements
+// (PEs) carry alternate implementations with different value/cost
+// trade-offs — on simulated elastic IaaS clouds, together with the
+// deployment and runtime-adaptation heuristics of
+//
+//	A. Kumbhare, Y. Simmhan, V. K. Prasanna.
+//	"Exploiting Application Dynamism and Cloud Elasticity for Continuous
+//	Dataflows". SC'13. DOI 10.1145/2503210.2503240.
+//
+// The package re-exports the library's stable surface:
+//
+//   - dataflow construction (NewGraph, Builder, Alternate, Selection),
+//   - the cloud infrastructure model (Class, Menu, AWS2013Classes),
+//   - performance-variability traces (Ideal and Replayed providers),
+//   - input rate profiles (Constant, Wave, RandomWalk, Spike),
+//   - the discrete-interval simulator (Config, Engine, View, Actions),
+//   - the paper's policies (Heuristic with local/global strategies,
+//     BruteForce) and objective (Objective, PaperSigma),
+//   - experiment runners that regenerate each figure of the paper's
+//     evaluation (see the Fig* functions).
+//
+// Quickstart:
+//
+//	g := dynamicdf.Fig1Graph()
+//	obj, _ := dynamicdf.PaperSigma(g, 5, 10)
+//	h, _ := dynamicdf.NewHeuristic(dynamicdf.Options{
+//		Strategy: dynamicdf.Global, Dynamic: true, Adaptive: true, Objective: obj,
+//	})
+//	prof, _ := dynamicdf.NewConstant(5)
+//	cfg := dynamicdf.Config{
+//		Graph:      g,
+//		Menu:       dynamicdf.MustMenu(dynamicdf.AWS2013Classes()),
+//		Inputs:     map[int]dynamicdf.Profile{0: prof},
+//		HorizonSec: 10 * 3600,
+//	}
+//	e, _ := dynamicdf.NewEngine(cfg)
+//	summary, _ := e.Run(h)
+//	fmt.Println(summary, "theta:", obj.Theta(summary.MeanGamma, summary.TotalCostUSD))
+package dynamicdf
+
+import (
+	"io"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/core"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/experiments"
+	"dynamicdf/internal/floe"
+	"dynamicdf/internal/metrics"
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/sim"
+	"dynamicdf/internal/trace"
+)
+
+// Dataflow model (paper §3).
+type (
+	// Graph is a dynamic dataflow: a DAG of PEs with alternates.
+	Graph = dataflow.Graph
+	// PE is a processing element.
+	PE = dataflow.PE
+	// Alternate is one implementation choice of a PE with value, cost and
+	// selectivity.
+	Alternate = dataflow.Alternate
+	// Edge is a directed dataflow edge between PE indices.
+	Edge = dataflow.Edge
+	// Builder assembles a Graph by PE name.
+	Builder = dataflow.Builder
+	// Selection maps each PE to its active alternate.
+	Selection = dataflow.Selection
+	// InputRates maps input PE indices to external message rates.
+	InputRates = dataflow.InputRates
+	// ChoiceGroup declares choice semantics on an output port — the basis
+	// of dynamic paths (§9 future work).
+	ChoiceGroup = dataflow.ChoiceGroup
+	// Routing selects the active target of every choice group.
+	Routing = dataflow.Routing
+)
+
+// NewGraph constructs and validates a dataflow graph.
+func NewGraph(pes []*PE, edges []Edge) (*Graph, error) { return dataflow.NewGraph(pes, edges) }
+
+// NewBuilder returns an empty dataflow builder.
+func NewBuilder() *Builder { return dataflow.NewBuilder() }
+
+// Alt is shorthand for an Alternate literal.
+func Alt(name string, value, cost, selectivity float64) Alternate {
+	return dataflow.Alt(name, value, cost, selectivity)
+}
+
+// Fig1Graph builds the paper's Fig. 1 abstract dataflow.
+func Fig1Graph() *Graph { return dataflow.Fig1Graph() }
+
+// ReadGraphJSON parses and validates a graph from its canonical JSON form
+// (Graph also implements json.Marshaler/Unmarshaler and WriteJSON).
+func ReadGraphJSON(r io.Reader) (*Graph, error) { return dataflow.ReadJSON(r) }
+
+// EvalGraph builds the §8 evaluation dataflow with alternate ladders.
+func EvalGraph() *Graph { return dataflow.EvalGraph() }
+
+// Cloud infrastructure model (paper §4).
+type (
+	// Class is a VM resource class (cores, rated speed, bandwidth, price).
+	Class = cloud.Class
+	// Menu is the set of acquirable VM classes.
+	Menu = cloud.Menu
+	// VM is one acquired instance with hour-boundary billing.
+	VM = cloud.VM
+	// Fleet tracks all instances and their accumulated cost.
+	Fleet = cloud.Fleet
+)
+
+// AWS2013Classes returns the 2013 AWS on-demand menu the evaluation uses.
+func AWS2013Classes() []*Class { return cloud.AWS2013Classes() }
+
+// WithSpotMarket adds a preemptible twin of every class at the price
+// fraction (use with Config.Preemption and Options.UseSpot).
+func WithSpotMarket(classes []*Class, priceFraction float64) []*Class {
+	return cloud.WithSpotMarket(classes, priceFraction)
+}
+
+// NewMenu validates classes into a menu.
+func NewMenu(classes []*Class) (*Menu, error) { return cloud.NewMenu(classes) }
+
+// MustMenu is NewMenu that panics on error.
+func MustMenu(classes []*Class) *Menu { return cloud.MustMenu(classes) }
+
+// Input rate profiles (paper §8.1).
+type (
+	// Profile yields an input PE's external message rate over time.
+	Profile = rates.Profile
+	// Constant is a fixed-rate profile.
+	Constant = rates.Constant
+	// Wave is the periodic-wave profile.
+	Wave = rates.Wave
+	// RandomWalk wanders around a mean rate.
+	RandomWalk = rates.RandomWalk
+	// Spike overlays bursts on a base profile.
+	Spike = rates.Spike
+)
+
+// NewConstant returns a constant-rate profile.
+func NewConstant(r float64) (*Constant, error) { return rates.NewConstant(r) }
+
+// NewWave returns a periodic wave profile.
+func NewWave(mean, amplitude float64, periodSec int64) (*Wave, error) {
+	return rates.NewWave(mean, amplitude, periodSec)
+}
+
+// NewRandomWalk returns a mean-reverting random-walk profile.
+func NewRandomWalk(mean, step float64, stepSec, seed int64) (*RandomWalk, error) {
+	return rates.NewRandomWalk(mean, step, stepSec, seed)
+}
+
+// NewSpike overlays periodic bursts on a base profile.
+func NewSpike(base Profile, factor float64, intervalSec, durationSec int64) (*Spike, error) {
+	return rates.NewSpike(base, factor, intervalSec, durationSec)
+}
+
+// Infrastructure performance variability (paper §2.5, Figs. 2-3).
+type (
+	// PerfProvider supplies runtime CPU/network behaviour to the simulator.
+	PerfProvider = trace.Provider
+	// IdealCloud is a perfectly stable provider.
+	IdealCloud = trace.Ideal
+	// ReplayedCloud replays synthetic (or loaded) variability traces.
+	ReplayedCloud = trace.Replayed
+	// ReplayedConfig parameterizes trace-pool generation.
+	ReplayedConfig = trace.ReplayedConfig
+	// TraceSeries is a sampled coefficient/measurement series.
+	TraceSeries = trace.Series
+	// TraceGenConfig parameterizes synthetic trace generation.
+	TraceGenConfig = trace.GenConfig
+)
+
+// NewIdealCloud returns a provider with rated, stable performance.
+func NewIdealCloud() *IdealCloud { return trace.NewIdeal() }
+
+// NewReplayedCloud generates trace pools and returns the replaying provider.
+func NewReplayedCloud(cfg ReplayedConfig) (*ReplayedCloud, error) { return trace.NewReplayed(cfg) }
+
+// NewReplayedCloudFromSeries builds a provider replaying loaded (real)
+// traces; nil pools fall back to generated defaults.
+func NewReplayedCloudFromSeries(cpu, lat, bw []*TraceSeries, seed int64) (*ReplayedCloud, error) {
+	return trace.NewReplayedFromSeries(cpu, lat, bw, seed)
+}
+
+// LoadTraceDir reads every .csv under dir as one trace series per file.
+func LoadTraceDir(dir string) ([]*TraceSeries, error) { return trace.LoadDir(dir) }
+
+// Simulator (paper §8.1's IaaS simulator).
+type (
+	// Config assembles a simulation scenario.
+	Config = sim.Config
+	// Engine executes a scenario.
+	Engine = sim.Engine
+	// View is the monitored state a scheduler observes.
+	View = sim.View
+	// Actions is the control surface a scheduler acts through.
+	Actions = sim.Actions
+	// Scheduler drives deployment and adaptation.
+	Scheduler = sim.Scheduler
+	// Summary aggregates a run's per-interval metrics.
+	Summary = metrics.Summary
+	// MetricPoint is one interval's measurements.
+	MetricPoint = metrics.Point
+)
+
+// NewEngine validates a scenario and returns its engine.
+func NewEngine(cfg Config) (*Engine, error) { return sim.NewEngine(cfg) }
+
+// NewView builds a read-only monitoring view over an engine, for inspecting
+// state outside a scheduler callback.
+func NewView(e *Engine) *View { return sim.NewView(e) }
+
+// Failure injection (§9 fault-tolerance extension).
+type (
+	// FailureModel decides when acquired VMs crash.
+	FailureModel = sim.FailureModel
+	// ExponentialFailures draws VM lifetimes from an exponential
+	// distribution (deterministic per VM).
+	ExponentialFailures = sim.ExponentialFailures
+	// NoFailures disables crashes (the default).
+	NoFailures = sim.NoFailures
+)
+
+// Policies and objective (paper §6-§7).
+type (
+	// Objective is the constrained utility formulation (OmegaHat, Epsilon,
+	// Sigma).
+	Objective = core.Objective
+	// Options configures a Heuristic.
+	Options = core.Options
+	// Heuristic is the paper's deployment + adaptation policy.
+	Heuristic = core.Heuristic
+	// BruteForce is the exhaustive static baseline.
+	BruteForce = core.BruteForce
+	// Strategy selects local or global decision making.
+	Strategy = core.Strategy
+)
+
+// Strategies.
+const (
+	// Local uses only per-PE information (Table 1).
+	Local = core.Local
+	// Global accounts for downstream impact and repacks across classes.
+	Global = core.Global
+)
+
+// NewHeuristic validates options and returns the policy.
+func NewHeuristic(opts Options) (*Heuristic, error) { return core.NewHeuristic(opts) }
+
+// NewBruteForce returns the exhaustive static baseline.
+func NewBruteForce(obj Objective, horizonHours float64) (*BruteForce, error) {
+	return core.NewBruteForce(obj, horizonHours)
+}
+
+// PaperSigma derives the evaluation's objective for a data rate and horizon
+// (§8.2's cost calibration: $4/hour at 2 msg/s to $100/hour at 50 msg/s).
+func PaperSigma(g *Graph, dataRate, hours float64) (Objective, error) {
+	return core.PaperSigma(g, dataRate, hours)
+}
+
+// SigmaFromExpectations derives sigma from user-acceptable costs (§6).
+func SigmaFromExpectations(g *Graph, costAtMaxUSD, costAtMinUSD float64) (float64, error) {
+	return core.SigmaFromExpectations(g, costAtMaxUSD, costAtMinUSD)
+}
+
+// Experiments (paper §8).
+type (
+	// ExperimentConfig holds the evaluation sweep settings.
+	ExperimentConfig = experiments.Config
+	// ExperimentResult is one (policy, rate, variability) run row.
+	ExperimentResult = experiments.RunResult
+	// Variability selects a §8 dynamism scenario.
+	Variability = experiments.Variability
+	// PolicyKind enumerates the evaluation's policies.
+	PolicyKind = experiments.PolicyKind
+)
+
+// Experiment scenario and policy enums.
+const (
+	NoVariability    = experiments.NoVariability
+	DataVariability  = experiments.DataVariability
+	InfraVariability = experiments.InfraVariability
+	BothVariability  = experiments.BothVariability
+
+	LocalAdaptive       = experiments.LocalAdaptive
+	GlobalAdaptive      = experiments.GlobalAdaptive
+	LocalAdaptiveNoDyn  = experiments.LocalAdaptiveNoDyn
+	GlobalAdaptiveNoDyn = experiments.GlobalAdaptiveNoDyn
+	LocalStatic         = experiments.LocalStatic
+	GlobalStatic        = experiments.GlobalStatic
+	BruteForceStatic    = experiments.BruteForceStatic
+)
+
+// DefaultExperiments returns the paper's full evaluation configuration.
+func DefaultExperiments() ExperimentConfig { return experiments.Default() }
+
+// QuickExperiments returns a reduced sweep for smoke runs.
+func QuickExperiments() ExperimentConfig { return experiments.Quick() }
+
+// In-process execution runtime (the FTOC/Floe role in §5): the same graph
+// description that is simulated for planning can be executed for real,
+// with hot alternate swaps and data-parallel worker pools.
+type (
+	// Runtime executes a dynamic dataflow in-process.
+	Runtime = floe.Runtime
+	// RuntimeConfig assembles a Runtime.
+	RuntimeConfig = floe.Config
+	// Operator is one alternate's executable implementation.
+	Operator = floe.Operator
+	// OperatorFunc adapts a function to Operator.
+	OperatorFunc = floe.OperatorFunc
+	// Impl binds an alternate name to its implementation factory.
+	Impl = floe.Impl
+	// RuntimeMessage is one data item flowing through the runtime.
+	RuntimeMessage = floe.Message
+	// Controller is the live feedback controller over a Runtime.
+	Controller = floe.Controller
+	// ControllerConfig tunes the control loop.
+	ControllerConfig = floe.ControllerConfig
+)
+
+// NewRuntime validates the configuration and builds a Runtime.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return floe.New(cfg) }
+
+// NewController builds a live controller over a running Runtime: it scales
+// worker pools with queue pressure and (when Dynamic) switches alternates
+// once a pool saturates — the paper's two control knobs, applied to real
+// message flow instead of the simulator.
+func NewController(rt *Runtime, cfg ControllerConfig) (*Controller, error) {
+	return floe.NewController(rt, cfg)
+}

@@ -1,0 +1,75 @@
+package dynamicdf_test
+
+import (
+	"fmt"
+
+	"dynamicdf"
+)
+
+// Example_simulate runs the paper's Fig. 1 dataflow for one simulated hour
+// under the global adaptive heuristic on an ideal cloud and reports the
+// QoS outcome.
+func Example_simulate() {
+	g := dynamicdf.Fig1Graph()
+	obj, err := dynamicdf.PaperSigma(g, 5, 1)
+	if err != nil {
+		panic(err)
+	}
+	policy, err := dynamicdf.NewHeuristic(dynamicdf.Options{
+		Strategy:  dynamicdf.Global,
+		Dynamic:   true,
+		Adaptive:  true,
+		Objective: obj,
+	})
+	if err != nil {
+		panic(err)
+	}
+	profile, err := dynamicdf.NewConstant(5)
+	if err != nil {
+		panic(err)
+	}
+	engine, err := dynamicdf.NewEngine(dynamicdf.Config{
+		Graph:      g,
+		Menu:       dynamicdf.MustMenu(dynamicdf.AWS2013Classes()),
+		Inputs:     map[int]dynamicdf.Profile{0: profile},
+		HorizonSec: 3600,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sum, err := engine.Run(policy)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("constraint met: %v\n", obj.MeetsConstraint(sum.MeanOmega))
+	fmt.Printf("cost: $%.2f\n", sum.TotalCostUSD)
+	// Output:
+	// constraint met: true
+	// cost: $0.66
+}
+
+// ExampleObjective shows the §6 profit objective: value minus priced
+// dollars, with sigma derived from the user's acceptable costs.
+func ExampleObjective() {
+	g := dynamicdf.Fig1Graph()
+	sigma, err := dynamicdf.SigmaFromExpectations(g, 40, 10)
+	if err != nil {
+		panic(err)
+	}
+	obj := dynamicdf.Objective{OmegaHat: 0.7, Epsilon: 0.05, Sigma: sigma}
+	fmt.Printf("theta at gamma 0.9, $20: %.4f\n", obj.Theta(0.9, 20))
+	fmt.Printf("omega 0.66 meets 0.7-0.05: %v\n", obj.MeetsConstraint(0.66))
+	// Output:
+	// theta at gamma 0.9, $20: 0.8500
+	// omega 0.66 meets 0.7-0.05: true
+}
+
+// ExampleWithSpotMarket adds preemptible twins to the AWS menu.
+func ExampleWithSpotMarket() {
+	classes := dynamicdf.WithSpotMarket(dynamicdf.AWS2013Classes(), 0.3)
+	menu := dynamicdf.MustMenu(classes)
+	spot, _ := menu.ByName("m1.small-spot")
+	fmt.Printf("%s: $%.3f/h preemptible=%v\n", spot.Name, spot.PricePerHour, spot.Preemptible)
+	// Output:
+	// m1.small-spot: $0.018/h preemptible=true
+}

@@ -1,0 +1,83 @@
+// Quickstart: build the paper's Fig. 1 dynamic dataflow, run it for two
+// simulated hours on an elastic cloud with the global adaptive heuristic,
+// and print the QoS / cost outcome.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynamicdf"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The Fig. 1 abstract dataflow: E1 fans out to E2 and E3 (each with a
+	// precise and a cheap alternate), E4 merges.
+	g := dynamicdf.Fig1Graph()
+
+	// The user's optimization problem (§6): throughput constraint 0.7 and
+	// a cost/value equivalence derived from what they would pay at the
+	// extremes (the paper's §8.2 calibration at 5 msg/s over 2 hours).
+	obj, err := dynamicdf.PaperSigma(g, 5, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's contribution: the global heuristic with application
+	// dynamism and runtime adaptation.
+	policy, err := dynamicdf.NewHeuristic(dynamicdf.Options{
+		Strategy:  dynamicdf.Global,
+		Dynamic:   true,
+		Adaptive:  true,
+		Objective: obj,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 5 msg/s stream arriving at the input PE, on a cloud whose VM
+	// performance wobbles like the paper's FutureGrid traces.
+	profile, err := dynamicdf.NewConstant(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perf, err := dynamicdf.NewReplayedCloud(dynamicdf.ReplayedConfig{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	engine, err := dynamicdf.NewEngine(dynamicdf.Config{
+		Graph:      g,
+		Menu:       dynamicdf.MustMenu(dynamicdf.AWS2013Classes()),
+		Perf:       perf,
+		Inputs:     map[int]dynamicdf.Profile{g.Inputs()[0]: profile},
+		HorizonSec: 2 * 3600,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	summary, err := engine.Run(policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("dataflow:   ", g)
+	fmt.Println("summary:    ", summary)
+	fmt.Printf("constraint:  omega >= %.2f -> %v\n", obj.OmegaHat, obj.MeetsConstraint(summary.MeanOmega))
+	fmt.Printf("objective:   theta = %.4f (gamma %.3f - sigma %.5f x $%.2f)\n",
+		obj.Theta(summary.MeanGamma, summary.TotalCostUSD),
+		summary.MeanGamma, obj.Sigma, summary.TotalCostUSD)
+
+	// Peek at the adaptation trajectory: fleet size every 30 minutes.
+	fmt.Println("\ntime   omega  gamma  VMs  cost($)")
+	for _, p := range engine.Collector().Points() {
+		if p.Sec%1800 == 0 {
+			fmt.Printf("%5dm  %.3f  %.3f  %3d  %6.2f\n",
+				p.Sec/60, p.Omega, p.Gamma, p.ActiveVMs, p.CostUSD)
+		}
+	}
+}

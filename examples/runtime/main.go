@@ -1,0 +1,162 @@
+// Runtime: execute a dynamic dataflow for real — not simulated — with the
+// in-process floe runtime (§5's execution framework). A log-analytics
+// pipeline tokenizes messages and classifies them with either a precise or
+// a fast alternate; mid-stream, the controller hot-swaps the alternate and
+// scales the worker pool, exactly the two control knobs the paper's
+// heuristics pull, while messages keep flowing.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"dynamicdf"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g := dynamicdf.NewBuilder().
+		AddPE("ingest", dynamicdf.Alt("raw", 1, 0.1, 1)).
+		AddPE("classify",
+			dynamicdf.Alt("precise", 1.0, 1.0, 1),
+			dynamicdf.Alt("fast", 0.8, 0.3, 1)).
+		AddPE("report", dynamicdf.Alt("fmt", 1, 0.1, 1)).
+		Chain("ingest", "classify", "report").
+		MustBuild()
+
+	// Executable implementations for every alternate.
+	classify := func(how string, slow time.Duration) dynamicdf.Impl {
+		return dynamicdf.Impl{
+			Name: how,
+			New: func() dynamicdf.Operator {
+				return dynamicdf.OperatorFunc(func(p any) ([]any, error) {
+					time.Sleep(slow) // emulate model cost
+					line := p.(string)
+					level := "info"
+					if strings.Contains(line, "error") {
+						level = "error"
+					}
+					return []any{fmt.Sprintf("[%s/%s] %s", level, how, line)}, nil
+				})
+			},
+		}
+	}
+	rt, err := dynamicdf.NewRuntime(dynamicdf.RuntimeConfig{
+		Graph: g,
+		Impls: map[int][]dynamicdf.Impl{
+			0: {{Name: "raw", New: func() dynamicdf.Operator {
+				return dynamicdf.OperatorFunc(func(p any) ([]any, error) {
+					return []any{strings.TrimSpace(p.(string))}, nil
+				})
+			}}},
+			1: {classify("precise", 2*time.Millisecond), classify("fast", 200*time.Microsecond)},
+			2: {{Name: "fmt", New: func() dynamicdf.Operator {
+				return dynamicdf.OperatorFunc(func(p any) ([]any, error) {
+					return []any{p}, nil
+				})
+			}}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := rt.Subscribe(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Stop()
+
+	lines := []string{
+		"GET /index.html 200",
+		"POST /login 500 error: bad credentials",
+		"GET /metrics 200",
+		"PUT /config 403 error: forbidden",
+	}
+
+	// Phase 1: precise alternate, single worker.
+	for _, l := range lines {
+		if err := rt.Ingest(0, l); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("phase 1 — precise alternate, 1 worker:")
+	for range lines {
+		fmt.Println(" ", (<-out).Payload)
+	}
+
+	// Phase 2: load spike — the controller switches to the cheap
+	// alternate and widens the worker pool (scale up + alternate swap).
+	if err := rt.SwitchAlternate(1, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.SetParallelism(1, 4); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	const burst = 400
+	go func() {
+		for i := 0; i < burst; i++ {
+			_ = rt.Ingest(0, fmt.Sprintf("GET /item/%d 200", i))
+		}
+	}()
+	for i := 0; i < burst; i++ {
+		<-out
+	}
+	fmt.Printf("\nphase 2 — fast alternate, 4 workers: %d messages in %v\n",
+		burst, time.Since(start).Round(time.Millisecond))
+
+	st, _ := rt.Stats(1)
+	fmt.Printf("classify stats: in=%d out=%d errors=%d workers=%d alternate=%d\n",
+		st.In, st.Out, st.Errors, st.Workers, st.Alternate)
+
+	// Phase 3: hand control to the live feedback controller — it scales
+	// pools with queue pressure and manages alternates automatically, the
+	// paper's control loop over real messages.
+	_ = rt.SetParallelism(1, 1)
+	_ = rt.SwitchAlternate(1, 0) // back to precise; let the controller cope
+	ctrl, err := dynamicdf.NewController(rt, dynamicdf.ControllerConfig{
+		Interval:        5 * time.Millisecond,
+		MaxWorkersPerPE: 4,
+		Dynamic:         true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = ctrl.Run(ctx) }()
+
+	start = time.Now()
+	go func() {
+		for i := 0; i < burst; i++ {
+			_ = rt.Ingest(0, fmt.Sprintf("GET /page/%d 200", i))
+		}
+	}()
+	actions := map[string]int{}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < burst; i++ {
+			<-out
+		}
+		close(done)
+	}()
+collect:
+	for {
+		select {
+		case d := <-ctrl.Decisions():
+			actions[d.Action]++
+		case <-done:
+			break collect
+		}
+	}
+	st, _ = rt.Stats(1)
+	fmt.Printf("\nphase 3 — controller-managed: %d messages in %v; decisions: %v; workers=%d alternate=%d\n",
+		burst, time.Since(start).Round(time.Millisecond), actions, st.Workers, st.Alternate)
+}

@@ -1,0 +1,88 @@
+// Trade-offs: sweep the user-controllable knobs of the optimization
+// problem (§6) — the throughput constraint OmegaHat and the cost/value
+// equivalence sigma — and show how the global heuristic trades application
+// value, dollars and throughput against each other. This is the "flexible
+// cost-benefit trade-offs" capability the paper argues current systems
+// lack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynamicdf"
+)
+
+func run(g *dynamicdf.Graph, obj dynamicdf.Objective) (dynamicdf.Summary, error) {
+	profile, err := dynamicdf.NewWave(15, 6, 1800)
+	if err != nil {
+		return dynamicdf.Summary{}, err
+	}
+	policy, err := dynamicdf.NewHeuristic(dynamicdf.Options{
+		Strategy:  dynamicdf.Global,
+		Dynamic:   true,
+		Adaptive:  true,
+		Objective: obj,
+	})
+	if err != nil {
+		return dynamicdf.Summary{}, err
+	}
+	perf, err := dynamicdf.NewReplayedCloud(dynamicdf.ReplayedConfig{Seed: 19})
+	if err != nil {
+		return dynamicdf.Summary{}, err
+	}
+	engine, err := dynamicdf.NewEngine(dynamicdf.Config{
+		Graph:      g,
+		Menu:       dynamicdf.MustMenu(dynamicdf.AWS2013Classes()),
+		Perf:       perf,
+		Inputs:     map[int]dynamicdf.Profile{g.Inputs()[0]: profile},
+		HorizonSec: 4 * 3600,
+		Seed:       2,
+	})
+	if err != nil {
+		return dynamicdf.Summary{}, err
+	}
+	return engine.Run(policy)
+}
+
+func main() {
+	log.SetFlags(0)
+	g := dynamicdf.EvalGraph()
+
+	base, err := dynamicdf.PaperSigma(g, 15, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("sweep 1: tightening the throughput constraint (sigma fixed)")
+	fmt.Println("omegaHat  omega   gamma   cost($)  theta")
+	for _, oh := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		obj := base
+		obj.OmegaHat = oh
+		sum, err := run(g, obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.2f    %.3f   %.3f   %6.2f   %+.4f\n",
+			oh, sum.MeanOmega, sum.MeanGamma, sum.TotalCostUSD,
+			obj.Theta(sum.MeanGamma, sum.TotalCostUSD))
+	}
+
+	fmt.Println()
+	fmt.Println("sweep 2: how much the user values dollars (omegaHat fixed at 0.7)")
+	fmt.Println("(the heuristics' decisions are value/cost-ratio driven, as in the")
+	fmt.Println(" paper's Alg. 1-2; sigma re-prices the same execution, showing where")
+	fmt.Println(" a user's expectation line turns the run from profit to loss)")
+	fmt.Println("sigma-scale  omega   gamma   cost($)  theta")
+	for _, scale := range []float64{0.25, 0.5, 1, 2, 4} {
+		obj := base
+		obj.Sigma = base.Sigma * scale
+		sum, err := run(g, obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %5.2fx    %.3f   %.3f   %6.2f   %+.4f\n",
+			scale, sum.MeanOmega, sum.MeanGamma, sum.TotalCostUSD,
+			obj.Theta(sum.MeanGamma, sum.TotalCostUSD))
+	}
+}

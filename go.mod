@@ -1,0 +1,3 @@
+module dynamicdf
+
+go 1.22

@@ -1,0 +1,358 @@
+// Package binpack implements variable-sized bin packing (VBP) heuristics.
+// The paper (§7) reduces its resource-allocation subproblem to VBP — given
+// objects (PE core demands) and an infinite supply of bins of different
+// sizes and prices (VM classes), minimize the total cost of bins used — and
+// builds its deployment heuristics on top of a generic VBP procedure plus
+// "iterative repacking" (its reference [21]). This package provides those
+// building blocks in a reusable, independently tested form.
+package binpack
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Item is an object to pack.
+type Item struct {
+	// ID identifies the item to the caller (e.g. a PE instance).
+	ID int
+	// Size is the item's demand in the same unit as bin capacity
+	// (standard-core-seconds per second for PE packing).
+	Size float64
+}
+
+// BinClass is a bin size with a price — a VM class viewed by capacity.
+type BinClass struct {
+	Name     string
+	Capacity float64
+	Cost     float64
+}
+
+// Bin is an opened bin of some class holding items.
+type Bin struct {
+	Class *BinClass
+	Items []Item
+	used  float64
+}
+
+// Used returns the occupied capacity.
+func (b *Bin) Used() float64 { return b.used }
+
+// Free returns the remaining capacity.
+func (b *Bin) Free() float64 { return b.Class.Capacity - b.used }
+
+// add places the item, which must fit.
+func (b *Bin) add(it Item) {
+	b.Items = append(b.Items, it)
+	b.used += it.Size
+}
+
+// remove deletes the item at index i.
+func (b *Bin) remove(i int) Item {
+	it := b.Items[i]
+	b.used -= it.Size
+	b.Items = append(b.Items[:i], b.Items[i+1:]...)
+	return it
+}
+
+// TotalCost sums the cost of all opened bins.
+func TotalCost(bins []*Bin) float64 {
+	c := 0.0
+	for _, b := range bins {
+		c += b.Class.Cost
+	}
+	return c
+}
+
+// TotalWaste sums the free capacity across bins — the quantity iterative
+// repacking minimizes.
+func TotalWaste(bins []*Bin) float64 {
+	w := 0.0
+	for _, b := range bins {
+		w += b.Free()
+	}
+	return w
+}
+
+// Validate checks a packing: items fit their bins and the multiset of item
+// IDs equals want (each packed exactly once).
+func Validate(bins []*Bin, want []Item) error {
+	const eps = 1e-9
+	seen := map[int]int{}
+	for _, b := range bins {
+		sum := 0.0
+		for _, it := range b.Items {
+			sum += it.Size
+			seen[it.ID]++
+		}
+		if sum > b.Class.Capacity+eps {
+			return fmt.Errorf("binpack: bin %q overflows: %v > %v", b.Class.Name, sum, b.Class.Capacity)
+		}
+	}
+	wantCount := map[int]int{}
+	for _, it := range want {
+		wantCount[it.ID]++
+	}
+	for id, n := range wantCount {
+		if seen[id] != n {
+			return fmt.Errorf("binpack: item %d packed %d times, want %d", id, seen[id], n)
+		}
+	}
+	for id, n := range seen {
+		if wantCount[id] != n {
+			return fmt.Errorf("binpack: unexpected item %d packed %d times", id, n)
+		}
+	}
+	return nil
+}
+
+func validateClasses(classes []*BinClass) error {
+	if len(classes) == 0 {
+		return errors.New("binpack: no bin classes")
+	}
+	for _, c := range classes {
+		if c.Capacity <= 0 || c.Cost <= 0 {
+			return fmt.Errorf("binpack: class %q capacity/cost must be positive", c.Name)
+		}
+	}
+	return nil
+}
+
+func maxCapacity(classes []*BinClass) float64 {
+	m := 0.0
+	for _, c := range classes {
+		if c.Capacity > m {
+			m = c.Capacity
+		}
+	}
+	return m
+}
+
+// FirstFitDecreasingLargest packs all items into bins of the single largest
+// class using first-fit decreasing. This is Alg. 1's base step: "allocate it
+// to the largest VM resource class, either available or newly instantiated".
+// Items larger than the largest class are rejected.
+func FirstFitDecreasingLargest(items []Item, classes []*BinClass) ([]*Bin, error) {
+	if err := validateClasses(classes); err != nil {
+		return nil, err
+	}
+	largest := classes[0]
+	for _, c := range classes[1:] {
+		if c.Capacity > largest.Capacity ||
+			(c.Capacity == largest.Capacity && c.Cost < largest.Cost) {
+			largest = c
+		}
+	}
+	sorted := append([]Item(nil), items...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Size > sorted[j].Size })
+	var bins []*Bin
+	for _, it := range sorted {
+		if it.Size < 0 {
+			return nil, fmt.Errorf("binpack: item %d has negative size", it.ID)
+		}
+		if it.Size > largest.Capacity {
+			return nil, fmt.Errorf("binpack: item %d (size %v) exceeds largest class %v", it.ID, it.Size, largest.Capacity)
+		}
+		placed := false
+		for _, b := range bins {
+			if b.Free() >= it.Size {
+				b.add(it)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			nb := &Bin{Class: largest}
+			nb.add(it)
+			bins = append(bins, nb)
+		}
+	}
+	return bins, nil
+}
+
+// BestFitDecreasing packs items across all classes: each item (in
+// decreasing size order) goes to the open bin with the least sufficient
+// free space; when none fits, a new bin of the cheapest class that holds
+// the item is opened.
+func BestFitDecreasing(items []Item, classes []*BinClass) ([]*Bin, error) {
+	if err := validateClasses(classes); err != nil {
+		return nil, err
+	}
+	maxCap := maxCapacity(classes)
+	sorted := append([]Item(nil), items...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Size > sorted[j].Size })
+	var bins []*Bin
+	for _, it := range sorted {
+		if it.Size < 0 {
+			return nil, fmt.Errorf("binpack: item %d has negative size", it.ID)
+		}
+		if it.Size > maxCap {
+			return nil, fmt.Errorf("binpack: item %d (size %v) exceeds largest class %v", it.ID, it.Size, maxCap)
+		}
+		var best *Bin
+		for _, b := range bins {
+			if b.Free() >= it.Size && (best == nil || b.Free() < best.Free()) {
+				best = b
+			}
+		}
+		if best != nil {
+			best.add(it)
+			continue
+		}
+		var cheapest *BinClass
+		for _, c := range classes {
+			if c.Capacity >= it.Size && (cheapest == nil || c.Cost < cheapest.Cost) {
+				cheapest = c
+			}
+		}
+		nb := &Bin{Class: cheapest}
+		nb.add(it)
+		bins = append(bins, nb)
+	}
+	return bins, nil
+}
+
+// DowngradeBins replaces each bin's class with the cheapest class whose
+// capacity covers the bin's load — the RepackPE move of the global strategy
+// (move to the "smallest VM big enough for required core-secs"). Item
+// placement is untouched.
+func DowngradeBins(bins []*Bin, classes []*BinClass) error {
+	if err := validateClasses(classes); err != nil {
+		return err
+	}
+	for _, b := range bins {
+		var best *BinClass
+		for _, c := range classes {
+			if c.Capacity+1e-12 >= b.used && (best == nil || c.Cost < best.Cost ||
+				(c.Cost == best.Cost && c.Capacity < best.Capacity)) {
+				best = c
+			}
+		}
+		if best == nil {
+			return fmt.Errorf("binpack: no class holds load %v", b.used)
+		}
+		if best.Cost < b.Class.Cost {
+			b.Class = best
+		}
+	}
+	return nil
+}
+
+// IterativeRepack repeatedly tries to empty the least-utilized bin by
+// redistributing its items into the free space of the other bins
+// (largest-item-first, best-fit); a bin that empties is dropped. The loop
+// ends when no bin can be emptied. This is the paper's RepackFreeVMs step.
+// It returns the improved packing; the input slice is consumed.
+func IterativeRepack(bins []*Bin) []*Bin {
+	for {
+		// Pick the non-empty bin with the lowest utilization.
+		victim := -1
+		for i, b := range bins {
+			if len(b.Items) == 0 {
+				continue
+			}
+			if victim < 0 || b.used/b.Class.Capacity < bins[victim].used/bins[victim].Class.Capacity {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		v := bins[victim]
+		// Check feasibility: can every item fit somewhere else?
+		moves, ok := planEvacuation(v, bins, victim)
+		if !ok {
+			// Try the next-least-utilized victims before giving up.
+			improved := false
+			order := binsByUtilization(bins)
+			for _, idx := range order {
+				if idx == victim || len(bins[idx].Items) == 0 {
+					continue
+				}
+				if mv, ok2 := planEvacuation(bins[idx], bins, idx); ok2 {
+					applyEvacuation(bins[idx], mv)
+					bins = append(bins[:idx], bins[idx+1:]...)
+					improved = true
+					break
+				}
+			}
+			if !improved {
+				break
+			}
+			continue
+		}
+		applyEvacuation(v, moves)
+		bins = append(bins[:victim], bins[victim+1:]...)
+	}
+	return bins
+}
+
+// binsByUtilization returns bin indices sorted by ascending utilization.
+func binsByUtilization(bins []*Bin) []int {
+	idx := make([]int, len(bins))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ba, bb := bins[idx[a]], bins[idx[b]]
+		return ba.used/ba.Class.Capacity < bb.used/bb.Class.Capacity
+	})
+	return idx
+}
+
+// planEvacuation decides, without mutating anything, destination bins for
+// every item of victim using best-fit on the other bins' free space.
+func planEvacuation(victim *Bin, bins []*Bin, victimIdx int) (map[int]*Bin, bool) {
+	free := make(map[*Bin]float64, len(bins))
+	for i, b := range bins {
+		if i == victimIdx {
+			continue
+		}
+		free[b] = b.Free()
+	}
+	items := append([]Item(nil), victim.Items...)
+	sort.SliceStable(items, func(i, j int) bool { return items[i].Size > items[j].Size })
+	moves := make(map[int]*Bin, len(items))
+	for _, it := range items {
+		var best *Bin
+		for b, f := range free {
+			if f >= it.Size && (best == nil || f < free[best]) {
+				best = b
+			}
+		}
+		if best == nil {
+			return nil, false
+		}
+		free[best] -= it.Size
+		moves[it.ID] = best
+	}
+	return moves, true
+}
+
+// applyEvacuation moves every item of victim to its planned destination.
+func applyEvacuation(victim *Bin, moves map[int]*Bin) {
+	for len(victim.Items) > 0 {
+		it := victim.remove(len(victim.Items) - 1)
+		moves[it.ID].add(it)
+	}
+}
+
+// PackGlobal runs the paper's full global packing pipeline: first-fit
+// decreasing into largest-class bins, downgrade each bin to its best fit,
+// then iterative repacking, then a final downgrade pass (repacking may have
+// freed capacity).
+func PackGlobal(items []Item, classes []*BinClass) ([]*Bin, error) {
+	bins, err := FirstFitDecreasingLargest(items, classes)
+	if err != nil {
+		return nil, err
+	}
+	if err := DowngradeBins(bins, classes); err != nil {
+		return nil, err
+	}
+	bins = IterativeRepack(bins)
+	if err := DowngradeBins(bins, classes); err != nil {
+		return nil, err
+	}
+	return bins, nil
+}

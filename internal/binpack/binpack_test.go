@@ -1,0 +1,258 @@
+package binpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func awsClasses() []*BinClass {
+	return []*BinClass{
+		{Name: "small", Capacity: 1, Cost: 0.06},
+		{Name: "medium", Capacity: 2, Cost: 0.12},
+		{Name: "large", Capacity: 4, Cost: 0.24},
+		{Name: "xlarge", Capacity: 8, Cost: 0.48},
+	}
+}
+
+func items(sizes ...float64) []Item {
+	out := make([]Item, len(sizes))
+	for i, s := range sizes {
+		out[i] = Item{ID: i, Size: s}
+	}
+	return out
+}
+
+func TestFirstFitDecreasingLargest(t *testing.T) {
+	its := items(5, 4, 3, 2, 1)
+	bins, err := FirstFitDecreasingLargest(its, awsClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(bins, its); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bins {
+		if b.Class.Name != "xlarge" {
+			t.Fatalf("FFD-largest opened a %q bin", b.Class.Name)
+		}
+	}
+	// 15 units into 8-unit bins: at least 2 bins; FFD gives 5+3 / 4+2+1 = 2.
+	if len(bins) != 2 {
+		t.Fatalf("bins = %d, want 2", len(bins))
+	}
+}
+
+func TestFirstFitRejectsOversize(t *testing.T) {
+	if _, err := FirstFitDecreasingLargest(items(9), awsClasses()); err == nil {
+		t.Fatal("oversize item accepted")
+	}
+	if _, err := FirstFitDecreasingLargest(items(-1), awsClasses()); err == nil {
+		t.Fatal("negative item accepted")
+	}
+	if _, err := FirstFitDecreasingLargest(items(1), nil); err == nil {
+		t.Fatal("no classes accepted")
+	}
+}
+
+func TestBestFitDecreasing(t *testing.T) {
+	its := items(0.6, 0.5, 1.5)
+	bins, err := BestFitDecreasing(its, awsClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(bins, its); err != nil {
+		t.Fatal(err)
+	}
+	// 1.5 opens a medium (cheapest fitting); 0.6 could fit in the
+	// medium's remaining 0.5? No (0.6 > 0.5) so it opens a small (cap 1);
+	// 0.5 best-fits into the medium's 0.5 free.
+	if TotalCost(bins) > 0.12+0.06+1e-9 {
+		t.Fatalf("cost = %v", TotalCost(bins))
+	}
+}
+
+func TestBestFitErrors(t *testing.T) {
+	if _, err := BestFitDecreasing(items(100), awsClasses()); err == nil {
+		t.Fatal("oversize accepted")
+	}
+	if _, err := BestFitDecreasing(items(-0.1), awsClasses()); err == nil {
+		t.Fatal("negative accepted")
+	}
+	bad := []*BinClass{{Name: "zero", Capacity: 0, Cost: 1}}
+	if _, err := BestFitDecreasing(items(0.5), bad); err == nil {
+		t.Fatal("zero-capacity class accepted")
+	}
+}
+
+func TestDowngradeBins(t *testing.T) {
+	classes := awsClasses()
+	its := items(0.7)
+	bins, _ := FirstFitDecreasingLargest(its, classes) // opens an xlarge
+	if bins[0].Class.Name != "xlarge" {
+		t.Fatal("setup: expected xlarge")
+	}
+	if err := DowngradeBins(bins, classes); err != nil {
+		t.Fatal(err)
+	}
+	if bins[0].Class.Name != "small" {
+		t.Fatalf("downgraded to %q, want small", bins[0].Class.Name)
+	}
+	if err := Validate(bins, its); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDowngradeNeverUpgradesCost(t *testing.T) {
+	classes := awsClasses()
+	its := items(3.5, 2.2, 0.9, 0.4, 1.1)
+	bins, _ := FirstFitDecreasingLargest(its, classes)
+	before := TotalCost(bins)
+	if err := DowngradeBins(bins, classes); err != nil {
+		t.Fatal(err)
+	}
+	if TotalCost(bins) > before+1e-12 {
+		t.Fatalf("downgrade increased cost: %v -> %v", before, TotalCost(bins))
+	}
+}
+
+func TestIterativeRepackDropsEmptyableBin(t *testing.T) {
+	classes := awsClasses()
+	// Three xlarge bins: two half full, one with a small item that fits in
+	// either — repack must eliminate at least one bin.
+	b1 := &Bin{Class: classes[3]}
+	b1.add(Item{ID: 0, Size: 4})
+	b2 := &Bin{Class: classes[3]}
+	b2.add(Item{ID: 1, Size: 4})
+	b3 := &Bin{Class: classes[3]}
+	b3.add(Item{ID: 2, Size: 2})
+	bins := IterativeRepack([]*Bin{b1, b2, b3})
+	if len(bins) != 2 {
+		t.Fatalf("bins after repack = %d, want 2", len(bins))
+	}
+	if err := Validate(bins, items(4, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterativeRepackKeepsTightPacking(t *testing.T) {
+	classes := awsClasses()
+	b1 := &Bin{Class: classes[3]}
+	b1.add(Item{ID: 0, Size: 8})
+	b2 := &Bin{Class: classes[3]}
+	b2.add(Item{ID: 1, Size: 8})
+	bins := IterativeRepack([]*Bin{b1, b2})
+	if len(bins) != 2 {
+		t.Fatalf("tight packing changed: %d bins", len(bins))
+	}
+}
+
+func TestPackGlobalBeatsOrMatchesFFD(t *testing.T) {
+	classes := awsClasses()
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		its := make([]Item, n)
+		for i := range its {
+			its[i] = Item{ID: i, Size: 0.1 + rng.Float64()*7.9}
+		}
+		ffd, err := FirstFitDecreasingLargest(its, classes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		global, err := PackGlobal(its, classes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(global, its); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if TotalCost(global) > TotalCost(ffd)+1e-9 {
+			t.Fatalf("trial %d: global %v costlier than FFD %v", trial, TotalCost(global), TotalCost(ffd))
+		}
+	}
+}
+
+func TestTotalWaste(t *testing.T) {
+	classes := awsClasses()
+	b := &Bin{Class: classes[3]}
+	b.add(Item{ID: 0, Size: 3})
+	if w := TotalWaste([]*Bin{b}); w != 5 {
+		t.Fatalf("waste = %v", w)
+	}
+}
+
+func TestValidateCatchesOverflowAndLoss(t *testing.T) {
+	classes := awsClasses()
+	b := &Bin{Class: classes[0]} // cap 1
+	b.Items = []Item{{ID: 0, Size: 2}}
+	b.used = 2
+	if err := Validate([]*Bin{b}, items(2)); err == nil {
+		t.Fatal("overflow not caught")
+	}
+	ok := &Bin{Class: classes[3]}
+	ok.add(Item{ID: 0, Size: 1})
+	if err := Validate([]*Bin{ok}, items(1, 1)); err == nil {
+		t.Fatal("missing item not caught")
+	}
+	if err := Validate([]*Bin{ok}, nil); err == nil {
+		t.Fatal("extra item not caught")
+	}
+}
+
+func TestPropertyPackingsAreValid(t *testing.T) {
+	classes := awsClasses()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(25)
+		its := make([]Item, n)
+		for i := range its {
+			its[i] = Item{ID: i, Size: 0.05 + rng.Float64()*7.9}
+		}
+		for _, pack := range []func([]Item, []*BinClass) ([]*Bin, error){
+			FirstFitDecreasingLargest, BestFitDecreasing, PackGlobal,
+		} {
+			bins, err := pack(its, classes)
+			if err != nil {
+				return false
+			}
+			if err := Validate(bins, its); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCostLowerBound(t *testing.T) {
+	// Any valid packing must cost at least the LP bound: total size divided
+	// by the best capacity-per-cost ratio.
+	classes := awsClasses()
+	bestRatio := 0.0 // capacity per dollar
+	for _, c := range classes {
+		if r := c.Capacity / c.Cost; r > bestRatio {
+			bestRatio = r
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		its := make([]Item, n)
+		total := 0.0
+		for i := range its {
+			its[i] = Item{ID: i, Size: 0.05 + rng.Float64()*7.9}
+			total += its[i].Size
+		}
+		bins, err := PackGlobal(its, classes)
+		if err != nil {
+			return false
+		}
+		return TotalCost(bins)+1e-9 >= total/bestRatio
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

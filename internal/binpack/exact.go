@@ -1,0 +1,147 @@
+package binpack
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Exact solves variable-sized bin packing to optimality by branch and bound:
+// items are placed largest-first into every open bin or a fresh bin of every
+// class, pruning branches whose cost cannot beat the incumbent (lower bound:
+// current cost + remaining size priced at the best capacity-per-dollar
+// class). It is exponential in the worst case and intended for the paper's
+// "static brute-force optimal deployment for small graphs" only; nodeBudget
+// bounds the search (0 means DefaultExactBudget) and the best solution found
+// within budget is returned with exact=false when the budget was exhausted.
+func Exact(items []Item, classes []*BinClass, nodeBudget int) (bins []*Bin, exact bool, err error) {
+	if err := validateClasses(classes); err != nil {
+		return nil, false, err
+	}
+	maxCap := maxCapacity(classes)
+	total := 0.0
+	for _, it := range items {
+		if it.Size < 0 {
+			return nil, false, fmt.Errorf("binpack: item %d has negative size", it.ID)
+		}
+		if it.Size > maxCap {
+			return nil, false, fmt.Errorf("binpack: item %d (size %v) exceeds largest class %v", it.ID, it.Size, maxCap)
+		}
+		total += it.Size
+	}
+	if nodeBudget <= 0 {
+		nodeBudget = DefaultExactBudget
+	}
+	if len(items) == 0 {
+		return nil, true, nil
+	}
+
+	sorted := append([]Item(nil), items...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Size > sorted[j].Size })
+
+	// Seed the incumbent with the global heuristic so pruning bites early.
+	seed, err := PackGlobal(sorted, classes)
+	if err != nil {
+		return nil, false, err
+	}
+	best := cloneBins(seed)
+	bestCost := TotalCost(best)
+
+	// bestRatio: capacity per dollar, for the LP lower bound.
+	bestRatio := 0.0
+	for _, c := range classes {
+		if r := c.Capacity / c.Cost; r > bestRatio {
+			bestRatio = r
+		}
+	}
+
+	// Distinct classes sorted by cost ascending: cheaper bins first tends
+	// to find good incumbents sooner.
+	order := append([]*BinClass(nil), classes...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Cost < order[j].Cost })
+
+	remaining := make([]float64, len(sorted)+1)
+	for i := len(sorted) - 1; i >= 0; i-- {
+		remaining[i] = remaining[i+1] + sorted[i].Size
+	}
+
+	nodes := 0
+	exhausted := false
+	var cur []*Bin
+	var curCost float64
+
+	var place func(idx int)
+	place = func(idx int) {
+		if nodes >= nodeBudget {
+			exhausted = true
+			return
+		}
+		nodes++
+		if curCost+remaining[idx]/bestRatio >= bestCost-1e-12 {
+			return // cannot beat the incumbent
+		}
+		if idx == len(sorted) {
+			best = cloneBins(cur)
+			bestCost = curCost
+			return
+		}
+		it := sorted[idx]
+		// Try existing bins; skip symmetric duplicates (same class, same
+		// free space).
+		type key struct {
+			name string
+			free float64
+		}
+		tried := map[key]bool{}
+		for _, b := range cur {
+			k := key{b.Class.Name, b.Free()}
+			if b.Free() < it.Size || tried[k] {
+				continue
+			}
+			tried[k] = true
+			b.add(it)
+			place(idx + 1)
+			b.remove(len(b.Items) - 1)
+			if exhausted {
+				return
+			}
+		}
+		// Try opening one new bin per class that fits.
+		for _, c := range order {
+			if c.Capacity < it.Size {
+				continue
+			}
+			nb := &Bin{Class: c}
+			nb.add(it)
+			cur = append(cur, nb)
+			curCost += c.Cost
+			place(idx + 1)
+			curCost -= c.Cost
+			cur = cur[:len(cur)-1]
+			if exhausted {
+				return
+			}
+		}
+	}
+	place(0)
+	if err := Validate(best, items); err != nil {
+		return nil, false, fmt.Errorf("binpack: exact produced invalid packing: %w", err)
+	}
+	return best, !exhausted, nil
+}
+
+// DefaultExactBudget bounds Exact's search when the caller passes 0.
+const DefaultExactBudget = 2_000_000
+
+func cloneBins(bins []*Bin) []*Bin {
+	out := make([]*Bin, len(bins))
+	for i, b := range bins {
+		nb := &Bin{Class: b.Class, used: b.used}
+		nb.Items = append([]Item(nil), b.Items...)
+		out[i] = nb
+	}
+	return out
+}
+
+// ErrInfeasible reports an instance no packing can satisfy.
+var ErrInfeasible = errors.New("binpack: infeasible")

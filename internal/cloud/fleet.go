@@ -1,0 +1,224 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// SecondsPerHour is the billing quantum: VM usage is rounded up to the next
+// hour boundary (§4: "usage of a VM instance is rounded up to the nearest
+// hourly boundary and the user is charged for the entire hour even if it is
+// shut down before the hour ends").
+const SecondsPerHour = 3600
+
+// VM is one acquired instance r_i = (C, t_start, t_off). StopSec < 0 marks
+// an active instance (the paper's t_off = infinity).
+type VM struct {
+	ID       int
+	Class    *Class
+	StartSec int64
+	StopSec  int64 // -1 while active
+
+	// UsedCores tracks how many of the VM's cores are currently assigned
+	// to PE instances. The fleet enforces UsedCores <= Class.Cores.
+	UsedCores int
+
+	// TraceID seeds the performance-trace window assigned to this VM by the
+	// simulator; the cloud package only stores it.
+	TraceID int64
+}
+
+// Active reports whether the VM is still running at time now.
+func (v *VM) Active() bool { return v.StopSec < 0 }
+
+// FreeCores returns the number of unassigned cores.
+func (v *VM) FreeCores() int { return v.Class.Cores - v.UsedCores }
+
+// BilledHours returns the number of whole hours billed for this VM up to
+// time now (at least 1 once started).
+func (v *VM) BilledHours(now int64) int64 {
+	end := now
+	if !v.Active() && v.StopSec < end {
+		end = v.StopSec
+	}
+	if end < v.StartSec {
+		end = v.StartSec
+	}
+	dur := end - v.StartSec
+	hours := dur / SecondsPerHour
+	if dur%SecondsPerHour != 0 || dur == 0 {
+		hours++
+	}
+	return hours
+}
+
+// AccruedCost returns the dollars billed for this VM up to time now.
+func (v *VM) AccruedCost(now int64) float64 {
+	return float64(v.BilledHours(now)) * v.Class.PricePerHour
+}
+
+// SecondsToHourBoundary returns how many seconds remain until the next paid
+// hour boundary at time now. Releasing a VM just before its boundary wastes
+// the least money; the runtime heuristic releases such VMs first.
+func (v *VM) SecondsToHourBoundary(now int64) int64 {
+	elapsed := now - v.StartSec
+	if elapsed < 0 {
+		return SecondsPerHour
+	}
+	rem := elapsed % SecondsPerHour
+	if rem == 0 && elapsed > 0 {
+		return 0
+	}
+	return SecondsPerHour - rem
+}
+
+// Fleet is the set R(t) of all VM instances ever acquired, with billing and
+// core-allocation bookkeeping.
+type Fleet struct {
+	menu   *Menu
+	vms    []*VM
+	nextID int
+}
+
+// NewFleet returns an empty fleet drawing from the menu.
+func NewFleet(menu *Menu) *Fleet {
+	return &Fleet{menu: menu}
+}
+
+// Menu returns the class menu this fleet acquires from.
+func (f *Fleet) Menu() *Menu { return f.menu }
+
+// Acquire starts a new VM of the class at time now and returns it.
+func (f *Fleet) Acquire(class *Class, now int64) (*VM, error) {
+	if class == nil {
+		return nil, errors.New("cloud: acquire with nil class")
+	}
+	if _, ok := f.menu.ByName(class.Name); !ok {
+		return nil, fmt.Errorf("cloud: class %q not on menu", class.Name)
+	}
+	v := &VM{ID: f.nextID, Class: class, StartSec: now, StopSec: -1}
+	f.nextID++
+	f.vms = append(f.vms, v)
+	return v, nil
+}
+
+// Release stops the VM with the given id at time now. Cores must have been
+// unassigned first; releasing a VM with assigned cores is an error so that
+// message-buffer migration is never skipped silently.
+func (f *Fleet) Release(id int, now int64) error {
+	v, err := f.Get(id)
+	if err != nil {
+		return err
+	}
+	if !v.Active() {
+		return fmt.Errorf("cloud: VM %d already released", id)
+	}
+	if v.UsedCores > 0 {
+		return fmt.Errorf("cloud: VM %d still has %d cores assigned", id, v.UsedCores)
+	}
+	if now < v.StartSec {
+		return fmt.Errorf("cloud: VM %d release at %d precedes start %d", id, now, v.StartSec)
+	}
+	v.StopSec = now
+	return nil
+}
+
+// Get returns the VM with the given id.
+func (f *Fleet) Get(id int) (*VM, error) {
+	if id < 0 || id >= len(f.vms) {
+		return nil, fmt.Errorf("cloud: no VM %d", id)
+	}
+	return f.vms[id], nil
+}
+
+// AssignCores reserves n cores of VM id. It fails rather than oversubscribe:
+// each PE instance runs on a dedicated core (§5).
+func (f *Fleet) AssignCores(id, n int, _ int64) error {
+	v, err := f.Get(id)
+	if err != nil {
+		return err
+	}
+	if !v.Active() {
+		return fmt.Errorf("cloud: VM %d is released", id)
+	}
+	if n <= 0 {
+		return fmt.Errorf("cloud: assign %d cores", n)
+	}
+	if v.UsedCores+n > v.Class.Cores {
+		return fmt.Errorf("cloud: VM %d (%s): %d used + %d requested > %d cores",
+			id, v.Class.Name, v.UsedCores, n, v.Class.Cores)
+	}
+	v.UsedCores += n
+	return nil
+}
+
+// UnassignCores returns n cores of VM id to the free pool.
+func (f *Fleet) UnassignCores(id, n int) error {
+	v, err := f.Get(id)
+	if err != nil {
+		return err
+	}
+	if n <= 0 || n > v.UsedCores {
+		return fmt.Errorf("cloud: VM %d: unassign %d of %d used cores", id, n, v.UsedCores)
+	}
+	v.UsedCores -= n
+	return nil
+}
+
+// Active returns the currently running VMs, in id order.
+func (f *Fleet) Active() []*VM {
+	var out []*VM
+	for _, v := range f.vms {
+		if v.Active() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// All returns every VM ever acquired, in id order. The slice is shared.
+func (f *Fleet) All() []*VM { return f.vms }
+
+// ActiveCount returns the number of running VMs.
+func (f *Fleet) ActiveCount() int {
+	n := 0
+	for _, v := range f.vms {
+		if v.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalCost returns mu(t): dollars billed across all instances, running or
+// stopped, up to time now.
+func (f *Fleet) TotalCost(now int64) float64 {
+	total := 0.0
+	for _, v := range f.vms {
+		total += v.AccruedCost(now)
+	}
+	return total
+}
+
+// HourlyBurnRate returns the dollars per hour the currently active VMs cost.
+func (f *Fleet) HourlyBurnRate() float64 {
+	total := 0.0
+	for _, v := range f.vms {
+		if v.Active() {
+			total += v.Class.PricePerHour
+		}
+	}
+	return total
+}
+
+// ActiveByHourBoundary returns active VMs sorted by ascending seconds to
+// their next paid hour boundary — the preferred release order when scaling
+// in.
+func (f *Fleet) ActiveByHourBoundary(now int64) []*VM {
+	out := f.Active()
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].SecondsToHourBoundary(now) < out[j].SecondsToHourBoundary(now)
+	})
+	return out
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"sort"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/sim"
+)
+
+// resourceStage is Alg. 2's resource re-deployment: grow bottleneck PEs
+// while the required capacity is not met, shrink over-provisioned PEs when
+// there is comfortable headroom, consolidate (global only), and release
+// idle VMs as they approach their paid hour boundary.
+func (h *Heuristic) resourceStage(v *sim.View, act *sim.Actions) error {
+	g := v.Graph()
+	sel := v.Selection()
+	demand, err := h.demandECU(v, sel)
+	if err != nil {
+		return err
+	}
+	target := h.targetOmega(v.MeanOmega())
+	eff := effectiveECU(v)
+
+	required := make([]float64, g.N())
+	for pe := range required {
+		required[pe] = demand[pe] * target
+	}
+
+	// Latency QoS: when a mean-latency bound is set, size each PE to also
+	// drain its current backlog within the bound — capacity beyond the
+	// arrival-rate requirement, proportional to the queue.
+	if bound := h.opts.Objective.LatencyHatSec; bound > 0 && v.EstimatedLatencySec() > bound/2 {
+		for pe := range required {
+			if backlog := v.Backlog(pe); backlog > 0 {
+				required[pe] += backlog / bound * sel.Alt(g, pe).Cost
+			}
+		}
+	}
+
+	// Scale up: repeatedly grow the PE with the worst capacity ratio.
+	// With UseSpot, capacity beyond the PE's constraint-critical base
+	// (demand * OmegaHat, on-demand) spills onto the spot market.
+	grown := 0
+	for grown < h.opts.MaxGrowPerInterval {
+		bottleneck, worst := -1, 1e18
+		for pe := range required {
+			if required[pe] <= 1e-12 {
+				continue
+			}
+			r := eff[pe] / required[pe]
+			if r < 1-1e-9 && r < worst {
+				worst = r
+				bottleneck = pe
+			}
+		}
+		if bottleneck < 0 {
+			break
+		}
+		spill := h.opts.UseSpot &&
+			eff[bottleneck] >= demand[bottleneck]*h.opts.Objective.OmegaHat
+		added, err := h.addCore(v, act, bottleneck, required[bottleneck]-eff[bottleneck], spill)
+		if err != nil {
+			return err
+		}
+		if added <= 0 {
+			break // could not add (fleet cap); stop rather than spin
+		}
+		eff[bottleneck] += added
+		grown++
+	}
+
+	// Scale down: only with hysteresis headroom, and never below one core.
+	for pe := range required {
+		relax := required[pe] + demand[pe]*h.opts.Hysteresis
+		for eff[pe] > relax {
+			removed, err := h.removeCore(v, act, pe, eff[pe]-relax)
+			if err != nil {
+				return err
+			}
+			if removed <= 0 {
+				break
+			}
+			eff[pe] -= removed
+		}
+	}
+
+	if h.opts.Strategy == Global && !h.opts.NoConsolidate {
+		if err := h.consolidate(v, act); err != nil {
+			return err
+		}
+	}
+	return h.releaseIdle(v, act)
+}
+
+// addCore gives the PE one more core: a free core on a VM already hosting
+// it, then the best free core anywhere (already paid for — effectively
+// free), then a newly acquired VM — largest class under the local strategy,
+// the smallest class covering the remaining deficit under global (best
+// fit); with spill set and a spot market on the menu, the new VM is the
+// cheapest preemptible class instead. It returns the effective ECU added
+// (0 when the fleet cap blocks).
+func (h *Heuristic) addCore(v *sim.View, act *sim.Actions, pe int, deficitECU float64, spill bool) (float64, error) {
+	hosting := map[int]bool{}
+	for _, a := range v.Assignments(pe) {
+		hosting[a.VMID] = true
+	}
+	var best sim.VMInfo
+	found := false
+	bestScore := -1.0
+	for _, vm := range v.ActiveVMs() {
+		if vm.FreeCores <= 0 {
+			continue
+		}
+		score := vm.Class.CoreSpeed * vm.CPUCoeff
+		if hosting[vm.ID] {
+			score *= 4 // strongly prefer collocating with the PE's instances
+		}
+		if score > bestScore {
+			bestScore = score
+			best = vm
+			found = true
+		}
+	}
+	if found {
+		if err := act.AssignCores(pe, best.ID, 1); err != nil {
+			return 0, err
+		}
+		return best.Class.CoreSpeed * best.CPUCoeff, nil
+	}
+	// Acquire a new VM. Policies plan on the on-demand view; spot classes
+	// are only touched through the explicit spill path.
+	menu := v.Menu()
+	onDemand := menu.OnDemand()
+	class := onDemand.Largest()
+	if h.opts.Strategy == Global {
+		if deficitECU < class.CoreSpeed {
+			deficitECU = class.CoreSpeed
+		}
+		if c := onDemand.SmallestFitting(deficitECU); c != nil {
+			class = c
+		}
+	}
+	if spill {
+		need := deficitECU
+		if need < class.CoreSpeed {
+			need = class.CoreSpeed
+		}
+		if c := menu.CheapestPreemptibleFitting(need); c != nil {
+			class = c
+		}
+	}
+	id, err := act.AcquireVM(class.Name)
+	if err != nil {
+		// Fleet cap reached: degrade gracefully, the next interval retries.
+		return 0, nil
+	}
+	if err := act.AssignCores(pe, id, 1); err != nil {
+		return 0, err
+	}
+	return class.CoreSpeed, nil
+}
+
+// removeCore takes one core away from the PE, preferring the emptiest
+// hosting VM so that instances consolidate and whole VMs free up. It never
+// removes the PE's last core, and never removes a core whose effective
+// contribution exceeds maxRemove (that would undershoot the requirement).
+// It returns the effective ECU removed (0 when nothing is safely
+// removable).
+func (h *Heuristic) removeCore(v *sim.View, act *sim.Actions, pe int, maxRemove float64) (float64, error) {
+	as := v.Assignments(pe)
+	totalCores := 0
+	for _, a := range as {
+		totalCores += a.Cores
+	}
+	if totalCores <= 1 {
+		return 0, nil
+	}
+	type option struct {
+		vmID     int
+		contrib  float64
+		usedOnVM int
+		spot     bool
+	}
+	var opts []option
+	for _, a := range as {
+		vm, ok := v.VM(a.VMID)
+		if !ok {
+			continue
+		}
+		opts = append(opts, option{
+			vmID:     a.VMID,
+			contrib:  vm.Class.CoreSpeed * vm.CPUCoeff,
+			usedOnVM: vm.UsedCores,
+			spot:     vm.Class.Preemptible,
+		})
+	}
+	sort.SliceStable(opts, func(i, j int) bool {
+		// Shed spot headroom before on-demand capacity, then prefer
+		// emptying the emptiest VM, then the weakest core.
+		if opts[i].spot != opts[j].spot {
+			return opts[i].spot
+		}
+		if opts[i].usedOnVM != opts[j].usedOnVM {
+			return opts[i].usedOnVM < opts[j].usedOnVM
+		}
+		return opts[i].contrib < opts[j].contrib
+	})
+	for _, o := range opts {
+		if o.contrib > maxRemove+1e-9 {
+			continue
+		}
+		if err := act.UnassignCores(pe, o.vmID, 1); err != nil {
+			return 0, err
+		}
+		return o.contrib, nil
+	}
+	return 0, nil
+}
+
+// consolidate (global strategy) empties at most one lightly used VM per
+// stage by moving its core chunks into free cores elsewhere, so the idle VM
+// can be released at its hour boundary. Chunk conversion preserves rated
+// capacity: n cores at speed s need ceil(n*s/s') cores at speed s'.
+func (h *Heuristic) consolidate(v *sim.View, act *sim.Actions) error {
+	vms := v.ActiveVMs()
+	sort.SliceStable(vms, func(i, j int) bool {
+		ui := float64(vms[i].UsedCores) / float64(vms[i].Class.Cores)
+		uj := float64(vms[j].UsedCores) / float64(vms[j].Class.Cores)
+		return ui < uj
+	})
+	g := v.Graph()
+	for _, victim := range vms {
+		if victim.UsedCores == 0 {
+			continue
+		}
+		// Gather the victim's chunks.
+		type chunk struct{ pe, cores int }
+		var chunks []chunk
+		for pe := 0; pe < g.N(); pe++ {
+			for _, a := range v.Assignments(pe) {
+				if a.VMID == victim.ID {
+					chunks = append(chunks, chunk{pe: pe, cores: a.Cores})
+				}
+			}
+		}
+		// Plan destinations using a free-core snapshot; iterate candidate
+		// VMs in id order so tie-breaking is deterministic.
+		free := map[int]int{}
+		var dstIDs []int
+		for _, vm := range vms {
+			if vm.ID == victim.ID {
+				continue
+			}
+			free[vm.ID] = vm.FreeCores
+			dstIDs = append(dstIDs, vm.ID)
+		}
+		sort.Ints(dstIDs)
+		type move struct{ pe, dst, cores int }
+		var moves []move
+		ok := true
+		for _, c := range chunks {
+			ecu := float64(c.cores) * victim.Class.CoreSpeed
+			bestDst, bestNeed := -1, 0
+			for _, dst := range dstIDs {
+				dstClass := classOf(vms, dst)
+				// Never consolidate on-demand capacity onto spot VMs: the
+				// constraint-critical base must survive reclamations.
+				if dstClass.Preemptible && !victim.Class.Preemptible {
+					continue
+				}
+				f := free[dst]
+				need := coresNeeded(ecu, dstClass)
+				if need == 0 {
+					need = 1
+				}
+				if need <= f && (bestDst < 0 || f-need < free[bestDst]-bestNeed) {
+					bestDst, bestNeed = dst, need
+				}
+			}
+			if bestDst < 0 {
+				ok = false
+				break
+			}
+			free[bestDst] -= bestNeed
+			moves = append(moves, move{pe: c.pe, dst: bestDst, cores: bestNeed})
+		}
+		if !ok {
+			continue
+		}
+		for i, m := range moves {
+			if err := act.AssignCores(m.pe, m.dst, m.cores); err != nil {
+				return err
+			}
+			if err := act.UnassignCores(chunks[i].pe, victim.ID, chunks[i].cores); err != nil {
+				return err
+			}
+		}
+		return nil // one consolidation per stage damps churn
+	}
+	return nil
+}
+
+func classOf(vms []sim.VMInfo, id int) *cloud.Class {
+	for _, vm := range vms {
+		if vm.ID == id {
+			return vm.Class
+		}
+	}
+	return nil
+}
+
+// releaseIdle releases empty VMs approaching their paid hour boundary; an
+// empty VM far from the boundary is kept as already-paid spare capacity.
+func (h *Heuristic) releaseIdle(v *sim.View, act *sim.Actions) error {
+	window := h.opts.ReleaseWindowSec
+	if window == 0 {
+		window = 2 * v.IntervalSec()
+	}
+	for _, vm := range v.ActiveVMs() {
+		if vm.UsedCores != 0 {
+			continue
+		}
+		if vm.SecsToHourBoundary <= window {
+			if err := act.ReleaseVM(vm.ID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

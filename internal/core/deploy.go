@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/dataflow"
+)
+
+// Strategy selects between the paper's two heuristic variants (Table 1).
+type Strategy int
+
+const (
+	// Local decisions use only per-PE information: an alternate's cost is
+	// its own processing cost, and no repacking is performed.
+	Local Strategy = iota
+	// Global decisions account for downstream impact: an alternate's cost
+	// includes the selectivity-weighted cost of all downstream PEs, and
+	// the resource allocation is repacked across VM classes.
+	Global
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s == Global {
+		return "global"
+	}
+	return "local"
+}
+
+// SelectAlternates performs Alg. 1's alternate-selection stage: for every
+// PE choose the alternate with the highest value-to-cost ratio, where cost
+// is strategy-dependent (Table 1's GetCostOfAlternate). The global cost is
+// computed by dynamic programming over the graph in reverse topological
+// order, so each PE's choice already reflects its successors' choices.
+func SelectAlternates(g *dataflow.Graph, strategy Strategy) (dataflow.Selection, error) {
+	sel := dataflow.DefaultSelection(g)
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// nodeCost[i]: per-message cost entering PE i with its chosen
+	// alternate, including downstream (only used by Global).
+	nodeCost := make([]float64, g.N())
+	for k := len(order) - 1; k >= 0; k-- {
+		pe := order[k]
+		down := 0.0
+		for _, s := range g.Successors(pe) {
+			down += nodeCost[s]
+		}
+		bestRatio := math.Inf(-1)
+		for j, a := range g.PEs[pe].Alternates {
+			cost := a.Cost
+			if strategy == Global {
+				cost = a.Cost + a.Selectivity*down
+			}
+			if ratio := a.Value / cost; ratio > bestRatio {
+				bestRatio = ratio
+				sel[pe] = j
+			}
+		}
+		chosen := g.PEs[pe].Alternates[sel[pe]]
+		nodeCost[pe] = chosen.Cost + chosen.Selectivity*down
+	}
+	return sel, nil
+}
+
+// PlanAllocation performs Alg. 1's resource-allocation stage: give every PE
+// one core in forward-BFS order (collocating neighbours), then repeatedly
+// grow the bottleneck PE — the one with the lowest predicted relative
+// throughput — until the predicted application throughput reaches target.
+// The global strategy then repacks (RepackPE + iterative repacking +
+// downgrade). Rates are the estimated input rates; VM performance is
+// assumed rated, as the paper does at deployment time.
+func PlanAllocation(g *dataflow.Graph, menu *cloud.Menu, sel dataflow.Selection,
+	routing dataflow.Routing, est dataflow.InputRates, target float64, strategy Strategy) (*Plan, error) {
+	if target <= 0 || target > 1 {
+		return nil, fmt.Errorf("core: allocation target %v outside (0,1]", target)
+	}
+	plan := NewPlan(menu)
+	for _, pe := range g.ForwardBFS() {
+		plan.AddCore(pe)
+	}
+	// Incremental bottleneck-driven growth (INCREMENTAL_ALLOCATION).
+	inRate, _, err := dataflow.PropagateRatesRouted(g, sel, routing, est)
+	if err != nil {
+		return nil, err
+	}
+	maxCores := 64 * g.N() * (1 + int(totalRate(est)))
+	for iter := 0; ; iter++ {
+		caps := plan.Capacities(g, sel)
+		omega, err := dataflow.PredictOmegaRouted(g, sel, routing, est, caps)
+		if err != nil {
+			return nil, err
+		}
+		if omega >= target-1e-9 {
+			break
+		}
+		if iter > maxCores {
+			return nil, fmt.Errorf("core: allocation did not converge after %d cores (omega %.3f < %.3f)", iter, omega, target)
+		}
+		th, err := dataflow.PEThroughputsRouted(g, sel, routing, est, caps)
+		if err != nil {
+			return nil, err
+		}
+		bottleneck := -1
+		worst := math.Inf(1)
+		for pe := 0; pe < g.N(); pe++ {
+			if inRate[pe] <= 0 {
+				continue
+			}
+			if th[pe] < worst {
+				worst = th[pe]
+				bottleneck = pe
+			}
+		}
+		if bottleneck < 0 {
+			break // nothing carries load; one core each suffices
+		}
+		plan.AddCore(bottleneck)
+	}
+	if strategy == Global {
+		demand := make([]float64, g.N())
+		for pe := 0; pe < g.N(); pe++ {
+			demand[pe] = inRate[pe] * sel.Alt(g, pe).Cost * target
+		}
+		plan.RepackPE(demand)
+		plan.IterativeRepack()
+		plan.Downgrade()
+		// Repacking may round capacities down; restore the target if the
+		// integral-core conversions cost throughput.
+		for iter := 0; iter <= maxCores; iter++ {
+			caps := plan.Capacities(g, sel)
+			omega, err := dataflow.PredictOmegaRouted(g, sel, routing, est, caps)
+			if err != nil {
+				return nil, err
+			}
+			if omega >= target-1e-9 {
+				break
+			}
+			th, _ := dataflow.PEThroughputsRouted(g, sel, routing, est, caps)
+			bottleneck, worst := -1, math.Inf(1)
+			for pe := 0; pe < g.N(); pe++ {
+				if inRate[pe] > 0 && th[pe] < worst {
+					worst = th[pe]
+					bottleneck = pe
+				}
+			}
+			if bottleneck < 0 {
+				break
+			}
+			plan.AddCore(bottleneck)
+		}
+	}
+	return plan, nil
+}
+
+func totalRate(in dataflow.InputRates) float64 {
+	t := 0.0
+	for _, r := range in {
+		t += r
+	}
+	return t
+}

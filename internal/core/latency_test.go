@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/metrics"
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/sim"
+	"dynamicdf/internal/trace"
+)
+
+func TestMeetsLatency(t *testing.T) {
+	o := Objective{OmegaHat: 0.7, Epsilon: 0.05, Sigma: 0.01}
+	if !o.MeetsLatency(1e9) {
+		t.Fatal("unconstrained objective rejected a latency")
+	}
+	o.LatencyHatSec = 30
+	if !o.MeetsLatency(30) || o.MeetsLatency(31) {
+		t.Fatal("bound comparison wrong")
+	}
+	o.LatencyHatSec = -1
+	if err := o.Validate(); err == nil {
+		t.Fatal("negative bound accepted")
+	}
+}
+
+func runLatencyScenario(t *testing.T, bound float64) (float64, float64) {
+	t.Helper()
+	g := dataflow.EvalGraph()
+	obj, err := PaperSigma(g, 15, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj.LatencyHatSec = bound
+	h := MustHeuristic(Options{Strategy: Global, Dynamic: true, Adaptive: true, Objective: obj})
+	// Spiky load builds backlogs that pure-throughput control tolerates.
+	base, err := rates.NewConstant(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := rates.NewSpike(base, 3, 1800, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{
+		Graph:      g,
+		Menu:       cloud.MustMenu(cloud.AWS2013Classes()),
+		Perf:       trace.NewIdeal(),
+		Inputs:     map[int]rates.Profile{0: prof},
+		HorizonSec: 4 * 3600,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := e.Run(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := e.Collector().Quantile(0.95, func(p metrics.Point) float64 { return p.LatencySec })
+	return sum.MeanLatencySec, peak
+}
+
+func TestLatencyBoundTightensControl(t *testing.T) {
+	unboundedMean, unboundedPeak := runLatencyScenario(t, 0)
+	boundedMean, boundedPeak := runLatencyScenario(t, 30)
+	if boundedMean > unboundedMean {
+		t.Fatalf("latency bound raised mean latency: %v vs %v", boundedMean, unboundedMean)
+	}
+	if boundedPeak >= unboundedPeak {
+		t.Fatalf("latency bound did not cut the latency tail: p95 %v vs %v", boundedPeak, unboundedPeak)
+	}
+}

@@ -1,0 +1,113 @@
+// Package core implements the paper's primary contribution: the constrained
+// utility-maximization formulation for dynamic dataflows on elastic clouds
+// (§6) and the deployment and runtime-adaptation heuristics that
+// approximately solve it (§7, Algs. 1-2, Table 1). The heuristics run
+// against the internal/sim engine through its View/Actions surface, so they
+// see exactly what the paper's monitoring framework exposes.
+package core
+
+import (
+	"fmt"
+
+	"dynamicdf/internal/dataflow"
+)
+
+// Objective captures the user-specified optimization problem of §6:
+// maximize Theta = Gamma-bar - sigma * mu subject to the average relative
+// throughput constraint Omega-bar >= OmegaHat (within tolerance Epsilon).
+type Objective struct {
+	// OmegaHat is the relative-throughput constraint (the paper's
+	// evaluation fixes 0.7).
+	OmegaHat float64
+	// Epsilon is the constraint tolerance (the paper uses <= 0.05).
+	Epsilon float64
+	// Sigma is the user's cost/value equivalence factor in value per
+	// dollar.
+	Sigma float64
+	// LatencyHatSec optionally bounds the mean queueing latency (the other
+	// QoS dimension §1/§6 name: "the penalty of high processing
+	// latencies"). Zero leaves latency unconstrained, as in the paper's
+	// evaluation.
+	LatencyHatSec float64
+}
+
+// Validate reports whether the objective is well-formed.
+func (o Objective) Validate() error {
+	if !(o.OmegaHat > 0 && o.OmegaHat <= 1) {
+		return fmt.Errorf("core: omega-hat %v outside (0,1]", o.OmegaHat)
+	}
+	if o.Epsilon < 0 || o.Epsilon >= o.OmegaHat {
+		return fmt.Errorf("core: epsilon %v outside [0, omega-hat)", o.Epsilon)
+	}
+	if o.Sigma < 0 {
+		return fmt.Errorf("core: sigma %v < 0", o.Sigma)
+	}
+	if o.LatencyHatSec < 0 {
+		return fmt.Errorf("core: latency bound %v < 0", o.LatencyHatSec)
+	}
+	return nil
+}
+
+// MeetsLatency reports whether an observed mean latency satisfies the
+// bound; always true when unconstrained.
+func (o Objective) MeetsLatency(meanLatencySec float64) bool {
+	return o.LatencyHatSec == 0 || meanLatencySec <= o.LatencyHatSec
+}
+
+// Theta computes the profit objective for a completed period.
+func (o Objective) Theta(meanGamma, totalCostUSD float64) float64 {
+	return meanGamma - o.Sigma*totalCostUSD
+}
+
+// MeetsConstraint reports whether an observed average throughput satisfies
+// the constraint within tolerance.
+func (o Objective) MeetsConstraint(meanOmega float64) bool {
+	return meanOmega >= o.OmegaHat-o.Epsilon
+}
+
+// SigmaFromExpectations derives sigma per §6:
+//
+//	sigma = (MaxApplicationValue - MinApplicationValue) /
+//	        (AcceptableCost@MaxVal - AcceptableCost@MinVal)
+//
+// Max/min application values come from the dataflow's alternates; the user
+// supplies the two acceptable costs. When the graph has a single alternate
+// configuration (max == min value) the value spread is zero; sigma falls
+// back to MaxValue / cost@max so cost still trades off against value.
+func SigmaFromExpectations(g *dataflow.Graph, costAtMaxUSD, costAtMinUSD float64) (float64, error) {
+	if costAtMaxUSD <= costAtMinUSD {
+		return 0, fmt.Errorf("core: acceptable cost at max value (%v) must exceed cost at min value (%v)",
+			costAtMaxUSD, costAtMinUSD)
+	}
+	spread := dataflow.MaxValue(g) - dataflow.MinValue(g)
+	if spread <= 0 {
+		return dataflow.MaxValue(g) / costAtMaxUSD, nil
+	}
+	return spread / (costAtMaxUSD - costAtMinUSD), nil
+}
+
+// PaperSigma reproduces the evaluation's calibration (§8.2): the acceptable
+// cost at maximum application value is $4/hour at 2 msg/s scaling linearly
+// to $100/hour at 50 msg/s, over a period of hours hours; the acceptable
+// cost at minimum value is taken as 25% of that (the paper observes the
+// static-deployment cost to anchor these numbers).
+func PaperSigma(g *dataflow.Graph, dataRate float64, hours float64) (Objective, error) {
+	if dataRate <= 0 || hours <= 0 {
+		return Objective{}, fmt.Errorf("core: paper sigma needs positive rate (%v) and hours (%v)", dataRate, hours)
+	}
+	perHour := 4 + (100-4)*(dataRate-2)/(50-2)
+	if perHour < 1 {
+		perHour = 1
+	}
+	costAtMax := perHour * hours
+	costAtMin := 0.25 * costAtMax
+	sigma, err := SigmaFromExpectations(g, costAtMax, costAtMin)
+	if err != nil {
+		return Objective{}, err
+	}
+	o := Objective{OmegaHat: 0.7, Epsilon: 0.05, Sigma: sigma}
+	if err := o.Validate(); err != nil {
+		return Objective{}, err
+	}
+	return o, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dynamicdf/internal/dataflow"
+)
+
+func TestObjectiveValidate(t *testing.T) {
+	good := Objective{OmegaHat: 0.7, Epsilon: 0.05, Sigma: 0.01}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Objective{
+		{OmegaHat: 0, Epsilon: 0.05, Sigma: 1},
+		{OmegaHat: 1.2, Epsilon: 0.05, Sigma: 1},
+		{OmegaHat: 0.7, Epsilon: -0.1, Sigma: 1},
+		{OmegaHat: 0.7, Epsilon: 0.8, Sigma: 1},
+		{OmegaHat: 0.7, Epsilon: 0.05, Sigma: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("bad objective %d accepted", i)
+		}
+	}
+}
+
+func TestTheta(t *testing.T) {
+	o := Objective{OmegaHat: 0.7, Epsilon: 0.05, Sigma: 0.02}
+	if got := o.Theta(0.9, 10); math.Abs(got-(0.9-0.2)) > 1e-12 {
+		t.Fatalf("theta = %v", got)
+	}
+}
+
+func TestMeetsConstraint(t *testing.T) {
+	o := Objective{OmegaHat: 0.7, Epsilon: 0.05, Sigma: 0}
+	if !o.MeetsConstraint(0.7) || !o.MeetsConstraint(0.66) {
+		t.Fatal("within tolerance rejected")
+	}
+	if o.MeetsConstraint(0.64) {
+		t.Fatal("below tolerance accepted")
+	}
+}
+
+func TestSigmaFromExpectations(t *testing.T) {
+	g := dataflow.Fig1Graph()
+	// Spread = 1 - 0.925 = 0.075 over $40-$10.
+	sigma, err := SigmaFromExpectations(g, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (dataflow.MaxValue(g) - dataflow.MinValue(g)) / 30
+	if math.Abs(sigma-want) > 1e-12 {
+		t.Fatalf("sigma = %v, want %v", sigma, want)
+	}
+	if _, err := SigmaFromExpectations(g, 10, 40); err == nil {
+		t.Fatal("inverted costs accepted")
+	}
+}
+
+func TestSigmaSingleAlternateFallback(t *testing.T) {
+	g := dataflow.NewBuilder().
+		AddPE("a", dataflow.Alt("x", 1, 1, 1)).
+		AddPE("b", dataflow.Alt("x", 1, 1, 1)).
+		Connect("a", "b").
+		MustBuild()
+	sigma, err := SigmaFromExpectations(g, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sigma-1.0/50) > 1e-12 {
+		t.Fatalf("fallback sigma = %v", sigma)
+	}
+}
+
+func TestPaperSigma(t *testing.T) {
+	g := dataflow.EvalGraph()
+	// At 2 msg/s: $4/hour at max value.
+	o, err := PaperSigma(g, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.OmegaHat != 0.7 || o.Epsilon != 0.05 {
+		t.Fatalf("constraint = %+v", o)
+	}
+	if o.Sigma <= 0 {
+		t.Fatalf("sigma = %v", o.Sigma)
+	}
+	// At 50 msg/s: $100/hour — sigma shrinks as acceptable cost grows.
+	o50, err := PaperSigma(g, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o50.Sigma >= o.Sigma {
+		t.Fatalf("sigma should fall with rate: %v -> %v", o.Sigma, o50.Sigma)
+	}
+	if _, err := PaperSigma(g, 0, 10); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := PaperSigma(g, 5, 0); err == nil {
+		t.Fatal("zero hours accepted")
+	}
+}

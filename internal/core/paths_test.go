@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/sim"
+	"dynamicdf/internal/trace"
+)
+
+// pathGraph offers a precision path (two heavy stages, full value) and an
+// economy path (one light stage, reduced value) behind a choice port.
+func pathGraph() *dataflow.Graph {
+	return dataflow.NewBuilder().
+		AddPE("in", dataflow.Alt("e", 1, 0.1, 1)).
+		AddPE("heavyA", dataflow.Alt("e", 1.0, 1.6, 1)).
+		AddPE("heavyB", dataflow.Alt("e", 1.0, 1.2, 1)).
+		AddPE("light", dataflow.Alt("e", 0.7, 0.5, 1)).
+		AddPE("out", dataflow.Alt("e", 1, 0.1, 1)).
+		AddChoice("path", "in", "heavyA", "light").
+		Connect("heavyA", "heavyB").
+		Connect("heavyB", "out").
+		Connect("light", "out").
+		MustBuild()
+}
+
+func runPathScenario(t *testing.T, sched sim.Scheduler, rate float64, horizon int64, perf trace.Provider, maxVMs int) (*sim.Engine, error) {
+	t.Helper()
+	prof, err := rates.NewConstant(rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{
+		Graph:      pathGraph(),
+		Menu:       cloud.MustMenu(cloud.AWS2013Classes()),
+		Perf:       perf,
+		Inputs:     map[int]rates.Profile{0: prof},
+		HorizonSec: horizon,
+		Seed:       3,
+		MaxVMs:     maxVMs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(sched)
+	return e, err
+}
+
+func TestHeuristicSwitchesToEconomyPathUnderPressure(t *testing.T) {
+	// A degraded cloud halves every VM's throughput AND the fleet cap
+	// blocks further scale-out: elasticity is exhausted, so the only
+	// remaining control is application dynamism — the path stage must
+	// reroute to the economy path (cost 0.6 vs 2.9 per message), restoring
+	// throughput with the surviving capacity (the §9 fault-tolerance
+	// story at path granularity).
+	g := pathGraph()
+	obj, err := PaperSigma(g, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := MustHeuristic(Options{Strategy: Global, Dynamic: true, Adaptive: true, Objective: obj})
+	perf := &trace.Scaled{Base: trace.NewIdeal(), Scale: 0.5}
+	// Deployment at rated performance needs ~8 xlarges; cap just above so
+	// the 2x expansion the degraded cloud calls for is impossible.
+	e, err := runPathScenario(t, h, 20, 4*3600, perf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine's routing must have left the default (precision) path.
+	v := engineView(e)
+	routing := v.Routing()
+	if routing[0] != 1 {
+		t.Fatalf("routing = %v, want economy path (1)", routing)
+	}
+	sum := e.Collector().Summarize()
+	if !obj.MeetsConstraint(sum.MeanOmega) {
+		t.Fatalf("omega %.3f misses constraint despite path switch", sum.MeanOmega)
+	}
+	// Gamma reflects the economy path's reduced value.
+	pts := e.Collector().Points()
+	if last := pts[len(pts)-1]; last.Gamma >= 1 {
+		t.Fatalf("gamma = %v after economy switch", last.Gamma)
+	}
+}
+
+func TestHeuristicKeepsPrecisionPathWhenComfortable(t *testing.T) {
+	g := pathGraph()
+	obj, err := PaperSigma(g, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := MustHeuristic(Options{Strategy: Global, Dynamic: true, Adaptive: true, Objective: obj})
+	e, err := runPathScenario(t, h, 5, 2*3600, trace.NewIdeal(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := engineView(e)
+	if v.Routing()[0] != 0 {
+		t.Fatalf("routing = %v, precision path should be kept on an ideal cloud", v.Routing())
+	}
+	sum := e.Collector().Summarize()
+	if sum.MeanGamma != 1 {
+		t.Fatalf("gamma = %v on precision path", sum.MeanGamma)
+	}
+}
+
+func TestBruteForcePicksRouteByTheta(t *testing.T) {
+	g := pathGraph()
+	obj, err := PaperSigma(g, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := NewBruteForce(obj, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := runPathScenario(t, bf, 10, 2*3600, trace.NewIdeal(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := e.Collector().Summarize()
+	if !obj.MeetsConstraint(sum.MeanOmega) {
+		t.Fatalf("omega %.3f", sum.MeanOmega)
+	}
+	// With the paper's sigma, value dominates: the precision route wins.
+	if v := engineView(e); v.Routing()[0] != 0 {
+		t.Fatalf("brute force routing = %v", v.Routing())
+	}
+}
+
+// engineView builds a read view over a finished engine (test helper).
+func engineView(e *sim.Engine) *sim.View { return sim.NewView(e) }

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/sim"
+)
+
+// PlanVM is a virtual VM used while planning the initial deployment. The
+// planner packs cores onto virtual VMs, repacks freely (nothing is billed
+// yet), and only then materializes the plan through sim.Actions.
+type PlanVM struct {
+	Class *cloud.Class
+	// Cores maps PE index -> cores of this VM assigned to it.
+	Cores map[int]int
+}
+
+// UsedCores sums the assigned cores.
+func (pv *PlanVM) UsedCores() int {
+	n := 0
+	for _, c := range pv.Cores {
+		n += c
+	}
+	return n
+}
+
+// FreeCores returns the unassigned cores.
+func (pv *PlanVM) FreeCores() int { return pv.Class.Cores - pv.UsedCores() }
+
+// ECUFor returns the rated capacity (standard-core-sec/s) this VM provides
+// to the PE.
+func (pv *PlanVM) ECUFor(pe int) float64 {
+	return float64(pv.Cores[pe]) * pv.Class.CoreSpeed
+}
+
+// Plan is a full virtual deployment.
+type Plan struct {
+	menu *cloud.Menu
+	VMs  []*PlanVM
+	// lastVM remembers where each PE's most recent core went — the paper's
+	// RepackPE moves a PE's "last instance".
+	lastVM map[int]*PlanVM
+}
+
+// NewPlan returns an empty plan over the menu.
+func NewPlan(menu *cloud.Menu) *Plan {
+	return &Plan{menu: menu, lastVM: map[int]*PlanVM{}}
+}
+
+// HourlyCost prices the planned fleet.
+func (p *Plan) HourlyCost() float64 {
+	c := 0.0
+	for _, vm := range p.VMs {
+		c += vm.Class.PricePerHour
+	}
+	return c
+}
+
+// ECUs returns the planned rated capacity per PE in standard cores.
+func (p *Plan) ECUs(n int) []float64 {
+	out := make([]float64, n)
+	for _, vm := range p.VMs {
+		for pe, cores := range vm.Cores {
+			out[pe] += float64(cores) * vm.Class.CoreSpeed
+		}
+	}
+	return out
+}
+
+// Capacities converts planned ECUs into msg/s per PE under the selection.
+func (p *Plan) Capacities(g *dataflow.Graph, sel dataflow.Selection) []float64 {
+	ecus := p.ECUs(g.N())
+	caps := make([]float64, g.N())
+	for i := range caps {
+		caps[i] = ecus[i] / sel.Alt(g, i).Cost
+	}
+	return caps
+}
+
+// AddCore gives PE pe one more core following Alg. 1's placement rule: a
+// free core on the VM that last received this PE (collocating instances of
+// a PE), then any open largest-class VM with a free core (collocating
+// neighbouring PEs), then a newly instantiated VM of the largest class.
+func (p *Plan) AddCore(pe int) {
+	if vm := p.lastVM[pe]; vm != nil && vm.FreeCores() > 0 {
+		vm.Cores[pe]++
+		return
+	}
+	largest := p.menu.Largest()
+	for _, vm := range p.VMs {
+		if vm.Class == largest && vm.FreeCores() > 0 {
+			vm.Cores[pe]++
+			p.lastVM[pe] = vm
+			return
+		}
+	}
+	vm := &PlanVM{Class: largest, Cores: map[int]int{pe: 1}}
+	p.VMs = append(p.VMs, vm)
+	p.lastVM[pe] = vm
+}
+
+// coresNeeded converts an ECU amount into cores of a class (ceiling).
+func coresNeeded(ecu float64, class *cloud.Class) int {
+	if ecu <= 0 {
+		return 0
+	}
+	return int(math.Ceil(ecu/class.CoreSpeed - 1e-9))
+}
+
+// RepackPE implements the global strategy's per-PE repack (Table 1): for
+// every over-provisioned PE, move its cores on its last VM to the smallest
+// class large enough for the work they actually carry. demandECU gives each
+// PE's required rated capacity.
+func (p *Plan) RepackPE(demandECU []float64) {
+	pes := make([]int, 0, len(p.lastVM))
+	for pe := range p.lastVM {
+		pes = append(pes, pe)
+	}
+	sort.Ints(pes)
+	for _, pe := range pes {
+		last := p.lastVM[pe]
+		if last == nil || last.Cores[pe] == 0 {
+			continue
+		}
+		totalECU := 0.0
+		for _, vm := range p.VMs {
+			totalECU += vm.ECUFor(pe)
+		}
+		if pe >= len(demandECU) || totalECU <= demandECU[pe]+1e-9 {
+			continue // not over-provisioned
+		}
+		otherECU := totalECU - last.ECUFor(pe)
+		residual := demandECU[pe] - otherECU
+		if residual <= 0 {
+			// The last instance is entirely redundant beyond rounding;
+			// keep a single smallest core for liveness.
+			residual = 1e-9
+		}
+		smallest := p.menu.SmallestFitting(residual)
+		if smallest == nil || smallest.PricePerHour >= last.Class.PricePerHour {
+			continue
+		}
+		cores := coresNeeded(residual, smallest)
+		if cores == 0 {
+			cores = 1
+		}
+		if cores > smallest.Cores {
+			continue
+		}
+		// Move: strip from the last VM, open a dedicated small VM.
+		delete(last.Cores, pe)
+		nv := &PlanVM{Class: smallest, Cores: map[int]int{pe: cores}}
+		p.VMs = append(p.VMs, nv)
+		p.lastVM[pe] = nv
+	}
+	p.dropEmpty()
+}
+
+// IterativeRepack empties lightly used VMs by relocating their core chunks
+// into free cores elsewhere (the global strategy's RepackFreeVMs). A chunk
+// of n cores at speed s needs ceil(n*s/s') cores at the destination so the
+// PE keeps its rated capacity.
+func (p *Plan) IterativeRepack() {
+	for {
+		sort.SliceStable(p.VMs, func(i, j int) bool {
+			ui := float64(p.VMs[i].UsedCores()) / float64(p.VMs[i].Class.Cores)
+			uj := float64(p.VMs[j].UsedCores()) / float64(p.VMs[j].Class.Cores)
+			return ui < uj
+		})
+		moved := false
+		for vi, victim := range p.VMs {
+			if victim.UsedCores() == 0 {
+				continue
+			}
+			if plan, ok := p.planEvacuation(vi); ok {
+				p.applyEvacuation(vi, plan)
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			break
+		}
+		p.dropEmpty()
+	}
+	p.dropEmpty()
+}
+
+type coreMove struct {
+	pe    int
+	dst   *PlanVM
+	cores int
+}
+
+func (p *Plan) planEvacuation(victimIdx int) ([]coreMove, bool) {
+	victim := p.VMs[victimIdx]
+	free := map[*PlanVM]int{}
+	var candidates []*PlanVM
+	for i, vm := range p.VMs {
+		if i == victimIdx {
+			continue
+		}
+		free[vm] = vm.FreeCores()
+		candidates = append(candidates, vm)
+	}
+	// Iterate victims' PEs and candidate VMs in stable order so the plan
+	// is deterministic.
+	pes := make([]int, 0, len(victim.Cores))
+	for pe := range victim.Cores {
+		pes = append(pes, pe)
+	}
+	sort.Ints(pes)
+	var moves []coreMove
+	for _, pe := range pes {
+		n := victim.Cores[pe]
+		ecu := float64(n) * victim.Class.CoreSpeed
+		placed := false
+		// Best fit: destination with the least sufficient free capacity.
+		var bestVM *PlanVM
+		bestNeed := 0
+		for _, vm := range candidates {
+			f := free[vm]
+			need := coresNeeded(ecu, vm.Class)
+			if need == 0 {
+				need = 1
+			}
+			if need <= f {
+				if bestVM == nil || f-need < free[bestVM]-bestNeed {
+					bestVM = vm
+					bestNeed = need
+				}
+			}
+		}
+		if bestVM != nil {
+			free[bestVM] -= bestNeed
+			moves = append(moves, coreMove{pe: pe, dst: bestVM, cores: bestNeed})
+			placed = true
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	return moves, true
+}
+
+func (p *Plan) applyEvacuation(victimIdx int, moves []coreMove) {
+	victim := p.VMs[victimIdx]
+	for _, m := range moves {
+		m.dst.Cores[m.pe] += m.cores
+		if p.lastVM[m.pe] == victim {
+			p.lastVM[m.pe] = m.dst
+		}
+	}
+	victim.Cores = map[int]int{}
+}
+
+// Downgrade replaces every planned VM's class with the cheapest class that
+// still hosts its chunks at no capacity loss.
+func (p *Plan) Downgrade() {
+	for _, vm := range p.VMs {
+		if vm.UsedCores() == 0 {
+			continue
+		}
+		var best *cloud.Class
+		var bestCores map[int]int
+		for _, c := range p.menu.Classes() {
+			if c.PricePerHour >= vm.Class.PricePerHour {
+				continue
+			}
+			need := map[int]int{}
+			total := 0
+			ok := true
+			for pe, n := range vm.Cores {
+				cn := coresNeeded(float64(n)*vm.Class.CoreSpeed, c)
+				if cn == 0 {
+					cn = 1
+				}
+				need[pe] = cn
+				total += cn
+			}
+			if total > c.Cores {
+				ok = false
+			}
+			if ok && (best == nil || c.PricePerHour < best.PricePerHour) {
+				best = c
+				bestCores = need
+			}
+		}
+		if best != nil {
+			vm.Class = best
+			vm.Cores = bestCores
+		}
+	}
+	p.dropEmpty()
+}
+
+func (p *Plan) dropEmpty() {
+	out := p.VMs[:0]
+	for _, vm := range p.VMs {
+		if vm.UsedCores() > 0 {
+			out = append(out, vm)
+		}
+	}
+	p.VMs = out
+}
+
+// Workers returns the planned data-parallel width per PE: the total cores
+// across all planned VMs. The floe runtime applies this directly as
+// SetParallelism — planning in the simulator, executing for real.
+func (p *Plan) Workers(n int) []int {
+	out := make([]int, n)
+	for _, vm := range p.VMs {
+		for pe, cores := range vm.Cores {
+			if pe >= 0 && pe < n {
+				out[pe] += cores
+			}
+		}
+	}
+	return out
+}
+
+// Materialize acquires the planned VMs and assigns cores through the
+// simulator's action surface, in deterministic order.
+func (p *Plan) Materialize(act *sim.Actions) error {
+	for _, vm := range p.VMs {
+		id, err := act.AcquireVM(vm.Class.Name)
+		if err != nil {
+			return fmt.Errorf("core: materialize: %w", err)
+		}
+		pes := make([]int, 0, len(vm.Cores))
+		for pe := range vm.Cores {
+			pes = append(pes, pe)
+		}
+		sort.Ints(pes)
+		for _, pe := range pes {
+			if err := act.AssignCores(pe, id, vm.Cores[pe]); err != nil {
+				return fmt.Errorf("core: materialize: %w", err)
+			}
+		}
+	}
+	return nil
+}

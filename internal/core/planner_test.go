@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/sim"
+)
+
+// checkPlanInvariants verifies the structural invariants every plan must
+// keep: no VM core oversubscription, only positive chunks, non-empty VMs.
+func checkPlanInvariants(t *testing.T, p *Plan) {
+	t.Helper()
+	for _, vm := range p.VMs {
+		if vm.UsedCores() == 0 {
+			t.Fatal("plan kept an empty VM")
+		}
+		if vm.UsedCores() > vm.Class.Cores {
+			t.Fatalf("VM %s oversubscribed: %d/%d", vm.Class.Name, vm.UsedCores(), vm.Class.Cores)
+		}
+		for pe, n := range vm.Cores {
+			if n <= 0 {
+				t.Fatalf("non-positive chunk for PE %d", pe)
+			}
+		}
+	}
+}
+
+func TestPropertyPlanNeverOversubscribes(t *testing.T) {
+	menu := awsMenu()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dataflow.EvalGraph()
+		sel := dataflow.DefaultSelection(g)
+		for i := range sel {
+			sel[i] = rng.Intn(len(g.PEs[i].Alternates))
+		}
+		rate := 1 + rng.Float64()*49
+		plan, err := PlanAllocation(g, menu, sel, dataflow.DefaultRouting(g),
+			dataflow.InputRates{0: rate}, 0.7, Strategy(rng.Intn(2)))
+		if err != nil {
+			return false
+		}
+		for _, vm := range plan.VMs {
+			if vm.UsedCores() > vm.Class.Cores || vm.UsedCores() == 0 {
+				return false
+			}
+		}
+		// Predicted throughput meets the target.
+		omega, err := dataflow.PredictOmega(g, sel, dataflow.InputRates{0: rate}, plan.Capacities(g, sel))
+		if err != nil || omega < 0.7-1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRepackPreservesCapacity(t *testing.T) {
+	// IterativeRepack and Downgrade must never reduce any PE's rated
+	// capacity (they convert cores at ceil(n*s/s')).
+	menu := awsMenu()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPlan(menu)
+		nPEs := 2 + rng.Intn(5)
+		for pe := 0; pe < nPEs; pe++ {
+			cores := 1 + rng.Intn(6)
+			for i := 0; i < cores; i++ {
+				p.AddCore(pe)
+			}
+		}
+		before := p.ECUs(nPEs)
+		p.IterativeRepack()
+		p.Downgrade()
+		after := p.ECUs(nPEs)
+		for pe := range before {
+			if after[pe] < before[pe]-1e-9 {
+				return false
+			}
+		}
+		for _, vm := range p.VMs {
+			if vm.UsedCores() > vm.Class.Cores {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRepackNeverIncreasesCost(t *testing.T) {
+	menu := awsMenu()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPlan(menu)
+		nPEs := 2 + rng.Intn(5)
+		for pe := 0; pe < nPEs; pe++ {
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				p.AddCore(pe)
+			}
+		}
+		before := p.HourlyCost()
+		p.IterativeRepack()
+		p.Downgrade()
+		return p.HourlyCost() <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaterializeRoundTrip(t *testing.T) {
+	// Materializing a plan through the engine reproduces exactly the
+	// planned per-PE ECUs and hourly burn rate.
+	g := dataflow.EvalGraph()
+	sel, err := SelectAlternates(g, Global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanAllocation(g, awsMenu(), sel, dataflow.DefaultRouting(g),
+		dataflow.InputRates{0: 15}, 0.7, Global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanInvariants(t, plan)
+	prof, _ := rates.NewConstant(15)
+	e, err := sim.NewEngine(sim.Config{
+		Graph:      g,
+		Menu:       awsMenu(),
+		Inputs:     map[int]rates.Profile{0: prof},
+		HorizonSec: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := &materializer{plan: plan, sel: sel}
+	if _, err := e.Run(mat); err != nil {
+		t.Fatal(err)
+	}
+	v := sim.NewView(e)
+	wantECU := plan.ECUs(g.N())
+	for pe := 0; pe < g.N(); pe++ {
+		got := 0.0
+		for _, a := range v.Assignments(pe) {
+			vm, _ := v.VM(a.VMID)
+			got += float64(a.Cores) * vm.Class.CoreSpeed
+		}
+		if diff := got - wantECU[pe]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("PE %d: materialized %v ECU, planned %v", pe, got, wantECU[pe])
+		}
+	}
+	if diff := v.HourlyBurnRate() - plan.HourlyCost(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("burn rate %v != planned %v", v.HourlyBurnRate(), plan.HourlyCost())
+	}
+}
+
+type materializer struct {
+	plan *Plan
+	sel  dataflow.Selection
+}
+
+func (m *materializer) Name() string { return "materializer" }
+func (m *materializer) Deploy(v *sim.View, act *sim.Actions) error {
+	for pe, alt := range m.sel {
+		if err := act.SelectAlternate(pe, alt); err != nil {
+			return err
+		}
+	}
+	return m.plan.Materialize(act)
+}
+func (m *materializer) Adapt(*sim.View, *sim.Actions) error { return nil }
+
+func TestMenuWithoutMediumStillPlans(t *testing.T) {
+	// A menu missing 1-core classes exercises the ceil conversions.
+	menu := cloud.MustMenu([]*cloud.Class{
+		{Name: "large", Cores: 2, CoreSpeed: 2, NetMbps: 100, PricePerHour: 0.24},
+		{Name: "xlarge", Cores: 4, CoreSpeed: 2, NetMbps: 100, PricePerHour: 0.48},
+	})
+	g := dataflow.Fig1Graph()
+	sel := dataflow.DefaultSelection(g)
+	plan, err := PlanAllocation(g, menu, sel, dataflow.DefaultRouting(g),
+		dataflow.InputRates{0: 8}, 0.7, Global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanInvariants(t, plan)
+	omega, err := dataflow.PredictOmega(g, sel, dataflow.InputRates{0: 8}, plan.Capacities(g, sel))
+	if err != nil || omega < 0.7-1e-9 {
+		t.Fatalf("omega %v err %v", omega, err)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/sim"
+	"dynamicdf/internal/trace"
+)
+
+func spotMenu() *cloud.Menu {
+	return cloud.MustMenu(cloud.WithSpotMarket(cloud.AWS2013Classes(), 0.3))
+}
+
+func TestDeploymentStaysOnDemandWithSpotOnMenu(t *testing.T) {
+	// Even with UseSpot, the initial deployment (the constraint-critical
+	// base) must not touch preemptible classes.
+	g := dataflow.EvalGraph()
+	obj, err := PaperSigma(g, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := MustHeuristic(Options{Strategy: Global, Dynamic: true, Adaptive: false,
+		Objective: obj, UseSpot: true})
+	prof, _ := rates.NewConstant(20)
+	e, err := sim.NewEngine(sim.Config{
+		Graph:      g,
+		Menu:       spotMenu(),
+		Inputs:     map[int]rates.Profile{0: prof},
+		HorizonSec: 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range e.Fleet().All() {
+		if vm.Class.Preemptible {
+			t.Fatalf("deployment acquired preemptible %s", vm.Class.Name)
+		}
+	}
+}
+
+func TestSpillAcquiresSpotOnlyBeyondBase(t *testing.T) {
+	// Degrade the cloud so runtime adaptation needs extra capacity: the
+	// base top-up stays on-demand, the headroom beyond demand*OmegaHat
+	// lands on spot classes.
+	g := dataflow.EvalGraph()
+	obj, err := PaperSigma(g, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := MustHeuristic(Options{Strategy: Global, Dynamic: false, Adaptive: true,
+		Objective: obj, UseSpot: true})
+	prof, _ := rates.NewConstant(20)
+	e, err := sim.NewEngine(sim.Config{
+		Graph:      g,
+		Menu:       spotMenu(),
+		Perf:       &trace.Scaled{Base: trace.NewIdeal(), Scale: 0.7},
+		Inputs:     map[int]rates.Profile{0: prof},
+		HorizonSec: 2 * 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := e.Run(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spotCount := 0
+	for _, vm := range e.Fleet().All() {
+		if vm.Class.Preemptible {
+			spotCount++
+		}
+	}
+	if spotCount == 0 {
+		t.Fatal("no spot VM acquired despite UseSpot under pressure")
+	}
+	if !obj.MeetsConstraint(sum.MeanOmega) {
+		t.Fatalf("omega %.3f", sum.MeanOmega)
+	}
+}
+
+func TestNoSpotWithoutOptIn(t *testing.T) {
+	// Same scenario without UseSpot: the fleet never touches the market
+	// even though spot classes are the cheapest on the menu.
+	g := dataflow.EvalGraph()
+	obj, err := PaperSigma(g, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := MustHeuristic(Options{Strategy: Global, Dynamic: true, Adaptive: true, Objective: obj})
+	prof, _ := rates.NewConstant(20)
+	e, err := sim.NewEngine(sim.Config{
+		Graph:      g,
+		Menu:       spotMenu(),
+		Perf:       &trace.Scaled{Base: trace.NewIdeal(), Scale: 0.7},
+		Inputs:     map[int]rates.Profile{0: prof},
+		HorizonSec: 2 * 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range e.Fleet().All() {
+		if vm.Class.Preemptible {
+			t.Fatalf("acquired %s without UseSpot", vm.Class.Name)
+		}
+	}
+}
+
+func TestRouteFitsRespectsQuotaAndCoefficients(t *testing.T) {
+	g := pathGraph()
+	obj, err := PaperSigma(g, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := MustHeuristic(Options{Strategy: Global, Dynamic: true, Adaptive: true, Objective: obj})
+	prof, _ := rates.NewConstant(20)
+	mk := func(maxVMs int, scale float64) bool {
+		e, err := sim.NewEngine(sim.Config{
+			Graph:      g,
+			Menu:       awsMenu(),
+			Perf:       &trace.Scaled{Base: trace.NewIdeal(), Scale: scale},
+			Inputs:     map[int]rates.Profile{0: prof},
+			HorizonSec: 600,
+			MaxVMs:     maxVMs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deploy so the monitored coefficients prime, then probe routeFits
+		// for the expensive precision route.
+		if _, err := e.Run(h); err != nil {
+			t.Fatal(err)
+		}
+		v := sim.NewView(e)
+		return h.routeFits(v, v.Selection(), dataflow.Routing{0})
+	}
+	// Huge quota on a healthy cloud: the precision route fits.
+	if !mk(512, 1.0) {
+		t.Fatal("precision route should fit with a large quota on a healthy cloud")
+	}
+	// Tight quota on a badly degraded cloud: it cannot (the quota covers
+	// the deployment but not the 3x expansion the coefficients call for).
+	if mk(9, 0.3) {
+		t.Fatal("precision route should not fit a 9-VM quota at 30% performance")
+	}
+}

@@ -1,0 +1,133 @@
+package dataflow
+
+import "fmt"
+
+// Builder assembles a Graph incrementally by PE name. It defers all
+// validation to Build so construction code stays linear.
+type Builder struct {
+	pes     []*PE
+	index   map[string]int
+	edges   []Edge
+	choices []ChoiceGroup
+	errs    []error
+	msgSize int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{index: map[string]int{}}
+}
+
+// DefaultMsgBytes sets the graph-wide message size (bytes).
+func (b *Builder) DefaultMsgBytes(n int) *Builder {
+	b.msgSize = n
+	return b
+}
+
+// AddPE registers a PE with its alternates and returns the builder for
+// chaining. Duplicate names are reported at Build time.
+func (b *Builder) AddPE(name string, alts ...Alternate) *Builder {
+	if _, dup := b.index[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("dataflow: builder: duplicate PE %q", name))
+		return b
+	}
+	b.index[name] = len(b.pes)
+	b.pes = append(b.pes, &PE{Name: name, Alternates: alts})
+	return b
+}
+
+// SetMsgBytes overrides the output message size for one PE.
+func (b *Builder) SetMsgBytes(pe string, n int) *Builder {
+	i, ok := b.index[pe]
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("dataflow: builder: unknown PE %q", pe))
+		return b
+	}
+	b.pes[i].OutMsgBytes = n
+	return b
+}
+
+// Connect adds a directed edge from -> to by PE name.
+func (b *Builder) Connect(from, to string) *Builder {
+	fi, ok := b.index[from]
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("dataflow: builder: unknown PE %q", from))
+		return b
+	}
+	ti, ok := b.index[to]
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("dataflow: builder: unknown PE %q", to))
+		return b
+	}
+	b.edges = append(b.edges, Edge{From: fi, To: ti})
+	return b
+}
+
+// AddChoice declares choice semantics on from's output port over the named
+// targets: messages route to exactly one target (the active route), not to
+// all. Edges from->target are added automatically when missing.
+func (b *Builder) AddChoice(group, from string, targets ...string) *Builder {
+	fi, ok := b.index[from]
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("dataflow: builder: unknown PE %q", from))
+		return b
+	}
+	ts := make([]int, 0, len(targets))
+	for _, t := range targets {
+		ti, ok := b.index[t]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("dataflow: builder: unknown PE %q", t))
+			return b
+		}
+		exists := false
+		for _, e := range b.edges {
+			if e.From == fi && e.To == ti {
+				exists = true
+				break
+			}
+		}
+		if !exists {
+			b.edges = append(b.edges, Edge{From: fi, To: ti})
+		}
+		ts = append(ts, ti)
+	}
+	b.choices = append(b.choices, ChoiceGroup{Name: group, From: fi, Targets: ts})
+	return b
+}
+
+// Chain connects the named PEs in sequence: Chain(a,b,c) adds a->b and b->c.
+func (b *Builder) Chain(names ...string) *Builder {
+	for i := 0; i+1 < len(names); i++ {
+		b.Connect(names[i], names[i+1])
+	}
+	return b
+}
+
+// Build validates and returns the graph.
+func (b *Builder) Build() (*Graph, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	g := &Graph{PEs: b.pes, Edges: b.edges, Choices: b.choices, DefaultMsgBytes: b.msgSize}
+	if g.DefaultMsgBytes == 0 {
+		g.DefaultMsgBytes = DefaultMessageBytes
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Alt is shorthand for constructing an Alternate literal.
+func Alt(name string, value, cost, selectivity float64) Alternate {
+	return Alternate{Name: name, Value: value, Cost: cost, Selectivity: selectivity}
+}

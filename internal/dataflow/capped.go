@@ -1,0 +1,87 @@
+package dataflow
+
+// PropagateCapped computes steady-state rates like PropagateRates but with
+// each PE's processing bounded by capacity[i] (msg/s). Heuristics use it to
+// predict the relative application throughput a candidate allocation would
+// deliver before committing resources.
+//
+// Per PE in topological order: processed = min(arrival, capacity), and
+// output = processed * selectivity. Queue dynamics are ignored — this is
+// the steady-state view an allocation planner needs.
+func PropagateCapped(g *Graph, sel Selection, in InputRates, capacity []float64) (inRate, outRate []float64, err error) {
+	if err := sel.Validate(g); err != nil {
+		return nil, nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	inRate = make([]float64, g.N())
+	outRate = make([]float64, g.N())
+	for pe, r := range in {
+		inRate[pe] = r
+	}
+	for _, v := range order {
+		processed := inRate[v]
+		if v < len(capacity) && processed > capacity[v] {
+			processed = capacity[v]
+		}
+		outRate[v] = processed * sel.Alt(g, v).Selectivity
+		for _, w := range g.Successors(v) {
+			inRate[w] += outRate[v]
+		}
+	}
+	return inRate, outRate, nil
+}
+
+// PredictOmega estimates the relative application throughput (Def. 4) an
+// allocation with the given per-PE capacities would achieve at the given
+// input rates: mean over output PEs of capped/uncapped output, in [0, 1].
+func PredictOmega(g *Graph, sel Selection, in InputRates, capacity []float64) (float64, error) {
+	_, exp, err := PropagateRates(g, sel, in)
+	if err != nil {
+		return 0, err
+	}
+	_, got, err := PropagateCapped(g, sel, in, capacity)
+	if err != nil {
+		return 0, err
+	}
+	outs := g.Outputs()
+	omega := 0.0
+	for _, pe := range outs {
+		if exp[pe] <= 0 {
+			omega += 1
+			continue
+		}
+		r := got[pe] / exp[pe]
+		if r > 1 {
+			r = 1
+		}
+		omega += r
+	}
+	return omega / float64(len(outs)), nil
+}
+
+// PEThroughputs returns each PE's predicted relative throughput
+// (capped arrival / uncapped arrival is not meaningful; the per-PE measure
+// the deployment loop ranks bottlenecks by is processed/arrival at the
+// capped rates). PEs with no arrivals report 1.
+func PEThroughputs(g *Graph, sel Selection, in InputRates, capacity []float64) ([]float64, error) {
+	arr, _, err := PropagateCapped(g, sel, in, capacity)
+	if err != nil {
+		return nil, err
+	}
+	th := make([]float64, g.N())
+	for i := range th {
+		if arr[i] <= 0 {
+			th[i] = 1
+			continue
+		}
+		processed := arr[i]
+		if i < len(capacity) && processed > capacity[i] {
+			processed = capacity[i]
+		}
+		th[i] = processed / arr[i]
+	}
+	return th, nil
+}

@@ -1,0 +1,160 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPropagateCappedThrottles(t *testing.T) {
+	g := Fig1Graph()
+	sel := DefaultSelection(g)
+	in := InputRates{0: 10}
+	// E2 capped to 4 msg/s, everyone else unconstrained.
+	caps := []float64{100, 4, 100, 100}
+	inR, outR, err := PropagateCapped(g, sel, in, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outR[1] != 4 {
+		t.Fatalf("E2 out = %v, want 4", outR[1])
+	}
+	// E3 unconstrained: 10 * 0.8 = 8; E4 arrival = 4 + 8.
+	if outR[2] != 8 || inR[3] != 12 {
+		t.Fatalf("E3 out = %v, E4 in = %v", outR[2], inR[3])
+	}
+}
+
+func TestPredictOmegaMatchesBottleneckRatio(t *testing.T) {
+	g := Fig1Graph()
+	sel := DefaultSelection(g)
+	in := InputRates{0: 10}
+	// Uncapped expectation at E4: 18 msg/s. Cap E2 at half its arrival:
+	// observed at E4 = 5 + 8 = 13 -> omega 13/18.
+	caps := []float64{100, 5, 100, 100}
+	om, err := PredictOmega(g, sel, in, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(om-13.0/18.0) > 1e-12 {
+		t.Fatalf("omega = %v, want %v", om, 13.0/18.0)
+	}
+	// Ample capacity: omega = 1.
+	om, err = PredictOmega(g, sel, in, []float64{100, 100, 100, 100})
+	if err != nil || om != 1 {
+		t.Fatalf("ample omega = %v err %v", om, err)
+	}
+	// Zero input: omega defined as 1.
+	om, err = PredictOmega(g, sel, InputRates{0: 0}, caps)
+	if err != nil || om != 1 {
+		t.Fatalf("zero-input omega = %v err %v", om, err)
+	}
+}
+
+func TestPEThroughputsRankBottleneck(t *testing.T) {
+	g := Fig1Graph()
+	sel := DefaultSelection(g)
+	in := InputRates{0: 10}
+	caps := []float64{100, 2, 100, 100}
+	th, err := PEThroughputs(g, sel, in, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th[1] != 0.2 {
+		t.Fatalf("E2 throughput = %v, want 0.2", th[1])
+	}
+	if th[0] != 1 || th[2] != 1 {
+		t.Fatalf("unthrottled PEs = %v / %v", th[0], th[2])
+	}
+	// E4's arrival is already reduced; it processes all of it -> 1.
+	if th[3] != 1 {
+		t.Fatalf("E4 throughput = %v", th[3])
+	}
+	// The bottleneck is the minimum.
+	min := 1.0
+	for _, v := range th {
+		if v < min {
+			min = v
+		}
+	}
+	if min != th[1] {
+		t.Fatal("bottleneck ranking wrong")
+	}
+}
+
+func TestRoutedCappedVariants(t *testing.T) {
+	g := choiceGraph()
+	sel := DefaultSelection(g)
+	in := InputRates{0: 10}
+	caps := make([]float64, g.N())
+	for i := range caps {
+		caps[i] = 100
+	}
+	th, err := PEThroughputsRouted(g, sel, Routing{1}, in, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inactive deep path has no arrivals -> throughput 1 by definition.
+	if th[1] != 1 || th[2] != 1 {
+		t.Fatalf("inactive path throughputs = %v / %v", th[1], th[2])
+	}
+	costs, err := DownstreamCostsRouted(g, sel, Routing{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the shallow route, in's downstream excludes the deep path:
+	// cost(in) = 0.1 + 1*(shallow 0.4 + out 0.1) = 0.6.
+	if math.Abs(costs[0][0]-0.6) > 1e-12 {
+		t.Fatalf("routed downstream cost = %v, want 0.6", costs[0][0])
+	}
+	// Under the deep route it includes both stages: 0.1 + (1.2 + 1.0 + 0.1).
+	costsDeep, err := DownstreamCostsRouted(g, sel, Routing{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(costsDeep[0][0]-2.4) > 1e-12 {
+		t.Fatalf("deep downstream cost = %v, want 2.4", costsDeep[0][0])
+	}
+}
+
+func TestSelectionAndRoutingClone(t *testing.T) {
+	g := choiceGraph()
+	sel := DefaultSelection(g)
+	cl := sel.Clone()
+	cl[0] = 0
+	sel[0] = 0
+	r := DefaultRouting(g)
+	rc := r.Clone()
+	rc[0] = 1
+	if r[0] == rc[0] {
+		t.Fatal("routing clone shares storage")
+	}
+}
+
+func TestLayeredGraphShape(t *testing.T) {
+	g := LayeredGraph(3, 2, 4)
+	// ingest + sink + 3*2 stages.
+	if g.N() != 8 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if len(g.Inputs()) != 1 || len(g.Outputs()) != 1 {
+		t.Fatal("inputs/outputs wrong")
+	}
+	for _, p := range g.PEs {
+		if p.Name != "ingest" && p.Name != "sink" && len(p.Alternates) != 4 {
+			t.Fatalf("%s has %d alternates", p.Name, len(p.Alternates))
+		}
+	}
+	// Degenerate parameters clamp.
+	g2 := LayeredGraph(0, 0, 0)
+	if g2.N() != 3 {
+		t.Fatalf("clamped N = %d", g2.N())
+	}
+	// The value ladder stays within (0, 1] and costs positive.
+	for _, p := range g.PEs {
+		for _, a := range p.Alternates {
+			if a.Value <= 0 || a.Value > 1 || a.Cost <= 0 {
+				t.Fatalf("bad ladder entry %+v", a)
+			}
+		}
+	}
+}

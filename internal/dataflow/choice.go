@@ -1,0 +1,368 @@
+package dataflow
+
+import "fmt"
+
+// ChoiceGroup declares choice semantics on one PE's output port (§3 lists
+// choice among the supported edge semantics; §9 proposes "dynamic paths" —
+// alternate implementations at the granularity of a subset of the graph).
+// Messages emitted by From route to exactly ONE of Targets — the active
+// route — instead of being duplicated onto all of them. Switching the
+// active route at runtime switches the whole downstream sub-path, giving
+// the scheduler the coarser-grained control knob of the paper's future
+// work.
+type ChoiceGroup struct {
+	// Name identifies the group (unique within the graph).
+	Name string
+	// From is the PE whose output port carries choice semantics.
+	From int
+	// Targets are the successor PEs of From that participate in the
+	// choice; each must be connected by an edge From->target. Successors
+	// of From outside any group keep and-split duplication.
+	Targets []int
+}
+
+// Routing selects the active target index for every choice group, parallel
+// to Graph.Choices.
+type Routing []int
+
+// DefaultRouting activates target 0 of every group.
+func DefaultRouting(g *Graph) Routing {
+	return make(Routing, len(g.Choices))
+}
+
+// Validate checks the routing against the graph.
+func (r Routing) Validate(g *Graph) error {
+	if len(r) != len(g.Choices) {
+		return fmt.Errorf("dataflow: routing covers %d groups, graph has %d", len(r), len(g.Choices))
+	}
+	for i, t := range r {
+		if t < 0 || t >= len(g.Choices[i].Targets) {
+			return fmt.Errorf("dataflow: routing for group %q: target %d out of range", g.Choices[i].Name, t)
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (r Routing) Clone() Routing {
+	return append(Routing(nil), r...)
+}
+
+// validateChoices checks the group declarations; called from Validate.
+func (g *Graph) validateChoices() error {
+	seenName := map[string]bool{}
+	owner := map[int]string{} // target PE -> group that claims it
+	for _, c := range g.Choices {
+		if c.Name == "" {
+			return fmt.Errorf("dataflow: choice group with empty name")
+		}
+		if seenName[c.Name] {
+			return fmt.Errorf("dataflow: duplicate choice group %q", c.Name)
+		}
+		seenName[c.Name] = true
+		if c.From < 0 || c.From >= g.N() {
+			return fmt.Errorf("dataflow: choice group %q: from PE %d out of range", c.Name, c.From)
+		}
+		if len(c.Targets) < 2 {
+			return fmt.Errorf("dataflow: choice group %q needs >= 2 targets", c.Name)
+		}
+		succ := map[int]bool{}
+		for _, s := range g.Successors(c.From) {
+			succ[s] = true
+		}
+		seenTarget := map[int]bool{}
+		for _, t := range c.Targets {
+			if !succ[t] {
+				return fmt.Errorf("dataflow: choice group %q: %q is not a successor of %q",
+					c.Name, g.PEs[t].Name, g.PEs[c.From].Name)
+			}
+			if seenTarget[t] {
+				return fmt.Errorf("dataflow: choice group %q: duplicate target %q", c.Name, g.PEs[t].Name)
+			}
+			seenTarget[t] = true
+			if prev, claimed := owner[t]; claimed {
+				return fmt.Errorf("dataflow: PE %q belongs to choice groups %q and %q",
+					g.PEs[t].Name, prev, c.Name)
+			}
+			owner[t] = c.Name
+		}
+	}
+	return nil
+}
+
+// ActiveSuccessors returns the PEs that receive pe's output under the
+// routing: plain successors keep and-split duplication; for each choice
+// group rooted at pe only the active target is included.
+func (g *Graph) ActiveSuccessors(pe int, routing Routing) []int {
+	if len(g.Choices) == 0 {
+		return g.Successors(pe)
+	}
+	inactive := map[int]bool{}
+	for gi, c := range g.Choices {
+		if c.From != pe {
+			continue
+		}
+		for ti, t := range c.Targets {
+			if ti != routing[gi] {
+				inactive[t] = true
+			}
+		}
+	}
+	if len(inactive) == 0 {
+		return g.Successors(pe)
+	}
+	var out []int
+	for _, s := range g.Successors(pe) {
+		if !inactive[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ReachableUnderRouting returns, for every PE, whether it can receive
+// messages from some input PE under the routing. PEs on inactive paths are
+// unreachable and excluded from the routed application value.
+func (g *Graph) ReachableUnderRouting(routing Routing) []bool {
+	reach := make([]bool, g.N())
+	queue := append([]int(nil), g.Inputs()...)
+	for _, i := range queue {
+		reach[i] = true
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.ActiveSuccessors(v, routing) {
+			if !reach[w] {
+				reach[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return reach
+}
+
+// RoutedValue computes the normalized application value over the PEs that
+// are active under the routing — Def. 3 restricted to the live sub-path,
+// which is the natural extension of Gamma to dynamic paths.
+func RoutedValue(g *Graph, sel Selection, routing Routing) (float64, error) {
+	if err := sel.Validate(g); err != nil {
+		return 0, err
+	}
+	if err := routing.Validate(g); err != nil {
+		return 0, err
+	}
+	reach := g.ReachableUnderRouting(routing)
+	sum, n := 0.0, 0
+	for pe := range g.PEs {
+		if reach[pe] {
+			sum += sel.Alt(g, pe).Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("dataflow: no PE reachable under routing")
+	}
+	return sum / float64(n), nil
+}
+
+// PropagateRatesRouted computes steady-state rates like PropagateRates but
+// honouring choice-group routing.
+func PropagateRatesRouted(g *Graph, sel Selection, routing Routing, in InputRates) (inRate, outRate []float64, err error) {
+	if err := sel.Validate(g); err != nil {
+		return nil, nil, err
+	}
+	if err := routing.Validate(g); err != nil {
+		return nil, nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	inRate = make([]float64, g.N())
+	outRate = make([]float64, g.N())
+	for pe, r := range in {
+		if pe < 0 || pe >= g.N() || len(g.Predecessors(pe)) != 0 || r < 0 {
+			return nil, nil, fmt.Errorf("dataflow: bad input rate %v on PE %d", r, pe)
+		}
+		inRate[pe] = r
+	}
+	for _, v := range order {
+		outRate[v] = inRate[v] * sel.Alt(g, v).Selectivity
+		for _, w := range g.ActiveSuccessors(v, routing) {
+			inRate[w] += outRate[v]
+		}
+	}
+	return inRate, outRate, nil
+}
+
+// PredictOmegaRouted predicts the relative application throughput for a
+// capacity vector under routing (PredictOmega generalized to dynamic
+// paths). Output PEs unreachable under the routing contribute 1 (they are
+// expected to emit nothing, and do).
+func PredictOmegaRouted(g *Graph, sel Selection, routing Routing, in InputRates, capacity []float64) (float64, error) {
+	_, exp, err := PropagateRatesRouted(g, sel, routing, in)
+	if err != nil {
+		return 0, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	arr := make([]float64, g.N())
+	got := make([]float64, g.N())
+	for pe, r := range in {
+		arr[pe] = r
+	}
+	for _, v := range order {
+		p := arr[v]
+		if v < len(capacity) && p > capacity[v] {
+			p = capacity[v]
+		}
+		got[v] = p * sel.Alt(g, v).Selectivity
+		for _, w := range g.ActiveSuccessors(v, routing) {
+			arr[w] += got[v]
+		}
+	}
+	outs := g.Outputs()
+	omega := 0.0
+	for _, pe := range outs {
+		if exp[pe] <= 0 {
+			omega++
+			continue
+		}
+		r := got[pe] / exp[pe]
+		if r > 1 {
+			r = 1
+		}
+		omega += r
+	}
+	return omega / float64(len(outs)), nil
+}
+
+// PEThroughputsRouted returns each PE's predicted relative throughput
+// (processed/arrival at capped rates) under routing; PEs with no arrivals
+// report 1. The bottleneck-growth loops rank PEs by this.
+func PEThroughputsRouted(g *Graph, sel Selection, routing Routing, in InputRates, capacity []float64) ([]float64, error) {
+	if err := sel.Validate(g); err != nil {
+		return nil, err
+	}
+	if err := routing.Validate(g); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	arr := make([]float64, g.N())
+	for pe, r := range in {
+		arr[pe] = r
+	}
+	th := make([]float64, g.N())
+	processedOut := make([]float64, g.N())
+	for _, v := range order {
+		p := arr[v]
+		if v < len(capacity) && p > capacity[v] {
+			p = capacity[v]
+		}
+		processedOut[v] = p * sel.Alt(g, v).Selectivity
+		for _, w := range g.ActiveSuccessors(v, routing) {
+			arr[w] += processedOut[v]
+		}
+	}
+	for v := range th {
+		if arr[v] <= 0 {
+			th[v] = 1
+			continue
+		}
+		p := arr[v]
+		if v < len(capacity) && p > capacity[v] {
+			p = capacity[v]
+		}
+		th[v] = p / arr[v]
+	}
+	return th, nil
+}
+
+// DownstreamCostsRouted computes the global strategy's per-alternate costs
+// (DownstreamCosts) honouring choice-group routing: inactive routes do not
+// contribute downstream cost because no message flows into them.
+func DownstreamCostsRouted(g *Graph, sel Selection, routing Routing) ([][]float64, error) {
+	if err := sel.Validate(g); err != nil {
+		return nil, err
+	}
+	if err := routing.Validate(g); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	nodeCost := make([]float64, g.N())
+	for k := len(order) - 1; k >= 0; k-- {
+		v := order[k]
+		a := sel.Alt(g, v)
+		down := 0.0
+		for _, w := range g.ActiveSuccessors(v, routing) {
+			down += nodeCost[w]
+		}
+		nodeCost[v] = a.Cost + a.Selectivity*down
+	}
+	costs := make([][]float64, g.N())
+	for i, p := range g.PEs {
+		costs[i] = make([]float64, len(p.Alternates))
+		down := 0.0
+		for _, w := range g.ActiveSuccessors(i, routing) {
+			down += nodeCost[w]
+		}
+		for j, a := range p.Alternates {
+			costs[i][j] = a.Cost + a.Selectivity*down
+		}
+	}
+	return costs, nil
+}
+
+// RouteCosts returns, for one choice group, the per-message cost of routing
+// into each target (the target's nodeCost: its own processing plus
+// everything downstream of it under the current selection and routing).
+func RouteCosts(g *Graph, sel Selection, routing Routing, group int) ([]float64, error) {
+	if group < 0 || group >= len(g.Choices) {
+		return nil, fmt.Errorf("dataflow: no choice group %d", group)
+	}
+	if err := sel.Validate(g); err != nil {
+		return nil, err
+	}
+	if err := routing.Validate(g); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	nodeCost := make([]float64, g.N())
+	for k := len(order) - 1; k >= 0; k-- {
+		v := order[k]
+		a := sel.Alt(g, v)
+		down := 0.0
+		for _, w := range g.ActiveSuccessors(v, routing) {
+			down += nodeCost[w]
+		}
+		nodeCost[v] = a.Cost + a.Selectivity*down
+	}
+	c := g.Choices[group]
+	out := make([]float64, len(c.Targets))
+	for i, t := range c.Targets {
+		out[i] = nodeCost[t]
+	}
+	return out, nil
+}
+
+// ChoiceIndex returns the index of the named group, or -1.
+func (g *Graph) ChoiceIndex(name string) int {
+	for i, c := range g.Choices {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,116 @@
+package dataflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// graphJSON is the canonical wire format for dynamic dataflows: PE and
+// edge lists by name, so files stay readable and order-independent.
+type graphJSON struct {
+	DefaultMsgBytes int          `json:"defaultMsgBytes,omitempty"`
+	PEs             []peJSON     `json:"pes"`
+	Edges           [][2]string  `json:"edges"`
+	Choices         []choiceJSON `json:"choices,omitempty"`
+}
+
+type peJSON struct {
+	Name       string    `json:"name"`
+	MsgBytes   int       `json:"msgBytes,omitempty"`
+	Alternates []altJSON `json:"alternates"`
+}
+
+type altJSON struct {
+	Name        string  `json:"name"`
+	Value       float64 `json:"value"`
+	Cost        float64 `json:"cost"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+type choiceJSON struct {
+	Name    string   `json:"name"`
+	From    string   `json:"from"`
+	Targets []string `json:"targets"`
+}
+
+// MarshalJSON implements json.Marshaler with the canonical schema.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	out := graphJSON{DefaultMsgBytes: g.DefaultMsgBytes}
+	for _, p := range g.PEs {
+		pj := peJSON{Name: p.Name, MsgBytes: p.OutMsgBytes}
+		for _, a := range p.Alternates {
+			pj.Alternates = append(pj.Alternates, altJSON{
+				Name: a.Name, Value: a.Value, Cost: a.Cost, Selectivity: a.Selectivity,
+			})
+		}
+		out.PEs = append(out.PEs, pj)
+	}
+	for _, e := range g.Edges {
+		out.Edges = append(out.Edges, [2]string{g.PEs[e.From].Name, g.PEs[e.To].Name})
+	}
+	for _, c := range g.Choices {
+		cj := choiceJSON{Name: c.Name, From: g.PEs[c.From].Name}
+		for _, t := range c.Targets {
+			cj.Targets = append(cj.Targets, g.PEs[t].Name)
+		}
+		out.Choices = append(out.Choices, cj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler and re-validates the graph.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var in graphJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("dataflow: json: %w", err)
+	}
+	b := NewBuilder()
+	if in.DefaultMsgBytes > 0 {
+		b.DefaultMsgBytes(in.DefaultMsgBytes)
+	}
+	for _, pj := range in.PEs {
+		alts := make([]Alternate, 0, len(pj.Alternates))
+		for _, a := range pj.Alternates {
+			alts = append(alts, Alternate{
+				Name: a.Name, Value: a.Value, Cost: a.Cost, Selectivity: a.Selectivity,
+			})
+		}
+		b.AddPE(pj.Name, alts...)
+		if pj.MsgBytes > 0 {
+			b.SetMsgBytes(pj.Name, pj.MsgBytes)
+		}
+	}
+	for _, e := range in.Edges {
+		b.Connect(e[0], e[1])
+	}
+	for _, c := range in.Choices {
+		// AddChoice would add missing edges; in the wire format edges are
+		// explicit, so plain declaration via builder is correct (it skips
+		// duplicates).
+		b.AddChoice(c.Name, c.From, c.Targets...)
+	}
+	built, err := b.Build()
+	if err != nil {
+		return err
+	}
+	*g = *built
+	return nil
+}
+
+// WriteJSON streams the graph with indentation (a file format, not an API
+// payload).
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// ReadJSON parses and validates a graph from r.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

@@ -1,0 +1,134 @@
+package dataflow
+
+import "fmt"
+
+// Fig1Graph builds the paper's abstract dataflow of Fig. 1: four PEs where
+// E1 (input) and E4 (output) each have a single alternate, and E2 and E3 have
+// two alternates each. E1's output port duplicates messages to both E2 and
+// E3 (and-split); E4 interleaves the task-parallel results (multi-merge).
+//
+//	E1 ──► E2 ──► E4
+//	 └───► E3 ───┘
+//
+// The alternate metrics are not given numerically in the paper; these values
+// follow its qualitative description — alternates trade relative value for
+// processing cost (e.g. a cheaper, lower-F1 classifier), with the deployment
+// heuristic picking e2 (the higher value/cost ratio) for both E2 and E3, as
+// in Fig. 1(b).
+func Fig1Graph() *Graph {
+	return NewBuilder().
+		AddPE("E1", Alt("e1", 1.0, 0.30, 1.0)).
+		AddPE("E2",
+			Alt("e1", 1.0, 1.20, 1.0),
+			Alt("e2", 0.9, 0.60, 1.0)).
+		AddPE("E3",
+			Alt("e1", 1.0, 1.50, 0.8),
+			Alt("e2", 0.8, 0.50, 0.8)).
+		AddPE("E4", Alt("e1", 1.0, 0.40, 1.0)).
+		Connect("E1", "E2").
+		Connect("E1", "E3").
+		Connect("E2", "E4").
+		Connect("E3", "E4").
+		MustBuild()
+}
+
+// EvalGraph builds the evaluation dataflow used throughout §8: the Fig. 1
+// topology "scaled up to 10's of alternates" — each interior PE carries a
+// ladder of alternates spanning a wide value/cost range so the alternate
+// selection stage has meaningful freedom. Selectivities keep downstream
+// rates comparable to the paper's description.
+func EvalGraph() *Graph {
+	ladder := func(baseCost float64, sel float64) []Alternate {
+		// Five alternates per interior PE: value decreases as cost
+		// decreases, so cheaper alternates lower Gamma but relieve
+		// resource pressure. Value falls off superlinearly at the cheap
+		// end, so the best value/cost ratio sits at a4 (~30% cheaper than
+		// the default) rather than the cheapest — keeping the dynamism
+		// cost savings in the ~15-25% band the paper reports, with a5
+		// left as the emergency relief valve under sustained pressure.
+		return []Alternate{
+			Alt("a1", 1.00, baseCost*1.00, sel),
+			Alt("a2", 0.96, baseCost*0.90, sel),
+			Alt("a3", 0.90, baseCost*0.80, sel),
+			Alt("a4", 0.80, baseCost*0.70, sel),
+			Alt("a5", 0.62, baseCost*0.60, sel),
+		}
+	}
+	b := NewBuilder().
+		AddPE("ingest", Alt("e1", 1.0, 0.25, 1.0)).
+		AddPE("analyze", ladder(1.4, 1.0)...).
+		AddPE("classify", ladder(1.8, 0.8)...).
+		AddPE("sink", Alt("e1", 1.0, 0.35, 1.0)).
+		Connect("ingest", "analyze").
+		Connect("ingest", "classify").
+		Connect("analyze", "sink").
+		Connect("classify", "sink")
+	return b.MustBuild()
+}
+
+// LayeredGraph builds a width x depth task-parallel pipeline: one ingest
+// PE fans out to `width` parallel columns of `depth` stages each, all
+// converging on one sink. Interior PEs carry `alts` alternates (ladders
+// like EvalGraph's). The evaluation scales this shape to "10's of
+// alternates and 100's of VMs" (§8.1); the scalability experiment uses it
+// to measure heuristic decision latency on large instances.
+func LayeredGraph(width, depth, alts int) *Graph {
+	if width < 1 {
+		width = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if alts < 1 {
+		alts = 1
+	}
+	b := NewBuilder().
+		AddPE("ingest", Alt("e1", 1.0, 0.2, 1.0)).
+		AddPE("sink", Alt("e1", 1.0, 0.3, 1.0))
+	ladder := make([]Alternate, alts)
+	for j := range ladder {
+		frac := float64(j) / float64(max(alts-1, 1))
+		ladder[j] = Alt(
+			fmt.Sprintf("a%d", j+1),
+			1.0-0.38*frac*frac, // value falls off superlinearly
+			1.2*(1.0-0.4*frac), // cost falls linearly
+			1.0,
+		)
+	}
+	for w := 0; w < width; w++ {
+		prev := "ingest"
+		for d := 0; d < depth; d++ {
+			name := fmt.Sprintf("s%d_%d", w, d)
+			b.AddPE(name, ladder...)
+			b.Connect(prev, name)
+			prev = name
+		}
+		b.Connect(prev, "sink")
+	}
+	return b.MustBuild()
+}
+
+// DiamondGraph returns a deeper six-PE diamond used by tests and examples to
+// exercise multi-stage propagation: in -> {f1,f2} -> join -> enrich -> out.
+func DiamondGraph() *Graph {
+	return NewBuilder().
+		AddPE("in", Alt("e1", 1.0, 0.2, 1.0)).
+		AddPE("f1",
+			Alt("full", 1.0, 1.0, 0.9),
+			Alt("lite", 0.8, 0.5, 0.9)).
+		AddPE("f2",
+			Alt("full", 1.0, 1.3, 0.7),
+			Alt("lite", 0.7, 0.4, 0.7)).
+		AddPE("join", Alt("e1", 1.0, 0.6, 1.0)).
+		AddPE("enrich",
+			Alt("deep", 1.0, 0.9, 1.0),
+			Alt("shallow", 0.85, 0.45, 1.0)).
+		AddPE("out", Alt("e1", 1.0, 0.3, 1.0)).
+		Connect("in", "f1").
+		Connect("in", "f2").
+		Connect("f1", "join").
+		Connect("f2", "join").
+		Connect("join", "enrich").
+		Connect("enrich", "out").
+		MustBuild()
+}

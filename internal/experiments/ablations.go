@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/core"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/metrics"
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/sim"
+)
+
+// AblationRow is one variant's outcome.
+type AblationRow struct {
+	Variant string
+	Summary metrics.Summary
+	Theta   float64
+	Meets   bool
+}
+
+// AblationResult compares design-choice variants of the global adaptive
+// heuristic on one scenario (20 msg/s, both variabilities). These are the
+// knobs DESIGN.md calls out: hour-boundary release window, scale-down
+// hysteresis, alternate-stage cadence, runtime consolidation, and
+// monitoring smoothing.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// RunAblations executes every variant.
+func RunAblations(c Config) (AblationResult, error) {
+	g := dataflow.EvalGraph()
+	hours := float64(c.HorizonSec) / 3600
+	obj, err := core.PaperSigma(g, 20, hours)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	base := core.Options{Strategy: core.Global, Dynamic: true, Adaptive: true, Objective: obj}
+
+	variants := []struct {
+		name  string
+		opts  func() core.Options
+		alpha float64
+	}{
+		{"baseline (paper defaults)", func() core.Options { return base }, 0},
+		{"release immediately (no boundary wait)", func() core.Options {
+			o := base
+			o.ReleaseWindowSec = cloud.SecondsPerHour // any idle VM goes at once
+			return o
+		}, 0},
+		{"no scale-down hysteresis", func() core.Options {
+			o := base
+			o.Hysteresis = 0.005
+			return o
+		}, 0},
+		{"wide hysteresis (0.35)", func() core.Options {
+			o := base
+			o.Hysteresis = 0.35
+			return o
+		}, 0},
+		{"alternate stage every interval", func() core.Options {
+			o := base
+			o.AlternatePeriod = 1
+			return o
+		}, 0},
+		{"alternate stage every 15 intervals", func() core.Options {
+			o := base
+			o.AlternatePeriod = 15
+			return o
+		}, 0},
+		{"no consolidation", func() core.Options {
+			o := base
+			o.NoConsolidate = true
+			return o
+		}, 0},
+		{"jumpy monitoring (alpha 0.95)", func() core.Options { return base }, 0.95},
+		{"sluggish monitoring (alpha 0.1)", func() core.Options { return base }, 0.1},
+	}
+
+	var out AblationResult
+	for _, vnt := range variants {
+		h, err := core.NewHeuristic(vnt.opts())
+		if err != nil {
+			return AblationResult{}, fmt.Errorf("ablation %q: %w", vnt.name, err)
+		}
+		prof, err := c.profile(BothVariability, 20)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		cfg := sim.Config{
+			Graph:        g,
+			Menu:         cloud.MustMenu(cloud.AWS2013Classes()),
+			Perf:         c.perf(BothVariability),
+			Inputs:       map[int]rates.Profile{g.Inputs()[0]: prof},
+			IntervalSec:  c.IntervalSec,
+			HorizonSec:   c.HorizonSec,
+			Seed:         c.Seed,
+			MonitorAlpha: vnt.alpha,
+		}
+		engine, err := sim.NewEngine(cfg)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		sum, err := engine.Run(h)
+		if err != nil {
+			return AblationResult{}, fmt.Errorf("ablation %q: %w", vnt.name, err)
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Variant: vnt.name,
+			Summary: sum,
+			Theta:   obj.Theta(sum.MeanGamma, sum.TotalCostUSD),
+			Meets:   obj.MeetsConstraint(sum.MeanOmega),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the ablation comparison.
+func (r AblationResult) Table() string {
+	var b strings.Builder
+	b.WriteString("Ablations — global adaptive heuristic, 20 msg/s, both variabilities\n")
+	b.WriteString(fmt.Sprintf("%-40s %-6s %-5s %-6s %-9s %s\n", "variant", "omega", "met", "gamma", "cost($)", "theta"))
+	for _, row := range r.Rows {
+		met := "yes"
+		if !row.Meets {
+			met = "NO"
+		}
+		fmt.Fprintf(&b, "%-40s %.3f  %-4s  %.3f  %8.2f  %+.4f\n",
+			row.Variant, row.Summary.MeanOmega, met, row.Summary.MeanGamma,
+			row.Summary.TotalCostUSD, row.Theta)
+	}
+	return b.String()
+}

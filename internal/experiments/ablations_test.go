@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationsShapes(t *testing.T) {
+	c := Quick()
+	c.HorizonSec = 4 * 3600
+	r, err := RunAblations(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, row := range r.Rows {
+		byName[row.Variant] = row
+	}
+	base := byName["baseline (paper defaults)"]
+	if !base.Meets {
+		t.Fatalf("baseline missed constraint: %.3f", base.Summary.MeanOmega)
+	}
+	// Boundary-aware release must not be costlier than releasing idle VMs
+	// immediately: early releases waste the already-paid hour remainder
+	// and re-acquisitions pay fresh hours.
+	immediate := byName["release immediately (no boundary wait)"]
+	if base.Summary.TotalCostUSD > immediate.Summary.TotalCostUSD+1e-9 {
+		t.Fatalf("boundary-aware release costlier: $%.2f vs $%.2f",
+			base.Summary.TotalCostUSD, immediate.Summary.TotalCostUSD)
+	}
+	// Wide hysteresis keeps more headroom: omega at least the baseline's.
+	wide := byName["wide hysteresis (0.35)"]
+	if wide.Summary.MeanOmega < base.Summary.MeanOmega-0.02 {
+		t.Fatalf("wide hysteresis lowered omega: %.3f vs %.3f",
+			wide.Summary.MeanOmega, base.Summary.MeanOmega)
+	}
+	if !strings.Contains(r.Table(), "Ablations") {
+		t.Fatal("table header missing")
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckClaimsAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation; skipped with -short")
+	}
+	c := Quick()
+	sc, err := CheckClaims(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Claims) != 12 {
+		t.Fatalf("claims = %d", len(sc.Claims))
+	}
+	for _, claim := range sc.Claims {
+		if !claim.Pass {
+			t.Errorf("claim %s failed: %s (%s)", claim.ID, claim.Statement, claim.Detail)
+		}
+	}
+	tbl := sc.Table()
+	if !strings.Contains(tbl, "Reproduction scorecard") {
+		t.Fatal("table header missing")
+	}
+	if sc.Passed() != len(sc.Claims) && !t.Failed() {
+		t.Fatal("Passed() inconsistent with per-claim results")
+	}
+}
+
+func TestMinMaxOf(t *testing.T) {
+	if minOf(nil) != 0 || maxOf(nil) != 0 {
+		t.Fatal("empty slices")
+	}
+	if minOf([]float64{3, 1, 2}) != 1 || maxOf([]float64{3, 1, 2}) != 3 {
+		t.Fatal("wrong extremes")
+	}
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV streams the run rows of a figure for external plotting:
+// one row per (policy, rate, scenario) with the summary columns.
+func writeRunRows(w io.Writer, rows []RunResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"policy", "rate", "scenario", "omega", "omega_min", "gamma", "cost_usd", "theta", "meets", "peak_vms"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range rows {
+		rec := []string{
+			r.Policy,
+			f(r.Rate),
+			r.Scenario.String(),
+			f(r.Summary.MeanOmega),
+			f(r.Summary.MinOmega),
+			f(r.Summary.MeanGamma),
+			f(r.Summary.TotalCostUSD),
+			f(r.Theta),
+			strconv.FormatBool(r.MeetsOmega),
+			strconv.Itoa(r.Summary.PeakVMs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits Fig. 4's rows.
+func (r Fig4Result) WriteCSV(w io.Writer) error { return writeRunRows(w, r.Rows) }
+
+// WriteCSV emits Fig. 5's rows.
+func (r Fig5Result) WriteCSV(w io.Writer) error { return writeRunRows(w, r.Rows) }
+
+// WriteCSV emits Figs. 6/7's rows.
+func (r FigAdaptiveResult) WriteCSV(w io.Writer) error { return writeRunRows(w, r.Rows) }
+
+// WriteCSV emits Fig. 8's rows.
+func (r Fig8Result) WriteCSV(w io.Writer) error { return writeRunRows(w, r.Rows) }
+
+// WriteCSV emits Fig. 9's derived savings series.
+func (r Fig9Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rate", "global_vs_nodyn_pct", "local_vs_nodyn_pct", "global_vs_local_nodyn_pct"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i, rate := range r.Rates {
+		rec := []string{f(rate), f(r.GlobalSavings[i]), f(r.LocalSavings[i]), f(r.GlobalVsLocalNoDyn[i])}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the scalability sweep.
+func (r ScalabilityResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pes", "alternates", "rate", "peak_vms", "omega", "adapt_mean_us", "adapt_max_us"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			strconv.Itoa(row.PEs),
+			strconv.Itoa(row.Alternates),
+			strconv.FormatFloat(row.Rate, 'g', -1, 64),
+			strconv.Itoa(row.PeakVMs),
+			strconv.FormatFloat(row.MeanOmega, 'g', -1, 64),
+			strconv.FormatInt(row.MeanAdapt.Microseconds(), 10),
+			strconv.FormatInt(row.MaxAdapt.Microseconds(), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the ablation comparison.
+func (r AblationResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"variant", "omega", "gamma", "cost_usd", "theta", "meets"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Variant,
+			f(row.Summary.MeanOmega),
+			f(row.Summary.MeanGamma),
+			f(row.Summary.TotalCostUSD),
+			f(row.Theta),
+			strconv.FormatBool(row.Meets),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the fault-tolerance comparison.
+func (r FaultToleranceResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"policy", "omega", "gamma", "cost_usd", "theta", "meets", "crashes", "lost_messages"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Policy,
+			f(row.Summary.MeanOmega),
+			f(row.Summary.MeanGamma),
+			f(row.Summary.TotalCostUSD),
+			f(row.Theta),
+			strconv.FormatBool(row.MeetsOmega),
+			strconv.Itoa(row.Crashes),
+			f(row.LostMessages),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Ensure the interface is satisfied uniformly.
+type csvWriter interface{ WriteCSV(io.Writer) error }
+
+var _ = []csvWriter{
+	Fig4Result{}, Fig5Result{}, FigAdaptiveResult{}, Fig8Result{},
+	Fig9Result{}, ScalabilityResult{}, AblationResult{}, FaultToleranceResult{},
+}
+
+// WriteAllCSVs runs the full evaluation and writes one CSV per figure via
+// open, which maps a short name ("fig4", "fig9", "scalability", ...) to a
+// writer. It lets cmd/dfbench dump a plot-ready directory.
+func WriteAllCSVs(c Config, open func(name string) (io.WriteCloser, error)) error {
+	emit := func(name string, r csvWriter) error {
+		w, err := open(name)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteCSV(w); err != nil {
+			_ = w.Close()
+			return fmt.Errorf("experiments: csv %s: %w", name, err)
+		}
+		return w.Close()
+	}
+	f4, err := RunFig4(c)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig4", f4); err != nil {
+		return err
+	}
+	f5, err := RunFig5(c)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig5", f5); err != nil {
+		return err
+	}
+	f6, err := RunFig6(c)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig6", f6); err != nil {
+		return err
+	}
+	f7, err := RunFig7(c)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig7", f7); err != nil {
+		return err
+	}
+	f8, err := RunFig8(c)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig8", f8); err != nil {
+		return err
+	}
+	f9, err := DeriveFig9(f8)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig9", f9); err != nil {
+		return err
+	}
+	ab, err := RunAblations(c)
+	if err != nil {
+		return err
+	}
+	if err := emit("ablations", ab); err != nil {
+		return err
+	}
+	ft, err := RunFaultTolerance(c, 20, 2)
+	if err != nil {
+		return err
+	}
+	return emit("fault_tolerance", ft)
+}

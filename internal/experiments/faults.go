@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/core"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/sim"
+)
+
+// FaultToleranceResult extends the evaluation along the paper's §9 future
+// work: VM crashes are injected (exponential lifetimes) and the policies'
+// ability to keep the throughput constraint is compared. The dynamic
+// policies may switch to cheaper alternates to restore throughput with
+// surviving capacity while replacements spin up.
+type FaultToleranceResult struct {
+	MTBFHours float64
+	Rows      []FaultRow
+}
+
+// FaultRow is one policy's outcome under failures.
+type FaultRow struct {
+	RunResult
+	Crashes      int
+	LostMessages float64
+}
+
+// RunFaultTolerance compares static and adaptive policies (with and
+// without dynamism) under VM crashes at the given data rate.
+func RunFaultTolerance(c Config, rate float64, mtbfHours float64) (FaultToleranceResult, error) {
+	if mtbfHours <= 0 {
+		return FaultToleranceResult{}, fmt.Errorf("experiments: mtbf %v <= 0", mtbfHours)
+	}
+	g := dataflow.EvalGraph()
+	hours := float64(c.HorizonSec) / 3600
+	obj, err := core.PaperSigma(g, rate, hours)
+	if err != nil {
+		return FaultToleranceResult{}, err
+	}
+	out := FaultToleranceResult{MTBFHours: mtbfHours}
+	for _, p := range []PolicyKind{GlobalStatic, GlobalAdaptiveNoDyn, GlobalAdaptive} {
+		sched, err := c.build(p, obj)
+		if err != nil {
+			return FaultToleranceResult{}, err
+		}
+		prof, err := rates.NewConstant(rate)
+		if err != nil {
+			return FaultToleranceResult{}, err
+		}
+		engine, err := sim.NewEngine(sim.Config{
+			Graph:       g,
+			Menu:        cloud.MustMenu(cloud.AWS2013Classes()),
+			Perf:        c.perf(NoVariability),
+			Inputs:      map[int]rates.Profile{g.Inputs()[0]: prof},
+			IntervalSec: c.IntervalSec,
+			HorizonSec:  c.HorizonSec,
+			Seed:        c.Seed,
+			Failures:    sim.ExponentialFailures{MTBFSec: int64(mtbfHours * 3600), Seed: c.Seed},
+		})
+		if err != nil {
+			return FaultToleranceResult{}, err
+		}
+		sum, err := engine.Run(sched)
+		if err != nil {
+			return FaultToleranceResult{}, err
+		}
+		out.Rows = append(out.Rows, FaultRow{
+			RunResult: RunResult{
+				Policy:       sched.Name(),
+				Rate:         rate,
+				Scenario:     NoVariability,
+				Summary:      sum,
+				Theta:        obj.Theta(sum.MeanGamma, sum.TotalCostUSD),
+				MeetsOmega:   obj.MeetsConstraint(sum.MeanOmega),
+				ObjSigma:     obj.Sigma,
+				HorizonHours: hours,
+			},
+			Crashes:      engine.Crashes(),
+			LostMessages: engine.LostMessages(),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the fault-tolerance comparison.
+func (r FaultToleranceResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault tolerance (§9 extension) — VM crashes with MTBF %.1f h\n", r.MTBFHours)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s crashes=%d lost=%.0f msgs\n", row.RunResult.String(), row.Crashes, row.LostMessages)
+	}
+	return b.String()
+}

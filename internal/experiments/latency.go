@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/core"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/metrics"
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/sim"
+)
+
+// LatencyRow is one latency-bound setting's outcome.
+type LatencyRow struct {
+	BoundSec    float64 // 0 = unconstrained
+	MeanLatency float64
+	P95Latency  float64
+	MeanOmega   float64
+	CostUSD     float64
+}
+
+// LatencyQoSResult sweeps the optional mean-latency bound (the extension of
+// §6's QoS dimensions beyond throughput) under a spiky workload that builds
+// backlogs a pure-throughput controller tolerates: tighter bounds force the
+// resource stage to size capacity for backlog drain, trading dollars for
+// tail latency.
+type LatencyQoSResult struct {
+	Rate float64
+	Rows []LatencyRow
+}
+
+// RunLatencyQoS executes the sweep at the given rate.
+func RunLatencyQoS(c Config, rate float64) (LatencyQoSResult, error) {
+	g := dataflow.EvalGraph()
+	hours := float64(c.HorizonSec) / 3600
+	out := LatencyQoSResult{Rate: rate}
+	for _, bound := range []float64{0, 120, 30, 10} {
+		obj, err := core.PaperSigma(g, rate, hours)
+		if err != nil {
+			return LatencyQoSResult{}, err
+		}
+		obj.LatencyHatSec = bound
+		h, err := core.NewHeuristic(core.Options{
+			Strategy: core.Global, Dynamic: true, Adaptive: true, Objective: obj,
+		})
+		if err != nil {
+			return LatencyQoSResult{}, err
+		}
+		base, err := rates.NewConstant(rate)
+		if err != nil {
+			return LatencyQoSResult{}, err
+		}
+		prof, err := rates.NewSpike(base, 3, 1800, 300)
+		if err != nil {
+			return LatencyQoSResult{}, err
+		}
+		engine, err := sim.NewEngine(sim.Config{
+			Graph:       g,
+			Menu:        cloud.MustMenu(cloud.AWS2013Classes()),
+			Perf:        c.perf(NoVariability),
+			Inputs:      map[int]rates.Profile{g.Inputs()[0]: prof},
+			IntervalSec: c.IntervalSec,
+			HorizonSec:  c.HorizonSec,
+			Seed:        c.Seed,
+		})
+		if err != nil {
+			return LatencyQoSResult{}, err
+		}
+		sum, err := engine.Run(h)
+		if err != nil {
+			return LatencyQoSResult{}, err
+		}
+		out.Rows = append(out.Rows, LatencyRow{
+			BoundSec:    bound,
+			MeanLatency: sum.MeanLatencySec,
+			P95Latency:  engine.Collector().Quantile(0.95, func(p metrics.Point) float64 { return p.LatencySec }),
+			MeanOmega:   sum.MeanOmega,
+			CostUSD:     sum.TotalCostUSD,
+		})
+	}
+	return out, nil
+}
+
+// Table renders the sweep.
+func (r LatencyQoSResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Latency QoS (extension) — mean-latency bound sweep at %.0f msg/s, 3x spikes every 30 min\n", r.Rate)
+	b.WriteString("bound(s)   mean-lat(s)   p95-lat(s)   omega   cost($)\n")
+	for _, row := range r.Rows {
+		bound := "none"
+		if row.BoundSec > 0 {
+			bound = fmt.Sprintf("%.0f", row.BoundSec)
+		}
+		fmt.Fprintf(&b, "%-8s   %11.1f   %10.1f   %.3f   %7.2f\n",
+			bound, row.MeanLatency, row.P95Latency, row.MeanOmega, row.CostUSD)
+	}
+	return b.String()
+}

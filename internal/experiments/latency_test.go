@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatencyQoSSweepShapes(t *testing.T) {
+	c := Quick()
+	c.HorizonSec = 4 * 3600
+	r, err := RunLatencyQoS(c, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	unbounded := r.Rows[0]
+	if unbounded.BoundSec != 0 {
+		t.Fatal("first row should be unconstrained")
+	}
+	// Tighter bounds monotonically reduce mean latency and raise cost.
+	for i := 1; i < len(r.Rows); i++ {
+		prev, cur := r.Rows[i-1], r.Rows[i]
+		if cur.MeanLatency > prev.MeanLatency+1 {
+			t.Fatalf("bound %v raised mean latency: %v -> %v",
+				cur.BoundSec, prev.MeanLatency, cur.MeanLatency)
+		}
+		if cur.CostUSD < prev.CostUSD-0.5 {
+			t.Fatalf("bound %v lowered cost: %v -> %v (no trade-off visible)",
+				cur.BoundSec, prev.CostUSD, cur.CostUSD)
+		}
+	}
+	// The tightest bound must cut the unconstrained latency drastically.
+	tightest := r.Rows[len(r.Rows)-1]
+	if tightest.MeanLatency > unbounded.MeanLatency/5 {
+		t.Fatalf("tightest bound barely helped: %v vs %v",
+			tightest.MeanLatency, unbounded.MeanLatency)
+	}
+	if !strings.Contains(r.Table(), "Latency QoS") {
+		t.Fatal("table header missing")
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScalabilityShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large fleets; skipped with -short")
+	}
+	c := Quick()
+	r, err := RunScalability(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The sweep must actually reach the paper's "100's of VMs".
+	peak := 0
+	for _, row := range r.Rows {
+		if row.PeakVMs > peak {
+			peak = row.PeakVMs
+		}
+		// Constraint held at every size.
+		if row.MeanOmega < 0.65 {
+			t.Fatalf("%d PEs: omega %.3f", row.PEs, row.MeanOmega)
+		}
+		if row.MeanAdapt <= 0 {
+			t.Fatalf("%d PEs: no adapt timing recorded", row.PEs)
+		}
+	}
+	if peak < 100 {
+		t.Fatalf("peak fleet %d VMs — sweep never reached 100s of VMs", peak)
+	}
+	// "Near real time": mean decision latency stays far below the 60 s
+	// adaptation interval even on the largest instance.
+	last := r.Rows[len(r.Rows)-1]
+	if last.MeanAdapt > 5*time.Second {
+		t.Fatalf("mean adapt %v on %d VMs — not near-real-time", last.MeanAdapt, last.PeakVMs)
+	}
+	if !strings.Contains(r.Table(), "Scalability") {
+		t.Fatal("table header missing")
+	}
+}

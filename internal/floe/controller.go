@@ -1,0 +1,208 @@
+package floe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Controller is a feedback controller that drives a running Runtime the way
+// the paper's runtime heuristics drive the simulated cloud (§5's two
+// control knobs, live): it watches each PE's queue depth and consumption
+// rate, widens or shrinks data-parallel worker pools, and — when a pool is
+// saturated at its bound — exercises application dynamism by switching to
+// a cheaper alternate, upgrading back once pressure subsides.
+type Controller struct {
+	rt  *Runtime
+	cfg ControllerConfig
+
+	lastIn   []uint64
+	calmFor  []int
+	byCost   [][]int // per PE: alternate indices sorted by ascending cost
+	decision chan Decision
+}
+
+// ControllerConfig tunes the control loop.
+type ControllerConfig struct {
+	// Interval is the control period (default 100 ms).
+	Interval time.Duration
+	// MaxWorkersPerPE bounds pool growth (default 8).
+	MaxWorkersPerPE int
+	// HighWatermark is the queue depth (messages) that triggers scale-up
+	// (default: a quarter of the runtime's queue length).
+	HighWatermark int
+	// CalmIntervals is how many consecutive relaxed intervals precede a
+	// scale-down or an alternate upgrade (default 5).
+	CalmIntervals int
+	// Dynamic enables alternate switching (default resource-only).
+	Dynamic bool
+}
+
+// Decision describes one control action, published for observability.
+type Decision struct {
+	PE     int
+	Action string // "scale-up" | "scale-down" | "downgrade" | "upgrade"
+	Detail string
+}
+
+// NewController validates the configuration against the runtime.
+func NewController(rt *Runtime, cfg ControllerConfig) (*Controller, error) {
+	if rt == nil {
+		return nil, errors.New("floe: controller needs a runtime")
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	if cfg.Interval < time.Millisecond {
+		return nil, fmt.Errorf("floe: control interval %v too small", cfg.Interval)
+	}
+	if cfg.MaxWorkersPerPE == 0 {
+		cfg.MaxWorkersPerPE = 8
+	}
+	if cfg.MaxWorkersPerPE < 1 {
+		return nil, fmt.Errorf("floe: max workers %d < 1", cfg.MaxWorkersPerPE)
+	}
+	if cfg.HighWatermark == 0 {
+		cfg.HighWatermark = rt.queueLen / 4
+		if cfg.HighWatermark < 1 {
+			cfg.HighWatermark = 1
+		}
+	}
+	if cfg.CalmIntervals == 0 {
+		cfg.CalmIntervals = 5
+	}
+	n := rt.g.N()
+	c := &Controller{
+		rt:       rt,
+		cfg:      cfg,
+		lastIn:   make([]uint64, n),
+		calmFor:  make([]int, n),
+		byCost:   make([][]int, n),
+		decision: make(chan Decision, 256),
+	}
+	for pe, p := range rt.g.PEs {
+		idx := make([]int, len(p.Alternates))
+		for i := range idx {
+			idx[i] = i
+		}
+		alts := p.Alternates
+		sort.SliceStable(idx, func(a, b int) bool { return alts[idx[a]].Cost < alts[idx[b]].Cost })
+		c.byCost[pe] = idx
+	}
+	return c, nil
+}
+
+// Decisions exposes the action stream (non-blocking producer: actions are
+// dropped when the buffer is full).
+func (c *Controller) Decisions() <-chan Decision { return c.decision }
+
+// Run loops until the context is done. Call it on its own goroutine.
+func (c *Controller) Run(ctx context.Context) error {
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if err := c.tick(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// tick runs one control round.
+func (c *Controller) tick() error {
+	g := c.rt.g
+	for pe := 0; pe < g.N(); pe++ {
+		st, err := c.rt.Stats(pe)
+		if err != nil {
+			return err
+		}
+		consumed := st.In - c.lastIn[pe]
+		c.lastIn[pe] = st.In
+
+		pressured := st.Queue >= c.cfg.HighWatermark
+		if pressured {
+			c.calmFor[pe] = 0
+			if st.Workers < c.cfg.MaxWorkersPerPE {
+				if err := c.rt.SetParallelism(pe, st.Workers+1); err != nil {
+					return err
+				}
+				c.emit(Decision{PE: pe, Action: "scale-up",
+					Detail: fmt.Sprintf("queue %d, workers %d->%d", st.Queue, st.Workers, st.Workers+1)})
+				continue
+			}
+			// Saturated at the bound: application dynamism is the
+			// remaining control.
+			if c.cfg.Dynamic {
+				if next, ok := c.cheaperAlternate(pe, st.Alternate); ok {
+					if err := c.rt.SwitchAlternate(pe, next); err != nil {
+						return err
+					}
+					c.emit(Decision{PE: pe, Action: "downgrade",
+						Detail: fmt.Sprintf("alternate %d->%d at %d workers", st.Alternate, next, st.Workers)})
+				}
+			}
+			continue
+		}
+
+		// Relaxed: count calm intervals, then shed capacity / buy back
+		// value, one step per calm streak.
+		c.calmFor[pe]++
+		if c.calmFor[pe] < c.cfg.CalmIntervals {
+			continue
+		}
+		c.calmFor[pe] = 0
+		if c.cfg.Dynamic {
+			if prev, ok := c.richerAlternate(pe, st.Alternate); ok {
+				if err := c.rt.SwitchAlternate(pe, prev); err != nil {
+					return err
+				}
+				c.emit(Decision{PE: pe, Action: "upgrade",
+					Detail: fmt.Sprintf("alternate %d->%d", st.Alternate, prev)})
+				continue
+			}
+		}
+		if st.Workers > 1 && consumed == 0 && st.Queue == 0 {
+			if err := c.rt.SetParallelism(pe, st.Workers-1); err != nil {
+				return err
+			}
+			c.emit(Decision{PE: pe, Action: "scale-down",
+				Detail: fmt.Sprintf("idle, workers %d->%d", st.Workers, st.Workers-1)})
+		}
+	}
+	return nil
+}
+
+// cheaperAlternate returns the next cheaper alternate than current, if any.
+func (c *Controller) cheaperAlternate(pe, current int) (int, bool) {
+	order := c.byCost[pe]
+	for i, alt := range order {
+		if alt == current && i > 0 {
+			return order[i-1], true
+		}
+	}
+	return 0, false
+}
+
+// richerAlternate returns the next costlier (higher-value) alternate.
+func (c *Controller) richerAlternate(pe, current int) (int, bool) {
+	order := c.byCost[pe]
+	for i, alt := range order {
+		if alt == current && i+1 < len(order) {
+			return order[i+1], true
+		}
+	}
+	return 0, false
+}
+
+func (c *Controller) emit(d Decision) {
+	select {
+	case c.decision <- d:
+	default:
+	}
+}

@@ -1,0 +1,193 @@
+package floe
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dynamicdf/internal/dataflow"
+)
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(nil, ControllerConfig{}); err == nil {
+		t.Fatal("nil runtime accepted")
+	}
+	g := chain2()
+	rt := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+		1: {{Name: "only", New: passthrough}},
+	}})
+	if _, err := NewController(rt, ControllerConfig{Interval: time.Nanosecond}); err == nil {
+		t.Fatal("tiny interval accepted")
+	}
+	if _, err := NewController(rt, ControllerConfig{MaxWorkersPerPE: -1}); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	c, err := NewController(rt, ControllerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.MaxWorkersPerPE != 8 || c.cfg.CalmIntervals != 5 {
+		t.Fatalf("defaults = %+v", c.cfg)
+	}
+}
+
+func TestControllerScalesUpUnderPressure(t *testing.T) {
+	g := chain2()
+	slow := func() Operator {
+		return OperatorFunc(func(p any) ([]any, error) {
+			time.Sleep(2 * time.Millisecond)
+			return []any{p}, nil
+		})
+	}
+	rt := mustRuntime(t, Config{Graph: g, QueueLen: 64, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+		1: {{Name: "only", New: slow}},
+	}})
+	out, _ := rt.Subscribe(1)
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	ctrl, err := NewController(rt, ControllerConfig{
+		Interval:        5 * time.Millisecond,
+		MaxWorkersPerPE: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = ctrl.Run(ctx) }()
+
+	const n = 600
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = rt.Ingest(0, i)
+		}
+	}()
+	received := 0
+	deadline := time.After(30 * time.Second)
+	for received < n {
+		select {
+		case <-out:
+			received++
+		case <-deadline:
+			t.Fatalf("only %d/%d received", received, n)
+		}
+	}
+	st, _ := rt.Stats(1)
+	if st.Workers < 2 {
+		t.Fatalf("controller never scaled up: workers = %d", st.Workers)
+	}
+	// A scale-up decision must have been published.
+	sawScaleUp := false
+	for {
+		select {
+		case d := <-ctrl.Decisions():
+			if d.Action == "scale-up" {
+				sawScaleUp = true
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if !sawScaleUp {
+		t.Fatal("no scale-up decision observed")
+	}
+}
+
+func TestControllerDowngradesWhenSaturated(t *testing.T) {
+	g := dataflow.NewBuilder().
+		AddPE("src", dataflow.Alt("only", 1, 0.1, 1)).
+		AddPE("work",
+			dataflow.Alt("precise", 1.0, 1.0, 1),
+			dataflow.Alt("fast", 0.7, 0.2, 1)).
+		Chain("src", "work").
+		MustBuild()
+	slowPrecise := func() Operator {
+		return OperatorFunc(func(p any) ([]any, error) {
+			time.Sleep(5 * time.Millisecond)
+			return []any{p}, nil
+		})
+	}
+	rt := mustRuntime(t, Config{Graph: g, QueueLen: 32, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+		1: {{Name: "precise", New: slowPrecise}, {Name: "fast", New: passthrough}},
+	}})
+	out, _ := rt.Subscribe(1)
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	// Cap workers at 1: the only relief is the cheap alternate.
+	ctrl, err := NewController(rt, ControllerConfig{
+		Interval:        5 * time.Millisecond,
+		MaxWorkersPerPE: 1,
+		Dynamic:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = ctrl.Run(ctx) }()
+
+	const n = 400
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = rt.Ingest(0, i)
+		}
+	}()
+	received := 0
+	deadline := time.After(30 * time.Second)
+	for received < n {
+		select {
+		case <-out:
+			received++
+		case <-deadline:
+			t.Fatalf("only %d/%d received", received, n)
+		}
+	}
+	st, _ := rt.Stats(1)
+	if st.Alternate != 1 {
+		t.Fatalf("controller never downgraded: alternate = %d", st.Alternate)
+	}
+}
+
+func TestCheaperRicherAlternateOrdering(t *testing.T) {
+	g := dataflow.NewBuilder().
+		AddPE("src", dataflow.Alt("only", 1, 0.1, 1)).
+		AddPE("work",
+			dataflow.Alt("mid", 0.9, 0.5, 1),
+			dataflow.Alt("cheap", 0.7, 0.2, 1),
+			dataflow.Alt("rich", 1.0, 1.0, 1)).
+		Chain("src", "work").
+		MustBuild()
+	rt := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+		1: {
+			{Name: "mid", New: passthrough},
+			{Name: "cheap", New: passthrough},
+			{Name: "rich", New: passthrough},
+		},
+	}})
+	c, err := NewController(rt, ControllerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost order: cheap(1, 0.2) < mid(0, 0.5) < rich(2, 1.0).
+	if next, ok := c.cheaperAlternate(1, 0); !ok || next != 1 {
+		t.Fatalf("cheaper(mid) = %d %v", next, ok)
+	}
+	if _, ok := c.cheaperAlternate(1, 1); ok {
+		t.Fatal("cheap has no cheaper alternate")
+	}
+	if next, ok := c.richerAlternate(1, 0); !ok || next != 2 {
+		t.Fatalf("richer(mid) = %d %v", next, ok)
+	}
+	if _, ok := c.richerAlternate(1, 2); ok {
+		t.Fatal("rich has no richer alternate")
+	}
+}

@@ -1,0 +1,458 @@
+// Package floe is an in-process continuous-dataflow execution runtime —
+// the role the FTOC/Floe framework plays in the paper (§5): long-running
+// PEs consume messages from their input ports, process them on a pool of
+// data-parallel workers, and emit results onto outgoing edges with
+// and-split/multi-merge semantics. Alternates can be hot-swapped and worker
+// pools resized while messages flow, because PEs are stateless across
+// messages (or keep state only within one worker), exactly the execution
+// contract §5 assumes so that the scheduling heuristics can act freely.
+//
+// The runtime shares the dataflow.Graph model with the simulator: the same
+// graph description can be simulated for planning and then executed for
+// real. Simulation answers "what should run where"; floe runs it.
+package floe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	gort "runtime"
+	"sync"
+	"sync/atomic"
+
+	"dynamicdf/internal/dataflow"
+)
+
+// yield lets other goroutines run while Drain polls for quiescence.
+func yield() { gort.Gosched() }
+
+// safeOnMessage isolates operator panics: a panicking user operator fails
+// only its message (counted as an error), never the worker or the runtime —
+// the containment a long-running dataflow framework must guarantee.
+func safeOnMessage(op Operator, payload any) (outs []any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			outs = nil
+			err = fmt.Errorf("floe: operator panicked: %v", r)
+		}
+	}()
+	return op.OnMessage(payload)
+}
+
+// Message is one data item flowing through the runtime.
+type Message struct {
+	// Payload is the user data.
+	Payload any
+	// SeqNo is assigned at ingest and preserved through the flow for
+	// tracing; operators emitting multiple outputs share the input's SeqNo.
+	SeqNo uint64
+}
+
+// Operator is one alternate's implementation: it consumes a message and
+// returns zero or more outputs. Implementations must be safe for
+// concurrent use by multiple workers OR be created per worker via Factory.
+type Operator interface {
+	// OnMessage processes one message payload and returns output payloads.
+	OnMessage(payload any) ([]any, error)
+}
+
+// OperatorFunc adapts a function to the Operator interface.
+type OperatorFunc func(payload any) ([]any, error)
+
+// OnMessage implements Operator.
+func (f OperatorFunc) OnMessage(payload any) ([]any, error) { return f(payload) }
+
+// Factory creates a fresh Operator instance for one worker. Workers never
+// share instances, so operators may keep per-worker state.
+type Factory func() Operator
+
+// Impl binds an alternate name (matching the graph's Alternate.Name) to its
+// executable implementation.
+type Impl struct {
+	Name string
+	New  Factory
+}
+
+// Config assembles a runtime.
+type Config struct {
+	// Graph is the dataflow to execute; every PE's alternates must have a
+	// matching Impl.
+	Graph *dataflow.Graph
+	// Impls maps PE index -> implementations of its alternates.
+	Impls map[int][]Impl
+	// QueueLen is each PE's input buffer capacity (default 1024). Senders
+	// block when the buffer is full — natural backpressure.
+	QueueLen int
+}
+
+// PEStats is a snapshot of one PE's counters.
+type PEStats struct {
+	In        uint64 // messages consumed
+	Out       uint64 // messages emitted
+	Errors    uint64 // operator errors (message dropped)
+	Queue     int    // messages waiting in the input buffer
+	Workers   int    // current worker-pool size
+	Alternate int    // active alternate index
+}
+
+// Runtime executes a dataflow.
+type Runtime struct {
+	g        *dataflow.Graph
+	impls    [][]Factory
+	queueLen int
+
+	in   []chan Message // per-PE input buffer
+	pes  []*peState
+	subs []chan Message // per-output-PE subscriber fan-in
+
+	seq     atomic.Uint64
+	started atomic.Bool
+	stopped atomic.Bool
+	wg      sync.WaitGroup // all worker goroutines
+	ctx     context.Context
+	cancel  context.CancelFunc
+	topo    []int // PE scan order for quiescence detection
+
+	// routing[group] holds the active target index of each choice group
+	// (dynamic paths); atomic so SelectRoute is safe mid-flow.
+	routing []atomic.Int64
+}
+
+// peState holds one PE's runtime control block.
+type peState struct {
+	mu        sync.Mutex
+	workers   []chan struct{} // per-worker quit channels
+	alternate atomic.Int64
+	gen       atomic.Int64 // bumped on alternate switch
+
+	in, out, errs atomic.Uint64
+	// done counts consumed messages whose processing fully finished
+	// (including delivery); in == done means the PE is quiescent.
+	done atomic.Uint64
+}
+
+// New validates the configuration and builds a runtime (not yet started).
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("floe: config needs a graph")
+	}
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 1024
+	}
+	if cfg.QueueLen < 1 {
+		return nil, fmt.Errorf("floe: queue length %d < 1", cfg.QueueLen)
+	}
+	g := cfg.Graph
+	impls := make([][]Factory, g.N())
+	for pe, p := range g.PEs {
+		given := cfg.Impls[pe]
+		byName := make(map[string]Factory, len(given))
+		for _, im := range given {
+			if im.New == nil {
+				return nil, fmt.Errorf("floe: PE %q impl %q has nil factory", p.Name, im.Name)
+			}
+			if _, dup := byName[im.Name]; dup {
+				return nil, fmt.Errorf("floe: PE %q: duplicate impl %q", p.Name, im.Name)
+			}
+			byName[im.Name] = im.New
+		}
+		impls[pe] = make([]Factory, len(p.Alternates))
+		for j, a := range p.Alternates {
+			f, ok := byName[a.Name]
+			if !ok {
+				return nil, fmt.Errorf("floe: PE %q: no implementation for alternate %q", p.Name, a.Name)
+			}
+			impls[pe][j] = f
+		}
+		if len(byName) != len(p.Alternates) {
+			return nil, fmt.Errorf("floe: PE %q: %d impls for %d alternates", p.Name, len(byName), len(p.Alternates))
+		}
+	}
+	r := &Runtime{
+		g:        g,
+		impls:    impls,
+		queueLen: cfg.QueueLen,
+		in:       make([]chan Message, g.N()),
+		pes:      make([]*peState, g.N()),
+		subs:     make([]chan Message, g.N()),
+	}
+	for i := 0; i < g.N(); i++ {
+		r.in[i] = make(chan Message, cfg.QueueLen)
+		r.pes[i] = &peState{}
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	r.topo = topo
+	r.routing = make([]atomic.Int64, len(g.Choices))
+	return r, nil
+}
+
+// SelectRoute activates target index target of choice group group — the
+// runtime counterpart of the simulator's dynamic-paths control. In-flight
+// messages already delivered to the previous route finish there; new
+// output follows the new route.
+func (r *Runtime) SelectRoute(group, target int) error {
+	if group < 0 || group >= len(r.g.Choices) {
+		return fmt.Errorf("floe: unknown choice group %d", group)
+	}
+	if target < 0 || target >= len(r.g.Choices[group].Targets) {
+		return fmt.Errorf("floe: choice group %q has no target %d", r.g.Choices[group].Name, target)
+	}
+	r.routing[group].Store(int64(target))
+	return nil
+}
+
+// activeSuccessors resolves pe's delivery targets under the current
+// routing: plain successors keep and-split duplication; choice groups
+// contribute only their active target.
+func (r *Runtime) activeSuccessors(pe int) []int {
+	succ := r.g.Successors(pe)
+	if len(r.g.Choices) == 0 {
+		return succ
+	}
+	inactive := map[int]bool{}
+	hasGroup := false
+	for gi := range r.g.Choices {
+		c := &r.g.Choices[gi]
+		if c.From != pe {
+			continue
+		}
+		hasGroup = true
+		active := int(r.routing[gi].Load())
+		for ti, t := range c.Targets {
+			if ti != active {
+				inactive[t] = true
+			}
+		}
+	}
+	if !hasGroup {
+		return succ
+	}
+	out := make([]int, 0, len(succ))
+	for _, s := range succ {
+		if !inactive[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Start launches one worker per PE and begins processing. The context
+// cancels the whole runtime.
+func (r *Runtime) Start(ctx context.Context) error {
+	if !r.started.CompareAndSwap(false, true) {
+		return errors.New("floe: already started")
+	}
+	r.ctx, r.cancel = context.WithCancel(ctx)
+	for pe := 0; pe < r.g.N(); pe++ {
+		if err := r.SetParallelism(pe, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ingest feeds an external message into an input PE. It blocks when the
+// PE's buffer is full (backpressure) and fails once the runtime stopped.
+func (r *Runtime) Ingest(pe int, payload any) error {
+	if !r.started.Load() || r.stopped.Load() {
+		return errors.New("floe: runtime not running")
+	}
+	if pe < 0 || pe >= r.g.N() || len(r.g.Predecessors(pe)) != 0 {
+		return fmt.Errorf("floe: PE %d is not an input PE", pe)
+	}
+	msg := Message{Payload: payload, SeqNo: r.seq.Add(1)}
+	select {
+	case r.in[pe] <- msg:
+		return nil
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	}
+}
+
+// Subscribe returns the channel carrying an output PE's emissions. It must
+// be called before Start (workers read the subscriber table without
+// locks). The channel closes when the runtime stops.
+func (r *Runtime) Subscribe(pe int) (<-chan Message, error) {
+	if r.started.Load() {
+		return nil, errors.New("floe: Subscribe must precede Start")
+	}
+	if pe < 0 || pe >= r.g.N() || len(r.g.Successors(pe)) != 0 {
+		return nil, fmt.Errorf("floe: PE %d is not an output PE", pe)
+	}
+	if r.subs[pe] == nil {
+		r.subs[pe] = make(chan Message, r.queueLen)
+	}
+	return r.subs[pe], nil
+}
+
+// SetParallelism resizes a PE's worker pool to n data-parallel workers —
+// the runtime counterpart of assigning CPU cores to a PE.
+func (r *Runtime) SetParallelism(pe, n int) error {
+	if pe < 0 || pe >= r.g.N() {
+		return fmt.Errorf("floe: unknown PE %d", pe)
+	}
+	if n < 1 {
+		return fmt.Errorf("floe: parallelism %d < 1", n)
+	}
+	if !r.started.Load() {
+		return errors.New("floe: not started")
+	}
+	if r.stopped.Load() {
+		return errors.New("floe: stopped")
+	}
+	st := r.pes[pe]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for len(st.workers) < n {
+		quit := make(chan struct{})
+		st.workers = append(st.workers, quit)
+		r.wg.Add(1)
+		go r.worker(pe, quit)
+	}
+	for len(st.workers) > n {
+		last := st.workers[len(st.workers)-1]
+		st.workers = st.workers[:len(st.workers)-1]
+		close(last)
+	}
+	return nil
+}
+
+// SwitchAlternate hot-swaps the PE's active implementation. In-flight
+// messages finish on the old implementation; workers pick up the new one
+// on their next message (PEs are stateless across messages, §5).
+func (r *Runtime) SwitchAlternate(pe, alt int) error {
+	if pe < 0 || pe >= r.g.N() {
+		return fmt.Errorf("floe: unknown PE %d", pe)
+	}
+	if alt < 0 || alt >= len(r.impls[pe]) {
+		return fmt.Errorf("floe: PE %q has no alternate %d", r.g.PEs[pe].Name, alt)
+	}
+	st := r.pes[pe]
+	st.alternate.Store(int64(alt))
+	st.gen.Add(1)
+	return nil
+}
+
+// Stats snapshots a PE's counters.
+func (r *Runtime) Stats(pe int) (PEStats, error) {
+	if pe < 0 || pe >= r.g.N() {
+		return PEStats{}, fmt.Errorf("floe: unknown PE %d", pe)
+	}
+	st := r.pes[pe]
+	st.mu.Lock()
+	workers := len(st.workers)
+	st.mu.Unlock()
+	return PEStats{
+		In:        st.in.Load(),
+		Out:       st.out.Load(),
+		Errors:    st.errs.Load(),
+		Queue:     len(r.in[pe]),
+		Workers:   workers,
+		Alternate: int(st.alternate.Load()),
+	}, nil
+}
+
+// Drain waits until every PE input buffer is empty and all in-flight
+// messages have been processed, then returns. It does not stop the
+// runtime. Callers must stop ingesting first or Drain may never return;
+// the context bounds the wait.
+func (r *Runtime) Drain(ctx context.Context) error {
+	for {
+		// Two consecutive idle passes guard against scan races.
+		if r.idle() && r.idle() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-r.ctx.Done():
+			return r.ctx.Err()
+		default:
+		}
+		yield()
+	}
+}
+
+// idle reports whether all buffers are empty and no worker is processing.
+// The scan walks PEs in topological order: in a DAG, in-flight work only
+// moves forward, so work missed at an earlier position is still visible
+// when its (later-ordered) holder is scanned.
+func (r *Runtime) idle() bool {
+	for _, pe := range r.topo {
+		if len(r.in[pe]) > 0 {
+			return false
+		}
+		if r.pes[pe].in.Load() != r.pes[pe].done.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// Stop cancels all workers, waits for them, and closes subscriber
+// channels. The runtime cannot be restarted.
+func (r *Runtime) Stop() {
+	if !r.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	r.cancel()
+	r.wg.Wait()
+	for _, ch := range r.subs {
+		if ch != nil {
+			close(ch)
+		}
+	}
+}
+
+// worker is one data-parallel execution loop for a PE.
+func (r *Runtime) worker(pe int, quit chan struct{}) {
+	defer r.wg.Done()
+	st := r.pes[pe]
+	var op Operator
+	opGen := int64(-1)
+	for {
+		select {
+		case <-quit:
+			return
+		case <-r.ctx.Done():
+			return
+		case msg := <-r.in[pe]:
+			st.in.Add(1)
+			if gen := st.gen.Load(); gen != opGen || op == nil {
+				alt := int(st.alternate.Load())
+				op = r.impls[pe][alt]()
+				opGen = gen
+			}
+			outs, err := safeOnMessage(op, msg.Payload)
+			if err != nil {
+				st.errs.Add(1)
+				st.done.Add(1)
+				continue
+			}
+			for _, out := range outs {
+				o := Message{Payload: out, SeqNo: msg.SeqNo}
+				for _, succ := range r.activeSuccessors(pe) {
+					// And-split: duplicate onto every outgoing edge
+					// (choice groups route to their active target only).
+					select {
+					case r.in[succ] <- o:
+					case <-r.ctx.Done():
+						return
+					}
+				}
+				if sub := r.subs[pe]; sub != nil && len(r.g.Successors(pe)) == 0 {
+					select {
+					case sub <- o:
+					case <-r.ctx.Done():
+						return
+					}
+				}
+			}
+			st.out.Add(uint64(len(outs)))
+			st.done.Add(1)
+		}
+	}
+}

@@ -1,0 +1,515 @@
+package floe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dynamicdf/internal/dataflow"
+)
+
+// passthrough emits its input unchanged.
+func passthrough() Operator {
+	return OperatorFunc(func(p any) ([]any, error) { return []any{p}, nil })
+}
+
+// doubler emits the input twice (selectivity 2).
+func doubler() Operator {
+	return OperatorFunc(func(p any) ([]any, error) { return []any{p, p}, nil })
+}
+
+// dropper consumes everything (selectivity 0).
+func dropper() Operator {
+	return OperatorFunc(func(any) ([]any, error) { return nil, nil })
+}
+
+// failing returns an error for every message.
+func failing() Operator {
+	return OperatorFunc(func(any) ([]any, error) { return nil, errors.New("boom") })
+}
+
+// tagger appends a tag to string payloads, identifying which alternate ran.
+func tagger(tag string) Factory {
+	return func() Operator {
+		return OperatorFunc(func(p any) ([]any, error) {
+			return []any{fmt.Sprintf("%v:%s", p, tag)}, nil
+		})
+	}
+}
+
+func chain2() *dataflow.Graph {
+	return dataflow.NewBuilder().
+		AddPE("src", dataflow.Alt("only", 1, 0.1, 1)).
+		AddPE("sink", dataflow.Alt("only", 1, 0.1, 1)).
+		Chain("src", "sink").
+		MustBuild()
+}
+
+func mustRuntime(t *testing.T, cfg Config) *Runtime {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	g := chain2()
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := New(Config{Graph: g, QueueLen: -1}); err == nil {
+		t.Fatal("negative queue accepted")
+	}
+	// Missing impl.
+	if _, err := New(Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+	}}); err == nil {
+		t.Fatal("missing impl accepted")
+	}
+	// Wrong name.
+	if _, err := New(Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "ghost", New: passthrough}},
+		1: {{Name: "only", New: passthrough}},
+	}}); err == nil {
+		t.Fatal("misnamed impl accepted")
+	}
+	// Nil factory.
+	if _, err := New(Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: nil}},
+		1: {{Name: "only", New: passthrough}},
+	}}); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	// Duplicate impl name.
+	if _, err := New(Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}, {Name: "only", New: passthrough}},
+		1: {{Name: "only", New: passthrough}},
+	}}); err == nil {
+		t.Fatal("duplicate impl accepted")
+	}
+}
+
+func TestEndToEndFlow(t *testing.T) {
+	g := chain2()
+	r := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+		1: {{Name: "only", New: passthrough}},
+	}})
+	out, err := r.Subscribe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = r.Ingest(0, i)
+		}
+	}()
+	got := map[int]bool{}
+	for i := 0; i < n; i++ {
+		select {
+		case m := <-out:
+			got[m.Payload.(int)] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timeout after %d messages", i)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("received %d distinct payloads", len(got))
+	}
+	st, _ := r.Stats(1)
+	if st.In != n || st.Out != n {
+		t.Fatalf("sink stats = %+v", st)
+	}
+}
+
+func TestAndSplitDuplication(t *testing.T) {
+	// src fans out to a and b, both feed sink: every ingested message
+	// reaches the sink twice (multi-merge of the duplicated and-split).
+	g := dataflow.NewBuilder().
+		AddPE("src", dataflow.Alt("only", 1, 0.1, 1)).
+		AddPE("a", dataflow.Alt("only", 1, 0.1, 1)).
+		AddPE("b", dataflow.Alt("only", 1, 0.1, 1)).
+		AddPE("sink", dataflow.Alt("only", 1, 0.1, 1)).
+		Connect("src", "a").
+		Connect("src", "b").
+		Connect("a", "sink").
+		Connect("b", "sink").
+		MustBuild()
+	impls := map[int][]Impl{}
+	for pe := 0; pe < 4; pe++ {
+		impls[pe] = []Impl{{Name: "only", New: passthrough}}
+	}
+	r := mustRuntime(t, Config{Graph: g, Impls: impls})
+	out, _ := r.Subscribe(3)
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := r.Ingest(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[int]int{}
+	for i := 0; i < 2*n; i++ {
+		select {
+		case m := <-out:
+			counts[m.Payload.(int)]++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timeout at %d", i)
+		}
+	}
+	for k, c := range counts {
+		if c != 2 {
+			t.Fatalf("payload %d seen %d times, want 2", k, c)
+		}
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	g := chain2()
+	r := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: doubler}},
+		1: {{Name: "only", New: passthrough}},
+	}})
+	out, _ := r.Subscribe(1)
+	_ = r.Start(context.Background())
+	defer r.Stop()
+	for i := 0; i < 10; i++ {
+		_ = r.Ingest(0, i)
+	}
+	for i := 0; i < 20; i++ {
+		select {
+		case <-out:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("selectivity-2 output missing at %d", i)
+		}
+	}
+	// Dropper: nothing comes out.
+	g2 := chain2()
+	r2 := mustRuntime(t, Config{Graph: g2, Impls: map[int][]Impl{
+		0: {{Name: "only", New: dropper}},
+		1: {{Name: "only", New: passthrough}},
+	}})
+	out2, _ := r2.Subscribe(1)
+	_ = r2.Start(context.Background())
+	defer r2.Stop()
+	for i := 0; i < 10; i++ {
+		_ = r2.Ingest(0, i)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r2.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-out2:
+		t.Fatalf("dropper leaked %v", m.Payload)
+	default:
+	}
+}
+
+func TestOperatorErrorsCounted(t *testing.T) {
+	g := chain2()
+	r := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: failing}},
+		1: {{Name: "only", New: passthrough}},
+	}})
+	_ = r.Start(context.Background())
+	defer r.Stop()
+	for i := 0; i < 5; i++ {
+		_ = r.Ingest(0, i)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := r.Stats(0)
+	if st.Errors != 5 || st.Out != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSwitchAlternateHotSwap(t *testing.T) {
+	g := dataflow.NewBuilder().
+		AddPE("src", dataflow.Alt("only", 1, 0.1, 1)).
+		AddPE("work",
+			dataflow.Alt("slow", 1, 1, 1),
+			dataflow.Alt("fast", 0.8, 0.5, 1)).
+		AddPE("sink", dataflow.Alt("only", 1, 0.1, 1)).
+		Chain("src", "work", "sink").
+		MustBuild()
+	r := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+		1: {{Name: "slow", New: tagger("slow")}, {Name: "fast", New: tagger("fast")}},
+		2: {{Name: "only", New: passthrough}},
+	}})
+	out, _ := r.Subscribe(2)
+	_ = r.Start(context.Background())
+	defer r.Stop()
+
+	recv := func() string {
+		select {
+		case m := <-out:
+			return m.Payload.(string)
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+			return ""
+		}
+	}
+	_ = r.Ingest(0, "a")
+	if got := recv(); got != "a:slow" {
+		t.Fatalf("before switch: %q", got)
+	}
+	if err := r.SwitchAlternate(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Drain so the in-flight generation is consumed before asserting.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Ingest(0, "b")
+	if got := recv(); got != "b:fast" {
+		t.Fatalf("after switch: %q", got)
+	}
+	st, _ := r.Stats(1)
+	if st.Alternate != 1 {
+		t.Fatalf("active alternate = %d", st.Alternate)
+	}
+	if err := r.SwitchAlternate(1, 9); err == nil {
+		t.Fatal("bad alternate accepted")
+	}
+	if err := r.SwitchAlternate(9, 0); err == nil {
+		t.Fatal("bad PE accepted")
+	}
+}
+
+func TestSetParallelismScalesWorkers(t *testing.T) {
+	g := chain2()
+	var mu sync.Mutex
+	active, peak := 0, 0
+	slow := func() Operator {
+		return OperatorFunc(func(p any) ([]any, error) {
+			mu.Lock()
+			active++
+			if active > peak {
+				peak = active
+			}
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			mu.Lock()
+			active--
+			mu.Unlock()
+			return []any{p}, nil
+		})
+	}
+	r := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: slow}},
+		1: {{Name: "only", New: passthrough}},
+	}})
+	out, _ := r.Subscribe(1)
+	_ = r.Start(context.Background())
+	defer r.Stop()
+	if err := r.SetParallelism(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := r.Stats(0)
+	if st.Workers != 8 {
+		t.Fatalf("workers = %d", st.Workers)
+	}
+	const n = 64
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = r.Ingest(0, i)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		select {
+		case <-out:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timeout at %d", i)
+		}
+	}
+	mu.Lock()
+	p := peak
+	mu.Unlock()
+	if p < 2 {
+		t.Fatalf("peak concurrency %d — workers not parallel", p)
+	}
+	// Scale down.
+	if err := r.SetParallelism(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = r.Stats(0)
+	if st.Workers != 1 {
+		t.Fatalf("workers after shrink = %d", st.Workers)
+	}
+	if err := r.SetParallelism(0, 0); err == nil {
+		t.Fatal("parallelism 0 accepted")
+	}
+	if err := r.SetParallelism(42, 1); err == nil {
+		t.Fatal("bad PE accepted")
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	g := chain2()
+	impls := map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+		1: {{Name: "only", New: passthrough}},
+	}
+	r := mustRuntime(t, Config{Graph: g, Impls: impls})
+	if err := r.Ingest(0, 1); err == nil {
+		t.Fatal("ingest before start accepted")
+	}
+	if err := r.SetParallelism(0, 2); err == nil {
+		t.Fatal("parallelism before start accepted")
+	}
+	_ = r.Start(context.Background())
+	if err := r.Start(context.Background()); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if _, err := r.Subscribe(1); err == nil {
+		t.Fatal("subscribe after start accepted")
+	}
+	if err := r.Ingest(1, "x"); err == nil {
+		t.Fatal("ingest at non-input PE accepted")
+	}
+	r.Stop()
+	r.Stop() // idempotent
+	if err := r.Ingest(0, 1); err == nil {
+		t.Fatal("ingest after stop accepted")
+	}
+	if err := r.SetParallelism(0, 2); err == nil {
+		t.Fatal("parallelism after stop accepted")
+	}
+	if _, err := r.Stats(99); err == nil {
+		t.Fatal("stats for bad PE accepted")
+	}
+}
+
+func TestMessageConservation(t *testing.T) {
+	// Property: with passthrough operators on the Fig. 1 topology, the
+	// sink receives exactly in * (paths from src to sink) messages.
+	g := dataflow.Fig1Graph() // E1 -> {E2, E3} -> E4: two paths
+	impls := map[int][]Impl{
+		0: {{Name: "e1", New: passthrough}},
+		1: {{Name: "e1", New: passthrough}, {Name: "e2", New: passthrough}},
+		2: {{Name: "e1", New: passthrough}, {Name: "e2", New: passthrough}},
+		3: {{Name: "e1", New: passthrough}},
+	}
+	r := mustRuntime(t, Config{Graph: g, Impls: impls})
+	out, _ := r.Subscribe(3)
+	_ = r.Start(context.Background())
+	defer r.Stop()
+	_ = r.SetParallelism(1, 3)
+	_ = r.SetParallelism(2, 2)
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = r.Ingest(0, i)
+		}
+	}()
+	seen := 0
+	timeout := time.After(10 * time.Second)
+	for seen < 2*n {
+		select {
+		case <-out:
+			seen++
+		case <-timeout:
+			t.Fatalf("got %d of %d", seen, 2*n)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-out:
+		t.Fatalf("extra message %v", m.Payload)
+	default:
+	}
+}
+
+func TestOperatorPanicIsolated(t *testing.T) {
+	g := chain2()
+	panicky := func() Operator {
+		return OperatorFunc(func(p any) ([]any, error) {
+			if p.(int)%2 == 0 {
+				panic("boom")
+			}
+			return []any{p}, nil
+		})
+	}
+	r := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: panicky}},
+		1: {{Name: "only", New: passthrough}},
+	}})
+	out, _ := r.Subscribe(1)
+	_ = r.Start(context.Background())
+	defer r.Stop()
+	for i := 0; i < 10; i++ {
+		if err := r.Ingest(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Odd payloads survive; even ones panic and are counted as errors.
+	for i := 0; i < 5; i++ {
+		select {
+		case m := <-out:
+			if m.Payload.(int)%2 == 0 {
+				t.Fatalf("panicking payload %v leaked", m.Payload)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timeout at %d — runtime died with the panic?", i)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := r.Stats(0)
+	if st.Errors != 5 {
+		t.Fatalf("panics counted as %d errors, want 5", st.Errors)
+	}
+}
+
+func TestContextCancellationStopsWorkers(t *testing.T) {
+	g := chain2()
+	r := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+		1: {{Name: "only", New: passthrough}},
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = r.Start(ctx)
+	cancel()
+	// Ingest should fail promptly (context is done).
+	deadline := time.After(5 * time.Second)
+	for {
+		if err := r.Ingest(0, 1); err != nil {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("ingest kept succeeding after cancel")
+		default:
+		}
+	}
+	r.Stop()
+}

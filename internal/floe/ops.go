@@ -1,0 +1,192 @@
+package floe
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// This file provides a small library of ready-made operators — the
+// building blocks users compose alternates from. Stateful operators keep
+// state per worker (the §5 contract: PEs are stateless across messages or
+// share state only within one instance), so they compose safely with
+// SetParallelism and SwitchAlternate.
+
+// Map applies f to every payload, one output per input.
+func Map(f func(any) (any, error)) Factory {
+	return func() Operator {
+		return OperatorFunc(func(p any) ([]any, error) {
+			out, err := f(p)
+			if err != nil {
+				return nil, err
+			}
+			return []any{out}, nil
+		})
+	}
+}
+
+// Filter keeps payloads for which pred returns true (selectivity = the
+// pass rate).
+func Filter(pred func(any) bool) Factory {
+	return func() Operator {
+		return OperatorFunc(func(p any) ([]any, error) {
+			if pred(p) {
+				return []any{p}, nil
+			}
+			return nil, nil
+		})
+	}
+}
+
+// FlatMap applies f to every payload, emitting all returned outputs
+// (selectivity = the average fan-out).
+func FlatMap(f func(any) ([]any, error)) Factory {
+	return func() Operator {
+		return OperatorFunc(f)
+	}
+}
+
+// Passthrough forwards every payload unchanged.
+func Passthrough() Factory {
+	return Map(func(p any) (any, error) { return p, nil })
+}
+
+// Discard consumes everything and emits nothing.
+func Discard() Factory {
+	return func() Operator {
+		return OperatorFunc(func(any) ([]any, error) { return nil, nil })
+	}
+}
+
+// TumblingCountWindow groups every n consecutive payloads (per worker)
+// into one []any batch (selectivity 1/n). Partial windows are emitted
+// only through the runtime draining — state is per worker, so use
+// parallelism 1 when global ordering matters.
+func TumblingCountWindow(n int) Factory {
+	return func() Operator {
+		if n < 1 {
+			n = 1
+		}
+		buf := make([]any, 0, n)
+		return OperatorFunc(func(p any) ([]any, error) {
+			buf = append(buf, p)
+			if len(buf) < n {
+				return nil, nil
+			}
+			window := make([]any, len(buf))
+			copy(window, buf)
+			buf = buf[:0]
+			return []any{window}, nil
+		})
+	}
+}
+
+// KeyedCount emits, for every input, the running count of its key (per
+// worker). key extracts a comparable key from the payload.
+func KeyedCount(key func(any) (string, error)) Factory {
+	return func() Operator {
+		counts := map[string]int{}
+		return OperatorFunc(func(p any) ([]any, error) {
+			k, err := key(p)
+			if err != nil {
+				return nil, err
+			}
+			counts[k]++
+			return []any{KeyCount{Key: k, Count: counts[k]}}, nil
+		})
+	}
+}
+
+// KeyCount is KeyedCount's output record.
+type KeyCount struct {
+	Key   string
+	Count int
+}
+
+// Sample deterministically keeps every k-th message per worker
+// (selectivity 1/k) — the "sampled" flavour of an alternate that trades
+// accuracy for cost.
+func Sample(k int) Factory {
+	return func() Operator {
+		if k < 1 {
+			k = 1
+		}
+		i := 0
+		return OperatorFunc(func(p any) ([]any, error) {
+			i++
+			if i%k == 0 {
+				return []any{p}, nil
+			}
+			return nil, nil
+		})
+	}
+}
+
+// Reduce folds payloads per worker with f, emitting the running
+// accumulator after every input. init seeds a fresh accumulator per
+// worker.
+func Reduce(init func() any, f func(acc, p any) (any, error)) Factory {
+	return func() Operator {
+		acc := init()
+		return OperatorFunc(func(p any) ([]any, error) {
+			next, err := f(acc, p)
+			if err != nil {
+				return nil, err
+			}
+			acc = next
+			return []any{acc}, nil
+		})
+	}
+}
+
+// KeyedSharded partitions stateful processing across a fixed number of
+// shards shared by ALL workers of the PE: each message routes to the shard
+// owning its key (FNV hash), and a per-shard mutex serializes that shard's
+// operator. Keyed state therefore stays consistent at any worker-pool
+// width — shards bound the effective parallelism instead.
+//
+// Ordering note: per-shard execution is serialized, but when the pool has
+// more than one worker, two messages with the same key may reach the shard
+// in either order; use a single worker when strict per-key arrival order
+// matters.
+func KeyedSharded(shards int, key func(any) (string, error), newShard func() Operator) Factory {
+	if shards < 1 {
+		shards = 1
+	}
+	type shard struct {
+		mu sync.Mutex
+		op Operator
+	}
+	ss := make([]*shard, shards)
+	for i := range ss {
+		ss[i] = &shard{op: newShard()}
+	}
+	return func() Operator {
+		return OperatorFunc(func(p any) ([]any, error) {
+			k, err := key(p)
+			if err != nil {
+				return nil, err
+			}
+			h := fnv.New32a()
+			_, _ = h.Write([]byte(k))
+			s := ss[int(h.Sum32())%shards]
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.op.OnMessage(p)
+		})
+	}
+}
+
+// TypeGuard wraps a factory with a payload-type check, turning type
+// confusion into operator errors instead of panics.
+func TypeGuard[T any](inner Factory) Factory {
+	return func() Operator {
+		op := inner()
+		return OperatorFunc(func(p any) ([]any, error) {
+			if _, ok := p.(T); !ok {
+				return nil, fmt.Errorf("floe: payload %T is not the expected type", p)
+			}
+			return op.OnMessage(p)
+		})
+	}
+}

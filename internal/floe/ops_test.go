@@ -1,0 +1,244 @@
+package floe
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// apply runs one operator instance over the payloads, collecting outputs.
+func apply(t *testing.T, f Factory, inputs ...any) []any {
+	t.Helper()
+	op := f()
+	var out []any
+	for _, in := range inputs {
+		o, err := op.OnMessage(in)
+		if err != nil {
+			t.Fatalf("OnMessage(%v): %v", in, err)
+		}
+		out = append(out, o...)
+	}
+	return out
+}
+
+func TestMap(t *testing.T) {
+	double := Map(func(p any) (any, error) { return p.(int) * 2, nil })
+	out := apply(t, double, 1, 2, 3)
+	if len(out) != 3 || out[0] != 2 || out[2] != 6 {
+		t.Fatalf("out = %v", out)
+	}
+	failing := Map(func(any) (any, error) { return nil, errors.New("x") })
+	if _, err := failing().OnMessage(1); err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	evens := Filter(func(p any) bool { return p.(int)%2 == 0 })
+	out := apply(t, evens, 1, 2, 3, 4)
+	if len(out) != 2 || out[0] != 2 || out[1] != 4 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestFlatMapAndPassthroughAndDiscard(t *testing.T) {
+	split := FlatMap(func(p any) ([]any, error) {
+		var out []any
+		for _, w := range strings.Fields(p.(string)) {
+			out = append(out, w)
+		}
+		return out, nil
+	})
+	out := apply(t, split, "a b c")
+	if len(out) != 3 || out[1] != "b" {
+		t.Fatalf("out = %v", out)
+	}
+	if got := apply(t, Passthrough(), "x"); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("passthrough = %v", got)
+	}
+	if got := apply(t, Discard(), "x", "y"); len(got) != 0 {
+		t.Fatalf("discard leaked %v", got)
+	}
+}
+
+func TestTumblingCountWindow(t *testing.T) {
+	w := TumblingCountWindow(3)
+	out := apply(t, w, 1, 2, 3, 4, 5, 6, 7)
+	if len(out) != 2 {
+		t.Fatalf("windows = %d", len(out))
+	}
+	first := out[0].([]any)
+	if len(first) != 3 || first[0] != 1 || first[2] != 3 {
+		t.Fatalf("window 1 = %v", first)
+	}
+	second := out[1].([]any)
+	if second[0] != 4 {
+		t.Fatalf("window 2 = %v", second)
+	}
+	// n < 1 clamps to 1.
+	if got := apply(t, TumblingCountWindow(0), "a"); len(got) != 1 {
+		t.Fatalf("clamped window = %v", got)
+	}
+	// Separate instances do not share state.
+	a, b := w(), w()
+	_, _ = a.OnMessage(1)
+	out2, _ := b.OnMessage(2)
+	if out2 != nil {
+		t.Fatal("windows shared state across instances")
+	}
+}
+
+func TestKeyedCount(t *testing.T) {
+	kc := KeyedCount(func(p any) (string, error) { return p.(string), nil })
+	out := apply(t, kc, "a", "b", "a")
+	if len(out) != 3 {
+		t.Fatalf("out = %v", out)
+	}
+	last := out[2].(KeyCount)
+	if last.Key != "a" || last.Count != 2 {
+		t.Fatalf("last = %+v", last)
+	}
+	bad := KeyedCount(func(any) (string, error) { return "", errors.New("nope") })
+	if _, err := bad().OnMessage(1); err == nil {
+		t.Fatal("key error swallowed")
+	}
+}
+
+func TestSample(t *testing.T) {
+	out := apply(t, Sample(3), 1, 2, 3, 4, 5, 6, 7)
+	if len(out) != 2 || out[0] != 3 || out[1] != 6 {
+		t.Fatalf("out = %v", out)
+	}
+	if got := apply(t, Sample(0), 1, 2); len(got) != 2 {
+		t.Fatalf("k=0 clamp = %v", got)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	sum := Reduce(
+		func() any { return 0 },
+		func(acc, p any) (any, error) { return acc.(int) + p.(int), nil },
+	)
+	out := apply(t, sum, 1, 2, 3)
+	if len(out) != 3 || out[2] != 6 {
+		t.Fatalf("out = %v", out)
+	}
+	failing := Reduce(func() any { return 0 }, func(acc, p any) (any, error) { return nil, errors.New("x") })
+	if _, err := failing().OnMessage(1); err == nil {
+		t.Fatal("reduce error swallowed")
+	}
+}
+
+func TestTypeGuard(t *testing.T) {
+	guarded := TypeGuard[int](Passthrough())
+	if got := apply(t, guarded, 7); got[0] != 7 {
+		t.Fatalf("guarded passthrough = %v", got)
+	}
+	if _, err := guarded().OnMessage("oops"); err == nil {
+		t.Fatal("type confusion not caught")
+	}
+}
+
+func TestKeyedShardedConsistentUnderParallelism(t *testing.T) {
+	// Per-key counters must be exact with 8 workers hammering the PE:
+	// KeyedSharded serializes each shard while shards run in parallel.
+	g := chain2()
+	keyed := KeyedSharded(4,
+		func(p any) (string, error) { return p.(string), nil },
+		func() Operator {
+			counts := map[string]int{}
+			return OperatorFunc(func(p any) ([]any, error) {
+				k := p.(string)
+				counts[k]++
+				return []any{KeyCount{Key: k, Count: counts[k]}}, nil
+			})
+		})
+	rt := mustRuntime(t, Config{Graph: g, QueueLen: 2048, Impls: map[int][]Impl{
+		0: {{Name: "only", New: Passthrough()}},
+		1: {{Name: "only", New: keyed}},
+	}})
+	out, _ := rt.Subscribe(1)
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	if err := rt.SetParallelism(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"a", "b", "c", "d", "e"}
+	const perKey = 100
+	go func() {
+		for i := 0; i < perKey; i++ {
+			for _, k := range keys {
+				_ = rt.Ingest(0, k)
+			}
+		}
+	}()
+	final := map[string]int{}
+	for i := 0; i < perKey*len(keys); i++ {
+		select {
+		case m := <-out:
+			kc := m.Payload.(KeyCount)
+			if kc.Count > final[kc.Key] {
+				final[kc.Key] = kc.Count
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timeout at %d", i)
+		}
+	}
+	for _, k := range keys {
+		if final[k] != perKey {
+			t.Fatalf("key %s counted %d, want %d (lost or duplicated updates)", k, final[k], perKey)
+		}
+	}
+}
+
+func TestKeyedShardedErrorsAndClamp(t *testing.T) {
+	bad := KeyedSharded(0,
+		func(any) (string, error) { return "", errors.New("no key") },
+		func() Operator { return Passthrough()() })
+	if _, err := bad().OnMessage(1); err == nil {
+		t.Fatal("key error swallowed")
+	}
+	ok := KeyedSharded(2,
+		func(p any) (string, error) { return "k", nil },
+		func() Operator { return Passthrough()() })
+	if got, err := ok().OnMessage("x"); err != nil || len(got) != 1 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestOpsComposeInRuntime(t *testing.T) {
+	// words -> (choice of precise/sampled counting) via alternates, with
+	// the ops library building both implementations.
+	g := chain2()
+	rt := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: FlatMap(func(p any) ([]any, error) {
+			var out []any
+			for _, w := range strings.Fields(p.(string)) {
+				out = append(out, w)
+			}
+			return out, nil
+		})}},
+		1: {{Name: "only", New: KeyedCount(func(p any) (string, error) { return p.(string), nil })}},
+	}})
+	out, _ := rt.Subscribe(1)
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	if err := rt.Ingest(0, "to be or not to be"); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 6; i++ {
+		m := <-out
+		kc := m.Payload.(KeyCount)
+		counts[kc.Key] = kc.Count
+	}
+	if counts["to"] != 2 || counts["be"] != 2 || counts["or"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,45 @@
+package floe
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ApplyPlan resizes every PE's worker pool to the planned data-parallel
+// width and activates the planned alternates — the hand-off from the
+// paper's deployment heuristics (which plan against the simulator's cloud
+// model) to real execution: plan with core.PlanAllocation /
+// core.SelectAlternates, then execute the same decisions here.
+//
+// workers[pe] is the pool width (min 1 enforced); alternates[pe] is the
+// active alternate index. Either slice may be nil to leave that dimension
+// untouched.
+func (r *Runtime) ApplyPlan(workers []int, alternates []int) error {
+	if !r.started.Load() {
+		return errors.New("floe: apply plan before Start")
+	}
+	if workers != nil && len(workers) != r.g.N() {
+		return fmt.Errorf("floe: plan covers %d PEs, graph has %d", len(workers), r.g.N())
+	}
+	if alternates != nil && len(alternates) != r.g.N() {
+		return fmt.Errorf("floe: alternates cover %d PEs, graph has %d", len(alternates), r.g.N())
+	}
+	if alternates != nil {
+		for pe, alt := range alternates {
+			if err := r.SwitchAlternate(pe, alt); err != nil {
+				return err
+			}
+		}
+	}
+	if workers != nil {
+		for pe, n := range workers {
+			if n < 1 {
+				n = 1
+			}
+			if err := r.SetParallelism(pe, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package floe
+
+import (
+	"context"
+	"testing"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/core"
+	"dynamicdf/internal/dataflow"
+)
+
+func TestApplyPlanFromSimulatorPlanning(t *testing.T) {
+	// Plan against the cloud model, then execute the same decisions here:
+	// the paper's deployment pipeline end to end.
+	g := dataflow.NewBuilder().
+		AddPE("src", dataflow.Alt("only", 1, 0.2, 1)).
+		AddPE("work",
+			dataflow.Alt("precise", 1.0, 1.2, 1),
+			dataflow.Alt("fast", 0.85, 0.6, 1)).
+		AddPE("sink", dataflow.Alt("only", 1, 0.1, 1)).
+		Chain("src", "work", "sink").
+		MustBuild()
+	sel, err := core.SelectAlternates(g, core.Global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.PlanAllocation(g, cloud.MustMenu(cloud.AWS2013Classes()), sel,
+		dataflow.DefaultRouting(g), dataflow.InputRates{0: 12}, 0.9, core.Global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := plan.Workers(g.N())
+	if workers[1] < 2 {
+		t.Fatalf("plan gave work only %d cores — scenario too small", workers[1])
+	}
+
+	rt2 := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+		1: {{Name: "precise", New: tagger("precise")}, {Name: "fast", New: tagger("fast")}},
+		2: {{Name: "only", New: passthrough}},
+	}})
+	out, _ := rt2.Subscribe(2)
+	if err := rt2.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Stop()
+
+	if err := rt2.ApplyPlan(workers, sel); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := rt2.Stats(1)
+	if st.Workers != workers[1] {
+		t.Fatalf("work pool = %d, plan said %d", st.Workers, workers[1])
+	}
+	if st.Alternate != sel[1] {
+		t.Fatalf("alternate = %d, plan said %d", st.Alternate, sel[1])
+	}
+	// The planned alternate actually runs.
+	_ = rt2.Ingest(0, "m")
+	m := <-out
+	want := "m:fast" // SelectAlternates(Global) picks fast (0.85/0.7 vs 1.0/1.3 downstream-weighted)
+	if sel[1] == 0 {
+		want = "m:precise"
+	}
+	if m.Payload.(string) != want {
+		t.Fatalf("payload = %v, want %v", m.Payload, want)
+	}
+}
+
+func TestApplyPlanValidation(t *testing.T) {
+	g := chain2()
+	rt := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+		1: {{Name: "only", New: passthrough}},
+	}})
+	if err := rt.ApplyPlan([]int{1, 1}, nil); err == nil {
+		t.Fatal("apply before start accepted")
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	if err := rt.ApplyPlan([]int{1}, nil); err == nil {
+		t.Fatal("short workers accepted")
+	}
+	if err := rt.ApplyPlan(nil, []int{0}); err == nil {
+		t.Fatal("short alternates accepted")
+	}
+	if err := rt.ApplyPlan(nil, []int{0, 9}); err == nil {
+		t.Fatal("bad alternate accepted")
+	}
+	// Zero workers clamp to 1.
+	if err := rt.ApplyPlan([]int{0, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := rt.Stats(0)
+	if st.Workers != 1 {
+		t.Fatalf("workers = %d", st.Workers)
+	}
+}

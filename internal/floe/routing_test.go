@@ -1,0 +1,97 @@
+package floe
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dynamicdf/internal/dataflow"
+)
+
+// choiceRuntime builds in -choice-> {pathA, pathB} -> out with taggers so
+// outputs identify the route taken.
+func choiceRuntime(t *testing.T) (*Runtime, <-chan Message) {
+	t.Helper()
+	g := dataflow.NewBuilder().
+		AddPE("in", dataflow.Alt("e", 1, 0.1, 1)).
+		AddPE("pathA", dataflow.Alt("e", 1.0, 1.0, 1)).
+		AddPE("pathB", dataflow.Alt("e", 0.7, 0.4, 1)).
+		AddPE("out", dataflow.Alt("e", 1, 0.1, 1)).
+		AddChoice("route", "in", "pathA", "pathB").
+		Connect("pathA", "out").
+		Connect("pathB", "out").
+		MustBuild()
+	rt := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "e", New: passthrough}},
+		1: {{Name: "e", New: tagger("A")}},
+		2: {{Name: "e", New: tagger("B")}},
+		3: {{Name: "e", New: passthrough}},
+	}})
+	out, err := rt.Subscribe(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return rt, out
+}
+
+func recvString(t *testing.T, out <-chan Message) string {
+	t.Helper()
+	select {
+	case m := <-out:
+		return m.Payload.(string)
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+		return ""
+	}
+}
+
+func TestRuntimeRoutesToActiveTargetOnly(t *testing.T) {
+	rt, out := choiceRuntime(t)
+	defer rt.Stop()
+	// Default route: target 0 (pathA); exactly ONE output per ingest.
+	if err := rt.Ingest(0, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvString(t, out); got != "m1:A" {
+		t.Fatalf("default route output = %q", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rt.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-out:
+		t.Fatalf("choice duplicated output: %v", m.Payload)
+	default:
+	}
+	// Switch to pathB.
+	if err := rt.SelectRoute(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Ingest(0, "m2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvString(t, out); got != "m2:B" {
+		t.Fatalf("after switch output = %q", got)
+	}
+	// pathA never saw m2.
+	stA, _ := rt.Stats(1)
+	if stA.In != 1 {
+		t.Fatalf("pathA consumed %d messages, want 1", stA.In)
+	}
+}
+
+func TestSelectRouteValidation(t *testing.T) {
+	rt, _ := choiceRuntime(t)
+	defer rt.Stop()
+	if err := rt.SelectRoute(5, 0); err == nil {
+		t.Fatal("bad group accepted")
+	}
+	if err := rt.SelectRoute(0, 9); err == nil {
+		t.Fatal("bad target accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package floe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dynamicdf/internal/metrics"
+)
+
+// TumblingTimeWindow groups payloads arriving within the same wall-clock
+// window (per worker) into one []any batch, emitted with the first payload
+// of the next window. now is injectable for tests; nil uses time.Now.
+func TumblingTimeWindow(width time.Duration, now func() time.Time) Factory {
+	if now == nil {
+		now = time.Now
+	}
+	return func() Operator {
+		var buf []any
+		var windowStart time.Time
+		started := false
+		return OperatorFunc(func(p any) ([]any, error) {
+			t := now()
+			if !started {
+				started = true
+				windowStart = t
+			}
+			if t.Sub(windowStart) >= width && len(buf) > 0 {
+				window := make([]any, len(buf))
+				copy(window, buf)
+				buf = buf[:0]
+				buf = append(buf, p)
+				windowStart = t
+				return []any{window}, nil
+			}
+			buf = append(buf, p)
+			return nil, nil
+		})
+	}
+}
+
+// StatsSampler periodically snapshots a runtime's aggregate counters into
+// a metrics.Collector, giving live executions the same per-interval series
+// the simulator produces (throughput in/out, queue backlog, worker count).
+type StatsSampler struct {
+	rt       *Runtime
+	interval time.Duration
+	coll     *metrics.Collector
+
+	lastIn, lastOut uint64
+	start           time.Time
+}
+
+// NewStatsSampler validates and builds a sampler.
+func NewStatsSampler(rt *Runtime, interval time.Duration) (*StatsSampler, error) {
+	if rt == nil {
+		return nil, errors.New("floe: sampler needs a runtime")
+	}
+	if interval < time.Millisecond {
+		return nil, fmt.Errorf("floe: sample interval %v too small", interval)
+	}
+	return &StatsSampler{rt: rt, interval: interval, coll: metrics.NewCollector()}, nil
+}
+
+// Collector returns the accumulating series.
+func (s *StatsSampler) Collector() *metrics.Collector { return s.coll }
+
+// Run samples until the context is done. Call it on its own goroutine.
+func (s *StatsSampler) Run(ctx context.Context) error {
+	s.start = time.Now()
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if err := s.sample(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// sample records one point aggregated over all PEs.
+func (s *StatsSampler) sample() error {
+	g := s.rt.g
+	var in, out uint64
+	backlog := 0.0
+	workers := 0
+	for pe := 0; pe < g.N(); pe++ {
+		st, err := s.rt.Stats(pe)
+		if err != nil {
+			return err
+		}
+		backlog += float64(st.Queue)
+		workers += st.Workers
+		if len(g.Predecessors(pe)) == 0 {
+			in += st.In
+		}
+		if len(g.Successors(pe)) == 0 {
+			out += st.Out
+		}
+	}
+	secs := s.interval.Seconds()
+	point := metrics.Point{
+		Sec:        int64(time.Since(s.start) / time.Second),
+		InputRate:  float64(in-s.lastIn) / secs,
+		OutputRate: float64(out-s.lastOut) / secs,
+		Backlog:    backlog,
+		UsedCores:  workers,
+		Gamma:      1, // live runs do not price value; series kept compatible
+		Omega:      1,
+	}
+	s.lastIn, s.lastOut = in, out
+	return s.coll.Add(point)
+}

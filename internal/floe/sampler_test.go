@@ -1,0 +1,112 @@
+package floe
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTumblingTimeWindow(t *testing.T) {
+	// Injected clock: advances 10ms per call.
+	tick := 0
+	now := func() time.Time {
+		tick++
+		return time.Unix(0, int64(tick)*int64(10*time.Millisecond))
+	}
+	w := TumblingTimeWindow(25*time.Millisecond, now)
+	op := w()
+	var windows [][]any
+	for i := 0; i < 10; i++ {
+		out, err := op.OnMessage(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range out {
+			windows = append(windows, o.([]any))
+		}
+	}
+	if len(windows) < 2 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	// Every input appears exactly once across emitted windows + pending.
+	seen := map[any]bool{}
+	for _, win := range windows {
+		if len(win) == 0 {
+			t.Fatal("empty window emitted")
+		}
+		for _, p := range win {
+			if seen[p] {
+				t.Fatalf("payload %v duplicated", p)
+			}
+			seen[p] = true
+		}
+	}
+	// Defaults: nil clock falls back to time.Now without panicking.
+	def := TumblingTimeWindow(time.Hour, nil)()
+	if out, err := def.OnMessage("x"); err != nil || out != nil {
+		t.Fatalf("first message should buffer: %v %v", out, err)
+	}
+}
+
+func TestStatsSampler(t *testing.T) {
+	g := chain2()
+	rt := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+		1: {{Name: "only", New: passthrough}},
+	}})
+	out, _ := rt.Subscribe(1)
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	s, err := NewStatsSampler(rt, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = s.Run(ctx) }()
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = rt.Ingest(0, i)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		<-out
+	}
+	// Give the sampler a couple of ticks to observe the flow.
+	deadline := time.After(5 * time.Second)
+	for s.Collector().Len() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("sampler produced no points")
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	cancel()
+	// Total flow observed must account for all messages.
+	pts := s.Collector().Points()
+	totalOut := 0.0
+	for _, p := range pts {
+		totalOut += p.OutputRate * 0.01
+	}
+	if totalOut < n*9/10 {
+		t.Fatalf("sampler saw only %v of %d outputs", totalOut, n)
+	}
+}
+
+func TestNewStatsSamplerValidation(t *testing.T) {
+	if _, err := NewStatsSampler(nil, time.Second); err == nil {
+		t.Fatal("nil runtime accepted")
+	}
+	g := chain2()
+	rt := mustRuntime(t, Config{Graph: g, Impls: map[int][]Impl{
+		0: {{Name: "only", New: passthrough}},
+		1: {{Name: "only", New: passthrough}},
+	}})
+	if _, err := NewStatsSampler(rt, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}

@@ -1,0 +1,186 @@
+// Package metrics collects per-interval simulation measurements — the
+// quantities the paper's evaluation plots: relative application throughput
+// Omega(t), normalized application value Gamma(t), cumulative dollar cost
+// mu(t), VM and core counts — and summarizes them over an optimization
+// period.
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Point is one interval's worth of measurements.
+type Point struct {
+	Sec        int64
+	Omega      float64 // relative application throughput in [0, 1]
+	Gamma      float64 // normalized application value in (0, 1]
+	CostUSD    float64 // cumulative cost mu up to this interval
+	ActiveVMs  int
+	UsedCores  int
+	InputRate  float64 // aggregate external input rate, msg/s
+	OutputRate float64 // aggregate output rate at sinks, msg/s
+	Backlog    float64 // total queued messages
+	LatencySec float64 // mean end-to-end latency estimate
+}
+
+// Collector accumulates points in time order. It is safe for concurrent
+// use: the simulator appends single-threaded, but live samplers (floe)
+// write from their own goroutine while observers read.
+type Collector struct {
+	mu     sync.Mutex
+	points []Point
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add appends a point. Points must arrive in non-decreasing time order.
+func (c *Collector) Add(p Point) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.points); n > 0 && p.Sec < c.points[n-1].Sec {
+		return fmt.Errorf("metrics: out-of-order point at %d after %d", p.Sec, c.points[n-1].Sec)
+	}
+	c.points = append(c.points, p)
+	return nil
+}
+
+// Points returns a snapshot of the collected points.
+func (c *Collector) Points() []Point {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Point(nil), c.points...)
+}
+
+// Len returns the number of points.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.points)
+}
+
+// Summary aggregates a run the way §6 defines period-level quantities.
+type Summary struct {
+	Intervals int
+	// MeanOmega is the average relative throughput over the period
+	// (the constraint compares this against Omega-hat).
+	MeanOmega float64
+	// MinOmega is the worst interval.
+	MinOmega float64
+	// MeanGamma is the average application value Gamma-bar.
+	MeanGamma float64
+	// TotalCostUSD is mu at the final interval.
+	TotalCostUSD float64
+	// PeakVMs and MeanVMs characterize fleet size.
+	PeakVMs int
+	MeanVMs float64
+	// MeanLatencySec averages the latency estimate.
+	MeanLatencySec float64
+	// MeanBacklog averages queued messages.
+	MeanBacklog float64
+}
+
+// Summarize reduces the collected points.
+func (c *Collector) Summarize() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Summary{Intervals: len(c.points), MinOmega: math.Inf(1)}
+	if len(c.points) == 0 {
+		s.MinOmega = 0
+		return s
+	}
+	for _, p := range c.points {
+		s.MeanOmega += p.Omega
+		s.MeanGamma += p.Gamma
+		s.MeanVMs += float64(p.ActiveVMs)
+		s.MeanLatencySec += p.LatencySec
+		s.MeanBacklog += p.Backlog
+		if p.Omega < s.MinOmega {
+			s.MinOmega = p.Omega
+		}
+		if p.ActiveVMs > s.PeakVMs {
+			s.PeakVMs = p.ActiveVMs
+		}
+	}
+	n := float64(len(c.points))
+	s.MeanOmega /= n
+	s.MeanGamma /= n
+	s.MeanVMs /= n
+	s.MeanLatencySec /= n
+	s.MeanBacklog /= n
+	s.TotalCostUSD = c.points[len(c.points)-1].CostUSD
+	return s
+}
+
+// OmegaSeries extracts the Omega(t) series for plotting.
+func (c *Collector) OmegaSeries() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]float64, len(c.points))
+	for i, p := range c.points {
+		out[i] = p.Omega
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0..1) of an arbitrary per-point metric.
+func (c *Collector) Quantile(q float64, get func(Point) float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.points) == 0 {
+		return math.NaN()
+	}
+	vals := make([]float64, len(c.points))
+	for i, p := range c.points {
+		vals[i] = get(p)
+	}
+	sort.Float64s(vals)
+	if len(vals) == 1 {
+		return vals[0]
+	}
+	pos := q * float64(len(vals)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := pos - float64(lo)
+	return vals[lo]*(1-frac) + vals[hi]*frac
+}
+
+// WriteCSV streams the points for external plotting.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cw := csv.NewWriter(w)
+	header := []string{"sec", "omega", "gamma", "cost_usd", "vms", "cores", "in_rate", "out_rate", "backlog", "latency_sec"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, p := range c.points {
+		rec := []string{
+			strconv.FormatInt(p.Sec, 10),
+			f(p.Omega), f(p.Gamma), f(p.CostUSD),
+			strconv.Itoa(p.ActiveVMs), strconv.Itoa(p.UsedCores),
+			f(p.InputRate), f(p.OutputRate), f(p.Backlog), f(p.LatencySec),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders the summary as one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("intervals=%d omega=%.3f (min %.3f) gamma=%.3f cost=$%.2f vms(mean/peak)=%.1f/%d",
+		s.Intervals, s.MeanOmega, s.MinOmega, s.MeanGamma, s.TotalCostUSD, s.MeanVMs, s.PeakVMs)
+}

@@ -1,0 +1,234 @@
+// Package monitor implements the monitoring framework the paper presumes
+// (§4): a component that "periodically and noninvasively probes the
+// performance of the cloud VMs and their network connectivity" and measures
+// dataflow message rates. In the simulator the probes read the trace
+// provider; the estimators here smooth those observations into the values
+// the runtime heuristics consume, exactly as a real deployment would smooth
+// noisy probe results.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EWMA is an exponentially weighted moving average estimator.
+type EWMA struct {
+	alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewEWMA returns an estimator with smoothing factor alpha in (0, 1]:
+// higher alpha weights recent observations more.
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if !(alpha > 0 && alpha <= 1) {
+		return nil, fmt.Errorf("monitor: ewma alpha %v outside (0,1]", alpha)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// Observe folds a new observation into the estimate. The first observation
+// primes the estimator directly.
+func (e *EWMA) Observe(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return // drop broken probes rather than poison the estimate
+	}
+	if !e.primed {
+		e.value = x
+		e.primed = true
+		return
+	}
+	e.value += e.alpha * (x - e.value)
+}
+
+// Value returns the current estimate; ok is false before any observation.
+func (e *EWMA) Value() (v float64, ok bool) { return e.value, e.primed }
+
+// ValueOr returns the estimate or def when unprimed.
+func (e *EWMA) ValueOr(def float64) float64 {
+	if !e.primed {
+		return def
+	}
+	return e.value
+}
+
+// Reset clears the estimator.
+func (e *EWMA) Reset() { e.primed = false; e.value = 0 }
+
+// RateEstimator tracks per-key message rates with EWMA smoothing — the
+// "observed input data rates" fed to the runtime heuristics each interval.
+type RateEstimator struct {
+	alpha float64
+	est   map[int]*EWMA
+}
+
+// NewRateEstimator returns an estimator pool with the given smoothing.
+func NewRateEstimator(alpha float64) (*RateEstimator, error) {
+	if !(alpha > 0 && alpha <= 1) {
+		return nil, fmt.Errorf("monitor: rate alpha %v outside (0,1]", alpha)
+	}
+	return &RateEstimator{alpha: alpha, est: map[int]*EWMA{}}, nil
+}
+
+// Observe records a rate observation for key (e.g. a PE index).
+func (r *RateEstimator) Observe(key int, rate float64) {
+	e, ok := r.est[key]
+	if !ok {
+		e, _ = NewEWMA(r.alpha)
+		r.est[key] = e
+	}
+	e.Observe(rate)
+}
+
+// Estimate returns the smoothed rate for key, or def when never observed.
+func (r *RateEstimator) Estimate(key int, def float64) float64 {
+	if e, ok := r.est[key]; ok {
+		return e.ValueOr(def)
+	}
+	return def
+}
+
+// Keys returns the number of tracked keys.
+func (r *RateEstimator) Keys() int { return len(r.est) }
+
+// Probe is one synthetic-benchmark measurement of a VM or VM pair.
+type Probe struct {
+	// Sec is the probe time.
+	Sec int64
+	// CPUCoeff is the measured normalized core speed coefficient.
+	CPUCoeff float64
+}
+
+// VMMonitor smooths per-VM CPU probes, keyed by VM id.
+type VMMonitor struct {
+	alpha float64
+	cpu   map[int]*EWMA
+	last  map[int]int64
+}
+
+// NewVMMonitor returns a monitor with the given EWMA smoothing factor.
+func NewVMMonitor(alpha float64) (*VMMonitor, error) {
+	if !(alpha > 0 && alpha <= 1) {
+		return nil, fmt.Errorf("monitor: vm alpha %v outside (0,1]", alpha)
+	}
+	return &VMMonitor{alpha: alpha, cpu: map[int]*EWMA{}, last: map[int]int64{}}, nil
+}
+
+// ObserveCPU records a CPU probe for a VM.
+func (m *VMMonitor) ObserveCPU(vmID int, p Probe) error {
+	if p.CPUCoeff <= 0 {
+		return fmt.Errorf("monitor: vm %d: non-positive CPU coefficient %v", vmID, p.CPUCoeff)
+	}
+	e, ok := m.cpu[vmID]
+	if !ok {
+		e, _ = NewEWMA(m.alpha)
+		m.cpu[vmID] = e
+	}
+	e.Observe(p.CPUCoeff)
+	m.last[vmID] = p.Sec
+	return nil
+}
+
+// CPUCoeff returns the smoothed coefficient for a VM, or def when the VM
+// has never been probed (a just-acquired instance is assumed rated: 1).
+func (m *VMMonitor) CPUCoeff(vmID int, def float64) float64 {
+	if e, ok := m.cpu[vmID]; ok {
+		return e.ValueOr(def)
+	}
+	return def
+}
+
+// LastProbe returns the time of the VM's latest probe.
+func (m *VMMonitor) LastProbe(vmID int) (int64, bool) {
+	s, ok := m.last[vmID]
+	return s, ok
+}
+
+// Forget drops state for a released VM.
+func (m *VMMonitor) Forget(vmID int) {
+	delete(m.cpu, vmID)
+	delete(m.last, vmID)
+}
+
+// Tracked returns how many VMs have state.
+func (m *VMMonitor) Tracked() int { return len(m.cpu) }
+
+// PairKey canonicalizes an unordered VM pair into a map key.
+func PairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// NetMonitor smooths pairwise latency/bandwidth probes.
+type NetMonitor struct {
+	alpha float64
+	lat   map[[2]int]*EWMA
+	bw    map[[2]int]*EWMA
+}
+
+// NewNetMonitor returns a pairwise network monitor.
+func NewNetMonitor(alpha float64) (*NetMonitor, error) {
+	if !(alpha > 0 && alpha <= 1) {
+		return nil, fmt.Errorf("monitor: net alpha %v outside (0,1]", alpha)
+	}
+	return &NetMonitor{alpha: alpha, lat: map[[2]int]*EWMA{}, bw: map[[2]int]*EWMA{}}, nil
+}
+
+// Observe records one latency (seconds) + bandwidth (Mbps) probe for a pair.
+func (m *NetMonitor) Observe(a, b int, latSec, bwMbps float64) error {
+	if a == b {
+		return errors.New("monitor: net probe on identical VMs")
+	}
+	if latSec < 0 || bwMbps <= 0 {
+		return fmt.Errorf("monitor: net probe lat=%v bw=%v invalid", latSec, bwMbps)
+	}
+	k := PairKey(a, b)
+	le, ok := m.lat[k]
+	if !ok {
+		le, _ = NewEWMA(m.alpha)
+		m.lat[k] = le
+	}
+	le.Observe(latSec)
+	be, ok := m.bw[k]
+	if !ok {
+		be, _ = NewEWMA(m.alpha)
+		m.bw[k] = be
+	}
+	be.Observe(bwMbps)
+	return nil
+}
+
+// Latency returns the smoothed latency for the pair or def.
+func (m *NetMonitor) Latency(a, b int, def float64) float64 {
+	if e, ok := m.lat[PairKey(a, b)]; ok {
+		return e.ValueOr(def)
+	}
+	return def
+}
+
+// Bandwidth returns the smoothed bandwidth for the pair or def — the paper
+// uses rated values at deployment and monitored values at runtime.
+func (m *NetMonitor) Bandwidth(a, b int, def float64) float64 {
+	if e, ok := m.bw[PairKey(a, b)]; ok {
+		return e.ValueOr(def)
+	}
+	return def
+}
+
+// ForgetVM drops all pairs touching the VM.
+func (m *NetMonitor) ForgetVM(vmID int) {
+	for k := range m.lat {
+		if k[0] == vmID || k[1] == vmID {
+			delete(m.lat, k)
+		}
+	}
+	for k := range m.bw {
+		if k[0] == vmID || k[1] == vmID {
+			delete(m.bw, k)
+		}
+	}
+}

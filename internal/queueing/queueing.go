@@ -1,0 +1,154 @@
+// Package queueing provides analytic M/M/c queueing formulas. The
+// simulator models PEs as fluid queues; this package supplies the
+// corresponding steady-state analytics — utilization, Erlang-C waiting
+// probability, expected queue length and waiting time — used to validate
+// the engine's latency estimator, size worker pools in the floe runtime,
+// and reason about how much headroom a throughput target leaves
+// (capacity = demand/omega-hat implies utilization = omega-hat at the
+// constraint, and the wait grows without bound as omega-hat approaches 1).
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MMC describes an M/M/c system: Poisson arrivals at rate Lambda, c
+// identical servers each completing work at rate Mu.
+type MMC struct {
+	// Lambda is the arrival rate (msg/s).
+	Lambda float64
+	// Mu is one server's service rate (msg/s).
+	Mu float64
+	// C is the number of servers (cores / workers).
+	C int
+}
+
+// Validate reports whether the system is well-formed.
+func (m MMC) Validate() error {
+	if m.Lambda < 0 {
+		return fmt.Errorf("queueing: lambda %v < 0", m.Lambda)
+	}
+	if m.Mu <= 0 {
+		return fmt.Errorf("queueing: mu %v <= 0", m.Mu)
+	}
+	if m.C < 1 {
+		return fmt.Errorf("queueing: c %d < 1", m.C)
+	}
+	return nil
+}
+
+// Utilization returns rho = lambda / (c*mu), the fraction of server
+// capacity in use. Stable systems have rho < 1.
+func (m MMC) Utilization() float64 {
+	return m.Lambda / (float64(m.C) * m.Mu)
+}
+
+// Stable reports whether the queue has a steady state.
+func (m MMC) Stable() bool {
+	return m.Utilization() < 1
+}
+
+// ErrUnstable marks a saturated system with no steady state.
+var ErrUnstable = errors.New("queueing: utilization >= 1, no steady state")
+
+// ErlangC returns the probability an arriving message must wait (all c
+// servers busy), the Erlang-C formula. Computed with a numerically stable
+// iterative form.
+func (m MMC) ErlangC() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if !m.Stable() {
+		return 0, ErrUnstable
+	}
+	if m.Lambda == 0 {
+		return 0, nil
+	}
+	a := m.Lambda / m.Mu // offered load in Erlangs
+	// Iteratively compute the Erlang-B blocking probability, then convert
+	// to Erlang C: stable for large a and c.
+	b := 1.0
+	for k := 1; k <= m.C; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := m.Utilization()
+	c := b / (1 - rho + rho*b)
+	return c, nil
+}
+
+// ExpectedWaitSec returns Wq, the mean time a message spends queued before
+// service begins.
+func (m MMC) ExpectedWaitSec() (float64, error) {
+	pWait, err := m.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	if m.Lambda == 0 {
+		return 0, nil
+	}
+	return pWait / (float64(m.C)*m.Mu - m.Lambda), nil
+}
+
+// ExpectedQueueLen returns Lq, the mean number of queued messages
+// (Little's law: Lq = lambda * Wq).
+func (m MMC) ExpectedQueueLen() (float64, error) {
+	wq, err := m.ExpectedWaitSec()
+	if err != nil {
+		return 0, err
+	}
+	return m.Lambda * wq, nil
+}
+
+// ExpectedSojournSec returns W, the mean total time in system (wait plus
+// service).
+func (m MMC) ExpectedSojournSec() (float64, error) {
+	wq, err := m.ExpectedWaitSec()
+	if err != nil {
+		return 0, err
+	}
+	return wq + 1/m.Mu, nil
+}
+
+// MinServers returns the smallest c for which the system is stable AND the
+// expected wait stays within maxWaitSec — the worker-pool sizing question
+// the floe controller answers by feedback, answered analytically. The
+// search is linear from the stability bound; maxC caps it (0 means 4096).
+func MinServers(lambda, mu, maxWaitSec float64, maxC int) (int, error) {
+	if lambda < 0 || mu <= 0 || maxWaitSec <= 0 {
+		return 0, fmt.Errorf("queueing: bad inputs lambda=%v mu=%v maxWait=%v", lambda, mu, maxWaitSec)
+	}
+	if maxC <= 0 {
+		maxC = 4096
+	}
+	start := int(math.Floor(lambda/mu)) + 1
+	if start < 1 {
+		start = 1
+	}
+	for c := start; c <= maxC; c++ {
+		m := MMC{Lambda: lambda, Mu: mu, C: c}
+		wq, err := m.ExpectedWaitSec()
+		if err != nil {
+			continue
+		}
+		if wq <= maxWaitSec {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("queueing: no c <= %d meets wait %vs", maxC, maxWaitSec)
+}
+
+// FluidDrainSec returns how long a fluid (deterministic-rate) backlog of q
+// messages takes to drain when capacity exceeds arrivals — the model the
+// simulator's queues follow, provided for comparison against the
+// stochastic wait.
+func FluidDrainSec(backlog, lambda, capacity float64) (float64, error) {
+	if backlog < 0 || lambda < 0 || capacity <= 0 {
+		return 0, fmt.Errorf("queueing: bad inputs backlog=%v lambda=%v capacity=%v", backlog, lambda, capacity)
+	}
+	if capacity <= lambda {
+		return math.Inf(1), nil
+	}
+	return backlog / (capacity - lambda), nil
+}

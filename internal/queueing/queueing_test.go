@@ -1,0 +1,206 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := MMC{Lambda: 5, Mu: 2, C: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MMC{
+		{Lambda: -1, Mu: 2, C: 3},
+		{Lambda: 5, Mu: 0, C: 3},
+		{Lambda: 5, Mu: 2, C: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("bad %d accepted", i)
+		}
+	}
+}
+
+func TestUtilizationAndStability(t *testing.T) {
+	m := MMC{Lambda: 5, Mu: 2, C: 3}
+	if got := m.Utilization(); math.Abs(got-5.0/6.0) > 1e-12 {
+		t.Fatalf("rho = %v", got)
+	}
+	if !m.Stable() {
+		t.Fatal("stable system reported unstable")
+	}
+	sat := MMC{Lambda: 6, Mu: 2, C: 3}
+	if sat.Stable() {
+		t.Fatal("saturated system reported stable")
+	}
+	if _, err := sat.ErlangC(); err != ErrUnstable {
+		t.Fatalf("want ErrUnstable, got %v", err)
+	}
+}
+
+func TestMM1ClosedForm(t *testing.T) {
+	// For c=1 the Erlang C equals rho and Wq = rho/(mu - lambda).
+	m := MMC{Lambda: 3, Mu: 5, C: 1}
+	rho := 0.6
+	pw, err := m.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pw-rho) > 1e-12 {
+		t.Fatalf("ErlangC = %v, want rho %v", pw, rho)
+	}
+	wq, _ := m.ExpectedWaitSec()
+	want := rho / (5 - 3)
+	if math.Abs(wq-want) > 1e-12 {
+		t.Fatalf("Wq = %v, want %v", wq, want)
+	}
+	w, _ := m.ExpectedSojournSec()
+	// M/M/1: W = 1/(mu - lambda).
+	if math.Abs(w-1.0/2.0) > 1e-12 {
+		t.Fatalf("W = %v, want 0.5", w)
+	}
+	lq, _ := m.ExpectedQueueLen()
+	// Lq = rho^2/(1-rho) = 0.36/0.4 = 0.9.
+	if math.Abs(lq-0.9) > 1e-12 {
+		t.Fatalf("Lq = %v, want 0.9", lq)
+	}
+}
+
+func TestKnownErlangCValue(t *testing.T) {
+	// Classic reference case: a = 2 Erlangs, c = 3 -> P(wait) = 4/9 * P0
+	// terms; textbook value ~0.4444/ ... compute directly against the
+	// closed form: C(3, 2) = (2^3/3!)*(3/(3-2)) / (sum_{k=0}^{2} 2^k/k! +
+	// (2^3/3!)*(3/(3-2))) = (4/3*... )
+	m := MMC{Lambda: 2, Mu: 1, C: 3}
+	pw, err := m.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	num := math.Pow(2, 3) / 6 * (3.0 / (3.0 - 2.0))
+	den := 1 + 2 + 2 + num // 2^0/0! + 2^1/1! + 2^2/2! + num
+	want := num / den
+	if math.Abs(pw-want) > 1e-12 {
+		t.Fatalf("ErlangC = %v, want %v", pw, want)
+	}
+}
+
+func TestZeroArrivals(t *testing.T) {
+	m := MMC{Lambda: 0, Mu: 2, C: 2}
+	pw, err := m.ErlangC()
+	if err != nil || pw != 0 {
+		t.Fatalf("pw = %v err %v", pw, err)
+	}
+	wq, _ := m.ExpectedWaitSec()
+	if wq != 0 {
+		t.Fatalf("Wq = %v", wq)
+	}
+}
+
+func TestMinServers(t *testing.T) {
+	// lambda 10, mu 2: stability needs c >= 6; a tight wait bound needs
+	// more.
+	c, err := MinServers(10, 2, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 6 {
+		t.Fatalf("c = %d below stability bound", c)
+	}
+	m := MMC{Lambda: 10, Mu: 2, C: c}
+	wq, _ := m.ExpectedWaitSec()
+	if wq > 0.01 {
+		t.Fatalf("c = %d gives Wq %v > bound", c, wq)
+	}
+	if c > 6 {
+		// One fewer server must violate the bound (minimality).
+		prev := MMC{Lambda: 10, Mu: 2, C: c - 1}
+		if wqPrev, err := prev.ExpectedWaitSec(); err == nil && wqPrev <= 0.01 {
+			t.Fatalf("c-1 = %d already meets the bound (Wq %v)", c-1, wqPrev)
+		}
+	}
+	if _, err := MinServers(10, 2, 0.000001, 7); err == nil {
+		t.Fatal("impossible bound accepted")
+	}
+	if _, err := MinServers(-1, 2, 1, 0); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+func TestFluidDrain(t *testing.T) {
+	d, err := FluidDrainSec(100, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 20 {
+		t.Fatalf("drain = %v, want 20", d)
+	}
+	d, _ = FluidDrainSec(100, 10, 10)
+	if !math.IsInf(d, 1) {
+		t.Fatalf("saturated drain = %v, want +inf", d)
+	}
+	if _, err := FluidDrainSec(-1, 5, 10); err == nil {
+		t.Fatal("negative backlog accepted")
+	}
+}
+
+func TestPropertyErlangCInUnitInterval(t *testing.T) {
+	f := func(lr, mr uint16, cr uint8) bool {
+		lambda := float64(lr%500) / 10
+		mu := 0.1 + float64(mr%100)/10
+		c := 1 + int(cr%32)
+		m := MMC{Lambda: lambda, Mu: mu, C: c}
+		pw, err := m.ErlangC()
+		if err != nil {
+			return !m.Stable() // only saturation may error
+		}
+		return pw >= 0 && pw <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMoreServersNeverSlower(t *testing.T) {
+	f := func(lr, mr uint16, cr uint8) bool {
+		lambda := 0.1 + float64(lr%300)/10
+		mu := 0.1 + float64(mr%100)/10
+		c := 1 + int(cr%16)
+		a := MMC{Lambda: lambda, Mu: mu, C: c}
+		b := MMC{Lambda: lambda, Mu: mu, C: c + 1}
+		wa, errA := a.ExpectedWaitSec()
+		wb, errB := b.ExpectedWaitSec()
+		if errA != nil {
+			return true // a saturated; nothing to compare
+		}
+		if errB != nil {
+			return false // more servers can't lose stability
+		}
+		return wb <= wa+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLittlesLaw(t *testing.T) {
+	f := func(lr, mr uint16, cr uint8) bool {
+		lambda := 0.1 + float64(lr%200)/10
+		mu := 0.1 + float64(mr%100)/10
+		c := 1 + int(cr%16)
+		m := MMC{Lambda: lambda, Mu: mu, C: c}
+		if !m.Stable() {
+			return true
+		}
+		wq, err1 := m.ExpectedWaitSec()
+		lq, err2 := m.ExpectedQueueLen()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(lq-lambda*wq) < 1e-9*(1+lq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+package rates
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstant(t *testing.T) {
+	c, err := NewConstant(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range []int64{0, 100, 1e6} {
+		if c.Rate(sec) != 5 {
+			t.Fatalf("Rate(%d) = %v", sec, c.Rate(sec))
+		}
+	}
+	if c.Mean() != 5 || c.Name() != "constant" {
+		t.Fatal("metadata wrong")
+	}
+	if _, err := NewConstant(-1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestWaveOscillatesAroundMean(t *testing.T) {
+	w, err := NewWave(10, 4, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, n := 0.0, 0
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for sec := int64(0); sec < 1200; sec++ {
+		r := w.Rate(sec)
+		if r < 0 {
+			t.Fatalf("negative rate %v at %d", r, sec)
+		}
+		sum += r
+		n++
+		minV = math.Min(minV, r)
+		maxV = math.Max(maxV, r)
+	}
+	if math.Abs(sum/float64(n)-10) > 0.05 {
+		t.Fatalf("mean over period = %v", sum/float64(n))
+	}
+	if maxV < 13.9 || minV > 6.1 {
+		t.Fatalf("amplitude not realized: [%v, %v]", minV, maxV)
+	}
+	if w.Mean() != 10 || w.Name() != "wave" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestWaveValidation(t *testing.T) {
+	if _, err := NewWave(-1, 0, 60); err == nil {
+		t.Fatal("negative mean accepted")
+	}
+	if _, err := NewWave(10, 11, 60); err == nil {
+		t.Fatal("amplitude > mean accepted")
+	}
+	if _, err := NewWave(10, 5, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestRandomWalkDeterministicAndBounded(t *testing.T) {
+	a, err := NewRandomWalk(10, 0.1, 60, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewRandomWalk(10, 0.1, 60, 42)
+	for sec := int64(0); sec < 86400; sec += 60 {
+		ra, rb := a.Rate(sec), b.Rate(sec)
+		if ra != rb {
+			t.Fatalf("walks with same seed diverge at %d: %v vs %v", sec, ra, rb)
+		}
+		if ra < 0.4*10-1e-9 || ra > 1.6*10+1e-9 {
+			t.Fatalf("walk escaped bounds: %v", ra)
+		}
+	}
+}
+
+func TestRandomWalkQueryOrderIndependent(t *testing.T) {
+	a, _ := NewRandomWalk(10, 0.1, 60, 7)
+	b, _ := NewRandomWalk(10, 0.1, 60, 7)
+	// Query a forwards and b backwards; values must agree.
+	var fw []float64
+	for sec := int64(0); sec <= 6000; sec += 60 {
+		fw = append(fw, a.Rate(sec))
+	}
+	i := len(fw) - 1
+	for sec := int64(6000); sec >= 0; sec -= 60 {
+		if got := b.Rate(sec); got != fw[i] {
+			t.Fatalf("order-dependent at %d: %v vs %v", sec, got, fw[i])
+		}
+		i--
+	}
+}
+
+func TestRandomWalkStaysNearMean(t *testing.T) {
+	rw, _ := NewRandomWalk(20, 0.1, 60, 3)
+	sum, n := 0.0, 0
+	for sec := int64(0); sec < 10*86400; sec += 60 {
+		sum += rw.Rate(sec)
+		n++
+	}
+	avg := sum / float64(n)
+	if math.Abs(avg-20) > 2.5 {
+		t.Fatalf("long-run average %v strays from mean 20", avg)
+	}
+	if rw.Rate(-100) != rw.Rate(0) {
+		t.Fatal("negative time should clamp to 0")
+	}
+}
+
+func TestRandomWalkValidation(t *testing.T) {
+	if _, err := NewRandomWalk(-1, 0.1, 60, 0); err == nil {
+		t.Fatal("negative mean accepted")
+	}
+	if _, err := NewRandomWalk(10, 1.5, 60, 0); err == nil {
+		t.Fatal("step > 1 accepted")
+	}
+	if _, err := NewRandomWalk(10, 0.1, 0, 0); err == nil {
+		t.Fatal("zero step period accepted")
+	}
+}
+
+func TestSpike(t *testing.T) {
+	base, _ := NewConstant(10)
+	s, err := NewSpike(base, 3, 600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Rate(30); got != 30 {
+		t.Fatalf("in-burst rate = %v", got)
+	}
+	if got := s.Rate(120); got != 10 {
+		t.Fatalf("off-burst rate = %v", got)
+	}
+	if got := s.Rate(630); got != 30 {
+		t.Fatalf("second burst rate = %v", got)
+	}
+	wantMean := 10 * (1 + 0.1*2)
+	if math.Abs(s.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", s.Mean(), wantMean)
+	}
+	if s.Name() != "spike(constant)" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestSpikeValidation(t *testing.T) {
+	base, _ := NewConstant(10)
+	if _, err := NewSpike(nil, 2, 600, 60); err == nil {
+		t.Fatal("nil base accepted")
+	}
+	if _, err := NewSpike(base, 0.5, 600, 60); err == nil {
+		t.Fatal("factor < 1 accepted")
+	}
+	if _, err := NewSpike(base, 2, 60, 600); err == nil {
+		t.Fatal("duration > interval accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	base, _ := NewWave(10, 4, 1200)
+	s := &Scaled{Base: base, Factor: 0.5}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Rate(0) != base.Rate(0)*0.5 {
+		t.Fatal("scale not applied")
+	}
+	if s.Name() != "wave" {
+		t.Fatal("name should pass through")
+	}
+}
+
+func TestPaperProfiles(t *testing.T) {
+	ps, err := PaperProfiles(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("%d profiles", len(ps))
+	}
+	for name, p := range ps {
+		if p.Mean() != 10 {
+			t.Fatalf("%s mean = %v", name, p.Mean())
+		}
+		if p.Rate(0) < 0 {
+			t.Fatalf("%s negative at 0", name)
+		}
+	}
+	if _, err := PaperProfiles(-5, 1); err == nil {
+		t.Fatal("negative mean accepted")
+	}
+}
+
+func TestPaperDataRatesSpanPaperRange(t *testing.T) {
+	rs := PaperDataRates()
+	if rs[0] != 2 || rs[len(rs)-1] != 50 {
+		t.Fatalf("rates = %v", rs)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i] <= rs[i-1] {
+			t.Fatalf("rates not increasing: %v", rs)
+		}
+	}
+}
+
+func TestPropertyProfilesNonNegative(t *testing.T) {
+	f := func(seed int64, secRaw uint32, meanRaw uint16) bool {
+		mean := 1 + float64(meanRaw%100)
+		sec := int64(secRaw % 864000)
+		ps, err := PaperProfiles(mean, seed)
+		if err != nil {
+			return false
+		}
+		for _, p := range ps {
+			if p.Rate(sec) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWalkWithinClamp(t *testing.T) {
+	f := func(seed int64, secRaw uint32) bool {
+		rw, err := NewRandomWalk(10, 0.2, 60, seed)
+		if err != nil {
+			return false
+		}
+		r := rw.Rate(int64(secRaw % 864000))
+		return r >= 4-1e-9 && r <= 16+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package scenario defines the JSON scenario format shared by the
+// command-line tools (cmd/dfsim): a complete description of one simulation
+// — the dataflow (with choice groups), the input-rate profile, the
+// infrastructure behaviour (ideal, replayed, real CSV traces, failures,
+// spot market), the policy, and the objective — and builds a ready-to-run
+// engine + scheduler pair from it.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/core"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/sim"
+	"dynamicdf/internal/trace"
+)
+
+// Scenario is the top-level schema.
+type Scenario struct {
+	Graph  GraphSpec  `json:"graph"`
+	Rate   RateSpec   `json:"rate"`
+	Infra  InfraSpec  `json:"infra"`
+	Policy PolicySpec `json:"policy"`
+	Spot   SpotSpec   `json:"spot"`
+
+	HorizonHours   float64      `json:"horizonHours"`
+	IntervalSec    int64        `json:"intervalSec"`
+	OmegaHat       float64      `json:"omegaHat"`
+	Epsilon        float64      `json:"epsilon"`
+	LatencyHatSec  float64      `json:"latencyHatSec"`
+	Seed           int64        `json:"seed"`
+	MaxVMs         int          `json:"maxVMs"`
+	FailureMTBFHrs float64      `json:"failureMTBFHours"`
+	Choices        []ChoiceSpec `json:"choices"`
+	Audit          bool         `json:"audit"`
+}
+
+// GraphSpec mirrors the canonical dataflow JSON inline.
+type GraphSpec struct {
+	DefaultMsgBytes int         `json:"defaultMsgBytes"`
+	PEs             []PESpec    `json:"pes"`
+	Edges           [][2]string `json:"edges"`
+}
+
+// PESpec declares one PE.
+type PESpec struct {
+	Name       string    `json:"name"`
+	MsgBytes   int       `json:"msgBytes"`
+	Alternates []AltSpec `json:"alternates"`
+}
+
+// AltSpec declares one alternate.
+type AltSpec struct {
+	Name        string  `json:"name"`
+	Value       float64 `json:"value"`
+	Cost        float64 `json:"cost"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+// ChoiceSpec declares a choice group by PE names.
+type ChoiceSpec struct {
+	Name    string   `json:"name"`
+	From    string   `json:"from"`
+	Targets []string `json:"targets"`
+}
+
+// RateSpec selects the input profile.
+type RateSpec struct {
+	Kind      string  `json:"kind"` // constant | wave | randomwalk
+	Mean      float64 `json:"mean"`
+	Amplitude float64 `json:"amplitude"`
+	PeriodSec int64   `json:"periodSec"`
+	StepFrac  float64 `json:"stepFrac"`
+	Seed      int64   `json:"seed"`
+}
+
+// InfraSpec selects the performance provider.
+type InfraSpec struct {
+	Kind string `json:"kind"` // ideal | replayed | csvdir
+	Seed int64  `json:"seed"`
+	Dir  string `json:"dir"`
+}
+
+// PolicySpec selects the scheduler.
+type PolicySpec struct {
+	Kind    string `json:"kind"` // local | global | bruteforce
+	Dynamic *bool  `json:"dynamic"`
+	Static  bool   `json:"static"`
+	UseSpot bool   `json:"useSpot"`
+}
+
+// SpotSpec adds a preemptible market.
+type SpotSpec struct {
+	PriceFraction    float64 `json:"priceFraction"`
+	PreemptMTBFHours float64 `json:"preemptMTBFHours"`
+}
+
+// Parse decodes a scenario from JSON.
+func Parse(r io.Reader) (*Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &sc, nil
+}
+
+// Built holds everything needed to run the scenario.
+type Built struct {
+	Engine    *sim.Engine
+	Scheduler sim.Scheduler
+	Objective core.Objective
+	Graph     *dataflow.Graph
+}
+
+// Build validates the scenario and constructs the engine and scheduler.
+func (sc *Scenario) Build() (*Built, error) {
+	b := dataflow.NewBuilder()
+	if sc.Graph.DefaultMsgBytes > 0 {
+		b.DefaultMsgBytes(sc.Graph.DefaultMsgBytes)
+	}
+	for _, pe := range sc.Graph.PEs {
+		alts := make([]dataflow.Alternate, 0, len(pe.Alternates))
+		for _, a := range pe.Alternates {
+			alts = append(alts, dataflow.Alt(a.Name, a.Value, a.Cost, a.Selectivity))
+		}
+		b.AddPE(pe.Name, alts...)
+		if pe.MsgBytes > 0 {
+			b.SetMsgBytes(pe.Name, pe.MsgBytes)
+		}
+	}
+	for _, e := range sc.Graph.Edges {
+		b.Connect(e[0], e[1])
+	}
+	for _, ch := range sc.Choices {
+		b.AddChoice(ch.Name, ch.From, ch.Targets...)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	prof, err := sc.profile()
+	if err != nil {
+		return nil, err
+	}
+	perf, err := sc.perf()
+	if err != nil {
+		return nil, err
+	}
+
+	hours := sc.HorizonHours
+	if hours == 0 {
+		hours = 4
+	}
+	obj, err := core.PaperSigma(g, prof.Mean(), hours)
+	if err != nil {
+		return nil, err
+	}
+	if sc.OmegaHat != 0 {
+		obj.OmegaHat = sc.OmegaHat
+	}
+	if sc.Epsilon != 0 {
+		obj.Epsilon = sc.Epsilon
+	}
+	obj.LatencyHatSec = sc.LatencyHatSec
+	if err := obj.Validate(); err != nil {
+		return nil, err
+	}
+
+	sched, err := sc.scheduler(obj, hours)
+	if err != nil {
+		return nil, err
+	}
+
+	classes := cloud.AWS2013Classes()
+	var preemption sim.FailureModel
+	if sc.Spot.PriceFraction > 0 {
+		if sc.Spot.PriceFraction >= 1 {
+			return nil, fmt.Errorf("scenario: spot price fraction %v must be in (0,1)", sc.Spot.PriceFraction)
+		}
+		classes = cloud.WithSpotMarket(classes, sc.Spot.PriceFraction)
+		mtbf := sc.Spot.PreemptMTBFHours
+		if mtbf == 0 {
+			mtbf = 1
+		}
+		preemption = sim.ExponentialFailures{MTBFSec: int64(mtbf * 3600), Seed: sc.Seed + 1}
+	}
+	var failures sim.FailureModel
+	if sc.FailureMTBFHrs > 0 {
+		failures = sim.ExponentialFailures{MTBFSec: int64(sc.FailureMTBFHrs * 3600), Seed: sc.Seed}
+	}
+	interval := sc.IntervalSec
+	if interval == 0 {
+		interval = 60
+	}
+	engine, err := sim.NewEngine(sim.Config{
+		Graph:       g,
+		Menu:        cloud.MustMenu(classes),
+		Perf:        perf,
+		Inputs:      map[int]rates.Profile{g.Inputs()[0]: prof},
+		IntervalSec: interval,
+		HorizonSec:  int64(hours * 3600),
+		Seed:        sc.Seed,
+		MaxVMs:      sc.MaxVMs,
+		Failures:    failures,
+		Preemption:  preemption,
+		Audit:       sc.Audit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Engine: engine, Scheduler: sched, Objective: obj, Graph: g}, nil
+}
+
+func (sc *Scenario) profile() (rates.Profile, error) {
+	switch sc.Rate.Kind {
+	case "constant", "":
+		return rates.NewConstant(sc.Rate.Mean)
+	case "wave":
+		period := sc.Rate.PeriodSec
+		if period == 0 {
+			period = 1800
+		}
+		return rates.NewWave(sc.Rate.Mean, sc.Rate.Amplitude, period)
+	case "randomwalk":
+		step := sc.Rate.StepFrac
+		if step == 0 {
+			step = 0.1
+		}
+		return rates.NewRandomWalk(sc.Rate.Mean, step, 60, sc.Rate.Seed)
+	default:
+		return nil, fmt.Errorf("scenario: unknown rate kind %q", sc.Rate.Kind)
+	}
+}
+
+func (sc *Scenario) perf() (trace.Provider, error) {
+	switch sc.Infra.Kind {
+	case "ideal", "":
+		return trace.NewIdeal(), nil
+	case "replayed":
+		return trace.NewReplayed(trace.ReplayedConfig{Seed: sc.Infra.Seed})
+	case "csvdir":
+		pool, err := trace.LoadDir(sc.Infra.Dir)
+		if err != nil {
+			return nil, err
+		}
+		return trace.NewReplayedFromSeries(pool, nil, nil, sc.Infra.Seed)
+	default:
+		return nil, fmt.Errorf("scenario: unknown infra kind %q", sc.Infra.Kind)
+	}
+}
+
+func (sc *Scenario) scheduler(obj core.Objective, hours float64) (sim.Scheduler, error) {
+	dynamic := true
+	if sc.Policy.Dynamic != nil {
+		dynamic = *sc.Policy.Dynamic
+	}
+	switch sc.Policy.Kind {
+	case "local":
+		return core.NewHeuristic(core.Options{
+			Strategy: core.Local, Dynamic: dynamic, Adaptive: !sc.Policy.Static,
+			Objective: obj, UseSpot: sc.Policy.UseSpot})
+	case "global", "":
+		return core.NewHeuristic(core.Options{
+			Strategy: core.Global, Dynamic: dynamic, Adaptive: !sc.Policy.Static,
+			Objective: obj, UseSpot: sc.Policy.UseSpot})
+	case "bruteforce":
+		return core.NewBruteForce(obj, hours)
+	default:
+		return nil, fmt.Errorf("scenario: unknown policy kind %q", sc.Policy.Kind)
+	}
+}

@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const minimal = `{
+  "graph": {
+    "pes": [
+      {"name": "a", "alternates": [{"name": "x", "value": 1, "cost": 0.2, "selectivity": 1}]},
+      {"name": "b", "alternates": [
+        {"name": "full", "value": 1, "cost": 1.0, "selectivity": 1},
+        {"name": "lite", "value": 0.8, "cost": 0.5, "selectivity": 1}
+      ]}
+    ],
+    "edges": [["a", "b"]]
+  },
+  "rate": {"kind": "constant", "mean": 5},
+  "horizonHours": 1
+}`
+
+func TestParseAndBuildMinimal(t *testing.T) {
+	sc, err := Parse(strings.NewReader(minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Graph.N() != 2 {
+		t.Fatalf("N = %d", built.Graph.N())
+	}
+	if built.Scheduler.Name() != "global" {
+		t.Fatalf("default policy = %q", built.Scheduler.Name())
+	}
+	if built.Objective.OmegaHat != 0.7 {
+		t.Fatalf("default omega-hat = %v", built.Objective.OmegaHat)
+	}
+	sum, err := built.Engine.Run(built.Scheduler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !built.Objective.MeetsConstraint(sum.MeanOmega) {
+		t.Fatalf("omega %.3f", sum.MeanOmega)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	in := `{"graph": {"pes": [], "edges": []}, "typoField": 1}`
+	if _, err := Parse(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	mutate := func(mut func(*Scenario)) error {
+		sc, err := Parse(strings.NewReader(minimal))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut(sc)
+		_, err = sc.Build()
+		return err
+	}
+	if err := mutate(func(s *Scenario) { s.Rate.Kind = "ghost" }); err == nil {
+		t.Fatal("bad rate kind accepted")
+	}
+	if err := mutate(func(s *Scenario) { s.Infra.Kind = "ghost" }); err == nil {
+		t.Fatal("bad infra kind accepted")
+	}
+	if err := mutate(func(s *Scenario) { s.Policy.Kind = "ghost" }); err == nil {
+		t.Fatal("bad policy kind accepted")
+	}
+	if err := mutate(func(s *Scenario) { s.Spot.PriceFraction = 2 }); err == nil {
+		t.Fatal("spot fraction >= 1 accepted")
+	}
+	if err := mutate(func(s *Scenario) { s.Graph.Edges = append(s.Graph.Edges, [2]string{"a", "ghost"}) }); err == nil {
+		t.Fatal("bad edge accepted")
+	}
+	if err := mutate(func(s *Scenario) { s.OmegaHat = 2 }); err == nil {
+		t.Fatal("omega-hat > 1 accepted")
+	}
+	if err := mutate(func(s *Scenario) { s.Infra = InfraSpec{Kind: "csvdir", Dir: "/nonexistent"} }); err == nil {
+		t.Fatal("missing trace dir accepted")
+	}
+}
+
+func TestBuildVariants(t *testing.T) {
+	variants := []func(*Scenario){
+		func(s *Scenario) { s.Rate = RateSpec{Kind: "wave", Mean: 5, Amplitude: 2} },
+		func(s *Scenario) { s.Rate = RateSpec{Kind: "randomwalk", Mean: 5} },
+		func(s *Scenario) { s.Infra = InfraSpec{Kind: "replayed", Seed: 3} },
+		func(s *Scenario) { s.Policy = PolicySpec{Kind: "local"} },
+		func(s *Scenario) { s.Policy = PolicySpec{Kind: "bruteforce"} },
+		func(s *Scenario) { s.Policy.Static = true },
+		func(s *Scenario) {
+			s.Spot = SpotSpec{PriceFraction: 0.3}
+			s.Policy.UseSpot = true
+		},
+		func(s *Scenario) { s.FailureMTBFHrs = 2 },
+		func(s *Scenario) { s.LatencyHatSec = 60 },
+		func(s *Scenario) { s.Audit = true },
+	}
+	for i, mut := range variants {
+		sc, err := Parse(strings.NewReader(minimal))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut(sc)
+		built, err := sc.Build()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if _, err := built.Engine.Run(built.Scheduler); err != nil {
+			t.Fatalf("variant %d run: %v", i, err)
+		}
+	}
+}
+
+func TestBuildWithChoices(t *testing.T) {
+	in := `{
+	  "graph": {
+	    "pes": [
+	      {"name": "in", "alternates": [{"name": "x", "value": 1, "cost": 0.1, "selectivity": 1}]},
+	      {"name": "p1", "alternates": [{"name": "x", "value": 1, "cost": 0.5, "selectivity": 1}]},
+	      {"name": "p2", "alternates": [{"name": "x", "value": 0.7, "cost": 0.2, "selectivity": 1}]},
+	      {"name": "out", "alternates": [{"name": "x", "value": 1, "cost": 0.1, "selectivity": 1}]}
+	    ],
+	    "edges": [["p1", "out"], ["p2", "out"]]
+	  },
+	  "choices": [{"name": "route", "from": "in", "targets": ["p1", "p2"]}],
+	  "rate": {"kind": "constant", "mean": 4},
+	  "horizonHours": 1
+	}`
+	sc, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built.Graph.Choices) != 1 {
+		t.Fatalf("choices = %d", len(built.Graph.Choices))
+	}
+	if _, err := built.Engine.Run(built.Scheduler); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+
+	"dynamicdf/internal/cloud"
+)
+
+// Actions is the control surface a scheduler acts through (§5's runtime
+// controls): switch a PE's alternate, acquire or release VMs, and move CPU
+// cores between PEs and VMs. The engine enforces every billing and
+// consistency consequence — hour-boundary charges, buffer migration on
+// release, no oversubscription — so a buggy policy cannot corrupt the run.
+type Actions struct {
+	e *Engine
+}
+
+// NewActions builds a control surface over an engine, for tools and tests
+// that act outside a Scheduler callback.
+func NewActions(e *Engine) *Actions { return &Actions{e: e} }
+
+// SelectAlternate activates alternate alt for PE pe. Switching is legal at
+// any interval boundary because PEs are stateless across messages (§5).
+func (a *Actions) SelectAlternate(pe, alt int) error {
+	g := a.e.cfg.Graph
+	if pe < 0 || pe >= g.N() {
+		return fmt.Errorf("sim: select alternate on unknown PE %d", pe)
+	}
+	if alt < 0 || alt >= len(g.PEs[pe].Alternates) {
+		return fmt.Errorf("sim: PE %q has no alternate %d", g.PEs[pe].Name, alt)
+	}
+	a.e.sel[pe] = alt
+	a.e.audit(AuditEntry{Action: "select-alternate", PE: pe, N: alt,
+		Detail: g.PEs[pe].Alternates[alt].Name})
+	return nil
+}
+
+// SelectRoute activates target index target of choice group group — the
+// dynamic-paths control (§9): the whole sub-path behind the previous route
+// stops receiving messages, the newly routed one starts.
+func (a *Actions) SelectRoute(group, target int) error {
+	g := a.e.cfg.Graph
+	if group < 0 || group >= len(g.Choices) {
+		return fmt.Errorf("sim: unknown choice group %d", group)
+	}
+	if target < 0 || target >= len(g.Choices[group].Targets) {
+		return fmt.Errorf("sim: choice group %q has no target %d", g.Choices[group].Name, target)
+	}
+	a.e.routing[group] = target
+	a.e.audit(AuditEntry{Action: "select-route", PE: g.Choices[group].From, N: target,
+		Detail: g.Choices[group].Name})
+	return nil
+}
+
+// AcquireVM starts a new VM of the named class and returns its id. The VM
+// is billed from the current interval.
+func (a *Actions) AcquireVM(className string) (int, error) {
+	class, ok := a.e.cfg.Menu.ByName(className)
+	if !ok {
+		return 0, fmt.Errorf("sim: unknown VM class %q", className)
+	}
+	if a.e.fleet.ActiveCount() >= a.e.cfg.MaxVMs {
+		return 0, fmt.Errorf("sim: fleet at MaxVMs=%d", a.e.cfg.MaxVMs)
+	}
+	vm, err := a.e.fleet.Acquire(class, a.e.clock)
+	if err != nil {
+		return 0, err
+	}
+	vm.TraceID = a.e.vmTraceID(vm.ID)
+	a.e.audit(AuditEntry{Action: "acquire-vm", VM: vm.ID, Detail: class.Name})
+	return vm.ID, nil
+}
+
+// ReleaseVM stops a VM. All cores must have been unassigned first;
+// remaining message buffers were already migrated by UnassignCores.
+func (a *Actions) ReleaseVM(vmID int) error {
+	// Migrate any residual buffered messages before the VM disappears.
+	for pe := range a.e.queue {
+		if a.e.queue[pe][vmID] > 0 {
+			a.e.migrateQueue(pe, vmID)
+		}
+	}
+	if err := a.e.fleet.Release(vmID, a.e.clock); err != nil {
+		return err
+	}
+	a.e.vmMon.Forget(vmID)
+	a.e.netMon.ForgetVM(vmID)
+	a.e.audit(AuditEntry{Action: "release-vm", VM: vmID})
+	return nil
+}
+
+// AssignCores gives PE pe n additional cores on VM vmID.
+func (a *Actions) AssignCores(pe, vmID, n int) error {
+	g := a.e.cfg.Graph
+	if pe < 0 || pe >= g.N() {
+		return fmt.Errorf("sim: assign cores to unknown PE %d", pe)
+	}
+	if err := a.e.fleet.AssignCores(vmID, n, a.e.clock); err != nil {
+		return err
+	}
+	a.e.cores[pe][vmID] += n
+	a.e.audit(AuditEntry{Action: "assign-cores", PE: pe, VM: vmID, N: n})
+	return nil
+}
+
+// UnassignCores takes n cores of PE pe on VM vmID back. If the PE no longer
+// runs on that VM, its buffered messages there migrate to its remaining
+// VMs, paying the network transfer (§5).
+func (a *Actions) UnassignCores(pe, vmID, n int) error {
+	g := a.e.cfg.Graph
+	if pe < 0 || pe >= g.N() {
+		return fmt.Errorf("sim: unassign cores from unknown PE %d", pe)
+	}
+	have := a.e.cores[pe][vmID]
+	if n <= 0 || n > have {
+		return fmt.Errorf("sim: PE %q has %d cores on VM %d, cannot unassign %d",
+			g.PEs[pe].Name, have, vmID, n)
+	}
+	if err := a.e.fleet.UnassignCores(vmID, n); err != nil {
+		return err
+	}
+	if have == n {
+		delete(a.e.cores[pe], vmID)
+		if a.e.queue[pe][vmID] > 0 {
+			a.e.migrateQueue(pe, vmID)
+		}
+	} else {
+		a.e.cores[pe][vmID] = have - n
+	}
+	a.e.audit(AuditEntry{Action: "unassign-cores", PE: pe, VM: vmID, N: n})
+	return nil
+}
+
+// MovePE migrates all of the PE's cores from one VM to another (scale
+// out/in across instances, §5's PE migration control). The destination must
+// have enough free cores.
+func (a *Actions) MovePE(pe, fromVM, toVM, n int) error {
+	if fromVM == toVM {
+		return fmt.Errorf("sim: move PE %d onto the same VM %d", pe, fromVM)
+	}
+	if err := a.AssignCores(pe, toVM, n); err != nil {
+		return err
+	}
+	if err := a.UnassignCores(pe, fromVM, n); err != nil {
+		// Roll back the assignment to stay consistent.
+		_ = a.UnassignCores(pe, toVM, n)
+		return err
+	}
+	return nil
+}
+
+// Menu is a convenience passthrough for policies constructing class names.
+func (a *Actions) Menu() *cloud.Menu { return a.e.cfg.Menu }

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// AuditEntry records one control action a scheduler took, with the
+// simulation time it took effect — the decision trace an operator of such
+// a system would want when asking "why did the bill spike at 3am".
+type AuditEntry struct {
+	Sec    int64  `json:"sec"`
+	Action string `json:"action"`
+	PE     int    `json:"pe,omitempty"`
+	VM     int    `json:"vm,omitempty"`
+	N      int    `json:"n,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the entry as one log line.
+func (a AuditEntry) String() string {
+	return fmt.Sprintf("t=%ds %s pe=%d vm=%d n=%d %s", a.Sec, a.Action, a.PE, a.VM, a.N, a.Detail)
+}
+
+// audit appends an entry when auditing is enabled.
+func (e *Engine) audit(entry AuditEntry) {
+	if !e.cfg.Audit {
+		return
+	}
+	entry.Sec = e.clock
+	e.auditLog = append(e.auditLog, entry)
+}
+
+// AuditLog returns the recorded actions (empty unless Config.Audit).
+func (e *Engine) AuditLog() []AuditEntry { return e.auditLog }
+
+// WriteAuditJSONL streams the audit log as JSON lines.
+func (e *Engine) WriteAuditJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, entry := range e.auditLog {
+		if err := enc.Encode(entry); err != nil {
+			return err
+		}
+	}
+	return nil
+}

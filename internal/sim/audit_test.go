@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAuditLogRecordsActions(t *testing.T) {
+	g := chainGraph(0.5)
+	cfg := baseConfig(g, 5, 1800)
+	cfg.Audit = true
+	e, _ := NewEngine(cfg)
+	released := false
+	_, err := e.Run(&fixed{
+		deploy: deployEven,
+		adapt: func(v *View, act *Actions) error {
+			if released {
+				return nil
+			}
+			released = true
+			as := v.Assignments(1)
+			if err := act.UnassignCores(1, as[0].VMID, 1); err != nil {
+				return err
+			}
+			return act.SelectAlternate(0, 0)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := e.AuditLog()
+	if len(log) == 0 {
+		t.Fatal("no audit entries")
+	}
+	counts := map[string]int{}
+	for _, entry := range log {
+		counts[entry.Action]++
+	}
+	if counts["acquire-vm"] != 2 {
+		t.Fatalf("acquire-vm entries = %d", counts["acquire-vm"])
+	}
+	if counts["assign-cores"] != 2 || counts["unassign-cores"] != 1 {
+		t.Fatalf("core entries = %v", counts)
+	}
+	if counts["select-alternate"] != 1 {
+		t.Fatalf("alternate entries = %d", counts["select-alternate"])
+	}
+	// Entries carry the simulation time: deployment at t=0, adaptation
+	// after the first interval.
+	if log[0].Sec != 0 {
+		t.Fatalf("first entry at t=%d", log[0].Sec)
+	}
+	last := log[len(log)-1]
+	if last.Sec == 0 {
+		t.Fatal("adaptation entry missing its timestamp")
+	}
+	if !strings.Contains(last.String(), "select-alternate") {
+		t.Fatalf("String() = %q", last.String())
+	}
+}
+
+func TestAuditDisabledByDefault(t *testing.T) {
+	g := chainGraph(0.5)
+	cfg := baseConfig(g, 5, 600)
+	e, _ := NewEngine(cfg)
+	if _, err := e.Run(&fixed{deploy: deployEven}); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.AuditLog()) != 0 {
+		t.Fatal("audit recorded without opt-in")
+	}
+}
+
+func TestWriteAuditJSONL(t *testing.T) {
+	g := chainGraph(0.5)
+	cfg := baseConfig(g, 5, 600)
+	cfg.Audit = true
+	e, _ := NewEngine(cfg)
+	if _, err := e.Run(&fixed{deploy: deployEven}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteAuditJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(e.AuditLog()) {
+		t.Fatalf("jsonl lines = %d, entries = %d", len(lines), len(e.AuditLog()))
+	}
+	var entry AuditEntry
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Action != "acquire-vm" {
+		t.Fatalf("first action = %q", entry.Action)
+	}
+}

@@ -1,0 +1,118 @@
+// Package sim is a discrete-interval simulator for continuous dataflows on
+// an elastic IaaS cloud — the substrate the paper's evaluation runs on
+// (§8.1). It advances a fluid-flow model of the dataflow in fixed intervals:
+// external messages arrive at input PEs according to rate profiles, PEs
+// process messages on the CPU cores assigned to them (scaled by replayed
+// per-VM performance coefficients), inter-VM edges are capped by replayed
+// pairwise bandwidth, unprocessed messages queue in per-VM buffers, and VM
+// usage is billed at hour boundaries. A Scheduler drives deployment and
+// runtime adaptation through a monitored View and a constrained Actions API,
+// exactly mirroring the control surface the paper's heuristics assume.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/trace"
+)
+
+// Config assembles a simulation scenario.
+type Config struct {
+	// Graph is the dynamic dataflow to execute.
+	Graph *dataflow.Graph
+	// Menu lists the VM classes available for acquisition.
+	Menu *cloud.Menu
+	// Perf supplies runtime infrastructure behaviour (trace replay or
+	// ideal). Nil defaults to trace.NewIdeal().
+	Perf trace.Provider
+	// Inputs maps every input PE index to its external rate profile.
+	Inputs map[int]rates.Profile
+	// IntervalSec is the adaptation interval length (default 60).
+	IntervalSec int64
+	// HorizonSec is the total simulated time (must be a positive multiple
+	// of IntervalSec).
+	HorizonSec int64
+	// Seed decorrelates VM trace-window assignment between runs.
+	Seed int64
+	// MonitorAlpha is the EWMA smoothing for monitored rates and
+	// coefficients (default 0.5).
+	MonitorAlpha float64
+	// MaxVMs bounds fleet growth as a safety net against runaway policies
+	// (default 512).
+	MaxVMs int
+	// Failures injects VM crashes (default: none). Applies to every VM.
+	Failures FailureModel
+	// Preemption additionally reclaims preemptible-class (spot) VMs; it is
+	// ignored for on-demand classes. Typical spot markets preempt far more
+	// often than hardware fails.
+	Preemption FailureModel
+	// Audit records every scheduler action (AuditLog / WriteAuditJSONL).
+	Audit bool
+}
+
+// normalize fills defaults and validates.
+func (c *Config) normalize() error {
+	if c.Graph == nil {
+		return errors.New("sim: config needs a graph")
+	}
+	if c.Menu == nil {
+		return errors.New("sim: config needs a VM class menu")
+	}
+	if c.Perf == nil {
+		c.Perf = trace.NewIdeal()
+	}
+	if c.IntervalSec == 0 {
+		c.IntervalSec = 60
+	}
+	if c.IntervalSec <= 0 {
+		return fmt.Errorf("sim: interval %d <= 0", c.IntervalSec)
+	}
+	if c.HorizonSec <= 0 || c.HorizonSec%c.IntervalSec != 0 {
+		return fmt.Errorf("sim: horizon %d must be a positive multiple of interval %d", c.HorizonSec, c.IntervalSec)
+	}
+	if c.MonitorAlpha == 0 {
+		c.MonitorAlpha = 0.5
+	}
+	if !(c.MonitorAlpha > 0 && c.MonitorAlpha <= 1) {
+		return fmt.Errorf("sim: monitor alpha %v outside (0,1]", c.MonitorAlpha)
+	}
+	if c.MaxVMs == 0 {
+		c.MaxVMs = 512
+	}
+	if c.MaxVMs < 1 {
+		return fmt.Errorf("sim: max VMs %d < 1", c.MaxVMs)
+	}
+	inputs := c.Graph.Inputs()
+	if len(c.Inputs) != len(inputs) {
+		return fmt.Errorf("sim: %d input profiles for %d input PEs", len(c.Inputs), len(inputs))
+	}
+	for _, pe := range inputs {
+		if c.Inputs[pe] == nil {
+			return fmt.Errorf("sim: missing rate profile for input PE %q", c.Graph.PEs[pe].Name)
+		}
+	}
+	for pe := range c.Inputs {
+		if pe < 0 || pe >= c.Graph.N() || len(c.Graph.Predecessors(pe)) != 0 {
+			return fmt.Errorf("sim: profile attached to non-input PE %d", pe)
+		}
+	}
+	return nil
+}
+
+// Scheduler decides deployment and runtime adaptation. Deploy runs once
+// before the first interval; Adapt runs at the start of every subsequent
+// interval (the paper's periodic re-evaluation, §5).
+type Scheduler interface {
+	// Name labels the policy in experiment output.
+	Name() string
+	// Deploy performs initial alternate selection and resource allocation
+	// using estimated rates and rated VM performance.
+	Deploy(v *View, act *Actions) error
+	// Adapt reacts to the monitored state. It is first invoked after one
+	// full interval has executed.
+	Adapt(v *View, act *Actions) error
+}

@@ -1,0 +1,511 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/metrics"
+	"dynamicdf/internal/monitor"
+)
+
+// Engine executes a configured scenario.
+type Engine struct {
+	cfg     Config
+	clock   int64
+	fleet   *cloud.Fleet
+	sel     dataflow.Selection
+	routing dataflow.Routing
+
+	// cores[pe][vmID] = number of the VM's cores assigned to the PE.
+	cores []map[int]int
+	// queue[pe][vmID] = messages buffered for the PE at the VM.
+	queue []map[int]float64
+
+	// Monitoring state exposed through View.
+	rateEst   *monitor.RateEstimator
+	vmMon     *monitor.VMMonitor
+	netMon    *monitor.NetMonitor
+	lastOmega float64
+	omegaSum  float64
+	omegaN    int
+	lastPEOut []float64 // observed output rate per PE, last interval
+	lastPEExp []float64 // expected output rate per PE, last interval
+	lastPEIn  []float64 // observed arrival rate per PE, last interval
+
+	migratedBytes float64
+	crashCount    int
+	preemptions   int
+	lostMessages  float64
+	lastLatency   float64
+	auditLog      []AuditEntry
+	collector     *metrics.Collector
+	stepped       bool
+}
+
+// NewEngine validates the config and prepares an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	n := cfg.Graph.N()
+	e := &Engine{
+		cfg:       cfg,
+		fleet:     cloud.NewFleet(cfg.Menu),
+		sel:       dataflow.DefaultSelection(cfg.Graph),
+		routing:   dataflow.DefaultRouting(cfg.Graph),
+		cores:     make([]map[int]int, n),
+		queue:     make([]map[int]float64, n),
+		lastPEOut: make([]float64, n),
+		lastPEExp: make([]float64, n),
+		lastPEIn:  make([]float64, n),
+		collector: metrics.NewCollector(),
+	}
+	for i := 0; i < n; i++ {
+		e.cores[i] = map[int]int{}
+		e.queue[i] = map[int]float64{}
+	}
+	e.rateEst, _ = monitor.NewRateEstimator(cfg.MonitorAlpha)
+	e.vmMon, _ = monitor.NewVMMonitor(cfg.MonitorAlpha)
+	e.netMon, _ = monitor.NewNetMonitor(cfg.MonitorAlpha)
+	return e, nil
+}
+
+// Now returns the simulation clock in seconds.
+func (e *Engine) Now() int64 { return e.clock }
+
+// Collector returns the per-interval metrics recorded so far.
+func (e *Engine) Collector() *metrics.Collector { return e.collector }
+
+// Selection returns the live alternate selection (shared; do not mutate).
+func (e *Engine) Selection() dataflow.Selection { return e.sel }
+
+// Fleet exposes the VM fleet for inspection (tests, experiments).
+func (e *Engine) Fleet() *cloud.Fleet { return e.fleet }
+
+// Run drives the scenario to the horizon under the scheduler and returns
+// the period summary. Scheduler errors abort the run.
+func (e *Engine) Run(s Scheduler) (metrics.Summary, error) {
+	if s == nil {
+		return metrics.Summary{}, fmt.Errorf("sim: nil scheduler")
+	}
+	view := &View{e: e}
+	act := &Actions{e: e}
+	if err := s.Deploy(view, act); err != nil {
+		return metrics.Summary{}, fmt.Errorf("sim: deploy (%s): %w", s.Name(), err)
+	}
+	steps := e.cfg.HorizonSec / e.cfg.IntervalSec
+	for i := int64(0); i < steps; i++ {
+		if i > 0 {
+			if err := s.Adapt(view, act); err != nil {
+				return metrics.Summary{}, fmt.Errorf("sim: adapt (%s) at %d: %w", s.Name(), e.clock, err)
+			}
+		}
+		if err := e.step(); err != nil {
+			return metrics.Summary{}, err
+		}
+	}
+	return e.collector.Summarize(), nil
+}
+
+// vmTraceID derives the stable trace id for a VM.
+func (e *Engine) vmTraceID(vmID int) int64 {
+	return e.cfg.Seed*1_000_003 + int64(vmID)
+}
+
+// coeff returns the true instantaneous CPU coefficient for a VM (the
+// engine's ground truth; the monitored estimate is what schedulers see).
+func (e *Engine) coeff(vmID int, sec int64) float64 {
+	return e.cfg.Perf.CPUCoeff(e.vmTraceID(vmID), sec)
+}
+
+// peCapacity returns the PE's total processing capacity in msg/s at sec,
+// plus the per-VM capacity split.
+func (e *Engine) peCapacity(pe int, sec int64) (total float64, perVM map[int]float64) {
+	alt := e.sel.Alt(e.cfg.Graph, pe)
+	perVM = make(map[int]float64, len(e.cores[pe]))
+	for _, vmID := range sortedKeys(e.cores[pe]) {
+		n := e.cores[pe][vmID]
+		vm, err := e.fleet.Get(vmID)
+		if err != nil || !vm.Active() {
+			continue
+		}
+		speed := float64(n) * vm.Class.CoreSpeed * e.coeff(vmID, sec)
+		cap := speed / alt.Cost
+		perVM[vmID] = cap
+		total += cap
+	}
+	return total, perVM
+}
+
+// peRatedShares returns each hosting VM's share of the PE's *rated*
+// capacity. The load balancer splits messages by rated shares — it has no
+// visibility into instantaneous coefficients — so a degraded VM becomes a
+// straggler whose queue grows, one of the ways infrastructure variability
+// hurts QoS (§1).
+func (e *Engine) peRatedShares(pe int) map[int]float64 {
+	shares := make(map[int]float64, len(e.cores[pe]))
+	total := 0.0
+	for _, vmID := range sortedKeys(e.cores[pe]) {
+		n := e.cores[pe][vmID]
+		vm, err := e.fleet.Get(vmID)
+		if err != nil || !vm.Active() {
+			continue
+		}
+		r := float64(n) * vm.Class.CoreSpeed
+		shares[vmID] = r
+		total += r
+	}
+	if total <= 0 {
+		return nil
+	}
+	for vmID := range shares {
+		shares[vmID] /= total
+	}
+	return shares
+}
+
+// linkMsgCap converts pairwise bandwidth into a message rate cap for an
+// edge whose messages are msgBytes large. Colocated VMs short-circuit.
+func (e *Engine) linkMsgCap(srcVM, dstVM int, msgBytes int, sec int64) float64 {
+	if srcVM == dstVM {
+		return inf
+	}
+	bwMbps := e.cfg.Perf.BandwidthMbps(e.vmTraceID(srcVM), e.vmTraceID(dstVM), sec)
+	bytesPerSec := bwMbps * 1e6 / 8
+	return bytesPerSec / float64(msgBytes)
+}
+
+const inf = 1e18
+
+// sortedKeys returns a map's keys ascending so float accumulation and
+// tie-breaking are order-stable across runs.
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// step simulates one interval [clock, clock+interval).
+func (e *Engine) step() error {
+	g := e.cfg.Graph
+	dt := float64(e.cfg.IntervalSec)
+	sec := e.clock
+
+	// Crash VMs whose lifetime expired before this interval's flow runs,
+	// so the interval executes on the surviving capacity.
+	if err := e.crashDueVMs(sec); err != nil {
+		return err
+	}
+
+	// External arrival rates this interval.
+	extRate := make(map[int]float64, len(e.cfg.Inputs))
+	totalIn := 0.0
+	for _, pe := range sortedKeys(e.cfg.Inputs) {
+		r := e.cfg.Inputs[pe].Rate(sec)
+		if r < 0 {
+			return fmt.Errorf("sim: profile for PE %d returned negative rate %v", pe, r)
+		}
+		extRate[pe] = r
+		totalIn += r
+	}
+
+	// Expected (uncapped) propagation for Def. 4's denominator.
+	inRates := dataflow.InputRates{}
+	for pe, r := range extRate {
+		inRates[pe] = r
+	}
+	_, expOut, err := dataflow.PropagateRatesRouted(g, e.sel, e.routing, inRates)
+	if err != nil {
+		return err
+	}
+
+	order, err := g.TopoOrder()
+	if err != nil {
+		return err
+	}
+
+	// Messages that buffered while a PE had no cores (virtual VM -1) move
+	// onto real hosting VMs as soon as capacity exists.
+	for pe := 0; pe < g.N(); pe++ {
+		if q := e.queue[pe][-1]; q > 0 {
+			total, perVM := e.peCapacity(pe, sec)
+			if total > 0 {
+				delete(e.queue[pe], -1)
+				for _, vmID := range sortedKeys(perVM) {
+					e.queue[pe][vmID] += q * perVM[vmID] / total
+				}
+			}
+		}
+	}
+
+	// arrivals[pe][vmID]: msg/s arriving at each hosting VM this interval.
+	arrivals := make([]map[int]float64, g.N())
+	for i := range arrivals {
+		arrivals[i] = map[int]float64{}
+	}
+	observedOut := make([]float64, g.N())
+	observedIn := make([]float64, g.N())
+
+	// Seed external arrivals, split across the input PE's VMs.
+	for pe, r := range extRate {
+		e.splitArrival(pe, r, arrivals[pe])
+	}
+
+	totalBacklog := 0.0
+	latencyAccum := 0.0
+	latencyN := 0
+
+	for _, pe := range order {
+		alt := e.sel.Alt(g, pe)
+		_, perVMcap := e.peCapacity(pe, sec)
+		// Process per hosting VM: arrivals plus backlog drain, bounded by
+		// capacity.
+		processed := 0.0
+		arrivalTotal := 0.0
+		for _, vmID := range sortedKeys(arrivals[pe]) {
+			arr := arrivals[pe][vmID]
+			arrivalTotal += arr
+			cap := perVMcap[vmID]
+			q := e.queue[pe][vmID]
+			avail := arr + q/dt
+			p := avail
+			if p > cap {
+				p = cap
+			}
+			newQ := q + (arr-p)*dt
+			if newQ < 1e-9 {
+				newQ = 0
+			}
+			e.queue[pe][vmID] = newQ
+			processed += p
+			if cap > 0 {
+				latencyAccum += newQ / cap
+				latencyN++
+			}
+		}
+		// Backlog on VMs with no arrivals this interval still drains.
+		for _, vmID := range sortedKeys(e.queue[pe]) {
+			q := e.queue[pe][vmID]
+			if _, seen := arrivals[pe][vmID]; seen || q == 0 {
+				continue
+			}
+			cap := perVMcap[vmID]
+			p := q / dt
+			if p > cap {
+				p = cap
+			}
+			newQ := q - p*dt
+			if newQ < 1e-9 {
+				newQ = 0
+			}
+			e.queue[pe][vmID] = newQ
+			processed += p
+			if cap > 0 {
+				latencyAccum += newQ / cap
+				latencyN++
+			}
+		}
+		observedIn[pe] = arrivalTotal
+		out := processed * alt.Selectivity
+		observedOut[pe] = out
+
+		// Deliver to successors: duplicate the full output onto each
+		// outgoing edge (and-split), splitting across destination VMs by
+		// capacity and capping each VM-pair sub-flow by bandwidth.
+		if out > 0 {
+			msgBytes := g.MsgBytes(pe)
+			srcShare := e.outputShares(pe, perVMcap, processed)
+			for _, succ := range g.ActiveSuccessors(pe, e.routing) {
+				e.deliver(pe, succ, out, msgBytes, srcShare, sec, arrivals[succ])
+			}
+		}
+		for _, vmID := range sortedKeys(e.queue[pe]) {
+			totalBacklog += e.queue[pe][vmID]
+		}
+	}
+
+	// Relative application throughput (Def. 4): mean over output PEs of
+	// observed/expected, clamped to [0, 1].
+	omega := 0.0
+	outs := g.Outputs()
+	for _, pe := range outs {
+		exp := expOut[pe]
+		if exp <= 0 {
+			omega += 1
+			continue
+		}
+		r := observedOut[pe] / exp
+		if r > 1 {
+			r = 1
+		}
+		omega += r
+	}
+	omega /= float64(len(outs))
+
+	totalOut := 0.0
+	for _, pe := range outs {
+		totalOut += observedOut[pe]
+	}
+
+	// Advance the clock before billing so the interval is paid for.
+	e.clock += e.cfg.IntervalSec
+
+	// Update monitors with this interval's observations.
+	for pe, r := range extRate {
+		e.rateEst.Observe(pe, r)
+	}
+	for _, vm := range e.fleet.Active() {
+		_ = e.vmMon.ObserveCPU(vm.ID, monitor.Probe{Sec: e.clock, CPUCoeff: e.coeff(vm.ID, sec)})
+	}
+	active := e.fleet.Active()
+	for i := 0; i < len(active); i++ {
+		for j := i + 1; j < len(active); j++ {
+			a, b := active[i], active[j]
+			lat := e.cfg.Perf.LatencySec(e.vmTraceID(a.ID), e.vmTraceID(b.ID), sec)
+			bw := e.cfg.Perf.BandwidthMbps(e.vmTraceID(a.ID), e.vmTraceID(b.ID), sec)
+			_ = e.netMon.Observe(a.ID, b.ID, lat, bw)
+		}
+	}
+
+	e.lastOmega = omega
+	e.omegaSum += omega
+	e.omegaN++
+	copy(e.lastPEOut, observedOut)
+	copy(e.lastPEExp, expOut)
+	copy(e.lastPEIn, observedIn)
+	e.stepped = true
+
+	usedCores := 0
+	for _, vm := range active {
+		usedCores += vm.UsedCores
+	}
+	meanLatency := 0.0
+	if latencyN > 0 {
+		meanLatency = latencyAccum / float64(latencyN)
+	}
+	e.lastLatency = meanLatency
+	gamma, err := dataflow.RoutedValue(g, e.sel, e.routing)
+	if err != nil {
+		return err
+	}
+	return e.collector.Add(metrics.Point{
+		Sec:        e.clock,
+		Omega:      omega,
+		Gamma:      gamma,
+		CostUSD:    e.fleet.TotalCost(e.clock),
+		ActiveVMs:  len(active),
+		UsedCores:  usedCores,
+		InputRate:  totalIn,
+		OutputRate: totalOut,
+		Backlog:    totalBacklog,
+		LatencySec: meanLatency,
+	})
+}
+
+// splitArrival distributes rate across the PE's hosting VMs by rated share
+// (the load balancer of §5 cannot see instantaneous coefficients). With no
+// cores assigned the messages buffer at a virtual unassigned queue (vmID
+// -1) so they are not silently lost.
+func (e *Engine) splitArrival(pe int, rate float64, dst map[int]float64) {
+	shares := e.peRatedShares(pe)
+	if len(shares) == 0 {
+		dst[-1] += rate
+		return
+	}
+	for vmID, s := range shares {
+		dst[vmID] += rate * s
+	}
+}
+
+// outputShares returns each source VM's share of the PE's processed output.
+func (e *Engine) outputShares(pe int, perVMcap map[int]float64, processed float64) map[int]float64 {
+	shares := make(map[int]float64, len(perVMcap))
+	if processed <= 0 {
+		return shares
+	}
+	total := 0.0
+	for _, vmID := range sortedKeys(perVMcap) {
+		total += perVMcap[vmID]
+	}
+	if total <= 0 {
+		return shares
+	}
+	for vmID, c := range perVMcap {
+		shares[vmID] = c / total
+	}
+	return shares
+}
+
+// deliver moves out msg/s from PE src (split across srcShare VMs) to PE dst,
+// splitting across dst's hosting VMs by capacity and capping every
+// cross-VM sub-flow at the pairwise bandwidth. Messages in excess of link
+// capacity are lost in transit (network backpressure shows up as reduced
+// downstream throughput, as in the paper's QoS degradation).
+func (e *Engine) deliver(src, dst int, out float64, msgBytes int, srcShare map[int]float64, sec int64, arrivals map[int]float64) {
+	dstShares := e.peRatedShares(dst)
+	if len(dstShares) == 0 {
+		// No cores downstream: buffer at the unassigned queue.
+		arrivals[-1] += out
+		return
+	}
+	for _, dstVM := range sortedKeys(dstShares) {
+		want := out * dstShares[dstVM]
+		if want <= 0 {
+			continue
+		}
+		if len(srcShare) == 0 {
+			// Source processed nothing yet output > 0 cannot happen, but
+			// stay safe: treat as colocated.
+			arrivals[dstVM] += want
+			continue
+		}
+		for _, srcVM := range sortedKeys(srcShare) {
+			flow := want * srcShare[srcVM]
+			cap := e.linkMsgCap(srcVM, dstVM, msgBytes, sec)
+			if flow > cap {
+				flow = cap
+			}
+			arrivals[dstVM] += flow
+		}
+	}
+}
+
+// migrateQueue moves any buffered messages for pe at fromVM onto the PE's
+// other hosting VMs (proportional to capacity), recording the bytes
+// transferred (§5: network cost paid for the transfer).
+func (e *Engine) migrateQueue(pe, fromVM int) {
+	q := e.queue[pe][fromVM]
+	if q <= 0 {
+		delete(e.queue[pe], fromVM)
+		return
+	}
+	delete(e.queue[pe], fromVM)
+	_, perVM := e.peCapacity(pe, e.clock)
+	total := 0.0
+	for _, vmID := range sortedKeys(perVM) {
+		if vmID != fromVM {
+			total += perVM[vmID]
+		}
+	}
+	if total <= 0 {
+		// Nowhere to go: hold at the unassigned queue.
+		e.queue[pe][-1] += q
+	} else {
+		for _, vmID := range sortedKeys(perVM) {
+			if vmID == fromVM {
+				continue
+			}
+			e.queue[pe][vmID] += q * perVM[vmID] / total
+		}
+	}
+	e.migratedBytes += q * float64(e.cfg.Graph.MsgBytes(pe))
+}
+
+// MigratedBytes reports the cumulative message-buffer bytes moved by core
+// unassignments and VM releases.
+func (e *Engine) MigratedBytes() float64 { return e.migratedBytes }

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFailuresIsImmortal(t *testing.T) {
+	if (NoFailures{}).DeathAgeSec(42) >= 0 {
+		t.Fatal("NoFailures produced a death age")
+	}
+}
+
+func TestExponentialFailuresDeterministic(t *testing.T) {
+	f := ExponentialFailures{MTBFSec: 3600, Seed: 1}
+	if f.DeathAgeSec(7) != f.DeathAgeSec(7) {
+		t.Fatal("same id gave different lifetimes")
+	}
+	g := ExponentialFailures{MTBFSec: 3600, Seed: 2}
+	diff := false
+	for id := int64(0); id < 32 && !diff; id++ {
+		if f.DeathAgeSec(id) != g.DeathAgeSec(id) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds never disagreed")
+	}
+	if (ExponentialFailures{MTBFSec: 0}).DeathAgeSec(1) >= 0 {
+		t.Fatal("zero MTBF should disable failures")
+	}
+}
+
+func TestExponentialFailuresMeanRoughlyMTBF(t *testing.T) {
+	f := ExponentialFailures{MTBFSec: 7200, Seed: 5}
+	sum := 0.0
+	const n = 5000
+	for id := int64(0); id < n; id++ {
+		age := f.DeathAgeSec(id)
+		if age < 1 {
+			t.Fatalf("lifetime %d < 1", age)
+		}
+		sum += float64(age)
+	}
+	mean := sum / n
+	if mean < 0.85*7200 || mean > 1.15*7200 {
+		t.Fatalf("empirical mean %v far from MTBF 7200", mean)
+	}
+}
+
+func TestPropertyLifetimesPositive(t *testing.T) {
+	f := func(id, seed int64, mtbfRaw uint16) bool {
+		mtbf := int64(mtbfRaw) + 1
+		age := ExponentialFailures{MTBFSec: mtbf, Seed: seed}.DeathAgeSec(id)
+		return age >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRemovesVMAndLosesBuffers(t *testing.T) {
+	// An overloaded work PE builds a queue; its VM crashes after ~30 min;
+	// with a static policy nothing re-provisions, so throughput collapses
+	// and the lost messages are counted.
+	g := chainGraph(4) // heavy: queues guaranteed
+	cfg := baseConfig(g, 2, 3600)
+	cfg.Failures = fixedDeath{age: 1800}
+	e, _ := NewEngine(cfg)
+	_, err := e.Run(&fixed{deploy: func(v *View, act *Actions) error {
+		a, err := act.AcquireVM("m1.small")
+		if err != nil {
+			return err
+		}
+		if err := act.AssignCores(0, a, 1); err != nil {
+			return err
+		}
+		b, err := act.AcquireVM("m1.small")
+		if err != nil {
+			return err
+		}
+		return act.AssignCores(1, b, 1)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Crashes() != 2 {
+		t.Fatalf("crashes = %d, want 2", e.Crashes())
+	}
+	if e.LostMessages() <= 0 {
+		t.Fatal("no messages lost despite queued crash")
+	}
+	if e.Fleet().ActiveCount() != 0 {
+		t.Fatalf("active VMs = %d after crashes", e.Fleet().ActiveCount())
+	}
+	pts := e.Collector().Points()
+	if last := pts[len(pts)-1]; last.Omega != 0 {
+		t.Fatalf("omega = %v with the whole fleet dead", last.Omega)
+	}
+}
+
+// fixedDeath kills every VM at the same age.
+type fixedDeath struct{ age int64 }
+
+func (f fixedDeath) DeathAgeSec(int64) int64 { return f.age }
+
+func TestAdaptivePolicyCanRecoverFromCrash(t *testing.T) {
+	// A reactive scheduler re-acquires capacity after the crash; omega
+	// recovers by the end of the run.
+	g := chainGraph(0.5)
+	cfg := baseConfig(g, 5, 2*3600)
+	cfg.Failures = fixedDeath{age: 1800}
+	e, _ := NewEngine(cfg)
+	_, err := e.Run(&fixed{
+		deploy: deployEven,
+		adapt: func(v *View, act *Actions) error {
+			// Naive repair loop: ensure each PE keeps 2 cores somewhere.
+			for pe := 0; pe < v.Graph().N(); pe++ {
+				have := v.AssignedCores(pe)
+				for have < 2 {
+					id, err := act.AcquireVM("m1.large")
+					if err != nil {
+						return err
+					}
+					if err := act.AssignCores(pe, id, 2-have); err != nil {
+						return err
+					}
+					have = v.AssignedCores(pe)
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Crashes() == 0 {
+		t.Fatal("no crash injected")
+	}
+	pts := e.Collector().Points()
+	if last := pts[len(pts)-1]; last.Omega < 0.99 {
+		t.Fatalf("final omega = %v — did not recover", last.Omega)
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/rates"
+)
+
+// randomPipelineDAG builds a random layered DAG with unit selectivities.
+func randomPipelineDAG(rng *rand.Rand) *dataflow.Graph {
+	n := 3 + rng.Intn(6)
+	pes := make([]*dataflow.PE, n)
+	for i := range pes {
+		pes[i] = &dataflow.PE{
+			Name: "pe" + string(rune('A'+i)),
+			Alternates: []dataflow.Alternate{
+				dataflow.Alt("only", 1, 0.05+rng.Float64()*0.4, 1),
+			},
+		}
+	}
+	var edges []dataflow.Edge
+	for i := 1; i < n; i++ {
+		// Every PE after the first gets at least one upstream edge, so
+		// there is exactly one input component and no orphans.
+		from := rng.Intn(i)
+		edges = append(edges, dataflow.Edge{From: from, To: i})
+		if rng.Float64() < 0.3 && i >= 2 {
+			other := rng.Intn(i)
+			if other != from {
+				edges = append(edges, dataflow.Edge{From: other, To: i})
+			}
+		}
+	}
+	g, err := dataflow.NewGraph(pes, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestPropertyAmpleCapacityGivesFullThroughput: for random DAGs with ample
+// per-PE capacity on an ideal cloud, every interval must report omega = 1
+// and zero backlog — the conservation invariant of the flow computation.
+func TestPropertyAmpleCapacityGivesFullThroughput(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomPipelineDAG(rng)
+		rate := 1 + rng.Float64()*5
+		profiles := map[int]rates.Profile{}
+		for _, pe := range g.Inputs() {
+			c, err := rates.NewConstant(rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			profiles[pe] = c
+		}
+		cfg := Config{
+			Graph:      g,
+			Menu:       cloud.MustMenu(cloud.AWS2013Classes()),
+			Inputs:     profiles,
+			HorizonSec: 1800,
+			MaxVMs:     256,
+		}
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := e.Run(&fixed{deploy: func(v *View, act *Actions) error {
+			// One xlarge per PE: 8 ECU each, far beyond any demand here.
+			for pe := 0; pe < g.N(); pe++ {
+				id, err := act.AcquireVM("m1.xlarge")
+				if err != nil {
+					return err
+				}
+				if err := act.AssignCores(pe, id, 4); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(sum.MeanOmega-1) > 1e-9 {
+			t.Fatalf("seed %d (%s): omega %v with ample capacity", seed, g, sum.MeanOmega)
+		}
+		if sum.MeanBacklog > 1e-9 {
+			t.Fatalf("seed %d: backlog %v with ample capacity", seed, sum.MeanBacklog)
+		}
+		// Output rate at sinks equals the propagated expectation.
+		sel := dataflow.DefaultSelection(g)
+		in := dataflow.InputRates{}
+		for pe := range profiles {
+			in[pe] = rate
+		}
+		_, expOut, err := dataflow.PropagateRates(g, sel, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOut := 0.0
+		for _, pe := range g.Outputs() {
+			wantOut += expOut[pe]
+		}
+		pts := e.Collector().Points()
+		got := pts[len(pts)-1].OutputRate
+		if math.Abs(got-wantOut) > 1e-6*(1+wantOut) {
+			t.Fatalf("seed %d: output %v, expected %v", seed, got, wantOut)
+		}
+	}
+}

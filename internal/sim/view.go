@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/dataflow"
+)
+
+// View is the read-only window a scheduler gets onto the running system. It
+// exposes exactly what the paper's monitoring framework provides (§4-§5):
+// measured data rates, smoothed per-VM performance coefficients, pairwise
+// network behaviour, current allocation, queue lengths and throughput — not
+// the engine's internal ground truth.
+type View struct {
+	e *Engine
+}
+
+// NewView builds a read-only view over an engine, for tools and tests that
+// inspect state outside a Scheduler callback.
+func NewView(e *Engine) *View { return &View{e: e} }
+
+// Now returns the simulation time in seconds.
+func (v *View) Now() int64 { return v.e.clock }
+
+// IntervalSec returns the adaptation interval length.
+func (v *View) IntervalSec() int64 { return v.e.cfg.IntervalSec }
+
+// Graph returns the dataflow being executed.
+func (v *View) Graph() *dataflow.Graph { return v.e.cfg.Graph }
+
+// Menu returns the VM class menu.
+func (v *View) Menu() *cloud.Menu { return v.e.cfg.Menu }
+
+// Selection returns a copy of the current alternate selection.
+func (v *View) Selection() dataflow.Selection { return v.e.sel.Clone() }
+
+// Routing returns a copy of the current choice-group routing.
+func (v *View) Routing() dataflow.Routing { return v.e.routing.Clone() }
+
+// EstimatedInputRate returns the best current estimate of the external rate
+// at an input PE: the smoothed measured rate once the dataflow has run, or
+// the profile's declared initial rate before t0 (the paper's "estimated
+// input data rates at each input PE" given at submission).
+func (v *View) EstimatedInputRate(pe int) float64 {
+	var initial float64
+	if prof, ok := v.e.cfg.Inputs[pe]; ok {
+		initial = prof.Rate(v.e.clock)
+	}
+	return v.e.rateEst.Estimate(pe, initial)
+}
+
+// EstimatedInputRates returns estimates for every input PE.
+func (v *View) EstimatedInputRates() dataflow.InputRates {
+	in := dataflow.InputRates{}
+	for pe := range v.e.cfg.Inputs {
+		in[pe] = v.EstimatedInputRate(pe)
+	}
+	return in
+}
+
+// VMInfo describes one active VM as the scheduler sees it.
+type VMInfo struct {
+	ID        int
+	Class     *cloud.Class
+	UsedCores int
+	FreeCores int
+	// CPUCoeff is the monitored (EWMA) normalized performance coefficient;
+	// 1.0 for a VM never probed (assumed rated).
+	CPUCoeff float64
+	// SecsToHourBoundary is the time until the next paid hour.
+	SecsToHourBoundary int64
+	// StartSec is when the VM was acquired.
+	StartSec int64
+}
+
+// ActiveVMs lists the running VMs.
+func (v *View) ActiveVMs() []VMInfo {
+	var out []VMInfo
+	for _, vm := range v.e.fleet.Active() {
+		out = append(out, VMInfo{
+			ID:                 vm.ID,
+			Class:              vm.Class,
+			UsedCores:          vm.UsedCores,
+			FreeCores:          vm.FreeCores(),
+			CPUCoeff:           v.e.vmMon.CPUCoeff(vm.ID, 1.0),
+			SecsToHourBoundary: vm.SecondsToHourBoundary(v.e.clock),
+			StartSec:           vm.StartSec,
+		})
+	}
+	return out
+}
+
+// VM returns info for one active VM.
+func (v *View) VM(id int) (VMInfo, bool) {
+	vm, err := v.e.fleet.Get(id)
+	if err != nil || !vm.Active() {
+		return VMInfo{}, false
+	}
+	return VMInfo{
+		ID:                 vm.ID,
+		Class:              vm.Class,
+		UsedCores:          vm.UsedCores,
+		FreeCores:          vm.FreeCores(),
+		CPUCoeff:           v.e.vmMon.CPUCoeff(vm.ID, 1.0),
+		SecsToHourBoundary: vm.SecondsToHourBoundary(v.e.clock),
+		StartSec:           vm.StartSec,
+	}, true
+}
+
+// Assignment is one (VM, cores) slice of a PE's data-parallel allocation.
+type Assignment struct {
+	VMID  int
+	Cores int
+}
+
+// Assignments returns the PE's current core allocation, in VM id order.
+func (v *View) Assignments(pe int) []Assignment {
+	var out []Assignment
+	for vmID := 0; ; vmID++ {
+		vm, err := v.e.fleet.Get(vmID)
+		if err != nil {
+			break
+		}
+		if !vm.Active() {
+			continue
+		}
+		if n := v.e.cores[pe][vmID]; n > 0 {
+			out = append(out, Assignment{VMID: vmID, Cores: n})
+		}
+	}
+	return out
+}
+
+// AssignedCores returns the PE's total core count.
+func (v *View) AssignedCores(pe int) int {
+	total := 0
+	for _, n := range v.e.cores[pe] {
+		total += n
+	}
+	return total
+}
+
+// MonitoredCapacity returns the PE's processing capacity in msg/s computed
+// from monitored coefficients (what the heuristics believe, not ground
+// truth).
+func (v *View) MonitoredCapacity(pe int) float64 {
+	alt := v.e.sel.Alt(v.e.cfg.Graph, pe)
+	total := 0.0
+	for vmID, n := range v.e.cores[pe] {
+		vm, err := v.e.fleet.Get(vmID)
+		if err != nil || !vm.Active() {
+			continue
+		}
+		coeff := v.e.vmMon.CPUCoeff(vmID, 1.0)
+		total += float64(n) * vm.Class.CoreSpeed * coeff / alt.Cost
+	}
+	return total
+}
+
+// EstimatedLatencySec returns the mean queueing latency observed over the
+// last interval (backlog over capacity, averaged across hosting VMs), or 0
+// before any interval has run.
+func (v *View) EstimatedLatencySec() float64 {
+	if !v.e.stepped {
+		return 0
+	}
+	return v.e.lastLatency
+}
+
+// Omega returns the relative application throughput observed over the last
+// interval, or 1 before any interval has run.
+func (v *View) Omega() float64 {
+	if !v.e.stepped {
+		return 1
+	}
+	return v.e.lastOmega
+}
+
+// MeanOmega returns the average relative throughput over the optimization
+// period so far (the constraint's left-hand side), or 1 before t0.
+func (v *View) MeanOmega() float64 {
+	if v.e.omegaN == 0 {
+		return 1
+	}
+	return v.e.omegaSum / float64(v.e.omegaN)
+}
+
+// PEThroughput returns the PE's own last-interval relative throughput
+// (observed output / expected output), 1 before any interval. The
+// deployment heuristics use the lowest value to find the bottleneck.
+func (v *View) PEThroughput(pe int) float64 {
+	if !v.e.stepped {
+		return 1
+	}
+	exp := v.e.lastPEExp[pe]
+	if exp <= 0 {
+		return 1
+	}
+	r := v.e.lastPEOut[pe] / exp
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// ObservedArrivalRate returns the PE's measured arrival rate (msg/s) over
+// the last interval.
+func (v *View) ObservedArrivalRate(pe int) float64 {
+	if !v.e.stepped {
+		return 0
+	}
+	return v.e.lastPEIn[pe]
+}
+
+// Backlog returns the messages queued for the PE across all VMs.
+func (v *View) Backlog(pe int) float64 {
+	total := 0.0
+	for _, q := range v.e.queue[pe] {
+		total += q
+	}
+	return total
+}
+
+// Bandwidth returns the monitored bandwidth (Mbps) between two VMs, falling
+// back to the rated 100 Mbps deployment assumption.
+func (v *View) Bandwidth(a, b int) float64 {
+	return v.e.netMon.Bandwidth(a, b, 100)
+}
+
+// Latency returns the monitored latency (seconds) between two VMs.
+func (v *View) Latency(a, b int) float64 {
+	return v.e.netMon.Latency(a, b, 0.0005)
+}
+
+// TotalCost returns mu(t): dollars billed so far.
+func (v *View) TotalCost() float64 { return v.e.fleet.TotalCost(v.e.clock) }
+
+// MaxVMs returns the acquisition quota (the elasticity limit policies must
+// plan within).
+func (v *View) MaxVMs() int { return v.e.cfg.MaxVMs }
+
+// HourlyBurnRate returns the active fleet's $/hour.
+func (v *View) HourlyBurnRate() float64 { return v.e.fleet.HourlyBurnRate() }

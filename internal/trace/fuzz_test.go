@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the trace parser never panics on arbitrary input and
+// that accepted inputs round-trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("sec,value\n0,0.9\n60,0.8\n")
+	f.Add("sec,value\n")
+	f.Add("")
+	f.Add("sec,value\n0,nan\n")
+	f.Add("sec,value\n0,1\n0,1\n")
+	f.Add("garbage")
+	f.Add("sec,value\n-60,1\n0,2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted input must produce a usable series.
+		if s.PeriodSec <= 0 || len(s.Samples) == 0 {
+			t.Fatalf("accepted series invalid: %+v", s)
+		}
+		_ = s.At(0)
+		_ = s.At(-1)
+		_ = s.At(s.Duration() * 3)
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back.Samples) != len(s.Samples) {
+			t.Fatalf("round trip changed length %d -> %d", len(s.Samples), len(back.Samples))
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTraceCSV(t *testing.T, path string, samples []float64) {
+	t.Helper()
+	s, err := NewSeries(60, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := s.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	writeTraceCSV(t, filepath.Join(dir, "vm_b.csv"), []float64{0.8, 0.9})
+	writeTraceCSV(t, filepath.Join(dir, "vm_a.csv"), []float64{0.7, 0.6, 0.5})
+	// Non-CSV files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 2 {
+		t.Fatalf("pool = %d", len(pool))
+	}
+	// Sorted by filename: vm_a first.
+	if len(pool[0].Samples) != 3 || pool[0].Samples[0] != 0.7 {
+		t.Fatalf("first = %+v", pool[0])
+	}
+	if pool[1].Samples[1] != 0.9 {
+		t.Fatalf("second = %+v", pool[1])
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir("/nonexistent/nowhere"); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "bad.csv"), []byte("not,a\ntrace,x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(bad); err == nil {
+		t.Fatal("malformed csv accepted")
+	}
+}
+
+func TestNewReplayedFromSeries(t *testing.T) {
+	cpu, _ := NewSeries(60, []float64{0.5, 0.5, 0.5})
+	p, err := NewReplayedFromSeries([]*Series{cpu}, nil, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every VM replays the single constant-0.5 CPU trace.
+	for id := int64(0); id < 8; id++ {
+		if got := p.CPUCoeff(id, 120); got != 0.5 {
+			t.Fatalf("coeff = %v", got)
+		}
+	}
+	// Latency/bandwidth fall back to generated pools.
+	if p.BandwidthMbps(1, 2, 0) <= 0 {
+		t.Fatal("fallback bandwidth missing")
+	}
+	// Validation errors.
+	if _, err := NewReplayedFromSeries([]*Series{nil}, nil, nil, 3); err == nil {
+		t.Fatal("nil series accepted")
+	}
+	neg, _ := NewSeries(60, []float64{1})
+	neg.Samples[0] = -1
+	if _, err := NewReplayedFromSeries([]*Series{neg}, nil, nil, 3); err == nil {
+		t.Fatal("negative sample accepted")
+	}
+	zero := &Series{PeriodSec: 0, Samples: []float64{1}}
+	if _, err := NewReplayedFromSeries(nil, []*Series{zero}, nil, 3); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	empty := &Series{PeriodSec: 60}
+	if _, err := NewReplayedFromSeries(nil, nil, []*Series{empty}, 3); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestLoadedTracesDriveProvider(t *testing.T) {
+	dir := t.TempDir()
+	writeTraceCSV(t, filepath.Join(dir, "a.csv"), []float64{0.4, 0.4})
+	pool, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewReplayedFromSeries(pool, nil, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CPUCoeff(5, 0); got != 0.4 {
+		t.Fatalf("loaded coeff = %v", got)
+	}
+}

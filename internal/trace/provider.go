@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"math/rand"
+)
+
+// Provider exposes the runtime infrastructure behaviour the monitoring
+// framework observes (§4): per-VM normalized CPU coefficients and pairwise
+// network latency/bandwidth. VMs are identified by the opaque trace ids the
+// simulator assigns at acquisition.
+type Provider interface {
+	// CPUCoeff returns the multiplicative coefficient applied to a VM's
+	// rated core speed at time sec: pi_runtime = coeff * pi_rated.
+	CPUCoeff(vmTraceID int64, sec int64) float64
+	// LatencySec returns the one-way network latency between two VMs in
+	// seconds at time sec.
+	LatencySec(aTraceID, bTraceID int64, sec int64) float64
+	// BandwidthMbps returns the achievable bandwidth between two VMs in
+	// megabits per second at time sec.
+	BandwidthMbps(aTraceID, bTraceID int64, sec int64) float64
+}
+
+// Ideal is a Provider for a perfectly stable cloud: every VM delivers its
+// rated performance, links deliver ratedMbps with fixed small latency. It is
+// the "no infrastructure variability" scenario of Fig. 4.
+type Ideal struct {
+	// RatedMbps is the pairwise bandwidth (default 100, the paper's
+	// deployment-time assumption).
+	RatedMbps float64
+	// FixedLatencySec is the constant pairwise latency (default 0.5 ms).
+	FixedLatencySec float64
+}
+
+// NewIdeal returns an Ideal provider with the paper's defaults.
+func NewIdeal() *Ideal {
+	return &Ideal{RatedMbps: 100, FixedLatencySec: 0.0005}
+}
+
+// CPUCoeff implements Provider: always 1.
+func (p *Ideal) CPUCoeff(int64, int64) float64 { return 1 }
+
+// LatencySec implements Provider.
+func (p *Ideal) LatencySec(int64, int64, int64) float64 { return p.FixedLatencySec }
+
+// BandwidthMbps implements Provider.
+func (p *Ideal) BandwidthMbps(int64, int64, int64) float64 { return p.RatedMbps }
+
+// Replayed is a Provider that replays generated (or loaded) traces. A pool
+// of base traces is generated once; each VM trace id deterministically maps
+// to a (trace, window offset) pair, and each unordered VM pair maps to
+// latency/bandwidth traces the same way. This mirrors §8.1: "we assign a
+// random time period from the traces for each active VM to replay".
+type Replayed struct {
+	cpu []*Series
+	lat []*Series
+	bw  []*Series
+	// seed decorrelates window assignment between Replayed instances.
+	seed int64
+}
+
+// ReplayedConfig controls trace-pool construction.
+type ReplayedConfig struct {
+	// Pool sizes: how many distinct base traces to generate per kind.
+	CPUTraces, NetTraces int
+	// Samples per generated trace.
+	Samples int
+	// Generation parameters; zero values take the package defaults.
+	CPU, Latency, Bandwidth GenConfig
+	// Seed makes the whole provider deterministic.
+	Seed int64
+}
+
+// NewReplayed generates the trace pools and returns the provider.
+func NewReplayed(cfg ReplayedConfig) (*Replayed, error) {
+	if cfg.CPUTraces <= 0 {
+		cfg.CPUTraces = 8
+	}
+	if cfg.NetTraces <= 0 {
+		cfg.NetTraces = 8
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = FourDays
+	}
+	if cfg.CPU.PeriodSec == 0 {
+		cfg.CPU = DefaultCPUConfig()
+	}
+	if cfg.Latency.PeriodSec == 0 {
+		cfg.Latency = DefaultLatencyConfig()
+	}
+	if cfg.Bandwidth.PeriodSec == 0 {
+		cfg.Bandwidth = DefaultBandwidthConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Replayed{seed: cfg.Seed}
+	for i := 0; i < cfg.CPUTraces; i++ {
+		s, err := cfg.CPU.Generate(rng, cfg.Samples)
+		if err != nil {
+			return nil, err
+		}
+		p.cpu = append(p.cpu, s)
+	}
+	for i := 0; i < cfg.NetTraces; i++ {
+		s, err := cfg.Latency.Generate(rng, cfg.Samples)
+		if err != nil {
+			return nil, err
+		}
+		p.lat = append(p.lat, s)
+		b, err := cfg.Bandwidth.Generate(rng, cfg.Samples)
+		if err != nil {
+			return nil, err
+		}
+		p.bw = append(p.bw, b)
+	}
+	return p, nil
+}
+
+// MustReplayed is NewReplayed that panics on error.
+func MustReplayed(cfg ReplayedConfig) *Replayed {
+	p, err := NewReplayed(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// splitmix64 hashes an id into a well-mixed 64-bit value; used to map trace
+// ids onto pool indices and window offsets deterministically.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (p *Replayed) pick(id int64, pool []*Series) *Window {
+	h := splitmix64(uint64(id) ^ uint64(p.seed)*0x9e3779b97f4a7c15)
+	s := pool[int(h%uint64(len(pool)))]
+	offset := int64((h >> 20) % uint64(s.Duration()))
+	return s.Window(offset)
+}
+
+func pairID(a, b int64) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return int64(splitmix64(uint64(a)*0x100000001b3 ^ uint64(b)))
+}
+
+// CPUCoeff implements Provider.
+func (p *Replayed) CPUCoeff(vmTraceID int64, sec int64) float64 {
+	return p.pick(vmTraceID, p.cpu).At(sec)
+}
+
+// LatencySec implements Provider. Colocation shortcuts (lambda -> 0 for PEs
+// on the same VM) are the simulator's job; the provider always reports the
+// network path.
+func (p *Replayed) LatencySec(a, b int64, sec int64) float64 {
+	return p.pick(pairID(a, b), p.lat).At(sec)
+}
+
+// BandwidthMbps implements Provider.
+func (p *Replayed) BandwidthMbps(a, b int64, sec int64) float64 {
+	return p.pick(pairID(a, b), p.bw).At(sec)
+}
+
+// Scaled wraps a Provider and scales its CPU coefficient, for ablations
+// (e.g. uniformly slower clouds). Latency/bandwidth pass through.
+type Scaled struct {
+	Base  Provider
+	Scale float64
+}
+
+// CPUCoeff implements Provider.
+func (s *Scaled) CPUCoeff(id int64, sec int64) float64 {
+	return s.Base.CPUCoeff(id, sec) * s.Scale
+}
+
+// LatencySec implements Provider.
+func (s *Scaled) LatencySec(a, b int64, sec int64) float64 {
+	return s.Base.LatencySec(a, b, sec)
+}
+
+// BandwidthMbps implements Provider.
+func (s *Scaled) BandwidthMbps(a, b int64, sec int64) float64 {
+	return s.Base.BandwidthMbps(a, b, sec)
+}

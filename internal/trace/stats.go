@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Stats summarizes a Series the way Figs. 2-3 characterize the FutureGrid
+// traces: central tendency, spread, and the distribution of relative
+// deviation from the mean.
+type Stats struct {
+	N             int
+	Mean          float64
+	Stddev        float64
+	CoV           float64 // coefficient of variation: Stddev / Mean
+	Min, Max      float64
+	P5, P50, P95  float64
+	MaxAbsRelDev  float64 // max |x - mean| / mean
+	MeanAbsRelDev float64 // mean |x - mean| / mean
+}
+
+// Characterize computes Stats for the series.
+func Characterize(s *Series) Stats {
+	n := len(s.Samples)
+	st := Stats{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, v := range s.Samples {
+		sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = sum / float64(n)
+	ss := 0.0
+	absDev := 0.0
+	for _, v := range s.Samples {
+		d := v - st.Mean
+		ss += d * d
+		ad := math.Abs(d)
+		absDev += ad
+		if st.Mean != 0 {
+			rel := ad / math.Abs(st.Mean)
+			if rel > st.MaxAbsRelDev {
+				st.MaxAbsRelDev = rel
+			}
+		}
+	}
+	if n > 1 {
+		st.Stddev = math.Sqrt(ss / float64(n-1))
+	}
+	if st.Mean != 0 {
+		st.CoV = st.Stddev / math.Abs(st.Mean)
+		st.MeanAbsRelDev = absDev / float64(n) / math.Abs(st.Mean)
+	}
+	sorted := append([]float64(nil), s.Samples...)
+	sort.Float64s(sorted)
+	st.P5 = percentile(sorted, 0.05)
+	st.P50 = percentile(sorted, 0.50)
+	st.P95 = percentile(sorted, 0.95)
+	return st
+}
+
+// percentile reads the p-quantile (0..1) from an ascending-sorted slice
+// using linear interpolation.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// RelativeDeviation returns the series (x - mean)/mean, the quantity Fig. 2's
+// lower panel plots.
+func RelativeDeviation(s *Series) *Series {
+	st := Characterize(s)
+	out := make([]float64, len(s.Samples))
+	for i, v := range s.Samples {
+		if st.Mean != 0 {
+			out[i] = (v - st.Mean) / st.Mean
+		}
+	}
+	return &Series{PeriodSec: s.PeriodSec, Samples: out}
+}
+
+// String renders the stats as a single log-friendly line.
+func (st Stats) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f sd=%.4f cov=%.3f min=%.4f p5=%.4f p50=%.4f p95=%.4f max=%.4f maxRelDev=%.1f%%",
+		st.N, st.Mean, st.Stddev, st.CoV, st.Min, st.P5, st.P50, st.P95, st.Max, st.MaxAbsRelDev*100)
+}
+
+// WriteCSV streams the series as (sec,value) rows.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sec", "value"}); err != nil {
+		return err
+	}
+	for i, v := range s.Samples {
+		rec := []string{
+			strconv.FormatInt(int64(i)*s.PeriodSec, 10),
+			strconv.FormatFloat(v, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a series written by WriteCSV (or any two-column CSV with a
+// header, monotone uniformly spaced seconds, and float values).
+func ReadCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, errors.New("trace: csv needs a header and at least one row")
+	}
+	var samples []float64
+	var times []int64
+	for i, row := range rows[1:] {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("trace: csv row %d has %d fields", i+2, len(row))
+		}
+		sec, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: %w", i+2, err)
+		}
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: %w", i+2, err)
+		}
+		times = append(times, sec)
+		samples = append(samples, v)
+	}
+	period := int64(60)
+	if len(times) > 1 {
+		period = times[1] - times[0]
+		if period <= 0 {
+			return nil, errors.New("trace: csv times must increase")
+		}
+		for i := 2; i < len(times); i++ {
+			if times[i]-times[i-1] != period {
+				return nil, fmt.Errorf("trace: csv not uniformly spaced at row %d", i+2)
+			}
+		}
+	}
+	return NewSeries(period, samples)
+}

@@ -1,0 +1,370 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesAtWraps(t *testing.T) {
+	s, err := NewSeries(60, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		sec  int64
+		want float64
+	}{
+		{0, 1}, {59, 1}, {60, 2}, {119, 2}, {120, 3}, {179, 3},
+		{180, 1},  // wrap
+		{360, 1},  // two full cycles
+		{-1, 3},   // negative wraps backwards
+		{-60, 3},  // still in last sample going back
+		{-61, 2},  //
+		{-180, 1}, // exactly one cycle back
+	}
+	for _, c := range cases {
+		if got := s.At(c.sec); got != c.want {
+			t.Fatalf("At(%d) = %v, want %v", c.sec, got, c.want)
+		}
+	}
+	if s.Duration() != 180 {
+		t.Fatalf("Duration = %d", s.Duration())
+	}
+}
+
+func TestNewSeriesRejectsBadInput(t *testing.T) {
+	if _, err := NewSeries(0, []float64{1}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := NewSeries(60, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestWindowShifts(t *testing.T) {
+	s, _ := NewSeries(10, []float64{1, 2, 3, 4})
+	w := s.Window(20)
+	if got := w.At(0); got != 3 {
+		t.Fatalf("window At(0) = %v", got)
+	}
+	if got := w.At(10); got != 4 {
+		t.Fatalf("window At(10) = %v", got)
+	}
+	if got := w.At(20); got != 1 { // wraps
+		t.Fatalf("window At(20) = %v", got)
+	}
+}
+
+func TestGenConfigValidate(t *testing.T) {
+	good := DefaultCPUConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.PeriodSec = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	bad = good
+	bad.Min, bad.Max = 1, 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("min > max accepted")
+	}
+	bad = good
+	bad.Mean = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mean outside bounds accepted")
+	}
+	bad = good
+	bad.RegimeProb = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("regime prob > 1 accepted")
+	}
+}
+
+func TestGenerateRespectssBounds(t *testing.T) {
+	for name, cfg := range map[string]GenConfig{
+		"cpu":       DefaultCPUConfig(),
+		"latency":   DefaultLatencyConfig(),
+		"bandwidth": DefaultBandwidthConfig(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			s, err := cfg.Generate(rng, FourDays)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Samples) != FourDays {
+				t.Fatalf("n = %d", len(s.Samples))
+			}
+			for i, v := range s.Samples {
+				if v < cfg.Min-1e-12 || v > cfg.Max+1e-12 {
+					t.Fatalf("sample %d = %v outside [%v, %v]", i, v, cfg.Min, cfg.Max)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	cfg := DefaultCPUConfig()
+	a, _ := cfg.Generate(rand.New(rand.NewSource(42)), 1000)
+	b, _ := cfg.Generate(rand.New(rand.NewSource(42)), 1000)
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	c, _ := cfg.Generate(rand.New(rand.NewSource(43)), 1000)
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateProducesVariability(t *testing.T) {
+	// The synthetic CPU trace must actually vary (the whole point of the
+	// paper) — CoV well above zero but mean near the configured level.
+	cfg := DefaultCPUConfig()
+	s, _ := cfg.Generate(rand.New(rand.NewSource(1)), FourDays)
+	st := Characterize(s)
+	if math.Abs(st.Mean-cfg.Mean) > 0.08 {
+		t.Fatalf("mean %v drifted from %v", st.Mean, cfg.Mean)
+	}
+	if st.CoV < 0.01 {
+		t.Fatalf("CoV %v too small — no variability", st.CoV)
+	}
+	if st.MaxAbsRelDev < 0.05 {
+		t.Fatalf("max relative deviation %v too small", st.MaxAbsRelDev)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cfg := DefaultCPUConfig()
+	if _, err := cfg.Generate(rand.New(rand.NewSource(1)), 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	cfg.PeriodSec = -1
+	if _, err := cfg.Generate(rand.New(rand.NewSource(1)), 10); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestCharacterizeKnownSeries(t *testing.T) {
+	s, _ := NewSeries(1, []float64{1, 2, 3, 4, 5})
+	st := Characterize(s)
+	if st.Mean != 3 {
+		t.Fatalf("mean = %v", st.Mean)
+	}
+	if math.Abs(st.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("sd = %v", st.Stddev)
+	}
+	if st.Min != 1 || st.Max != 5 || st.P50 != 3 {
+		t.Fatalf("min/max/med = %v/%v/%v", st.Min, st.Max, st.P50)
+	}
+	// Max deviation = |5-3|/3.
+	if math.Abs(st.MaxAbsRelDev-2.0/3.0) > 1e-12 {
+		t.Fatalf("maxRelDev = %v", st.MaxAbsRelDev)
+	}
+	if !strings.Contains(st.String(), "mean=3.0000") {
+		t.Fatalf("String() = %q", st.String())
+	}
+}
+
+func TestRelativeDeviationZeroMean(t *testing.T) {
+	s, _ := NewSeries(1, []float64{2, 4})
+	rd := RelativeDeviation(s)
+	if math.Abs(rd.Samples[0]-(-1.0/3.0)) > 1e-12 || math.Abs(rd.Samples[1]-1.0/3.0) > 1e-12 {
+		t.Fatalf("rel dev = %v", rd.Samples)
+	}
+}
+
+func TestIdealProvider(t *testing.T) {
+	p := NewIdeal()
+	if p.CPUCoeff(1, 999) != 1 {
+		t.Fatal("ideal CPU coeff != 1")
+	}
+	if p.BandwidthMbps(1, 2, 0) != 100 {
+		t.Fatal("ideal bandwidth != 100")
+	}
+	if p.LatencySec(1, 2, 0) != 0.0005 {
+		t.Fatal("ideal latency != 0.5ms")
+	}
+}
+
+func TestReplayedDeterministicPerID(t *testing.T) {
+	p := MustReplayed(ReplayedConfig{Seed: 5, Samples: 2000})
+	a1 := p.CPUCoeff(17, 120)
+	a2 := p.CPUCoeff(17, 120)
+	if a1 != a2 {
+		t.Fatal("same id+time gave different coefficients")
+	}
+	// A second provider with the same seed agrees.
+	q := MustReplayed(ReplayedConfig{Seed: 5, Samples: 2000})
+	if q.CPUCoeff(17, 120) != a1 {
+		t.Fatal("same seed, different provider disagreed")
+	}
+	// Different seed (usually) disagrees somewhere.
+	r := MustReplayed(ReplayedConfig{Seed: 6, Samples: 2000})
+	diff := false
+	for id := int64(0); id < 20 && !diff; id++ {
+		if r.CPUCoeff(id, 120) != p.CPUCoeff(id, 120) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds never disagreed")
+	}
+}
+
+func TestReplayedPairSymmetric(t *testing.T) {
+	p := MustReplayed(ReplayedConfig{Seed: 9, Samples: 2000})
+	for sec := int64(0); sec < 600; sec += 60 {
+		if p.LatencySec(3, 8, sec) != p.LatencySec(8, 3, sec) {
+			t.Fatal("latency not symmetric in VM pair")
+		}
+		if p.BandwidthMbps(3, 8, sec) != p.BandwidthMbps(8, 3, sec) {
+			t.Fatal("bandwidth not symmetric in VM pair")
+		}
+	}
+}
+
+func TestReplayedBounds(t *testing.T) {
+	p := MustReplayed(ReplayedConfig{Seed: 11, Samples: 3000})
+	cpuCfg := DefaultCPUConfig()
+	bwCfg := DefaultBandwidthConfig()
+	latCfg := DefaultLatencyConfig()
+	for id := int64(0); id < 10; id++ {
+		for sec := int64(0); sec < 7200; sec += 600 {
+			c := p.CPUCoeff(id, sec)
+			if c < cpuCfg.Min || c > cpuCfg.Max {
+				t.Fatalf("cpu coeff %v out of bounds", c)
+			}
+			b := p.BandwidthMbps(id, id+1, sec)
+			if b < bwCfg.Min || b > bwCfg.Max {
+				t.Fatalf("bw %v out of bounds", b)
+			}
+			l := p.LatencySec(id, id+1, sec)
+			if l < latCfg.Min || l > latCfg.Max {
+				t.Fatalf("lat %v out of bounds", l)
+			}
+		}
+	}
+}
+
+func TestScaledProvider(t *testing.T) {
+	s := &Scaled{Base: NewIdeal(), Scale: 0.5}
+	if s.CPUCoeff(1, 0) != 0.5 {
+		t.Fatal("scale not applied")
+	}
+	if s.BandwidthMbps(1, 2, 0) != 100 || s.LatencySec(1, 2, 0) != 0.0005 {
+		t.Fatal("net should pass through")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s, _ := NewSeries(60, []float64{0.9, 0.85, 0.95, 1.0})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PeriodSec != 60 || len(got.Samples) != 4 {
+		t.Fatalf("round trip: period %d n %d", got.PeriodSec, len(got.Samples))
+	}
+	for i := range s.Samples {
+		if got.Samples[i] != s.Samples[i] {
+			t.Fatalf("sample %d: %v != %v", i, got.Samples[i], s.Samples[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"header only":  "sec,value\n",
+		"bad sec":      "sec,value\nx,1\n",
+		"bad value":    "sec,value\n0,x\n",
+		"nonuniform":   "sec,value\n0,1\n60,2\n180,3\n",
+		"nonmonotone":  "sec,value\n60,1\n0,2\n",
+		"wrong fields": "sec,value,extra\n0,1,2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	if p := percentile(sorted, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := percentile(sorted, 1); p != 4 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := percentile(sorted, 0.5); p != 2.5 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := percentile([]float64{7}, 0.5); p != 7 {
+		t.Fatalf("singleton = %v", p)
+	}
+	if !math.IsNaN(percentile(nil, 0.5)) {
+		t.Fatal("empty should be NaN")
+	}
+}
+
+func TestPropertySeriesAtAlwaysInSamples(t *testing.T) {
+	f := func(seed int64, probe int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		samples := make([]float64, n)
+		set := make(map[float64]bool, n)
+		for i := range samples {
+			samples[i] = rng.Float64()
+			set[samples[i]] = true
+		}
+		s, err := NewSeries(1+int64(rng.Intn(100)), samples)
+		if err != nil {
+			return false
+		}
+		return set[s.At(probe)]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCharacterizeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.Float64()*10 - 5
+		}
+		s, _ := NewSeries(1, samples)
+		st := Characterize(s)
+		if st.Min > st.P5+1e-9 || st.P5 > st.P50+1e-9 || st.P50 > st.P95+1e-9 || st.P95 > st.Max+1e-9 {
+			return false
+		}
+		return st.Mean >= st.Min-1e-9 && st.Mean <= st.Max+1e-9 && st.Stddev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
