@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repository gate: vet, build, and the full test suite under the race
+# detector. Run from the repo root.
+set -eu
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...

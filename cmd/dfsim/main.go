@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"dynamicdf/internal/resilient"
 	"dynamicdf/internal/scenario"
 )
 
@@ -32,7 +33,15 @@ const exampleScenario = `{
   },
   "rate": {"kind": "wave", "mean": 10, "amplitude": 4, "periodSec": 1800},
   "infra": {"kind": "replayed", "seed": 42},
-  "policy": {"kind": "global", "dynamic": true},
+  "policy": {"kind": "global", "dynamic": true, "resilient": false},
+  "control": {
+    "meanBootSec": 0,
+    "acquireFailProb": 0,
+    "burstEverySec": 0,
+    "faultFreeSec": 0,
+    "monitorStaleProb": 0,
+    "monitorNoiseFrac": 0
+  },
   "horizonHours": 4,
   "omegaHat": 0.7,
   "epsilon": 0.05
@@ -44,6 +53,8 @@ func main() {
 	configPath := flag.String("config", "", "path to a scenario JSON file")
 	csvPath := flag.String("csv", "", "write per-interval metrics CSV here")
 	auditPath := flag.String("audit", "", "write the scheduler action log (JSON lines) here")
+	resilientFlag := flag.Bool("resilient", false, "wrap the policy in the resilient control-plane middleware")
+	degradeOmega := flag.Float64("degrade-omega", 0, "arm the middleware's degradation hook below this Omega (with -resilient)")
 	example := flag.Bool("example", false, "print an example scenario and exit")
 	flag.Parse()
 
@@ -64,6 +75,10 @@ func main() {
 		log.Fatalf("parse %s: %v", *configPath, err)
 	}
 	sc.Audit = sc.Audit || *auditPath != ""
+	sc.Policy.Resilient = sc.Policy.Resilient || *resilientFlag
+	if *degradeOmega > 0 {
+		sc.Policy.DegradeOmega = *degradeOmega
+	}
 
 	built, err := sc.Build()
 	if err != nil {
@@ -92,6 +107,14 @@ func main() {
 	if built.Engine.Crashes() > 0 {
 		fmt.Printf("crashes: %d (%d preemptions), lost messages: %.0f\n",
 			built.Engine.Crashes(), built.Engine.Preemptions(), built.Engine.LostMessages())
+	}
+	if built.Engine.AcquireFailures() > 0 || built.Engine.StaleProbes() > 0 {
+		fmt.Printf("control plane: %d failed acquisitions, %d stale probes\n",
+			built.Engine.AcquireFailures(), built.Engine.StaleProbes())
+	}
+	if rs, ok := built.Scheduler.(*resilient.Scheduler); ok {
+		fmt.Printf("resilience: %d retries, %d fallbacks, %d breaker trips, %d degrade rounds\n",
+			rs.Retries(), rs.Fallbacks(), rs.BreakerTrips(), rs.Degrades())
 	}
 
 	if *csvPath != "" {

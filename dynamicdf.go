@@ -49,6 +49,7 @@ import (
 	"dynamicdf/internal/floe"
 	"dynamicdf/internal/metrics"
 	"dynamicdf/internal/rates"
+	"dynamicdf/internal/resilient"
 	"dynamicdf/internal/sim"
 	"dynamicdf/internal/trace"
 )
@@ -196,10 +197,15 @@ type (
 	Engine = sim.Engine
 	// View is the monitored state a scheduler observes.
 	View = sim.View
-	// Actions is the control surface a scheduler acts through.
+	// Actions is the engine's own control surface.
 	Actions = sim.Actions
+	// Control is the control-surface interface schedulers act through;
+	// middleware (see the Resilient* types) wraps one Control in another.
+	Control = sim.Control
 	// Scheduler drives deployment and adaptation.
 	Scheduler = sim.Scheduler
+	// AuditEntry is one recorded control action.
+	AuditEntry = sim.AuditEntry
 	// Summary aggregates a run's per-interval metrics.
 	Summary = metrics.Summary
 	// MetricPoint is one interval's measurements.
@@ -223,6 +229,37 @@ type (
 	// NoFailures disables crashes (the default).
 	NoFailures = sim.NoFailures
 )
+
+// Control-plane fault injection and the resilience middleware.
+type (
+	// ControlFaults makes the simulated cloud control plane unreliable:
+	// provisioning delays, transient acquisition failures, degraded
+	// monitoring (see Config.ControlFaults).
+	ControlFaults = sim.ControlFaults
+	// ProvisioningFaults delays VM boot.
+	ProvisioningFaults = sim.ProvisioningFaults
+	// AcquisitionFaults makes AcquireVM fail transiently.
+	AcquisitionFaults = sim.AcquisitionFaults
+	// MonitoringFaults makes probes stale or noisy.
+	MonitoringFaults = sim.MonitoringFaults
+	// CapacityError is the transient "insufficient capacity" acquisition
+	// error.
+	CapacityError = sim.CapacityError
+	// ResilientConfig tunes the resilience middleware.
+	ResilientConfig = resilient.Config
+	// ResilientScheduler wraps a policy with retries, circuit breaking,
+	// class fallback and graceful degradation.
+	ResilientScheduler = resilient.Scheduler
+)
+
+// IsCapacityError reports whether err is (or wraps) a CapacityError — the
+// retryable class of acquisition failures.
+func IsCapacityError(err error) bool { return sim.IsCapacityError(err) }
+
+// WrapResilient builds the resilience middleware around an inner policy.
+func WrapResilient(inner Scheduler, cfg ResilientConfig) *ResilientScheduler {
+	return resilient.Wrap(inner, cfg)
+}
 
 // Policies and objective (paper §6-§7).
 type (

@@ -20,6 +20,10 @@ type VM struct {
 	StartSec int64
 	StopSec  int64 // -1 while active
 
+	// ReadySec is when the VM finished provisioning and became schedulable
+	// (and billable). Equals StartSec unless acquired with a boot delay.
+	ReadySec int64
+
 	// UsedCores tracks how many of the VM's cores are currently assigned
 	// to PE instances. The fleet enforces UsedCores <= Class.Cores.
 	UsedCores int
@@ -27,25 +31,54 @@ type VM struct {
 	// TraceID seeds the performance-trace window assigned to this VM by the
 	// simulator; the cloud package only stores it.
 	TraceID int64
+
+	// pending marks a VM still provisioning: acquired, but not yet
+	// schedulable or billable. A VM released (or crashed) while pending
+	// stays pending forever and is never billed — real clouds do not charge
+	// for capacity that never booted.
+	pending bool
 }
 
-// Active reports whether the VM is still running at time now.
-func (v *VM) Active() bool { return v.StopSec < 0 }
+// Active reports whether the VM is running and has finished provisioning.
+func (v *VM) Active() bool { return v.StopSec < 0 && !v.pending }
+
+// Pending reports whether the VM is still provisioning (or was cancelled
+// before it ever finished provisioning).
+func (v *VM) Pending() bool { return v.pending }
+
+// Stopped reports whether the VM has been released, cancelled, or crashed.
+func (v *VM) Stopped() bool { return v.StopSec >= 0 }
 
 // FreeCores returns the number of unassigned cores.
 func (v *VM) FreeCores() int { return v.Class.Cores - v.UsedCores }
 
+// billingStartSec is the instant billing is anchored at: ReadySec for a VM
+// acquired with a boot delay, StartSec otherwise (including VM literals that
+// never set ReadySec).
+func (v *VM) billingStartSec() int64 {
+	if v.ReadySec > v.StartSec {
+		return v.ReadySec
+	}
+	return v.StartSec
+}
+
 // BilledHours returns the number of whole hours billed for this VM up to
-// time now (at least 1 once started).
+// time now (at least 1 once booted). Billing starts when provisioning
+// completes: a VM still provisioning — or cancelled before it ever became
+// ready — costs nothing.
 func (v *VM) BilledHours(now int64) int64 {
+	if v.pending {
+		return 0
+	}
+	anchor := v.billingStartSec()
 	end := now
-	if !v.Active() && v.StopSec < end {
+	if v.Stopped() && v.StopSec < end {
 		end = v.StopSec
 	}
-	if end < v.StartSec {
-		end = v.StartSec
+	if end < anchor {
+		end = anchor
 	}
-	dur := end - v.StartSec
+	dur := end - anchor
 	hours := dur / SecondsPerHour
 	if dur%SecondsPerHour != 0 || dur == 0 {
 		hours++
@@ -60,9 +93,10 @@ func (v *VM) AccruedCost(now int64) float64 {
 
 // SecondsToHourBoundary returns how many seconds remain until the next paid
 // hour boundary at time now. Releasing a VM just before its boundary wastes
-// the least money; the runtime heuristic releases such VMs first.
+// the least money; the runtime heuristic releases such VMs first. Billing —
+// and hence the boundary clock — is anchored at the end of provisioning.
 func (v *VM) SecondsToHourBoundary(now int64) int64 {
-	elapsed := now - v.StartSec
+	elapsed := now - v.billingStartSec()
 	if elapsed < 0 {
 		return SecondsPerHour
 	}
@@ -89,29 +123,57 @@ func NewFleet(menu *Menu) *Fleet {
 // Menu returns the class menu this fleet acquires from.
 func (f *Fleet) Menu() *Menu { return f.menu }
 
-// Acquire starts a new VM of the class at time now and returns it.
+// Acquire starts a new VM of the class at time now and returns it. The VM
+// is ready — schedulable and billable — immediately.
 func (f *Fleet) Acquire(class *Class, now int64) (*VM, error) {
+	return f.AcquireDelayed(class, now, now)
+}
+
+// AcquireDelayed starts a new VM whose provisioning completes at readySec.
+// Until then the VM is pending: cores may be reserved on it, but it is not
+// schedulable and not billed. Call MakeReady each simulated step to flip
+// pending VMs whose boot time has arrived.
+func (f *Fleet) AcquireDelayed(class *Class, now, readySec int64) (*VM, error) {
 	if class == nil {
 		return nil, errors.New("cloud: acquire with nil class")
 	}
 	if _, ok := f.menu.ByName(class.Name); !ok {
 		return nil, fmt.Errorf("cloud: class %q not on menu", class.Name)
 	}
-	v := &VM{ID: f.nextID, Class: class, StartSec: now, StopSec: -1}
+	if readySec < now {
+		return nil, fmt.Errorf("cloud: VM ready time %d precedes acquisition %d", readySec, now)
+	}
+	v := &VM{ID: f.nextID, Class: class, StartSec: now, ReadySec: readySec, StopSec: -1,
+		pending: readySec > now}
 	f.nextID++
 	f.vms = append(f.vms, v)
 	return v, nil
 }
 
+// MakeReady completes provisioning for every pending VM whose ReadySec has
+// arrived and returns them in id order. Billing for each starts at its
+// ReadySec.
+func (f *Fleet) MakeReady(now int64) []*VM {
+	var out []*VM
+	for _, v := range f.vms {
+		if v.pending && v.StopSec < 0 && v.ReadySec <= now {
+			v.pending = false
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // Release stops the VM with the given id at time now. Cores must have been
 // unassigned first; releasing a VM with assigned cores is an error so that
-// message-buffer migration is never skipped silently.
+// message-buffer migration is never skipped silently. Releasing a pending
+// VM cancels the provisioning request at no charge.
 func (f *Fleet) Release(id int, now int64) error {
 	v, err := f.Get(id)
 	if err != nil {
 		return err
 	}
-	if !v.Active() {
+	if v.Stopped() {
 		return fmt.Errorf("cloud: VM %d already released", id)
 	}
 	if v.UsedCores > 0 {
@@ -133,13 +195,14 @@ func (f *Fleet) Get(id int) (*VM, error) {
 }
 
 // AssignCores reserves n cores of VM id. It fails rather than oversubscribe:
-// each PE instance runs on a dedicated core (§5).
+// each PE instance runs on a dedicated core (§5). Cores may be reserved on a
+// pending VM — they start processing when provisioning completes.
 func (f *Fleet) AssignCores(id, n int, _ int64) error {
 	v, err := f.Get(id)
 	if err != nil {
 		return err
 	}
-	if !v.Active() {
+	if v.Stopped() {
 		return fmt.Errorf("cloud: VM %d is released", id)
 	}
 	if n <= 0 {
@@ -185,6 +248,28 @@ func (f *Fleet) ActiveCount() int {
 	n := 0
 	for _, v := range f.vms {
 		if v.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// Pending returns the VMs still provisioning, in id order.
+func (f *Fleet) Pending() []*VM {
+	var out []*VM
+	for _, v := range f.vms {
+		if v.pending && v.StopSec < 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PendingCount returns the number of VMs still provisioning.
+func (f *Fleet) PendingCount() int {
+	n := 0
+	for _, v := range f.vms {
+		if v.pending && v.StopSec < 0 {
 			n++
 		}
 	}

@@ -1,0 +1,137 @@
+package cloud
+
+import "testing"
+
+func TestAcquireDelayedPendingLifecycle(t *testing.T) {
+	m := MustMenu(AWS2013Classes())
+	f := NewFleet(m)
+	small, _ := m.ByName("m1.small")
+	v, err := f.AcquireDelayed(small, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pending() || v.Active() || v.Stopped() {
+		t.Fatalf("state after delayed acquire: pending=%v active=%v stopped=%v",
+			v.Pending(), v.Active(), v.Stopped())
+	}
+	if f.ActiveCount() != 0 || f.PendingCount() != 1 {
+		t.Fatalf("counts: %d active, %d pending", f.ActiveCount(), f.PendingCount())
+	}
+	if h := v.BilledHours(400); h != 0 {
+		t.Fatalf("pending VM billed %d hours", h)
+	}
+	if c := f.TotalCost(400); c != 0 {
+		t.Fatalf("pending VM cost $%v", c)
+	}
+	if got := f.MakeReady(499); len(got) != 0 {
+		t.Fatalf("MakeReady before ReadySec flipped %d VMs", len(got))
+	}
+	got := f.MakeReady(500)
+	if len(got) != 1 || got[0] != v {
+		t.Fatalf("MakeReady at ReadySec = %v", got)
+	}
+	if !v.Active() || v.Pending() {
+		t.Fatal("VM not active after MakeReady")
+	}
+	// Billing is anchored at ReadySec, not StartSec.
+	if h := v.BilledHours(500); h != 1 {
+		t.Fatalf("billed %d hours at boot", h)
+	}
+	if h := v.BilledHours(500 + 3600); h != 1 {
+		t.Fatalf("billed %d hours one hour after boot", h)
+	}
+	if h := v.BilledHours(500 + 3601); h != 2 {
+		t.Fatalf("billed %d hours just past the first boundary", h)
+	}
+	if s := v.SecondsToHourBoundary(500); s != SecondsPerHour {
+		t.Fatalf("boundary clock at boot = %d", s)
+	}
+	if s := v.SecondsToHourBoundary(500 + 3600); s != 0 {
+		t.Fatalf("boundary clock one hour after boot = %d", s)
+	}
+}
+
+func TestCancelWhilePendingNeverBilled(t *testing.T) {
+	m := MustMenu(AWS2013Classes())
+	f := NewFleet(m)
+	small, _ := m.ByName("m1.small")
+	v, err := f.AcquireDelayed(small, 0, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Release(v.ID, 100); err != nil {
+		t.Fatalf("cancelling a pending VM: %v", err)
+	}
+	if !v.Stopped() || !v.Pending() {
+		t.Fatal("cancelled VM should stay pending forever")
+	}
+	if h := v.BilledHours(100000); h != 0 {
+		t.Fatalf("cancelled-while-pending VM billed %d hours", h)
+	}
+	if c := f.TotalCost(100000); c != 0 {
+		t.Fatalf("cancelled-while-pending VM cost $%v", c)
+	}
+	if len(f.MakeReady(100000)) != 0 {
+		t.Fatal("cancelled VM still became ready")
+	}
+	if err := f.Release(v.ID, 200); err == nil {
+		t.Fatal("double release accepted")
+	}
+}
+
+func TestAssignCoresOnPendingVM(t *testing.T) {
+	m := MustMenu(AWS2013Classes())
+	f := NewFleet(m)
+	large, _ := m.ByName("m1.large") // 2 cores
+	v, err := f.AcquireDelayed(large, 0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AssignCores(v.ID, 2, 10); err != nil {
+		t.Fatalf("reserving cores on a pending VM: %v", err)
+	}
+	if err := f.AssignCores(v.ID, 1, 10); err == nil {
+		t.Fatal("oversubscription accepted on pending VM")
+	}
+	// A pending VM with reserved cores cannot be cancelled silently.
+	if err := f.Release(v.ID, 20); err == nil {
+		t.Fatal("cancel with reserved cores accepted")
+	}
+	if err := f.UnassignCores(v.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Release(v.ID, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AssignCores(v.ID, 1, 30); err == nil {
+		t.Fatal("assign on released VM accepted")
+	}
+}
+
+func TestAcquireDelayedValidatesReadySec(t *testing.T) {
+	m := MustMenu(AWS2013Classes())
+	f := NewFleet(m)
+	small, _ := m.ByName("m1.small")
+	if _, err := f.AcquireDelayed(small, 100, 99); err == nil {
+		t.Fatal("readySec before acquisition accepted")
+	}
+	v, err := f.AcquireDelayed(small, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pending() {
+		t.Fatal("zero-delay acquisition came up pending")
+	}
+}
+
+func TestMakeReadyReturnsIDOrder(t *testing.T) {
+	m := MustMenu(AWS2013Classes())
+	f := NewFleet(m)
+	small, _ := m.ByName("m1.small")
+	b, _ := f.AcquireDelayed(small, 0, 200)
+	a, _ := f.AcquireDelayed(small, 0, 100)
+	got := f.MakeReady(200)
+	if len(got) != 2 || got[0].ID != b.ID || got[1].ID != a.ID {
+		t.Fatalf("MakeReady order = %v, want ids [%d %d]", got, b.ID, a.ID)
+	}
+}

@@ -11,7 +11,7 @@ import (
 // while the required capacity is not met, shrink over-provisioned PEs when
 // there is comfortable headroom, consolidate (global only), and release
 // idle VMs as they approach their paid hour boundary.
-func (h *Heuristic) resourceStage(v *sim.View, act *sim.Actions) error {
+func (h *Heuristic) resourceStage(v *sim.View, act sim.Control) error {
 	g := v.Graph()
 	sel := v.Selection()
 	demand, err := h.demandECU(v, sel)
@@ -99,7 +99,7 @@ func (h *Heuristic) resourceStage(v *sim.View, act *sim.Actions) error {
 // fit); with spill set and a spot market on the menu, the new VM is the
 // cheapest preemptible class instead. It returns the effective ECU added
 // (0 when the fleet cap blocks).
-func (h *Heuristic) addCore(v *sim.View, act *sim.Actions, pe int, deficitECU float64, spill bool) (float64, error) {
+func (h *Heuristic) addCore(v *sim.View, act sim.Control, pe int, deficitECU float64, spill bool) (float64, error) {
 	hosting := map[int]bool{}
 	for _, a := range v.Assignments(pe) {
 		hosting[a.VMID] = true
@@ -126,6 +126,20 @@ func (h *Heuristic) addCore(v *sim.View, act *sim.Actions, pe int, deficitECU fl
 			return 0, err
 		}
 		return best.Class.CoreSpeed * best.CPUCoeff, nil
+	}
+	// Capacity that is still provisioning counts against the deficit:
+	// acquiring again while a boot is in flight double-provisions. Reserve a
+	// core on the pending VM for this PE so it starts working the moment it
+	// boots, and report no effective capacity added — the grow loop then
+	// waits for the boot instead of stacking further acquisitions.
+	for _, p := range v.PendingVMs() {
+		if p.UsedCores >= p.Class.Cores {
+			continue
+		}
+		if err := act.AssignCores(pe, p.ID, 1); err != nil {
+			return 0, err
+		}
+		return 0, nil
 	}
 	// Acquire a new VM. Policies plan on the on-demand view; spot classes
 	// are only touched through the explicit spill path.
@@ -166,7 +180,7 @@ func (h *Heuristic) addCore(v *sim.View, act *sim.Actions, pe int, deficitECU fl
 // contribution exceeds maxRemove (that would undershoot the requirement).
 // It returns the effective ECU removed (0 when nothing is safely
 // removable).
-func (h *Heuristic) removeCore(v *sim.View, act *sim.Actions, pe int, maxRemove float64) (float64, error) {
+func (h *Heuristic) removeCore(v *sim.View, act sim.Control, pe int, maxRemove float64) (float64, error) {
 	as := v.Assignments(pe)
 	totalCores := 0
 	for _, a := range as {
@@ -221,7 +235,7 @@ func (h *Heuristic) removeCore(v *sim.View, act *sim.Actions, pe int, maxRemove 
 // stage by moving its core chunks into free cores elsewhere, so the idle VM
 // can be released at its hour boundary. Chunk conversion preserves rated
 // capacity: n cores at speed s need ceil(n*s/s') cores at speed s'.
-func (h *Heuristic) consolidate(v *sim.View, act *sim.Actions) error {
+func (h *Heuristic) consolidate(v *sim.View, act sim.Control) error {
 	vms := v.ActiveVMs()
 	sort.SliceStable(vms, func(i, j int) bool {
 		ui := float64(vms[i].UsedCores) / float64(vms[i].Class.Cores)
@@ -311,7 +325,7 @@ func classOf(vms []sim.VMInfo, id int) *cloud.Class {
 
 // releaseIdle releases empty VMs approaching their paid hour boundary; an
 // empty VM far from the boundary is kept as already-paid spare capacity.
-func (h *Heuristic) releaseIdle(v *sim.View, act *sim.Actions) error {
+func (h *Heuristic) releaseIdle(v *sim.View, act sim.Control) error {
 	window := h.opts.ReleaseWindowSec
 	if window == 0 {
 		window = 2 * v.IntervalSec()

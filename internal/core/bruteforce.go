@@ -42,10 +42,10 @@ func NewBruteForce(obj Objective, horizonHours float64) (*BruteForce, error) {
 func (b *BruteForce) Name() string { return "bruteforce-static" }
 
 // Adapt implements sim.Scheduler: a static deployment never adapts.
-func (b *BruteForce) Adapt(*sim.View, *sim.Actions) error { return nil }
+func (b *BruteForce) Adapt(*sim.View, sim.Control) error { return nil }
 
 // Deploy implements sim.Scheduler.
-func (b *BruteForce) Deploy(v *sim.View, act *sim.Actions) error {
+func (b *BruteForce) Deploy(v *sim.View, act sim.Control) error {
 	g := v.Graph()
 	// A static deployment cannot replace preempted capacity: on-demand only.
 	menu := v.Menu().OnDemand()

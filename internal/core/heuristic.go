@@ -130,7 +130,7 @@ func (h *Heuristic) targetOmega(meanOmega float64) float64 {
 }
 
 // Deploy implements Alg. 1.
-func (h *Heuristic) Deploy(v *sim.View, act *sim.Actions) error {
+func (h *Heuristic) Deploy(v *sim.View, act sim.Control) error {
 	g := v.Graph()
 	sel := dataflow.DefaultSelection(g)
 	if h.opts.Dynamic {
@@ -163,7 +163,7 @@ func (h *Heuristic) Deploy(v *sim.View, act *sim.Actions) error {
 // AlternatePeriod intervals and the resource stage every ResourcePeriod
 // intervals, never in the same tick ordering ambiguity — alternates first,
 // then resources see the new selection.
-func (h *Heuristic) Adapt(v *sim.View, act *sim.Actions) error {
+func (h *Heuristic) Adapt(v *sim.View, act sim.Control) error {
 	if !h.opts.Adaptive {
 		return nil
 	}
@@ -235,7 +235,7 @@ func effectiveECU(v *sim.View) []float64 {
 // PE from the throughput band, rank by value/cost (strategy-dependent
 // cost), and switch to the first alternate that fits the PE's currently
 // available resources.
-func (h *Heuristic) alternateStage(v *sim.View, act *sim.Actions) error {
+func (h *Heuristic) alternateStage(v *sim.View, act sim.Control) error {
 	g := v.Graph()
 	sel := v.Selection()
 	obj := h.opts.Objective

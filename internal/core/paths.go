@@ -11,7 +11,7 @@ import (
 // band logic as alternates — switch to a cheaper route when the constraint
 // is slipping or a richer route when there is headroom. A no-op for graphs
 // without choice groups.
-func (h *Heuristic) pathStage(v *sim.View, act *sim.Actions) error {
+func (h *Heuristic) pathStage(v *sim.View, act sim.Control) error {
 	g := v.Graph()
 	if len(g.Choices) == 0 {
 		return nil

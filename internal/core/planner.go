@@ -325,7 +325,7 @@ func (p *Plan) Workers(n int) []int {
 
 // Materialize acquires the planned VMs and assigns cores through the
 // simulator's action surface, in deterministic order.
-func (p *Plan) Materialize(act *sim.Actions) error {
+func (p *Plan) Materialize(act sim.Control) error {
 	for _, vm := range p.VMs {
 		id, err := act.AcquireVM(vm.Class.Name)
 		if err != nil {

@@ -169,7 +169,7 @@ type materializer struct {
 }
 
 func (m *materializer) Name() string { return "materializer" }
-func (m *materializer) Deploy(v *sim.View, act *sim.Actions) error {
+func (m *materializer) Deploy(v *sim.View, act sim.Control) error {
 	for pe, alt := range m.sel {
 		if err := act.SelectAlternate(pe, alt); err != nil {
 			return err
@@ -177,7 +177,7 @@ func (m *materializer) Deploy(v *sim.View, act *sim.Actions) error {
 	}
 	return m.plan.Materialize(act)
 }
-func (m *materializer) Adapt(*sim.View, *sim.Actions) error { return nil }
+func (m *materializer) Adapt(*sim.View, sim.Control) error { return nil }
 
 func TestMenuWithoutMediumStillPlans(t *testing.T) {
 	// A menu missing 1-core classes exercises the ceil conversions.

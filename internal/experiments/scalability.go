@@ -43,10 +43,10 @@ type timedScheduler struct {
 }
 
 func (t *timedScheduler) Name() string { return t.inner.Name() }
-func (t *timedScheduler) Deploy(v *sim.View, act *sim.Actions) error {
+func (t *timedScheduler) Deploy(v *sim.View, act sim.Control) error {
 	return t.inner.Deploy(v, act)
 }
-func (t *timedScheduler) Adapt(v *sim.View, act *sim.Actions) error {
+func (t *timedScheduler) Adapt(v *sim.View, act sim.Control) error {
 	start := time.Now()
 	err := t.inner.Adapt(v, act)
 	d := time.Since(start)

@@ -22,6 +22,7 @@ type Point struct {
 	Gamma      float64 // normalized application value in (0, 1]
 	CostUSD    float64 // cumulative cost mu up to this interval
 	ActiveVMs  int
+	PendingVMs int // VMs still provisioning (acquired, not yet schedulable)
 	UsedCores  int
 	InputRate  float64 // aggregate external input rate, msg/s
 	OutputRate float64 // aggregate output rate at sinks, msg/s
@@ -159,7 +160,7 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cw := csv.NewWriter(w)
-	header := []string{"sec", "omega", "gamma", "cost_usd", "vms", "cores", "in_rate", "out_rate", "backlog", "latency_sec"}
+	header := []string{"sec", "omega", "gamma", "cost_usd", "vms", "cores", "in_rate", "out_rate", "backlog", "latency_sec", "pending_vms"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -170,6 +171,7 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 			f(p.Omega), f(p.Gamma), f(p.CostUSD),
 			strconv.Itoa(p.ActiveVMs), strconv.Itoa(p.UsedCores),
 			f(p.InputRate), f(p.OutputRate), f(p.Backlog), f(p.LatencySec),
+			strconv.Itoa(p.PendingVMs),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

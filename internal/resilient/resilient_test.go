@@ -1,0 +1,385 @@
+package resilient
+
+import (
+	"strings"
+	"testing"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/core"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/metrics"
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/sim"
+)
+
+var _ sim.Scheduler = (*Scheduler)(nil)
+
+// scripted adapts bare functions to sim.Scheduler for middleware tests.
+type scripted struct {
+	deploy func(v *sim.View, act sim.Control) error
+	adapt  func(v *sim.View, act sim.Control) error
+}
+
+func (s *scripted) Name() string { return "scripted" }
+func (s *scripted) Deploy(v *sim.View, act sim.Control) error {
+	if s.deploy == nil {
+		return nil
+	}
+	return s.deploy(v, act)
+}
+func (s *scripted) Adapt(v *sim.View, act sim.Control) error {
+	if s.adapt == nil {
+		return nil
+	}
+	return s.adapt(v, act)
+}
+
+func smallEngine(t *testing.T, cf *sim.ControlFaults, horizon int64) *sim.Engine {
+	t.Helper()
+	g := dataflow.NewBuilder().
+		AddPE("src", dataflow.Alt("only", 1, 0.1, 1)).
+		AddPE("work",
+			dataflow.Alt("deep", 1.0, 1.4, 1),
+			dataflow.Alt("fast", 0.8, 0.9, 1)).
+		Connect("src", "work").
+		MustBuild()
+	prof, err := rates.NewConstant(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{
+		Graph:         g,
+		Menu:          cloud.MustMenu(cloud.AWS2013Classes()),
+		Inputs:        map[int]rates.Profile{0: prof},
+		HorizonSec:    horizon,
+		ControlFaults: cf,
+		Audit:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBreakerOpensThenFailsFast(t *testing.T) {
+	cf := &sim.ControlFaults{Acquisition: &sim.AcquisitionFaults{FailProb: 1}, Seed: 2}
+	e := smallEngine(t, cf, 3600)
+	nClasses := len(cloud.AWS2013Classes())
+	var rs *Scheduler
+	var firstErr, secondErr error
+	var attemptsAfterFirst int
+	inner := &scripted{deploy: func(v *sim.View, act sim.Control) error {
+		_, firstErr = act.AcquireVM("m1.small")
+		attemptsAfterFirst = e.AcquireFailures()
+		_, secondErr = act.AcquireVM("m1.small")
+		return nil
+	}}
+	rs = Wrap(inner, Config{BreakerThreshold: 3, MaxRetries: 3})
+	if _, err := e.Run(rs); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.IsCapacityError(firstErr) {
+		t.Fatalf("first acquire error = %v, want CapacityError", firstErr)
+	}
+	// Every class was tried 3 times (the breaker threshold, reached before
+	// the retry budget), then its breaker opened.
+	if attemptsAfterFirst != 3*nClasses {
+		t.Fatalf("attempts after first call = %d, want %d", attemptsAfterFirst, 3*nClasses)
+	}
+	if rs.BreakerTrips() != nClasses {
+		t.Fatalf("breaker trips = %d, want %d", rs.BreakerTrips(), nClasses)
+	}
+	// The second call finds every breaker open and fails fast: not one more
+	// doomed request hits the control plane.
+	if !sim.IsCapacityError(secondErr) {
+		t.Fatalf("second acquire error = %v, want CapacityError", secondErr)
+	}
+	if e.AcquireFailures() != attemptsAfterFirst {
+		t.Fatalf("fail-fast still issued requests: %d -> %d", attemptsAfterFirst, e.AcquireFailures())
+	}
+	opens := 0
+	for _, a := range e.AuditLog() {
+		if a.Action == "breaker-open" {
+			opens++
+		}
+	}
+	if opens != nClasses {
+		t.Fatalf("audit has %d breaker-open entries, want %d", opens, nClasses)
+	}
+}
+
+func TestFallbackToNextCheapestClass(t *testing.T) {
+	// m1.large is out of capacity; the middleware must land on m1.medium —
+	// the next-cheapest on-demand class — and log the substitution.
+	cf := &sim.ControlFaults{Acquisition: &sim.AcquisitionFaults{
+		PerClass: map[string]float64{"m1.large": 1},
+	}, Seed: 5}
+	e := smallEngine(t, cf, 3600)
+	var got int
+	inner := &scripted{deploy: func(v *sim.View, act sim.Control) error {
+		id, err := act.AcquireVM("m1.large")
+		if err != nil {
+			return err
+		}
+		got = id
+		return nil
+	}}
+	rs := Wrap(inner, Config{})
+	if _, err := e.Run(rs); err != nil {
+		t.Fatal(err)
+	}
+	vm, err := e.Fleet().Get(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Class.Name != "m1.medium" {
+		t.Fatalf("fallback landed on %s, want m1.medium", vm.Class.Name)
+	}
+	if rs.Fallbacks() != 1 {
+		t.Fatalf("fallbacks = %d, want 1", rs.Fallbacks())
+	}
+	var sawLog bool
+	for _, a := range e.AuditLog() {
+		if a.Action == "fallback-acquire" && strings.Contains(a.Detail, "m1.medium") {
+			sawLog = true
+		}
+	}
+	if !sawLog {
+		t.Fatal("no fallback-acquire audit entry")
+	}
+}
+
+func TestRetryRidesOutTransientErrors(t *testing.T) {
+	// At 60% failure probability, four attempts nearly always find capacity;
+	// the inner policy should never see an error across many acquisitions.
+	cf := &sim.ControlFaults{Acquisition: &sim.AcquisitionFaults{FailProb: 0.6}, Seed: 8}
+	e := smallEngine(t, cf, 3600)
+	acquired := 0
+	inner := &scripted{deploy: func(v *sim.View, act sim.Control) error {
+		for i := 0; i < 10; i++ {
+			if _, err := act.AcquireVM("m1.small"); err != nil {
+				return err
+			}
+			acquired++
+		}
+		return nil
+	}}
+	rs := Wrap(inner, Config{MaxRetries: 8, BreakerThreshold: 9})
+	if _, err := e.Run(rs); err != nil {
+		t.Fatalf("middleware leaked a transient error: %v", err)
+	}
+	if acquired != 10 {
+		t.Fatalf("acquired %d of 10", acquired)
+	}
+	if rs.Retries() == 0 {
+		t.Fatal("no retries at 60% failure probability — faults not firing")
+	}
+	if e.AcquireFailures() == 0 {
+		t.Fatal("engine recorded no failed attempts")
+	}
+}
+
+func TestNonCapacityErrorsPassThroughUnretried(t *testing.T) {
+	e := smallEngine(t, nil, 3600)
+	inner := &scripted{deploy: func(v *sim.View, act sim.Control) error {
+		if _, err := act.AcquireVM("no-such-class"); err == nil {
+			t.Fatal("unknown class accepted")
+		}
+		// Exhaust the quota, then confirm the quota error is not retried or
+		// remapped to another class.
+		for {
+			if _, err := act.AcquireVM("m1.small"); err != nil {
+				if sim.IsCapacityError(err) {
+					t.Fatalf("quota error disguised as capacity error: %v", err)
+				}
+				break
+			}
+		}
+		return nil
+	}}
+	rs := Wrap(inner, Config{})
+	if _, err := e.Run(rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Retries() != 0 || rs.Fallbacks() != 0 {
+		t.Fatalf("middleware retried non-capacity errors: %d retries, %d fallbacks",
+			rs.Retries(), rs.Fallbacks())
+	}
+}
+
+func TestDegradeSwitchesToCheapestAlternates(t *testing.T) {
+	// Deploy leaves the dataflow starved (omega 0); the first Adapt acquires
+	// a VM that comes up pending. The degradation hook must then flip the
+	// work PE from its default alternate (deep, cost 1.4) to the cheapest
+	// (fast, cost 0.9).
+	cf := &sim.ControlFaults{Provisioning: &sim.ProvisioningFaults{MeanBootSec: 600}, Seed: 1}
+	e := smallEngine(t, cf, 1800)
+	acquired := false
+	inner := &scripted{adapt: func(v *sim.View, act sim.Control) error {
+		if acquired {
+			return nil
+		}
+		acquired = true
+		_, err := act.AcquireVM("m1.small")
+		return err
+	}}
+	rs := Wrap(inner, Config{DegradeOmega: 0.9, Seed: 1})
+	if _, err := e.Run(rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Degrades() == 0 {
+		t.Fatal("degradation hook never fired")
+	}
+	if sel := sim.NewView(e).Selection(); sel[1] != 1 {
+		t.Fatalf("work PE alternate = %d, want 1 (cheapest)", sel[1])
+	}
+	var sawLog bool
+	for _, a := range e.AuditLog() {
+		if a.Action == "degrade" {
+			sawLog = true
+		}
+	}
+	if !sawLog {
+		t.Fatal("no degrade audit entry")
+	}
+}
+
+func TestWrapNameAndDefaults(t *testing.T) {
+	rs := Wrap(&scripted{}, Config{})
+	if rs.Name() != "resilient+scripted" {
+		t.Fatalf("name = %q", rs.Name())
+	}
+	cfg := Config{}.withDefaults()
+	if cfg.MaxRetries != 3 || cfg.BreakerThreshold != 3 || cfg.CooldownSec != 300 || cfg.MaxCooldownSec != 3600 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	// Cooldown doubles per consecutive trip up to the cap, plus a bounded
+	// deterministic jitter.
+	for trip := 0; trip < 8; trip++ {
+		c := rs.cooldownSec("m1.small", trip)
+		if c != rs.cooldownSec("m1.small", trip) {
+			t.Fatal("cooldown not deterministic")
+		}
+		base := cfg.CooldownSec << trip
+		if base > cfg.MaxCooldownSec {
+			base = cfg.MaxCooldownSec
+		}
+		if c < base || c >= base+cfg.CooldownSec/4 {
+			t.Fatalf("trip %d: cooldown %d outside [%d, %d)", trip, c, base, base+cfg.CooldownSec/4)
+		}
+	}
+}
+
+// chaosFaults is the acceptance scenario's control plane: short boot delays,
+// the provider effectively out of every class the global heuristic prefers
+// (only m1.small remains reliably available), and degraded monitoring. The
+// fault-free deploy window keeps the initial placement comparable.
+func chaosFaults() *sim.ControlFaults {
+	return &sim.ControlFaults{
+		Provisioning: &sim.ProvisioningFaults{MeanBootSec: 45},
+		Acquisition: &sim.AcquisitionFaults{
+			PerClass: map[string]float64{
+				"m1.medium": 0.97, "m1.large": 0.97, "m1.xlarge": 0.97,
+				"m1.small": 0.05,
+			},
+			AfterSec: 900,
+		},
+		Monitoring: &sim.MonitoringFaults{StaleProb: 0.2, NoiseFrac: 0.1},
+		Seed:       3,
+	}
+}
+
+func runChaos(t *testing.T, sched sim.Scheduler, cf *sim.ControlFaults) (metrics.Summary, *sim.Engine) {
+	t.Helper()
+	g := dataflow.EvalGraph()
+	prof, err := rates.NewConstant(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{
+		Graph:         g,
+		Menu:          cloud.MustMenu(cloud.AWS2013Classes()),
+		Inputs:        map[int]rates.Profile{g.Inputs()[0]: prof},
+		HorizonSec:    4 * 3600,
+		Seed:          7,
+		Failures:      sim.ExponentialFailures{MTBFSec: 1500, Seed: 7},
+		ControlFaults: cf,
+		Audit:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := e.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum, e
+}
+
+func chaosHeuristic(t *testing.T, obj core.Objective) *core.Heuristic {
+	t.Helper()
+	h, err := core.NewHeuristic(core.Options{
+		Strategy: core.Global, Dynamic: true, Adaptive: true, Objective: obj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestResilienceRestoresConstraintUnderControlFaults(t *testing.T) {
+	// The PR's acceptance scenario: under VM crashes plus an unreliable
+	// control plane, the plain global heuristic misses the throughput
+	// constraint; the same policy wrapped in the middleware — same seeds —
+	// restores it, at an objective value close to the fault-free run.
+	g := dataflow.EvalGraph()
+	obj, err := core.PaperSigma(g, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultFree, _ := runChaos(t, chaosHeuristic(t, obj), nil)
+	if !obj.MeetsConstraint(faultFree.MeanOmega) {
+		t.Fatalf("fault-free run misses the constraint: omega %.3f", faultFree.MeanOmega)
+	}
+
+	plain, pe := runChaos(t, chaosHeuristic(t, obj), chaosFaults())
+	if plain.MeanOmega >= obj.OmegaHat {
+		t.Fatalf("control faults did not hurt the plain policy: omega %.3f >= %.2f",
+			plain.MeanOmega, obj.OmegaHat)
+	}
+	if pe.AcquireFailures() == 0 {
+		t.Fatal("plain run saw no acquisition failures")
+	}
+
+	rs := Wrap(chaosHeuristic(t, obj), Config{Seed: 7})
+	res, re := runChaos(t, rs, chaosFaults())
+	if !obj.MeetsConstraint(res.MeanOmega) {
+		t.Fatalf("resilient run misses the constraint: omega %.3f (plain %.3f, fault-free %.3f)",
+			res.MeanOmega, plain.MeanOmega, faultFree.MeanOmega)
+	}
+	if rs.Retries() == 0 && rs.Fallbacks() == 0 {
+		t.Fatal("middleware never intervened — separation is vacuous")
+	}
+	if re.Crashes() == 0 {
+		t.Fatal("no crashes in the chaos scenario")
+	}
+
+	thetaFree := obj.Theta(faultFree.MeanGamma, faultFree.TotalCostUSD)
+	thetaRes := obj.Theta(res.MeanGamma, res.TotalCostUSD)
+	lost := thetaFree - thetaRes
+	if lost < 0 {
+		lost = -lost
+	}
+	if bound := 0.15 * abs(thetaFree); lost > bound {
+		t.Fatalf("resilient theta %.4f strays %.4f from fault-free %.4f (bound %.4f)",
+			thetaRes, lost, thetaFree, bound)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

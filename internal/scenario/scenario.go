@@ -15,17 +15,19 @@ import (
 	"dynamicdf/internal/core"
 	"dynamicdf/internal/dataflow"
 	"dynamicdf/internal/rates"
+	"dynamicdf/internal/resilient"
 	"dynamicdf/internal/sim"
 	"dynamicdf/internal/trace"
 )
 
 // Scenario is the top-level schema.
 type Scenario struct {
-	Graph  GraphSpec  `json:"graph"`
-	Rate   RateSpec   `json:"rate"`
-	Infra  InfraSpec  `json:"infra"`
-	Policy PolicySpec `json:"policy"`
-	Spot   SpotSpec   `json:"spot"`
+	Graph   GraphSpec   `json:"graph"`
+	Rate    RateSpec    `json:"rate"`
+	Infra   InfraSpec   `json:"infra"`
+	Policy  PolicySpec  `json:"policy"`
+	Spot    SpotSpec    `json:"spot"`
+	Control ControlSpec `json:"control"`
 
 	HorizonHours   float64      `json:"horizonHours"`
 	IntervalSec    int64        `json:"intervalSec"`
@@ -91,6 +93,76 @@ type PolicySpec struct {
 	Dynamic *bool  `json:"dynamic"`
 	Static  bool   `json:"static"`
 	UseSpot bool   `json:"useSpot"`
+	// Resilient wraps the policy in the resilient middleware (retries,
+	// per-class circuit breaking, class fallback); see internal/resilient.
+	Resilient bool `json:"resilient"`
+	// DegradeOmega arms the middleware's degradation hook (cheapest
+	// alternates while capacity is pending or broken and Omega sits below
+	// this floor). Only meaningful with Resilient.
+	DegradeOmega float64 `json:"degradeOmega"`
+}
+
+// ControlSpec injects control-plane faults (see sim.ControlFaults): VM boot
+// delays, transient acquisition failures (optionally bursty or per-class),
+// and monitoring degradation. The zero value leaves the control plane ideal.
+type ControlSpec struct {
+	// MeanBootSec > 0 enables provisioning delays; MaxBootSec caps them
+	// (default 4x the mean).
+	MeanBootSec int64 `json:"meanBootSec"`
+	MaxBootSec  int64 `json:"maxBootSec"`
+	// AcquireFailProb is the baseline per-attempt capacity-error
+	// probability; PerClassFailProb overrides it per VM class name.
+	AcquireFailProb  float64            `json:"acquireFailProb"`
+	PerClassFailProb map[string]float64 `json:"perClassFailProb"`
+	// BurstEverySec > 0 adds one error burst per window of BurstLenSec
+	// during which attempts fail with BurstFailProb (default 0.95).
+	BurstEverySec int64   `json:"burstEverySec"`
+	BurstLenSec   int64   `json:"burstLenSec"`
+	BurstFailProb float64 `json:"burstFailProb"`
+	// FaultFreeSec keeps acquisition reliable before this time, so initial
+	// deployment is unaffected.
+	FaultFreeSec int64 `json:"faultFreeSec"`
+	// MonitorStaleProb drops each probe with this probability (the EWMA
+	// keeps its last-known-good value); MonitorNoiseFrac perturbs surviving
+	// probes multiplicatively within [1-f, 1+f).
+	MonitorStaleProb float64 `json:"monitorStaleProb"`
+	MonitorNoiseFrac float64 `json:"monitorNoiseFrac"`
+	// Seed decorrelates the fault draws from the scenario seed (defaults to
+	// the scenario seed).
+	Seed int64 `json:"seed"`
+}
+
+// faults converts the spec to the simulator's fault model, or nil when every
+// knob is zero.
+func (cs ControlSpec) faults(fallbackSeed int64) *sim.ControlFaults {
+	cf := &sim.ControlFaults{Seed: cs.Seed}
+	if cf.Seed == 0 {
+		cf.Seed = fallbackSeed
+	}
+	any := false
+	if cs.MeanBootSec > 0 {
+		cf.Provisioning = &sim.ProvisioningFaults{MeanBootSec: cs.MeanBootSec, MaxBootSec: cs.MaxBootSec}
+		any = true
+	}
+	if cs.AcquireFailProb > 0 || len(cs.PerClassFailProb) > 0 || cs.BurstEverySec > 0 {
+		cf.Acquisition = &sim.AcquisitionFaults{
+			FailProb:      cs.AcquireFailProb,
+			PerClass:      cs.PerClassFailProb,
+			BurstEverySec: cs.BurstEverySec,
+			BurstLenSec:   cs.BurstLenSec,
+			BurstFailProb: cs.BurstFailProb,
+			AfterSec:      cs.FaultFreeSec,
+		}
+		any = true
+	}
+	if cs.MonitorStaleProb > 0 || cs.MonitorNoiseFrac > 0 {
+		cf.Monitoring = &sim.MonitoringFaults{StaleProb: cs.MonitorStaleProb, NoiseFrac: cs.MonitorNoiseFrac}
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	return cf
 }
 
 // SpotSpec adds a preemptible market.
@@ -200,17 +272,18 @@ func (sc *Scenario) Build() (*Built, error) {
 		interval = 60
 	}
 	engine, err := sim.NewEngine(sim.Config{
-		Graph:       g,
-		Menu:        cloud.MustMenu(classes),
-		Perf:        perf,
-		Inputs:      map[int]rates.Profile{g.Inputs()[0]: prof},
-		IntervalSec: interval,
-		HorizonSec:  int64(hours * 3600),
-		Seed:        sc.Seed,
-		MaxVMs:      sc.MaxVMs,
-		Failures:    failures,
-		Preemption:  preemption,
-		Audit:       sc.Audit,
+		Graph:         g,
+		Menu:          cloud.MustMenu(classes),
+		Perf:          perf,
+		Inputs:        map[int]rates.Profile{g.Inputs()[0]: prof},
+		IntervalSec:   interval,
+		HorizonSec:    int64(hours * 3600),
+		Seed:          sc.Seed,
+		MaxVMs:        sc.MaxVMs,
+		Failures:      failures,
+		Preemption:    preemption,
+		ControlFaults: sc.Control.faults(sc.Seed),
+		Audit:         sc.Audit,
 	})
 	if err != nil {
 		return nil, err
@@ -261,18 +334,28 @@ func (sc *Scenario) scheduler(obj core.Objective, hours float64) (sim.Scheduler,
 	if sc.Policy.Dynamic != nil {
 		dynamic = *sc.Policy.Dynamic
 	}
+	var sched sim.Scheduler
+	var err error
 	switch sc.Policy.Kind {
 	case "local":
-		return core.NewHeuristic(core.Options{
+		sched, err = core.NewHeuristic(core.Options{
 			Strategy: core.Local, Dynamic: dynamic, Adaptive: !sc.Policy.Static,
 			Objective: obj, UseSpot: sc.Policy.UseSpot})
 	case "global", "":
-		return core.NewHeuristic(core.Options{
+		sched, err = core.NewHeuristic(core.Options{
 			Strategy: core.Global, Dynamic: dynamic, Adaptive: !sc.Policy.Static,
 			Objective: obj, UseSpot: sc.Policy.UseSpot})
 	case "bruteforce":
-		return core.NewBruteForce(obj, hours)
+		sched, err = core.NewBruteForce(obj, hours)
 	default:
 		return nil, fmt.Errorf("scenario: unknown policy kind %q", sc.Policy.Kind)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if sc.Policy.Resilient {
+		sched = resilient.Wrap(sched, resilient.Config{
+			Seed: sc.Seed, DegradeOmega: sc.Policy.DegradeOmega})
+	}
+	return sched, nil
 }

@@ -6,14 +6,47 @@ import (
 	"dynamicdf/internal/cloud"
 )
 
-// Actions is the control surface a scheduler acts through (§5's runtime
-// controls): switch a PE's alternate, acquire or release VMs, and move CPU
-// cores between PEs and VMs. The engine enforces every billing and
-// consistency consequence — hour-boundary charges, buffer migration on
-// release, no oversubscription — so a buggy policy cannot corrupt the run.
+// Control is the interface of the control surface a scheduler acts through
+// (§5's runtime controls): switch a PE's alternate or route, acquire or
+// release VMs, and move CPU cores between PEs and VMs. The engine's Actions
+// implements it directly; middleware such as resilient.Actions wraps one
+// Control in another to add retries, circuit breaking and fallbacks without
+// the policy noticing.
+type Control interface {
+	// SelectAlternate activates alternate alt for PE pe.
+	SelectAlternate(pe, alt int) error
+	// SelectRoute activates target index target of choice group group.
+	SelectRoute(group, target int) error
+	// AcquireVM starts a new VM of the named class and returns its id. With
+	// control-plane faults enabled the VM may come up pending (schedulable
+	// only after its boot delay) or the call may fail with a CapacityError.
+	AcquireVM(className string) (int, error)
+	// ReleaseVM stops (or, while pending, cancels) a VM.
+	ReleaseVM(vmID int) error
+	// AssignCores gives PE pe n additional cores on VM vmID.
+	AssignCores(pe, vmID, n int) error
+	// UnassignCores takes n cores of PE pe on VM vmID back.
+	UnassignCores(pe, vmID, n int) error
+	// MovePE migrates n of the PE's cores from one VM to another.
+	MovePE(pe, fromVM, toVM, n int) error
+	// Menu is a convenience passthrough for policies constructing class
+	// names.
+	Menu() *cloud.Menu
+	// Log appends a free-form entry to the audit log (no-op unless
+	// Config.Audit), so middleware decisions — breaker trips, fallbacks,
+	// degradations — land in the same decision trace as the actions.
+	Log(action, detail string)
+}
+
+// Actions is the engine's own control surface (§5's runtime controls). The
+// engine enforces every billing and consistency consequence — hour-boundary
+// charges, buffer migration on release, no oversubscription — so a buggy
+// policy cannot corrupt the run.
 type Actions struct {
 	e *Engine
 }
+
+var _ Control = (*Actions)(nil)
 
 // NewActions builds a control surface over an engine, for tools and tests
 // that act outside a Scheduler callback.
@@ -52,22 +85,39 @@ func (a *Actions) SelectRoute(group, target int) error {
 	return nil
 }
 
-// AcquireVM starts a new VM of the named class and returns its id. The VM
-// is billed from the current interval.
+// AcquireVM starts a new VM of the named class and returns its id. Without
+// control-plane faults the VM is schedulable and billed from the current
+// interval. Under ControlFaults the attempt may fail with a transient
+// CapacityError, and a successful acquisition may return a pending VM that
+// becomes schedulable — and billable — only after its randomized boot time
+// (cores may still be reserved on it meanwhile).
 func (a *Actions) AcquireVM(className string) (int, error) {
 	class, ok := a.e.cfg.Menu.ByName(className)
 	if !ok {
 		return 0, fmt.Errorf("sim: unknown VM class %q", className)
 	}
-	if a.e.fleet.ActiveCount() >= a.e.cfg.MaxVMs {
+	if a.e.fleet.ActiveCount()+a.e.fleet.PendingCount() >= a.e.cfg.MaxVMs {
 		return 0, fmt.Errorf("sim: fleet at MaxVMs=%d", a.e.cfg.MaxVMs)
 	}
-	vm, err := a.e.fleet.Acquire(class, a.e.clock)
+	cf := a.e.cfg.ControlFaults
+	attempt := a.e.acquireAttempts
+	a.e.acquireAttempts++
+	if cf.acquireFails(class.Name, attempt, a.e.clock) {
+		a.e.acquireFailures++
+		a.e.audit(AuditEntry{Action: "acquire-failed", Detail: class.Name})
+		return 0, &CapacityError{Class: class.Name, Sec: a.e.clock}
+	}
+	boot := cf.bootDelaySec(attempt)
+	vm, err := a.e.fleet.AcquireDelayed(class, a.e.clock, a.e.clock+boot)
 	if err != nil {
 		return 0, err
 	}
 	vm.TraceID = a.e.vmTraceID(vm.ID)
-	a.e.audit(AuditEntry{Action: "acquire-vm", VM: vm.ID, Detail: class.Name})
+	if boot > 0 {
+		a.e.audit(AuditEntry{Action: "pending-vm", VM: vm.ID, N: int(boot), Detail: class.Name})
+	} else {
+		a.e.audit(AuditEntry{Action: "acquire-vm", VM: vm.ID, Detail: class.Name})
+	}
 	return vm.ID, nil
 }
 
@@ -151,3 +201,9 @@ func (a *Actions) MovePE(pe, fromVM, toVM, n int) error {
 
 // Menu is a convenience passthrough for policies constructing class names.
 func (a *Actions) Menu() *cloud.Menu { return a.e.cfg.Menu }
+
+// Log implements Control: it appends a free-form audit entry (no-op unless
+// Config.Audit is set).
+func (a *Actions) Log(action, detail string) {
+	a.e.audit(AuditEntry{Action: action, Detail: detail})
+}

@@ -15,12 +15,22 @@ type AuditEntry struct {
 	PE     int    `json:"pe,omitempty"`
 	VM     int    `json:"vm,omitempty"`
 	N      int    `json:"n,omitempty"`
-	Detail string `json:"detail,omitempty"`
+	// Lost counts the messages destroyed by this event (crash/preempt
+	// entries), so replays show why throughput dipped.
+	Lost   float64 `json:"lost,omitempty"`
+	Detail string  `json:"detail,omitempty"`
 }
 
 // String renders the entry as one log line.
 func (a AuditEntry) String() string {
-	return fmt.Sprintf("t=%ds %s pe=%d vm=%d n=%d %s", a.Sec, a.Action, a.PE, a.VM, a.N, a.Detail)
+	s := fmt.Sprintf("t=%ds %s pe=%d vm=%d n=%d", a.Sec, a.Action, a.PE, a.VM, a.N)
+	if a.Lost > 0 {
+		s += fmt.Sprintf(" lost=%.0f", a.Lost)
+	}
+	if a.Detail != "" {
+		s += " " + a.Detail
+	}
+	return s
 }
 
 // audit appends an entry when auditing is enabled.

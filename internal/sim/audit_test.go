@@ -15,7 +15,7 @@ func TestAuditLogRecordsActions(t *testing.T) {
 	released := false
 	_, err := e.Run(&fixed{
 		deploy: deployEven,
-		adapt: func(v *View, act *Actions) error {
+		adapt: func(v *View, act Control) error {
 			if released {
 				return nil
 			}

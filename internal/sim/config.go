@@ -50,6 +50,10 @@ type Config struct {
 	// ignored for on-demand classes. Typical spot markets preempt far more
 	// often than hardware fails.
 	Preemption FailureModel
+	// ControlFaults degrades the control plane itself: provisioning delays,
+	// transient acquisition failures, and stale/noisy monitoring (default:
+	// a perfectly reliable control plane).
+	ControlFaults *ControlFaults
 	// Audit records every scheduler action (AuditLog / WriteAuditJSONL).
 	Audit bool
 }
@@ -100,19 +104,22 @@ func (c *Config) normalize() error {
 			return fmt.Errorf("sim: profile attached to non-input PE %d", pe)
 		}
 	}
-	return nil
+	return c.ControlFaults.normalize()
 }
 
 // Scheduler decides deployment and runtime adaptation. Deploy runs once
 // before the first interval; Adapt runs at the start of every subsequent
-// interval (the paper's periodic re-evaluation, §5).
+// interval (the paper's periodic re-evaluation, §5). Policies receive the
+// control surface as the Control interface so that middleware — such as
+// resilient.Wrap's retrying, circuit-breaking layer — can interpose on
+// every action without the policy knowing.
 type Scheduler interface {
 	// Name labels the policy in experiment output.
 	Name() string
 	// Deploy performs initial alternate selection and resource allocation
 	// using estimated rates and rated VM performance.
-	Deploy(v *View, act *Actions) error
+	Deploy(v *View, act Control) error
 	// Adapt reacts to the monitored state. It is first invoked after one
 	// full interval has executed.
-	Adapt(v *View, act *Actions) error
+	Adapt(v *View, act Control) error
 }

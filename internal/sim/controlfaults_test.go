@@ -1,0 +1,430 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dynamicdf/internal/trace"
+)
+
+func TestControlFaultsNormalizeDefaults(t *testing.T) {
+	cf := &ControlFaults{
+		Provisioning: &ProvisioningFaults{MeanBootSec: 120},
+		Acquisition:  &AcquisitionFaults{BurstEverySec: 600},
+	}
+	if err := cf.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cf.Provisioning.MaxBootSec != 480 {
+		t.Fatalf("MaxBootSec default = %d, want 4x mean", cf.Provisioning.MaxBootSec)
+	}
+	if cf.Acquisition.BurstLenSec != 100 {
+		t.Fatalf("BurstLenSec default = %d, want spacing/6", cf.Acquisition.BurstLenSec)
+	}
+	if cf.Acquisition.BurstFailProb != 0.95 {
+		t.Fatalf("BurstFailProb default = %v", cf.Acquisition.BurstFailProb)
+	}
+	var nilCF *ControlFaults
+	if err := nilCF.normalize(); err != nil {
+		t.Fatalf("nil ControlFaults rejected: %v", err)
+	}
+}
+
+func TestControlFaultsNormalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		cf   ControlFaults
+	}{
+		{"negative mean boot", ControlFaults{Provisioning: &ProvisioningFaults{MeanBootSec: -1}}},
+		{"negative max boot", ControlFaults{Provisioning: &ProvisioningFaults{MeanBootSec: 10, MaxBootSec: -5}}},
+		{"max below mean", ControlFaults{Provisioning: &ProvisioningFaults{MeanBootSec: 100, MaxBootSec: 50}}},
+		{"fail prob above 1", ControlFaults{Acquisition: &AcquisitionFaults{FailProb: 1.5}}},
+		{"fail prob NaN", ControlFaults{Acquisition: &AcquisitionFaults{FailProb: math.NaN()}}},
+		{"per-class prob negative", ControlFaults{Acquisition: &AcquisitionFaults{PerClass: map[string]float64{"m1.small": -0.1}}}},
+		{"negative burst spacing", ControlFaults{Acquisition: &AcquisitionFaults{BurstEverySec: -60}}},
+		{"burst longer than spacing", ControlFaults{Acquisition: &AcquisitionFaults{BurstEverySec: 60, BurstLenSec: 61}}},
+		{"negative onset", ControlFaults{Acquisition: &AcquisitionFaults{AfterSec: -1}}},
+		{"stale prob above 1", ControlFaults{Monitoring: &MonitoringFaults{StaleProb: 2}}},
+		{"noise frac at 1", ControlFaults{Monitoring: &MonitoringFaults{NoiseFrac: 1}}},
+		{"noise frac NaN", ControlFaults{Monitoring: &MonitoringFaults{NoiseFrac: math.NaN()}}},
+	}
+	for _, tc := range cases {
+		if err := tc.cf.normalize(); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestBootDelayBoundedAndDeterministic(t *testing.T) {
+	cf := &ControlFaults{Provisioning: &ProvisioningFaults{MeanBootSec: 100}, Seed: 3}
+	if err := cf.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	nonzero := false
+	for attempt := int64(0); attempt < 200; attempt++ {
+		d := cf.bootDelaySec(attempt)
+		if d < 0 || d > cf.Provisioning.MaxBootSec {
+			t.Fatalf("attempt %d: delay %d outside [0, %d]", attempt, d, cf.Provisioning.MaxBootSec)
+		}
+		if d != cf.bootDelaySec(attempt) {
+			t.Fatalf("attempt %d: non-deterministic delay", attempt)
+		}
+		if d > 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("every drawn delay was zero")
+	}
+	var off *ControlFaults
+	if off.bootDelaySec(0) != 0 {
+		t.Fatal("nil faults produced a delay")
+	}
+}
+
+func TestAcquireFailsOnsetPerClassAndBursts(t *testing.T) {
+	cf := &ControlFaults{Acquisition: &AcquisitionFaults{
+		FailProb: 0,
+		PerClass: map[string]float64{"m1.small": 1},
+		AfterSec: 1000,
+	}, Seed: 9}
+	if err := cf.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cf.acquireFails("m1.small", 0, 999) {
+		t.Fatal("fault fired before the onset time")
+	}
+	if !cf.acquireFails("m1.small", 0, 1000) {
+		t.Fatal("per-class probability 1 did not fail")
+	}
+	if cf.acquireFails("m1.large", 0, 1000) {
+		t.Fatal("baseline probability 0 failed")
+	}
+	// Bursts: with probability 1 inside the burst and 0 outside, exactly
+	// BurstLenSec seconds of each window must fail.
+	burst := &ControlFaults{Acquisition: &AcquisitionFaults{
+		BurstEverySec: 600, BurstLenSec: 120, BurstFailProb: 1,
+	}, Seed: 4}
+	if err := burst.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	for window := int64(0); window < 3; window++ {
+		n := 0
+		for s := window * 600; s < (window+1)*600; s++ {
+			if burst.acquireFails("m1.small", 0, s) {
+				n++
+			}
+		}
+		if n != 120 {
+			t.Fatalf("window %d: %d failing seconds, want 120", window, n)
+		}
+	}
+}
+
+func TestCapacityErrorDetection(t *testing.T) {
+	err := &CapacityError{Class: "m1.small", Sec: 42}
+	if !IsCapacityError(err) {
+		t.Fatal("direct CapacityError not detected")
+	}
+	if !strings.Contains(err.Error(), "m1.small") {
+		t.Fatalf("error message %q lacks the class", err.Error())
+	}
+	if IsCapacityError(nil) {
+		t.Fatal("nil detected as capacity error")
+	}
+}
+
+// pendingSeed returns a ControlFaults whose first boot draw is at least
+// minDelay, so tests can rely on the VM spanning whole intervals pending.
+func pendingSeed(t *testing.T, meanBoot, minDelay int64) *ControlFaults {
+	t.Helper()
+	for seed := int64(1); seed < 10000; seed++ {
+		cf := &ControlFaults{Provisioning: &ProvisioningFaults{MeanBootSec: meanBoot}, Seed: seed}
+		if err := cf.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if cf.bootDelaySec(0) >= minDelay {
+			return cf
+		}
+	}
+	t.Fatal("no seed with a long enough first boot draw")
+	return nil
+}
+
+func TestPendingVMLifecycleInEngine(t *testing.T) {
+	cf := pendingSeed(t, 300, 150)
+	boot := cf.bootDelaySec(0)
+	g := chainGraph(0.5)
+	cfg := baseConfig(g, 2, 3600)
+	cfg.ControlFaults = cf
+	cfg.Audit = true
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(&fixed{deploy: func(v *View, act Control) error {
+		id, err := act.AcquireVM("m1.large")
+		if err != nil {
+			return err
+		}
+		// Cores are reservable while the VM is still provisioning.
+		if err := act.AssignCores(0, id, 1); err != nil {
+			return err
+		}
+		if err := act.AssignCores(1, id, 1); err != nil {
+			return err
+		}
+		if len(v.PendingVMs()) != 1 {
+			t.Fatalf("pending VMs = %d right after delayed acquire", len(v.PendingVMs()))
+		}
+		return nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// While pending, the VM contributed nothing and cost nothing.
+	for _, p := range e.Collector().Points() {
+		if p.PendingVMs > 0 {
+			if p.CostUSD != 0 {
+				t.Fatalf("t=%d: pending VM billed $%v", p.Sec, p.CostUSD)
+			}
+			if p.Omega != 0 {
+				t.Fatalf("t=%d: omega %v while the only VM is pending", p.Sec, p.Omega)
+			}
+		}
+	}
+	if e.Fleet().ActiveCount() != 1 || e.Fleet().PendingCount() != 0 {
+		t.Fatalf("fleet at end: %d active, %d pending", e.Fleet().ActiveCount(), e.Fleet().PendingCount())
+	}
+	if cost := e.Fleet().TotalCost(3600); cost <= 0 {
+		t.Fatal("booted VM never billed")
+	}
+	var sawPending, sawReady bool
+	for _, a := range e.AuditLog() {
+		switch a.Action {
+		case "pending-vm":
+			sawPending = true
+			if int64(a.N) != boot {
+				t.Fatalf("pending-vm boot %d, want %d", a.N, boot)
+			}
+		case "vm-ready":
+			sawReady = true
+			if a.Sec < boot {
+				t.Fatalf("vm-ready at %d before boot %d", a.Sec, boot)
+			}
+		}
+	}
+	if !sawPending || !sawReady {
+		t.Fatalf("audit lacks pending-vm/vm-ready: pending=%v ready=%v", sawPending, sawReady)
+	}
+}
+
+func TestCrashWhilePendingNeverBoots(t *testing.T) {
+	cf := pendingSeed(t, 600, 300)
+	g := chainGraph(0.5)
+	cfg := baseConfig(g, 2, 1800)
+	cfg.ControlFaults = cf
+	cfg.Failures = fixedDeath{age: 120} // dies before its boot completes
+	cfg.Audit = true
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(&fixed{deploy: func(v *View, act Control) error {
+		_, err := act.AcquireVM("m1.small")
+		return err
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Crashes() != 1 {
+		t.Fatalf("crashes = %d, want 1", e.Crashes())
+	}
+	if cost := e.Fleet().TotalCost(1800); cost != 0 {
+		t.Fatalf("crashed-while-pending VM billed $%v", cost)
+	}
+	var sawCrash bool
+	for _, a := range e.AuditLog() {
+		if a.Action == "vm-ready" {
+			t.Fatal("VM became ready despite dying while pending")
+		}
+		if a.Action == "crash" {
+			sawCrash = true
+			if !strings.Contains(a.Detail, "(pending)") {
+				t.Fatalf("crash detail %q not marked pending", a.Detail)
+			}
+		}
+	}
+	if !sawCrash {
+		t.Fatal("no crash audit entry")
+	}
+}
+
+func TestMonitorsStaleAcrossWholeRound(t *testing.T) {
+	// With StaleProb 1 every probe is dropped for the entire run: monitors
+	// never leave their last-known-good (initial) state while on a variable
+	// cloud the clean run's coefficients drift away from rated.
+	run := func(stale float64) *Engine {
+		g := chainGraph(0.5)
+		cfg := baseConfig(g, 2, 3600)
+		perf, err := trace.NewReplayed(trace.ReplayedConfig{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Perf = perf
+		if stale > 0 {
+			cfg.ControlFaults = &ControlFaults{Monitoring: &MonitoringFaults{StaleProb: stale}, Seed: 2}
+		}
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(&fixed{deploy: deployEven}); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	faulty := run(1)
+	if faulty.StaleProbes() == 0 {
+		t.Fatal("no probes dropped at StaleProb 1")
+	}
+	for _, vm := range NewView(faulty).ActiveVMs() {
+		if vm.CPUCoeff != 1.0 {
+			t.Fatalf("VM %d coeff %v moved despite every probe dropped", vm.ID, vm.CPUCoeff)
+		}
+	}
+	clean := run(0)
+	if clean.StaleProbes() != 0 {
+		t.Fatal("clean run dropped probes")
+	}
+	moved := false
+	for _, vm := range NewView(clean).ActiveVMs() {
+		if vm.CPUCoeff != 1.0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("clean run's monitors never updated — staleness test is vacuous")
+	}
+}
+
+func TestMonitorNoiseStaysBounded(t *testing.T) {
+	cf := &ControlFaults{Monitoring: &MonitoringFaults{NoiseFrac: 0.2}, Seed: 6}
+	if err := cf.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	for sec := int64(0); sec < 1000; sec += 7 {
+		n := cf.probeNoise(drawNoiseCPU, 3, sec)
+		if n < 0.8 || n >= 1.2 {
+			t.Fatalf("noise factor %v outside [0.8, 1.2)", n)
+		}
+	}
+}
+
+// chaosConfig is a scenario exercising every fault class at once, used by
+// the determinism test.
+func chaosConfig(t *testing.T) Config {
+	t.Helper()
+	g := chainGraph(0.5)
+	cfg := baseConfig(g, 4, 2*3600)
+	cfg.Audit = true
+	cfg.Seed = 21
+	cfg.Failures = fixedDeath{age: 1500}
+	cfg.ControlFaults = &ControlFaults{
+		Provisioning: &ProvisioningFaults{MeanBootSec: 90},
+		Acquisition:  &AcquisitionFaults{FailProb: 0.4, AfterSec: 60},
+		Monitoring:   &MonitoringFaults{StaleProb: 0.3, NoiseFrac: 0.1},
+		Seed:         5,
+	}
+	return cfg
+}
+
+// chaosRepair keeps two cores per PE, riding out capacity errors by simply
+// trying again next interval.
+func chaosRepair(v *View, act Control) error {
+	for pe := 0; pe < v.Graph().N(); pe++ {
+		if v.AssignedCores(pe) >= 2 {
+			continue
+		}
+		id, err := act.AcquireVM("m1.large")
+		if err != nil {
+			if IsCapacityError(err) {
+				continue
+			}
+			return err
+		}
+		if err := act.AssignCores(pe, id, 2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestAuditLogByteIdenticalAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		e, err := NewEngine(chaosConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(&fixed{deploy: chaosRepair, adapt: chaosRepair}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.WriteAuditJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical configs produced different audit logs")
+	}
+	log := string(a)
+	for _, want := range []string{"pending-vm", "acquire-failed", "crash"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("chaos audit log lacks %q entries:\n%s", want, log)
+		}
+	}
+}
+
+func FuzzControlFaultsConfigNormalize(f *testing.F) {
+	f.Add(int64(120), int64(480), 0.2, 0.95, 0.1, 0.05, int64(600), int64(100), int64(0), int64(7), false, false, false)
+	f.Add(int64(-5), int64(0), 0.0, 0.0, 0.0, 0.0, int64(0), int64(0), int64(0), int64(0), false, true, true)
+	f.Add(int64(0), int64(0), 1.5, -0.1, 2.0, 1.0, int64(-60), int64(90), int64(-1), int64(3), true, false, true)
+	f.Add(int64(10), int64(5), 0.5, 0.5, 0.5, 0.5, int64(60), int64(61), int64(30), int64(1), true, true, false)
+	f.Fuzz(func(t *testing.T, meanBoot, maxBoot int64, failProb, burstProb, staleProb, noiseFrac float64,
+		burstEvery, burstLen, afterSec, seed int64, nilProv, nilAcq, nilMon bool) {
+		cf := &ControlFaults{Seed: seed}
+		if !nilProv {
+			cf.Provisioning = &ProvisioningFaults{MeanBootSec: meanBoot, MaxBootSec: maxBoot}
+		}
+		if !nilAcq {
+			cf.Acquisition = &AcquisitionFaults{
+				FailProb: failProb, BurstEverySec: burstEvery, BurstLenSec: burstLen,
+				BurstFailProb: burstProb, AfterSec: afterSec,
+				PerClass: map[string]float64{"m1.small": failProb},
+			}
+		}
+		if !nilMon {
+			cf.Monitoring = &MonitoringFaults{StaleProb: staleProb, NoiseFrac: noiseFrac}
+		}
+		cfg := baseConfig(chainGraph(1), 2, 3600)
+		cfg.ControlFaults = cf
+		e, err := NewEngine(cfg)
+		if err != nil {
+			return // rejected configs must not panic; nothing more to check
+		}
+		// Accepted configs must produce sane draws.
+		ncf := e.cfg.ControlFaults
+		for sec := int64(0); sec < 200; sec += 13 {
+			if d := ncf.bootDelaySec(sec); d < 0 {
+				t.Fatalf("negative boot delay %d", d)
+			}
+			ncf.acquireFails("m1.small", sec, sec)
+			if n := ncf.probeNoise(drawNoiseRate, uint64(sec), sec); n <= 0 {
+				t.Fatalf("non-positive noise factor %v", n)
+			}
+			ncf.probeStale(drawStaleCPU, uint64(sec), sec)
+		}
+	})
+}

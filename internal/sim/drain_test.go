@@ -18,7 +18,7 @@ func TestFluidDrainMatchesAnalyticModel(t *testing.T) {
 	e, _ := NewEngine(cfg)
 	var scaledAt int64 = -1
 	_, err := e.Run(&fixed{
-		deploy: func(v *View, act *Actions) error {
+		deploy: func(v *View, act Control) error {
 			// src amply provisioned; work on 1 small core: capacity 1
 			// msg/s vs 4 arriving -> backlog grows 3 msg/s.
 			a, err := act.AcquireVM("m1.large")
@@ -34,7 +34,7 @@ func TestFluidDrainMatchesAnalyticModel(t *testing.T) {
 			}
 			return act.AssignCores(1, b, 1)
 		},
-		adapt: func(v *View, act *Actions) error {
+		adapt: func(v *View, act Control) error {
 			if v.Now() >= 1200 && scaledAt < 0 {
 				scaledAt = v.Now()
 				// Replace the starved core with an xlarge (8 ECU =
@@ -98,7 +98,7 @@ func TestSteadyStateUtilization(t *testing.T) {
 	const rate = 8.0
 	cfg := baseConfig(g, rate, 3600)
 	e, _ := NewEngine(cfg)
-	_, err := e.Run(&fixed{deploy: func(v *View, act *Actions) error {
+	_, err := e.Run(&fixed{deploy: func(v *View, act Control) error {
 		a, err := act.AcquireVM("m1.large")
 		if err != nil {
 			return err

@@ -42,6 +42,13 @@ type Engine struct {
 	auditLog      []AuditEntry
 	collector     *metrics.Collector
 	stepped       bool
+
+	// Control-plane fault bookkeeping: a monotone acquisition-attempt
+	// counter keys the deterministic failure/boot draws; the tallies are
+	// exposed for tests and tools.
+	acquireAttempts int64
+	acquireFailures int
+	staleProbes     int
 }
 
 // NewEngine validates the config and prepares an engine.
@@ -195,6 +202,13 @@ func (e *Engine) step() error {
 	g := e.cfg.Graph
 	dt := float64(e.cfg.IntervalSec)
 	sec := e.clock
+
+	// Complete provisioning for pending VMs whose boot time arrived, so
+	// this interval runs on the newly booted capacity.
+	for _, vm := range e.fleet.MakeReady(sec) {
+		e.audit(AuditEntry{Action: "vm-ready", VM: vm.ID, N: int(sec - vm.StartSec),
+			Detail: vm.Class.Name})
+	}
 
 	// Crash VMs whose lifetime expired before this interval's flow runs,
 	// so the interval executes on the surviving capacity.
@@ -355,20 +369,40 @@ func (e *Engine) step() error {
 	// Advance the clock before billing so the interval is paid for.
 	e.clock += e.cfg.IntervalSec
 
-	// Update monitors with this interval's observations.
+	// Update monitors with this interval's observations. Under degraded
+	// monitoring a probe may be dropped (the estimator keeps its
+	// last-known-good value) or perturbed with multiplicative noise before
+	// smoothing — what the heuristics then consume via View is exactly as
+	// wrong as a real monitoring framework's would be.
+	cf := e.cfg.ControlFaults
 	for pe, r := range extRate {
-		e.rateEst.Observe(pe, r)
+		if cf.probeStale(drawStaleRate, uint64(pe), e.clock) {
+			e.staleProbes++
+			continue
+		}
+		e.rateEst.Observe(pe, r*cf.probeNoise(drawNoiseRate, uint64(pe), e.clock))
 	}
 	for _, vm := range e.fleet.Active() {
-		_ = e.vmMon.ObserveCPU(vm.ID, monitor.Probe{Sec: e.clock, CPUCoeff: e.coeff(vm.ID, sec)})
+		if cf.probeStale(drawStaleCPU, uint64(vm.ID), e.clock) {
+			e.staleProbes++
+			continue
+		}
+		coeff := e.coeff(vm.ID, sec) * cf.probeNoise(drawNoiseCPU, uint64(vm.ID), e.clock)
+		_ = e.vmMon.ObserveCPU(vm.ID, monitor.Probe{Sec: e.clock, CPUCoeff: coeff})
 	}
 	active := e.fleet.Active()
 	for i := 0; i < len(active); i++ {
 		for j := i + 1; j < len(active); j++ {
 			a, b := active[i], active[j]
+			pair := uint64(a.ID)<<32 | uint64(b.ID)
+			if cf.probeStale(drawStaleNet, pair, e.clock) {
+				e.staleProbes++
+				continue
+			}
 			lat := e.cfg.Perf.LatencySec(e.vmTraceID(a.ID), e.vmTraceID(b.ID), sec)
 			bw := e.cfg.Perf.BandwidthMbps(e.vmTraceID(a.ID), e.vmTraceID(b.ID), sec)
-			_ = e.netMon.Observe(a.ID, b.ID, lat, bw)
+			noise := cf.probeNoise(drawNoiseNet, pair, e.clock)
+			_ = e.netMon.Observe(a.ID, b.ID, lat*noise, bw*noise)
 		}
 	}
 
@@ -399,6 +433,7 @@ func (e *Engine) step() error {
 		Gamma:      gamma,
 		CostUSD:    e.fleet.TotalCost(e.clock),
 		ActiveVMs:  len(active),
+		PendingVMs: e.fleet.PendingCount(),
 		UsedCores:  usedCores,
 		InputRate:  totalIn,
 		OutputRate: totalOut,
@@ -406,6 +441,14 @@ func (e *Engine) step() error {
 		LatencySec: meanLatency,
 	})
 }
+
+// AcquireFailures reports how many AcquireVM attempts hit a transient
+// insufficient-capacity error so far.
+func (e *Engine) AcquireFailures() int { return e.acquireFailures }
+
+// StaleProbes reports how many monitor probes were dropped by degraded
+// monitoring so far.
+func (e *Engine) StaleProbes() int { return e.staleProbes }
 
 // splitArrival distributes rate across the PE's hosting VMs by rated share
 // (the load balancer of §5 cannot see instantaneous coefficients). With no

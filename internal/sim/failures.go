@@ -57,15 +57,21 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// crashDueVMs kills every active VM whose lifetime expired by time sec:
+// crashDueVMs kills every running VM whose lifetime expired by time sec:
 // cores are unassigned, buffered messages at the VM are lost (counted), the
 // VM is released (billing still rounds up to the hour — the cloud does not
-// refund a crashed tenant in this model), and monitors forget it.
+// refund a crashed tenant in this model), and monitors forget it. A VM that
+// crashes while still provisioning simply never comes up (and is never
+// billed). Each crash is recorded in the audit log with its lost-message
+// count, so replays show why throughput dipped.
 func (e *Engine) crashDueVMs(sec int64) error {
 	if e.cfg.Failures == nil && e.cfg.Preemption == nil {
 		return nil
 	}
-	for _, vm := range e.fleet.Active() {
+	for _, vm := range e.fleet.All() {
+		if vm.Stopped() {
+			continue
+		}
 		age := int64(-1)
 		if e.cfg.Failures != nil {
 			age = e.cfg.Failures.DeathAgeSec(e.vmTraceID(vm.ID))
@@ -79,9 +85,12 @@ func (e *Engine) crashDueVMs(sec int64) error {
 		if age < 0 || sec-vm.StartSec < age {
 			continue
 		}
+		action := "crash"
 		if vm.Class.Preemptible {
 			e.preemptions++
+			action = "preempt"
 		}
+		lost := 0.0
 		for pe := range e.cores {
 			if n := e.cores[pe][vm.ID]; n > 0 {
 				if err := e.fleet.UnassignCores(vm.ID, n); err != nil {
@@ -90,16 +99,23 @@ func (e *Engine) crashDueVMs(sec int64) error {
 				delete(e.cores[pe], vm.ID)
 			}
 			if q := e.queue[pe][vm.ID]; q > 0 {
-				e.lostMessages += q
+				lost += q
 				delete(e.queue[pe], vm.ID)
 			}
 		}
+		e.lostMessages += lost
+		wasPending := vm.Pending()
 		if err := e.fleet.Release(vm.ID, sec); err != nil {
 			return fmt.Errorf("sim: crash release: %w", err)
 		}
 		e.crashCount++
 		e.vmMon.Forget(vm.ID)
 		e.netMon.ForgetVM(vm.ID)
+		detail := vm.Class.Name
+		if wasPending {
+			detail += " (pending)"
+		}
+		e.audit(AuditEntry{Action: action, VM: vm.ID, Lost: lost, Detail: detail})
 	}
 	return nil
 }

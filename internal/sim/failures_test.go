@@ -67,7 +67,7 @@ func TestCrashRemovesVMAndLosesBuffers(t *testing.T) {
 	cfg := baseConfig(g, 2, 3600)
 	cfg.Failures = fixedDeath{age: 1800}
 	e, _ := NewEngine(cfg)
-	_, err := e.Run(&fixed{deploy: func(v *View, act *Actions) error {
+	_, err := e.Run(&fixed{deploy: func(v *View, act Control) error {
 		a, err := act.AcquireVM("m1.small")
 		if err != nil {
 			return err
@@ -113,7 +113,7 @@ func TestAdaptivePolicyCanRecoverFromCrash(t *testing.T) {
 	e, _ := NewEngine(cfg)
 	_, err := e.Run(&fixed{
 		deploy: deployEven,
-		adapt: func(v *View, act *Actions) error {
+		adapt: func(v *View, act Control) error {
 			// Naive repair loop: ensure each PE keeps 2 cores somewhere.
 			for pe := 0; pe < v.Graph().N(); pe++ {
 				have := v.AssignedCores(pe)

@@ -28,7 +28,7 @@ func TestBandwidthCapsCrossVMDelivery(t *testing.T) {
 	cfg := baseConfig(g, 10, 1800)
 	cfg.Perf = slowLinks{mbps: 1}
 	e, _ := NewEngine(cfg)
-	s, err := e.Run(&fixed{deploy: func(v *View, act *Actions) error {
+	s, err := e.Run(&fixed{deploy: func(v *View, act Control) error {
 		a, err := act.AcquireVM("m1.large")
 		if err != nil {
 			return err
@@ -58,7 +58,7 @@ func TestColocationBypassesBandwidth(t *testing.T) {
 	cfg := baseConfig(g, 10, 1800)
 	cfg.Perf = slowLinks{mbps: 1}
 	e, _ := NewEngine(cfg)
-	s, err := e.Run(&fixed{deploy: func(v *View, act *Actions) error {
+	s, err := e.Run(&fixed{deploy: func(v *View, act Control) error {
 		a, err := act.AcquireVM("m1.large")
 		if err != nil {
 			return err
@@ -89,7 +89,7 @@ func TestMessageSizeDrivesNetworkLoad(t *testing.T) {
 		cfg := baseConfig(g, 10, 1800)
 		cfg.Perf = slowLinks{mbps: 1}
 		e, _ := NewEngine(cfg)
-		s, err := e.Run(&fixed{deploy: func(v *View, act *Actions) error {
+		s, err := e.Run(&fixed{deploy: func(v *View, act Control) error {
 			a, err := act.AcquireVM("m1.large")
 			if err != nil {
 				return err
@@ -122,7 +122,7 @@ func TestLatencyMetricGrowsWithBacklog(t *testing.T) {
 	g := chainGraph(2)
 	cfg := baseConfig(g, 10, 3600)
 	e, _ := NewEngine(cfg)
-	_, err := e.Run(&fixed{deploy: func(v *View, act *Actions) error {
+	_, err := e.Run(&fixed{deploy: func(v *View, act Control) error {
 		a, err := act.AcquireVM("m1.small")
 		if err != nil {
 			return err
@@ -170,7 +170,7 @@ func TestActionSequenceInvariants(t *testing.T) {
 		}
 		chaos := &fixed{
 			deploy: deployEven,
-			adapt: func(v *View, act *Actions) error {
+			adapt: func(v *View, act Control) error {
 				for i := 0; i < 4; i++ {
 					switch rng.Intn(5) {
 					case 0:

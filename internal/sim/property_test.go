@@ -69,7 +69,7 @@ func TestPropertyAmpleCapacityGivesFullThroughput(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sum, err := e.Run(&fixed{deploy: func(v *View, act *Actions) error {
+		sum, err := e.Run(&fixed{deploy: func(v *View, act Control) error {
 			// One xlarge per PE: 8 ECU each, far beyond any demand here.
 			for pe := 0; pe < g.N(); pe++ {
 				id, err := act.AcquireVM("m1.xlarge")

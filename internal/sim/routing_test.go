@@ -25,7 +25,7 @@ func TestEngineRoutedFlowAndGamma(t *testing.T) {
 	e, _ := NewEngine(cfg)
 	switched := false
 	_, err := e.Run(&fixed{
-		deploy: func(v *View, act *Actions) error {
+		deploy: func(v *View, act Control) error {
 			for pe := 0; pe < g.N(); pe++ {
 				id, err := act.AcquireVM("m1.large")
 				if err != nil {
@@ -37,7 +37,7 @@ func TestEngineRoutedFlowAndGamma(t *testing.T) {
 			}
 			return nil
 		},
-		adapt: func(v *View, act *Actions) error {
+		adapt: func(v *View, act Control) error {
 			if v.Now() >= 1800 && !switched {
 				switched = true
 				return act.SelectRoute(0, 1)

@@ -12,18 +12,18 @@ import (
 
 // fixed is a test scheduler: deploy with a callback, never adapt.
 type fixed struct {
-	deploy func(v *View, act *Actions) error
-	adapt  func(v *View, act *Actions) error
+	deploy func(v *View, act Control) error
+	adapt  func(v *View, act Control) error
 }
 
 func (f *fixed) Name() string { return "fixed" }
-func (f *fixed) Deploy(v *View, act *Actions) error {
+func (f *fixed) Deploy(v *View, act Control) error {
 	if f.deploy == nil {
 		return nil
 	}
 	return f.deploy(v, act)
 }
-func (f *fixed) Adapt(v *View, act *Actions) error {
+func (f *fixed) Adapt(v *View, act Control) error {
 	if f.adapt == nil {
 		return nil
 	}
@@ -53,7 +53,7 @@ func baseConfig(g *dataflow.Graph, rate float64, horizon int64) Config {
 }
 
 // deployEven gives each PE one dedicated m1.large core pair (2 cores).
-func deployEven(v *View, act *Actions) error {
+func deployEven(v *View, act Control) error {
 	for pe := 0; pe < v.Graph().N(); pe++ {
 		id, err := act.AcquireVM("m1.large")
 		if err != nil {
@@ -136,7 +136,7 @@ func TestUnderprovisionedThrottlesThroughput(t *testing.T) {
 	g := chainGraph(2)
 	cfg := baseConfig(g, 10, 3600)
 	e, _ := NewEngine(cfg)
-	s, err := e.Run(&fixed{deploy: func(v *View, act *Actions) error {
+	s, err := e.Run(&fixed{deploy: func(v *View, act Control) error {
 		for pe := 0; pe < 2; pe++ {
 			id, err := act.AcquireVM("m1.small")
 			if err != nil {
@@ -186,7 +186,7 @@ func TestBacklogDrainsAfterScaleUp(t *testing.T) {
 	cfg := baseConfig(g, 5, 7200)
 	e, _ := NewEngine(cfg)
 	scaled := false
-	_, err := e.Run(&fixed{adapt: func(v *View, act *Actions) error {
+	_, err := e.Run(&fixed{adapt: func(v *View, act Control) error {
 		if v.Now() >= 600 && !scaled {
 			scaled = true
 			return deployEven(v, act)
@@ -218,7 +218,7 @@ func TestAlternateSwitchChangesGammaAndCapacity(t *testing.T) {
 	e, _ := NewEngine(cfg)
 	switched := false
 	_, err := e.Run(&fixed{
-		deploy: func(v *View, act *Actions) error {
+		deploy: func(v *View, act Control) error {
 			// One large for src, one medium (2 ECU) for work: heavy
 			// needs 10 ECU -> throttled; light needs 1 -> fine.
 			a, _ := act.AcquireVM("m1.large")
@@ -231,7 +231,7 @@ func TestAlternateSwitchChangesGammaAndCapacity(t *testing.T) {
 			}
 			return act.AssignCores(1, b, 1)
 		},
-		adapt: func(v *View, act *Actions) error {
+		adapt: func(v *View, act Control) error {
 			if v.Now() >= 1800 && !switched {
 				switched = true
 				return act.SelectAlternate(1, 1)
@@ -288,7 +288,7 @@ func TestHourBoundaryBilling(t *testing.T) {
 	released := false
 	_, err := e.Run(&fixed{
 		deploy: deployEven,
-		adapt: func(v *View, act *Actions) error {
+		adapt: func(v *View, act Control) error {
 			// Release the work PE's VM after 10 minutes; billed a full hour.
 			if v.Now() >= 600 && !released {
 				released = true
@@ -324,7 +324,7 @@ func TestReleaseMigratesBuffers(t *testing.T) {
 	var vmA, vmB int
 	released := false
 	_, err := e.Run(&fixed{
-		deploy: func(v *View, act *Actions) error {
+		deploy: func(v *View, act Control) error {
 			s, err := act.AcquireVM("m1.large")
 			if err != nil {
 				return err
@@ -345,7 +345,7 @@ func TestReleaseMigratesBuffers(t *testing.T) {
 			}
 			return act.AssignCores(1, vmB, 1)
 		},
-		adapt: func(v *View, act *Actions) error {
+		adapt: func(v *View, act Control) error {
 			if v.Now() >= 1200 && !released {
 				released = true
 				if err := act.UnassignCores(1, vmA, 1); err != nil {
@@ -428,7 +428,7 @@ func TestMovePE(t *testing.T) {
 	moved := false
 	_, err := e.Run(&fixed{
 		deploy: deployEven,
-		adapt: func(v *View, act *Actions) error {
+		adapt: func(v *View, act Control) error {
 			if moved {
 				return nil
 			}
@@ -460,7 +460,7 @@ func TestVariableInfrastructureDegradesThroughput(t *testing.T) {
 		cfg := baseConfig(g, 4, 4*3600)
 		cfg.Perf = p
 		e, _ := NewEngine(cfg)
-		s, err := e.Run(&fixed{deploy: func(v *View, act *Actions) error {
+		s, err := e.Run(&fixed{deploy: func(v *View, act Control) error {
 			// src: 0.4 ECU needed -> 1 small; work: 4 ECU exactly -> 1 large.
 			a, _ := act.AcquireVM("m1.small")
 			if err := act.AssignCores(0, a, 1); err != nil {

@@ -89,6 +89,32 @@ func (v *View) ActiveVMs() []VMInfo {
 	return out
 }
 
+// PendingVM describes one VM still provisioning: acquired (and possibly
+// carrying reserved cores), but not yet schedulable or billable.
+type PendingVM struct {
+	ID    int
+	Class *cloud.Class
+	// UsedCores counts cores already reserved on the provisioning VM; they
+	// start processing the moment it boots.
+	UsedCores int
+	// ReadySec is when provisioning completes and the VM becomes
+	// schedulable.
+	ReadySec int64
+	// StartSec is when the acquisition was issued.
+	StartSec int64
+}
+
+// PendingVMs lists the VMs still provisioning, in id order. Policies use it
+// to avoid double-provisioning while capacity is already on the way.
+func (v *View) PendingVMs() []PendingVM {
+	var out []PendingVM
+	for _, vm := range v.e.fleet.Pending() {
+		out = append(out, PendingVM{ID: vm.ID, Class: vm.Class, UsedCores: vm.UsedCores,
+			ReadySec: vm.ReadySec, StartSec: vm.StartSec})
+	}
+	return out
+}
+
 // VM returns info for one active VM.
 func (v *View) VM(id int) (VMInfo, bool) {
 	vm, err := v.e.fleet.Get(id)
