@@ -219,6 +219,67 @@ func BenchmarkSimulatorInterval(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineStepFaults measures raw engine step throughput with the
+// control-plane fault injectors off and on, isolating the overhead the
+// chaoscloud layer adds to every interval (boot queues, capacity draws,
+// monitor perturbation).
+func BenchmarkEngineStepFaults(b *testing.B) {
+	g := dataflow.EvalGraph()
+	obj, err := PaperSigma(g, 20, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := rates.NewConstant(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := &sim.ControlFaults{
+		Provisioning: &sim.ProvisioningFaults{MeanBootSec: 120},
+		Acquisition:  &sim.AcquisitionFaults{FailProb: 0.2, BurstEverySec: 3600, AfterSec: 60},
+		Monitoring:   &sim.MonitoringFaults{StaleProb: 0.3, NoiseFrac: 0.2},
+		Seed:         7,
+	}
+	const horizon = 3600
+	for _, bc := range []struct {
+		name string
+		cf   *sim.ControlFaults
+	}{
+		{"faults=off", nil},
+		{"faults=on", faults},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			intervals := int64(0)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h, err := NewHeuristic(Options{Strategy: Global, Dynamic: true, Adaptive: true, Objective: obj})
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := sim.NewEngine(sim.Config{
+					Graph:         g,
+					Menu:          MustMenu(AWS2013Classes()),
+					Perf:          trace.MustReplayed(trace.ReplayedConfig{Seed: 1}),
+					Inputs:        map[int]rates.Profile{0: prof},
+					HorizonSec:    horizon,
+					ControlFaults: bc.cf,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				sum, err := e.Run(h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				intervals += int64(sum.Intervals)
+			}
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(intervals)/b.Elapsed().Seconds(), "steps/s")
+			}
+		})
+	}
+}
+
 // BenchmarkTraceGeneration measures four-day synthetic CPU trace
 // generation.
 func BenchmarkTraceGeneration(b *testing.B) {

@@ -1,6 +1,8 @@
 #!/bin/sh
-# Repository gate: vet, build, and the full test suite under the race
-# detector. Run from the repo root.
+# Repository gate: vet, build, the full test suite under the race detector
+# plus a shuffled re-run, and a dfserve end-to-end smoke (start the service,
+# submit a 2-job sweep over HTTP, assert the aggregated output, shut down).
+# Run from the repo root.
 set -eu
 
 fmt=$(gofmt -l .)
@@ -13,3 +15,5 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+go test -shuffle=on -count=1 ./...
+go run ./cmd/dfserve -selftest

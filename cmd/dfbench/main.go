@@ -4,20 +4,31 @@
 // Usage:
 //
 //	dfbench [-quick] [-seed N] [-horizon HOURS]
+//	dfbench -sweep {fig5|fig67|faults|SPEC.json} [-sweep-replicas N] [-workers N] [-journal FILE]
 //
 // -quick runs a reduced sweep (shorter horizon, fewer rates) for smoke
 // testing; the default reproduces the full 10-hour evaluation.
+//
+// -sweep switches dfbench from the serial figure runners to the campaign
+// engine (internal/sweep): the named grids re-express the figures as
+// policy x rate x seed campaigns executed on a bounded worker pool, or a
+// sweep spec JSON file runs as-is. With -journal, completed jobs are
+// cached and a re-run only executes what is missing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"dynamicdf/internal/experiments"
+	"dynamicdf/internal/sweep"
 )
 
 func main() {
@@ -29,6 +40,10 @@ func main() {
 	only := flag.String("only", "", "run a single figure: 2,3,4,5,6,7,8,9, ft (fault tolerance), latency, spot, scalability, ablations or vmtable")
 	csvDir := flag.String("csvdir", "", "also write plot-ready CSVs for every figure into this directory")
 	check := flag.Bool("check", false, "verify the paper's qualitative claims and print a reproduction scorecard")
+	sweepArg := flag.String("sweep", "", "run a campaign instead of the serial figures: a named grid (fig5, fig67, faults) or a sweep spec JSON file")
+	sweepReplicas := flag.Int("sweep-replicas", 3, "seed replicas per grid cell for named grids")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	journal := flag.String("journal", "", "sweep journal file for cached, resumable campaigns")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -38,6 +53,13 @@ func main() {
 	cfg.Seed = *seed
 	if *horizon > 0 {
 		cfg.HorizonSec = int64(*horizon * 3600)
+	}
+
+	if *sweepArg != "" {
+		if err := runSweep(cfg, *sweepArg, *sweepReplicas, *workers, *journal); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	runAll := *only == ""
@@ -162,4 +184,50 @@ func main() {
 		}
 		fmt.Fprintln(out, f9.Table())
 	}
+}
+
+// runSweep resolves arg as a named grid or a sweep spec file and executes
+// it on the campaign engine. SIGINT cancels the run; with a journal the
+// next invocation resumes from whatever completed.
+func runSweep(cfg experiments.Config, arg string, replicas, workers int, journalPath string) error {
+	var spec *sweep.Spec
+	if data, err := os.ReadFile(arg); err == nil {
+		spec, err = sweep.ParseSpec(data)
+		if err != nil {
+			return fmt.Errorf("sweep spec %s: %w", arg, err)
+		}
+	} else if os.IsNotExist(err) {
+		spec, err = experiments.NamedGrid(arg, cfg, replicas)
+		if err != nil {
+			return err
+		}
+	} else {
+		return err
+	}
+
+	eng := &sweep.Engine{Workers: workers}
+	if journalPath != "" {
+		j, err := sweep.OpenJournal(journalPath)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		eng.Journal = j
+	}
+	eng.OnProgress = func(p sweep.Progress) {
+		fmt.Fprintf(os.Stderr, "\rsweep %s: %d/%d done (%d cached, %d errors)",
+			spec.Name, p.Done, p.Total, p.CacheHits, p.Errors)
+		if p.Done == p.Total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	rep, err := eng.Run(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Table())
+	return nil
 }

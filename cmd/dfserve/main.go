@@ -1,0 +1,214 @@
+// Command dfserve exposes the sweep campaign engine as an HTTP service:
+// submit a sweep spec (a base scenario crossed with parameter axes and
+// seeds), poll or stream its progress, and fetch the aggregated
+// mean/P50/P95 results. Completions are journaled per campaign, so
+// restarting the service (or resubmitting a spec) re-runs only the jobs
+// that are not already on record.
+//
+// Usage:
+//
+//	dfserve [-addr HOST:PORT] [-workers N] [-journal DIR]
+//	dfserve -selftest
+//
+// Endpoints:
+//
+//	POST   /sweeps              submit a sweep spec (JSON)
+//	GET    /sweeps              list campaigns
+//	GET    /sweeps/{id}         poll status
+//	GET    /sweeps/{id}/watch   stream NDJSON progress until done
+//	GET    /sweeps/{id}/results aggregated CSV (?format=json for the report)
+//	DELETE /sweeps/{id}         cancel
+//	GET    /healthz             liveness
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight jobs finish and are
+// journaled, queued jobs are left for the next run.
+//
+// -selftest starts the service on a loopback port, submits a 2-job sweep
+// over real HTTP, asserts the aggregated output, shuts down gracefully,
+// and exits non-zero on any failure (used by ci.sh as a smoke test).
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dynamicdf/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dfserve: ")
+	addr := flag.String("addr", "127.0.0.1:8350", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 0, "worker pool size per campaign (0 = GOMAXPROCS)")
+	journalDir := flag.String("journal", "", "journal directory for crash-safe resume (empty = in-memory only)")
+	selftest := flag.Bool("selftest", false, "start, submit a 2-job sweep, assert results, shut down")
+	flag.Parse()
+
+	if *selftest {
+		if err := runSelftest(*workers); err != nil {
+			log.Fatalf("selftest: %v", err)
+		}
+		fmt.Println("dfserve: selftest ok")
+		return
+	}
+
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	srv := sweep.NewServer(sweep.ServerConfig{Workers: *workers, JournalDir: *journalDir})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("dfserve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down: draining workers")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("sweep shutdown: %v", err)
+	}
+	log.Print("bye")
+}
+
+// selftestSpec is a 2-job campaign (1 grid point x 2 seeds) small enough
+// to finish in well under a second.
+const selftestSpec = `{
+  "name": "selftest",
+  "base": {
+    "graph": {
+      "pes": [
+        {"name": "src", "alternates": [{"name": "e", "value": 1, "cost": 0.2, "selectivity": 1}]},
+        {"name": "work", "alternates": [
+          {"name": "full", "value": 1.0, "cost": 1.0, "selectivity": 1},
+          {"name": "lite", "value": 0.8, "cost": 0.5, "selectivity": 1}
+        ]}
+      ],
+      "edges": [["src", "work"]]
+    },
+    "rate": {"kind": "constant", "mean": 5},
+    "horizonHours": 0.1,
+    "seed": 1
+  },
+  "axes": [{"name": "policy", "values": [{"label": "global", "patch": {"policy": {"kind": "global"}}}]}],
+  "seeds": [1, 2]
+}`
+
+// runSelftest exercises the full service lifecycle over loopback HTTP.
+func runSelftest(workers int) error {
+	srv := sweep.NewServer(sweep.ServerConfig{Workers: workers})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Post(base+"/sweeps", "application/json", strings.NewReader(selftestSpec))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return fmt.Errorf("submit decode: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		return fmt.Errorf("submit: status %d, id %q", resp.StatusCode, sub.ID)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sweep %s did not finish in time", sub.ID)
+		}
+		resp, err := http.Get(base + "/sweeps/" + sub.ID)
+		if err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+		var st struct {
+			State    string `json:"state"`
+			Error    string `json:"error"`
+			Progress struct {
+				Done, Total, Errors int
+			} `json:"progress"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return fmt.Errorf("poll decode: %w", err)
+		}
+		resp.Body.Close()
+		if st.State == "done" {
+			if st.Progress.Done != 2 || st.Progress.Errors != 0 {
+				return fmt.Errorf("unexpected progress: %+v", st.Progress)
+			}
+			break
+		}
+		if st.State != "running" {
+			return fmt.Errorf("sweep ended in state %q: %s", st.State, st.Error)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	resp, err = http.Get(base + "/sweeps/" + sub.ID + "/results")
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("results: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) != 2 {
+		return fmt.Errorf("aggregated csv has %d lines, want header + 1 row: %q", len(lines), lines)
+	}
+	if !strings.HasPrefix(lines[0], "group,seeds") {
+		return fmt.Errorf("bad header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "policy=global,2,0,0,") {
+		return fmt.Errorf("bad aggregated row %q", lines[1])
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("sweep shutdown: %w", err)
+	}
+	return nil
+}

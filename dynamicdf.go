@@ -51,6 +51,7 @@ import (
 	"dynamicdf/internal/rates"
 	"dynamicdf/internal/resilient"
 	"dynamicdf/internal/sim"
+	"dynamicdf/internal/sweep"
 	"dynamicdf/internal/trace"
 )
 
@@ -215,6 +216,10 @@ type (
 // NewEngine validates a scenario and returns its engine.
 func NewEngine(cfg Config) (*Engine, error) { return sim.NewEngine(cfg) }
 
+// ErrCanceled is the typed error RunContext wraps when its context is
+// canceled mid-horizon (test with errors.Is).
+var ErrCanceled = sim.ErrCanceled
+
 // NewView builds a read-only monitoring view over an engine, for inspecting
 // state outside a scheduler callback.
 func NewView(e *Engine) *View { return sim.NewView(e) }
@@ -336,6 +341,53 @@ func DefaultExperiments() ExperimentConfig { return experiments.Default() }
 
 // QuickExperiments returns a reduced sweep for smoke runs.
 func QuickExperiments() ExperimentConfig { return experiments.Quick() }
+
+// Sweep campaigns (parallel, cached, resumable simulation grids; served
+// over HTTP by cmd/dfserve and run locally by dfbench -sweep).
+type (
+	// SweepSpec declares a campaign: a base scenario crossed with parameter
+	// axes (RFC 7386 merge patches) and seed replicas.
+	SweepSpec = sweep.Spec
+	// SweepAxis is one swept dimension.
+	SweepAxis = sweep.Axis
+	// SweepAxisValue is one labeled point on an axis.
+	SweepAxisValue = sweep.AxisValue
+	// SweepJob is one expanded (scenario, seed) cell with its cache key.
+	SweepJob = sweep.Job
+	// SweepEngine executes expanded jobs on a bounded worker pool.
+	SweepEngine = sweep.Engine
+	// SweepJournal is the append-only completion log enabling crash-safe
+	// resume and cross-run caching.
+	SweepJournal = sweep.Journal
+	// SweepResult is one job's outcome (metrics or error).
+	SweepResult = sweep.Result
+	// SweepProgress is a point-in-time campaign progress snapshot.
+	SweepProgress = sweep.Progress
+	// SweepReport is the full campaign outcome with aggregated rows.
+	SweepReport = sweep.Report
+	// SweepRow aggregates a group's replicas into mean/P50/P95 metrics.
+	SweepRow = sweep.AggRow
+	// SweepServer hosts campaigns behind the dfserve HTTP API.
+	SweepServer = sweep.Server
+	// SweepServerConfig tunes a SweepServer.
+	SweepServerConfig = sweep.ServerConfig
+	// Distribution summarizes replica samples (N, mean, P50, P95).
+	Distribution = metrics.Distribution
+)
+
+// ErrSweepDrained marks a campaign stopped by a drain request with jobs
+// still queued; journaled work is kept and a resume finishes the rest.
+var ErrSweepDrained = sweep.ErrDrained
+
+// ParseSweepSpec decodes and validates a sweep spec from JSON.
+func ParseSweepSpec(data []byte) (*SweepSpec, error) { return sweep.ParseSpec(data) }
+
+// OpenSweepJournal opens (or creates) a campaign journal and replays the
+// completions already on record.
+func OpenSweepJournal(path string) (*SweepJournal, error) { return sweep.OpenJournal(path) }
+
+// NewSweepServer builds the HTTP campaign service (see Handler/Submit).
+func NewSweepServer(cfg SweepServerConfig) *SweepServer { return sweep.NewServer(cfg) }
 
 // In-process execution runtime (the FTOC/Floe role in §5): the same graph
 // description that is simulated for planning can be executed for real,

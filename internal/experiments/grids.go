@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/scenario"
+	"dynamicdf/internal/sweep"
+)
+
+// This file re-expresses the figure runners as sweep grids: the same
+// evaluation dataflow and policy matrix, but as declarative sweep specs
+// the campaign engine can execute in parallel, cache, and resume. dfbench
+// -sweep and cmd/dfserve consume them; RunFig* remain the serial
+// single-process reference.
+
+// evalBase builds the sweep base scenario: the §8 evaluation dataflow at
+// the given mean rate on an ideal cloud with the config's horizon.
+func (c Config) evalBase(rate float64) ([]byte, error) {
+	gs, choices := scenario.FromGraph(dataflow.EvalGraph())
+	base := scenario.Scenario{
+		Graph:        gs,
+		Choices:      choices,
+		Rate:         scenario.RateSpec{Kind: "constant", Mean: rate},
+		Infra:        scenario.InfraSpec{Kind: "ideal"},
+		Policy:       scenario.PolicySpec{Kind: "global"},
+		HorizonHours: float64(c.HorizonSec) / 3600,
+		IntervalSec:  c.IntervalSec,
+		Seed:         c.Seed,
+	}
+	b, err := json.Marshal(&base)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: eval base: %w", err)
+	}
+	return b, nil
+}
+
+// patch formats a merge patch from a JSON literal.
+func patch(doc string) json.RawMessage { return json.RawMessage(doc) }
+
+// rateAxis sweeps the data-rate ladder.
+func rateAxis(rates []float64) sweep.Axis {
+	ax := sweep.Axis{Name: "rate"}
+	for _, r := range rates {
+		ax.Values = append(ax.Values, sweep.AxisValue{
+			Label: fmt.Sprintf("%g", r),
+			Patch: patch(fmt.Sprintf(`{"rate": {"mean": %g}}`, r)),
+		})
+	}
+	return ax
+}
+
+// seedLadder derives n replica seeds from the config seed.
+func seedLadder(base int64, n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	return seeds
+}
+
+// GridFig5 is Fig. 5 as a campaign: static policies across the data-rate
+// sweep on an ideal cloud, n seed replicas per cell.
+func GridFig5(c Config, replicas int) (*sweep.Spec, error) {
+	base, err := c.evalBase(c.Rates[0])
+	if err != nil {
+		return nil, err
+	}
+	return &sweep.Spec{
+		Name: "fig5-static-vs-rate",
+		Base: base,
+		Axes: []sweep.Axis{
+			{Name: "policy", Values: []sweep.AxisValue{
+				{Label: "bruteforce", Patch: patch(`{"policy": {"kind": "bruteforce"}}`)},
+				{Label: "local-static", Patch: patch(`{"policy": {"kind": "local", "static": true}}`)},
+				{Label: "global-static", Patch: patch(`{"policy": {"kind": "global", "static": true}}`)},
+			}},
+			rateAxis(c.Rates),
+		},
+		Seeds: seedLadder(c.Seed, replicas),
+	}, nil
+}
+
+// GridAdaptive is Figs. 6-7 as one campaign: local vs global adaptive
+// heuristics under infrastructure variability (replayed traces) and data
+// variability (the wave+walk profile), across the rate sweep.
+func GridAdaptive(c Config, replicas int) (*sweep.Spec, error) {
+	base, err := c.evalBase(c.Rates[0])
+	if err != nil {
+		return nil, err
+	}
+	return &sweep.Spec{
+		Name: "fig67-adaptive",
+		Base: base,
+		Axes: []sweep.Axis{
+			{Name: "policy", Values: []sweep.AxisValue{
+				{Label: "local", Patch: patch(`{"policy": {"kind": "local"}}`)},
+				{Label: "global", Patch: patch(`{"policy": {"kind": "global"}}`)},
+			}},
+			{Name: "var", Values: []sweep.AxisValue{
+				{Label: "infra", Patch: patch(fmt.Sprintf(`{"infra": {"kind": "replayed", "seed": %d}}`, c.Seed))},
+				{Label: "data", Patch: patch(`{"rate": {"kind": "wavewalk"}}`)},
+			}},
+			rateAxis(c.Rates),
+		},
+		Seeds: seedLadder(c.Seed, replicas),
+	}, nil
+}
+
+// GridFaults is the chaoscloud fault matrix as a campaign: the global
+// policy, bare and wrapped in the resilient middleware, against escalating
+// control-plane fault profiles on a variable cloud.
+func GridFaults(c Config, replicas int) (*sweep.Spec, error) {
+	base, err := c.evalBase(10)
+	if err != nil {
+		return nil, err
+	}
+	base, err = sweep.MergePatch(base, patch(fmt.Sprintf(
+		`{"infra": {"kind": "replayed", "seed": %d}, "rate": {"kind": "wavewalk", "mean": 10}}`, c.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &sweep.Spec{
+		Name: "chaoscloud-fault-matrix",
+		Base: base,
+		Axes: []sweep.Axis{
+			{Name: "policy", Values: []sweep.AxisValue{
+				{Label: "global", Patch: patch(`{"policy": {"kind": "global"}}`)},
+				{Label: "global-resilient", Patch: patch(`{"policy": {"kind": "global", "resilient": true, "degradeOmega": 0.5}}`)},
+			}},
+			{Name: "faults", Values: []sweep.AxisValue{
+				{Label: "none", Patch: patch(`{}`)},
+				{Label: "boot", Patch: patch(`{"control": {"meanBootSec": 120}}`)},
+				{Label: "capacity", Patch: patch(`{"control": {"acquireFailProb": 0.2, "burstEverySec": 3600, "faultFreeSec": 600}}`)},
+				{Label: "monitor", Patch: patch(`{"control": {"monitorStaleProb": 0.3, "monitorNoiseFrac": 0.2}}`)},
+				{Label: "all", Patch: patch(`{"control": {"meanBootSec": 120, "acquireFailProb": 0.2, "burstEverySec": 3600, "faultFreeSec": 600, "monitorStaleProb": 0.3, "monitorNoiseFrac": 0.2}}`)},
+			}},
+		},
+		Seeds: seedLadder(c.Seed, replicas),
+	}, nil
+}
+
+// namedGrids maps the -sweep names to their builders.
+var namedGrids = map[string]func(Config, int) (*sweep.Spec, error){
+	"fig5":   GridFig5,
+	"fig67":  GridAdaptive,
+	"faults": GridFaults,
+}
+
+// GridNames lists the named grids, sorted.
+func GridNames() []string {
+	out := make([]string, 0, len(namedGrids))
+	for name := range namedGrids {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NamedGrid resolves a grid by name with the given replica count.
+func NamedGrid(name string, c Config, replicas int) (*sweep.Spec, error) {
+	build, ok := namedGrids[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown grid %q (have %s)",
+			name, strings.Join(GridNames(), ", "))
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	return build(c, replicas)
+}

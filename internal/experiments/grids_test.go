@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"dynamicdf/internal/sweep"
+)
+
+// gridConfig keeps grid tests fast: tiny horizon, two rates.
+func gridConfig() Config {
+	c := Quick()
+	c.HorizonSec = 600
+	c.Rates = []float64{3, 8}
+	return c
+}
+
+func TestNamedGridsExpand(t *testing.T) {
+	c := gridConfig()
+	for _, name := range GridNames() {
+		spec, err := NamedGrid(name, c, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		jobs, err := spec.Expand()
+		if err != nil {
+			t.Fatalf("%s expand: %v", name, err)
+		}
+		if len(jobs) == 0 {
+			t.Fatalf("%s: no jobs", name)
+		}
+		// Replica structure: every group has exactly 2 seeds.
+		perGroup := map[string]int{}
+		for _, j := range jobs {
+			perGroup[j.Group]++
+		}
+		for g, n := range perGroup {
+			if n != 2 {
+				t.Fatalf("%s group %s has %d replicas", name, g, n)
+			}
+		}
+	}
+	if _, err := NamedGrid("ghost", c, 1); err == nil {
+		t.Fatal("unknown grid accepted")
+	}
+}
+
+// TestGridFig5Runs executes a reduced Fig. 5 grid end to end through the
+// sweep engine, proving the figure runners are expressible as campaigns.
+func TestGridFig5Runs(t *testing.T) {
+	c := gridConfig()
+	c.Rates = []float64{3}
+	spec, err := GridFig5(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop bruteforce to keep the test fast; local/global static remain.
+	spec.Axes[0].Values = spec.Axes[0].Values[1:]
+	rep, err := (&sweep.Engine{Workers: 2}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Total != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for _, row := range rep.Rows {
+		if !(row.Omega.Mean > 0 && row.Omega.Mean <= 1) {
+			t.Fatalf("row %s omega = %v", row.Group, row.Omega.Mean)
+		}
+		if row.CostUSD.Mean <= 0 {
+			t.Fatalf("row %s cost = %v", row.Group, row.CostUSD.Mean)
+		}
+	}
+}
+
+// TestGridFaultsRuns executes one cell of the fault matrix to confirm the
+// control block survives the merge-patch path into a running engine.
+func TestGridFaultsRuns(t *testing.T) {
+	c := gridConfig()
+	spec, err := GridFaults(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep only (global, boot) for speed.
+	spec.Axes[0].Values = spec.Axes[0].Values[:1]
+	spec.Axes[1].Values = spec.Axes[1].Values[1:2]
+	rep, err := (&sweep.Engine{Workers: 1}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Total != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

@@ -85,6 +85,9 @@ type Summary struct {
 	MeanLatencySec float64
 	// MeanBacklog averages queued messages.
 	MeanBacklog float64
+	// MeanUsedCores averages the cores actually assigned to PEs — the
+	// utilization quantity sweep aggregation reports alongside cost.
+	MeanUsedCores float64
 }
 
 // Summarize reduces the collected points.
@@ -102,6 +105,7 @@ func (c *Collector) Summarize() Summary {
 		s.MeanVMs += float64(p.ActiveVMs)
 		s.MeanLatencySec += p.LatencySec
 		s.MeanBacklog += p.Backlog
+		s.MeanUsedCores += float64(p.UsedCores)
 		if p.Omega < s.MinOmega {
 			s.MinOmega = p.Omega
 		}
@@ -115,6 +119,7 @@ func (c *Collector) Summarize() Summary {
 	s.MeanVMs /= n
 	s.MeanLatencySec /= n
 	s.MeanBacklog /= n
+	s.MeanUsedCores /= n
 	s.TotalCostUSD = c.points[len(c.points)-1].CostUSD
 	return s
 }
@@ -142,6 +147,15 @@ func (c *Collector) Quantile(q float64, get func(Point) float64) float64 {
 		vals[i] = get(p)
 	}
 	sort.Float64s(vals)
+	return quantileSorted(vals, q)
+}
+
+// quantileSorted interpolates the q-quantile (0..1) of ascending vals.
+// Empty input yields NaN.
+func quantileSorted(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
 	if len(vals) == 1 {
 		return vals[0]
 	}
@@ -153,6 +167,37 @@ func (c *Collector) Quantile(q float64, get func(Point) float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return vals[lo]*(1-frac) + vals[hi]*frac
+}
+
+// Distribution summarizes replica samples of one metric the way the sweep
+// engine aggregates seeds: mean plus the P50/P95 order statistics.
+type Distribution struct {
+	N    int
+	Mean float64
+	P50  float64
+	P95  float64
+}
+
+// NewDistribution reduces samples (any order) to a Distribution. The input
+// slice is not modified. Empty input yields the zero Distribution with
+// NaN quantiles and mean.
+func NewDistribution(samples []float64) Distribution {
+	d := Distribution{N: len(samples)}
+	if len(samples) == 0 {
+		d.Mean = math.NaN()
+		d.P50 = math.NaN()
+		d.P95 = math.NaN()
+		return d
+	}
+	vals := append([]float64(nil), samples...)
+	sort.Float64s(vals)
+	for _, v := range vals {
+		d.Mean += v
+	}
+	d.Mean /= float64(len(vals))
+	d.P50 = quantileSorted(vals, 0.5)
+	d.P95 = quantileSorted(vals, 0.95)
+	return d
 }
 
 // WriteCSV streams the points for external plotting.

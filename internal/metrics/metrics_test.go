@@ -103,6 +103,39 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+func TestNewDistribution(t *testing.T) {
+	d := NewDistribution([]float64{5, 1, 3, 2, 4})
+	if d.N != 5 || d.Mean != 3 || d.P50 != 3 {
+		t.Fatalf("distribution = %+v", d)
+	}
+	if math.Abs(d.P95-4.8) > 1e-12 {
+		t.Fatalf("p95 = %v", d.P95)
+	}
+	empty := NewDistribution(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) || !math.IsNaN(empty.P50) || !math.IsNaN(empty.P95) {
+		t.Fatalf("empty distribution = %+v", empty)
+	}
+	one := NewDistribution([]float64{7})
+	if one.Mean != 7 || one.P50 != 7 || one.P95 != 7 {
+		t.Fatalf("singleton distribution = %+v", one)
+	}
+	// Input must not be reordered.
+	in := []float64{9, 1}
+	_ = NewDistribution(in)
+	if in[0] != 9 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSummarizeMeanUsedCores(t *testing.T) {
+	c := NewCollector()
+	_ = c.Add(Point{Sec: 0, UsedCores: 2})
+	_ = c.Add(Point{Sec: 60, UsedCores: 6})
+	if s := c.Summarize(); s.MeanUsedCores != 4 {
+		t.Fatalf("mean used cores = %v", s.MeanUsedCores)
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	c := NewCollector()
 	_ = c.Add(Point{Sec: 0, Omega: 0.9, Gamma: 1, CostUSD: 0.06, ActiveVMs: 1, UsedCores: 2, InputRate: 5, OutputRate: 9, Backlog: 0, LatencySec: 0.01})

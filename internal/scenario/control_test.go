@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// controlBlock is the full control spec exercised by the round-trip tests.
+const controlBlock = `{
+  "meanBootSec": 120,
+  "maxBootSec": 600,
+  "acquireFailProb": 0.2,
+  "perClassFailProb": {"m1.small": 0.5},
+  "burstEverySec": 3600,
+  "burstLenSec": 300,
+  "burstFailProb": 0.9,
+  "faultFreeSec": 60,
+  "monitorStaleProb": 0.3,
+  "monitorNoiseFrac": 0.2,
+  "seed": 99
+}`
+
+// withControl splices a control block into the minimal scenario.
+func withControl(t *testing.T, control string) string {
+	t.Helper()
+	return strings.TrimSuffix(strings.TrimSpace(minimal), "}") +
+		`, "control": ` + control + "}"
+}
+
+func TestControlSpecRoundTrip(t *testing.T) {
+	sc, err := Parse(strings.NewReader(withControl(t, controlBlock)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ControlSpec{
+		MeanBootSec:      120,
+		MaxBootSec:       600,
+		AcquireFailProb:  0.2,
+		PerClassFailProb: map[string]float64{"m1.small": 0.5},
+		BurstEverySec:    3600,
+		BurstLenSec:      300,
+		BurstFailProb:    0.9,
+		FaultFreeSec:     60,
+		MonitorStaleProb: 0.3,
+		MonitorNoiseFrac: 0.2,
+		Seed:             99,
+	}
+	if !reflect.DeepEqual(sc.Control, want) {
+		t.Fatalf("parsed control = %+v, want %+v", sc.Control, want)
+	}
+
+	// The canonical form re-parses to the same spec (the sweep cache key
+	// depends on this being lossless).
+	can, err := sc.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := ParseBytes(can)
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v", err)
+	}
+	if !reflect.DeepEqual(sc2.Control, want) {
+		t.Fatalf("control after canonical round-trip = %+v", sc2.Control)
+	}
+	can2, err := sc2.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(can, can2) {
+		t.Fatal("canonical JSON is not a fixed point")
+	}
+
+	// The sim-side fault model carries every knob across.
+	cf := sc.Control.faults(sc.Seed)
+	if cf == nil {
+		t.Fatal("faults() = nil for a fully populated block")
+	}
+	if cf.Seed != 99 {
+		t.Fatalf("explicit seed not kept: %d", cf.Seed)
+	}
+	if cf.Provisioning == nil || cf.Provisioning.MeanBootSec != 120 || cf.Provisioning.MaxBootSec != 600 {
+		t.Fatalf("provisioning = %+v", cf.Provisioning)
+	}
+	if cf.Acquisition == nil || cf.Acquisition.FailProb != 0.2 || cf.Acquisition.AfterSec != 60 ||
+		cf.Acquisition.BurstEverySec != 3600 || cf.Acquisition.PerClass["m1.small"] != 0.5 {
+		t.Fatalf("acquisition = %+v", cf.Acquisition)
+	}
+	if cf.Monitoring == nil || cf.Monitoring.StaleProb != 0.3 || cf.Monitoring.NoiseFrac != 0.2 {
+		t.Fatalf("monitoring = %+v", cf.Monitoring)
+	}
+}
+
+func TestControlSpecSeedFallsBackToScenarioSeed(t *testing.T) {
+	sc, err := Parse(strings.NewReader(withControl(t, `{"meanBootSec": 60}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 42
+	cf := sc.Control.faults(sc.Seed)
+	if cf == nil || cf.Seed != 42 {
+		t.Fatalf("faults = %+v, want scenario-seed fallback 42", cf)
+	}
+	// Only the provisioning class is armed.
+	if cf.Provisioning == nil || cf.Acquisition != nil || cf.Monitoring != nil {
+		t.Fatalf("unexpected fault classes: %+v", cf)
+	}
+}
+
+func TestControlSpecZeroMeansIdeal(t *testing.T) {
+	sc, err := Parse(strings.NewReader(minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf := sc.Control.faults(sc.Seed); cf != nil {
+		t.Fatalf("zero control block armed faults: %+v", cf)
+	}
+	// An explicit empty object is the same as omitting the block.
+	sc, err = Parse(strings.NewReader(withControl(t, `{}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf := sc.Control.faults(sc.Seed); cf != nil {
+		t.Fatalf("empty control block armed faults: %+v", cf)
+	}
+}
+
+func TestControlSpecMalformed(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"meanBootSeconds": 120}`,
+		"wrong type":    `{"meanBootSec": "soon"}`,
+		"truncated":     `{"meanBootSec": 120`,
+	}
+	for name, control := range cases {
+		if _, err := Parse(strings.NewReader(withControl(t, control))); err == nil {
+			t.Errorf("%s accepted: %s", name, control)
+		}
+	}
+}
+
+// TestControlSpecFaultsReachEngine builds and runs a faulty scenario and
+// checks the engine actually observed control-plane misbehaviour.
+func TestControlSpecFaultsReachEngine(t *testing.T) {
+	sc, err := Parse(strings.NewReader(withControl(t,
+		`{"acquireFailProb": 0.5, "monitorStaleProb": 0.5, "faultFreeSec": 300}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Rate = RateSpec{Kind: "wave", Mean: 8, Amplitude: 6, PeriodSec: 900}
+	built, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := built.Engine.Run(built.Scheduler); err != nil {
+		t.Fatal(err)
+	}
+	if built.Engine.StaleProbes() == 0 {
+		t.Fatal("no stale probes recorded; control block not wired into engine")
+	}
+}

@@ -70,9 +70,11 @@ type ChoiceSpec struct {
 	Targets []string `json:"targets"`
 }
 
-// RateSpec selects the input profile.
+// RateSpec selects the input profile. Kind "wavewalk" superimposes the
+// paper's periodic wave on a random walk (the §8.1 data-variability
+// workload): the two profiles are averaged so the mean stays at Mean.
 type RateSpec struct {
-	Kind      string  `json:"kind"` // constant | wave | randomwalk
+	Kind      string  `json:"kind"` // constant | wave | randomwalk | wavewalk
 	Mean      float64 `json:"mean"`
 	Amplitude float64 `json:"amplitude"`
 	PeriodSec int64   `json:"periodSec"`
@@ -307,10 +309,47 @@ func (sc *Scenario) profile() (rates.Profile, error) {
 			step = 0.1
 		}
 		return rates.NewRandomWalk(sc.Rate.Mean, step, 60, sc.Rate.Seed)
+	case "wavewalk":
+		period := sc.Rate.PeriodSec
+		if period == 0 {
+			period = 1800
+		}
+		amp := sc.Rate.Amplitude
+		if amp == 0 {
+			amp = 0.4 * sc.Rate.Mean
+		}
+		w, err := rates.NewWave(sc.Rate.Mean, amp, period)
+		if err != nil {
+			return nil, err
+		}
+		// Start at the trough so a static deployment provisions below the
+		// rates that arrive later (as in the experiments package).
+		w.PhaseSec = 3 * period / 4
+		step := sc.Rate.StepFrac
+		if step == 0 {
+			step = 0.08
+		}
+		interval := sc.IntervalSec
+		if interval == 0 {
+			interval = 60
+		}
+		rw, err := rates.NewRandomWalk(sc.Rate.Mean, step, interval, sc.Rate.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &wavewalk{a: w, b: rw}, nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown rate kind %q", sc.Rate.Kind)
 	}
 }
+
+// wavewalk averages a wave and a random walk so periodic and stochastic
+// variation are both present while the mean stays put.
+type wavewalk struct{ a, b rates.Profile }
+
+func (m *wavewalk) Rate(sec int64) float64 { return (m.a.Rate(sec) + m.b.Rate(sec)) / 2 }
+func (m *wavewalk) Mean() float64          { return (m.a.Mean() + m.b.Mean()) / 2 }
+func (m *wavewalk) Name() string           { return "wave+walk" }
 
 func (sc *Scenario) perf() (trace.Provider, error) {
 	switch sc.Infra.Kind {

@@ -91,6 +91,7 @@ func TestBuildVariants(t *testing.T) {
 	variants := []func(*Scenario){
 		func(s *Scenario) { s.Rate = RateSpec{Kind: "wave", Mean: 5, Amplitude: 2} },
 		func(s *Scenario) { s.Rate = RateSpec{Kind: "randomwalk", Mean: 5} },
+		func(s *Scenario) { s.Rate = RateSpec{Kind: "wavewalk", Mean: 5} },
 		func(s *Scenario) { s.Infra = InfraSpec{Kind: "replayed", Seed: 3} },
 		func(s *Scenario) { s.Policy = PolicySpec{Kind: "local"} },
 		func(s *Scenario) { s.Policy = PolicySpec{Kind: "bruteforce"} },

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunContextCancelMidHorizon cancels a run partway and checks it stops
+// at the cancellation interval with a typed error instead of simulating the
+// full horizon.
+func TestRunContextCancelMidHorizon(t *testing.T) {
+	g := chainGraph(1)
+	cfg := baseConfig(g, 5, 100*60)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	steps := 0
+	sched := &fixed{
+		deploy: deployEven,
+		adapt: func(v *View, act Control) error {
+			steps++
+			if steps == 10 {
+				cancel()
+			}
+			return nil
+		},
+	}
+
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.RunContext(ctx, sched)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if got := e.Collector().Len(); got >= 100 {
+		t.Fatalf("run completed %d intervals despite cancellation", got)
+	}
+	if got := e.Collector().Len(); got < 10 {
+		t.Fatalf("run stopped after only %d intervals, before cancellation", got)
+	}
+}
+
+// TestRunContextPreCancelled checks a run never starts stepping when the
+// context is already cancelled (deploy still runs: cancellation is checked
+// at interval boundaries).
+func TestRunContextPreCancelled(t *testing.T) {
+	g := chainGraph(1)
+	cfg := baseConfig(g, 5, 10*60)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.RunContext(ctx, &fixed{deploy: deployEven})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if got := e.Collector().Len(); got != 0 {
+		t.Fatalf("stepped %d intervals under a pre-cancelled context", got)
+	}
+}
+
+// TestRunEquivalentToRunContext keeps the plain Run path byte-identical to
+// an uncancelled RunContext run.
+func TestRunEquivalentToRunContext(t *testing.T) {
+	mk := func() *Engine {
+		e, err := NewEngine(baseConfig(chainGraph(1), 5, 20*60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, err := mk().Run(&fixed{deploy: deployEven})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk().RunContext(context.Background(), &fixed{deploy: deployEven})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("Run summary %+v != RunContext summary %+v", a, b)
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -9,6 +11,12 @@ import (
 	"dynamicdf/internal/metrics"
 	"dynamicdf/internal/monitor"
 )
+
+// ErrCanceled is returned (wrapped) by RunContext when the context is
+// cancelled before the horizon is reached. Detect it with
+// errors.Is(err, ErrCanceled); the run's partial metrics remain readable
+// through Collector().
+var ErrCanceled = errors.New("sim: run canceled")
 
 // Engine executes a configured scenario.
 type Engine struct {
@@ -94,6 +102,14 @@ func (e *Engine) Fleet() *cloud.Fleet { return e.fleet }
 // Run drives the scenario to the horizon under the scheduler and returns
 // the period summary. Scheduler errors abort the run.
 func (e *Engine) Run(s Scheduler) (metrics.Summary, error) {
+	return e.RunContext(context.Background(), s)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// before every interval, so a cancelled sweep job stops mid-horizon instead
+// of simulating to completion. A cancelled run returns an error wrapping
+// both ErrCanceled and the context's cause.
+func (e *Engine) RunContext(ctx context.Context, s Scheduler) (metrics.Summary, error) {
 	if s == nil {
 		return metrics.Summary{}, fmt.Errorf("sim: nil scheduler")
 	}
@@ -104,6 +120,9 @@ func (e *Engine) Run(s Scheduler) (metrics.Summary, error) {
 	}
 	steps := e.cfg.HorizonSec / e.cfg.IntervalSec
 	for i := int64(0); i < steps; i++ {
+		if err := ctx.Err(); err != nil {
+			return metrics.Summary{}, fmt.Errorf("%w at t=%ds: %v", ErrCanceled, e.clock, err)
+		}
 		if i > 0 {
 			if err := s.Adapt(view, act); err != nil {
 				return metrics.Summary{}, fmt.Errorf("sim: adapt (%s) at %d: %w", s.Name(), e.clock, err)

@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dynamicdf/internal/metrics"
+)
+
+// AggRow aggregates one grid point's replicas (its seeds) into the
+// distributions the evaluation reports: Theta (the objective), Omega
+// (relative throughput), utilization (mean assigned cores), and dollar
+// cost.
+type AggRow struct {
+	// Group is the grid coordinate sans seed, e.g. "policy=global/rate=20".
+	Group string `json:"group"`
+	// Seeds counts the replicas aggregated; Failed counts replicas whose
+	// jobs errored (excluded from the distributions); Missing counts
+	// replicas with no result yet (cancelled/drained campaigns).
+	Seeds   int `json:"seeds"`
+	Failed  int `json:"failed,omitempty"`
+	Missing int `json:"missing,omitempty"`
+
+	Theta       metrics.Distribution `json:"theta"`
+	Omega       metrics.Distribution `json:"omega"`
+	Utilization metrics.Distribution `json:"utilization"`
+	CostUSD     metrics.Distribution `json:"costUsd"`
+}
+
+// Aggregate reduces per-job results into per-group rows, in the jobs'
+// first-occurrence group order (deterministic for a given spec). Errored
+// and missing replicas are counted but excluded from the distributions.
+func Aggregate(jobs []Job, results []*Result) []AggRow {
+	type acc struct {
+		theta, omega, util, cost []float64
+		failed, missing          int
+	}
+	accs := map[string]*acc{}
+	order := GroupsInOrder(jobs)
+	for _, g := range order {
+		accs[g] = &acc{}
+	}
+	for i, j := range jobs {
+		a := accs[j.Group]
+		var r *Result
+		if i < len(results) {
+			r = results[i]
+		}
+		switch {
+		case r == nil:
+			a.missing++
+		case r.Error != "":
+			a.failed++
+		default:
+			a.theta = append(a.theta, r.Theta)
+			a.omega = append(a.omega, r.Omega)
+			a.util = append(a.util, r.UsedCores)
+			a.cost = append(a.cost, r.CostUSD)
+		}
+	}
+	rows := make([]AggRow, 0, len(order))
+	for _, g := range order {
+		a := accs[g]
+		rows = append(rows, AggRow{
+			Group:       g,
+			Seeds:       len(a.theta) + a.failed + a.missing,
+			Failed:      a.failed,
+			Missing:     a.missing,
+			Theta:       metrics.NewDistribution(a.theta),
+			Omega:       metrics.NewDistribution(a.omega),
+			Utilization: metrics.NewDistribution(a.util),
+			CostUSD:     metrics.NewDistribution(a.cost),
+		})
+	}
+	return rows
+}
+
+// WriteCSV streams the aggregated rows in a byte-deterministic encoding:
+// fixed column order, shortest round-trip float formatting, rows in grid
+// order. Two complete runs of the same spec produce identical bytes.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"group", "seeds", "failed", "missing",
+		"theta_mean", "theta_p50", "theta_p95",
+		"omega_mean", "omega_p50", "omega_p95",
+		"util_mean", "util_p50", "util_p95",
+		"cost_mean", "cost_p50", "cost_p95",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Group,
+			strconv.Itoa(row.Seeds), strconv.Itoa(row.Failed), strconv.Itoa(row.Missing),
+			f(row.Theta.Mean), f(row.Theta.P50), f(row.Theta.P95),
+			f(row.Omega.Mean), f(row.Omega.P50), f(row.Omega.P95),
+			f(row.Utilization.Mean), f(row.Utilization.P50), f(row.Utilization.P95),
+			f(row.CostUSD.Mean), f(row.CostUSD.P50), f(row.CostUSD.P95),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table renders the aggregated rows for terminal output, one line per grid
+// point, plus a campaign footer with the cache hit rate.
+func (r *Report) Table() string {
+	var b strings.Builder
+	name := r.Name
+	if name == "" {
+		name = "(unnamed sweep)"
+	}
+	fmt.Fprintf(&b, "sweep %s: %d jobs, %d executed, %d cached (%.0f%% hit rate), %d errors\n",
+		name, r.Total, r.Executed, r.CacheHits, 100*r.HitRate(), r.Errors)
+	if r.Missing > 0 {
+		fmt.Fprintf(&b, "  INCOMPLETE: %d jobs missing\n", r.Missing)
+	}
+	for _, row := range r.Rows {
+		group := row.Group
+		if group == "" {
+			group = "(base)"
+		}
+		fmt.Fprintf(&b, "%-48s n=%-2d theta=%+.4f [p95 %+.4f] omega=%.3f [p95 %.3f] util=%.1f cost=$%.2f [p95 $%.2f]",
+			group, row.Seeds, row.Theta.Mean, row.Theta.P95, row.Omega.Mean, row.Omega.P95,
+			row.Utilization.Mean, row.CostUSD.Mean, row.CostUSD.P95)
+		if row.Failed > 0 || row.Missing > 0 {
+			fmt.Fprintf(&b, " (failed=%d missing=%d)", row.Failed, row.Missing)
+		}
+		b.WriteString("\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

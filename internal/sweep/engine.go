@@ -1,0 +1,250 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dynamicdf/internal/sim"
+)
+
+// ErrDrained is returned by Engine.Run when a drain request stopped the
+// campaign before every job completed. Completed jobs are journaled; the
+// rest re-run on resume.
+var ErrDrained = errors.New("sweep: drained before completion")
+
+// Result is one finished job: the coordinates plus the run's aggregate
+// quantities. Error is set (and the metric fields zero) when the job
+// failed deterministically — such failures are journaled too, so a resume
+// does not rebuild known-bad scenarios.
+type Result struct {
+	JobID      string  `json:"jobId"`
+	Key        string  `json:"key"`
+	Group      string  `json:"group"`
+	Seed       int64   `json:"seed"`
+	Error      string  `json:"error,omitempty"`
+	Intervals  int     `json:"intervals,omitempty"`
+	Theta      float64 `json:"theta"`
+	Omega      float64 `json:"omega"`
+	MinOmega   float64 `json:"minOmega"`
+	Gamma      float64 `json:"gamma"`
+	CostUSD    float64 `json:"costUsd"`
+	UsedCores  float64 `json:"usedCores"`
+	MeanVMs    float64 `json:"meanVms"`
+	LatencySec float64 `json:"latencySec"`
+	MeetsOmega bool    `json:"meetsOmega"`
+
+	// Cached marks a result served from the journal instead of executed
+	// this run. Never persisted.
+	Cached bool `json:"-"`
+}
+
+// Progress is a point-in-time view of a running campaign.
+type Progress struct {
+	Total     int    `json:"total"`
+	Done      int    `json:"done"` // cache hits + executed
+	CacheHits int    `json:"cacheHits"`
+	Executed  int    `json:"executed"`
+	Errors    int    `json:"errors"`
+	LastJob   string `json:"lastJob,omitempty"`
+}
+
+// Report is a campaign's outcome: per-job results in deterministic grid
+// order plus the aggregated per-group rows.
+type Report struct {
+	Name      string   `json:"name"`
+	Total     int      `json:"total"`
+	CacheHits int      `json:"cacheHits"`
+	Executed  int      `json:"executed"`
+	Errors    int      `json:"errors"`
+	Missing   int      `json:"missing"` // jobs unfinished after cancel/drain
+	Rows      []AggRow `json:"rows"`
+	Results   []Result `json:"results"`
+}
+
+// HitRate reports the fraction of jobs served from the journal.
+func (r *Report) HitRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.Total)
+}
+
+// Engine executes sweep campaigns on a bounded worker pool.
+type Engine struct {
+	// Workers bounds concurrent jobs (default GOMAXPROCS, min 1).
+	Workers int
+	// Journal, when set, caches completions and enables resume.
+	Journal *Journal
+	// OnProgress, when set, observes each job completion. It is invoked
+	// serially and must not call back into the engine.
+	OnProgress func(Progress)
+	// Drain, when non-nil, requests a graceful stop once closed: in-flight
+	// jobs finish and are journaled, queued jobs are abandoned, and Run
+	// returns ErrDrained.
+	Drain <-chan struct{}
+}
+
+// Run expands the spec and executes every job not already journaled.
+// Cancelling ctx aborts in-flight simulations mid-horizon (via
+// sim.RunContext); those jobs are not journaled and re-run on resume. The
+// returned report is valid — with Missing > 0 — even when the error is
+// non-nil.
+func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
+	jobs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Name: spec.Name, Total: len(jobs)}
+	results := make([]*Result, len(jobs))
+
+	// Serve journaled completions without touching the pool.
+	var pending []int
+	for i := range jobs {
+		if e.Journal != nil {
+			if r, ok := e.Journal.Lookup(jobs[i].Key); ok {
+				r.JobID = jobs[i].ID
+				r.Group = jobs[i].Group
+				r.Seed = jobs[i].Seed
+				r.Cached = true
+				results[i] = &r
+				report.CacheHits++
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) && len(pending) > 0 {
+		workers = len(pending)
+	}
+
+	var (
+		mu         sync.Mutex
+		journalErr error
+	)
+	emit := func(last string) {
+		if e.OnProgress == nil {
+			return
+		}
+		e.OnProgress(Progress{
+			Total:     report.Total,
+			Done:      report.CacheHits + report.Executed,
+			CacheHits: report.CacheHits,
+			Executed:  report.Executed,
+			Errors:    report.Errors,
+			LastJob:   last,
+		})
+	}
+	mu.Lock()
+	emit("")
+	mu.Unlock()
+
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		for _, i := range pending {
+			select {
+			case <-ctx.Done():
+				return
+			case <-e.Drain:
+				return
+			case ch <- i:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				r, canceled := runJob(ctx, jobs[i])
+				if canceled {
+					continue
+				}
+				if e.Journal != nil {
+					if err := e.Journal.Append(r); err != nil {
+						mu.Lock()
+						if journalErr == nil {
+							journalErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+				mu.Lock()
+				results[i] = &r
+				report.Executed++
+				if r.Error != "" {
+					report.Errors++
+				}
+				emit(r.JobID)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range results {
+		if results[i] == nil {
+			report.Missing++
+			continue
+		}
+		report.Results = append(report.Results, *results[i])
+	}
+	report.Rows = Aggregate(jobs, results)
+
+	switch {
+	case journalErr != nil:
+		return report, journalErr
+	case ctx.Err() != nil:
+		return report, fmt.Errorf("sweep: %d/%d jobs incomplete: %w", report.Missing, report.Total, ctx.Err())
+	case report.Missing > 0:
+		return report, fmt.Errorf("%w (%d/%d jobs incomplete)", ErrDrained, report.Missing, report.Total)
+	}
+	return report, nil
+}
+
+// runJob builds and runs one job in isolation: a fresh engine and
+// scheduler per job, panics converted to deterministic job errors, and
+// cancellation distinguished from failure.
+func runJob(ctx context.Context, job Job) (res Result, canceled bool) {
+	res = Result{JobID: job.ID, Key: job.Key, Group: job.Group, Seed: job.Seed}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Error = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+	built, err := job.Scenario.Build()
+	if err != nil {
+		res.Error = err.Error()
+		return res, false
+	}
+	sum, err := built.Engine.RunContext(ctx, built.Scheduler)
+	if err != nil {
+		if errors.Is(err, sim.ErrCanceled) {
+			return res, true
+		}
+		res.Error = err.Error()
+		return res, false
+	}
+	res.Intervals = sum.Intervals
+	res.Theta = built.Objective.Theta(sum.MeanGamma, sum.TotalCostUSD)
+	res.Omega = sum.MeanOmega
+	res.MinOmega = sum.MinOmega
+	res.Gamma = sum.MeanGamma
+	res.CostUSD = sum.TotalCostUSD
+	res.UsedCores = sum.MeanUsedCores
+	res.MeanVMs = sum.MeanVMs
+	res.LatencySec = sum.MeanLatencySec
+	res.MeetsOmega = built.Objective.MeetsConstraint(sum.MeanOmega)
+	return res, false
+}

@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is the crash-safe completion log backing checkpoint/resume: one
+// JSON line per finished job, keyed by the job's content hash, appended and
+// fsynced as each job completes. Reopening a journal replays its entries,
+// so a resumed campaign re-runs only the jobs whose keys are missing. A
+// torn final line (from a crash mid-append) is ignored on load.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seen map[string]Result
+}
+
+// OpenJournal opens (creating if needed) the journal at path and replays
+// its completed entries.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, seen: map[string]Result{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var r Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil || r.Key == "" {
+			// Torn or foreign line: skip it. The matching job simply
+			// re-runs.
+			continue
+		}
+		j.seen[r.Key] = r
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: read journal: %w", err)
+	}
+	return j, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Len returns the number of distinct completed jobs on record.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.seen)
+}
+
+// Lookup returns the cached result for a job key, if present.
+func (j *Journal) Lookup(key string) (Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.seen[key]
+	return r, ok
+}
+
+// Append records a completed job: one marshaled line, flushed to disk
+// before returning so a crash cannot lose an acknowledged completion.
+func (j *Journal) Append(r Result) error {
+	if r.Key == "" {
+		return fmt.Errorf("sweep: journal entry without key (job %q)", r.JobID)
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("sweep: journal entry: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("sweep: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: journal sync: %w", err)
+	}
+	j.seen[r.Key] = r
+	return nil
+}
+
+// Close releases the underlying file. The journal must not be used after.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,346 @@
+// Package sweep is the campaign engine between the simulator and its
+// consumers: it expands a sweep spec — a base scenario template crossed
+// with parameter axes and replica seeds — into content-addressed jobs,
+// executes them on a bounded worker pool with per-job isolation and
+// cooperative cancellation, caches completed results in a crash-safe JSONL
+// journal keyed by a canonical scenario hash (so a resumed campaign re-runs
+// only the missing jobs), and aggregates replicas into mean/P50/P95 rows
+// for Theta, Omega, utilization, and cost. cmd/dfserve exposes it over
+// HTTP; dfbench -sweep drives it from the command line.
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"dynamicdf/internal/scenario"
+)
+
+// SchemaVersion names the simulator semantics a cached result depends on.
+// It is folded into every job key, so bumping it — whenever an engine,
+// policy, or scenario-schema change alters what a run would produce —
+// invalidates all previously journaled results at once.
+const SchemaVersion = "sweep/v1"
+
+// MaxJobs caps a single spec's expansion as a guard against accidental
+// combinatorial explosions.
+const MaxJobs = 100000
+
+// Spec describes one campaign: a base scenario document, parameter axes
+// whose values are RFC 7386 merge patches over that document, and the
+// replica seeds. Expansion is the full cartesian product axes x seeds.
+type Spec struct {
+	// Name labels the campaign in reports and service listings.
+	Name string `json:"name"`
+	// Base is the scenario template (see internal/scenario for the schema).
+	Base json.RawMessage `json:"base"`
+	// Axes are crossed in order; each value patches the base document.
+	Axes []Axis `json:"axes"`
+	// Seeds are the replica seeds; each grid point runs once per seed and
+	// the replicas aggregate into one row. Empty defaults to the base
+	// scenario's seed.
+	Seeds []int64 `json:"seeds"`
+}
+
+// Axis is one swept dimension.
+type Axis struct {
+	// Name labels the axis (unique within the spec).
+	Name string `json:"name"`
+	// Values are the points along the axis.
+	Values []AxisValue `json:"values"`
+}
+
+// AxisValue is one point of an axis: a label for reports plus the merge
+// patch that realizes it.
+type AxisValue struct {
+	// Label identifies the value in job IDs and aggregated rows (unique
+	// within its axis).
+	Label string `json:"label"`
+	// Patch is an RFC 7386 merge patch applied to the scenario document.
+	Patch json.RawMessage `json:"patch"`
+}
+
+// Job is one fully resolved simulation of the campaign.
+type Job struct {
+	// ID is the human-readable coordinate, e.g. "policy=global/rate=20/seed=7".
+	ID string
+	// Group is the ID without the seed coordinate; replicas share a group.
+	Group string
+	// Seed is the replica seed.
+	Seed int64
+	// Scenario is the resolved, validated scenario.
+	Scenario *scenario.Scenario
+	// Canonical is the scenario's canonical JSON (the hashed identity).
+	Canonical []byte
+	// Key is the content-addressed cache key (hex SHA-256 over
+	// SchemaVersion + canonical scenario bytes, which embed seed and
+	// policy).
+	Key string
+}
+
+// ParseSpec decodes and validates a sweep spec document.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("sweep: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks structural invariants without expanding the grid.
+func (s *Spec) Validate() error {
+	if len(s.Base) == 0 {
+		return fmt.Errorf("sweep: spec %q has no base scenario", s.Name)
+	}
+	if _, err := scenario.ParseBytes(s.Base); err != nil {
+		return fmt.Errorf("sweep: spec %q base: %w", s.Name, err)
+	}
+	axisSeen := map[string]bool{}
+	jobs := 1
+	for _, ax := range s.Axes {
+		if ax.Name == "" {
+			return fmt.Errorf("sweep: spec %q has an unnamed axis", s.Name)
+		}
+		if strings.ContainsAny(ax.Name, "=/") {
+			return fmt.Errorf("sweep: axis name %q contains '=' or '/'", ax.Name)
+		}
+		if axisSeen[ax.Name] {
+			return fmt.Errorf("sweep: duplicate axis %q", ax.Name)
+		}
+		axisSeen[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("sweep: axis %q has no values", ax.Name)
+		}
+		valSeen := map[string]bool{}
+		for _, v := range ax.Values {
+			if v.Label == "" {
+				return fmt.Errorf("sweep: axis %q has an unlabeled value", ax.Name)
+			}
+			if strings.ContainsAny(v.Label, "=/") {
+				return fmt.Errorf("sweep: axis %q label %q contains '=' or '/'", ax.Name, v.Label)
+			}
+			if valSeen[v.Label] {
+				return fmt.Errorf("sweep: axis %q has duplicate label %q", ax.Name, v.Label)
+			}
+			valSeen[v.Label] = true
+		}
+		jobs *= len(ax.Values)
+	}
+	seedSeen := map[int64]bool{}
+	for _, seed := range s.Seeds {
+		if seedSeen[seed] {
+			return fmt.Errorf("sweep: duplicate seed %d", seed)
+		}
+		seedSeen[seed] = true
+	}
+	if n := len(s.Seeds); n > 0 {
+		jobs *= n
+	}
+	if jobs > MaxJobs {
+		return fmt.Errorf("sweep: spec %q expands to %d jobs (max %d)", s.Name, jobs, MaxJobs)
+	}
+	return nil
+}
+
+// ID derives the campaign's content-addressed identity: the first 12 hex
+// digits of the SHA-256 of the spec's canonical JSON. Submitting the same
+// spec twice names the same campaign (and therefore the same journal).
+func (s *Spec) ID() (string, error) {
+	base, err := scenario.ParseBytes(s.Base)
+	if err != nil {
+		return "", err
+	}
+	canonical, err := base.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	norm := *s
+	norm.Base = canonical
+	b, err := json.Marshal(&norm)
+	if err != nil {
+		return "", fmt.Errorf("sweep: spec id: %w", err)
+	}
+	sum := sha256.Sum256(append([]byte(SchemaVersion+"\n"), b...))
+	return hex.EncodeToString(sum[:])[:12], nil
+}
+
+// Expand resolves the full grid into jobs, in deterministic order: axes
+// vary slowest-first in declaration order, seeds fastest.
+func (s *Spec) Expand() ([]Job, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		base, err := scenario.ParseBytes(s.Base)
+		if err != nil {
+			return nil, err
+		}
+		seeds = []int64{base.Seed}
+	}
+
+	var jobs []Job
+	idx := make([]int, len(s.Axes))
+	for {
+		doc := append([]byte(nil), s.Base...)
+		var labels []string
+		for a, ax := range s.Axes {
+			v := ax.Values[idx[a]]
+			var err error
+			doc, err = MergePatch(doc, v.Patch)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: axis %q value %q: %w", ax.Name, v.Label, err)
+			}
+			labels = append(labels, ax.Name+"="+v.Label)
+		}
+		group := strings.Join(labels, "/")
+		for _, seed := range seeds {
+			seeded, err := MergePatch(doc, []byte(fmt.Sprintf(`{"seed": %d}`, seed)))
+			if err != nil {
+				return nil, err
+			}
+			sc, err := scenario.ParseBytes(seeded)
+			if err != nil {
+				id := group
+				if id != "" {
+					id += "/"
+				}
+				return nil, fmt.Errorf("sweep: job %sseed=%d: %w", id, seed, err)
+			}
+			canonical, err := sc.CanonicalJSON()
+			if err != nil {
+				return nil, err
+			}
+			id := fmt.Sprintf("seed=%d", seed)
+			if group != "" {
+				id = group + "/" + id
+			}
+			jobs = append(jobs, Job{
+				ID:        id,
+				Group:     group,
+				Seed:      seed,
+				Scenario:  sc,
+				Canonical: canonical,
+				Key:       JobKey(canonical),
+			})
+		}
+		// Advance the mixed-radix axis counter, fastest at the end.
+		a := len(idx) - 1
+		for ; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < len(s.Axes[a].Values) {
+				break
+			}
+			idx[a] = 0
+		}
+		if a < 0 {
+			break
+		}
+	}
+	keySeen := map[string]string{}
+	for _, j := range jobs {
+		if prev, dup := keySeen[j.Key]; dup {
+			return nil, fmt.Errorf("sweep: jobs %q and %q resolve to the same scenario (key %s)", prev, j.ID, j.Key)
+		}
+		keySeen[j.Key] = j.ID
+	}
+	return jobs, nil
+}
+
+// JobKey computes the content-addressed cache key for a canonical scenario
+// document: hex SHA-256 over the sweep schema version and the scenario
+// bytes. The scenario document embeds everything result-relevant — graph,
+// profile, infrastructure, policy, control faults, horizon, and seed — so
+// editing any of them (or bumping SchemaVersion) yields a different key,
+// while cosmetic spec changes (axis labels, JSON whitespace, key order)
+// do not.
+func JobKey(canonical []byte) string {
+	h := sha256.New()
+	h.Write([]byte(SchemaVersion))
+	h.Write([]byte{'\n'})
+	h.Write(canonical)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// MergePatch applies an RFC 7386 JSON merge patch to a document: objects
+// merge recursively, nulls delete members, and every other patch value
+// replaces the target wholesale. Numbers pass through as json.Number, so
+// 64-bit seeds survive unmangled.
+func MergePatch(target, patch []byte) ([]byte, error) {
+	if len(bytes.TrimSpace(patch)) == 0 {
+		return target, nil
+	}
+	var pv interface{}
+	if err := decodeNumbers(patch, &pv); err != nil {
+		return nil, fmt.Errorf("merge patch: %w", err)
+	}
+	pObj, ok := pv.(map[string]interface{})
+	if !ok {
+		// A non-object patch replaces the whole document.
+		return json.Marshal(pv)
+	}
+	var tv interface{}
+	if len(bytes.TrimSpace(target)) > 0 {
+		if err := decodeNumbers(target, &tv); err != nil {
+			return nil, fmt.Errorf("merge target: %w", err)
+		}
+	}
+	tObj, ok := tv.(map[string]interface{})
+	if !ok {
+		tObj = map[string]interface{}{}
+	}
+	return json.Marshal(mergeObjects(tObj, pObj))
+}
+
+// mergeObjects merges patch into target per RFC 7386, mutating target.
+func mergeObjects(target, patch map[string]interface{}) map[string]interface{} {
+	for k, pv := range patch {
+		if pv == nil {
+			delete(target, k)
+			continue
+		}
+		if pObj, ok := pv.(map[string]interface{}); ok {
+			if tObj, ok := target[k].(map[string]interface{}); ok {
+				target[k] = mergeObjects(tObj, pObj)
+				continue
+			}
+			target[k] = mergeObjects(map[string]interface{}{}, pObj)
+			continue
+		}
+		target[k] = pv
+	}
+	return target
+}
+
+// decodeNumbers unmarshals with json.Number so integer fields keep full
+// precision through the patch round trip.
+func decodeNumbers(data []byte, v interface{}) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GroupsInOrder returns the distinct job groups in first-occurrence order.
+func GroupsInOrder(jobs []Job) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, j := range jobs {
+		if !seen[j.Group] {
+			seen[j.Group] = true
+			out = append(out, j.Group)
+		}
+	}
+	return out
+}
