@@ -1,7 +1,9 @@
 #!/bin/sh
 # Repository gate: vet, build, the full test suite under the race detector
-# plus a shuffled re-run, and a dfserve end-to-end smoke (start the service,
-# submit a 2-job sweep over HTTP, assert the aggregated output, shut down).
+# plus a shuffled re-run, a dfserve end-to-end smoke (start the service,
+# submit a 2-job sweep over HTTP, assert the aggregated output incl.
+# /metrics, shut down), a dftrace smoke over the golden fixture, and the
+# zero-alloc guarantee for the disabled-tracer hot path.
 # Run from the repo root.
 set -eu
 
@@ -15,5 +17,18 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+go test -race -count=1 ./internal/obs
 go test -shuffle=on -count=1 ./...
 go run ./cmd/dfserve -selftest
+
+# dftrace smoke: the golden capture must replay, render, and self-diff clean.
+go run ./cmd/dftrace cmd/dftrace/testdata/golden.ndjson > /dev/null
+go run ./cmd/dftrace diff cmd/dftrace/testdata/golden.ndjson cmd/dftrace/testdata/golden.ndjson > /dev/null
+
+# The trace hook must cost 0 allocs/op while tracing is disabled.
+bench=$(go test ./internal/sim -run '^$' -bench 'BenchmarkEngineStep/hook/disabled' -benchtime 100x -benchmem)
+echo "$bench"
+echo "$bench" | grep -q ' 0 allocs/op' || {
+    echo "disabled tracer hook allocates on the engine hot path" >&2
+    exit 1
+}

@@ -19,6 +19,12 @@
 //	GET    /sweeps/{id}/results aggregated CSV (?format=json for the report)
 //	DELETE /sweeps/{id}         cancel
 //	GET    /healthz             liveness
+//	GET    /metrics             Prometheus text exposition
+//	GET    /debug/pprof/        runtime profiling (pprof)
+//
+// Every request is counted and timed into the dfserve_http_* metric
+// families; the sweep worker pool and the live sim run state export as
+// sweep_jobs_* and sim_* series.
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight jobs finish and are
 // journaled, queued jobs are left for the next run.
@@ -34,15 +40,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"dynamicdf/internal/obs"
 	"dynamicdf/internal/sweep"
 )
 
@@ -68,12 +77,12 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	srv := sweep.NewServer(sweep.ServerConfig{Workers: *workers, JournalDir: *journalDir})
+	srv, handler := newService(sweep.ServerConfig{Workers: *workers, JournalDir: *journalDir})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	fmt.Printf("dfserve: listening on http://%s\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -96,6 +105,25 @@ func main() {
 		log.Printf("sweep shutdown: %v", err)
 	}
 	log.Print("bye")
+}
+
+// newService wires the sweep server into the full dfserve handler: the
+// sweep API (instrumented with request metrics) at the root, the metrics
+// registry's text exposition at /metrics, and pprof at /debug/pprof/.
+func newService(cfg sweep.ServerConfig) (*sweep.Server, http.Handler) {
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	srv := sweep.NewServer(cfg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.InstrumentHandler(reg, "dfserve_http", srv.Handler()))
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return srv, mux
 }
 
 // selftestSpec is a 2-job campaign (1 grid point x 2 seeds) small enough
@@ -123,12 +151,12 @@ const selftestSpec = `{
 
 // runSelftest exercises the full service lifecycle over loopback HTTP.
 func runSelftest(workers int) error {
-	srv := sweep.NewServer(sweep.ServerConfig{Workers: workers})
+	srv, handler := newService(sweep.ServerConfig{Workers: workers})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	go func() { _ = httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 
@@ -200,6 +228,28 @@ func runSelftest(workers int) error {
 	}
 	if !strings.HasPrefix(lines[1], "policy=global,2,0,0,") {
 		return fmt.Errorf("bad aggregated row %q", lines[1])
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	expo, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("metrics read: %w", err)
+	}
+	for _, want := range []string{
+		"# TYPE sweep_jobs_done_total counter",
+		"# TYPE dfserve_http_requests_total counter",
+		"# TYPE sim_omega gauge",
+	} {
+		if !strings.Contains(string(expo), want) {
+			return fmt.Errorf("metrics output missing %q:\n%s", want, expo)
+		}
 	}
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)

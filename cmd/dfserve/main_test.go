@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dynamicdf/internal/sweep"
+)
+
+// TestServiceObservabilityEndpoints asserts the composed dfserve handler
+// serves the sweep API, the Prometheus exposition, and pprof side by side.
+func TestServiceObservabilityEndpoints(t *testing.T) {
+	srv, handler := newService(sweep.ServerConfig{Workers: 1})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s read: %v", path, err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("/healthz: status %d body %q", resp.StatusCode, body)
+	}
+
+	resp, body = get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	// The healthz request above must already be counted.
+	if !strings.Contains(body, "# TYPE dfserve_http_requests_total counter") ||
+		!strings.Contains(body, `dfserve_http_requests_total{method="GET",code="200"}`) {
+		t.Fatalf("/metrics missing instrumented request counter:\n%s", body)
+	}
+
+	resp, body = get("/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: status %d", resp.StatusCode)
+	}
+	resp, _ = get("/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: status %d", resp.StatusCode)
+	}
+}

@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	dfsim -config scenario.json [-csv metrics.csv] [-audit actions.jsonl]
+//	dfsim -config scenario.json [-csv metrics.csv] [-audit actions.jsonl] [-trace events.ndjson]
 //	dfsim -example > scenario.json
+//
+// -trace streams the run's structured event log (schema obs/v1) as NDJSON:
+// run/step spans, every scheduler action, VM lifecycle transitions, and QoS
+// violations, all stamped with simulation time. Inspect the stream with
+// dftrace; for a fixed scenario and seed the bytes are deterministic.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"log"
 	"os"
 
+	"dynamicdf/internal/obs"
 	"dynamicdf/internal/resilient"
 	"dynamicdf/internal/scenario"
 )
@@ -53,6 +59,7 @@ func main() {
 	configPath := flag.String("config", "", "path to a scenario JSON file")
 	csvPath := flag.String("csv", "", "write per-interval metrics CSV here")
 	auditPath := flag.String("audit", "", "write the scheduler action log (JSON lines) here")
+	tracePath := flag.String("trace", "", "write the structured event stream (NDJSON, schema obs/v1) here")
 	resilientFlag := flag.Bool("resilient", false, "wrap the policy in the resilient control-plane middleware")
 	degradeOmega := flag.Float64("degrade-omega", 0, "arm the middleware's degradation hook below this Omega (with -resilient)")
 	example := flag.Bool("example", false, "print an example scenario and exit")
@@ -84,9 +91,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		out, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		tracer = obs.NewTracer(out)
+		built.Engine.SetTracer(tracer)
+	}
 	sum, err := built.Engine.Run(built.Scheduler)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("event trace: %s (%d events)\n", *tracePath, tracer.Count())
 	}
 
 	obj := built.Objective

@@ -1,0 +1,91 @@
+// Command dftrace inspects structured event streams (schema obs/v1)
+// captured with dfsim -trace or a sweep engine's tracer. It renders a
+// deterministic decision timeline, summarizes how long each PE spent on
+// each alternate, and diffs the adaptation decisions of two runs.
+//
+// Usage:
+//
+//	dftrace [-all] events.ndjson            timeline + occupancy summary
+//	dftrace timeline [-all] events.ndjson   decision timeline only
+//	dftrace occupancy events.ndjson         per-PE alternate occupancy only
+//	dftrace diff a.ndjson b.ndjson          decision diff (exit 1 if they differ)
+//
+// All output is derived from simulation timestamps, so the same capture
+// always renders to the same bytes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dynamicdf/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dftrace: ")
+
+	args := os.Args[1:]
+	cmd := "both"
+	switch {
+	case len(args) > 0 && args[0] == "timeline":
+		cmd, args = "timeline", args[1:]
+	case len(args) > 0 && args[0] == "occupancy":
+		cmd, args = "occupancy", args[1:]
+	case len(args) > 0 && args[0] == "diff":
+		cmd, args = "diff", args[1:]
+	}
+
+	fs := flag.NewFlagSet("dftrace", flag.ExitOnError)
+	all := fs.Bool("all", false, "include bookkeeping events (step/run spans, init snapshots)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dftrace [timeline|occupancy|diff] [-all] events.ndjson [b.ndjson]")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	args = fs.Args()
+
+	switch cmd {
+	case "diff":
+		if len(args) != 2 {
+			log.Fatal("diff needs exactly two event files")
+		}
+		a, b := readFile(args[0]), readFile(args[1])
+		report, same := obs.DiffDecisions(a, b)
+		fmt.Print(report)
+		if !same {
+			os.Exit(1)
+		}
+	case "timeline":
+		fmt.Print(obs.Timeline(readFile(oneArg(args)), *all))
+	case "occupancy":
+		fmt.Print(obs.Occupancy(readFile(oneArg(args))))
+	default:
+		events := readFile(oneArg(args))
+		fmt.Print(obs.Timeline(events, *all))
+		fmt.Println("-- occupancy --")
+		fmt.Print(obs.Occupancy(events))
+	}
+}
+
+func oneArg(args []string) string {
+	if len(args) != 1 {
+		log.Fatal("need exactly one event file (see -h)")
+	}
+	return args[0]
+}
+
+func readFile(path string) []obs.Event {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return events
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"dynamicdf/internal/obs"
+)
+
+// TestGoldenTimeline replays the checked-in fixture (captured with
+// dfsim -trace) and asserts the default dftrace rendering is byte-identical
+// to the golden output. Regenerate both with:
+//
+//	dfsim -config <scenario> -trace testdata/golden.ndjson
+//	dftrace testdata/golden.ndjson > testdata/golden.txt
+func TestGoldenTimeline(t *testing.T) {
+	f, err := os.Open("testdata/golden.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("golden fixture is empty")
+	}
+	got := obs.Timeline(events, false) + "-- occupancy --\n" + obs.Occupancy(events)
+	want, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("rendering diverged from golden output\n-- got --\n%s-- want --\n%s", got, want)
+	}
+}
+
+// TestGoldenDiffSelf asserts a capture diffed against itself reports no
+// divergence.
+func TestGoldenDiffSelf(t *testing.T) {
+	f, err := os.Open("testdata/golden.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, same := obs.DiffDecisions(events, events)
+	if !same {
+		t.Fatalf("self-diff reports divergence:\n%s", report)
+	}
+}

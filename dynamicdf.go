@@ -48,6 +48,7 @@ import (
 	"dynamicdf/internal/experiments"
 	"dynamicdf/internal/floe"
 	"dynamicdf/internal/metrics"
+	"dynamicdf/internal/obs"
 	"dynamicdf/internal/rates"
 	"dynamicdf/internal/resilient"
 	"dynamicdf/internal/sim"
@@ -388,6 +389,49 @@ func OpenSweepJournal(path string) (*SweepJournal, error) { return sweep.OpenJou
 
 // NewSweepServer builds the HTTP campaign service (see Handler/Submit).
 func NewSweepServer(cfg SweepServerConfig) *SweepServer { return sweep.NewServer(cfg) }
+
+// Observability: structured event tracing, a Prometheus-style metrics
+// registry with text exposition, and trace inspection (see internal/obs,
+// cmd/dfsim -trace and cmd/dftrace).
+type (
+	// TraceEvent is one structured, sim-timestamped trace record
+	// (schema obs/v1).
+	TraceEvent = obs.Event
+	// Tracer streams trace events as NDJSON; attach with Engine.SetTracer
+	// or Config.Tracer. A nil *Tracer is a no-op.
+	Tracer = obs.Tracer
+	// MetricsRegistry holds counters/gauges/histograms and serves them in
+	// Prometheus text exposition format (Handler, WriteText).
+	MetricsRegistry = obs.Registry
+	// RunGauges is the live per-run gauge set a sim engine updates.
+	RunGauges = obs.RunGauges
+	// PoolMetrics instruments a sweep worker pool.
+	PoolMetrics = obs.PoolMetrics
+)
+
+// NewTracer returns a tracer writing NDJSON events to w (Flush before
+// reading the sink).
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// ReadTraceEvents parses an NDJSON event stream captured by a Tracer.
+func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewRunGauges registers the sim_* gauge set on a registry.
+func NewRunGauges(reg *MetricsRegistry) *RunGauges { return obs.NewRunGauges(reg) }
+
+// TraceTimeline renders a run's decision timeline, one deterministic line
+// per event (all includes step/run spans and init snapshots).
+func TraceTimeline(events []TraceEvent, all bool) string { return obs.Timeline(events, all) }
+
+// TraceOccupancy summarizes how long each PE spent on each alternate.
+func TraceOccupancy(events []TraceEvent) string { return obs.Occupancy(events) }
+
+// DiffTraceDecisions compares two runs' adaptation decisions; identical
+// streams return true.
+func DiffTraceDecisions(a, b []TraceEvent) (string, bool) { return obs.DiffDecisions(a, b) }
 
 // In-process execution runtime (the FTOC/Floe role in §5): the same graph
 // description that is simulated for planning can be executed for real,

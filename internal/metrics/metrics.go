@@ -136,11 +136,13 @@ func (c *Collector) OmegaSeries() []float64 {
 }
 
 // Quantile returns the q-quantile (0..1) of an arbitrary per-point metric.
+// An empty collector yields 0, never NaN: quantiles feed JSON results and
+// Prometheus gauges, and encoding/json refuses NaN.
 func (c *Collector) Quantile(q float64, get func(Point) float64) float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.points) == 0 {
-		return math.NaN()
+		return 0
 	}
 	vals := make([]float64, len(c.points))
 	for i, p := range c.points {
@@ -151,10 +153,10 @@ func (c *Collector) Quantile(q float64, get func(Point) float64) float64 {
 }
 
 // quantileSorted interpolates the q-quantile (0..1) of ascending vals.
-// Empty input yields NaN.
+// Empty input yields 0.
 func quantileSorted(vals []float64, q float64) float64 {
 	if len(vals) == 0 {
-		return math.NaN()
+		return 0
 	}
 	if len(vals) == 1 {
 		return vals[0]
@@ -179,14 +181,12 @@ type Distribution struct {
 }
 
 // NewDistribution reduces samples (any order) to a Distribution. The input
-// slice is not modified. Empty input yields the zero Distribution with
-// NaN quantiles and mean.
+// slice is not modified. Empty input yields the zero Distribution — zero
+// mean and quantiles, never NaN, so an all-failed sweep group still
+// marshals to valid JSON.
 func NewDistribution(samples []float64) Distribution {
 	d := Distribution{N: len(samples)}
 	if len(samples) == 0 {
-		d.Mean = math.NaN()
-		d.P50 = math.NaN()
-		d.P95 = math.NaN()
 		return d
 	}
 	vals := append([]float64(nil), samples...)

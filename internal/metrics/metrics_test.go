@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -93,8 +94,8 @@ func TestQuantile(t *testing.T) {
 	if q := c.Quantile(1, get); q != 5 {
 		t.Fatalf("max = %v", q)
 	}
-	if !math.IsNaN(NewCollector().Quantile(0.5, get)) {
-		t.Fatal("empty quantile not NaN")
+	if q := NewCollector().Quantile(0.5, get); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
 	}
 	one := NewCollector()
 	_ = one.Add(Point{Omega: 7})
@@ -112,8 +113,8 @@ func TestNewDistribution(t *testing.T) {
 		t.Fatalf("p95 = %v", d.P95)
 	}
 	empty := NewDistribution(nil)
-	if empty.N != 0 || !math.IsNaN(empty.Mean) || !math.IsNaN(empty.P50) || !math.IsNaN(empty.P95) {
-		t.Fatalf("empty distribution = %+v", empty)
+	if empty != (Distribution{}) {
+		t.Fatalf("empty distribution = %+v, want zero value", empty)
 	}
 	one := NewDistribution([]float64{7})
 	if one.Mean != 7 || one.P50 != 7 || one.P95 != 7 {
@@ -124,6 +125,25 @@ func TestNewDistribution(t *testing.T) {
 	_ = NewDistribution(in)
 	if in[0] != 9 {
 		t.Fatal("input mutated")
+	}
+}
+
+// Empty-input reductions must stay NaN-free: their values flow into JSON
+// sweep results (encoding/json rejects NaN) and Prometheus gauges.
+func TestEmptyReductionsMarshalToJSON(t *testing.T) {
+	d := NewDistribution(nil)
+	if math.IsNaN(d.Mean) || math.IsNaN(d.P50) || math.IsNaN(d.P95) {
+		t.Fatalf("empty distribution has NaN fields: %+v", d)
+	}
+	if _, err := json.Marshal(d); err != nil {
+		t.Fatalf("empty distribution does not marshal: %v", err)
+	}
+	q := NewCollector().Quantile(0.95, func(p Point) float64 { return p.Omega })
+	if math.IsNaN(q) {
+		t.Fatal("empty collector quantile is NaN")
+	}
+	if _, err := json.Marshal(struct{ Q float64 }{q}); err != nil {
+		t.Fatalf("empty quantile does not marshal: %v", err)
 	}
 }
 

@@ -1,0 +1,117 @@
+// Package obs is the unified observability layer: structured event tracing
+// (typed, sim-timestamped events streamed as NDJSON), a zero-dependency
+// metrics registry with Prometheus text-format exposition, and trace
+// inspection (timelines, alternate occupancy, run diffs). Every other layer
+// plugs into it — sim.Engine emits step spans and control-action events,
+// internal/resilient's middleware decisions arrive through the engine's
+// audit path, internal/sweep emits job spans and worker-pool metrics, and
+// cmd/dfserve mounts the exposition handler at /metrics. The package
+// depends only on the standard library, and every hook is nil-safe: a nil
+// *Tracer or nil gauge set adds zero allocations to the hot path.
+package obs
+
+import "fmt"
+
+// SchemaVersion names the event schema. Every emitted event carries it in
+// the "v" field; readers reject streams written by an incompatible schema.
+// Bump it whenever an event field changes meaning.
+const SchemaVersion = "obs/v1"
+
+// Span phases. Point events leave Phase empty; "init" marks state recorded
+// at run start (e.g. the initial alternate selection) rather than a
+// decision taken during the run.
+const (
+	PhaseStart = "start"
+	PhaseEnd   = "end"
+	PhaseInit  = "init"
+)
+
+// Event types emitted by the simulator and its middleware. Scheduler
+// actions reuse the audit-log action names so the two views of one run
+// stay correlatable.
+const (
+	// Spans.
+	EventRun      = "run"       // one simulation run (start/end)
+	EventStep     = "step"      // one sim interval; end carries Omega in Value
+	EventSweepJob = "sweep-job" // one sweep job (start/end)
+
+	// Point events: scheduler and control-plane actions.
+	EventSelectAlternate = "select-alternate"
+	EventSelectRoute     = "select-route"
+	EventAcquireVM       = "acquire-vm"
+	EventPendingVM       = "pending-vm"
+	EventVMReady         = "vm-ready"
+	EventReleaseVM       = "release-vm"
+	EventAssignCores     = "assign-cores"
+	EventUnassignCores   = "unassign-cores"
+	EventCrash           = "crash"
+	EventPreempt         = "preempt"
+	EventAcquireFailed   = "acquire-failed"
+
+	// Point events: resilience middleware decisions.
+	EventBreakerOpen     = "breaker-open"
+	EventFallbackAcquire = "fallback-acquire"
+	EventDegrade         = "degrade"
+
+	// Point events: QoS.
+	EventOmegaViolation = "omega-violation"
+)
+
+// Event is one structured trace record. Sec is simulation time (seconds),
+// never wall-clock, so a run's event stream is byte-deterministic under a
+// seed. Integer fields use -1-is-never-valid conventions from the
+// simulator (PE and VM ids are >= 0), with zero values omitted from the
+// JSON encoding to keep streams compact.
+type Event struct {
+	// V is the schema version (SchemaVersion); Emit fills it.
+	V string `json:"v"`
+	// Sec is the simulation time the event took effect.
+	Sec int64 `json:"sec"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Phase is empty for point events, PhaseStart/PhaseEnd for spans,
+	// PhaseInit for run-start state snapshots.
+	Phase string `json:"phase,omitempty"`
+	// PE is the processing-element index the event concerns.
+	PE int `json:"pe,omitempty"`
+	// VM is the VM id the event concerns.
+	VM int `json:"vm,omitempty"`
+	// N is a small integer payload (alternate index, core count, boot
+	// seconds, job index — see the emitting site).
+	N int `json:"n,omitempty"`
+	// Lost counts messages destroyed by this event (crash/preempt).
+	Lost float64 `json:"lost,omitempty"`
+	// Value is a float payload (Omega for step ends and violations).
+	Value float64 `json:"value,omitempty"`
+	// Detail is free-form context (class names, alternate names, job ids).
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the event as one deterministic log line.
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%ds %s", e.Sec, e.Type)
+	if e.Phase != "" {
+		s += ":" + e.Phase
+	}
+	if e.PE != 0 || e.Type == EventSelectAlternate || e.Type == EventAssignCores || e.Type == EventUnassignCores {
+		s += fmt.Sprintf(" pe=%d", e.PE)
+	}
+	if e.VM != 0 || e.Type == EventAcquireVM || e.Type == EventReleaseVM || e.Type == EventVMReady ||
+		e.Type == EventPendingVM || e.Type == EventCrash || e.Type == EventPreempt ||
+		e.Type == EventAssignCores || e.Type == EventUnassignCores {
+		s += fmt.Sprintf(" vm=%d", e.VM)
+	}
+	if e.N != 0 {
+		s += fmt.Sprintf(" n=%d", e.N)
+	}
+	if e.Lost > 0 {
+		s += fmt.Sprintf(" lost=%.0f", e.Lost)
+	}
+	if e.Value != 0 {
+		s += fmt.Sprintf(" value=%.4f", e.Value)
+	}
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}

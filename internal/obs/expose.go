@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteText renders every registered metric in Prometheus text exposition
+// format (version 0.0.4). Output is deterministic for a given registry
+// state: families sort by name, children by label values, and floats use
+// shortest round-trip formatting.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make([]*family, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if err := f.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeText(w io.Writer) error {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.Unlock()
+	if len(children) == 0 {
+		return nil
+	}
+
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+		return err
+	}
+	for _, s := range children {
+		s.mu.Lock()
+		value, count, sum := s.value, s.count, s.sum
+		hist := append([]uint64(nil), s.hist...)
+		s.mu.Unlock()
+
+		switch f.kind {
+		case "histogram":
+			cum := uint64(0)
+			for i, bound := range f.buckets {
+				cum += hist[i]
+				if err := writeSample(w, f.name+"_bucket", f.labels, s.labelValues,
+					"le", formatValue(bound), float64(cum)); err != nil {
+					return err
+				}
+			}
+			cum += hist[len(f.buckets)]
+			if err := writeSample(w, f.name+"_bucket", f.labels, s.labelValues, "le", "+Inf", float64(cum)); err != nil {
+				return err
+			}
+			if err := writeSample(w, f.name+"_sum", f.labels, s.labelValues, "", "", sum); err != nil {
+				return err
+			}
+			if err := writeSample(w, f.name+"_count", f.labels, s.labelValues, "", "", float64(count)); err != nil {
+				return err
+			}
+		default:
+			if err := writeSample(w, f.name, f.labels, s.labelValues, "", "", value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample emits one sample line, appending an extra label (the
+// histogram "le") when extraName is non-empty.
+func writeSample(w io.Writer, name string, labels, values []string, extraName, extraValue string, v float64) error {
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(extraValue))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry in text exposition format (mount at
+// /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// statusWriter captures the response code while preserving the Flusher
+// contract the NDJSON watch endpoint relies on.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if s.code == 0 {
+		s.code = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusWriter) Write(b []byte) (int, error) {
+	if s.code == 0 {
+		s.code = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// InstrumentHandler wraps an HTTP handler with request counting and latency
+// observation: <prefix>_requests_total{method,code} and
+// <prefix>_request_seconds{method}.
+func InstrumentHandler(reg *Registry, prefix string, next http.Handler) http.Handler {
+	requests := reg.CounterVec(prefix+"_requests_total",
+		"HTTP requests served, by method and status code.", "method", "code")
+	latency := reg.HistogramVec(prefix+"_request_seconds",
+		"HTTP request latency in seconds, by method.", nil, "method")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		requests.With(r.Method, strconv.Itoa(sw.code)).Inc()
+		latency.With(r.Method).Observe(time.Since(start).Seconds())
+	})
+}

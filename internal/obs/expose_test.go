@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWriteTextExact locks the full exposition down to exact bytes:
+// HELP/TYPE comments, family ordering, label rendering, and histogram
+// cumulative buckets with +Inf, _sum and _count.
+func TestWriteTextExact(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("zz_last", "Sorts last despite being registered first.").Set(2.5)
+	reg.Counter("jobs_total", "Jobs processed.").Add(3)
+	v := reg.CounterVec("requests_total", "Requests by method and code.", "method", "code")
+	v.With("GET", "200").Add(2)
+	v.With("DELETE", "404").Inc()
+	h := reg.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP jobs_total Jobs processed.
+# TYPE jobs_total counter
+jobs_total 3
+# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 3
+latency_seconds_bucket{le="+Inf"} 4
+latency_seconds_sum 4.05
+latency_seconds_count 4
+# HELP requests_total Requests by method and code.
+# TYPE requests_total counter
+requests_total{method="DELETE",code="404"} 1
+requests_total{method="GET",code="200"} 2
+# HELP zz_last Sorts last despite being registered first.
+# TYPE zz_last gauge
+zz_last 2.5
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch\n-- got --\n%s-- want --\n%s", b.String(), want)
+	}
+}
+
+func TestWriteTextEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeVec("g", "Help with \\ backslash\nand newline.", "l").
+		With("quote \" slash \\ nl \n end").Set(1)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP g Help with \\ backslash\nand newline.
+# TYPE g gauge
+g{l="quote \" slash \\ nl \n end"} 1
+`
+	if b.String() != want {
+		t.Fatalf("escaping mismatch\n-- got --\n%q\n-- want --\n%q", b.String(), want)
+	}
+}
+
+// TestWriteTextDeterministic asserts repeated renders produce identical
+// bytes regardless of map iteration order.
+func TestWriteTextDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.GaugeVec("multi", "Many children.", "k")
+	for _, k := range []string{"delta", "alpha", "echo", "bravo", "charlie"} {
+		v.With(k).Set(1)
+	}
+	var first strings.Builder
+	if err := reg.WriteText(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var again strings.Builder
+		if err := reg.WriteText(&again); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, again.String(), first.String())
+		}
+	}
+}
+
+// TestWriteTextSkipsEmptyFamilies: a Vec with no children yet must not
+// emit orphan HELP/TYPE comments.
+func TestWriteTextSkipsEmptyFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("unused_total", "Never incremented.", "x")
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Fatalf("empty family rendered: %q", b.String())
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "C.").Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "c_total 1") {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
+func TestInstrumentHandler(t *testing.T) {
+	reg := NewRegistry()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		if _, ok := w.(http.Flusher); !ok {
+			t.Error("instrumented writer lost the Flusher interface")
+		}
+		_, _ = w.Write([]byte("ok"))
+	})
+	h := InstrumentHandler(reg, "svc", inner)
+	for _, path := range []string{"/", "/", "/missing"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`svc_requests_total{method="GET",code="200"} 2`,
+		`svc_requests_total{method="GET",code="404"} 1`,
+		`svc_request_seconds_count{method="GET"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegisterConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "A.")
+	// Same shape: fine, idempotent.
+	reg.Counter("a_total", "A.").Inc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different kind did not panic")
+		}
+	}()
+	reg.Gauge("a_total", "A.")
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{0.1: "0.1", 1: "1", 1e9: "1e+09"}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Fatalf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+// RunGauges is the per-run simulation gauge set the exposition handler
+// serves: the live quantities an operator watches while a scenario runs.
+// The engine updates them at the end of every interval when attached; a
+// nil *RunGauges (or nil individual gauge) is a no-op.
+type RunGauges struct {
+	// Omega is the last interval's relative application throughput.
+	Omega *Gauge
+	// Theta is the run's objective value (set by the runner at completion;
+	// the engine itself does not know the objective).
+	Theta *Gauge
+	// UsedCores is the cores currently assigned to PEs.
+	UsedCores *Gauge
+	// PendingVMs is the VMs still provisioning.
+	PendingVMs *Gauge
+	// ActiveVMs is the running fleet size.
+	ActiveVMs *Gauge
+	// Backlog is the total queued messages.
+	Backlog *Gauge
+	// CostUSD is the cumulative dollar cost.
+	CostUSD *Gauge
+}
+
+// NewRunGauges registers the sim_* gauge set on a registry.
+func NewRunGauges(reg *Registry) *RunGauges {
+	return &RunGauges{
+		Omega:      reg.Gauge("sim_omega", "Relative application throughput over the last interval."),
+		Theta:      reg.Gauge("sim_theta", "Objective value of the most recently completed run."),
+		UsedCores:  reg.Gauge("sim_used_cores", "CPU cores currently assigned to PEs."),
+		PendingVMs: reg.Gauge("sim_pending_vms", "VMs acquired but still provisioning."),
+		ActiveVMs:  reg.Gauge("sim_active_vms", "VMs running and schedulable."),
+		Backlog:    reg.Gauge("sim_backlog_messages", "Messages queued across all PEs."),
+		CostUSD:    reg.Gauge("sim_cost_usd", "Cumulative dollars billed this run."),
+	}
+}
+
+// PoolMetrics instruments the sweep worker pool. The sweep engine updates
+// them as jobs move through the pool; counters accumulate across campaigns
+// sharing the set. A nil *PoolMetrics is a no-op.
+type PoolMetrics struct {
+	// JobsQueued is the jobs expanded but not yet started (or cached).
+	JobsQueued *Gauge
+	// JobsRunning is the jobs currently executing.
+	JobsRunning *Gauge
+	// JobsDone counts completed job executions.
+	JobsDone *Counter
+	// JobsErrors counts completed jobs that failed deterministically.
+	JobsErrors *Counter
+	// CacheHits counts jobs served from the journal.
+	CacheHits *Counter
+}
+
+// NewPoolMetrics registers the sweep_jobs_* metric set on a registry.
+func NewPoolMetrics(reg *Registry) *PoolMetrics {
+	return &PoolMetrics{
+		JobsQueued:  reg.Gauge("sweep_jobs_queued", "Sweep jobs waiting for a worker."),
+		JobsRunning: reg.Gauge("sweep_jobs_running", "Sweep jobs currently executing."),
+		JobsDone:    reg.Counter("sweep_jobs_done_total", "Sweep jobs executed to completion."),
+		JobsErrors:  reg.Counter("sweep_jobs_errors_total", "Sweep jobs that failed deterministically."),
+		CacheHits:   reg.Counter("sweep_jobs_cache_hits_total", "Sweep jobs served from the journal."),
+	}
+}

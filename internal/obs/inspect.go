@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// decision reports whether an event is an adaptation decision (or its
+// consequence) rather than bookkeeping — the records a run diff and the
+// default timeline care about. Step spans and run spans are bookkeeping;
+// init-phase snapshots are state, not decisions.
+func decision(ev Event) bool {
+	switch ev.Type {
+	case EventStep, EventRun, EventSweepJob:
+		return false
+	}
+	return ev.Phase != PhaseInit
+}
+
+// Timeline renders the decision timeline of one run, one deterministic line
+// per event in stream order. With all set, bookkeeping events (step and run
+// spans, init snapshots) are included too.
+func Timeline(events []Event, all bool) string {
+	var b strings.Builder
+	for _, ev := range events {
+		if !all && !decision(ev) {
+			continue
+		}
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// occSeg tracks one PE's time on one alternate.
+type occSeg struct {
+	alt string
+	sec int64
+}
+
+// Occupancy summarizes how long each PE spent on each alternate, derived
+// from init-phase selection snapshots, select-alternate events, and the
+// stream's horizon (its maximum timestamp). Output is deterministic: PEs
+// ascending, alternates by first activation.
+func Occupancy(events []Event) string {
+	horizon := int64(0)
+	for _, ev := range events {
+		if ev.Sec > horizon {
+			horizon = ev.Sec
+		}
+	}
+	current := map[int]string{} // pe -> active alternate name
+	since := map[int]int64{}    // pe -> activation time
+	order := map[int][]string{} // pe -> alternates in first-activation order
+	total := map[int]map[string]int64{}
+
+	charge := func(pe int, until int64) {
+		alt, ok := current[pe]
+		if !ok {
+			return
+		}
+		if total[pe] == nil {
+			total[pe] = map[string]int64{}
+		}
+		if _, seen := total[pe][alt]; !seen {
+			order[pe] = append(order[pe], alt)
+		}
+		total[pe][alt] += until - since[pe]
+	}
+
+	for _, ev := range events {
+		if ev.Type != EventSelectAlternate {
+			continue
+		}
+		alt := ev.Detail
+		if alt == "" {
+			alt = fmt.Sprintf("alt-%d", ev.N)
+		}
+		charge(ev.PE, ev.Sec)
+		current[ev.PE] = alt
+		since[ev.PE] = ev.Sec
+	}
+	pes := make([]int, 0, len(current))
+	for pe := range current {
+		charge(pe, horizon)
+		pes = append(pes, pe)
+	}
+	sort.Ints(pes)
+
+	var b strings.Builder
+	for _, pe := range pes {
+		fmt.Fprintf(&b, "pe=%d:", pe)
+		for _, alt := range order[pe] {
+			share := 0.0
+			if horizon > 0 {
+				share = 100 * float64(total[pe][alt]) / float64(horizon)
+			}
+			fmt.Fprintf(&b, " %s=%.1f%%", alt, share)
+		}
+		if horizon == 0 {
+			// Zero-length stream: the selection existed but no time passed.
+			fmt.Fprintf(&b, " %s=-", current[pe])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DiffDecisions compares two runs' adaptation decisions as timestamped
+// multisets. It returns a deterministic report — lines prefixed "-" appear
+// only in run a, "+" only in run b — and whether the decision streams are
+// identical.
+func DiffDecisions(a, b []Event) (string, bool) {
+	counts := map[string]int{} // rendering -> (count in a) - (count in b)
+	for _, ev := range a {
+		if decision(ev) {
+			counts[ev.String()]++
+		}
+	}
+	common := 0
+	for _, ev := range b {
+		if !decision(ev) {
+			continue
+		}
+		k := ev.String()
+		if counts[k] > 0 {
+			common++
+		}
+		counts[k]--
+	}
+	var onlyA, onlyB []string
+	for k, d := range counts {
+		for ; d > 0; d-- {
+			onlyA = append(onlyA, "- "+k)
+		}
+		for ; d < 0; d++ {
+			onlyB = append(onlyB, "+ "+k)
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+
+	var out strings.Builder
+	fmt.Fprintf(&out, "decisions: %d common, %d only in A, %d only in B\n",
+		common, len(onlyA), len(onlyB))
+	for _, l := range onlyA {
+		out.WriteString(l)
+		out.WriteByte('\n')
+	}
+	for _, l := range onlyB {
+		out.WriteString(l)
+		out.WriteByte('\n')
+	}
+	return out.String(), len(onlyA) == 0 && len(onlyB) == 0
+}

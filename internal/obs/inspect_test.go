@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleRun() []Event {
+	return []Event{
+		{Sec: 0, Type: EventRun, Phase: PhaseStart, Detail: "global"},
+		{Sec: 0, Type: EventSelectAlternate, Phase: PhaseInit, PE: 0, Detail: "full"},
+		{Sec: 0, Type: EventStep, Phase: PhaseStart},
+		{Sec: 60, Type: EventStep, Phase: PhaseEnd, Value: 0.9},
+		{Sec: 60, Type: EventSelectAlternate, PE: 0, N: 1, Detail: "lite"},
+		{Sec: 180, Type: EventSelectAlternate, PE: 0, N: 0, Detail: "full"},
+		{Sec: 240, Type: EventRun, Phase: PhaseEnd, Value: 0.88},
+	}
+}
+
+func TestTimelineFiltersBookkeeping(t *testing.T) {
+	out := Timeline(sampleRun(), false)
+	want := "t=60s select-alternate pe=0 n=1 (lite)\n" +
+		"t=180s select-alternate pe=0 (full)\n"
+	if out != want {
+		t.Fatalf("timeline = %q, want %q", out, want)
+	}
+	all := Timeline(sampleRun(), true)
+	if !strings.Contains(all, "step:start") || !strings.Contains(all, "run:end") {
+		t.Fatalf("full timeline missing bookkeeping:\n%s", all)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	// full for 60s, lite for 120s, full again for 60s of a 240s horizon.
+	out := Occupancy(sampleRun())
+	want := "pe=0: full=50.0% lite=50.0%\n"
+	if out != want {
+		t.Fatalf("occupancy = %q, want %q", out, want)
+	}
+}
+
+func TestOccupancyMultiplePEsSorted(t *testing.T) {
+	events := []Event{
+		{Sec: 0, Type: EventSelectAlternate, Phase: PhaseInit, PE: 2, Detail: "b"},
+		{Sec: 0, Type: EventSelectAlternate, Phase: PhaseInit, PE: 0, Detail: "a"},
+		{Sec: 100, Type: EventRun, Phase: PhaseEnd},
+	}
+	out := Occupancy(events)
+	want := "pe=0: a=100.0%\npe=2: b=100.0%\n"
+	if out != want {
+		t.Fatalf("occupancy = %q, want %q", out, want)
+	}
+}
+
+func TestDiffDecisions(t *testing.T) {
+	a := sampleRun()
+	b := sampleRun()
+	report, same := DiffDecisions(a, b)
+	if !same || !strings.HasPrefix(report, "decisions: 2 common, 0 only in A, 0 only in B") {
+		t.Fatalf("identical runs diff: %q", report)
+	}
+
+	// Perturb run b: drop one decision, add another.
+	b = append(b[:4], b[5:]...) // remove the t=60s switch to lite
+	b = append(b, Event{Sec: 240, Type: EventReleaseVM, VM: 7})
+	report, same = DiffDecisions(a, b)
+	if same {
+		t.Fatal("differing runs reported identical")
+	}
+	if !strings.Contains(report, "- t=60s select-alternate pe=0 n=1 (lite)") {
+		t.Fatalf("missing A-only line:\n%s", report)
+	}
+	if !strings.Contains(report, "+ t=240s release-vm vm=7") {
+		t.Fatalf("missing B-only line:\n%s", report)
+	}
+	if !strings.HasPrefix(report, "decisions: 1 common, 1 only in A, 1 only in B") {
+		t.Fatalf("bad header:\n%s", report)
+	}
+}
+
+func TestDiffDecisionsIgnoresBookkeeping(t *testing.T) {
+	a := []Event{{Sec: 0, Type: EventStep, Phase: PhaseStart}}
+	b := []Event{{Sec: 999, Type: EventRun, Phase: PhaseEnd}}
+	if _, same := DiffDecisions(a, b); !same {
+		t.Fatal("bookkeeping-only streams should diff as identical")
+	}
+}

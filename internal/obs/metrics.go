@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration is idempotent: asking for a family that
+// already exists with the same shape returns the existing one; a shape
+// conflict (different kind, help, labels or buckets) panics, as it is a
+// programming error, not an operational condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: map[string]*family{}} }
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+type family struct {
+	name    string
+	help    string
+	kind    string // "counter" | "gauge" | "histogram"
+	labels  []string
+	buckets []float64 // histograms only, ascending, no +Inf
+
+	mu       sync.Mutex
+	children map[string]*series
+}
+
+// series is one labeled child of a family.
+type series struct {
+	labelValues []string
+
+	mu    sync.Mutex
+	value float64  // counter/gauge
+	count uint64   // histogram observations
+	sum   float64  // histogram sum
+	hist  []uint64 // histogram per-bucket (non-cumulative) counts, +Inf last
+}
+
+func (r *Registry) register(name, help, kind string, buckets []float64, labels []string) *family {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelRE.MatchString(l) {
+			panic(fmt.Sprintf("obs: metric %q: invalid label name %q", name, l))
+		}
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: metric %q: buckets not strictly ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || f.help != help || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...), buckets: append([]float64(nil), buckets...),
+		children: map[string]*series{}}
+	r.families[name] = f
+	return f
+}
+
+// child returns (creating if needed) the series for the label values.
+func (f *family) child(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.children[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), values...)}
+		if f.kind == "histogram" {
+			s.hist = make([]uint64, len(f.buckets)+1)
+		}
+		f.children[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored.
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	c.s.mu.Lock()
+	c.s.value += v
+	c.s.mu.Unlock()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.s.mu.Lock()
+	g.s.value = v
+	g.s.mu.Unlock()
+}
+
+// Add shifts the gauge value.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.s.mu.Lock()
+	g.s.value += v
+	g.s.mu.Unlock()
+}
+
+// Value returns the current gauge value (tests, adaptive consumers).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
+	return g.s.value
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.s.mu.Lock()
+	h.s.count++
+	h.s.sum += v
+	i := sort.SearchFloat64s(h.buckets, v) // first bucket with bound >= v
+	h.s.hist[i]++
+	h.s.mu.Unlock()
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the label values (created on first use).
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{s: v.f.child(values)} }
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the label values (created on first use).
+func (v *GaugeVec) With(values ...string) *Gauge { return &Gauge{s: v.f.child(values)} }
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the label values (created on first use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{s: v.f.child(values), buckets: v.f.buckets}
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{s: r.register(name, help, "counter", nil, nil).child(nil)}
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, "counter", nil, labels)}
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{s: r.register(name, help, "gauge", nil, nil).child(nil)}
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, "gauge", nil, labels)}
+}
+
+// DefBuckets is the default latency bucket ladder (seconds).
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// Histogram registers (or returns) an unlabeled histogram. Nil buckets use
+// DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, "histogram", buckets, nil)
+	return &Histogram{s: f.child(nil), buckets: f.buckets}
+}
+
+// HistogramVec registers (or returns) a labeled histogram family. Nil
+// buckets use DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.register(name, help, "histogram", buckets, labels)}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Tracer streams events as NDJSON to a sink. It is safe for concurrent use
+// (sweep workers emit from many goroutines) and nil-safe: every method on a
+// nil *Tracer is a no-op, so instrumentation sites pass events by value and
+// pay zero allocations while tracing is disabled.
+//
+// Events are written in arrival order. A single-threaded emitter (the
+// simulation engine) therefore produces a byte-deterministic stream for a
+// given seed; concurrent emitters (sweep workers) interleave arbitrarily.
+type Tracer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int64
+	err error
+}
+
+// NewTracer returns a tracer writing NDJSON events to w. Call Flush (or
+// Close) before reading the sink: writes are buffered.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one event, stamping the schema version. After the first sink
+// error the tracer goes quiet; check Err.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	ev.V = SchemaVersion
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(ev); err != nil {
+		t.err = fmt.Errorf("obs: emit: %w", err)
+		return
+	}
+	t.n++
+}
+
+// Count returns how many events were successfully encoded.
+func (t *Tracer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Err returns the first sink error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Flush forces buffered events to the sink.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	if err := t.bw.Flush(); err != nil {
+		t.err = fmt.Errorf("obs: flush: %w", err)
+	}
+	return t.err
+}
+
+// ReadEvents parses an NDJSON event stream, rejecting lines from an
+// incompatible schema version. Blank lines are skipped.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		if ev.V != SchemaVersion {
+			return nil, fmt.Errorf("obs: line %d: schema %q, want %q", line, ev.V, SchemaVersion)
+		}
+		if ev.Type == "" {
+			return nil, fmt.Errorf("obs: line %d: event without a type", line)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read events: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	in := []Event{
+		{Sec: 0, Type: EventRun, Phase: PhaseStart, Detail: "global"},
+		{Sec: 60, Type: EventSelectAlternate, PE: 1, N: 2, Detail: "lite"},
+		{Sec: 120, Type: EventCrash, VM: 3, Lost: 41},
+		{Sec: 240, Type: EventStep, Phase: PhaseEnd, Value: 0.875},
+	}
+	for _, ev := range in {
+		tr.Emit(ev)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != int64(len(in)) {
+		t.Fatalf("count = %d", tr.Count())
+	}
+	out, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, wrote %d", len(out), len(in))
+	}
+	for i := range in {
+		want := in[i]
+		want.V = SchemaVersion
+		if out[i] != want {
+			t.Fatalf("event %d = %+v, want %+v", i, out[i], want)
+		}
+	}
+}
+
+func TestTracerDeterministicBytes(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf)
+		tr.Emit(Event{Sec: 5, Type: EventAcquireVM, VM: 7, Detail: "m1.large"})
+		tr.Emit(Event{Sec: 10, Type: EventOmegaViolation, Value: 0.5})
+		_ = tr.Flush()
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("identical emissions produced different bytes")
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Type: EventRun})
+	if tr.Count() != 0 || tr.Err() != nil || tr.Flush() != nil {
+		t.Fatal("nil tracer is not inert")
+	}
+}
+
+// TestNilTracerZeroAlloc guards the disabled-tracer hot path: emitting to a
+// nil tracer must not allocate, so an uninstrumented Engine.step pays
+// nothing.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Sec: 1, Type: EventStep, Phase: PhaseStart, Value: 0.9})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer Emit allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestReadEventsRejectsBadStreams(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       "{not json}\n",
+		"wrong schema":   `{"v":"obs/v99","sec":0,"type":"run"}` + "\n",
+		"missing schema": `{"sec":0,"type":"run"}` + "\n",
+		"missing type":   `{"v":"obs/v1","sec":0}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEvents(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestReadEventsSkipsBlankLines(t *testing.T) {
+	in := `{"v":"obs/v1","sec":0,"type":"run","phase":"start"}` + "\n\n" +
+		`{"v":"obs/v1","sec":60,"type":"step","phase":"start"}` + "\n"
+	events, err := ReadEvents(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{Event{Sec: 60, Type: EventSelectAlternate, PE: 0, N: 1, Detail: "lite"},
+			"t=60s select-alternate pe=0 n=1 (lite)"},
+		{Event{Sec: 0, Type: EventCrash, VM: 2, Lost: 10},
+			"t=0s crash vm=2 lost=10"},
+		{Event{Sec: 120, Type: EventStep, Phase: PhaseEnd, Value: 0.5},
+			"t=120s step:end value=0.5000"},
+	}
+	for _, c := range cases {
+		if got := c.ev.String(); got != c.want {
+			t.Fatalf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -286,6 +286,7 @@ func (sc *Scenario) Build() (*Built, error) {
 		Preemption:    preemption,
 		ControlFaults: sc.Control.faults(sc.Seed),
 		Audit:         sc.Audit,
+		OmegaFloor:    obj.OmegaHat,
 	})
 	if err != nil {
 		return nil, err

@@ -4,11 +4,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"dynamicdf/internal/obs"
 )
 
 // AuditEntry records one control action a scheduler took, with the
 // simulation time it took effect — the decision trace an operator of such
 // a system would want when asking "why did the bill spike at 3am".
+//
+// It is a thin adapter over the obs.Event model: the engine records
+// obs.Events internally (and streams them through an attached tracer), and
+// this type preserves the original audit JSON encoding byte-for-byte.
 type AuditEntry struct {
 	Sec    int64  `json:"sec"`
 	Action string `json:"action"`
@@ -33,23 +39,68 @@ func (a AuditEntry) String() string {
 	return s
 }
 
-// audit appends an entry when auditing is enabled.
+// event converts the entry to its obs.Event form (the fields map 1:1; the
+// audit action name is the event type).
+func (a AuditEntry) event() obs.Event {
+	return obs.Event{Sec: a.Sec, Type: a.Action, PE: a.PE, VM: a.VM, N: a.N,
+		Lost: a.Lost, Detail: a.Detail}
+}
+
+// auditFromEvent converts an event back to the legacy audit form.
+func auditFromEvent(ev obs.Event) AuditEntry {
+	return AuditEntry{Sec: ev.Sec, Action: ev.Type, PE: ev.PE, VM: ev.VM, N: ev.N,
+		Lost: ev.Lost, Detail: ev.Detail}
+}
+
+// audit records one control action: it is stamped with the current clock,
+// streamed to the attached tracer (if any), and — when Config.Audit is set
+// — retained for AuditLog/WriteAuditJSONL.
 func (e *Engine) audit(entry AuditEntry) {
-	if !e.cfg.Audit {
+	if e.tracer == nil && !e.cfg.Audit {
 		return
 	}
 	entry.Sec = e.clock
-	e.auditLog = append(e.auditLog, entry)
+	ev := entry.event()
+	e.tracer.Emit(ev)
+	if e.cfg.Audit {
+		e.auditLog = append(e.auditLog, ev)
+	}
 }
 
+// trace emits an engine-internal trace event (step spans, run spans, QoS
+// violations) that does not belong to the audit log. Nil-safe and
+// allocation-free while no tracer is attached.
+func (e *Engine) trace(ev obs.Event) {
+	if e.tracer == nil {
+		return
+	}
+	ev.Sec = e.clock
+	e.tracer.Emit(ev)
+}
+
+// SetTracer attaches (or, with nil, detaches) an event tracer. Attach
+// before Run: the tracer receives every control action plus step and run
+// spans, independent of Config.Audit.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// SetGauges attaches (or, with nil, detaches) the live metric gauge set the
+// engine updates at the end of every interval.
+func (e *Engine) SetGauges(g *obs.RunGauges) { e.gauges = g }
+
 // AuditLog returns the recorded actions (empty unless Config.Audit).
-func (e *Engine) AuditLog() []AuditEntry { return e.auditLog }
+func (e *Engine) AuditLog() []AuditEntry {
+	out := make([]AuditEntry, 0, len(e.auditLog))
+	for _, ev := range e.auditLog {
+		out = append(out, auditFromEvent(ev))
+	}
+	return out
+}
 
 // WriteAuditJSONL streams the audit log as JSON lines.
 func (e *Engine) WriteAuditJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	for _, entry := range e.auditLog {
-		if err := enc.Encode(entry); err != nil {
+	for _, ev := range e.auditLog {
+		if err := enc.Encode(auditFromEvent(ev)); err != nil {
 			return err
 		}
 	}

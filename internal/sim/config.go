@@ -16,6 +16,7 @@ import (
 
 	"dynamicdf/internal/cloud"
 	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/obs"
 	"dynamicdf/internal/rates"
 	"dynamicdf/internal/trace"
 )
@@ -56,6 +57,18 @@ type Config struct {
 	ControlFaults *ControlFaults
 	// Audit records every scheduler action (AuditLog / WriteAuditJSONL).
 	Audit bool
+	// Tracer, when non-nil, receives a structured obs event for every
+	// control action plus run/step spans and QoS violations. Equivalent to
+	// calling Engine.SetTracer before Run.
+	Tracer *obs.Tracer
+	// Gauges, when non-nil, is updated with live run state (omega, cores,
+	// fleet, backlog, cost) at the end of every interval. Equivalent to
+	// calling Engine.SetGauges before Run.
+	Gauges *obs.RunGauges
+	// OmegaFloor, when positive, is the QoS constraint Ω̃: intervals whose
+	// relative throughput falls below it emit an omega-violation trace
+	// event. Purely observational — it never alters the simulation.
+	OmegaFloor float64
 }
 
 // normalize fills defaults and validates.
@@ -103,6 +116,9 @@ func (c *Config) normalize() error {
 		if pe < 0 || pe >= c.Graph.N() || len(c.Graph.Predecessors(pe)) != 0 {
 			return fmt.Errorf("sim: profile attached to non-input PE %d", pe)
 		}
+	}
+	if c.OmegaFloor < 0 || c.OmegaFloor > 1 {
+		return fmt.Errorf("sim: omega floor %v outside [0,1]", c.OmegaFloor)
 	}
 	return c.ControlFaults.normalize()
 }

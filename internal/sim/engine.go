@@ -10,6 +10,7 @@ import (
 	"dynamicdf/internal/dataflow"
 	"dynamicdf/internal/metrics"
 	"dynamicdf/internal/monitor"
+	"dynamicdf/internal/obs"
 )
 
 // ErrCanceled is returned (wrapped) by RunContext when the context is
@@ -47,7 +48,9 @@ type Engine struct {
 	preemptions   int
 	lostMessages  float64
 	lastLatency   float64
-	auditLog      []AuditEntry
+	auditLog      []obs.Event
+	tracer        *obs.Tracer
+	gauges        *obs.RunGauges
 	collector     *metrics.Collector
 	stepped       bool
 
@@ -84,6 +87,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.rateEst, _ = monitor.NewRateEstimator(cfg.MonitorAlpha)
 	e.vmMon, _ = monitor.NewVMMonitor(cfg.MonitorAlpha)
 	e.netMon, _ = monitor.NewNetMonitor(cfg.MonitorAlpha)
+	e.tracer = cfg.Tracer
+	e.gauges = cfg.Gauges
 	return e, nil
 }
 
@@ -115,6 +120,17 @@ func (e *Engine) RunContext(ctx context.Context, s Scheduler) (metrics.Summary, 
 	}
 	view := &View{e: e}
 	act := &Actions{e: e}
+	e.trace(obs.Event{Type: obs.EventRun, Phase: obs.PhaseStart, Detail: s.Name(),
+		N: int(e.cfg.HorizonSec)})
+	if e.tracer != nil {
+		// Snapshot the initial alternate selection so occupancy analysis
+		// knows what each PE ran before the first explicit switch.
+		for pe := 0; pe < e.cfg.Graph.N(); pe++ {
+			alt := e.sel.Alt(e.cfg.Graph, pe)
+			e.trace(obs.Event{Type: obs.EventSelectAlternate, Phase: obs.PhaseInit,
+				PE: pe, N: e.sel[pe], Detail: alt.Name})
+		}
+	}
 	if err := s.Deploy(view, act); err != nil {
 		return metrics.Summary{}, fmt.Errorf("sim: deploy (%s): %w", s.Name(), err)
 	}
@@ -132,7 +148,10 @@ func (e *Engine) RunContext(ctx context.Context, s Scheduler) (metrics.Summary, 
 			return metrics.Summary{}, err
 		}
 	}
-	return e.collector.Summarize(), nil
+	sum := e.collector.Summarize()
+	e.trace(obs.Event{Type: obs.EventRun, Phase: obs.PhaseEnd, Detail: s.Name(),
+		Value: sum.MeanOmega})
+	return sum, nil
 }
 
 // vmTraceID derives the stable trace id for a VM.
@@ -221,6 +240,7 @@ func (e *Engine) step() error {
 	g := e.cfg.Graph
 	dt := float64(e.cfg.IntervalSec)
 	sec := e.clock
+	e.trace(obs.Event{Type: obs.EventStep, Phase: obs.PhaseStart})
 
 	// Complete provisioning for pending VMs whose boot time arrived, so
 	// this interval runs on the newly booted capacity.
@@ -446,13 +466,29 @@ func (e *Engine) step() error {
 	if err != nil {
 		return err
 	}
+	costUSD := e.fleet.TotalCost(e.clock)
+	pendingVMs := e.fleet.PendingCount()
+	if e.cfg.OmegaFloor > 0 && omega < e.cfg.OmegaFloor {
+		e.trace(obs.Event{Type: obs.EventOmegaViolation, Value: omega,
+			Detail: fmt.Sprintf("floor=%g", e.cfg.OmegaFloor)})
+	}
+	e.trace(obs.Event{Type: obs.EventStep, Phase: obs.PhaseEnd, Value: omega,
+		N: usedCores})
+	if e.gauges != nil {
+		e.gauges.Omega.Set(omega)
+		e.gauges.UsedCores.Set(float64(usedCores))
+		e.gauges.PendingVMs.Set(float64(pendingVMs))
+		e.gauges.ActiveVMs.Set(float64(len(active)))
+		e.gauges.Backlog.Set(totalBacklog)
+		e.gauges.CostUSD.Set(costUSD)
+	}
 	return e.collector.Add(metrics.Point{
 		Sec:        e.clock,
 		Omega:      omega,
 		Gamma:      gamma,
-		CostUSD:    e.fleet.TotalCost(e.clock),
+		CostUSD:    costUSD,
 		ActiveVMs:  len(active),
-		PendingVMs: e.fleet.PendingCount(),
+		PendingVMs: pendingVMs,
 		UsedCores:  usedCores,
 		InputRate:  totalIn,
 		OutputRate: totalOut,

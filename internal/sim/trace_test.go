@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynamicdf/internal/obs"
+)
+
+// traceChaos runs the chaos scenario with a tracer attached and returns the
+// raw NDJSON stream.
+func traceChaos(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := chaosConfig(t)
+	cfg.Tracer = obs.NewTracer(&buf)
+	cfg.OmegaFloor = 0.99 // the chaos scenario degrades; force violations
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(&fixed{deploy: chaosRepair, adapt: chaosRepair}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceByteIdenticalAcrossRuns is the tracing analogue of the audit-log
+// determinism test: under a fixed seed the full event stream — spans,
+// scheduler actions, fault consequences, QoS violations — must render to
+// identical bytes every run.
+func TestTraceByteIdenticalAcrossRuns(t *testing.T) {
+	a, b := traceChaos(t), traceChaos(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical configs produced different event streams")
+	}
+	events, err := obs.ReadEvents(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("stream does not parse: %v", err)
+	}
+	byType := map[string]int{}
+	for _, ev := range events {
+		byType[ev.Type+":"+ev.Phase]++
+	}
+	// With provisioning delays every acquisition goes pending first, so the
+	// stream carries pending-vm/vm-ready pairs rather than acquire-vm.
+	for _, want := range []string{
+		"run:start", "run:end", "step:start", "step:end",
+		"select-alternate:init", "pending-vm:", "vm-ready:",
+		"acquire-failed:", "crash:", "omega-violation:",
+	} {
+		if byType[want] == 0 {
+			t.Fatalf("stream lacks %q events; counts: %v", want, byType)
+		}
+	}
+	intervals := chaosConfig(t).HorizonSec / 60 // default IntervalSec
+	if got := byType["step:start"]; int64(got) != intervals {
+		t.Fatalf("%d step spans for %d intervals", got, intervals)
+	}
+}
+
+// TestTracerAndAuditAgree: the audit log must be the scheduler-action
+// subset of the trace, so the two views of one run stay correlatable.
+func TestTracerAndAuditAgree(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := chaosConfig(t)
+	cfg.Tracer = obs.NewTracer(&buf)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(&fixed{deploy: chaosRepair, adapt: chaosRepair}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced []string
+	for _, ev := range events {
+		switch ev.Type {
+		case obs.EventRun, obs.EventStep, obs.EventOmegaViolation:
+			continue
+		}
+		if ev.Phase == obs.PhaseInit {
+			continue
+		}
+		traced = append(traced, ev.String())
+	}
+	audit := e.AuditLog()
+	if len(audit) == 0 {
+		t.Fatal("audit log empty")
+	}
+	if len(traced) != len(audit) {
+		t.Fatalf("%d traced actions vs %d audit entries", len(traced), len(audit))
+	}
+	for i, entry := range audit {
+		if got := entry.event().String(); traced[i] != got {
+			t.Fatalf("action %d: trace %q vs audit %q", i, traced[i], got)
+		}
+	}
+}
+
+// TestAuditJSONLUnchangedByMigration pins the legacy audit wire format: the
+// obs.Event-backed storage must encode exactly the bytes the original
+// AuditEntry encoder produced.
+func TestAuditJSONLUnchangedByMigration(t *testing.T) {
+	cfg := baseConfig(chainGraph(1), 4, 3600)
+	cfg.Audit = true
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(&fixed{deploy: deployEven}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteAuditJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	if !strings.Contains(first, `"action":"acquire-vm"`) {
+		t.Fatalf("audit JSONL missing acquire-vm action:\n%s", first)
+	}
+	if strings.Contains(first, `"type"`) || strings.Contains(first, `"v"`) {
+		t.Fatalf("audit JSONL leaks obs.Event fields:\n%s", first)
+	}
+}
+
+// TestDisabledTracerZeroAlloc guards the hot path: with no tracer attached,
+// the engine's trace hook must not allocate.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	e, err := NewEngine(baseConfig(chainGraph(1), 4, 3600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.trace(obs.Event{Type: obs.EventStep, Phase: obs.PhaseStart, Value: 0.5})
+		e.audit(AuditEntry{Action: "assign-cores", PE: 1, VM: 2, N: 3})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer hooks allocate %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkEngineStep measures engine stepping with tracing disabled and
+// enabled. The hook/disabled case must report 0 allocs/op — the guarantee
+// ci.sh enforces.
+func BenchmarkEngineStep(b *testing.B) {
+	b.Run("hook/disabled", func(b *testing.B) {
+		e, err := NewEngine(baseConfig(chainGraph(1), 4, 3600))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.trace(obs.Event{Type: obs.EventStep, Phase: obs.PhaseStart, Value: 0.5})
+		}
+	})
+	for _, traced := range []bool{false, true} {
+		name := "run/tracer=off"
+		if traced {
+			name = "run/tracer=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := baseConfig(chainGraph(1), 4, 3600)
+				var sink bytes.Buffer
+				if traced {
+					cfg.Tracer = obs.NewTracer(&sink)
+				}
+				e, err := NewEngine(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := e.Run(&fixed{deploy: deployEven}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"dynamicdf/internal/obs"
 	"dynamicdf/internal/sim"
 )
 
@@ -45,6 +46,7 @@ type Result struct {
 type Progress struct {
 	Total     int    `json:"total"`
 	Done      int    `json:"done"` // cache hits + executed
+	Running   int    `json:"running"`
 	CacheHits int    `json:"cacheHits"`
 	Executed  int    `json:"executed"`
 	Errors    int    `json:"errors"`
@@ -85,6 +87,16 @@ type Engine struct {
 	// jobs finish and are journaled, queued jobs are abandoned, and Run
 	// returns ErrDrained.
 	Drain <-chan struct{}
+	// Tracer, when non-nil, receives a sweep-job span per executed job plus
+	// every traced event the per-job sim engines emit. Concurrent workers
+	// interleave their events arbitrarily.
+	Tracer *obs.Tracer
+	// Pool, when non-nil, is updated as jobs move through the worker pool.
+	Pool *obs.PoolMetrics
+	// Gauges, when non-nil, is attached to every per-job sim engine so the
+	// exposition handler shows live run state (last writer wins across
+	// concurrent workers); Theta is set as each job completes.
+	Gauges *obs.RunGauges
 }
 
 // Run expands the spec and executes every job not already journaled.
@@ -111,10 +123,16 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 				r.Cached = true
 				results[i] = &r
 				report.CacheHits++
+				if e.Pool != nil {
+					e.Pool.CacheHits.Inc()
+				}
 				continue
 			}
 		}
 		pending = append(pending, i)
+	}
+	if e.Pool != nil {
+		e.Pool.JobsQueued.Set(float64(len(pending)))
 	}
 
 	workers := e.Workers
@@ -129,6 +147,7 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 		mu         sync.Mutex
 		journalErr error
 	)
+	running := 0
 	emit := func(last string) {
 		if e.OnProgress == nil {
 			return
@@ -136,6 +155,7 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 		e.OnProgress(Progress{
 			Total:     report.Total,
 			Done:      report.CacheHits + report.Executed,
+			Running:   running,
 			CacheHits: report.CacheHits,
 			Executed:  report.Executed,
 			Errors:    report.Errors,
@@ -166,7 +186,28 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				r, canceled := runJob(ctx, jobs[i])
+				mu.Lock()
+				running++
+				mu.Unlock()
+				if e.Pool != nil {
+					e.Pool.JobsQueued.Add(-1)
+					e.Pool.JobsRunning.Add(1)
+				}
+				e.Tracer.Emit(obs.Event{Type: obs.EventSweepJob,
+					Phase: obs.PhaseStart, N: i, Detail: jobs[i].ID})
+				r, canceled := e.runJob(ctx, i, jobs[i])
+				if e.Pool != nil {
+					e.Pool.JobsRunning.Add(-1)
+					if !canceled {
+						e.Pool.JobsDone.Inc()
+						if r.Error != "" {
+							e.Pool.JobsErrors.Inc()
+						}
+					}
+				}
+				mu.Lock()
+				running--
+				mu.Unlock()
 				if canceled {
 					continue
 				}
@@ -215,19 +256,32 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 
 // runJob builds and runs one job in isolation: a fresh engine and
 // scheduler per job, panics converted to deterministic job errors, and
-// cancellation distinguished from failure.
-func runJob(ctx context.Context, job Job) (res Result, canceled bool) {
+// cancellation distinguished from failure. The sweep engine's tracer and
+// gauges are attached to the job's sim engine; the closing sweep-job span
+// carries the job's outcome (Value = Theta, or the error in Detail).
+func (e *Engine) runJob(ctx context.Context, idx int, job Job) (res Result, canceled bool) {
 	res = Result{JobID: job.ID, Key: job.Key, Group: job.Group, Seed: job.Seed}
 	defer func() {
 		if p := recover(); p != nil {
 			res.Error = fmt.Sprintf("panic: %v", p)
 		}
+		ev := obs.Event{Type: obs.EventSweepJob, Phase: obs.PhaseEnd,
+			N: idx, Detail: job.ID, Value: res.Theta}
+		switch {
+		case canceled:
+			ev.Detail = job.ID + " canceled"
+		case res.Error != "":
+			ev.Detail = job.ID + " error: " + res.Error
+		}
+		e.Tracer.Emit(ev)
 	}()
 	built, err := job.Scenario.Build()
 	if err != nil {
 		res.Error = err.Error()
 		return res, false
 	}
+	built.Engine.SetTracer(e.Tracer)
+	built.Engine.SetGauges(e.Gauges)
 	sum, err := built.Engine.RunContext(ctx, built.Scheduler)
 	if err != nil {
 		if errors.Is(err, sim.ErrCanceled) {
@@ -246,5 +300,8 @@ func runJob(ctx context.Context, job Job) (res Result, canceled bool) {
 	res.MeanVMs = sum.MeanVMs
 	res.LatencySec = sum.MeanLatencySec
 	res.MeetsOmega = built.Objective.MeetsConstraint(sum.MeanOmega)
+	if e.Gauges != nil {
+		e.Gauges.Theta.Set(res.Theta)
+	}
 	return res, false
 }

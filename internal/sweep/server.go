@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dynamicdf/internal/obs"
 )
 
 // ServerConfig tunes the sweep results service.
@@ -22,6 +24,9 @@ type ServerConfig struct {
 	JournalDir string
 	// MaxBodyBytes caps submitted spec documents (default 4 MiB).
 	MaxBodyBytes int64
+	// Metrics, when set, instruments every campaign's worker pool and the
+	// per-job sim runs; serve it via obs.Registry.Handler at /metrics.
+	Metrics *obs.Registry
 }
 
 // Server runs sweep campaigns behind an HTTP API:
@@ -39,6 +44,10 @@ type ServerConfig struct {
 // directory configured, resumes from cached results.
 type Server struct {
 	cfg ServerConfig
+
+	// pool and gauges are shared by every campaign (registered once).
+	pool   *obs.PoolMetrics
+	gauges *obs.RunGauges
 
 	mu       sync.Mutex
 	sweeps   map[string]*sweepRun
@@ -69,7 +78,12 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 4 << 20
 	}
-	return &Server{cfg: cfg, sweeps: map[string]*sweepRun{}}
+	s := &Server{cfg: cfg, sweeps: map[string]*sweepRun{}}
+	if cfg.Metrics != nil {
+		s.pool = obs.NewPoolMetrics(cfg.Metrics)
+		s.gauges = obs.NewRunGauges(cfg.Metrics)
+	}
+	return s
 }
 
 // Handler returns the service's HTTP routes.
@@ -178,6 +192,8 @@ func (s *Server) execute(ctx context.Context, run *sweepRun) {
 		Journal:    journal,
 		Drain:      run.drain,
 		OnProgress: run.update,
+		Pool:       s.pool,
+		Gauges:     s.gauges,
 	}
 	report, err := eng.Run(ctx, run.spec)
 	switch {
