@@ -3,7 +3,8 @@
 # plus a shuffled re-run, a dfserve end-to-end smoke (start the service,
 # submit a 2-job sweep over HTTP, assert the aggregated output incl.
 # /metrics, shut down), a dftrace smoke over the golden fixture, and the
-# zero-alloc guarantee for the disabled-tracer hot path.
+# invariant-conservation fuzz pass, and the zero-alloc guarantees for the
+# disabled-tracer and disabled-checker hot paths.
 # Run from the repo root.
 set -eu
 
@@ -25,10 +26,22 @@ go run ./cmd/dfserve -selftest
 go run ./cmd/dftrace cmd/dftrace/testdata/golden.ndjson > /dev/null
 go run ./cmd/dftrace diff cmd/dftrace/testdata/golden.ndjson cmd/dftrace/testdata/golden.ndjson > /dev/null
 
+# Conservation fuzzing: arbitrary scenario JSON through parse/build/run
+# with the strict invariant checker; any violated law is a crasher.
+go test ./internal/invariant -run '^$' -fuzz 'FuzzCheckerConservation' -fuzztime 10s
+
 # The trace hook must cost 0 allocs/op while tracing is disabled.
 bench=$(go test ./internal/sim -run '^$' -bench 'BenchmarkEngineStep/hook/disabled' -benchtime 100x -benchmem)
 echo "$bench"
 echo "$bench" | grep -q ' 0 allocs/op' || {
     echo "disabled tracer hook allocates on the engine hot path" >&2
+    exit 1
+}
+
+# Same guarantee for the invariant-checker hook while no checker is attached.
+bench=$(go test ./internal/sim -run '^$' -bench 'BenchmarkEngineStepChecker/hook/disabled' -benchtime 100x -benchmem)
+echo "$bench"
+echo "$bench" | grep -q ' 0 allocs/op' || {
+    echo "disabled invariant-checker hook allocates on the engine hot path" >&2
     exit 1
 }

@@ -143,7 +143,8 @@ const selftestSpec = `{
     },
     "rate": {"kind": "constant", "mean": 5},
     "horizonHours": 0.1,
-    "seed": 1
+    "seed": 1,
+    "check": {"enabled": true, "strict": true}
   },
   "axes": [{"name": "policy", "values": [{"label": "global", "patch": {"policy": {"kind": "global"}}}]}],
   "seeds": [1, 2]
@@ -226,8 +227,16 @@ func runSelftest(workers int) error {
 	if !strings.HasPrefix(lines[0], "group,seeds") {
 		return fmt.Errorf("bad header %q", lines[0])
 	}
+	if !strings.HasSuffix(lines[0], ",violations") {
+		return fmt.Errorf("header %q lacks the violations column", lines[0])
+	}
 	if !strings.HasPrefix(lines[1], "policy=global,2,0,0,") {
 		return fmt.Errorf("bad aggregated row %q", lines[1])
+	}
+	// The selftest campaign runs strict-checked; any invariant violation
+	// would have failed the jobs, and the summed column must stay 0.
+	if !strings.HasSuffix(lines[1], ",0") {
+		return fmt.Errorf("aggregated row %q reports invariant violations", lines[1])
 	}
 
 	resp, err = http.Get(base + "/metrics")

@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	dfsim -config scenario.json [-csv metrics.csv] [-audit actions.jsonl] [-trace events.ndjson]
+//	dfsim -config scenario.json [-csv metrics.csv] [-audit actions.jsonl] [-trace events.ndjson] [-check]
 //	dfsim -example > scenario.json
 //
 // -trace streams the run's structured event log (schema obs/v1) as NDJSON:
 // run/step spans, every scheduler action, VM lifecycle transitions, and QoS
 // violations, all stamped with simulation time. Inspect the stream with
 // dftrace; for a fixed scenario and seed the bytes are deterministic.
+//
+// -check runs the scenario with the invariant checker in strict mode
+// (overriding the scenario's own check block): the run aborts at the first
+// violated conservation law, naming the law and sim-second.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"log"
 	"os"
 
+	"dynamicdf/internal/invariant"
 	"dynamicdf/internal/obs"
 	"dynamicdf/internal/resilient"
 	"dynamicdf/internal/scenario"
@@ -62,6 +67,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write the structured event stream (NDJSON, schema obs/v1) here")
 	resilientFlag := flag.Bool("resilient", false, "wrap the policy in the resilient control-plane middleware")
 	degradeOmega := flag.Float64("degrade-omega", 0, "arm the middleware's degradation hook below this Omega (with -resilient)")
+	check := flag.Bool("check", false, "verify the run against the invariant catalog (strict: abort on the first violated law)")
 	example := flag.Bool("example", false, "print an example scenario and exit")
 	flag.Parse()
 
@@ -86,6 +92,9 @@ func main() {
 	if *degradeOmega > 0 {
 		sc.Policy.DegradeOmega = *degradeOmega
 	}
+	if *check {
+		sc.Check = &scenario.CheckSpec{Enabled: true, Strict: true}
+	}
 
 	built, err := sc.Build()
 	if err != nil {
@@ -103,6 +112,11 @@ func main() {
 	}
 	sum, err := built.Engine.Run(built.Scheduler)
 	if err != nil {
+		if v, ok := invariant.As(err); ok {
+			log.Fatalf("%v\n  snapshot: omega=%.4f gamma=%.4f cost=$%.2f backlog=%.0f vms=%d",
+				v, v.Snapshot.Omega, v.Snapshot.Gamma, v.Snapshot.CostUSD,
+				v.Snapshot.Backlog, v.Snapshot.VMs)
+		}
 		log.Fatal(err)
 	}
 	if tracer != nil {
@@ -134,6 +148,10 @@ func main() {
 	if built.Engine.AcquireFailures() > 0 || built.Engine.StaleProbes() > 0 {
 		fmt.Printf("control plane: %d failed acquisitions, %d stale probes\n",
 			built.Engine.AcquireFailures(), built.Engine.StaleProbes())
+	}
+	if built.Checker != nil {
+		fmt.Printf("invariants: %d laws over %d intervals, %d violations\n",
+			len(invariant.DefaultLaws()), sum.Intervals, built.Checker.Count())
 	}
 	if rs, ok := built.Scheduler.(*resilient.Scheduler); ok {
 		fmt.Printf("resilience: %d retries, %d fallbacks, %d breaker trips, %d degrade rounds\n",

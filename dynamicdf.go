@@ -47,6 +47,7 @@ import (
 	"dynamicdf/internal/dataflow"
 	"dynamicdf/internal/experiments"
 	"dynamicdf/internal/floe"
+	"dynamicdf/internal/invariant"
 	"dynamicdf/internal/metrics"
 	"dynamicdf/internal/obs"
 	"dynamicdf/internal/rates"
@@ -224,6 +225,35 @@ var ErrCanceled = sim.ErrCanceled
 // NewView builds a read-only monitoring view over an engine, for inspecting
 // state outside a scheduler callback.
 func NewView(e *Engine) *View { return sim.NewView(e) }
+
+// Runtime invariant checking (the simulation correctness harness).
+type (
+	// InvariantChecker asserts conservation-style laws over engine state at
+	// the end of every simulated interval (attach via Config.Checker).
+	InvariantChecker = invariant.Checker
+	// InvariantViolation is the typed error a strict checker aborts a run
+	// with: the broken law, the sim-second, and a state snapshot.
+	InvariantViolation = invariant.Violation
+	// InvariantLaw is one named invariant over an engine-state snapshot.
+	InvariantLaw = invariant.Law
+	// InvariantState is the plain-data engine snapshot laws assert over.
+	InvariantState = invariant.State
+)
+
+// NewInvariantChecker returns a lenient checker with the default law set:
+// violations are recorded and counted but the run continues.
+func NewInvariantChecker() *InvariantChecker { return invariant.New() }
+
+// NewStrictInvariantChecker returns a checker that aborts the run at the
+// first violation with a typed *InvariantViolation.
+func NewStrictInvariantChecker() *InvariantChecker { return invariant.NewStrict() }
+
+// AsInvariantViolation extracts the typed violation from a run error.
+func AsInvariantViolation(err error) (*InvariantViolation, bool) { return invariant.As(err) }
+
+// DefaultInvariantLaws returns a copy of the default law catalog (see
+// DESIGN.md, "Invariant catalog").
+func DefaultInvariantLaws() []InvariantLaw { return invariant.DefaultLaws() }
 
 // Failure injection (§9 fault-tolerance extension).
 type (

@@ -18,7 +18,10 @@ import (
 // single-process reference.
 
 // evalBase builds the sweep base scenario: the §8 evaluation dataflow at
-// the given mean rate on an ideal cloud with the config's horizon.
+// the given mean rate on an ideal cloud with the config's horizon. Every
+// grid job runs with the invariant checker in strict mode, so a
+// conservation bug in the engine fails the campaign instead of skewing a
+// figure.
 func (c Config) evalBase(rate float64) ([]byte, error) {
 	gs, choices := scenario.FromGraph(dataflow.EvalGraph())
 	base := scenario.Scenario{
@@ -30,6 +33,7 @@ func (c Config) evalBase(rate float64) ([]byte, error) {
 		HorizonHours: float64(c.HorizonSec) / 3600,
 		IntervalSec:  c.IntervalSec,
 		Seed:         c.Seed,
+		Check:        &scenario.CheckSpec{Enabled: true, Strict: true},
 	}
 	b, err := json.Marshal(&base)
 	if err != nil {

@@ -1,0 +1,68 @@
+package invariant_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynamicdf/internal/invariant"
+	"dynamicdf/internal/scenario"
+)
+
+// FuzzCheckerConservation feeds arbitrary scenario JSON through the full
+// parse -> build -> run pipeline with the strict invariant checker forced
+// on. Malformed or unbuildable inputs are skipped — the only failure mode
+// is a run that trips a conservation law. The seed corpus in testdata/
+// covers the ideal cloud, a faulty control plane with crashes, and the
+// spot market with routing choices.
+func FuzzCheckerConservation(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil || len(seeds) == 0 {
+		f.Fatalf("no seed corpus under testdata: %v", err)
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := scenario.ParseBytes(data)
+		if err != nil {
+			t.Skip()
+		}
+		if sc.Infra.Kind == "csvdir" || sc.Infra.Dir != "" {
+			t.Skip() // no filesystem access from the fuzz body
+		}
+		if len(sc.Graph.PEs) > 64 {
+			t.Skip()
+		}
+		// Clamp to keep each execution short: correctness, not scale, is
+		// under test here.
+		if sc.HorizonHours <= 0 || sc.HorizonHours > 0.2 {
+			sc.HorizonHours = 0.1
+		}
+		if sc.IntervalSec < 0 {
+			sc.IntervalSec = 0 // builder default
+		}
+		if sc.Rate.Mean < 0.1 || sc.Rate.Mean > 50 {
+			sc.Rate.Mean = 5
+		}
+		if sc.MaxVMs > 64 {
+			sc.MaxVMs = 64
+		}
+		sc.Check = &scenario.CheckSpec{Enabled: true, Strict: true}
+		built, err := sc.Build()
+		if err != nil {
+			t.Skip() // rejected by the builder; nothing to check
+		}
+		if _, err := built.Engine.Run(built.Scheduler); err != nil {
+			if v, ok := invariant.As(err); ok {
+				t.Fatalf("law %q violated at t=%ds: %s\ninput: %s", v.Law, v.Sec, v.Msg, data)
+			}
+			// Other runtime errors (exhausted capacity, scheduler failures
+			// on hostile inputs) are not conservation bugs.
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// cleanState returns a state that satisfies every default law: one PE in
+// flow balance, one fully-accounted VM, consistent counters.
+func cleanState() *State {
+	return &State{
+		Sec:         120,
+		IntervalSec: 60,
+		In:          []float64{5},
+		Processed:   []float64{4},
+		QueueBefore: []float64{10},
+		QueueAfter:  []float64{70}, // 10 + (5-4)*60
+		Backlog:     70,
+		Omega:       0.8,
+		Gamma:       0.9,
+		GammaMin:    0.5,
+		GammaMax:    1,
+		CostUSD:     0.34,
+		PrevCostUSD: 0.34,
+		VMs: []VMState{
+			{ID: 0, RatedCores: 4, UsedCores: 2, BilledUSD: 0.34},
+			{ID: 1, RatedCores: 2, UsedCores: 0, Pending: true},
+		},
+		Placements: []Placement{{PE: 0, VM: 0, Cores: 2}},
+	}
+}
+
+func TestCleanStatePassesAllLaws(t *testing.T) {
+	c := NewStrict()
+	if v := c.Check(cleanState()); v != nil {
+		t.Fatalf("clean state violates %q: %s", v.Law, v.Msg)
+	}
+	if c.Count() != 0 {
+		t.Fatalf("clean state recorded %d violations", c.Count())
+	}
+}
+
+// TestEachLawTrips corrupts the clean state one law at a time and asserts
+// the checker names exactly that law, with the sim-second attached.
+func TestEachLawTrips(t *testing.T) {
+	cases := []struct {
+		law     string
+		corrupt func(st *State)
+	}{
+		{LawConservation, func(st *State) { st.Processed[0] = 1 }},
+		{LawQueues, func(st *State) { st.MinQueue = -0.5 }},
+		{LawQueues, func(st *State) { st.QueueAfter[0] = -3; st.Processed[0] = 4 + 73.0/60 }},
+		{LawBilling, func(st *State) { st.PrevCostUSD = 1.0 }},
+		{LawBilling, func(st *State) { st.VMs[1].BilledUSD = 0.1 }},
+		{LawFleet, func(st *State) { st.VMs[0].UsedCores = 9; st.Placements[0].Cores = 9 }},
+		{LawFleet, func(st *State) { st.Placements[0].VM = 7 }},
+		{LawFleet, func(st *State) { st.VMs[0].Stopped = true }},
+		{LawBounds, func(st *State) { st.Omega = 1.2 }},
+		{LawBounds, func(st *State) { st.Gamma = 0.2 }},
+		{LawAudit, func(st *State) { st.Crashes = 2 }},
+		{LawAudit, func(st *State) { st.Preemptions = 1; st.Crashes = 1; st.PreemptEvents = 0 }},
+	}
+	for i, tc := range cases {
+		t.Run(fmt.Sprintf("%02d-%s", i, tc.law), func(t *testing.T) {
+			st := cleanState()
+			tc.corrupt(st)
+			c := New()
+			v := c.Check(st)
+			if v == nil {
+				t.Fatalf("corrupted state passed all laws")
+			}
+			if v.Law != tc.law {
+				t.Fatalf("violated %q (%s), want %q", v.Law, v.Msg, tc.law)
+			}
+			if v.Sec != st.Sec {
+				t.Fatalf("violation at t=%d, want %d", v.Sec, st.Sec)
+			}
+			if !strings.Contains(v.Error(), tc.law) || !strings.Contains(v.Error(), "t=120s") {
+				t.Fatalf("Error() = %q lacks law name or sim-second", v.Error())
+			}
+		})
+	}
+}
+
+func TestViolationAsAndErrorsAs(t *testing.T) {
+	st := cleanState()
+	st.Omega = -1
+	v := NewStrict().Check(st)
+	if v == nil {
+		t.Fatal("no violation")
+	}
+	wrapped := fmt.Errorf("run failed: %w", error(v))
+	got, ok := As(wrapped)
+	if !ok || got.Law != LawBounds {
+		t.Fatalf("As(wrapped) = %v, %v", got, ok)
+	}
+	var target *Violation
+	if !errors.As(wrapped, &target) || target.Sec != st.Sec {
+		t.Fatalf("errors.As failed: %v", target)
+	}
+	if _, ok := As(errors.New("plain")); ok {
+		t.Fatal("As matched a non-violation error")
+	}
+}
+
+func TestLenientCheckerAccumulates(t *testing.T) {
+	c := New()
+	st := cleanState()
+	st.Omega = 2     // bounds
+	st.MinQueue = -1 // queues
+	if v := c.Check(st); v == nil {
+		t.Fatal("no violation returned")
+	}
+	// Both broken laws are recorded for the step, in law-catalog order.
+	if c.Count() != 2 {
+		t.Fatalf("recorded %d violations, want 2", c.Count())
+	}
+	vs := c.Violations()
+	if vs[0].Law != LawQueues || vs[1].Law != LawBounds {
+		t.Fatalf("laws = %q, %q", vs[0].Law, vs[1].Law)
+	}
+	if snap := vs[1].Snapshot; snap.Omega != 2 || snap.VMs != 2 || snap.UsedCores != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Fatalf("Reset left %d violations", c.Count())
+	}
+}
+
+func TestEpsilonTolerance(t *testing.T) {
+	st := cleanState()
+	st.QueueAfter[0] += 1e-9 // within DefaultEpsilon of balance
+	if v := New().Check(st); v != nil {
+		t.Fatalf("sub-epsilon residual tripped %q: %s", v.Law, v.Msg)
+	}
+	tight := &Checker{Epsilon: 1e-12}
+	if v := tight.Check(st); v == nil || v.Law != LawConservation {
+		t.Fatalf("tight epsilon did not trip conservation: %v", v)
+	}
+}
+
+func TestCustomLawSet(t *testing.T) {
+	called := false
+	c := &Checker{Laws: []Law{{Name: "always-fails", Check: func(st *State, eps float64) string {
+		called = true
+		return "no"
+	}}}}
+	v := c.Check(cleanState())
+	if !called || v == nil || v.Law != "always-fails" {
+		t.Fatalf("custom law not used: %v", v)
+	}
+}
+
+func TestDefaultLawsIsACopy(t *testing.T) {
+	laws := DefaultLaws()
+	laws[0] = Law{Name: "clobbered", Check: func(*State, float64) string { return "" }}
+	if defaultLaws[0].Name != LawConservation {
+		t.Fatal("DefaultLaws exposed the shared slice")
+	}
+}

@@ -94,11 +94,12 @@ type Summary struct {
 func (c *Collector) Summarize() Summary {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := Summary{Intervals: len(c.points), MinOmega: math.Inf(1)}
 	if len(c.points) == 0 {
-		s.MinOmega = 0
-		return s
+		// A zero-interval run summarizes to the zero value: no division by
+		// the point count below, and no infinity leaking out of MinOmega.
+		return Summary{}
 	}
+	s := Summary{Intervals: len(c.points), MinOmega: math.Inf(1)}
 	for _, p := range c.points {
 		s.MeanOmega += p.Omega
 		s.MeanGamma += p.Gamma

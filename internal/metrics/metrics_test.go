@@ -63,9 +63,15 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestSummarizeEmpty(t *testing.T) {
+	// A zero-interval run must summarize to the exact zero value: every
+	// mean well-defined (no 0/0 NaNs), MinOmega 0 rather than +Inf, so the
+	// invariant checker and aggregation can assert on empty runs.
 	s := NewCollector().Summarize()
-	if s.Intervals != 0 || s.MeanOmega != 0 || s.MinOmega != 0 {
-		t.Fatalf("empty summary = %+v", s)
+	if s != (Summary{}) {
+		t.Fatalf("empty summary = %+v, want zero value", s)
+	}
+	if math.IsNaN(s.MeanOmega) || math.IsInf(s.MinOmega, 0) {
+		t.Fatalf("empty summary leaks NaN/Inf: %+v", s)
 	}
 }
 

@@ -53,8 +53,9 @@ const (
 	EventFallbackAcquire = "fallback-acquire"
 	EventDegrade         = "degrade"
 
-	// Point events: QoS.
-	EventOmegaViolation = "omega-violation"
+	// Point events: QoS and correctness.
+	EventOmegaViolation     = "omega-violation"
+	EventInvariantViolation = "invariant-violation"
 )
 
 // Event is one structured trace record. Sec is simulation time (seconds),

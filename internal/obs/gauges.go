@@ -20,6 +20,9 @@ type RunGauges struct {
 	Backlog *Gauge
 	// CostUSD is the cumulative dollar cost.
 	CostUSD *Gauge
+	// Violations is the invariant violations recorded so far (stays 0 when
+	// no checker is attached).
+	Violations *Gauge
 }
 
 // NewRunGauges registers the sim_* gauge set on a registry.
@@ -32,6 +35,7 @@ func NewRunGauges(reg *Registry) *RunGauges {
 		ActiveVMs:  reg.Gauge("sim_active_vms", "VMs running and schedulable."),
 		Backlog:    reg.Gauge("sim_backlog_messages", "Messages queued across all PEs."),
 		CostUSD:    reg.Gauge("sim_cost_usd", "Cumulative dollars billed this run."),
+		Violations: reg.Gauge("sim_invariant_violations", "Invariant violations recorded this run."),
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"dynamicdf/internal/cloud"
 	"dynamicdf/internal/core"
 	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/invariant"
 	"dynamicdf/internal/rates"
 	"dynamicdf/internal/resilient"
 	"dynamicdf/internal/sim"
@@ -39,6 +40,10 @@ type Scenario struct {
 	FailureMTBFHrs float64      `json:"failureMTBFHours"`
 	Choices        []ChoiceSpec `json:"choices"`
 	Audit          bool         `json:"audit"`
+	// Check enables the runtime invariant checker. A pointer with omitempty
+	// keeps the canonical JSON of scenarios that do not use it unchanged, so
+	// existing sweep-journal cache keys stay valid.
+	Check *CheckSpec `json:"check,omitempty"`
 }
 
 // GraphSpec mirrors the canonical dataflow JSON inline.
@@ -167,6 +172,28 @@ func (cs ControlSpec) faults(fallbackSeed int64) *sim.ControlFaults {
 	return cf
 }
 
+// CheckSpec configures the per-step invariant checker (internal/invariant):
+// conservation-style laws asserted over engine state at the end of every
+// interval.
+type CheckSpec struct {
+	// Enabled attaches the checker to the engine.
+	Enabled bool `json:"enabled"`
+	// Strict aborts the run at the first violation with a typed
+	// *invariant.Violation; lenient runs record and count violations.
+	Strict bool `json:"strict"`
+	// Epsilon overrides the conservation tolerance (<= 0 means
+	// invariant.DefaultEpsilon).
+	Epsilon float64 `json:"epsilon"`
+}
+
+// checker builds the configured checker, or nil when checking is off.
+func (cs *CheckSpec) checker() *invariant.Checker {
+	if cs == nil || !cs.Enabled {
+		return nil
+	}
+	return &invariant.Checker{Epsilon: cs.Epsilon, Strict: cs.Strict}
+}
+
 // SpotSpec adds a preemptible market.
 type SpotSpec struct {
 	PriceFraction    float64 `json:"priceFraction"`
@@ -190,6 +217,9 @@ type Built struct {
 	Scheduler sim.Scheduler
 	Objective core.Objective
 	Graph     *dataflow.Graph
+	// Checker is the invariant checker attached to Engine (nil unless the
+	// scenario's check block enabled it).
+	Checker *invariant.Checker
 }
 
 // Build validates the scenario and constructs the engine and scheduler.
@@ -273,6 +303,7 @@ func (sc *Scenario) Build() (*Built, error) {
 	if interval == 0 {
 		interval = 60
 	}
+	checker := sc.Check.checker()
 	engine, err := sim.NewEngine(sim.Config{
 		Graph:         g,
 		Menu:          cloud.MustMenu(classes),
@@ -287,11 +318,12 @@ func (sc *Scenario) Build() (*Built, error) {
 		ControlFaults: sc.Control.faults(sc.Seed),
 		Audit:         sc.Audit,
 		OmegaFloor:    obj.OmegaHat,
+		Checker:       checker,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Built{Engine: engine, Scheduler: sched, Objective: obj, Graph: g}, nil
+	return &Built{Engine: engine, Scheduler: sched, Objective: obj, Graph: g, Checker: checker}, nil
 }
 
 func (sc *Scenario) profile() (rates.Profile, error) {

@@ -56,6 +56,15 @@ func auditFromEvent(ev obs.Event) AuditEntry {
 // streamed to the attached tracer (if any), and — when Config.Audit is set
 // — retained for AuditLog/WriteAuditJSONL.
 func (e *Engine) audit(entry AuditEntry) {
+	// Tally crash/preempt events before the fast-path return: the
+	// audit-consistency invariant cross-checks these against the counters
+	// maintained where VMs die, regardless of whether a tracer is attached.
+	switch entry.Action {
+	case obs.EventCrash:
+		e.crashEvents++
+	case obs.EventPreempt:
+		e.preemptEvents++
+	}
 	if e.tracer == nil && !e.cfg.Audit {
 		return
 	}

@@ -16,6 +16,7 @@ import (
 
 	"dynamicdf/internal/cloud"
 	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/invariant"
 	"dynamicdf/internal/obs"
 	"dynamicdf/internal/rates"
 	"dynamicdf/internal/trace"
@@ -69,6 +70,12 @@ type Config struct {
 	// relative throughput falls below it emit an omega-violation trace
 	// event. Purely observational — it never alters the simulation.
 	OmegaFloor float64
+	// Checker, when non-nil, asserts conservation-style invariants over
+	// engine state at the end of every interval (behind a nil-check hook,
+	// like the tracer). A strict checker aborts the run with a typed
+	// *invariant.Violation; a lenient one records violations (readable via
+	// Engine.Checker) and emits an invariant-violation trace event.
+	Checker *invariant.Checker
 }
 
 // normalize fills defaults and validates.

@@ -8,6 +8,7 @@ import (
 
 	"dynamicdf/internal/cloud"
 	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/invariant"
 	"dynamicdf/internal/metrics"
 	"dynamicdf/internal/monitor"
 	"dynamicdf/internal/obs"
@@ -60,6 +61,19 @@ type Engine struct {
 	acquireAttempts int64
 	acquireFailures int
 	staleProbes     int
+
+	// Invariant checking: checkStep hands invState (a reused snapshot
+	// buffer) to the checker at the end of every interval. crashEvents and
+	// preemptEvents tally audited crash/preempt events on the audit path so
+	// the audit-consistency law can cross-check them against the counters
+	// incremented where VMs actually die.
+	checker       *invariant.Checker
+	invState      *invariant.State
+	prevCost      float64
+	gammaMin      float64
+	gammaMax      float64
+	crashEvents   int
+	preemptEvents int
 }
 
 // NewEngine validates the config and prepares an engine.
@@ -89,6 +103,16 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.netMon, _ = monitor.NewNetMonitor(cfg.MonitorAlpha)
 	e.tracer = cfg.Tracer
 	e.gauges = cfg.Gauges
+	if cfg.Checker != nil {
+		e.checker = cfg.Checker
+		e.invState = &invariant.State{
+			In:          make([]float64, n),
+			Processed:   make([]float64, n),
+			QueueBefore: make([]float64, n),
+			QueueAfter:  make([]float64, n),
+		}
+		e.gammaMin, e.gammaMax = alternateValueRange(cfg.Graph)
+	}
 	return e, nil
 }
 
@@ -296,6 +320,20 @@ func (e *Engine) step() error {
 		}
 	}
 
+	// Snapshot per-PE queue totals for the conservation law. This point —
+	// after crash cleanup and unassigned-queue rehoming, both of which move
+	// or destroy messages outside the interval's flow accounting — is where
+	// QueueBefore + In·dt = Processed·dt + QueueAfter holds exactly.
+	if e.invState != nil {
+		for pe := 0; pe < g.N(); pe++ {
+			tot := 0.0
+			for _, vmID := range sortedKeys(e.queue[pe]) {
+				tot += e.queue[pe][vmID]
+			}
+			e.invState.QueueBefore[pe] = tot
+		}
+	}
+
 	// arrivals[pe][vmID]: msg/s arriving at each hosting VM this interval.
 	arrivals := make([]map[int]float64, g.N())
 	for i := range arrivals {
@@ -366,6 +404,10 @@ func (e *Engine) step() error {
 		observedIn[pe] = arrivalTotal
 		out := processed * alt.Selectivity
 		observedOut[pe] = out
+		if e.invState != nil {
+			e.invState.In[pe] = arrivalTotal
+			e.invState.Processed[pe] = processed
+		}
 
 		// Deliver to successors: duplicate the full output onto each
 		// outgoing edge (and-split), splitting across destination VMs by
@@ -468,6 +510,7 @@ func (e *Engine) step() error {
 	}
 	costUSD := e.fleet.TotalCost(e.clock)
 	pendingVMs := e.fleet.PendingCount()
+	viol := e.checkStep(omega, gamma, costUSD, totalBacklog)
 	if e.cfg.OmegaFloor > 0 && omega < e.cfg.OmegaFloor {
 		e.trace(obs.Event{Type: obs.EventOmegaViolation, Value: omega,
 			Detail: fmt.Sprintf("floor=%g", e.cfg.OmegaFloor)})
@@ -482,7 +525,7 @@ func (e *Engine) step() error {
 		e.gauges.Backlog.Set(totalBacklog)
 		e.gauges.CostUSD.Set(costUSD)
 	}
-	return e.collector.Add(metrics.Point{
+	if err := e.collector.Add(metrics.Point{
 		Sec:        e.clock,
 		Omega:      omega,
 		Gamma:      gamma,
@@ -494,7 +537,12 @@ func (e *Engine) step() error {
 		OutputRate: totalOut,
 		Backlog:    totalBacklog,
 		LatencySec: meanLatency,
-	})
+	}); err != nil {
+		return err
+	}
+	// A strict checker aborts after the violating interval's point is
+	// recorded, so the partial metrics remain inspectable.
+	return viol
 }
 
 // AcquireFailures reports how many AcquireVM attempts hit a transient

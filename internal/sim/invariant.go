@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/invariant"
+	"dynamicdf/internal/obs"
+)
+
+// Checker returns the attached invariant checker (nil when checking is off),
+// for reading recorded violations after a lenient run.
+func (e *Engine) Checker() *invariant.Checker { return e.checker }
+
+// InvariantViolations reports how many invariant violations the attached
+// checker has recorded (0 when no checker is attached).
+func (e *Engine) InvariantViolations() int {
+	if e.checker == nil {
+		return 0
+	}
+	return e.checker.Count()
+}
+
+// checkStep hands the end-of-interval engine state to the attached invariant
+// checker. It is the nil-safe hook step() calls unconditionally: with no
+// checker attached it returns immediately and costs zero allocations, like
+// the disabled tracer hook. With a checker it fills the reused State buffer
+// (flow fields were populated during the step), runs every law, mirrors the
+// violation count into the gauges, traces the first violation of the step,
+// and — for a strict checker — returns the typed *invariant.Violation that
+// aborts the run.
+func (e *Engine) checkStep(omega, gamma, costUSD, backlog float64) error {
+	if e.checker == nil {
+		return nil
+	}
+	st := e.invState
+	st.Sec = e.clock
+	st.IntervalSec = e.cfg.IntervalSec
+	st.Omega = omega
+	st.Gamma = gamma
+	st.GammaMin = e.gammaMin
+	st.GammaMax = e.gammaMax
+	st.CostUSD = costUSD
+	st.PrevCostUSD = e.prevCost
+	st.Backlog = backlog
+	st.LostMessages = e.lostMessages
+	st.MigratedBytes = e.migratedBytes
+	st.Crashes = e.crashCount
+	st.Preemptions = e.preemptions
+	st.CrashEvents = e.crashEvents
+	st.PreemptEvents = e.preemptEvents
+
+	minQ := 0.0
+	for pe := range e.queue {
+		tot := 0.0
+		for _, vmID := range sortedKeys(e.queue[pe]) {
+			q := e.queue[pe][vmID]
+			tot += q
+			if q < minQ {
+				minQ = q
+			}
+		}
+		st.QueueAfter[pe] = tot
+	}
+	st.MinQueue = minQ
+
+	st.VMs = st.VMs[:0]
+	for _, vm := range e.fleet.All() {
+		st.VMs = append(st.VMs, invariant.VMState{
+			ID:         vm.ID,
+			RatedCores: vm.Class.Cores,
+			UsedCores:  vm.UsedCores,
+			Stopped:    vm.Stopped(),
+			Pending:    vm.Pending(),
+			BilledUSD:  vm.AccruedCost(e.clock),
+		})
+	}
+	st.Placements = st.Placements[:0]
+	for pe := range e.cores {
+		for _, vmID := range sortedKeys(e.cores[pe]) {
+			st.Placements = append(st.Placements, invariant.Placement{
+				PE: pe, VM: vmID, Cores: e.cores[pe][vmID]})
+		}
+	}
+
+	v := e.checker.Check(st)
+	e.prevCost = costUSD
+	if e.gauges != nil {
+		e.gauges.Violations.Set(float64(e.checker.Count()))
+	}
+	if v == nil {
+		return nil
+	}
+	e.trace(obs.Event{Type: obs.EventInvariantViolation, Value: omega,
+		Detail: v.Law + ": " + v.Msg})
+	if e.checker.Strict {
+		return v
+	}
+	return nil
+}
+
+// alternateValueRange returns the global [min, max] alternate value across
+// every PE — the bound Γ must respect, since RoutedValue is a mean of
+// selected alternates' values over the routing-reachable PEs.
+func alternateValueRange(g *dataflow.Graph) (lo, hi float64) {
+	first := true
+	for i := range g.PEs {
+		for _, a := range g.PEs[i].Alternates {
+			if first || a.Value < lo {
+				lo = a.Value
+			}
+			if first || a.Value > hi {
+				hi = a.Value
+			}
+			first = false
+		}
+	}
+	return lo, hi
+}

@@ -1,12 +1,16 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 
 	"dynamicdf/internal/cloud"
 	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/invariant"
 	"dynamicdf/internal/rates"
 )
 
@@ -110,5 +114,106 @@ func TestPropertyAmpleCapacityGivesFullThroughput(t *testing.T) {
 		if math.Abs(got-wantOut) > 1e-6*(1+wantOut) {
 			t.Fatalf("seed %d: output %v, expected %v", seed, got, wantOut)
 		}
+	}
+}
+
+// TestPropertyInvariantsHoldAcrossSeeds runs every randomized DAG with the
+// invariant checker in strict mode across 36 seeds, cycling the simulator's
+// harder paths: scarce capacity (queues build), VM crashes, a mid-run
+// scale-up that drains backlog, and cooperative cancellation. Any violated
+// conservation law aborts the run and fails the seed.
+func TestPropertyInvariantsHoldAcrossSeeds(t *testing.T) {
+	const interval = int64(60)
+	for seed := int64(0); seed < 36; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%02d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1000 + seed))
+			g := randomPipelineDAG(rng)
+			rate := 1 + rng.Float64()*8
+			profiles := map[int]rates.Profile{}
+			for _, pe := range g.Inputs() {
+				c, err := rates.NewConstant(rate)
+				if err != nil {
+					t.Fatal(err)
+				}
+				profiles[pe] = c
+			}
+			cfg := Config{
+				Graph:      g,
+				Menu:       cloud.MustMenu(cloud.AWS2013Classes()),
+				Inputs:     profiles,
+				HorizonSec: 3600,
+				Seed:       seed,
+				MaxVMs:     256,
+				Checker:    invariant.NewStrict(),
+			}
+			faulty := seed%2 == 1
+			if faulty {
+				cfg.Failures = ExponentialFailures{MTBFSec: 1200, Seed: seed}
+			}
+			e, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Deploy scarce: one m1.small core per PE, so expensive PEs
+			// backlog. Halfway through, the drain path kicks in: an
+			// m1.xlarge per PE clears the queues.
+			scaledUp := false
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			canceling := seed%8 == 3
+			sched := &fixed{
+				deploy: func(v *View, act Control) error {
+					for pe := 0; pe < g.N(); pe++ {
+						id, err := act.AcquireVM("m1.small")
+						if err != nil {
+							return err
+						}
+						if err := act.AssignCores(pe, id, 1); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+				adapt: func(v *View, act Control) error {
+					if canceling && e.Now() >= 10*interval {
+						cancel()
+						return nil
+					}
+					if !scaledUp && e.Now() >= 1800 {
+						scaledUp = true
+						for pe := 0; pe < g.N(); pe++ {
+							id, err := act.AcquireVM("m1.xlarge")
+							if err != nil {
+								return err
+							}
+							if err := act.AssignCores(pe, id, 4); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				},
+			}
+			_, err = e.RunContext(ctx, sched)
+			switch {
+			case canceling:
+				if !errors.Is(err, ErrCanceled) {
+					t.Fatalf("canceled run returned %v", err)
+				}
+			case err != nil:
+				if v, ok := invariant.As(err); ok {
+					t.Fatalf("law %q violated at t=%ds: %s", v.Law, v.Sec, v.Msg)
+				}
+				t.Fatal(err)
+			}
+			if n := e.InvariantViolations(); n != 0 {
+				t.Fatalf("%d violations recorded: %v", n, e.Checker().Violations())
+			}
+			if faulty && !canceling && e.Crashes() == 0 {
+				t.Logf("seed %d: fault model produced no crashes this horizon", seed)
+			}
+		})
 	}
 }

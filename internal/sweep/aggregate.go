@@ -23,6 +23,9 @@ type AggRow struct {
 	Seeds   int `json:"seeds"`
 	Failed  int `json:"failed,omitempty"`
 	Missing int `json:"missing,omitempty"`
+	// Violations sums invariant violations across the group's replicas
+	// (0 unless the scenarios enabled the check block).
+	Violations int `json:"violations,omitempty"`
 
 	Theta       metrics.Distribution `json:"theta"`
 	Omega       metrics.Distribution `json:"omega"`
@@ -36,7 +39,7 @@ type AggRow struct {
 func Aggregate(jobs []Job, results []*Result) []AggRow {
 	type acc struct {
 		theta, omega, util, cost []float64
-		failed, missing          int
+		failed, missing, viol    int
 	}
 	accs := map[string]*acc{}
 	order := GroupsInOrder(jobs)
@@ -48,6 +51,9 @@ func Aggregate(jobs []Job, results []*Result) []AggRow {
 		var r *Result
 		if i < len(results) {
 			r = results[i]
+		}
+		if r != nil {
+			a.viol += r.Violations
 		}
 		switch {
 		case r == nil:
@@ -69,6 +75,7 @@ func Aggregate(jobs []Job, results []*Result) []AggRow {
 			Seeds:       len(a.theta) + a.failed + a.missing,
 			Failed:      a.failed,
 			Missing:     a.missing,
+			Violations:  a.viol,
 			Theta:       metrics.NewDistribution(a.theta),
 			Omega:       metrics.NewDistribution(a.omega),
 			Utilization: metrics.NewDistribution(a.util),
@@ -89,6 +96,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		"omega_mean", "omega_p50", "omega_p95",
 		"util_mean", "util_p50", "util_p95",
 		"cost_mean", "cost_p50", "cost_p95",
+		"violations",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -102,6 +110,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			f(row.Omega.Mean), f(row.Omega.P50), f(row.Omega.P95),
 			f(row.Utilization.Mean), f(row.Utilization.P50), f(row.Utilization.P95),
 			f(row.CostUSD.Mean), f(row.CostUSD.P50), f(row.CostUSD.P95),
+			strconv.Itoa(row.Violations),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -134,6 +143,9 @@ func (r *Report) Table() string {
 			row.Utilization.Mean, row.CostUSD.Mean, row.CostUSD.P95)
 		if row.Failed > 0 || row.Missing > 0 {
 			fmt.Fprintf(&b, " (failed=%d missing=%d)", row.Failed, row.Missing)
+		}
+		if row.Violations > 0 {
+			fmt.Fprintf(&b, " INVARIANT-VIOLATIONS=%d", row.Violations)
 		}
 		b.WriteString("\n")
 	}

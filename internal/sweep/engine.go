@@ -36,6 +36,10 @@ type Result struct {
 	MeanVMs    float64 `json:"meanVms"`
 	LatencySec float64 `json:"latencySec"`
 	MeetsOmega bool    `json:"meetsOmega"`
+	// Violations counts invariant violations the scenario's checker
+	// recorded (0 when the scenario has no check block). A strict checker
+	// also sets Error, since the run aborts at the first violation.
+	Violations int `json:"violations,omitempty"`
 
 	// Cached marks a result served from the journal instead of executed
 	// this run. Never persisted.
@@ -283,6 +287,7 @@ func (e *Engine) runJob(ctx context.Context, idx int, job Job) (res Result, canc
 	built.Engine.SetTracer(e.Tracer)
 	built.Engine.SetGauges(e.Gauges)
 	sum, err := built.Engine.RunContext(ctx, built.Scheduler)
+	res.Violations = built.Engine.InvariantViolations()
 	if err != nil {
 		if errors.Is(err, sim.ErrCanceled) {
 			return res, true
