@@ -1,10 +1,12 @@
 #!/bin/sh
 # Repository gate: vet, build, the full test suite under the race detector
 # plus a shuffled re-run, a dfserve end-to-end smoke (start the service,
-# submit a 2-job sweep over HTTP, assert the aggregated output incl.
-# /metrics, shut down), a dftrace smoke over the golden fixture, and the
-# invariant-conservation fuzz pass, and the zero-alloc guarantees for the
-# disabled-tracer and disabled-checker hot paths.
+# submit a 4-job warm-start sweep over HTTP, assert the aggregated output
+# incl. /metrics and the prefix fork count, shut down), a dftrace smoke
+# over the golden fixture, a checkpoint/restore byte-determinism smoke, the
+# invariant-conservation and snapshot-decoder fuzz passes, and the
+# zero-alloc guarantees for the disabled-tracer and disabled-checker hot
+# paths.
 # Run from the repo root.
 set -eu
 
@@ -26,9 +28,37 @@ go run ./cmd/dfserve -selftest
 go run ./cmd/dftrace cmd/dftrace/testdata/golden.ndjson > /dev/null
 go run ./cmd/dftrace diff cmd/dftrace/testdata/golden.ndjson cmd/dftrace/testdata/golden.ndjson > /dev/null
 
+# Checkpoint determinism smoke: a run restored from a mid-run state/v1
+# snapshot must continue byte-identically to the uninterrupted run — same
+# metrics CSV, same audit log, and a trace that is exactly the byte tail of
+# the cold run's. The checkpointing run itself must not be perturbed: its
+# audit (with -audit on, so the snapshot carries the prefix entries) equals
+# the cold run's too.
+ckpt=$(mktemp -d)
+go run ./cmd/dfsim -example > "$ckpt/sc.json"
+go run ./cmd/dfsim -config "$ckpt/sc.json" \
+    -csv "$ckpt/cold.csv" -audit "$ckpt/cold.jsonl" -trace "$ckpt/cold.ndjson" > /dev/null
+go run ./cmd/dfsim -config "$ckpt/sc.json" \
+    -audit "$ckpt/chk.jsonl" -checkpoint "$ckpt/snap.json" -checkpoint-sec 3600 > /dev/null
+go run ./cmd/dfsim -config "$ckpt/sc.json" -restore "$ckpt/snap.json" \
+    -csv "$ckpt/warm.csv" -audit "$ckpt/warm.jsonl" -trace "$ckpt/warm.ndjson" > /dev/null
+cmp "$ckpt/cold.csv" "$ckpt/warm.csv" || { echo "restored metrics CSV diverged" >&2; exit 1; }
+cmp "$ckpt/chk.jsonl" "$ckpt/cold.jsonl" || { echo "checkpointing perturbed the audit log" >&2; exit 1; }
+cmp "$ckpt/cold.jsonl" "$ckpt/warm.jsonl" || { echo "restored audit log diverged" >&2; exit 1; }
+tail -n "$(wc -l < "$ckpt/warm.ndjson")" "$ckpt/cold.ndjson" | cmp - "$ckpt/warm.ndjson" || {
+    echo "restored trace is not a byte tail of the cold trace" >&2
+    exit 1
+}
+rm -rf "$ckpt"
+
 # Conservation fuzzing: arbitrary scenario JSON through parse/build/run
 # with the strict invariant checker; any violated law is a crasher.
 go test ./internal/invariant -run '^$' -fuzz 'FuzzCheckerConservation' -fuzztime 10s
+
+# Snapshot fuzzing: arbitrary bytes through the state/v1 decoder must be
+# rejected with an error — never a panic — and anything accepted must
+# re-encode canonically.
+go test ./internal/state -run '^$' -fuzz 'FuzzDecode' -fuzztime 10s
 
 # The trace hook must cost 0 allocs/op while tracing is disabled.
 bench=$(go test ./internal/sim -run '^$' -bench 'BenchmarkEngineStep/hook/disabled' -benchtime 100x -benchmem)

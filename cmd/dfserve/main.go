@@ -29,9 +29,10 @@
 // SIGINT/SIGTERM shut down gracefully: in-flight jobs finish and are
 // journaled, queued jobs are left for the next run.
 //
-// -selftest starts the service on a loopback port, submits a 2-job sweep
-// over real HTTP, asserts the aggregated output, shuts down gracefully,
-// and exits non-zero on any failure (used by ci.sh as a smoke test).
+// -selftest starts the service on a loopback port, submits a 4-job
+// warm-start sweep over real HTTP, asserts the aggregated output and the
+// prefix fork count, shuts down gracefully, and exits non-zero on any
+// failure (used by ci.sh as a smoke test).
 package main
 
 import (
@@ -126,8 +127,11 @@ func newService(cfg sweep.ServerConfig) (*sweep.Server, http.Handler) {
 	return srv, mux
 }
 
-// selftestSpec is a 2-job campaign (1 grid point x 2 seeds) small enough
-// to finish in well under a second.
+// selftestSpec is a 4-job campaign (2 grid points x 2 seeds) small enough
+// to finish in well under a second. The faults axis is warm: its patches
+// only matter after the 120 s fault-free lead-in, so jobs differing only
+// along it fork one checkpointed 120 s prefix instead of simulating from
+// zero — the selftest asserts the service reports those forks.
 const selftestSpec = `{
   "name": "selftest",
   "base": {
@@ -146,7 +150,16 @@ const selftestSpec = `{
     "seed": 1,
     "check": {"enabled": true, "strict": true}
   },
-  "axes": [{"name": "policy", "values": [{"label": "global", "patch": {"policy": {"kind": "global"}}}]}],
+  "axes": [
+    {"name": "policy", "values": [
+      {"label": "global", "patch": {"policy": {"kind": "global", "resilient": true}}}
+    ]},
+    {"name": "faults", "warm": true, "values": [
+      {"label": "off", "patch": {"control": {"faultFreeSec": 120}}},
+      {"label": "on",  "patch": {"control": {"acquireFailProb": 0.5, "faultFreeSec": 120}}}
+    ]}
+  ],
+  "warmStart": {"prefixSec": 120},
   "seeds": [1, 2]
 }`
 
@@ -190,6 +203,7 @@ func runSelftest(workers int) error {
 			Error    string `json:"error"`
 			Progress struct {
 				Done, Total, Errors int
+				ForkHits            int `json:"forkHits"`
 			} `json:"progress"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
@@ -197,8 +211,11 @@ func runSelftest(workers int) error {
 		}
 		resp.Body.Close()
 		if st.State == "done" {
-			if st.Progress.Done != 2 || st.Progress.Errors != 0 {
+			if st.Progress.Done != 4 || st.Progress.Errors != 0 {
 				return fmt.Errorf("unexpected progress: %+v", st.Progress)
+			}
+			if st.Progress.ForkHits < 1 {
+				return fmt.Errorf("no warm-start fork hits: %+v", st.Progress)
 			}
 			break
 		}
@@ -221,8 +238,8 @@ func runSelftest(workers int) error {
 	for sc.Scan() {
 		lines = append(lines, sc.Text())
 	}
-	if len(lines) != 2 {
-		return fmt.Errorf("aggregated csv has %d lines, want header + 1 row: %q", len(lines), lines)
+	if len(lines) != 3 {
+		return fmt.Errorf("aggregated csv has %d lines, want header + 2 rows: %q", len(lines), lines)
 	}
 	if !strings.HasPrefix(lines[0], "group,seeds") {
 		return fmt.Errorf("bad header %q", lines[0])
@@ -230,13 +247,16 @@ func runSelftest(workers int) error {
 	if !strings.HasSuffix(lines[0], ",violations") {
 		return fmt.Errorf("header %q lacks the violations column", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "policy=global,2,0,0,") {
-		return fmt.Errorf("bad aggregated row %q", lines[1])
-	}
-	// The selftest campaign runs strict-checked; any invariant violation
-	// would have failed the jobs, and the summed column must stay 0.
-	if !strings.HasSuffix(lines[1], ",0") {
-		return fmt.Errorf("aggregated row %q reports invariant violations", lines[1])
+	for i, group := range []string{"policy=global/faults=off", "policy=global/faults=on"} {
+		row := lines[1+i]
+		if !strings.HasPrefix(row, group+",2,0,0,") {
+			return fmt.Errorf("bad aggregated row %q, want group %s with 2 clean seeds", row, group)
+		}
+		// The selftest campaign runs strict-checked; any invariant violation
+		// would have failed the jobs, and the summed column must stay 0.
+		if !strings.HasSuffix(row, ",0") {
+			return fmt.Errorf("aggregated row %q reports invariant violations", row)
+		}
 	}
 
 	resp, err = http.Get(base + "/metrics")

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	dfsim -config scenario.json [-csv metrics.csv] [-audit actions.jsonl] [-trace events.ndjson] [-check]
+//	dfsim -config scenario.json -checkpoint snap.json -checkpoint-sec 1800
+//	dfsim -config scenario.json -restore snap.json
 //	dfsim -example > scenario.json
 //
 // -trace streams the run's structured event log (schema obs/v1) as NDJSON:
@@ -16,9 +18,18 @@
 // -check runs the scenario with the invariant checker in strict mode
 // (overriding the scenario's own check block): the run aborts at the first
 // violated conservation law, naming the law and sim-second.
+//
+// -checkpoint pauses the run at -checkpoint-sec simulated seconds, writes
+// the engine's canonical snapshot (schema state/v1, digest-protected JSON)
+// to the given path, and continues to the horizon. -restore starts from
+// such a snapshot instead of from zero: the resumed run — metrics, audit,
+// trace events, summary — is byte-identical to the uninterrupted one from
+// the restore point on. The scenario file must describe the same world the
+// snapshot was taken from (same graph size, interval, and seed).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +39,8 @@ import (
 	"dynamicdf/internal/obs"
 	"dynamicdf/internal/resilient"
 	"dynamicdf/internal/scenario"
+	"dynamicdf/internal/sim"
+	"dynamicdf/internal/state"
 )
 
 const exampleScenario = `{
@@ -68,6 +81,9 @@ func main() {
 	resilientFlag := flag.Bool("resilient", false, "wrap the policy in the resilient control-plane middleware")
 	degradeOmega := flag.Float64("degrade-omega", 0, "arm the middleware's degradation hook below this Omega (with -resilient)")
 	check := flag.Bool("check", false, "verify the run against the invariant catalog (strict: abort on the first violated law)")
+	checkpointPath := flag.String("checkpoint", "", "write a state/v1 snapshot here at -checkpoint-sec, then continue")
+	checkpointSec := flag.Int64("checkpoint-sec", 0, "simulated second to checkpoint at (an interval boundary; with -checkpoint)")
+	restorePath := flag.String("restore", "", "resume from a state/v1 snapshot instead of starting at t=0")
 	example := flag.Bool("example", false, "print an example scenario and exit")
 	flag.Parse()
 
@@ -100,6 +116,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *restorePath != "" {
+		data, err := os.ReadFile(*restorePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap, err := state.Decode(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := sim.Restore(snap, built.Config)
+		if err != nil {
+			log.Fatal(err)
+		}
+		built.Engine = eng
+		fmt.Printf("restored: %s (t=%ds)\n", *restorePath, snap.ClockSec)
+	}
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		out, err := os.Create(*tracePath)
@@ -109,6 +141,27 @@ func main() {
 		defer out.Close()
 		tracer = obs.NewTracer(out)
 		built.Engine.SetTracer(tracer)
+	}
+	if *checkpointPath != "" {
+		if *checkpointSec <= 0 {
+			log.Fatal("-checkpoint needs a positive -checkpoint-sec")
+		}
+		if err := built.Engine.RunUntil(context.Background(), built.Scheduler, *checkpointSec); err != nil {
+			log.Fatal(err)
+		}
+		snap, err := built.Engine.Checkpoint()
+		if err != nil {
+			log.Fatal(err)
+		}
+		blob, err := state.Encode(snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*checkpointPath, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint: %s (t=%ds, %d bytes, digest %.12s)\n",
+			*checkpointPath, snap.ClockSec, len(blob), snap.Digest)
 	}
 	sum, err := built.Engine.Run(built.Scheduler)
 	if err != nil {

@@ -53,6 +53,7 @@ import (
 	"dynamicdf/internal/rates"
 	"dynamicdf/internal/resilient"
 	"dynamicdf/internal/sim"
+	"dynamicdf/internal/state"
 	"dynamicdf/internal/sweep"
 	"dynamicdf/internal/trace"
 )
@@ -226,6 +227,39 @@ var ErrCanceled = sim.ErrCanceled
 // state outside a scheduler callback.
 func NewView(e *Engine) *View { return sim.NewView(e) }
 
+// Checkpoint / restore: the engine's complete mutable state as a canonical,
+// digest-verified document (encoding state/v1; see internal/state and
+// DESIGN.md, "Canonical engine state").
+type (
+	// Snapshot is everything a run needs to continue byte-identically:
+	// clock, fleet, placements, queues, monitor states, accumulators,
+	// metrics, audit log, and an opaque scheduler blob. Produced by
+	// Engine.Checkpoint between intervals; consumed by Restore.
+	Snapshot = state.Snapshot
+	// StatefulScheduler is a Scheduler whose internal state rides along in
+	// snapshots, so a restored run resumes the policy mid-thought rather
+	// than amnesiac. Stateless schedulers simply don't implement it.
+	StatefulScheduler = sim.StatefulScheduler
+)
+
+// SnapshotVersion names the snapshot encoding embedded in (and required
+// of) every state document.
+const SnapshotVersion = state.Version
+
+// Restore builds a fresh engine that continues a checkpointed run
+// bit-identically. The config must agree with the snapshot on the
+// deterministic world (graph size, interval, seed); observer wiring may
+// differ. One snapshot can seed any number of engines.
+func Restore(snap *Snapshot, cfg Config) (*Engine, error) { return sim.Restore(snap, cfg) }
+
+// EncodeSnapshot serializes a snapshot as canonical state/v1 JSON with a
+// sha256 integrity digest.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) { return state.Encode(s) }
+
+// DecodeSnapshot parses a state/v1 document, rejecting unknown fields,
+// version mismatches, and any corruption the digest catches.
+func DecodeSnapshot(data []byte) (*Snapshot, error) { return state.Decode(data) }
+
 // Runtime invariant checking (the simulation correctness harness).
 type (
 	// InvariantChecker asserts conservation-style laws over engine state at
@@ -383,6 +417,9 @@ type (
 	SweepAxis = sweep.Axis
 	// SweepAxisValue is one labeled point on an axis.
 	SweepAxisValue = sweep.AxisValue
+	// SweepWarmStart configures prefix sharing: jobs differing only along
+	// warm (prefix-neutral) axes fork one checkpointed prefix run.
+	SweepWarmStart = sweep.WarmStartSpec
 	// SweepJob is one expanded (scenario, seed) cell with its cache key.
 	SweepJob = sweep.Job
 	// SweepEngine executes expanded jobs on a bounded worker pool.

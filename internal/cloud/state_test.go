@@ -1,0 +1,80 @@
+package cloud
+
+import (
+	"testing"
+)
+
+func TestFleetExportImportRoundTrip(t *testing.T) {
+	menu := MustMenu(AWS2013Classes())
+	class := func(name string) *Class {
+		c, ok := menu.ByName(name)
+		if !ok {
+			t.Fatalf("no class %q", name)
+		}
+		return c
+	}
+	f := NewFleet(menu)
+	a, err := f.Acquire(class("m1.small"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.TraceID = 101
+	b, err := f.AcquireDelayed(class("m1.large"), 60, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.TraceID = 102
+	if err := f.AssignCores(a.ID, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.Acquire(class("m1.xlarge"), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Release(c.ID, 600); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := f.Export()
+	g := NewFleet(menu)
+	if err := g.Import(recs); err != nil {
+		t.Fatal(err)
+	}
+	recs2 := g.Export()
+	if len(recs2) != len(recs) {
+		t.Fatalf("round trip changed fleet size: %d -> %d", len(recs), len(recs2))
+	}
+	for i := range recs {
+		if recs[i] != recs2[i] {
+			t.Fatalf("record %d changed: %+v -> %+v", i, recs[i], recs2[i])
+		}
+	}
+	// Billing and the id counter continue as on the original.
+	if got, want := g.TotalCost(3600), f.TotalCost(3600); got != want {
+		t.Fatalf("imported fleet bills $%v, original $%v", got, want)
+	}
+	d, err := g.Acquire(class("m1.small"), 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != c.ID+1 {
+		t.Fatalf("id counter did not resume: new VM got id %d, want %d", d.ID, c.ID+1)
+	}
+}
+
+func TestFleetImportRejectsBadRecords(t *testing.T) {
+	menu := MustMenu(AWS2013Classes())
+	cases := map[string][]VMRecord{
+		"sparse ids":    {{ID: 1, Class: "m1.small", StopSec: -1}},
+		"unknown class": {{ID: 0, Class: "z9.mega", StopSec: -1}},
+		"cores overflow": {
+			{ID: 0, Class: "m1.small", StopSec: -1, UsedCores: 99},
+		},
+	}
+	for name, recs := range cases {
+		f := NewFleet(menu)
+		if err := f.Import(recs); err == nil {
+			t.Errorf("%s: Import accepted bad records", name)
+		}
+	}
+}

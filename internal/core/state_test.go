@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"dynamicdf/internal/dataflow"
+)
+
+func TestHeuristicStateRoundTrip(t *testing.T) {
+	g := dataflow.Fig1Graph()
+	obj, err := PaperSigma(g, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHeuristic(Options{Objective: obj, Dynamic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ticks = 17
+	blob, err := h.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != `{"ticks":17}` {
+		t.Fatalf("non-canonical state blob: %s", blob)
+	}
+	h2, err := NewHeuristic(Options{Objective: obj, Dynamic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if h2.ticks != 17 {
+		t.Fatalf("restored ticks %d, want 17", h2.ticks)
+	}
+	if err := h2.RestoreState([]byte(`{"ticks":-1}`)); err == nil {
+		t.Fatal("accepted negative ticks")
+	}
+	if err := h2.RestoreState([]byte(`not json`)); err == nil {
+		t.Fatal("accepted garbage state")
+	}
+}

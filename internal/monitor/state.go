@@ -1,0 +1,120 @@
+package monitor
+
+import "sort"
+
+// This file is the estimator state surface used by engine checkpointing
+// (internal/state): every EWMA pool can export its full state as plain,
+// deterministically ordered records and rebuild itself from them. Export
+// orders map entries by key so the serialized form — and therefore any
+// digest over it — is stable across runs.
+
+// EWMAState is the complete serializable state of one EWMA estimator.
+type EWMAState struct {
+	Value  float64 `json:"value"`
+	Primed bool    `json:"primed,omitempty"`
+}
+
+// State exports the estimator's current state.
+func (e *EWMA) State() EWMAState { return EWMAState{Value: e.value, Primed: e.primed} }
+
+// SetState overwrites the estimator's state (the smoothing factor is not
+// part of the state; it stays whatever the estimator was built with).
+func (e *EWMA) SetState(s EWMAState) { e.value, e.primed = s.Value, s.Primed }
+
+// RateEntry is one key's exported rate-estimator state.
+type RateEntry struct {
+	Key int       `json:"key"`
+	E   EWMAState `json:"e"`
+}
+
+// Export returns every tracked key's estimator state, ordered by key.
+func (r *RateEstimator) Export() []RateEntry {
+	out := make([]RateEntry, 0, len(r.est))
+	for k, e := range r.est {
+		out = append(out, RateEntry{Key: k, E: e.State()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Import replaces the estimator pool with the exported entries.
+func (r *RateEstimator) Import(entries []RateEntry) {
+	r.est = make(map[int]*EWMA, len(entries))
+	for _, en := range entries {
+		e, _ := NewEWMA(r.alpha)
+		e.SetState(en.E)
+		r.est[en.Key] = e
+	}
+}
+
+// VMCPUEntry is one VM's exported CPU-monitor state.
+type VMCPUEntry struct {
+	VM      int       `json:"vm"`
+	E       EWMAState `json:"e"`
+	LastSec int64     `json:"lastSec"`
+}
+
+// Export returns every tracked VM's CPU estimator state, ordered by VM id.
+func (m *VMMonitor) Export() []VMCPUEntry {
+	out := make([]VMCPUEntry, 0, len(m.cpu))
+	for vm, e := range m.cpu {
+		out = append(out, VMCPUEntry{VM: vm, E: e.State(), LastSec: m.last[vm]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VM < out[j].VM })
+	return out
+}
+
+// Import replaces the monitor's state with the exported entries.
+func (m *VMMonitor) Import(entries []VMCPUEntry) {
+	m.cpu = make(map[int]*EWMA, len(entries))
+	m.last = make(map[int]int64, len(entries))
+	for _, en := range entries {
+		e, _ := NewEWMA(m.alpha)
+		e.SetState(en.E)
+		m.cpu[en.VM] = e
+		m.last[en.VM] = en.LastSec
+	}
+}
+
+// NetEntry is one VM pair's exported estimator state (A < B).
+type NetEntry struct {
+	A int       `json:"a"`
+	B int       `json:"b"`
+	E EWMAState `json:"e"`
+}
+
+// Export returns the latency and bandwidth estimator states, each ordered
+// by (A, B).
+func (m *NetMonitor) Export() (lat, bw []NetEntry) {
+	return exportPairs(m.lat), exportPairs(m.bw)
+}
+
+// Import replaces the monitor's state with the exported entries.
+func (m *NetMonitor) Import(lat, bw []NetEntry) {
+	m.lat = importPairs(m.alpha, lat)
+	m.bw = importPairs(m.alpha, bw)
+}
+
+func exportPairs(src map[[2]int]*EWMA) []NetEntry {
+	out := make([]NetEntry, 0, len(src))
+	for k, e := range src {
+		out = append(out, NetEntry{A: k[0], B: k[1], E: e.State()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+func importPairs(alpha float64, entries []NetEntry) map[[2]int]*EWMA {
+	dst := make(map[[2]int]*EWMA, len(entries))
+	for _, en := range entries {
+		e, _ := NewEWMA(alpha)
+		e.SetState(en.E)
+		dst[PairKey(en.A, en.B)] = e
+	}
+	return dst
+}

@@ -1,0 +1,89 @@
+package resilient
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dynamicdf/internal/sim"
+)
+
+// breakerState is one class's serialized circuit state.
+type breakerState struct {
+	ConsecFails int   `json:"consecFails,omitempty"`
+	Trips       int   `json:"trips,omitempty"`
+	OpenUntil   int64 `json:"openUntil,omitempty"`
+}
+
+// schedulerState is the middleware's mutable state: the per-class breakers,
+// the decision tallies, and — when the wrapped policy is itself stateful —
+// its opaque blob, so checkpointing composes through the middleware stack.
+// Breakers marshal as a map; encoding/json sorts map keys, keeping the blob
+// deterministic.
+type schedulerState struct {
+	Breakers  map[string]breakerState `json:"breakers,omitempty"`
+	Retries   int                     `json:"retries,omitempty"`
+	Fallbacks int                     `json:"fallbacks,omitempty"`
+	Trips     int                     `json:"trips,omitempty"`
+	Degrades  int                     `json:"degrades,omitempty"`
+	Inner     json.RawMessage         `json:"inner,omitempty"`
+}
+
+// CheckpointState implements sim.StatefulScheduler.
+func (s *Scheduler) CheckpointState() ([]byte, error) {
+	st := schedulerState{
+		Retries:   s.retries,
+		Fallbacks: s.fallbacks,
+		Trips:     s.trips,
+		Degrades:  s.degrades,
+	}
+	if len(s.breakers) > 0 {
+		st.Breakers = make(map[string]breakerState, len(s.breakers))
+		for class, b := range s.breakers {
+			st.Breakers[class] = breakerState{
+				ConsecFails: b.consecFails,
+				Trips:       b.trips,
+				OpenUntil:   b.openUntil,
+			}
+		}
+	}
+	if inner, ok := s.inner.(sim.StatefulScheduler); ok {
+		blob, err := inner.CheckpointState()
+		if err != nil {
+			return nil, fmt.Errorf("resilient: checkpoint inner policy: %w", err)
+		}
+		st.Inner = blob
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState implements sim.StatefulScheduler.
+func (s *Scheduler) RestoreState(blob []byte) error {
+	var st schedulerState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("resilient: restore state: %w", err)
+	}
+	s.breakers = map[string]*breaker{}
+	for class, b := range st.Breakers {
+		s.breakers[class] = &breaker{
+			consecFails: b.ConsecFails,
+			trips:       b.Trips,
+			openUntil:   b.OpenUntil,
+		}
+	}
+	s.retries = st.Retries
+	s.fallbacks = st.Fallbacks
+	s.trips = st.Trips
+	s.degrades = st.Degrades
+	if inner, ok := s.inner.(sim.StatefulScheduler); ok {
+		// A stateful inner policy restores from its blob; an absent blob
+		// (checkpoint taken with a stateless inner) leaves it as built.
+		if st.Inner != nil {
+			if err := inner.RestoreState(st.Inner); err != nil {
+				return fmt.Errorf("resilient: restore inner policy: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+var _ sim.StatefulScheduler = (*Scheduler)(nil)

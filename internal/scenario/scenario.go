@@ -220,6 +220,10 @@ type Built struct {
 	// Checker is the invariant checker attached to Engine (nil unless the
 	// scenario's check block enabled it).
 	Checker *invariant.Checker
+	// Config is the exact sim.Config the Engine was built from, so callers
+	// can restore a checkpoint of an identical scenario onto it
+	// (sim.Restore) instead of stepping Engine from zero.
+	Config sim.Config
 }
 
 // Build validates the scenario and constructs the engine and scheduler.
@@ -304,7 +308,7 @@ func (sc *Scenario) Build() (*Built, error) {
 		interval = 60
 	}
 	checker := sc.Check.checker()
-	engine, err := sim.NewEngine(sim.Config{
+	cfg := sim.Config{
 		Graph:         g,
 		Menu:          cloud.MustMenu(classes),
 		Perf:          perf,
@@ -319,11 +323,12 @@ func (sc *Scenario) Build() (*Built, error) {
 		Audit:         sc.Audit,
 		OmegaFloor:    obj.OmegaHat,
 		Checker:       checker,
-	})
+	}
+	engine, err := sim.NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Built{Engine: engine, Scheduler: sched, Objective: obj, Graph: g, Checker: checker}, nil
+	return &Built{Engine: engine, Scheduler: sched, Objective: obj, Graph: g, Checker: checker, Config: cfg}, nil
 }
 
 func (sc *Scenario) profile() (rates.Profile, error) {

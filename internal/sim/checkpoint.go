@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/obs"
+	"dynamicdf/internal/state"
+)
+
+// StatefulScheduler is a Scheduler whose adaptation decisions depend on
+// accumulated internal state (tick counters, circuit breakers, ...).
+// Checkpointing captures that state alongside the engine's so a restored
+// run resumes with the policy mid-thought rather than amnesiac; stateless
+// policies simply don't implement it and restore as themselves.
+type StatefulScheduler interface {
+	Scheduler
+	// CheckpointState serializes the scheduler's mutable state. The blob is
+	// opaque to the engine; it only needs to be deterministic for a given
+	// state so snapshots of identical runs are byte-identical.
+	CheckpointState() ([]byte, error)
+	// RestoreState replaces the scheduler's mutable state with a blob
+	// produced by CheckpointState.
+	RestoreState([]byte) error
+}
+
+// Checkpoint captures the engine's complete mutable state as a canonical
+// snapshot. Call it between intervals — after RunUntil returns — never from
+// inside a scheduler callback. The engine is not consumed: the run can
+// continue with another RunUntil or RunContext, and the snapshot can seed
+// any number of Restore'd engines (it shares no memory with the engine).
+func (e *Engine) Checkpoint() (*state.Snapshot, error) {
+	s := &state.Snapshot{
+		GraphPEs:    e.cfg.Graph.N(),
+		IntervalSec: e.cfg.IntervalSec,
+		HorizonSec:  e.cfg.HorizonSec,
+		Seed:        e.cfg.Seed,
+		ClockSec:    e.clock,
+		Deployed:    e.deployed,
+		Stepped:     e.stepped,
+		Selection:   append([]int(nil), e.sel...),
+		Routing:     append([]int(nil), e.routing...),
+		Fleet:       e.fleet.Export(),
+
+		LastOmega:   e.lastOmega,
+		OmegaSum:    e.omegaSum,
+		OmegaN:      e.omegaN,
+		LastPEOut:   append([]float64(nil), e.lastPEOut...),
+		LastPEExp:   append([]float64(nil), e.lastPEExp...),
+		LastPEIn:    append([]float64(nil), e.lastPEIn...),
+		LastLatency: e.lastLatency,
+
+		MigratedBytes:   e.migratedBytes,
+		CrashCount:      e.crashCount,
+		Preemptions:     e.preemptions,
+		LostMessages:    e.lostMessages,
+		AcquireAttempts: e.acquireAttempts,
+		AcquireFailures: e.acquireFailures,
+		StaleProbes:     e.staleProbes,
+		CrashEvents:     e.crashEvents,
+		PreemptEvents:   e.preemptEvents,
+		PrevCostUSD:     e.prevCost,
+		Violations:      e.InvariantViolations(),
+
+		Metrics: e.collector.Points(),
+		Audit:   append([]obs.Event(nil), e.auditLog...),
+	}
+	for pe := range e.cores {
+		for _, vmID := range sortedKeys(e.cores[pe]) {
+			s.Cores = append(s.Cores, state.CoreCell{PE: pe, VM: vmID, Cores: e.cores[pe][vmID]})
+		}
+	}
+	for pe := range e.queue {
+		for _, vmID := range sortedKeys(e.queue[pe]) {
+			s.Queues = append(s.Queues, state.QueueCell{PE: pe, VM: vmID, Queue: e.queue[pe][vmID]})
+		}
+	}
+	s.RateEst = e.rateEst.Export()
+	s.VMCPU = e.vmMon.Export()
+	s.NetLat, s.NetBW = e.netMon.Export()
+
+	if e.sched != nil {
+		s.SchedulerName = e.sched.Name()
+	}
+	switch {
+	case e.pendingSchedState != nil:
+		// Restored but not yet resumed: the stashed blob is still the truth.
+		s.SchedulerState = append(json.RawMessage(nil), e.pendingSchedState...)
+	default:
+		if ss, ok := e.sched.(StatefulScheduler); ok {
+			blob, err := ss.CheckpointState()
+			if err != nil {
+				return nil, fmt.Errorf("sim: checkpoint scheduler state (%s): %w", e.sched.Name(), err)
+			}
+			s.SchedulerState = blob
+		}
+	}
+	return s, nil
+}
+
+// Restore builds a fresh engine from a snapshot and a config. The config
+// must agree with the snapshot on the identity guards (graph size, interval,
+// seed) — everything deterministic about the world — while observer wiring
+// (tracer, gauges, checker, audit) comes from the config, so a restored run
+// can be observed differently than the original. Driving the restored
+// engine with RunUntil/RunContext and the same scheduler continues the run
+// bit-identically to one that was never checkpointed; multiple engines may
+// be restored from one snapshot (for forked what-if runs) since no state is
+// shared with the snapshot or between restores.
+func Restore(snap *state.Snapshot, cfg Config) (*Engine, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("sim: restore nil snapshot")
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := e.cfg // normalized
+	n := c.Graph.N()
+	switch {
+	case snap.GraphPEs != n:
+		return nil, fmt.Errorf("sim: restore: snapshot has %d PEs, graph has %d", snap.GraphPEs, n)
+	case snap.IntervalSec != c.IntervalSec:
+		return nil, fmt.Errorf("sim: restore: snapshot interval %ds, config %ds", snap.IntervalSec, c.IntervalSec)
+	case snap.Seed != c.Seed:
+		return nil, fmt.Errorf("sim: restore: snapshot seed %d, config %d", snap.Seed, c.Seed)
+	case snap.ClockSec < 0 || snap.ClockSec%c.IntervalSec != 0:
+		return nil, fmt.Errorf("sim: restore: clock %ds is not an interval boundary", snap.ClockSec)
+	case snap.ClockSec > c.HorizonSec:
+		return nil, fmt.Errorf("sim: restore: clock %ds past horizon %ds", snap.ClockSec, c.HorizonSec)
+	case len(snap.Selection) != n:
+		return nil, fmt.Errorf("sim: restore: selection covers %d PEs, want %d", len(snap.Selection), n)
+	}
+	e.clock = snap.ClockSec
+	e.deployed = snap.Deployed
+	e.stepped = snap.Stepped
+	e.sel = append(dataflow.Selection(nil), snap.Selection...)
+	if err := e.sel.Validate(c.Graph); err != nil {
+		return nil, fmt.Errorf("sim: restore: %w", err)
+	}
+	if snap.Routing != nil {
+		e.routing = append(dataflow.Routing(nil), snap.Routing...)
+		if err := e.routing.Validate(c.Graph); err != nil {
+			return nil, fmt.Errorf("sim: restore: %w", err)
+		}
+	}
+	if err := e.fleet.Import(snap.Fleet); err != nil {
+		return nil, fmt.Errorf("sim: restore: %w", err)
+	}
+	for _, cell := range snap.Cores {
+		if cell.PE < 0 || cell.PE >= n {
+			return nil, fmt.Errorf("sim: restore: core cell for PE %d outside graph", cell.PE)
+		}
+		if cell.Cores <= 0 {
+			return nil, fmt.Errorf("sim: restore: core cell (%d,%d) has %d cores", cell.PE, cell.VM, cell.Cores)
+		}
+		if _, err := e.fleet.Get(cell.VM); err != nil {
+			return nil, fmt.Errorf("sim: restore: core cell for unknown VM %d", cell.VM)
+		}
+		e.cores[cell.PE][cell.VM] = cell.Cores
+	}
+	for _, cell := range snap.Queues {
+		if cell.PE < 0 || cell.PE >= n {
+			return nil, fmt.Errorf("sim: restore: queue cell for PE %d outside graph", cell.PE)
+		}
+		if cell.VM < -1 || cell.Queue < 0 {
+			return nil, fmt.Errorf("sim: restore: bad queue cell (%d,%d,%g)", cell.PE, cell.VM, cell.Queue)
+		}
+		e.queue[cell.PE][cell.VM] = cell.Queue
+	}
+	e.rateEst.Import(snap.RateEst)
+	e.vmMon.Import(snap.VMCPU)
+	e.netMon.Import(snap.NetLat, snap.NetBW)
+
+	e.lastOmega = snap.LastOmega
+	e.omegaSum = snap.OmegaSum
+	e.omegaN = snap.OmegaN
+	if len(snap.LastPEOut) == n {
+		copy(e.lastPEOut, snap.LastPEOut)
+	}
+	if len(snap.LastPEExp) == n {
+		copy(e.lastPEExp, snap.LastPEExp)
+	}
+	if len(snap.LastPEIn) == n {
+		copy(e.lastPEIn, snap.LastPEIn)
+	}
+	e.lastLatency = snap.LastLatency
+
+	e.migratedBytes = snap.MigratedBytes
+	e.crashCount = snap.CrashCount
+	e.preemptions = snap.Preemptions
+	e.lostMessages = snap.LostMessages
+	e.acquireAttempts = snap.AcquireAttempts
+	e.acquireFailures = snap.AcquireFailures
+	e.staleProbes = snap.StaleProbes
+	e.crashEvents = snap.CrashEvents
+	e.preemptEvents = snap.PreemptEvents
+	e.prevCost = snap.PrevCostUSD
+	e.restoredViolations = snap.Violations
+
+	for _, p := range snap.Metrics {
+		if err := e.collector.Add(p); err != nil {
+			return nil, fmt.Errorf("sim: restore: %w", err)
+		}
+	}
+	e.auditLog = append([]obs.Event(nil), snap.Audit...)
+	if snap.SchedulerState != nil {
+		e.pendingSchedState = append([]byte(nil), snap.SchedulerState...)
+	}
+	return e, nil
+}

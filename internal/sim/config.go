@@ -66,6 +66,11 @@ type Config struct {
 	// fleet, backlog, cost) at the end of every interval. Equivalent to
 	// calling Engine.SetGauges before Run.
 	Gauges *obs.RunGauges
+	// StageSpans additionally emits a stage-span pair (obs.EventStage) around
+	// every pipeline stage of every interval when a tracer is attached —
+	// provision, faults, arrivals, rehome, flow, billing, observe, check.
+	// Off by default to keep existing trace streams byte-stable.
+	StageSpans bool
 	// OmegaFloor, when positive, is the QoS constraint Ω̃: intervals whose
 	// relative throughput falls below it emit an omega-violation trace
 	// event. Purely observational — it never alters the simulation.

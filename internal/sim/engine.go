@@ -55,6 +55,25 @@ type Engine struct {
 	collector     *metrics.Collector
 	stepped       bool
 
+	// Cached at NewEngine: the graph's topological order and the sorted
+	// input-PE key list, both loop invariants of every interval.
+	topoOrder []int
+	inputKeys []int
+	// keyBuf is scratch for sorted map-key iteration at sites whose uses
+	// never overlap (queue rehoming and the conservation snapshots).
+	keyBuf []int
+
+	// Run lifecycle. deployed flips once the scheduler's Deploy phase has
+	// run, so a restored engine resumes without redeploying; sched is the
+	// scheduler driving the current run (checkpointed when stateful);
+	// pendingSchedState carries a restored snapshot's scheduler blob until
+	// RunUntil hands it to the scheduler; restoredViolations preserves the
+	// violation count a restored snapshot was taken with.
+	deployed           bool
+	sched              Scheduler
+	pendingSchedState  []byte
+	restoredViolations int
+
 	// Control-plane fault bookkeeping: a monotone acquisition-attempt
 	// counter keys the deterministic failure/boot draws; the tallies are
 	// exposed for tests and tools.
@@ -98,6 +117,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.cores[i] = map[int]int{}
 		e.queue[i] = map[int]float64{}
 	}
+	order, err := cfg.Graph.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	e.topoOrder = order
+	e.inputKeys = sortedKeys(cfg.Inputs)
 	e.rateEst, _ = monitor.NewRateEstimator(cfg.MonitorAlpha)
 	e.vmMon, _ = monitor.NewVMMonitor(cfg.MonitorAlpha)
 	e.netMon, _ = monitor.NewNetMonitor(cfg.MonitorAlpha)
@@ -139,43 +164,77 @@ func (e *Engine) Run(s Scheduler) (metrics.Summary, error) {
 // of simulating to completion. A cancelled run returns an error wrapping
 // both ErrCanceled and the context's cause.
 func (e *Engine) RunContext(ctx context.Context, s Scheduler) (metrics.Summary, error) {
-	if s == nil {
-		return metrics.Summary{}, fmt.Errorf("sim: nil scheduler")
-	}
-	view := &View{e: e}
-	act := &Actions{e: e}
-	e.trace(obs.Event{Type: obs.EventRun, Phase: obs.PhaseStart, Detail: s.Name(),
-		N: int(e.cfg.HorizonSec)})
-	if e.tracer != nil {
-		// Snapshot the initial alternate selection so occupancy analysis
-		// knows what each PE ran before the first explicit switch.
-		for pe := 0; pe < e.cfg.Graph.N(); pe++ {
-			alt := e.sel.Alt(e.cfg.Graph, pe)
-			e.trace(obs.Event{Type: obs.EventSelectAlternate, Phase: obs.PhaseInit,
-				PE: pe, N: e.sel[pe], Detail: alt.Name})
-		}
-	}
-	if err := s.Deploy(view, act); err != nil {
-		return metrics.Summary{}, fmt.Errorf("sim: deploy (%s): %w", s.Name(), err)
-	}
-	steps := e.cfg.HorizonSec / e.cfg.IntervalSec
-	for i := int64(0); i < steps; i++ {
-		if err := ctx.Err(); err != nil {
-			return metrics.Summary{}, fmt.Errorf("%w at t=%ds: %v", ErrCanceled, e.clock, err)
-		}
-		if i > 0 {
-			if err := s.Adapt(view, act); err != nil {
-				return metrics.Summary{}, fmt.Errorf("sim: adapt (%s) at %d: %w", s.Name(), e.clock, err)
-			}
-		}
-		if err := e.step(); err != nil {
-			return metrics.Summary{}, err
-		}
+	if err := e.RunUntil(ctx, s, e.cfg.HorizonSec); err != nil {
+		return metrics.Summary{}, err
 	}
 	sum := e.collector.Summarize()
 	e.trace(obs.Event{Type: obs.EventRun, Phase: obs.PhaseEnd, Detail: s.Name(),
 		Value: sum.MeanOmega})
 	return sum, nil
+}
+
+// RunUntil advances the simulation to untilSec (an interval boundary at or
+// before the horizon) under the scheduler, without summarizing or closing
+// the run span. On a fresh engine it emits the run-start span and drives the
+// scheduler's Deploy phase; on an engine restored from a checkpoint it
+// resumes mid-run — hands the snapshot's scheduler state to s if it is a
+// StatefulScheduler, skips Deploy, and continues stepping — so the
+// concatenated event streams of a checkpointed prefix run and its resumption
+// are byte-identical to one uninterrupted run. Call it repeatedly with
+// growing horizons to interleave stepping with checkpoints, then finish with
+// RunContext (which runs any remaining intervals).
+func (e *Engine) RunUntil(ctx context.Context, s Scheduler, untilSec int64) error {
+	if s == nil {
+		return fmt.Errorf("sim: nil scheduler")
+	}
+	if untilSec < e.clock || untilSec > e.cfg.HorizonSec || untilSec%e.cfg.IntervalSec != 0 {
+		return fmt.Errorf("sim: run-until %ds: want a multiple of interval %ds in [clock %ds, horizon %ds]",
+			untilSec, e.cfg.IntervalSec, e.clock, e.cfg.HorizonSec)
+	}
+	e.sched = s
+	view := &View{e: e}
+	act := &Actions{e: e}
+	if !e.deployed {
+		e.trace(obs.Event{Type: obs.EventRun, Phase: obs.PhaseStart, Detail: s.Name(),
+			N: int(e.cfg.HorizonSec)})
+		if e.tracer != nil {
+			// Snapshot the initial alternate selection so occupancy analysis
+			// knows what each PE ran before the first explicit switch.
+			for pe := 0; pe < e.cfg.Graph.N(); pe++ {
+				alt := e.sel.Alt(e.cfg.Graph, pe)
+				e.trace(obs.Event{Type: obs.EventSelectAlternate, Phase: obs.PhaseInit,
+					PE: pe, N: e.sel[pe], Detail: alt.Name})
+			}
+		}
+		if err := s.Deploy(view, act); err != nil {
+			return fmt.Errorf("sim: deploy (%s): %w", s.Name(), err)
+		}
+		e.deployed = true
+	} else if e.pendingSchedState != nil {
+		if ss, ok := s.(StatefulScheduler); ok {
+			if err := ss.RestoreState(e.pendingSchedState); err != nil {
+				return fmt.Errorf("sim: restore scheduler state (%s): %w", s.Name(), err)
+			}
+		}
+		e.pendingSchedState = nil
+	}
+	for e.clock < untilSec {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w at t=%ds: %v", ErrCanceled, e.clock, err)
+		}
+		// Adapt runs before every interval except the very first of the run
+		// (clock 0 right after Deploy) — the same cadence on a resumed
+		// engine, whose clock is past 0, as on an uninterrupted one.
+		if e.clock > 0 {
+			if err := s.Adapt(view, act); err != nil {
+				return fmt.Errorf("sim: adapt (%s) at %d: %w", s.Name(), e.clock, err)
+			}
+		}
+		if err := e.step(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // vmTraceID derives the stable trace id for a VM.
@@ -259,290 +318,15 @@ func sortedKeys[V any](m map[int]V) []int {
 	return out
 }
 
-// step simulates one interval [clock, clock+interval).
-func (e *Engine) step() error {
-	g := e.cfg.Graph
-	dt := float64(e.cfg.IntervalSec)
-	sec := e.clock
-	e.trace(obs.Event{Type: obs.EventStep, Phase: obs.PhaseStart})
-
-	// Complete provisioning for pending VMs whose boot time arrived, so
-	// this interval runs on the newly booted capacity.
-	for _, vm := range e.fleet.MakeReady(sec) {
-		e.audit(AuditEntry{Action: "vm-ready", VM: vm.ID, N: int(sec - vm.StartSec),
-			Detail: vm.Class.Name})
+// sortedKeysInto is sortedKeys over a reusable buffer, for hot-loop sites
+// whose result never outlives the next call.
+func sortedKeysInto[V any](m map[int]V, buf []int) []int {
+	buf = buf[:0]
+	for k := range m {
+		buf = append(buf, k)
 	}
-
-	// Crash VMs whose lifetime expired before this interval's flow runs,
-	// so the interval executes on the surviving capacity.
-	if err := e.crashDueVMs(sec); err != nil {
-		return err
-	}
-
-	// External arrival rates this interval.
-	extRate := make(map[int]float64, len(e.cfg.Inputs))
-	totalIn := 0.0
-	for _, pe := range sortedKeys(e.cfg.Inputs) {
-		r := e.cfg.Inputs[pe].Rate(sec)
-		if r < 0 {
-			return fmt.Errorf("sim: profile for PE %d returned negative rate %v", pe, r)
-		}
-		extRate[pe] = r
-		totalIn += r
-	}
-
-	// Expected (uncapped) propagation for Def. 4's denominator.
-	inRates := dataflow.InputRates{}
-	for pe, r := range extRate {
-		inRates[pe] = r
-	}
-	_, expOut, err := dataflow.PropagateRatesRouted(g, e.sel, e.routing, inRates)
-	if err != nil {
-		return err
-	}
-
-	order, err := g.TopoOrder()
-	if err != nil {
-		return err
-	}
-
-	// Messages that buffered while a PE had no cores (virtual VM -1) move
-	// onto real hosting VMs as soon as capacity exists.
-	for pe := 0; pe < g.N(); pe++ {
-		if q := e.queue[pe][-1]; q > 0 {
-			total, perVM := e.peCapacity(pe, sec)
-			if total > 0 {
-				delete(e.queue[pe], -1)
-				for _, vmID := range sortedKeys(perVM) {
-					e.queue[pe][vmID] += q * perVM[vmID] / total
-				}
-			}
-		}
-	}
-
-	// Snapshot per-PE queue totals for the conservation law. This point —
-	// after crash cleanup and unassigned-queue rehoming, both of which move
-	// or destroy messages outside the interval's flow accounting — is where
-	// QueueBefore + In·dt = Processed·dt + QueueAfter holds exactly.
-	if e.invState != nil {
-		for pe := 0; pe < g.N(); pe++ {
-			tot := 0.0
-			for _, vmID := range sortedKeys(e.queue[pe]) {
-				tot += e.queue[pe][vmID]
-			}
-			e.invState.QueueBefore[pe] = tot
-		}
-	}
-
-	// arrivals[pe][vmID]: msg/s arriving at each hosting VM this interval.
-	arrivals := make([]map[int]float64, g.N())
-	for i := range arrivals {
-		arrivals[i] = map[int]float64{}
-	}
-	observedOut := make([]float64, g.N())
-	observedIn := make([]float64, g.N())
-
-	// Seed external arrivals, split across the input PE's VMs.
-	for pe, r := range extRate {
-		e.splitArrival(pe, r, arrivals[pe])
-	}
-
-	totalBacklog := 0.0
-	latencyAccum := 0.0
-	latencyN := 0
-
-	for _, pe := range order {
-		alt := e.sel.Alt(g, pe)
-		_, perVMcap := e.peCapacity(pe, sec)
-		// Process per hosting VM: arrivals plus backlog drain, bounded by
-		// capacity.
-		processed := 0.0
-		arrivalTotal := 0.0
-		for _, vmID := range sortedKeys(arrivals[pe]) {
-			arr := arrivals[pe][vmID]
-			arrivalTotal += arr
-			cap := perVMcap[vmID]
-			q := e.queue[pe][vmID]
-			avail := arr + q/dt
-			p := avail
-			if p > cap {
-				p = cap
-			}
-			newQ := q + (arr-p)*dt
-			if newQ < 1e-9 {
-				newQ = 0
-			}
-			e.queue[pe][vmID] = newQ
-			processed += p
-			if cap > 0 {
-				latencyAccum += newQ / cap
-				latencyN++
-			}
-		}
-		// Backlog on VMs with no arrivals this interval still drains.
-		for _, vmID := range sortedKeys(e.queue[pe]) {
-			q := e.queue[pe][vmID]
-			if _, seen := arrivals[pe][vmID]; seen || q == 0 {
-				continue
-			}
-			cap := perVMcap[vmID]
-			p := q / dt
-			if p > cap {
-				p = cap
-			}
-			newQ := q - p*dt
-			if newQ < 1e-9 {
-				newQ = 0
-			}
-			e.queue[pe][vmID] = newQ
-			processed += p
-			if cap > 0 {
-				latencyAccum += newQ / cap
-				latencyN++
-			}
-		}
-		observedIn[pe] = arrivalTotal
-		out := processed * alt.Selectivity
-		observedOut[pe] = out
-		if e.invState != nil {
-			e.invState.In[pe] = arrivalTotal
-			e.invState.Processed[pe] = processed
-		}
-
-		// Deliver to successors: duplicate the full output onto each
-		// outgoing edge (and-split), splitting across destination VMs by
-		// capacity and capping each VM-pair sub-flow by bandwidth.
-		if out > 0 {
-			msgBytes := g.MsgBytes(pe)
-			srcShare := e.outputShares(pe, perVMcap, processed)
-			for _, succ := range g.ActiveSuccessors(pe, e.routing) {
-				e.deliver(pe, succ, out, msgBytes, srcShare, sec, arrivals[succ])
-			}
-		}
-		for _, vmID := range sortedKeys(e.queue[pe]) {
-			totalBacklog += e.queue[pe][vmID]
-		}
-	}
-
-	// Relative application throughput (Def. 4): mean over output PEs of
-	// observed/expected, clamped to [0, 1].
-	omega := 0.0
-	outs := g.Outputs()
-	for _, pe := range outs {
-		exp := expOut[pe]
-		if exp <= 0 {
-			omega += 1
-			continue
-		}
-		r := observedOut[pe] / exp
-		if r > 1 {
-			r = 1
-		}
-		omega += r
-	}
-	omega /= float64(len(outs))
-
-	totalOut := 0.0
-	for _, pe := range outs {
-		totalOut += observedOut[pe]
-	}
-
-	// Advance the clock before billing so the interval is paid for.
-	e.clock += e.cfg.IntervalSec
-
-	// Update monitors with this interval's observations. Under degraded
-	// monitoring a probe may be dropped (the estimator keeps its
-	// last-known-good value) or perturbed with multiplicative noise before
-	// smoothing — what the heuristics then consume via View is exactly as
-	// wrong as a real monitoring framework's would be.
-	cf := e.cfg.ControlFaults
-	for pe, r := range extRate {
-		if cf.probeStale(drawStaleRate, uint64(pe), e.clock) {
-			e.staleProbes++
-			continue
-		}
-		e.rateEst.Observe(pe, r*cf.probeNoise(drawNoiseRate, uint64(pe), e.clock))
-	}
-	for _, vm := range e.fleet.Active() {
-		if cf.probeStale(drawStaleCPU, uint64(vm.ID), e.clock) {
-			e.staleProbes++
-			continue
-		}
-		coeff := e.coeff(vm.ID, sec) * cf.probeNoise(drawNoiseCPU, uint64(vm.ID), e.clock)
-		_ = e.vmMon.ObserveCPU(vm.ID, monitor.Probe{Sec: e.clock, CPUCoeff: coeff})
-	}
-	active := e.fleet.Active()
-	for i := 0; i < len(active); i++ {
-		for j := i + 1; j < len(active); j++ {
-			a, b := active[i], active[j]
-			pair := uint64(a.ID)<<32 | uint64(b.ID)
-			if cf.probeStale(drawStaleNet, pair, e.clock) {
-				e.staleProbes++
-				continue
-			}
-			lat := e.cfg.Perf.LatencySec(e.vmTraceID(a.ID), e.vmTraceID(b.ID), sec)
-			bw := e.cfg.Perf.BandwidthMbps(e.vmTraceID(a.ID), e.vmTraceID(b.ID), sec)
-			noise := cf.probeNoise(drawNoiseNet, pair, e.clock)
-			_ = e.netMon.Observe(a.ID, b.ID, lat*noise, bw*noise)
-		}
-	}
-
-	e.lastOmega = omega
-	e.omegaSum += omega
-	e.omegaN++
-	copy(e.lastPEOut, observedOut)
-	copy(e.lastPEExp, expOut)
-	copy(e.lastPEIn, observedIn)
-	e.stepped = true
-
-	usedCores := 0
-	for _, vm := range active {
-		usedCores += vm.UsedCores
-	}
-	meanLatency := 0.0
-	if latencyN > 0 {
-		meanLatency = latencyAccum / float64(latencyN)
-	}
-	e.lastLatency = meanLatency
-	gamma, err := dataflow.RoutedValue(g, e.sel, e.routing)
-	if err != nil {
-		return err
-	}
-	costUSD := e.fleet.TotalCost(e.clock)
-	pendingVMs := e.fleet.PendingCount()
-	viol := e.checkStep(omega, gamma, costUSD, totalBacklog)
-	if e.cfg.OmegaFloor > 0 && omega < e.cfg.OmegaFloor {
-		e.trace(obs.Event{Type: obs.EventOmegaViolation, Value: omega,
-			Detail: fmt.Sprintf("floor=%g", e.cfg.OmegaFloor)})
-	}
-	e.trace(obs.Event{Type: obs.EventStep, Phase: obs.PhaseEnd, Value: omega,
-		N: usedCores})
-	if e.gauges != nil {
-		e.gauges.Omega.Set(omega)
-		e.gauges.UsedCores.Set(float64(usedCores))
-		e.gauges.PendingVMs.Set(float64(pendingVMs))
-		e.gauges.ActiveVMs.Set(float64(len(active)))
-		e.gauges.Backlog.Set(totalBacklog)
-		e.gauges.CostUSD.Set(costUSD)
-	}
-	if err := e.collector.Add(metrics.Point{
-		Sec:        e.clock,
-		Omega:      omega,
-		Gamma:      gamma,
-		CostUSD:    costUSD,
-		ActiveVMs:  len(active),
-		PendingVMs: pendingVMs,
-		UsedCores:  usedCores,
-		InputRate:  totalIn,
-		OutputRate: totalOut,
-		Backlog:    totalBacklog,
-		LatencySec: meanLatency,
-	}); err != nil {
-		return err
-	}
-	// A strict checker aborts after the violating interval's point is
-	// recorded, so the partial metrics remain inspectable.
-	return viol
+	sort.Ints(buf)
+	return buf
 }
 
 // AcquireFailures reports how many AcquireVM attempts hit a transient

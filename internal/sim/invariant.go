@@ -10,13 +10,15 @@ import (
 // for reading recorded violations after a lenient run.
 func (e *Engine) Checker() *invariant.Checker { return e.checker }
 
-// InvariantViolations reports how many invariant violations the attached
-// checker has recorded (0 when no checker is attached).
+// InvariantViolations reports how many invariant violations this run has
+// recorded: the attached checker's count, plus — on an engine restored from
+// a checkpoint — the violations the snapshot was taken with, so the total
+// matches an uninterrupted run's.
 func (e *Engine) InvariantViolations() int {
 	if e.checker == nil {
-		return 0
+		return e.restoredViolations
 	}
-	return e.checker.Count()
+	return e.restoredViolations + e.checker.Count()
 }
 
 // checkStep hands the end-of-interval engine state to the attached invariant
@@ -51,7 +53,8 @@ func (e *Engine) checkStep(omega, gamma, costUSD, backlog float64) error {
 	minQ := 0.0
 	for pe := range e.queue {
 		tot := 0.0
-		for _, vmID := range sortedKeys(e.queue[pe]) {
+		e.keyBuf = sortedKeysInto(e.queue[pe], e.keyBuf)
+		for _, vmID := range e.keyBuf {
 			q := e.queue[pe][vmID]
 			tot += q
 			if q < minQ {
@@ -84,7 +87,7 @@ func (e *Engine) checkStep(omega, gamma, costUSD, backlog float64) error {
 	v := e.checker.Check(st)
 	e.prevCost = costUSD
 	if e.gauges != nil {
-		e.gauges.Violations.Set(float64(e.checker.Count()))
+		e.gauges.Violations.Set(float64(e.InvariantViolations()))
 	}
 	if v == nil {
 		return nil

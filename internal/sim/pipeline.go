@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"fmt"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/metrics"
+	"dynamicdf/internal/monitor"
+	"dynamicdf/internal/obs"
+)
+
+// This file is the interval pipeline: Engine.step() executes one simulated
+// interval [clock, clock+interval) as an ordered sequence of named stages,
+// each a method over the shared stepContext. The order is load-bearing —
+// every stage documents what engine state it may mutate, and the
+// invariant-checker's conservation law depends on the rehome stage's
+// snapshot point. With Config.StageSpans set (and a tracer attached) every
+// stage is bracketed by a stage-span pair for per-stage latency analysis.
+//
+//	provision  complete pending VMs whose boot time arrived
+//	faults     crash VMs whose sampled lifetime expired
+//	arrivals   read rate profiles; expected (uncapped) propagation
+//	rehome     move unassigned-queue messages onto hosting VMs;
+//	           snapshot QueueBefore for the conservation law
+//	flow       the fluid-flow computation: process, queue, deliver; Omega
+//	billing    advance the clock; bill the interval; census the fleet
+//	observe    feed the monitors; publish last-interval observations,
+//	           gauges, and the metrics point
+//	check      run the invariant checker; close the step span
+type stepStage struct {
+	name string
+	run  func(*Engine, *stepContext) error
+}
+
+// stepStages is the pipeline, in execution order.
+var stepStages = []stepStage{
+	{"provision", (*Engine).stageProvision},
+	{"faults", (*Engine).stageFaults},
+	{"arrivals", (*Engine).stageArrivals},
+	{"rehome", (*Engine).stageRehome},
+	{"flow", (*Engine).stageFlow},
+	{"billing", (*Engine).stageBilling},
+	{"observe", (*Engine).stageObserve},
+	{"check", (*Engine).stageCheck},
+}
+
+// stepContext carries one interval's intermediate values between stages.
+type stepContext struct {
+	sec int64   // clock at the interval's start (the clock advances in billing)
+	dt  float64 // interval length in seconds
+
+	// arrivals.
+	extRate map[int]float64 // external msg/s per input PE
+	totalIn float64
+	expOut  []float64 // expected (uncapped) output rate per PE
+
+	// flow.
+	arrivals     []map[int]float64 // msg/s arriving per (PE, hosting VM)
+	observedOut  []float64
+	observedIn   []float64
+	totalBacklog float64
+	latencyAccum float64
+	latencyN     int
+	omega        float64
+	totalOut     float64
+
+	// billing.
+	costUSD    float64
+	active     []*cloud.VM
+	usedCores  int
+	pendingVMs int
+
+	// observe.
+	meanLatency float64
+	gamma       float64
+}
+
+// step simulates one interval [clock, clock+interval) by running the stage
+// pipeline in order. A stage error aborts the interval (and the run).
+func (e *Engine) step() error {
+	c := stepContext{sec: e.clock, dt: float64(e.cfg.IntervalSec)}
+	spans := e.cfg.StageSpans && e.tracer != nil
+	for _, st := range stepStages {
+		if spans {
+			e.trace(obs.Event{Type: obs.EventStage, Phase: obs.PhaseStart, Detail: st.name})
+		}
+		err := st.run(e, &c)
+		if spans {
+			e.trace(obs.Event{Type: obs.EventStage, Phase: obs.PhaseEnd, Detail: st.name})
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stageProvision opens the step span and completes provisioning for pending
+// VMs whose boot time arrived, so this interval runs on the newly booted
+// capacity. Mutates: fleet pending flags, audit log.
+func (e *Engine) stageProvision(c *stepContext) error {
+	e.trace(obs.Event{Type: obs.EventStep, Phase: obs.PhaseStart})
+	for _, vm := range e.fleet.MakeReady(c.sec) {
+		e.audit(AuditEntry{Action: "vm-ready", VM: vm.ID, N: int(c.sec - vm.StartSec),
+			Detail: vm.Class.Name})
+	}
+	return nil
+}
+
+// stageFaults crashes VMs whose lifetime expired before this interval's
+// flow runs, so the interval executes on the surviving capacity. Mutates:
+// fleet, cores, queues, loss/crash counters, monitors, audit log.
+func (e *Engine) stageFaults(c *stepContext) error {
+	return e.crashDueVMs(c.sec)
+}
+
+// stageArrivals reads the external arrival rates for this interval and
+// computes the expected (uncapped) propagation for Def. 4's denominator.
+// Mutates: nothing on the engine (pure reads into the context).
+func (e *Engine) stageArrivals(c *stepContext) error {
+	c.extRate = make(map[int]float64, len(e.cfg.Inputs))
+	for _, pe := range e.inputKeys {
+		r := e.cfg.Inputs[pe].Rate(c.sec)
+		if r < 0 {
+			return fmt.Errorf("sim: profile for PE %d returned negative rate %v", pe, r)
+		}
+		c.extRate[pe] = r
+		c.totalIn += r
+	}
+	inRates := dataflow.InputRates{}
+	for pe, r := range c.extRate {
+		inRates[pe] = r
+	}
+	var err error
+	_, c.expOut, err = dataflow.PropagateRatesRouted(e.cfg.Graph, e.sel, e.routing, inRates)
+	return err
+}
+
+// stageRehome moves messages that buffered while a PE had no cores (virtual
+// VM -1) onto real hosting VMs as soon as capacity exists, then snapshots
+// per-PE queue totals for the conservation law. This point — after crash
+// cleanup and unassigned-queue rehoming, both of which move or destroy
+// messages outside the interval's flow accounting — is where
+// QueueBefore + In·dt = Processed·dt + QueueAfter holds exactly. Mutates:
+// queues, invState.QueueBefore.
+func (e *Engine) stageRehome(c *stepContext) error {
+	g := e.cfg.Graph
+	for pe := 0; pe < g.N(); pe++ {
+		if q := e.queue[pe][-1]; q > 0 {
+			total, perVM := e.peCapacity(pe, c.sec)
+			if total > 0 {
+				delete(e.queue[pe], -1)
+				e.keyBuf = sortedKeysInto(perVM, e.keyBuf)
+				for _, vmID := range e.keyBuf {
+					e.queue[pe][vmID] += q * perVM[vmID] / total
+				}
+			}
+		}
+		if e.invState != nil {
+			tot := 0.0
+			e.keyBuf = sortedKeysInto(e.queue[pe], e.keyBuf)
+			for _, vmID := range e.keyBuf {
+				tot += e.queue[pe][vmID]
+			}
+			e.invState.QueueBefore[pe] = tot
+		}
+	}
+	return nil
+}
+
+// stageFlow runs the fluid-flow computation in topological order: per-VM
+// processing bounded by capacity, backlog drain, queueing-latency
+// accumulation, and delivery to successors capped by pairwise bandwidth —
+// then derives Omega (Def. 4). Mutates: queues, invState.In/Processed.
+func (e *Engine) stageFlow(c *stepContext) error {
+	g := e.cfg.Graph
+	c.arrivals = make([]map[int]float64, g.N())
+	for i := range c.arrivals {
+		c.arrivals[i] = map[int]float64{}
+	}
+	c.observedOut = make([]float64, g.N())
+	c.observedIn = make([]float64, g.N())
+
+	// Seed external arrivals, split across the input PE's VMs.
+	for pe, r := range c.extRate {
+		e.splitArrival(pe, r, c.arrivals[pe])
+	}
+
+	for _, pe := range e.topoOrder {
+		alt := e.sel.Alt(g, pe)
+		_, perVMcap := e.peCapacity(pe, c.sec)
+		// Process per hosting VM: arrivals plus backlog drain, bounded by
+		// capacity.
+		processed := 0.0
+		arrivalTotal := 0.0
+		for _, vmID := range sortedKeys(c.arrivals[pe]) {
+			arr := c.arrivals[pe][vmID]
+			arrivalTotal += arr
+			cap := perVMcap[vmID]
+			q := e.queue[pe][vmID]
+			avail := arr + q/c.dt
+			p := avail
+			if p > cap {
+				p = cap
+			}
+			newQ := q + (arr-p)*c.dt
+			if newQ < 1e-9 {
+				newQ = 0
+			}
+			e.queue[pe][vmID] = newQ
+			processed += p
+			if cap > 0 {
+				c.latencyAccum += newQ / cap
+				c.latencyN++
+			}
+		}
+		// Backlog on VMs with no arrivals this interval still drains.
+		for _, vmID := range sortedKeys(e.queue[pe]) {
+			q := e.queue[pe][vmID]
+			if _, seen := c.arrivals[pe][vmID]; seen || q == 0 {
+				continue
+			}
+			cap := perVMcap[vmID]
+			p := q / c.dt
+			if p > cap {
+				p = cap
+			}
+			newQ := q - p*c.dt
+			if newQ < 1e-9 {
+				newQ = 0
+			}
+			e.queue[pe][vmID] = newQ
+			processed += p
+			if cap > 0 {
+				c.latencyAccum += newQ / cap
+				c.latencyN++
+			}
+		}
+		c.observedIn[pe] = arrivalTotal
+		out := processed * alt.Selectivity
+		c.observedOut[pe] = out
+		if e.invState != nil {
+			e.invState.In[pe] = arrivalTotal
+			e.invState.Processed[pe] = processed
+		}
+
+		// Deliver to successors: duplicate the full output onto each
+		// outgoing edge (and-split), splitting across destination VMs by
+		// capacity and capping each VM-pair sub-flow by bandwidth.
+		if out > 0 {
+			msgBytes := g.MsgBytes(pe)
+			srcShare := e.outputShares(pe, perVMcap, processed)
+			for _, succ := range g.ActiveSuccessors(pe, e.routing) {
+				e.deliver(pe, succ, out, msgBytes, srcShare, c.sec, c.arrivals[succ])
+			}
+		}
+		for _, vmID := range sortedKeys(e.queue[pe]) {
+			c.totalBacklog += e.queue[pe][vmID]
+		}
+	}
+
+	// Relative application throughput (Def. 4): mean over output PEs of
+	// observed/expected, clamped to [0, 1].
+	outs := g.Outputs()
+	for _, pe := range outs {
+		exp := c.expOut[pe]
+		if exp <= 0 {
+			c.omega += 1
+			continue
+		}
+		r := c.observedOut[pe] / exp
+		if r > 1 {
+			r = 1
+		}
+		c.omega += r
+	}
+	c.omega /= float64(len(outs))
+	for _, pe := range outs {
+		c.totalOut += c.observedOut[pe]
+	}
+	return nil
+}
+
+// stageBilling advances the clock past the interval so the elapsed time is
+// paid for, then takes the post-interval fleet census: cumulative cost,
+// active and pending VM counts, and cores in use. Mutates: clock.
+func (e *Engine) stageBilling(c *stepContext) error {
+	e.clock += e.cfg.IntervalSec
+	c.costUSD = e.fleet.TotalCost(e.clock)
+	c.active = e.fleet.Active()
+	c.pendingVMs = e.fleet.PendingCount()
+	for _, vm := range c.active {
+		c.usedCores += vm.UsedCores
+	}
+	return nil
+}
+
+// stageObserve feeds the monitors with this interval's observations and
+// publishes the interval to every consumer-facing surface: the View's
+// last-interval fields, the live gauges, and the metrics collector. Under
+// degraded monitoring a probe may be dropped (the estimator keeps its
+// last-known-good value) or perturbed with multiplicative noise before
+// smoothing — what the heuristics then consume via View is exactly as
+// wrong as a real monitoring framework's would be. Mutates: monitors,
+// lastOmega/omegaSum/omegaN, lastPE* copies, lastLatency, stepped, gauges,
+// collector.
+func (e *Engine) stageObserve(c *stepContext) error {
+	cf := e.cfg.ControlFaults
+	for pe, r := range c.extRate {
+		if cf.probeStale(drawStaleRate, uint64(pe), e.clock) {
+			e.staleProbes++
+			continue
+		}
+		e.rateEst.Observe(pe, r*cf.probeNoise(drawNoiseRate, uint64(pe), e.clock))
+	}
+	for _, vm := range c.active {
+		if cf.probeStale(drawStaleCPU, uint64(vm.ID), e.clock) {
+			e.staleProbes++
+			continue
+		}
+		coeff := e.coeff(vm.ID, c.sec) * cf.probeNoise(drawNoiseCPU, uint64(vm.ID), e.clock)
+		_ = e.vmMon.ObserveCPU(vm.ID, monitor.Probe{Sec: e.clock, CPUCoeff: coeff})
+	}
+	for i := 0; i < len(c.active); i++ {
+		for j := i + 1; j < len(c.active); j++ {
+			a, b := c.active[i], c.active[j]
+			pair := uint64(a.ID)<<32 | uint64(b.ID)
+			if cf.probeStale(drawStaleNet, pair, e.clock) {
+				e.staleProbes++
+				continue
+			}
+			lat := e.cfg.Perf.LatencySec(e.vmTraceID(a.ID), e.vmTraceID(b.ID), c.sec)
+			bw := e.cfg.Perf.BandwidthMbps(e.vmTraceID(a.ID), e.vmTraceID(b.ID), c.sec)
+			noise := cf.probeNoise(drawNoiseNet, pair, e.clock)
+			_ = e.netMon.Observe(a.ID, b.ID, lat*noise, bw*noise)
+		}
+	}
+
+	e.lastOmega = c.omega
+	e.omegaSum += c.omega
+	e.omegaN++
+	copy(e.lastPEOut, c.observedOut)
+	copy(e.lastPEExp, c.expOut)
+	copy(e.lastPEIn, c.observedIn)
+	e.stepped = true
+	if c.latencyN > 0 {
+		c.meanLatency = c.latencyAccum / float64(c.latencyN)
+	}
+	e.lastLatency = c.meanLatency
+	var err error
+	c.gamma, err = dataflow.RoutedValue(e.cfg.Graph, e.sel, e.routing)
+	if err != nil {
+		return err
+	}
+	if e.gauges != nil {
+		e.gauges.Omega.Set(c.omega)
+		e.gauges.UsedCores.Set(float64(c.usedCores))
+		e.gauges.PendingVMs.Set(float64(c.pendingVMs))
+		e.gauges.ActiveVMs.Set(float64(len(c.active)))
+		e.gauges.Backlog.Set(c.totalBacklog)
+		e.gauges.CostUSD.Set(c.costUSD)
+	}
+	// The point is recorded before the check stage so that even an interval
+	// a strict checker aborts on remains inspectable in the partial metrics.
+	return e.collector.Add(metrics.Point{
+		Sec:        e.clock,
+		Omega:      c.omega,
+		Gamma:      c.gamma,
+		CostUSD:    c.costUSD,
+		ActiveVMs:  len(c.active),
+		PendingVMs: c.pendingVMs,
+		UsedCores:  c.usedCores,
+		InputRate:  c.totalIn,
+		OutputRate: c.totalOut,
+		Backlog:    c.totalBacklog,
+		LatencySec: c.meanLatency,
+	})
+}
+
+// stageCheck hands the end-of-interval state to the invariant checker,
+// emits the QoS-violation event when Omega fell below the configured floor,
+// and closes the step span. A strict checker's violation is the stage
+// error, aborting the run. Mutates: prevCost (via checkStep), gauges
+// violation count.
+func (e *Engine) stageCheck(c *stepContext) error {
+	viol := e.checkStep(c.omega, c.gamma, c.costUSD, c.totalBacklog)
+	if e.cfg.OmegaFloor > 0 && c.omega < e.cfg.OmegaFloor {
+		e.trace(obs.Event{Type: obs.EventOmegaViolation, Value: c.omega,
+			Detail: fmt.Sprintf("floor=%g", e.cfg.OmegaFloor)})
+	}
+	e.trace(obs.Event{Type: obs.EventStep, Phase: obs.PhaseEnd, Value: c.omega,
+		N: c.usedCores})
+	return viol
+}

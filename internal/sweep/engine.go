@@ -8,7 +8,9 @@ import (
 	"sync"
 
 	"dynamicdf/internal/obs"
+	"dynamicdf/internal/scenario"
 	"dynamicdf/internal/sim"
+	"dynamicdf/internal/state"
 )
 
 // ErrDrained is returned by Engine.Run when a drain request stopped the
@@ -40,6 +42,9 @@ type Result struct {
 	// recorded (0 when the scenario has no check block). A strict checker
 	// also sets Error, since the run aborts at the first violation.
 	Violations int `json:"violations,omitempty"`
+	// Forked marks a job that resumed from a shared warm-start prefix
+	// checkpoint instead of simulating from zero.
+	Forked bool `json:"forked,omitempty"`
 
 	// Cached marks a result served from the journal instead of executed
 	// this run. Never persisted.
@@ -54,6 +59,7 @@ type Progress struct {
 	CacheHits int    `json:"cacheHits"`
 	Executed  int    `json:"executed"`
 	Errors    int    `json:"errors"`
+	ForkHits  int    `json:"forkHits,omitempty"`
 	LastJob   string `json:"lastJob,omitempty"`
 }
 
@@ -65,7 +71,8 @@ type Report struct {
 	CacheHits int      `json:"cacheHits"`
 	Executed  int      `json:"executed"`
 	Errors    int      `json:"errors"`
-	Missing   int      `json:"missing"` // jobs unfinished after cancel/drain
+	ForkHits  int      `json:"forkHits,omitempty"` // jobs forked from warm-start prefixes
+	Missing   int      `json:"missing"`            // jobs unfinished after cancel/drain
 	Rows      []AggRow `json:"rows"`
 	Results   []Result `json:"results"`
 }
@@ -139,6 +146,26 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 		e.Pool.JobsQueued.Set(float64(len(pending)))
 	}
 
+	// Warm-start: pending jobs that share a prefix key fork one checkpointed
+	// prefix run instead of each simulating its first PrefixSec from zero.
+	// Only groups with at least two pending members benefit; singletons run
+	// cold. The prefix simulates lazily — the first worker to reach a group
+	// runs it, the rest of the group reuses the snapshot.
+	prefixes := map[string]*prefixRun{}
+	if spec.WarmStart != nil {
+		count := map[string]int{}
+		for _, i := range pending {
+			if jobs[i].Prefix != nil {
+				count[jobs[i].PrefixKey]++
+			}
+		}
+		for key, n := range count {
+			if n >= 2 {
+				prefixes[key] = &prefixRun{untilSec: spec.WarmStart.PrefixSec}
+			}
+		}
+	}
+
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -163,6 +190,7 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 			CacheHits: report.CacheHits,
 			Executed:  report.Executed,
 			Errors:    report.Errors,
+			ForkHits:  report.ForkHits,
 			LastJob:   last,
 		})
 	}
@@ -199,7 +227,7 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 				}
 				e.Tracer.Emit(obs.Event{Type: obs.EventSweepJob,
 					Phase: obs.PhaseStart, N: i, Detail: jobs[i].ID})
-				r, canceled := e.runJob(ctx, i, jobs[i])
+				r, canceled := e.runJob(ctx, i, jobs[i], prefixes[jobs[i].PrefixKey])
 				if e.Pool != nil {
 					e.Pool.JobsRunning.Add(-1)
 					if !canceled {
@@ -231,6 +259,9 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 				if r.Error != "" {
 					report.Errors++
 				}
+				if r.Forked {
+					report.ForkHits++
+				}
 				emit(r.JobID)
 				mu.Unlock()
 			}
@@ -258,12 +289,46 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 	return report, nil
 }
 
+// prefixRun is one shared warm-start prefix: the first worker to need it
+// simulates the prefix scenario to untilSec and checkpoints; everyone else
+// waits on the Once and forks the snapshot. A nil snap after the Once means
+// the prefix failed (build error, cancellation, ...) and the group's jobs
+// fall back to cold runs — warm-starting is an optimization, never a new
+// failure mode.
+type prefixRun struct {
+	once     sync.Once
+	untilSec int64
+	snap     *state.Snapshot
+}
+
+// run simulates the prefix scenario to untilSec and returns its checkpoint,
+// or nil on any failure. No tracer or gauges are attached: the prefix's
+// events would otherwise appear once for the whole group instead of once
+// per job, breaking per-job trace accounting.
+func (p *prefixRun) run(ctx context.Context, sc *scenario.Scenario) *state.Snapshot {
+	defer func() { recover() }() // a panicking prefix falls back to cold runs
+	built, err := sc.Build()
+	if err != nil {
+		return nil
+	}
+	if err := built.Engine.RunUntil(ctx, built.Scheduler, p.untilSec); err != nil {
+		return nil
+	}
+	snap, err := built.Engine.Checkpoint()
+	if err != nil {
+		return nil
+	}
+	return snap
+}
+
 // runJob builds and runs one job in isolation: a fresh engine and
 // scheduler per job, panics converted to deterministic job errors, and
 // cancellation distinguished from failure. The sweep engine's tracer and
 // gauges are attached to the job's sim engine; the closing sweep-job span
 // carries the job's outcome (Value = Theta, or the error in Detail).
-func (e *Engine) runJob(ctx context.Context, idx int, job Job) (res Result, canceled bool) {
+// A non-nil pr forks the job from the group's shared prefix checkpoint
+// when possible; any warm-start failure silently degrades to a cold run.
+func (e *Engine) runJob(ctx context.Context, idx int, job Job, pr *prefixRun) (res Result, canceled bool) {
 	res = Result{JobID: job.ID, Key: job.Key, Group: job.Group, Seed: job.Seed}
 	defer func() {
 		if p := recover(); p != nil {
@@ -283,6 +348,15 @@ func (e *Engine) runJob(ctx context.Context, idx int, job Job) (res Result, canc
 	if err != nil {
 		res.Error = err.Error()
 		return res, false
+	}
+	if pr != nil {
+		pr.once.Do(func() { pr.snap = pr.run(ctx, job.Prefix) })
+		if pr.snap != nil {
+			if eng, rerr := sim.Restore(pr.snap, built.Config); rerr == nil {
+				built.Engine = eng
+				res.Forked = true
+			}
+		}
 	}
 	built.Engine.SetTracer(e.Tracer)
 	built.Engine.SetGauges(e.Gauges)

@@ -231,6 +231,7 @@ func (r *sweepRun) finish(report *Report, state, errMsg string) {
 			CacheHits: report.CacheHits,
 			Executed:  report.Executed,
 			Errors:    report.Errors,
+			ForkHits:  report.ForkHits,
 		}
 	}
 	close(r.notify)

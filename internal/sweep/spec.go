@@ -44,6 +44,25 @@ type Spec struct {
 	// the replicas aggregate into one row. Empty defaults to the base
 	// scenario's seed.
 	Seeds []int64 `json:"seeds"`
+	// WarmStart, when set, lets jobs that differ only along warm axes share
+	// a checkpointed prefix run instead of each simulating from zero.
+	WarmStart *WarmStartSpec `json:"warmStart,omitempty"`
+}
+
+// WarmStartSpec configures prefix sharing. Jobs whose resolved scenarios
+// agree on everything except warm-axis patches share one prefix run: the
+// prefix scenario (base + non-warm patches + seed) is simulated for
+// PrefixSec, checkpointed, and each job of the group forks from the
+// snapshot. Correctness requires warm axes to be prefix-neutral — their
+// patches must not change behaviour before PrefixSec (e.g. acquisition
+// faults gated on a fault-free lead-in at least PrefixSec long). The
+// engine verifies nothing about neutrality; declaring an axis warm is the
+// spec author's assertion.
+type WarmStartSpec struct {
+	// PrefixSec is the shared prefix length in simulated seconds; it must
+	// be a positive multiple of the scenario interval and less than the
+	// horizon.
+	PrefixSec int64 `json:"prefixSec"`
 }
 
 // Axis is one swept dimension.
@@ -52,6 +71,9 @@ type Axis struct {
 	Name string `json:"name"`
 	// Values are the points along the axis.
 	Values []AxisValue `json:"values"`
+	// Warm marks the axis's patches as prefix-neutral for warm-starting
+	// (see WarmStartSpec); requires the spec to set warmStart.
+	Warm bool `json:"warm,omitempty"`
 }
 
 // AxisValue is one point of an axis: a label for reports plus the merge
@@ -80,6 +102,12 @@ type Job struct {
 	// SchemaVersion + canonical scenario bytes, which embed seed and
 	// policy).
 	Key string
+	// Prefix is the resolved warm-start prefix scenario — the job with
+	// every warm-axis patch dropped — and PrefixKey its content key. Jobs
+	// sharing a PrefixKey can fork one checkpointed prefix run. Nil/empty
+	// unless the spec sets warmStart.
+	Prefix    *scenario.Scenario
+	PrefixKey string
 }
 
 // ParseSpec decodes and validates a sweep spec document.
@@ -106,7 +134,11 @@ func (s *Spec) Validate() error {
 	}
 	axisSeen := map[string]bool{}
 	jobs := 1
+	warmAxes := false
 	for _, ax := range s.Axes {
+		if ax.Warm {
+			warmAxes = true
+		}
 		if ax.Name == "" {
 			return fmt.Errorf("sweep: spec %q has an unnamed axis", s.Name)
 		}
@@ -147,6 +179,29 @@ func (s *Spec) Validate() error {
 	}
 	if jobs > MaxJobs {
 		return fmt.Errorf("sweep: spec %q expands to %d jobs (max %d)", s.Name, jobs, MaxJobs)
+	}
+	if warmAxes && s.WarmStart == nil {
+		return fmt.Errorf("sweep: spec %q marks axes warm without a warmStart block", s.Name)
+	}
+	if ws := s.WarmStart; ws != nil {
+		base, _ := scenario.ParseBytes(s.Base) // validated above
+		interval := base.IntervalSec
+		if interval == 0 {
+			interval = 60
+		}
+		hours := base.HorizonHours
+		if hours == 0 {
+			hours = 4
+		}
+		horizon := int64(hours * 3600)
+		if ws.PrefixSec <= 0 || ws.PrefixSec%interval != 0 {
+			return fmt.Errorf("sweep: warm-start prefix %ds must be a positive multiple of interval %ds",
+				ws.PrefixSec, interval)
+		}
+		if ws.PrefixSec >= horizon {
+			return fmt.Errorf("sweep: warm-start prefix %ds must be shorter than horizon %ds",
+				ws.PrefixSec, horizon)
+		}
 	}
 	return nil
 }
@@ -192,6 +247,7 @@ func (s *Spec) Expand() ([]Job, error) {
 	idx := make([]int, len(s.Axes))
 	for {
 		doc := append([]byte(nil), s.Base...)
+		prefixDoc := append([]byte(nil), s.Base...)
 		var labels []string
 		for a, ax := range s.Axes {
 			v := ax.Values[idx[a]]
@@ -200,11 +256,21 @@ func (s *Spec) Expand() ([]Job, error) {
 			if err != nil {
 				return nil, fmt.Errorf("sweep: axis %q value %q: %w", ax.Name, v.Label, err)
 			}
+			if s.WarmStart != nil && !ax.Warm {
+				// The prefix identity is the job with warm-axis patches
+				// dropped: jobs differing only along warm axes converge on
+				// one prefix document.
+				prefixDoc, err = MergePatch(prefixDoc, v.Patch)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: axis %q value %q: %w", ax.Name, v.Label, err)
+				}
+			}
 			labels = append(labels, ax.Name+"="+v.Label)
 		}
 		group := strings.Join(labels, "/")
 		for _, seed := range seeds {
-			seeded, err := MergePatch(doc, []byte(fmt.Sprintf(`{"seed": %d}`, seed)))
+			seedPatch := []byte(fmt.Sprintf(`{"seed": %d}`, seed))
+			seeded, err := MergePatch(doc, seedPatch)
 			if err != nil {
 				return nil, err
 			}
@@ -224,14 +290,31 @@ func (s *Spec) Expand() ([]Job, error) {
 			if group != "" {
 				id = group + "/" + id
 			}
-			jobs = append(jobs, Job{
+			job := Job{
 				ID:        id,
 				Group:     group,
 				Seed:      seed,
 				Scenario:  sc,
 				Canonical: canonical,
 				Key:       JobKey(canonical),
-			})
+			}
+			if s.WarmStart != nil {
+				seededPrefix, err := MergePatch(prefixDoc, seedPatch)
+				if err != nil {
+					return nil, err
+				}
+				psc, err := scenario.ParseBytes(seededPrefix)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: job %s prefix: %w", id, err)
+				}
+				pCanonical, err := psc.CanonicalJSON()
+				if err != nil {
+					return nil, err
+				}
+				job.Prefix = psc
+				job.PrefixKey = JobKey(pCanonical)
+			}
+			jobs = append(jobs, job)
 		}
 		// Advance the mixed-radix axis counter, fastest at the end.
 		a := len(idx) - 1
