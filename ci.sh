@@ -1,12 +1,15 @@
 #!/bin/sh
 # Repository gate: vet, build, the full test suite under the race detector
-# plus a shuffled re-run, a dfserve end-to-end smoke (start the service,
+# plus a shuffled re-run, a race-enabled fabric chaos smoke (coordinator +
+# three crash-prone workers, seeded faults, aggregate CSV byte-equal to the
+# single-pool baseline), a dfserve end-to-end smoke (start the service,
 # submit a 4-job warm-start sweep over HTTP, assert the aggregated output
-# incl. /metrics and the prefix fork count, shut down), a dftrace smoke
-# over the golden fixture, a checkpoint/restore byte-determinism smoke, the
-# invariant-conservation and snapshot-decoder fuzz passes, and the
-# zero-alloc guarantees for the disabled-tracer and disabled-checker hot
-# paths.
+# incl. /metrics and the prefix fork count, then repeat it through a fabric
+# coordinator with one worker and assert CSV byte-equality, shut down), a
+# dftrace smoke over the golden fixture, a checkpoint/restore
+# byte-determinism smoke, the invariant-conservation and snapshot-decoder
+# fuzz passes, and the zero-alloc guarantees for the disabled-tracer and
+# disabled-checker hot paths.
 # Run from the repo root.
 set -eu
 
@@ -22,6 +25,7 @@ go build ./...
 go test -race ./...
 go test -race -count=1 ./internal/obs
 go test -shuffle=on -count=1 ./...
+go test -race -count=1 -run 'TestFabricChaos' ./internal/sweep/fabric
 go run ./cmd/dfserve -selftest
 
 # dftrace smoke: the golden capture must replay, render, and self-diff clean.

@@ -5,6 +5,7 @@
 //
 //	dfbench [-quick] [-seed N] [-horizon HOURS]
 //	dfbench -sweep {fig5|fig67|faults|SPEC.json} [-sweep-replicas N] [-workers N] [-journal FILE]
+//	dfbench -sweep ... -coordinator URL
 //
 // -quick runs a reduced sweep (shorter horizon, fewer rates) for smoke
 // testing; the default reproduces the full 10-hour evaluation.
@@ -14,17 +15,26 @@
 // policy x rate x seed campaigns executed on a bounded worker pool, or a
 // sweep spec JSON file runs as-is. With -journal, completed jobs are
 // cached and a re-run only executes what is missing.
+//
+// -coordinator submits the campaign to a running dfserve instead of
+// executing locally: progress streams back over the watch channel and the
+// aggregated report is fetched when the campaign finishes. Point it at a
+// `dfserve -fabric` coordinator to run the grid on attached workers.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"dynamicdf/internal/experiments"
@@ -44,6 +54,7 @@ func main() {
 	sweepReplicas := flag.Int("sweep-replicas", 3, "seed replicas per grid cell for named grids")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	journal := flag.String("journal", "", "sweep journal file for cached, resumable campaigns")
+	coordinator := flag.String("coordinator", "", "submit the sweep to a running dfserve at this base URL instead of executing locally")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -56,7 +67,7 @@ func main() {
 	}
 
 	if *sweepArg != "" {
-		if err := runSweep(cfg, *sweepArg, *sweepReplicas, *workers, *journal); err != nil {
+		if err := runSweep(cfg, *sweepArg, *sweepReplicas, *workers, *journal, *coordinator); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -187,9 +198,10 @@ func main() {
 }
 
 // runSweep resolves arg as a named grid or a sweep spec file and executes
-// it on the campaign engine. SIGINT cancels the run; with a journal the
-// next invocation resumes from whatever completed.
-func runSweep(cfg experiments.Config, arg string, replicas, workers int, journalPath string) error {
+// it on the campaign engine — or, with a coordinator URL, submits it to a
+// running dfserve. SIGINT cancels the run; with a journal the next
+// invocation resumes from whatever completed.
+func runSweep(cfg experiments.Config, arg string, replicas, workers int, journalPath, coordinator string) error {
 	var spec *sweep.Spec
 	if data, err := os.ReadFile(arg); err == nil {
 		spec, err = sweep.ParseSpec(data)
@@ -203,6 +215,12 @@ func runSweep(cfg experiments.Config, arg string, replicas, workers int, journal
 		}
 	} else {
 		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if coordinator != "" {
+		return submitSweep(ctx, coordinator, spec)
 	}
 
 	eng := &sweep.Engine{Workers: workers}
@@ -222,11 +240,88 @@ func runSweep(cfg experiments.Config, arg string, replicas, workers int, journal
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 	rep, err := eng.Run(ctx, spec)
 	if err != nil {
 		return err
+	}
+	fmt.Println(rep.Table())
+	return nil
+}
+
+// submitSweep runs the campaign on a remote dfserve: submit the spec,
+// stream progress over the watch channel, then fetch the aggregated
+// report. The remote journals completions, so a resubmitted spec only
+// executes what is missing there.
+func submitSweep(ctx context.Context, coordinator string, spec *sweep.Spec) error {
+	base := strings.TrimRight(coordinator, "/")
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/sweeps", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("submit to %s: %w", base, err)
+	}
+	var sub struct {
+		ID      string `json:"id"`
+		Created bool   `json:"created"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("submit decode: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+	fmt.Fprintf(os.Stderr, "sweep %s: campaign %s (created=%v) on %s\n", spec.Name, sub.ID, sub.Created, base)
+
+	// Stream progress until the campaign leaves the running state.
+	watchReq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/sweeps/"+sub.ID+"/watch", nil)
+	if err != nil {
+		return err
+	}
+	watchResp, err := http.DefaultClient.Do(watchReq)
+	if err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
+	defer watchResp.Body.Close()
+	var last struct {
+		State    string         `json:"state"`
+		Error    string         `json:"error"`
+		Progress sweep.Progress `json:"progress"`
+	}
+	dec := json.NewDecoder(watchResp.Body)
+	for dec.More() {
+		if err := dec.Decode(&last); err != nil {
+			return fmt.Errorf("watch decode: %w", err)
+		}
+		p := last.Progress
+		fmt.Fprintf(os.Stderr, "\rsweep %s: %d/%d done (%d cached, %d errors, %d requeued, %d workers)",
+			spec.Name, p.Done, p.Total, p.CacheHits, p.Errors, p.Requeues, p.Workers)
+	}
+	fmt.Fprintln(os.Stderr)
+	if last.State != "done" {
+		return fmt.Errorf("sweep ended in state %q: %s", last.State, last.Error)
+	}
+
+	resp, err = http.Get(base + "/sweeps/" + sub.ID + "/results?format=json")
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("results: status %d: %s", resp.StatusCode, msg)
+	}
+	var rep sweep.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return fmt.Errorf("results decode: %w", err)
 	}
 	fmt.Println(rep.Table())
 	return nil

@@ -8,6 +8,8 @@
 // Usage:
 //
 //	dfserve [-addr HOST:PORT] [-workers N] [-journal DIR]
+//	dfserve -fabric [-lease-ttl D] ...      coordinator: execute on attached workers
+//	dfserve -worker -coordinator URL [-worker-id ID] [-worker-slots N]
 //	dfserve -selftest
 //
 // Endpoints:
@@ -22,23 +24,36 @@
 //	GET    /metrics             Prometheus text exposition
 //	GET    /debug/pprof/        runtime profiling (pprof)
 //
+// With -fabric the service also mounts the coordinator API under /fabric/
+// (register, lease, heartbeat, results) and executes campaigns on attached
+// workers instead of an in-process pool: jobs are leased with a TTL,
+// renewed by worker heartbeats, requeued with backoff when a lease dies,
+// and quarantined after repeated failures. Start any number of workers
+// with `dfserve -worker -coordinator URL`; results aggregate exactly once
+// regardless of worker crashes or duplicate deliveries.
+//
 // Every request is counted and timed into the dfserve_http_* metric
 // families; the sweep worker pool and the live sim run state export as
-// sweep_jobs_* and sim_* series.
+// sweep_jobs_* and sim_* series, and -fabric adds the fabric_* lease
+// telemetry.
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight jobs finish and are
 // journaled, queued jobs are left for the next run.
 //
 // -selftest starts the service on a loopback port, submits a 4-job
 // warm-start sweep over real HTTP, asserts the aggregated output and the
-// prefix fork count, shuts down gracefully, and exits non-zero on any
+// prefix fork count, then repeats the same campaign through a fabric
+// coordinator with one attached worker and asserts the CSV is
+// byte-identical, shuts down gracefully, and exits non-zero on any
 // failure (used by ci.sh as a smoke test).
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -54,6 +69,7 @@ import (
 
 	"dynamicdf/internal/obs"
 	"dynamicdf/internal/sweep"
+	"dynamicdf/internal/sweep/fabric"
 )
 
 func main() {
@@ -62,6 +78,12 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8350", "listen address (use :0 for an ephemeral port)")
 	workers := flag.Int("workers", 0, "worker pool size per campaign (0 = GOMAXPROCS)")
 	journalDir := flag.String("journal", "", "journal directory for crash-safe resume (empty = in-memory only)")
+	fabricMode := flag.Bool("fabric", false, "coordinator mode: execute campaigns on attached -worker processes")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "fabric job lease TTL (with -fabric)")
+	workerMode := flag.Bool("worker", false, "worker mode: lease jobs from a -fabric coordinator")
+	coordinator := flag.String("coordinator", "", "coordinator base URL (with -worker), e.g. http://127.0.0.1:8350")
+	workerID := flag.String("worker-id", "", "worker id (default hostname.pid)")
+	workerSlots := flag.Int("worker-slots", 0, "concurrent job slots per worker (0 = GOMAXPROCS)")
 	selftest := flag.Bool("selftest", false, "start, submit a 2-job sweep, assert results, shut down")
 	flag.Parse()
 
@@ -72,19 +94,34 @@ func main() {
 		fmt.Println("dfserve: selftest ok")
 		return
 	}
+	if *workerMode {
+		if err := runWorker(*coordinator, *workerID, *workerSlots); err != nil &&
+			!errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *journalDir != "" {
 		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
 	}
-	srv, handler := newService(sweep.ServerConfig{Workers: *workers, JournalDir: *journalDir})
+	var fabricCfg *fabric.Config
+	if *fabricMode {
+		fabricCfg = &fabric.Config{LeaseTTL: *leaseTTL}
+	}
+	srv, handler := newService(sweep.ServerConfig{Workers: *workers, JournalDir: *journalDir}, fabricCfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	httpSrv := &http.Server{Handler: handler}
-	fmt.Printf("dfserve: listening on http://%s\n", ln.Addr())
+	httpSrv := newHTTPServer(handler)
+	mode := "pool"
+	if *fabricMode {
+		mode = "fabric coordinator"
+	}
+	fmt.Printf("dfserve: %s listening on http://%s\n", mode, ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -108,16 +145,42 @@ func main() {
 	log.Print("bye")
 }
 
+// newHTTPServer hardens a server against slow or stuck clients: bounded
+// header reads and idle keep-alives. Read and write deadlines are
+// deliberately NOT set — /sweeps/{id}/watch and /fabric/results are
+// long-lived NDJSON streams that a blanket WriteTimeout/ReadTimeout would
+// sever mid-campaign; the header timeout still closes connections that
+// never produce a request.
+func newHTTPServer(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 // newService wires the sweep server into the full dfserve handler: the
 // sweep API (instrumented with request metrics) at the root, the metrics
 // registry's text exposition at /metrics, and pprof at /debug/pprof/.
-func newService(cfg sweep.ServerConfig) (*sweep.Server, http.Handler) {
+// A non-nil fabricCfg switches campaign execution from the in-process
+// pool to a lease coordinator and mounts its API under /fabric/.
+func newService(cfg sweep.ServerConfig, fabricCfg *fabric.Config) (*sweep.Server, http.Handler) {
 	reg := obs.NewRegistry()
 	cfg.Metrics = reg
+
+	api := http.NewServeMux()
+	if fabricCfg != nil {
+		fabricCfg.Metrics = obs.NewFabricMetrics(reg)
+		hub := fabric.NewHub(*fabricCfg)
+		cfg.Runner = hub
+		api.Handle("/fabric/", hub.Handler())
+	}
 	srv := sweep.NewServer(cfg)
+	api.Handle("/", srv.Handler())
 
 	mux := http.NewServeMux()
-	mux.Handle("/", obs.InstrumentHandler(reg, "dfserve_http", srv.Handler()))
+	mux.Handle("/", obs.InstrumentHandler(reg, "dfserve_http", api))
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -125,6 +188,30 @@ func newService(cfg sweep.ServerConfig) (*sweep.Server, http.Handler) {
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return srv, mux
+}
+
+// runWorker leases jobs from a fabric coordinator until SIGINT/SIGTERM.
+func runWorker(coordinator, id string, slots int) error {
+	if coordinator == "" {
+		return fmt.Errorf("-worker requires -coordinator URL")
+	}
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s.%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	w := fabric.NewWorker(fabric.WorkerConfig{
+		ID:     id,
+		Client: fabric.NewClient(coordinator),
+		Slots:  slots,
+		Logf:   log.Printf,
+	})
+	log.Printf("worker %s attaching to %s", id, coordinator)
+	return w.Run(ctx)
 }
 
 // selftestSpec is a 4-job campaign (2 grid points x 2 seeds) small enough
@@ -163,40 +250,76 @@ const selftestSpec = `{
   "seeds": [1, 2]
 }`
 
-// runSelftest exercises the full service lifecycle over loopback HTTP.
+// runSelftest exercises the full service lifecycle over loopback HTTP,
+// twice: once on the in-process pool, once through a fabric coordinator
+// with one attached worker — and asserts both paths emit byte-identical
+// aggregate CSVs.
 func runSelftest(workers int) error {
-	srv, handler := newService(sweep.ServerConfig{Workers: workers})
+	poolCSV, err := selftestRound(workers, nil, nil)
+	if err != nil {
+		return fmt.Errorf("pool round: %w", err)
+	}
+	fabricCSV, err := selftestRound(workers, &fabric.Config{}, []string{
+		"# TYPE fabric_leases_total counter",
+		"# TYPE fabric_workers_live gauge",
+	})
+	if err != nil {
+		return fmt.Errorf("fabric round: %w", err)
+	}
+	if !bytes.Equal(poolCSV, fabricCSV) {
+		return fmt.Errorf("fabric CSV diverged from pool CSV:\n--- pool ---\n%s--- fabric ---\n%s", poolCSV, fabricCSV)
+	}
+	return nil
+}
+
+// selftestRound runs the selftest campaign once and returns its aggregate
+// CSV. A non-nil fabricCfg runs it through a coordinator with one attached
+// worker; extraMetrics lists exposition lines that must appear.
+func selftestRound(workers int, fabricCfg *fabric.Config, extraMetrics []string) ([]byte, error) {
+	srv, handler := newService(sweep.ServerConfig{Workers: workers}, fabricCfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	httpSrv := &http.Server{Handler: handler}
+	httpSrv := newHTTPServer(handler)
 	go func() { _ = httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	if fabricCfg != nil {
+		w := fabric.NewWorker(fabric.WorkerConfig{
+			ID:           "selftest-worker",
+			Client:       fabric.NewClient(base),
+			Slots:        2,
+			PollInterval: 10 * time.Millisecond,
+		})
+		go func() { _ = w.Run(workerCtx) }()
+	}
+
 	resp, err := http.Post(base+"/sweeps", "application/json", strings.NewReader(selftestSpec))
 	if err != nil {
-		return fmt.Errorf("submit: %w", err)
+		return nil, fmt.Errorf("submit: %w", err)
 	}
 	var sub struct {
 		ID string `json:"id"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
-		return fmt.Errorf("submit decode: %w", err)
+		return nil, fmt.Errorf("submit decode: %w", err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
-		return fmt.Errorf("submit: status %d, id %q", resp.StatusCode, sub.ID)
+		return nil, fmt.Errorf("submit: status %d, id %q", resp.StatusCode, sub.ID)
 	}
 
 	deadline := time.Now().Add(60 * time.Second)
 	for {
 		if time.Now().After(deadline) {
-			return fmt.Errorf("sweep %s did not finish in time", sub.ID)
+			return nil, fmt.Errorf("sweep %s did not finish in time", sub.ID)
 		}
 		resp, err := http.Get(base + "/sweeps/" + sub.ID)
 		if err != nil {
-			return fmt.Errorf("poll: %w", err)
+			return nil, fmt.Errorf("poll: %w", err)
 		}
 		var st struct {
 			State    string `json:"state"`
@@ -207,87 +330,94 @@ func runSelftest(workers int) error {
 			} `json:"progress"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-			return fmt.Errorf("poll decode: %w", err)
+			return nil, fmt.Errorf("poll decode: %w", err)
 		}
 		resp.Body.Close()
 		if st.State == "done" {
 			if st.Progress.Done != 4 || st.Progress.Errors != 0 {
-				return fmt.Errorf("unexpected progress: %+v", st.Progress)
+				return nil, fmt.Errorf("unexpected progress: %+v", st.Progress)
 			}
 			if st.Progress.ForkHits < 1 {
-				return fmt.Errorf("no warm-start fork hits: %+v", st.Progress)
+				return nil, fmt.Errorf("no warm-start fork hits: %+v", st.Progress)
 			}
 			break
 		}
 		if st.State != "running" {
-			return fmt.Errorf("sweep ended in state %q: %s", st.State, st.Error)
+			return nil, fmt.Errorf("sweep ended in state %q: %s", st.State, st.Error)
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
 
 	resp, err = http.Get(base + "/sweeps/" + sub.ID + "/results")
 	if err != nil {
-		return fmt.Errorf("results: %w", err)
+		return nil, fmt.Errorf("results: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("results: status %d", resp.StatusCode)
+		return nil, fmt.Errorf("results: status %d", resp.StatusCode)
 	}
-	sc := bufio.NewScanner(resp.Body)
+	csv, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("results read: %w", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(csv))
 	var lines []string
 	for sc.Scan() {
 		lines = append(lines, sc.Text())
 	}
 	if len(lines) != 3 {
-		return fmt.Errorf("aggregated csv has %d lines, want header + 2 rows: %q", len(lines), lines)
+		return nil, fmt.Errorf("aggregated csv has %d lines, want header + 2 rows: %q", len(lines), lines)
 	}
 	if !strings.HasPrefix(lines[0], "group,seeds") {
-		return fmt.Errorf("bad header %q", lines[0])
+		return nil, fmt.Errorf("bad header %q", lines[0])
 	}
 	if !strings.HasSuffix(lines[0], ",violations") {
-		return fmt.Errorf("header %q lacks the violations column", lines[0])
+		return nil, fmt.Errorf("header %q lacks the violations column", lines[0])
 	}
 	for i, group := range []string{"policy=global/faults=off", "policy=global/faults=on"} {
 		row := lines[1+i]
 		if !strings.HasPrefix(row, group+",2,0,0,") {
-			return fmt.Errorf("bad aggregated row %q, want group %s with 2 clean seeds", row, group)
+			return nil, fmt.Errorf("bad aggregated row %q, want group %s with 2 clean seeds", row, group)
 		}
 		// The selftest campaign runs strict-checked; any invariant violation
 		// would have failed the jobs, and the summed column must stay 0.
 		if !strings.HasSuffix(row, ",0") {
-			return fmt.Errorf("aggregated row %q reports invariant violations", row)
+			return nil, fmt.Errorf("aggregated row %q reports invariant violations", row)
 		}
 	}
 
 	resp, err = http.Get(base + "/metrics")
 	if err != nil {
-		return fmt.Errorf("metrics: %w", err)
+		return nil, fmt.Errorf("metrics: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("metrics: status %d", resp.StatusCode)
+		return nil, fmt.Errorf("metrics: status %d", resp.StatusCode)
 	}
 	expo, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return fmt.Errorf("metrics read: %w", err)
+		return nil, fmt.Errorf("metrics read: %w", err)
 	}
-	for _, want := range []string{
+	want := []string{
 		"# TYPE sweep_jobs_done_total counter",
 		"# TYPE dfserve_http_requests_total counter",
 		"# TYPE sim_omega gauge",
-	} {
-		if !strings.Contains(string(expo), want) {
-			return fmt.Errorf("metrics output missing %q:\n%s", want, expo)
+	}
+	want = append(want, extraMetrics...)
+	for _, line := range want {
+		if !strings.Contains(string(expo), line) {
+			return nil, fmt.Errorf("metrics output missing %q:\n%s", line, expo)
 		}
 	}
 
+	stopWorker()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("http shutdown: %w", err)
+		return nil, fmt.Errorf("http shutdown: %w", err)
 	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("sweep shutdown: %w", err)
+		return nil, fmt.Errorf("sweep shutdown: %w", err)
 	}
-	return nil
+	return csv, nil
 }

@@ -15,7 +15,7 @@ import (
 // TestServiceObservabilityEndpoints asserts the composed dfserve handler
 // serves the sweep API, the Prometheus exposition, and pprof side by side.
 func TestServiceObservabilityEndpoints(t *testing.T) {
-	srv, handler := newService(sweep.ServerConfig{Workers: 1})
+	srv, handler := newService(sweep.ServerConfig{Workers: 1}, nil)
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 	defer func() {

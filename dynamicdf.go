@@ -55,6 +55,7 @@ import (
 	"dynamicdf/internal/sim"
 	"dynamicdf/internal/state"
 	"dynamicdf/internal/sweep"
+	"dynamicdf/internal/sweep/fabric"
 	"dynamicdf/internal/trace"
 )
 
@@ -456,6 +457,54 @@ func OpenSweepJournal(path string) (*SweepJournal, error) { return sweep.OpenJou
 
 // NewSweepServer builds the HTTP campaign service (see Handler/Submit).
 func NewSweepServer(cfg SweepServerConfig) *SweepServer { return sweep.NewServer(cfg) }
+
+// Distributed sweep fabric: a lease-based coordinator that executes
+// campaigns on attached worker processes with heartbeat-renewed job
+// leases, capped-backoff requeues, poison-job quarantine, warm-start
+// prefix affinity, and idempotent result acks — campaign output stays
+// byte-identical to a single-pool run regardless of worker crashes or
+// duplicate deliveries (see internal/sweep/fabric and dfserve -fabric /
+// -worker).
+type (
+	// FabricConfig tunes the coordinator's lease state machine.
+	FabricConfig = fabric.Config
+	// FabricHub is the coordinator: it implements the sweep server's
+	// CampaignRunner and serves the worker API under /fabric/.
+	FabricHub = fabric.Hub
+	// FabricWorker leases jobs from a coordinator and executes them with
+	// pool-identical semantics.
+	FabricWorker = fabric.Worker
+	// FabricWorkerConfig tunes one worker.
+	FabricWorkerConfig = fabric.WorkerConfig
+	// FabricClient is a worker's HTTP view of the coordinator.
+	FabricClient = fabric.Client
+	// FabricLease is one granted job lease.
+	FabricLease = fabric.Lease
+	// FabricFaults injects deterministic, seeded fabric failures (worker
+	// crashes, hangs, dropped/duplicated deliveries, heartbeat loss) for
+	// chaos testing.
+	FabricFaults = fabric.Faults
+	// FabricMetrics is the coordinator's fabric_* metric family.
+	FabricMetrics = obs.FabricMetrics
+)
+
+// ErrFabricWorkerCrashed is returned by FabricWorker.Run when an injected
+// crash fault killed the worker.
+var ErrFabricWorkerCrashed = fabric.ErrCrashed
+
+// NewFabricHub builds a coordinator (wire it as SweepServerConfig.Runner
+// and mount Handler at /fabric/).
+func NewFabricHub(cfg FabricConfig) *FabricHub { return fabric.NewHub(cfg) }
+
+// NewFabricWorker builds a worker; Run leases and executes jobs until its
+// context is cancelled.
+func NewFabricWorker(cfg FabricWorkerConfig) *FabricWorker { return fabric.NewWorker(cfg) }
+
+// NewFabricClient returns a client for the coordinator at base.
+func NewFabricClient(base string) *FabricClient { return fabric.NewClient(base) }
+
+// NewFabricMetrics registers the fabric_* series on reg.
+func NewFabricMetrics(reg *MetricsRegistry) *FabricMetrics { return obs.NewFabricMetrics(reg) }
 
 // Observability: structured event tracing, a Prometheus-style metrics
 // registry with text exposition, and trace inspection (see internal/obs,

@@ -57,6 +57,17 @@ const (
 	// Point events: QoS and correctness.
 	EventOmegaViolation     = "omega-violation"
 	EventInvariantViolation = "invariant-violation"
+
+	// Point events: distributed sweep fabric (coordinator side). Detail
+	// carries "job -> worker" coordinates; N is the lease attempt or
+	// failure count at the emitting site.
+	EventWorkerJoin  = "worker-join"  // worker registered with the coordinator
+	EventLease       = "lease"        // job leased to a worker
+	EventHeartbeat   = "heartbeat"    // worker heartbeat renewed its leases
+	EventLeaseExpire = "lease-expire" // lease TTL elapsed without renewal
+	EventRequeue     = "requeue"      // expired job requeued with backoff
+	EventQuarantine  = "quarantine"   // job retired as poison after repeated lease failures
+	EventResultDup   = "result-dup"   // duplicate result delivery ignored
 )
 
 // Event is one structured trace record. Sec is simulation time (seconds),

@@ -65,3 +65,41 @@ func NewPoolMetrics(reg *Registry) *PoolMetrics {
 		CacheHits:   reg.Counter("sweep_jobs_cache_hits_total", "Sweep jobs served from the journal."),
 	}
 }
+
+// FabricMetrics instruments the distributed sweep fabric coordinator: the
+// worker fleet, the lease state machine, and the exactly-once ack path.
+// A nil *FabricMetrics is a no-op.
+type FabricMetrics struct {
+	// WorkersLive is the workers seen within one lease TTL.
+	WorkersLive *Gauge
+	// LeasesActive is the jobs currently leased to workers.
+	LeasesActive *Gauge
+	// LeasesTotal counts leases granted (first attempts and retries alike).
+	LeasesTotal *Counter
+	// LeaseExpiries counts leases that reached their TTL without renewal.
+	LeaseExpiries *Counter
+	// Requeues counts expired jobs sent back to the queue with backoff.
+	Requeues *Counter
+	// Quarantined counts jobs retired as poison after repeated lease
+	// failures.
+	Quarantined *Counter
+	// Heartbeats counts worker heartbeat calls.
+	Heartbeats *Counter
+	// DupResults counts duplicate result deliveries ignored by the
+	// idempotent ack path.
+	DupResults *Counter
+}
+
+// NewFabricMetrics registers the fabric_* metric set on a registry.
+func NewFabricMetrics(reg *Registry) *FabricMetrics {
+	return &FabricMetrics{
+		WorkersLive:   reg.Gauge("fabric_workers_live", "Fabric workers seen within one lease TTL."),
+		LeasesActive:  reg.Gauge("fabric_leases_active", "Sweep jobs currently leased to fabric workers."),
+		LeasesTotal:   reg.Counter("fabric_leases_total", "Job leases granted by the fabric coordinator."),
+		LeaseExpiries: reg.Counter("fabric_lease_expiries_total", "Leases that reached their TTL without renewal."),
+		Requeues:      reg.Counter("fabric_requeues_total", "Expired jobs requeued with backoff."),
+		Quarantined:   reg.Counter("fabric_quarantined_total", "Jobs quarantined after repeated lease failures."),
+		Heartbeats:    reg.Counter("fabric_heartbeats_total", "Worker heartbeats processed."),
+		DupResults:    reg.Counter("fabric_duplicate_results_total", "Duplicate result deliveries ignored."),
+	}
+}

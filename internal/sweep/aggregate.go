@@ -128,8 +128,12 @@ func (r *Report) Table() string {
 	if name == "" {
 		name = "(unnamed sweep)"
 	}
-	fmt.Fprintf(&b, "sweep %s: %d jobs, %d executed, %d cached (%.0f%% hit rate), %d errors\n",
+	fmt.Fprintf(&b, "sweep %s: %d jobs, %d executed, %d cached (%.0f%% hit rate), %d errors",
 		name, r.Total, r.Executed, r.CacheHits, 100*r.HitRate(), r.Errors)
+	if r.Requeues > 0 || r.Quarantined > 0 {
+		fmt.Fprintf(&b, ", %d requeued, %d quarantined", r.Requeues, r.Quarantined)
+	}
+	b.WriteString("\n")
 	if r.Missing > 0 {
 		fmt.Fprintf(&b, "  INCOMPLETE: %d jobs missing\n", r.Missing)
 	}

@@ -53,28 +53,38 @@ type Result struct {
 
 // Progress is a point-in-time view of a running campaign.
 type Progress struct {
-	Total     int    `json:"total"`
-	Done      int    `json:"done"` // cache hits + executed
-	Running   int    `json:"running"`
-	CacheHits int    `json:"cacheHits"`
-	Executed  int    `json:"executed"`
-	Errors    int    `json:"errors"`
-	ForkHits  int    `json:"forkHits,omitempty"`
-	LastJob   string `json:"lastJob,omitempty"`
+	Total     int `json:"total"`
+	Done      int `json:"done"` // cache hits + executed (+ quarantined on the fabric)
+	Running   int `json:"running"`
+	CacheHits int `json:"cacheHits"`
+	Executed  int `json:"executed"`
+	Errors    int `json:"errors"`
+	ForkHits  int `json:"forkHits,omitempty"`
+	// Requeues, Quarantined, and Workers are populated by the distributed
+	// fabric (internal/sweep/fabric); the in-process pool leaves them zero.
+	Requeues    int    `json:"requeues,omitempty"`
+	Quarantined int    `json:"quarantined,omitempty"`
+	Workers     int    `json:"workers,omitempty"`
+	LastJob     string `json:"lastJob,omitempty"`
 }
 
 // Report is a campaign's outcome: per-job results in deterministic grid
 // order plus the aggregated per-group rows.
 type Report struct {
-	Name      string   `json:"name"`
-	Total     int      `json:"total"`
-	CacheHits int      `json:"cacheHits"`
-	Executed  int      `json:"executed"`
-	Errors    int      `json:"errors"`
-	ForkHits  int      `json:"forkHits,omitempty"` // jobs forked from warm-start prefixes
-	Missing   int      `json:"missing"`            // jobs unfinished after cancel/drain
-	Rows      []AggRow `json:"rows"`
-	Results   []Result `json:"results"`
+	Name      string `json:"name"`
+	Total     int    `json:"total"`
+	CacheHits int    `json:"cacheHits"`
+	Executed  int    `json:"executed"`
+	Errors    int    `json:"errors"`
+	ForkHits  int    `json:"forkHits,omitempty"` // jobs forked from warm-start prefixes
+	Missing   int    `json:"missing"`            // jobs unfinished after cancel/drain
+	// Requeues counts leases that expired and sent their job back to the
+	// queue; Quarantined counts jobs retired as poison after repeated lease
+	// failures. Both stay zero on the in-process pool.
+	Requeues    int      `json:"requeues,omitempty"`
+	Quarantined int      `json:"quarantined,omitempty"`
+	Rows        []AggRow `json:"rows"`
+	Results     []Result `json:"results"`
 }
 
 // HitRate reports the fraction of jobs served from the journal.
@@ -289,6 +299,34 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 	return report, nil
 }
 
+// RunOpts carries a campaign's execution context for a CampaignRunner: the
+// per-campaign journal, progress sink, and drain signal the hosting server
+// owns.
+type RunOpts struct {
+	Journal    *Journal
+	OnProgress func(Progress)
+	Drain      <-chan struct{}
+}
+
+// CampaignRunner executes an expanded spec to completion. The in-process
+// Engine is the built-in implementation; internal/sweep/fabric provides a
+// distributed one (lease-based coordinator + HTTP workers). The Server
+// picks whichever its config names.
+type CampaignRunner interface {
+	RunCampaign(ctx context.Context, spec *Spec, opts RunOpts) (*Report, error)
+}
+
+// RunCampaign implements CampaignRunner on the in-process pool. The
+// receiver acts as a template (Workers, Pool, Gauges, Tracer); the
+// per-campaign journal, progress sink, and drain channel come from opts.
+func (e *Engine) RunCampaign(ctx context.Context, spec *Spec, opts RunOpts) (*Report, error) {
+	eng := *e
+	eng.Journal = opts.Journal
+	eng.OnProgress = opts.OnProgress
+	eng.Drain = opts.Drain
+	return eng.Run(ctx, spec)
+}
+
 // prefixRun is one shared warm-start prefix: the first worker to need it
 // simulates the prefix scenario to untilSec and checkpoints; everyone else
 // waits on the Once and forks the snapshot. A nil snap after the Once means
@@ -301,65 +339,78 @@ type prefixRun struct {
 	snap     *state.Snapshot
 }
 
-// run simulates the prefix scenario to untilSec and returns its checkpoint,
-// or nil on any failure. No tracer or gauges are attached: the prefix's
-// events would otherwise appear once for the whole group instead of once
-// per job, breaking per-job trace accounting.
-func (p *prefixRun) run(ctx context.Context, sc *scenario.Scenario) *state.Snapshot {
+// RunPrefix simulates a warm-start prefix scenario to untilSec and returns
+// its checkpoint, or nil on any failure (build error, cancellation, panic):
+// warm-starting is an optimization, never a new failure mode. No tracer or
+// gauges are attached — the prefix's events would otherwise appear once for
+// the whole group instead of once per job, breaking per-job trace
+// accounting. Both the in-process pool and fabric workers share this path,
+// so warm and cold runs stay byte-equivalent across topologies.
+func RunPrefix(ctx context.Context, sc *scenario.Scenario, untilSec int64) (snap *state.Snapshot) {
 	defer func() { recover() }() // a panicking prefix falls back to cold runs
 	built, err := sc.Build()
 	if err != nil {
 		return nil
 	}
-	if err := built.Engine.RunUntil(ctx, built.Scheduler, p.untilSec); err != nil {
+	if err := built.Engine.RunUntil(ctx, built.Scheduler, untilSec); err != nil {
 		return nil
 	}
-	snap, err := built.Engine.Checkpoint()
+	s, err := built.Engine.Checkpoint()
 	if err != nil {
 		return nil
 	}
-	return snap
+	return s
 }
 
-// runJob builds and runs one job in isolation: a fresh engine and
-// scheduler per job, panics converted to deterministic job errors, and
-// cancellation distinguished from failure. The sweep engine's tracer and
-// gauges are attached to the job's sim engine; the closing sweep-job span
-// carries the job's outcome (Value = Theta, or the error in Detail).
-// A non-nil pr forks the job from the group's shared prefix checkpoint
-// when possible; any warm-start failure silently degrades to a cold run.
-func (e *Engine) runJob(ctx context.Context, idx int, job Job, pr *prefixRun) (res Result, canceled bool) {
+// runJob resolves the group's shared prefix checkpoint (simulating it once
+// per group) and hands the job to ExecuteJob.
+func (e *Engine) runJob(ctx context.Context, idx int, job Job, pr *prefixRun) (Result, bool) {
+	var snap *state.Snapshot
+	if pr != nil {
+		pr.once.Do(func() { pr.snap = RunPrefix(ctx, job.Prefix, pr.untilSec) })
+		snap = pr.snap
+	}
+	return ExecuteJob(ctx, job, snap, e.Tracer, e.Gauges, idx)
+}
+
+// ExecuteJob builds and runs one resolved job in isolation: a fresh engine
+// and scheduler per job, panics converted to deterministic job errors, and
+// cancellation distinguished from failure. The tracer and gauges are
+// attached to the job's sim engine; the closing sweep-job span carries the
+// job's outcome (Value = Theta, or the error in Detail) with n tagging the
+// span. A non-nil snap forks the job from a warm-start prefix checkpoint
+// when restorable; any warm-start failure silently degrades to a cold run.
+// Fabric workers share this path with the in-process pool, so a job's
+// result is identical regardless of where it executes.
+func ExecuteJob(ctx context.Context, job Job, snap *state.Snapshot, tracer *obs.Tracer, gauges *obs.RunGauges, n int) (res Result, canceled bool) {
 	res = Result{JobID: job.ID, Key: job.Key, Group: job.Group, Seed: job.Seed}
 	defer func() {
 		if p := recover(); p != nil {
 			res.Error = fmt.Sprintf("panic: %v", p)
 		}
 		ev := obs.Event{Type: obs.EventSweepJob, Phase: obs.PhaseEnd,
-			N: idx, Detail: job.ID, Value: res.Theta}
+			N: n, Detail: job.ID, Value: res.Theta}
 		switch {
 		case canceled:
 			ev.Detail = job.ID + " canceled"
 		case res.Error != "":
 			ev.Detail = job.ID + " error: " + res.Error
 		}
-		e.Tracer.Emit(ev)
+		tracer.Emit(ev)
 	}()
 	built, err := job.Scenario.Build()
 	if err != nil {
 		res.Error = err.Error()
 		return res, false
 	}
-	if pr != nil {
-		pr.once.Do(func() { pr.snap = pr.run(ctx, job.Prefix) })
-		if pr.snap != nil {
-			if eng, rerr := sim.Restore(pr.snap, built.Config); rerr == nil {
-				built.Engine = eng
-				res.Forked = true
-			}
+	if snap != nil {
+		if eng, rerr := sim.Restore(snap, built.Config); rerr == nil {
+			built.Engine = eng
+			res.Forked = true
 		}
 	}
-	built.Engine.SetTracer(e.Tracer)
-	built.Engine.SetGauges(e.Gauges)
+	built.Engine.SetTracer(tracer)
+	built.Engine.SetGauges(gauges)
 	sum, err := built.Engine.RunContext(ctx, built.Scheduler)
 	res.Violations = built.Engine.InvariantViolations()
 	if err != nil {
@@ -379,8 +430,8 @@ func (e *Engine) runJob(ctx context.Context, idx int, job Job, pr *prefixRun) (r
 	res.MeanVMs = sum.MeanVMs
 	res.LatencySec = sum.MeanLatencySec
 	res.MeetsOmega = built.Objective.MeetsConstraint(sum.MeanOmega)
-	if e.Gauges != nil {
-		e.Gauges.Theta.Set(res.Theta)
+	if gauges != nil {
+		gauges.Theta.Set(res.Theta)
 	}
 	return res, false
 }

@@ -1,0 +1,283 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dynamicdf/internal/sweep"
+)
+
+// chaosSpec crosses a non-warm rate axis with a warm faults axis over three
+// seeds: 12 jobs in 6 warm-start fork groups of 2, so the chaos run
+// exercises prefix affinity, requeues, and replica aggregation at once.
+func chaosSpec(t *testing.T) (*sweep.Spec, []byte) {
+	t.Helper()
+	doc := []byte(fmt.Sprintf(`{
+	  "name": "chaos",
+	  "base": %s,
+	  "axes": [
+	    {"name": "rate", "values": [
+	      {"label": "r5", "patch": {}},
+	      {"label": "r8", "patch": {"rate": {"mean": 8}}}
+	    ]},
+	    {"name": "faults", "warm": true, "values": [
+	      {"label": "off", "patch": {"control": {"faultFreeSec": 120}}},
+	      {"label": "on",  "patch": {"control": {"acquireFailProb": 0.5, "faultFreeSec": 120}}}
+	    ]}
+	  ],
+	  "warmStart": {"prefixSec": 120},
+	  "seeds": [1, 2, 3]
+	}`, testBase))
+	spec, err := sweep.ParseSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, doc
+}
+
+// TestFabricChaos is the fabric's end-to-end acceptance test: a campaign
+// submitted to a coordinator-backed sweep service and executed by three
+// crash-prone workers over real HTTP — with seeded crashes, hangs, lost
+// heartbeats, dropped and duplicated result deliveries — must produce an
+// aggregate CSV byte-identical to a fault-free single-pool run, journal
+// every completion exactly once, and surface requeue counts in the report.
+func TestFabricChaos(t *testing.T) {
+	spec, doc := chaosSpec(t)
+
+	// Fault-free single-pool baseline.
+	baseRep, err := (&sweep.Engine{Workers: 4}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseCSV bytes.Buffer
+	if err := baseRep.WriteCSV(&baseCSV); err != nil {
+		t.Fatal(err)
+	}
+	if baseRep.Errors != 0 || baseRep.Total != 12 {
+		t.Fatalf("baseline errors=%d total=%d, want 0/12", baseRep.Errors, baseRep.Total)
+	}
+
+	// Coordinator: lease TTL short enough that crashed workers' jobs requeue
+	// within the test, failure cap high enough that quarantine can never
+	// retire a job — every job must eventually complete, or the CSV
+	// comparison fails.
+	hub := NewHub(Config{
+		LeaseTTL:         500 * time.Millisecond,
+		MaxLeaseFailures: 1000,
+		BackoffBase:      5 * time.Millisecond,
+		BackoffMax:       40 * time.Millisecond,
+		TickEvery:        20 * time.Millisecond,
+	})
+	journalDir := t.TempDir()
+	srv := sweep.NewServer(sweep.ServerConfig{Runner: hub, JournalDir: journalDir})
+	mux := http.NewServeMux()
+	mux.Handle("/fabric/", hub.Handler())
+	mux.Handle("/", srv.Handler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// Three workers with deterministic seeded faults, respawned (under fresh
+	// ids) whenever a crash fault kills them.
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	faults := &Faults{
+		Seed:              42,
+		CrashProb:         0.25,
+		HangProb:          0.15,
+		HangFor:           1200 * time.Millisecond,
+		SlowProb:          0.2,
+		SlowFor:           80 * time.Millisecond,
+		DropResultProb:    0.25,
+		DupResultProb:     0.3,
+		HeartbeatLossProb: 0.2,
+	}
+	var crashes atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for gen := 0; ctx.Err() == nil; gen++ {
+				w := NewWorker(WorkerConfig{
+					ID:           fmt.Sprintf("chaos-w%d.%d", i, gen),
+					Client:       NewClient(ts.URL),
+					Slots:        2,
+					PollInterval: 10 * time.Millisecond,
+					Faults:       faults,
+					Logf:         t.Logf,
+				})
+				if err := w.Run(ctx); errors.Is(err, ErrCrashed) {
+					crashes.Add(1)
+					continue
+				}
+				return
+			}
+		}(i)
+	}
+	defer wg.Wait()
+	defer cancel()
+
+	id := submitSpec(t, ts.URL, doc)
+	st := awaitState(t, ts.URL, id, 80*time.Second)
+	if st.State != "done" {
+		t.Fatalf("campaign ended %q (error %q), want done", st.State, st.Error)
+	}
+
+	// The final report must surface the chaos — and none of it may leak into
+	// the results.
+	rep := fetchReport(t, ts.URL, id)
+	if rep.Executed != 12 || rep.Errors != 0 || rep.Quarantined != 0 {
+		t.Fatalf("report executed=%d errors=%d quarantined=%d, want 12/0/0", rep.Executed, rep.Errors, rep.Quarantined)
+	}
+	if rep.Requeues < 1 {
+		t.Fatalf("report requeues=%d; the fault plan should have expired at least one lease", rep.Requeues)
+	}
+	if rep.ForkHits < 1 {
+		t.Fatalf("report forkHits=%d; warm-start fork groups should have forked", rep.ForkHits)
+	}
+	if st.Progress.Requeues != rep.Requeues {
+		t.Fatalf("progress requeues=%d, report requeues=%d: counts not surfaced", st.Progress.Requeues, rep.Requeues)
+	}
+	if crashes.Load() < 1 {
+		t.Fatalf("no worker crash faults fired; the chaos plan is inert")
+	}
+
+	// Tentpole assertion: byte-identical aggregate CSV despite the chaos.
+	chaosCSV := fetchCSV(t, ts.URL, id)
+	if !bytes.Equal(chaosCSV, baseCSV.Bytes()) {
+		t.Fatalf("chaos CSV diverged from single-pool baseline:\n--- baseline ---\n%s\n--- chaos ---\n%s",
+			baseCSV.Bytes(), chaosCSV)
+	}
+
+	// Exactly-once through the journal: every completion recorded once,
+	// duplicates dropped, and a resumed campaign replays wholly from cache
+	// with the same bytes.
+	journal, err := sweep.OpenJournal(filepath.Join(journalDir, "sweep-"+id+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := journal.Len()
+	journal.Close()
+	if n != 12 {
+		t.Fatalf("journal has %d entries, want 12 (exactly one per job)", n)
+	}
+	srv2 := sweep.NewServer(sweep.ServerConfig{Runner: hub, JournalDir: journalDir})
+	mux2 := http.NewServeMux()
+	mux2.Handle("/fabric/", hub.Handler())
+	mux2.Handle("/", srv2.Handler())
+	ts2 := httptest.NewServer(mux2)
+	defer ts2.Close()
+	id2 := submitSpec(t, ts2.URL, doc)
+	if id2 != id {
+		t.Fatalf("resubmitted spec got campaign id %s, want %s", id2, id)
+	}
+	st2 := awaitState(t, ts2.URL, id2, 20*time.Second)
+	if st2.State != "done" {
+		t.Fatalf("replayed campaign ended %q (error %q)", st2.State, st2.Error)
+	}
+	rep2 := fetchReport(t, ts2.URL, id2)
+	if rep2.CacheHits != 12 || rep2.Executed != 0 {
+		t.Fatalf("replay cacheHits=%d executed=%d, want 12/0", rep2.CacheHits, rep2.Executed)
+	}
+	replayCSV := fetchCSV(t, ts2.URL, id2)
+	if !bytes.Equal(replayCSV, baseCSV.Bytes()) {
+		t.Fatal("journal-replayed CSV diverged from baseline")
+	}
+}
+
+type wireStatus struct {
+	ID       string         `json:"id"`
+	State    string         `json:"state"`
+	Error    string         `json:"error"`
+	Progress sweep.Progress `json:"progress"`
+}
+
+func submitSpec(t *testing.T, base string, doc []byte) string {
+	t.Helper()
+	resp, err := http.Post(base+"/sweeps", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID
+}
+
+func awaitState(t *testing.T, base, id string, timeout time.Duration) wireStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st wireStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "running" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign still running after %s: %+v", timeout, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func fetchReport(t *testing.T, base, id string) *sweep.Report {
+	t.Helper()
+	resp, err := http.Get(base + "/sweeps/" + id + "/results?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("report: status %d: %s", resp.StatusCode, body)
+	}
+	var rep sweep.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	return &rep
+}
+
+func fetchCSV(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("csv: status %d: %s", resp.StatusCode, body)
+	}
+	return body
+}

@@ -1,0 +1,92 @@
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Faults deterministically injects fabric-level failures into workers,
+// mirroring the simulator's own seeded fault-injection philosophy: every
+// decision is a pure hash of (seed, fault kind, job key, lease attempt),
+// so a given attempt's fate is fixed by the seed alone — independent of
+// wall-clock timing, goroutine scheduling, or which worker drew the lease.
+// That makes chaos tests reproducible: the same seed always crashes the
+// same attempts, duplicates the same deliveries, and mutes the same
+// heartbeats, while the campaign's aggregate output must remain
+// byte-identical to a fault-free run.
+//
+// Because decisions key on the attempt number, a job whose attempt N
+// crashes will draw a fresh decision for attempt N+1; with any
+// probability below 1 every job eventually completes, which is what lets
+// the chaos test assert exact output equality.
+type Faults struct {
+	// Seed fixes every decision below.
+	Seed int64
+	// CrashProb kills the whole worker at lease receipt: nothing runs, no
+	// result is delivered, every lease the worker held dies with it.
+	CrashProb float64
+	// HangProb finishes the job but delivers only after HangFor — long
+	// after the lease expired and the job was requeued — exercising the
+	// idempotent late re-ack path.
+	HangProb float64
+	HangFor  time.Duration
+	// SlowProb delays the run by SlowFor before starting.
+	SlowProb float64
+	SlowFor  time.Duration
+	// DropResultProb loses the first result delivery in transit; the
+	// worker re-acks.
+	DropResultProb float64
+	// DupResultProb delivers the result twice.
+	DupResultProb float64
+	// HeartbeatLossProb stops renewing the job's lease mid-run: the lease
+	// expires server-side while the run continues to completion.
+	HeartbeatLossProb float64
+}
+
+// roll returns a uniform [0,1) draw fixed by (seed, kind, key, attempt).
+func (f *Faults) roll(kind, key string, attempt int) float64 {
+	h := sha256.New()
+	fmt.Fprintf(h, "fabric-fault\n%d\n%s\n%s\n%d", f.Seed, kind, key, attempt)
+	sum := h.Sum(nil)
+	return float64(binary.BigEndian.Uint64(sum[:8])) / math.MaxUint64
+}
+
+// Crash reports whether this lease attempt kills the worker.
+func (f *Faults) Crash(key string, attempt int) bool {
+	return f != nil && f.roll("crash", key, attempt) < f.CrashProb
+}
+
+// Hang reports whether (and for how long) this attempt's delivery is
+// delayed past lease expiry.
+func (f *Faults) Hang(key string, attempt int) (time.Duration, bool) {
+	if f == nil || f.roll("hang", key, attempt) >= f.HangProb {
+		return 0, false
+	}
+	return f.HangFor, true
+}
+
+// Slow reports whether (and by how much) this attempt's start is delayed.
+func (f *Faults) Slow(key string, attempt int) (time.Duration, bool) {
+	if f == nil || f.roll("slow", key, attempt) >= f.SlowProb {
+		return 0, false
+	}
+	return f.SlowFor, true
+}
+
+// DropResult reports whether this attempt's first delivery is lost.
+func (f *Faults) DropResult(key string, attempt int) bool {
+	return f != nil && f.roll("drop", key, attempt) < f.DropResultProb
+}
+
+// DupResult reports whether this attempt's result is delivered twice.
+func (f *Faults) DupResult(key string, attempt int) bool {
+	return f != nil && f.roll("dup", key, attempt) < f.DupResultProb
+}
+
+// HeartbeatLoss reports whether this attempt's lease renewal goes mute.
+func (f *Faults) HeartbeatLoss(key string, attempt int) bool {
+	return f != nil && f.roll("heartbeat-loss", key, attempt) < f.HeartbeatLossProb
+}

@@ -1,9 +1,10 @@
 package sweep
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
@@ -12,7 +13,9 @@ import (
 // JSON line per finished job, keyed by the job's content hash, appended and
 // fsynced as each job completes. Reopening a journal replays its entries,
 // so a resumed campaign re-runs only the jobs whose keys are missing. A
-// torn final line (from a crash mid-append) is ignored on load.
+// torn final line (from a crash between write and fsync) is truncated on
+// load so the campaign resumes cleanly and later appends cannot glue onto
+// the partial record.
 type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -28,20 +31,36 @@ func OpenJournal(path string) (*Journal, error) {
 		return nil, fmt.Errorf("sweep: open journal: %w", err)
 	}
 	j := &Journal{f: f, path: path, seen: map[string]Result{}}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	for sc.Scan() {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: read journal: %w", err)
+	}
+	// A crash between an append's write and its fsync can tear the final
+	// line. Every complete entry ends in '\n' (line and terminator go down
+	// in one write), so an unterminated tail is a torn record: truncate it
+	// away so the next append starts on a clean line boundary instead of
+	// gluing onto the partial bytes and corrupting an otherwise-valid
+	// entry. The torn job simply re-runs.
+	if n := len(data); n > 0 && data[n-1] != '\n' {
+		cut := bytes.LastIndexByte(data, '\n') + 1
+		if err := f.Truncate(int64(cut)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweep: truncate torn journal tail: %w", err)
+		}
+		data = data[:cut]
+	}
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
 		var r Result
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil || r.Key == "" {
-			// Torn or foreign line: skip it. The matching job simply
-			// re-runs.
+		if err := json.Unmarshal(line, &r); err != nil || r.Key == "" {
+			// Foreign or corrupt interior line: skip it. The matching job
+			// simply re-runs.
 			continue
 		}
 		j.seen[r.Key] = r
-	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("sweep: read journal: %w", err)
 	}
 	return j, nil
 }

@@ -27,6 +27,11 @@ type ServerConfig struct {
 	// Metrics, when set, instruments every campaign's worker pool and the
 	// per-job sim runs; serve it via obs.Registry.Handler at /metrics.
 	Metrics *obs.Registry
+	// Runner, when set, executes campaigns instead of the in-process pool
+	// (e.g. the distributed fabric coordinator). The journal, progress
+	// sink, and drain channel are still owned by the server and passed via
+	// RunOpts.
+	Runner CampaignRunner
 }
 
 // Server runs sweep campaigns behind an HTTP API:
@@ -187,15 +192,15 @@ func (s *Server) execute(ctx context.Context, run *sweepRun) {
 		journal = j
 		defer journal.Close()
 	}
-	eng := &Engine{
-		Workers:    s.cfg.Workers,
-		Journal:    journal,
-		Drain:      run.drain,
-		OnProgress: run.update,
-		Pool:       s.pool,
-		Gauges:     s.gauges,
+	runner := s.cfg.Runner
+	if runner == nil {
+		runner = &Engine{Workers: s.cfg.Workers, Pool: s.pool, Gauges: s.gauges}
 	}
-	report, err := eng.Run(ctx, run.spec)
+	report, err := runner.RunCampaign(ctx, run.spec, RunOpts{
+		Journal:    journal,
+		OnProgress: run.update,
+		Drain:      run.drain,
+	})
 	switch {
 	case err == nil:
 		run.finish(report, "done", "")
@@ -226,12 +231,14 @@ func (r *sweepRun) finish(report *Report, state, errMsg string) {
 	r.errMsg = errMsg
 	if report != nil {
 		r.progress = Progress{
-			Total:     report.Total,
-			Done:      report.CacheHits + report.Executed,
-			CacheHits: report.CacheHits,
-			Executed:  report.Executed,
-			Errors:    report.Errors,
-			ForkHits:  report.ForkHits,
+			Total:       report.Total,
+			Done:        report.CacheHits + report.Executed + report.Quarantined,
+			CacheHits:   report.CacheHits,
+			Executed:    report.Executed,
+			Errors:      report.Errors,
+			ForkHits:    report.ForkHits,
+			Requeues:    report.Requeues,
+			Quarantined: report.Quarantined,
 		}
 	}
 	close(r.notify)
