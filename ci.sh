@@ -7,9 +7,10 @@
 # incl. /metrics and the prefix fork count, then repeat it through a fabric
 # coordinator with one worker and assert CSV byte-equality, shut down), a
 # dftrace smoke over the golden fixture, a checkpoint/restore
-# byte-determinism smoke, the invariant-conservation and snapshot-decoder
-# fuzz passes, and the zero-alloc guarantees for the disabled-tracer and
-# disabled-checker hot paths.
+# byte-determinism smoke, the dfcalib calibration loopback (parameter
+# recovery + digital-twin validation), the invariant-conservation,
+# snapshot-decoder and Prometheus-importer fuzz passes, and the zero-alloc
+# guarantees for the disabled-tracer and disabled-checker hot paths.
 # Run from the repo root.
 set -eu
 
@@ -27,6 +28,11 @@ go test -race -count=1 ./internal/obs
 go test -shuffle=on -count=1 ./...
 go test -race -count=1 -run 'TestFabricChaos' ./internal/sweep/fabric
 go run ./cmd/dfserve -selftest
+
+# Calibration loopback: generate with known parameters, fit, require
+# recovery within tolerance (OU mean 2%, stddev/regime 10%), and validate a
+# fitted digital twin end to end.
+go run ./cmd/dfcalib -selftest
 
 # dftrace smoke: the golden capture must replay, render, and self-diff clean.
 go run ./cmd/dftrace cmd/dftrace/testdata/golden.ndjson > /dev/null
@@ -63,6 +69,10 @@ go test ./internal/invariant -run '^$' -fuzz 'FuzzCheckerConservation' -fuzztime
 # rejected with an error — never a panic — and anything accepted must
 # re-encode canonically.
 go test ./internal/state -run '^$' -fuzz 'FuzzDecode' -fuzztime 10s
+
+# Prometheus-importer fuzzing: arbitrary bytes must never panic the parser,
+# and anything accepted must be a render fixed point.
+go test ./internal/calibration -run '^$' -fuzz 'FuzzParsePrometheus' -fuzztime 10s
 
 # The trace hook must cost 0 allocs/op while tracing is disabled.
 bench=$(go test ./internal/sim -run '^$' -bench 'BenchmarkEngineStep/hook/disabled' -benchtime 100x -benchmem)

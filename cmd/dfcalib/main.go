@@ -1,0 +1,442 @@
+// Command dfcalib fits the simulator to an observed system and validates
+// the result as a digital twin.
+//
+// The calibration loop (see DESIGN.md, "Calibration loop"):
+//
+//  1. Capture: run the real (or simulated) system, keeping its per-interval
+//     metrics CSV (dfsim -csv), per-VM performance trace CSVs, and/or a
+//     directory of /metrics scrapes saved as <sec>.prom files.
+//  2. Fit: recover generator parameters (OU mean/reversion/variance, regime
+//     shifts, diurnal swing), the input-rate profile, and VM prices from
+//     those artifacts, writing them into a scenario file.
+//  3. Validate: run the fitted scenario through the engine and compare the
+//     predicted summary against the observed run, metric by metric, under
+//     per-metric relative tolerances.
+//
+// Usage:
+//
+//	dfcalib fit -base scenario.json [-traces dir] [-metrics run.csv | -scrapes dir] [-o fitted.json]
+//	dfcalib validate -config fitted.json (-metrics run.csv | -scrapes dir) [-json report.json] [-quiet]
+//	dfcalib report report.json
+//	dfcalib -selftest
+//
+// fit reads the base scenario as a template, replaces what the data can
+// identify (infra CPU generator from -traces, input rate from -metrics or
+// -scrapes), and prints the fitted scenario JSON. validate runs the fitted
+// scenario and reports per-metric residuals; its exit status is 0 only when
+// every metric is within tolerance. report re-renders a saved validation
+// report. -selftest runs the loopback acceptance suite: generate with known
+// parameters, fit, and require recovery within tolerance (OU mean 2%,
+// stddev/regime 10%), then validate a fitted twin end to end.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"dynamicdf/internal/calibration"
+	"dynamicdf/internal/metrics"
+	"dynamicdf/internal/obs"
+	"dynamicdf/internal/scenario"
+	"dynamicdf/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dfcalib: ")
+
+	args := os.Args[1:]
+	cmd := ""
+	if len(args) > 0 {
+		switch args[0] {
+		case "fit", "validate", "report":
+			cmd, args = args[0], args[1:]
+		}
+	}
+
+	fs := flag.NewFlagSet("dfcalib", flag.ExitOnError)
+	base := fs.String("base", "", "template scenario JSON the fit starts from (fit)")
+	config := fs.String("config", "", "fitted scenario JSON to validate (validate)")
+	traces := fs.String("traces", "", "directory of per-VM performance trace CSVs")
+	metricsCSV := fs.String("metrics", "", "observed per-interval metrics CSV (dfsim -csv output)")
+	scrapes := fs.String("scrapes", "", "directory of /metrics snapshots saved as <sec>.prom")
+	out := fs.String("o", "", "write the fitted scenario here (fit; default stdout)")
+	jsonOut := fs.String("json", "", "write the validation report JSON here (validate)")
+	quiet := fs.Bool("quiet", false, "suppress the report table (validate)")
+	selftest := fs.Bool("selftest", false, "run the calibration loopback acceptance suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dfcalib [fit|validate|report] [flags] | dfcalib -selftest")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	if *selftest {
+		runSelftest()
+		return
+	}
+	switch cmd {
+	case "fit":
+		runFit(*base, *traces, *metricsCSV, *scrapes, *out)
+	case "validate":
+		runValidate(*config, *metricsCSV, *scrapes, *jsonOut, *quiet)
+	case "report":
+		runReport(fs.Args())
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+}
+
+func loadScenario(path string) *scenario.Scenario {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	sc, err := scenario.Parse(f)
+	if err != nil {
+		log.Fatalf("parse %s: %v", path, err)
+	}
+	return sc
+}
+
+// loadObserved reads the observed per-interval points from a metrics CSV or
+// a scrape directory (exactly one must be given).
+func loadObserved(metricsCSV, scrapes string) []metrics.Point {
+	switch {
+	case metricsCSV != "" && scrapes != "":
+		log.Fatal("give either -metrics or -scrapes, not both")
+	case metricsCSV != "":
+		pts, err := calibration.LoadPointsCSV(metricsCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return pts
+	case scrapes != "":
+		scr, err := calibration.LoadScrapeDir(scrapes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts, err := calibration.PointsFromScrapes(scr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return pts
+	}
+	log.Fatal("need observed data: -metrics run.csv or -scrapes dir")
+	return nil
+}
+
+func runFit(base, traces, metricsCSV, scrapes, out string) {
+	if base == "" {
+		log.Fatal("fit needs -base scenario.json")
+	}
+	if traces == "" && metricsCSV == "" && scrapes == "" {
+		log.Fatal("fit needs data: -traces dir, -metrics run.csv, and/or -scrapes dir")
+	}
+	sc := loadScenario(base)
+
+	if traces != "" {
+		pool, err := calibration.LoadTraceDir(traces)
+		if err != nil {
+			log.Fatal(err)
+		}
+		template := trace.GenConfig{}
+		if sc.Infra.CPU != nil {
+			template = sc.Infra.CPU.GenConfig()
+		}
+		fit, err := calibration.FitGen(pool, template)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc.Infra.Kind = "replayed"
+		sc.Infra.Dir = ""
+		sc.Infra.CPU = scenario.GenSpecFrom(fit.Config)
+		fmt.Fprintf(os.Stderr,
+			"fitted cpu generator from %d series (%d samples): mean=%.4f theta=%.5f sigma=%.5f regimeProb=%.5f regimeAmp=%.4f diurnalAmp=%.4f\n",
+			fit.Series, fit.Samples, fit.Config.Mean, fit.Config.Theta, fit.Config.Sigma,
+			fit.Config.RegimeProb, fit.Config.RegimeAmp, fit.Config.DiurnalAmp)
+	}
+
+	if metricsCSV != "" || scrapes != "" {
+		pts := loadObserved(metricsCSV, scrapes)
+		spec, err := calibration.FitRate(pts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc.Rate = spec
+		fmt.Fprintf(os.Stderr, "fitted input rate from %d points: kind=%s mean=%.3f amplitude=%.3f periodSec=%d\n",
+			len(pts), spec.Kind, spec.Mean, spec.Amplitude, spec.PeriodSec)
+	}
+
+	if _, err := sc.Build(); err != nil {
+		log.Fatalf("fitted scenario does not build: %v", err)
+	}
+	blob, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fitted scenario: %s\n", out)
+}
+
+func runValidate(config, metricsCSV, scrapes, jsonOut string, quiet bool) {
+	if config == "" {
+		log.Fatal("validate needs -config fitted.json")
+	}
+	sc := loadScenario(config)
+	observed := loadObserved(metricsCSV, scrapes)
+	rep, err := calibration.Validate(sc, observed, calibration.DefaultTolerances())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut != "" {
+		blob, err := rep.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !quiet {
+		fmt.Print(rep.Table())
+	}
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}
+
+func runReport(args []string) {
+	if len(args) != 1 {
+		log.Fatal("report needs exactly one report JSON file")
+	}
+	blob, err := os.ReadFile(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rep calibration.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		log.Fatalf("%s: %v", args[0], err)
+	}
+	fmt.Print(rep.Table())
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}
+
+// -------------------------------------------------------------------------
+// Selftest: the loopback acceptance suite.
+
+const selftestScenario = `{
+  "graph": {
+    "pes": [
+      {"name": "ingest", "alternates": [{"name": "only", "value": 1, "cost": 0.25, "selectivity": 1}]},
+      {"name": "analyze", "alternates": [
+        {"name": "deep", "value": 1.0, "cost": 1.4, "selectivity": 1},
+        {"name": "fast", "value": 0.8, "cost": 0.9, "selectivity": 1}
+      ]},
+      {"name": "sink", "alternates": [{"name": "only", "value": 1, "cost": 0.35, "selectivity": 1}]}
+    ],
+    "edges": [["ingest", "analyze"], ["analyze", "sink"]]
+  },
+  "rate": {"kind": "wave", "mean": 10, "amplitude": 4, "periodSec": 1800},
+  "infra": {"kind": "replayed", "seed": 42},
+  "horizonHours": 4
+}`
+
+func runSelftest() {
+	failures := 0
+	check := func(name string, ok bool, detail string) {
+		verdict := "ok"
+		if !ok {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("selftest %-28s %s  %s\n", name, verdict, detail)
+	}
+	relDiff := func(got, want float64) float64 {
+		if want == 0 {
+			return math.Abs(got)
+		}
+		return math.Abs(got-want) / math.Abs(want)
+	}
+
+	// 1. Generator loopback: generate with known parameters, fit, and
+	// require recovery within the acceptance tolerances.
+	truth := trace.GenConfig{
+		Mean: 0.8, Theta: 0.004, Sigma: 0.0045,
+		RegimeProb: 0.003, RegimeAmp: 0.25, DiurnalAmp: 0.04,
+		Min: 0, Max: 2, PeriodSec: 60,
+	}
+	pool := make([]*trace.Series, 16)
+	for i := range pool {
+		s, err := truth.Generate(rand.New(rand.NewSource(int64(i)+1)), 30000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool[i] = s
+	}
+	fit, err := calibration.FitGen(pool, truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := fit.Config
+	check("gen-fit mean<=2%", relDiff(c.Mean, truth.Mean) <= 0.02,
+		fmt.Sprintf("mean %.4f vs %.4f (%.2f%%)", c.Mean, truth.Mean, 100*relDiff(c.Mean, truth.Mean)))
+	check("gen-fit sigma<=10%", relDiff(c.Sigma, truth.Sigma) <= 0.10,
+		fmt.Sprintf("sigma %.5f vs %.5f (%.2f%%)", c.Sigma, truth.Sigma, 100*relDiff(c.Sigma, truth.Sigma)))
+	check("gen-fit regimeProb<=10%", relDiff(c.RegimeProb, truth.RegimeProb) <= 0.10,
+		fmt.Sprintf("p %.5f vs %.5f (%.2f%%)", c.RegimeProb, truth.RegimeProb, 100*relDiff(c.RegimeProb, truth.RegimeProb)))
+	check("gen-fit regimeAmp<=10%", relDiff(c.RegimeAmp, truth.RegimeAmp) <= 0.10,
+		fmt.Sprintf("amp %.4f vs %.4f (%.2f%%)", c.RegimeAmp, truth.RegimeAmp, 100*relDiff(c.RegimeAmp, truth.RegimeAmp)))
+
+	// 2. Prometheus importer loopback: a rendered registry must re-parse
+	// and re-render to identical bytes.
+	check("prometheus round-trip", prometheusRoundTrips(), "render -> parse -> render byte-equal")
+
+	// 3. Rate-profile loopback.
+	ratePts := make([]metrics.Point, 240)
+	for i := range ratePts {
+		sec := int64(i) * 60
+		ratePts[i] = metrics.Point{Sec: sec, InputRate: 10 + 4*math.Sin(2*math.Pi*float64(sec)/1800)}
+	}
+	rspec, err := calibration.FitRate(ratePts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	check("rate fit", rspec.Kind == "wave" && rspec.PeriodSec == 1800 &&
+		relDiff(rspec.Mean, 10) <= 0.02 && relDiff(rspec.Amplitude, 4) <= 0.05,
+		fmt.Sprintf("%s mean=%.3f amp=%.3f period=%d", rspec.Kind, rspec.Mean, rspec.Amplitude, rspec.PeriodSec))
+
+	// 4. Cost-model loopback: synthetic bills at known prices.
+	priceTruth := map[string]float64{"m1.small": 0.06, "m1.large": 0.24}
+	costObs := []calibration.CostObservation{
+		{HoursByClass: map[string]float64{"m1.small": 5, "m1.large": 2}},
+		{HoursByClass: map[string]float64{"m1.small": 1, "m1.large": 4}},
+	}
+	for i := range costObs {
+		for cl, h := range costObs[i].HoursByClass {
+			costObs[i].TotalUSD += h * priceTruth[cl]
+		}
+	}
+	prices, err := calibration.FitCost(costObs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	costOK := true
+	for cl, want := range priceTruth {
+		if relDiff(prices[cl], want) > 1e-9 {
+			costOK = false
+		}
+	}
+	check("cost fit", costOK, fmt.Sprintf("small=$%.2f large=$%.2f", prices["m1.small"], prices["m1.large"]))
+
+	// 5. Digital-twin loopback: run a scenario, fit the rate profile and a
+	// CPU generator from its artifacts, and validate the fitted scenario
+	// against the observed run — every metric must land within tolerance.
+	obsScenario, err := scenario.Parse(strings.NewReader(selftestScenario))
+	if err != nil {
+		log.Fatal(err)
+	}
+	built, err := obsScenario.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := built.Engine.Run(built.Scheduler); err != nil {
+		log.Fatal(err)
+	}
+	observed := built.Engine.Collector().Points()
+
+	fitted, err := scenario.Parse(strings.NewReader(selftestScenario))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fittedRate, err := calibration.FitRate(observed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fitted.Rate = fittedRate
+	cpuTruth := trace.DefaultCPUConfig()
+	cpuPool := make([]*trace.Series, 8)
+	for i := range cpuPool {
+		s, err := cpuTruth.Generate(rand.New(rand.NewSource(int64(i)+100)), 20000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpuPool[i] = s
+	}
+	cpuFit, err := calibration.FitGen(cpuPool, cpuTruth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fitted.Infra.CPU = scenario.GenSpecFrom(cpuFit.Config)
+	rep, err := calibration.Validate(fitted, observed, calibration.DefaultTolerances())
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for _, m := range rep.Metrics {
+		if m.RelErr > worst {
+			worst = m.RelErr
+		}
+	}
+	check("twin validate", rep.Pass, fmt.Sprintf("%d metrics, worst relerr %.2f%%", len(rep.Metrics), worst*100))
+	if !rep.Pass {
+		fmt.Print(rep.Table())
+	}
+
+	// 6. Report determinism: the same validation renders identical bytes.
+	rep2, err := calibration.Validate(fitted, observed, calibration.DefaultTolerances())
+	if err != nil {
+		log.Fatal(err)
+	}
+	j1, err1 := rep.JSON()
+	j2, err2 := rep2.JSON()
+	if err1 != nil || err2 != nil {
+		log.Fatal(err1, err2)
+	}
+	check("report determinism", string(j1) == string(j2), fmt.Sprintf("%d bytes", len(j1)))
+
+	if failures > 0 {
+		log.Fatalf("%d selftest check(s) failed", failures)
+	}
+	fmt.Println("selftest PASS")
+}
+
+func prometheusRoundTrips() bool {
+	reg := obs.NewRegistry()
+	gauges := obs.NewRunGauges(reg)
+	gauges.Omega.Set(0.9337215947412415)
+	gauges.CostUSD.Set(12.48)
+	var once strings.Builder
+	if err := reg.WriteText(&once); err != nil {
+		return false
+	}
+	exp, err := calibration.ParsePrometheus(strings.NewReader(once.String()))
+	if err != nil {
+		return false
+	}
+	var twice strings.Builder
+	if err := exp.WriteText(&twice); err != nil {
+		return false
+	}
+	if once.String() != twice.String() {
+		return false
+	}
+	v, ok := exp.Gauge("sim_omega")
+	return ok && v == 0.9337215947412415
+}

@@ -42,6 +42,7 @@ package dynamicdf
 import (
 	"io"
 
+	"dynamicdf/internal/calibration"
 	"dynamicdf/internal/cloud"
 	"dynamicdf/internal/core"
 	"dynamicdf/internal/dataflow"
@@ -52,6 +53,7 @@ import (
 	"dynamicdf/internal/obs"
 	"dynamicdf/internal/rates"
 	"dynamicdf/internal/resilient"
+	"dynamicdf/internal/scenario"
 	"dynamicdf/internal/sim"
 	"dynamicdf/internal/state"
 	"dynamicdf/internal/sweep"
@@ -548,6 +550,87 @@ func TraceOccupancy(events []TraceEvent) string { return obs.Occupancy(events) }
 // DiffTraceDecisions compares two runs' adaptation decisions; identical
 // streams return true.
 func DiffTraceDecisions(a, b []TraceEvent) (string, bool) { return obs.DiffDecisions(a, b) }
+
+// Calibration: fit the simulator to an observed system — generator
+// parameters from performance traces, the input-rate profile from run
+// metrics, VM prices from billing counters — and validate the fitted
+// scenario as a digital twin (see internal/calibration and cmd/dfcalib).
+type (
+	// Scenario is the declarative JSON description of one simulation run
+	// (the schema dfsim, sweeps, and calibration share; see
+	// internal/scenario). Parse with ParseScenario, execute with Build.
+	Scenario = scenario.Scenario
+	// ScenarioRateSpec selects and parameterizes an input-rate profile in
+	// the scenario schema.
+	ScenarioRateSpec = scenario.RateSpec
+	// ScenarioGenSpec mirrors TraceGenConfig in the scenario schema: the
+	// slot fitted generator parameters are written into (Infra.CPU et al.).
+	ScenarioGenSpec = scenario.GenSpec
+	// GenCalibration is the result of fitting the trace generator to an
+	// observed series pool: the recovered config plus diagnostics.
+	GenCalibration = calibration.GenFit
+	// CalibrationReport is the deterministic validation verdict: per-metric
+	// residuals against tolerances plus the overall pass flag. Render with
+	// JSON or Table.
+	CalibrationReport = calibration.Report
+	// CalibrationTolerances bounds the acceptable relative error per
+	// compared metric.
+	CalibrationTolerances = calibration.Tolerances
+	// CostObservation is one billing reading (hours per class, total spend)
+	// for the cost-model fit.
+	CostObservation = calibration.CostObservation
+	// MetricsExposition is a parsed Prometheus text exposition (the format
+	// MetricsRegistry.WriteText emits); the importer round-trips it
+	// byte-exactly.
+	MetricsExposition = calibration.Exposition
+)
+
+// ParseScenario decodes and validates a scenario JSON document.
+func ParseScenario(r io.Reader) (*Scenario, error) { return scenario.Parse(r) }
+
+// ScenarioGenSpecFrom converts generator parameters to their scenario form.
+func ScenarioGenSpecFrom(c TraceGenConfig) *ScenarioGenSpec { return scenario.GenSpecFrom(c) }
+
+// Calibrate recovers trace-generator parameters (OU mean/reversion/
+// variance, regime shifts, diurnal swing) from a pool of observed series by
+// method of moments; the template supplies the bounds the data cannot
+// identify.
+func Calibrate(pool []*TraceSeries, template TraceGenConfig) (GenCalibration, error) {
+	return calibration.FitGen(pool, template)
+}
+
+// FitRateProfile recovers an input-rate profile (constant or wave) from
+// observed per-interval metrics.
+func FitRateProfile(points []MetricPoint) (ScenarioRateSpec, error) {
+	return calibration.FitRate(points)
+}
+
+// FitCostModel least-squares fits per-class hourly prices from billing
+// observations.
+func FitCostModel(observations []CostObservation) (map[string]float64, error) {
+	return calibration.FitCost(observations)
+}
+
+// CostObservationFromFleet snapshots a fleet's billing counters at time now.
+func CostObservationFromFleet(f *Fleet, now int64) CostObservation {
+	return calibration.CostObservationFromFleet(f, now)
+}
+
+// Validate runs the (typically fitted) scenario through the engine and
+// compares predicted against observed metrics under the tolerances.
+func Validate(sc *Scenario, observed []MetricPoint, tol CalibrationTolerances) (*CalibrationReport, error) {
+	return calibration.Validate(sc, observed, tol)
+}
+
+// DefaultCalibrationTolerances returns the validation defaults: tight on
+// omega/gamma, looser on resource and cost aggregates.
+func DefaultCalibrationTolerances() CalibrationTolerances { return calibration.DefaultTolerances() }
+
+// ParsePrometheusText parses a Prometheus text-format exposition (0.0.4),
+// e.g. a saved /metrics scrape.
+func ParsePrometheusText(r io.Reader) (*MetricsExposition, error) {
+	return calibration.ParsePrometheus(r)
+}
 
 // In-process execution runtime (the FTOC/Floe role in §5): the same graph
 // description that is simulated for planning can be executed for real,

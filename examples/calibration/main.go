@@ -1,0 +1,123 @@
+// Calibration as a digital twin: observe a running system, fit the
+// simulator to what was observed, and validate that the fitted simulator
+// reproduces the observed run within per-metric tolerances.
+//
+// The "observed system" here is itself a simulation (so the demo is
+// self-contained and deterministic), but the artifacts it leaves behind —
+// per-VM CPU coefficient traces and per-interval run metrics — are exactly
+// what a real deployment would leave: trace CSVs and /metrics scrapes. The
+// calibration loop never peeks at the true parameters; it works purely from
+// those artifacts:
+//
+//  1. Fit the CPU-variability generator from the observed trace pool
+//     (OU mean/reversion/variance, regime shifts, diurnal swing).
+//  2. Fit the input-rate profile from the observed metrics points.
+//  3. Write both into a scenario and validate it against the observed run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"dynamicdf"
+)
+
+// The scenario whose run we pretend to have observed: a 3-stage pipeline
+// under a 30-minute input wave on a cloud with replayed CPU variability.
+const observedSystem = `{
+  "graph": {
+    "pes": [
+      {"name": "ingest", "alternates": [{"name": "only", "value": 1, "cost": 0.25, "selectivity": 1}]},
+      {"name": "analyze", "alternates": [
+        {"name": "deep", "value": 1.0, "cost": 1.4, "selectivity": 1},
+        {"name": "fast", "value": 0.8, "cost": 0.9, "selectivity": 1}
+      ]},
+      {"name": "sink", "alternates": [{"name": "only", "value": 1, "cost": 0.35, "selectivity": 1}]}
+    ],
+    "edges": [["ingest", "analyze"], ["analyze", "sink"]]
+  },
+  "rate": {"kind": "wave", "mean": 10, "amplitude": 4, "periodSec": 1800},
+  "infra": {"kind": "replayed", "seed": 42},
+  "horizonHours": 4
+}`
+
+func parse() *dynamicdf.Scenario {
+	sc, err := dynamicdf.ParseScenario(strings.NewReader(observedSystem))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sc
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// --- The observed system runs and leaves artifacts behind. ---
+	built, err := parse().Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := built.Engine.Run(built.Scheduler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	observedPoints := built.Engine.Collector().Points()
+	fmt.Printf("observed system: %s\n", sum)
+
+	// Its datacenter-side artifact: per-VM CPU coefficient traces. (In a
+	// real deployment these come from monitoring agents; here we sample the
+	// same generator population the replayed provider draws from.)
+	gen := defaultCPU()
+	var tracePool []*dynamicdf.TraceSeries
+	for seed := int64(1); seed <= 4; seed++ {
+		s, err := gen.Generate(rand.New(rand.NewSource(seed)), 5760)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tracePool = append(tracePool, s)
+	}
+
+	// --- Calibration: fit generator + rate purely from the artifacts. ---
+	fit, err := dynamicdf.Calibrate(tracePool, dynamicdf.TraceGenConfig{Min: gen.Min, Max: gen.Max})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted cpu generator (%d series, %d samples): mean=%.4f theta=%.5f sigma=%.5f regimeProb=%.5f regimeAmp=%.4f\n",
+		fit.Series, fit.Samples, fit.Config.Mean, fit.Config.Theta, fit.Config.Sigma,
+		fit.Config.RegimeProb, fit.Config.RegimeAmp)
+
+	rate, err := dynamicdf.FitRateProfile(observedPoints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted input rate: kind=%s mean=%.3f amplitude=%.3f periodSec=%d\n",
+		rate.Kind, rate.Mean, rate.Amplitude, rate.PeriodSec)
+
+	// --- The digital twin: the fitted scenario, validated. ---
+	fitted := parse()
+	fitted.Rate = rate
+	fitted.Infra.CPU = dynamicdf.ScenarioGenSpecFrom(fit.Config)
+
+	report, err := dynamicdf.Validate(fitted, observedPoints, dynamicdf.DefaultCalibrationTolerances())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(report.Table())
+	if !report.Pass {
+		log.Fatal("digital twin rejected")
+	}
+}
+
+// defaultCPU is the CPU-variability population of the observed datacenter.
+// The calibration loop receives only its samples (and the physical bounds),
+// never these parameters.
+func defaultCPU() dynamicdf.TraceGenConfig {
+	return dynamicdf.TraceGenConfig{
+		Mean: 0.82, Theta: 0.004, Sigma: 0.0045,
+		RegimeProb: 0.003, RegimeAmp: 0.25, DiurnalAmp: 0.04,
+		Min: 0.45, Max: 1.0, PeriodSec: 60,
+	}
+}

@@ -1,0 +1,136 @@
+package calibration
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dynamicdf/internal/cloud"
+)
+
+// CostObservation is one billing reading: whole hours billed per VM class
+// and the total spend at that moment — the counters a cloud bill (or the
+// simulator's fleet) exposes.
+type CostObservation struct {
+	HoursByClass map[string]float64
+	TotalUSD     float64
+}
+
+// CostObservationFromFleet snapshots a fleet's billing state, with
+// hour-boundary round-up billing exactly as the cloud package charges it.
+func CostObservationFromFleet(f *cloud.Fleet, now int64) CostObservation {
+	obs := CostObservation{HoursByClass: make(map[string]float64)}
+	for _, vm := range f.All() {
+		h := float64(vm.BilledHours(now))
+		if h == 0 {
+			continue
+		}
+		obs.HoursByClass[vm.Class.Name] += h
+		obs.TotalUSD += vm.AccruedCost(now)
+	}
+	return obs
+}
+
+// FitCost least-squares fits per-class hourly prices from billing
+// observations: solve min over p of sum_i (sum_c hours_ic * p_c - total_i)^2
+// via the normal equations. It needs at least as many observations as
+// distinct classes, with enough class-mix diversity that the system is not
+// singular. Classes never observed are absent from the result.
+func FitCost(observations []CostObservation) (map[string]float64, error) {
+	classSet := map[string]bool{}
+	for _, o := range observations {
+		for c, h := range o.HoursByClass {
+			if h < 0 {
+				return nil, fmt.Errorf("calibration: negative billed hours %v for class %s", h, c)
+			}
+			if h > 0 {
+				classSet[c] = true
+			}
+		}
+	}
+	if len(classSet) == 0 {
+		return nil, fmt.Errorf("calibration: no billed hours in any observation")
+	}
+	classes := make([]string, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	n := len(classes)
+	if len(observations) < n {
+		return nil, fmt.Errorf("calibration: %d observations cannot identify %d class prices", len(observations), n)
+	}
+	idx := make(map[string]int, n)
+	for i, c := range classes {
+		idx[c] = i
+	}
+
+	// Normal equations: ata = A^T A, aty = A^T y.
+	ata := make([][]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	aty := make([]float64, n)
+	for _, o := range observations {
+		row := make([]float64, n)
+		for c, h := range o.HoursByClass {
+			row[idx[c]] = h
+		}
+		for i := 0; i < n; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			aty[i] += row[i] * o.TotalUSD
+		}
+	}
+	prices, err := solveLinear(ata, aty)
+	if err != nil {
+		return nil, fmt.Errorf("calibration: cost fit: %w", err)
+	}
+	out := make(map[string]float64, n)
+	for i, c := range classes {
+		out[c] = prices[i]
+	}
+	return out, nil
+}
+
+// solveLinear solves a*x = y by Gaussian elimination with partial pivoting.
+// The inputs are mutated.
+func solveLinear(a [][]float64, y []float64) ([]float64, error) {
+	n := len(y)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("singular system (insufficient class-mix diversity)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		y[col], y[pivot] = y[pivot], y[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			y[r] -= f * y[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		acc := y[r]
+		for c := r + 1; c < n; c++ {
+			acc -= a[r][c] * x[c]
+		}
+		x[r] = acc / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,118 @@
+package calibration
+
+import (
+	"testing"
+
+	"dynamicdf/internal/cloud"
+)
+
+func TestFitCostRecoversKnownPrices(t *testing.T) {
+	truth := map[string]float64{"m1.small": 0.06, "m1.large": 0.24, "m1.xlarge": 0.48}
+	mixes := []map[string]float64{
+		{"m1.small": 5, "m1.large": 2},
+		{"m1.small": 1, "m1.xlarge": 3},
+		{"m1.large": 4, "m1.xlarge": 1},
+		{"m1.small": 7},
+		{"m1.small": 2, "m1.large": 2, "m1.xlarge": 2},
+	}
+	var observations []CostObservation
+	for _, mix := range mixes {
+		o := CostObservation{HoursByClass: mix}
+		for c, h := range mix {
+			o.TotalUSD += h * truth[c]
+		}
+		observations = append(observations, o)
+	}
+	prices, err := FitCost(observations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prices) != len(truth) {
+		t.Fatalf("prices = %v", prices)
+	}
+	for c, want := range truth {
+		if relDiff(prices[c], want) > 1e-9 {
+			t.Errorf("price[%s] = %v, want %v", c, prices[c], want)
+		}
+	}
+}
+
+func TestFitCostErrors(t *testing.T) {
+	// Fewer observations than classes.
+	two := []CostObservation{{HoursByClass: map[string]float64{"a": 1, "b": 2}, TotalUSD: 3}}
+	if _, err := FitCost(two); err == nil {
+		t.Error("under-determined system accepted")
+	}
+	// No billed hours at all.
+	if _, err := FitCost([]CostObservation{{HoursByClass: map[string]float64{}}}); err == nil {
+		t.Error("empty observations accepted")
+	}
+	// Negative hours.
+	neg := []CostObservation{{HoursByClass: map[string]float64{"a": -1}, TotalUSD: 1}}
+	if _, err := FitCost(neg); err == nil {
+		t.Error("negative hours accepted")
+	}
+	// Singular mix: two classes always billed in lockstep cannot be separated.
+	sing := []CostObservation{
+		{HoursByClass: map[string]float64{"a": 1, "b": 1}, TotalUSD: 2},
+		{HoursByClass: map[string]float64{"a": 2, "b": 2}, TotalUSD: 4},
+		{HoursByClass: map[string]float64{"a": 3, "b": 3}, TotalUSD: 6},
+	}
+	if _, err := FitCost(sing); err == nil {
+		t.Error("singular class mix accepted")
+	}
+}
+
+// CostObservationFromFleet must reproduce the fleet's own hour-boundary
+// billing, so fitting snapshots of a live fleet recovers the menu prices.
+func TestCostObservationFromFleet(t *testing.T) {
+	menu, err := cloud.NewMenu(cloud.AWS2013Classes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _ := menu.ByName("m1.small")
+	large, _ := menu.ByName("m1.large")
+	fleet := cloud.NewFleet(menu)
+	if _, err := fleet.Acquire(small, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.Acquire(large, 1800); err != nil {
+		t.Fatal(err)
+	}
+	v, err := fleet.Acquire(small, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Release(v.ID, 3601); err != nil { // 1 second used, billed a full hour
+		t.Fatal(err)
+	}
+
+	now := int64(2 * 3600)
+	obs := CostObservationFromFleet(fleet, now)
+	// small#0: 7200s -> 2h; small#2: 1s -> 1h round-up; large#1: 5400s -> 2h.
+	if got, want := obs.HoursByClass["m1.small"], 3.0; got != want {
+		t.Errorf("small hours = %v, want %v", got, want)
+	}
+	if got, want := obs.HoursByClass["m1.large"], 2.0; got != want {
+		t.Errorf("large hours = %v, want %v", got, want)
+	}
+	if relDiff(obs.TotalUSD, fleet.TotalCost(now)) > 1e-12 {
+		t.Errorf("TotalUSD = %v, fleet says %v", obs.TotalUSD, fleet.TotalCost(now))
+	}
+
+	// Two snapshots at different times give enough mix diversity to fit.
+	observations := []CostObservation{
+		CostObservationFromFleet(fleet, 3599),
+		obs,
+	}
+	prices, err := FitCost(observations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(prices["m1.small"], small.PricePerHour) > 1e-9 {
+		t.Errorf("fitted small price = %v, want %v", prices["m1.small"], small.PricePerHour)
+	}
+	if relDiff(prices["m1.large"], large.PricePerHour) > 1e-9 {
+		t.Errorf("fitted large price = %v, want %v", prices["m1.large"], large.PricePerHour)
+	}
+}

@@ -1,0 +1,251 @@
+package calibration
+
+import (
+	"fmt"
+	"math"
+
+	"dynamicdf/internal/trace"
+)
+
+// GenFit is the result of fitting the trace generator to an observed series
+// pool: the recovered config plus the diagnostics behind it.
+type GenFit struct {
+	// Config is the fitted generator parameterization.
+	Config trace.GenConfig
+	// Decomp is the autocorrelation decomposition the OU/regime parameters
+	// derive from.
+	Decomp trace.ACDecomposition
+	// Variance is the pooled sample variance (after diurnal removal).
+	Variance float64
+	// DiurnalAmp is the fitted 24-hour sinusoid amplitude before the
+	// significance cut (Config.DiurnalAmp is zero when insignificant).
+	DiurnalAmp float64
+	// Series and Samples count the pooled input.
+	Series, Samples int
+}
+
+// FitGen recovers trace.GenConfig parameters from a pool of observed series
+// by method of moments:
+//
+//	Mean       = pooled sample mean
+//	phi        = 1 + 2*corr(dx_t, dx_t+1)   dx = successive differences
+//	Theta      = (1 - phi) / dt
+//	Sigma      = sqrt(E[dx^2] * (1+phi) / (2*dt))
+//	RegimeProb = 1 - psi                    psi = slow AC decay per sample
+//	RegimeAmp  = sqrt(3 * ws * g0)          ws  = slow variance fraction
+//
+// The OU parameters come from difference statistics: for an AR(1) with
+// per-sample decay phi, successive differences have lag-1 correlation
+// (phi-1)/2 and mean square 2*gamma_fast*(1-phi) = sigma^2*dt*2/(1+phi).
+// Differencing annihilates the slowly-varying regime level, so these
+// estimators stay accurate when regimes carry most of the variance. The
+// regime parameters come from the pooled autocovariance decomposition
+// (trace.DecomposeAC): a uniform regime offset on [-A, +A] has variance
+// A^2/3, and the level's per-sample survival probability 1-RegimeProb gives
+// the slow exponential. A 24-hour sinusoid is fitted and removed first; its
+// amplitude becomes DiurnalAmp when it explains a non-negligible variance
+// share. Min/Max/PeriodSec come from the template config (the prior for
+// bounds the data cannot identify); a zero-valued template takes the
+// observed range.
+//
+// Identification caveat: a slow pure OU and persistent regimes are
+// indistinguishable from second-order statistics — timescale separation
+// (regime dwell >> OU relaxation) is assumed, as in the generator defaults.
+//
+// All series must share one sampling period. Pooling independent series
+// (e.g. many VMs) sharpens the estimate roughly like sqrt(count).
+func FitGen(pool []*trace.Series, template trace.GenConfig) (GenFit, error) {
+	var fit GenFit
+	if len(pool) == 0 {
+		return fit, fmt.Errorf("calibration: empty series pool")
+	}
+	period := pool[0].PeriodSec
+	minLen := len(pool[0].Samples)
+	total := 0
+	for i, s := range pool {
+		if s == nil || len(s.Samples) == 0 {
+			return fit, fmt.Errorf("calibration: series %d is empty", i)
+		}
+		if s.PeriodSec != period {
+			return fit, fmt.Errorf("calibration: series %d period %d != %d", i, s.PeriodSec, period)
+		}
+		if len(s.Samples) < minLen {
+			minLen = len(s.Samples)
+		}
+		total += len(s.Samples)
+	}
+	if minLen < 16 {
+		return fit, fmt.Errorf("calibration: series too short (%d samples, want >= 16)", minLen)
+	}
+	fit.Series, fit.Samples = len(pool), total
+
+	// Pooled mean and observed range.
+	mean, lo, hi := 0.0, math.Inf(1), math.Inf(-1)
+	for _, s := range pool {
+		for _, v := range s.Samples {
+			mean += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	mean /= float64(total)
+
+	// Diurnal component: one shared-phase 24h sinusoid across the pool
+	// (the generator applies it on absolute time, so series are aligned).
+	dAmp, dPhaseB, dPhaseC := fitDiurnal(pool, mean)
+	fit.DiurnalAmp = dAmp
+
+	// Remove the fitted diurnal before second-order analysis, so it does
+	// not masquerade as an extremely slow AC component.
+	flat := make([]*trace.Series, len(pool))
+	for i, s := range pool {
+		out := make([]float64, len(s.Samples))
+		for j, v := range s.Samples {
+			t := float64(int64(j) * s.PeriodSec)
+			w := 2 * math.Pi * t / 86400
+			out[j] = v - dPhaseB*math.Sin(w) - dPhaseC*math.Cos(w)
+		}
+		flat[i] = &trace.Series{PeriodSec: s.PeriodSec, Samples: out}
+	}
+
+	// Pooled autocovariance, averaged across series.
+	maxLag := minLen / 4
+	if maxLag > 4096 {
+		maxLag = 4096
+	}
+	pooled := make([]float64, maxLag+1)
+	for _, s := range flat {
+		g := trace.Autocovariance(s, maxLag)
+		for k, v := range g {
+			pooled[k] += v / float64(len(flat))
+		}
+	}
+	g0 := pooled[0]
+	if g0 <= 0 {
+		// A constant pool: pure mean, no dynamics.
+		fit.Config = configFromMoments(mean, 0, 0, 0, 0, 0, lo, hi, period, template)
+		return fit, nil
+	}
+	fit.Variance = g0
+	rho := make([]float64, len(pooled))
+	rho[0] = 1
+	for k := 1; k < len(pooled); k++ {
+		rho[k] = pooled[k] / g0
+	}
+	d := trace.DecomposeAC(rho)
+	fit.Decomp = d
+
+	// OU reversion and diffusion from pooled difference statistics.
+	var sumD2, sumD1 float64
+	var nD2, nD1 int
+	for _, s := range flat {
+		for j := 0; j+1 < len(s.Samples); j++ {
+			dx := s.Samples[j+1] - s.Samples[j]
+			sumD2 += dx * dx
+			nD2++
+			if j+2 < len(s.Samples) {
+				sumD1 += dx * (s.Samples[j+2] - s.Samples[j+1])
+				nD1++
+			}
+		}
+	}
+	dt := float64(period)
+	e2 := sumD2 / float64(nD2)
+	phi := 0.0
+	if e2 > 0 && nD1 > 0 {
+		corr := (sumD1 / float64(nD1)) / e2
+		phi = clampUnit(1 + 2*corr)
+	}
+	theta := (1 - phi) / dt
+	sigma := math.Sqrt(e2 * (1 + phi) / (2 * dt))
+	regProb, regAmp := 0.0, 0.0
+	if d.SlowWeight > 0 {
+		regProb = 1 - clampUnit(d.SlowDecay)
+		regAmp = math.Sqrt(3 * d.SlowWeight * g0)
+	}
+	diurnal := dAmp
+	// Keep a diurnal term only when it explains a visible variance share;
+	// an amplitude below ~7% of the residual stddev is fit noise.
+	if dAmp*dAmp/2 < 0.005*g0 {
+		diurnal = 0
+	}
+	fit.Config = configFromMoments(mean, theta, sigma, regProb, regAmp, diurnal, lo, hi, period, template)
+	if err := fit.Config.Validate(); err != nil {
+		return fit, fmt.Errorf("calibration: fitted config invalid: %w", err)
+	}
+	return fit, nil
+}
+
+// configFromMoments assembles the fitted config, taking bounds from the
+// template when it has them and the observed range (slightly padded)
+// otherwise.
+func configFromMoments(mean, theta, sigma, regProb, regAmp, diurnal, lo, hi float64, period int64, template trace.GenConfig) trace.GenConfig {
+	c := trace.GenConfig{
+		Mean: mean, Theta: theta, Sigma: sigma,
+		RegimeProb: regProb, RegimeAmp: regAmp, DiurnalAmp: diurnal,
+		Min: template.Min, Max: template.Max, PeriodSec: period,
+	}
+	if template.Min == 0 && template.Max == 0 {
+		span := hi - lo
+		pad := 0.05 * span
+		if span == 0 {
+			pad = math.Abs(mean) * 0.05
+		}
+		c.Min, c.Max = lo-pad, hi+pad
+	}
+	if c.Mean < c.Min {
+		c.Mean = c.Min
+	}
+	if c.Mean > c.Max {
+		c.Mean = c.Max
+	}
+	return c
+}
+
+// fitDiurnal least-squares fits b*sin(wt) + c*cos(wt) (w = 2*pi/24h) to the
+// mean-removed pool and returns the amplitude and the two phase components.
+// Pools shorter than a day cannot identify the component and fit zero.
+func fitDiurnal(pool []*trace.Series, mean float64) (amp, b, c float64) {
+	var sbb, scc, sbc, sby, scy float64
+	covered := int64(0)
+	for _, s := range pool {
+		if d := s.Duration(); d > covered {
+			covered = d
+		}
+		for j, v := range s.Samples {
+			t := float64(int64(j) * s.PeriodSec)
+			w := 2 * math.Pi * t / 86400
+			sb, cb := math.Sin(w), math.Cos(w)
+			y := v - mean
+			sbb += sb * sb
+			scc += cb * cb
+			sbc += sb * cb
+			sby += sb * y
+			scy += cb * y
+		}
+	}
+	if covered < 86400 {
+		return 0, 0, 0
+	}
+	det := sbb*scc - sbc*sbc
+	if det <= 1e-9*(sbb*scc+1) {
+		return 0, 0, 0
+	}
+	b = (sby*scc - scy*sbc) / det
+	c = (scy*sbb - sby*sbc) / det
+	return math.Hypot(b, c), b, c
+}
+
+func clampUnit(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,159 @@
+package calibration
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynamicdf/internal/trace"
+)
+
+// genPool generates nSeries independent realizations of cfg.
+func genPool(t *testing.T, cfg trace.GenConfig, nSeries, n int) []*trace.Series {
+	t.Helper()
+	pool := make([]*trace.Series, nSeries)
+	for i := range pool {
+		s, err := cfg.Generate(rand.New(rand.NewSource(int64(i)+1)), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = s
+	}
+	return pool
+}
+
+func relDiff(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// The acceptance-grade parameter-recovery loop: generate with known
+// parameters, fit, and require the OU mean within 2% and the stddev/regime
+// parameters within 10%.
+func TestFitGenRecoversKnownParameters(t *testing.T) {
+	truth := trace.GenConfig{
+		Mean: 0.8, Theta: 0.004, Sigma: 0.0045,
+		RegimeProb: 0.003, RegimeAmp: 0.25, DiurnalAmp: 0.04,
+		Min: 0, Max: 2, PeriodSec: 60,
+	}
+	pool := genPool(t, truth, 16, 30000)
+	fit, err := FitGen(pool, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fit.Config
+	if d := relDiff(c.Mean, truth.Mean); d > 0.02 {
+		t.Errorf("Mean = %.4f, want %.4f within 2%% (off %.1f%%)", c.Mean, truth.Mean, d*100)
+	}
+	if d := relDiff(c.Sigma, truth.Sigma); d > 0.10 {
+		t.Errorf("Sigma = %.5f, want %.5f within 10%% (off %.1f%%)", c.Sigma, truth.Sigma, d*100)
+	}
+	if c.RegimeProb == 0 {
+		t.Fatalf("regime component not detected: %+v", fit.Decomp)
+	}
+	if d := relDiff(c.RegimeProb, truth.RegimeProb); d > 0.10 {
+		t.Errorf("RegimeProb = %.5f, want %.5f within 10%% (off %.1f%%)", c.RegimeProb, truth.RegimeProb, d*100)
+	}
+	if d := relDiff(c.RegimeAmp, truth.RegimeAmp); d > 0.10 {
+		t.Errorf("RegimeAmp = %.4f, want %.4f within 10%% (off %.1f%%)", c.RegimeAmp, truth.RegimeAmp, d*100)
+	}
+	if d := relDiff(c.DiurnalAmp, truth.DiurnalAmp); d > 0.25 {
+		t.Errorf("DiurnalAmp = %.4f, want %.4f within 25%% (off %.1f%%)", c.DiurnalAmp, truth.DiurnalAmp, d*100)
+	}
+	// Theta is the hardest to identify next to a regime component; it is
+	// reported as an estimate, and must land in the right decade.
+	if d := relDiff(c.Theta, truth.Theta); d > 0.5 {
+		t.Errorf("Theta = %.5f, want %.5f within 50%% (off %.1f%%)", c.Theta, truth.Theta, d*100)
+	}
+	// Bounds come from the template.
+	if c.Min != truth.Min || c.Max != truth.Max || c.PeriodSec != truth.PeriodSec {
+		t.Errorf("bounds/period not carried: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("fitted config invalid: %v", err)
+	}
+}
+
+// A pure OU (no regimes, no diurnal) must fit cleanly: no phantom regime,
+// tight theta and sigma.
+func TestFitGenPureOU(t *testing.T) {
+	truth := trace.GenConfig{
+		Mean: 0.8, Theta: 0.004, Sigma: 0.0045,
+		Min: 0, Max: 2, PeriodSec: 60,
+	}
+	pool := genPool(t, truth, 6, 20000)
+	fit, err := FitGen(pool, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fit.Config
+	if c.RegimeProb != 0 || c.RegimeAmp != 0 {
+		t.Errorf("phantom regime: prob %.5f amp %.4f (%+v)", c.RegimeProb, c.RegimeAmp, fit.Decomp)
+	}
+	if d := relDiff(c.Theta, truth.Theta); d > 0.10 {
+		t.Errorf("Theta = %.5f, want %.5f within 10%%", c.Theta, truth.Theta)
+	}
+	if d := relDiff(c.Sigma, truth.Sigma); d > 0.10 {
+		t.Errorf("Sigma = %.5f, want %.5f within 10%%", c.Sigma, truth.Sigma)
+	}
+	if c.DiurnalAmp != 0 {
+		t.Errorf("phantom diurnal %.4f", c.DiurnalAmp)
+	}
+}
+
+func TestFitGenDeterministic(t *testing.T) {
+	truth := trace.DefaultCPUConfig()
+	pool := genPool(t, truth, 3, 4000)
+	a, err := FitGen(pool, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitGen(pool, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("fit not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFitGenErrors(t *testing.T) {
+	if _, err := FitGen(nil, trace.GenConfig{}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	short := &trace.Series{PeriodSec: 60, Samples: []float64{1, 2, 3}}
+	if _, err := FitGen([]*trace.Series{short}, trace.GenConfig{}); err == nil {
+		t.Error("short series accepted")
+	}
+	a := &trace.Series{PeriodSec: 60, Samples: make([]float64, 100)}
+	b := &trace.Series{PeriodSec: 30, Samples: make([]float64, 100)}
+	if _, err := FitGen([]*trace.Series{a, b}, trace.GenConfig{}); err == nil {
+		t.Error("mixed periods accepted")
+	}
+	if _, err := FitGen([]*trace.Series{a, nil}, trace.GenConfig{}); err == nil {
+		t.Error("nil series accepted")
+	}
+}
+
+// A constant pool fits to a degenerate config without dividing by zero,
+// and an empty template takes bounds from the observed range.
+func TestFitGenConstantAndObservedBounds(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = 0.5
+	}
+	s := &trace.Series{PeriodSec: 60, Samples: samples}
+	fit, err := FitGen([]*trace.Series{s}, trace.GenConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fit.Config
+	if c.Mean != 0.5 || c.Sigma != 0 || c.Theta != 0 || c.RegimeProb != 0 {
+		t.Fatalf("constant fit = %+v", c)
+	}
+	if c.Min > 0.5 || c.Max < 0.5 {
+		t.Fatalf("observed bounds do not cover the data: %+v", c)
+	}
+}

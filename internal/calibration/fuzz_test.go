@@ -1,0 +1,50 @@
+package calibration
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParsePrometheus asserts the importer never panics on arbitrary input
+// and that anything it accepts is a fixed point: render(parse(x)) itself
+// re-parses and re-renders to identical bytes.
+func FuzzParsePrometheus(f *testing.F) {
+	seeds := []string{
+		"",
+		"# HELP m h\n# TYPE m gauge\nm 1\n",
+		"# TYPE m counter\nm{a=\"b\"} 2\n",
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\nh_count 1\n",
+		"m{p=\"C:\\\\x\\\"q\\\"\\ny\"} -1.5e-09\n",
+		"v +Inf\nw -Inf\nx NaN\n",
+		"m 1 1700000000\n",
+		"# just a comment\n\nm 3\n",
+		"m{", "m{a=\"", "m{a=\"\\", "# TYPE m widget\n", "m\n", "m 1 2 3\n",
+		"\x00\xff", strings.Repeat("a", 300) + " 1\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		exp, err := ParsePrometheus(bytes.NewReader(data))
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		var once bytes.Buffer
+		if err := exp.WriteText(&once); err != nil {
+			t.Fatalf("render accepted input: %v", err)
+		}
+		exp2, err := ParsePrometheus(bytes.NewReader(once.Bytes()))
+		if err != nil {
+			t.Fatalf("own rendering does not re-parse: %v\n%s", err, once.String())
+		}
+		var twice bytes.Buffer
+		if err := exp2.WriteText(&twice); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(once.Bytes(), twice.Bytes()) {
+			t.Fatalf("render is not a fixed point:\n--- once ---\n%s\n--- twice ---\n%s",
+				once.String(), twice.String())
+		}
+	})
+}

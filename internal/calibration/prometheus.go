@@ -1,0 +1,430 @@
+// Package calibration fits the simulator to observed systems and validates
+// it as a digital twin (ROADMAP item 3). It closes the loop the paper could
+// not publish data for: import measurements (Prometheus expositions the obs
+// package serves, metrics CSVs, trace CSV pools), recover the synthetic
+// generator and cost-model parameters from them, re-run the simulator with
+// the fitted scenario, and report predicted-vs-observed agreement with
+// per-metric tolerances.
+//
+// Everything is stdlib-only and deterministic: the same inputs produce
+// byte-identical reports.
+package calibration
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one exposition line: a metric name (histogram children keep
+// their _bucket/_sum/_count suffix), its labels in input order, and the
+// value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Family groups the samples under one # HELP/# TYPE header. Samples that
+// appear without a header form an implicit family of kind "untyped" with no
+// help text.
+type Family struct {
+	Name, Help, Kind string
+	Samples          []Sample
+	// header records whether HELP/TYPE lines introduced the family (and so
+	// must be re-emitted on WriteText).
+	header bool
+}
+
+// Exposition is one parsed scrape: families in input order.
+type Exposition struct {
+	Families []*Family
+	byName   map[string]*Family
+}
+
+// promKinds are the metric kinds the 0.0.4 text format defines.
+var promKinds = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// ParsePrometheus parses Prometheus text exposition format (version 0.0.4)
+// — the exact dialect internal/obs.WriteText emits, including +Inf/-Inf/NaN
+// values and label escaping. Malformed input returns an error naming the
+// line; the parser never panics (see FuzzParsePrometheus).
+func ParsePrometheus(r io.Reader) (*Exposition, error) {
+	e := &Exposition{byName: make(map[string]*Family)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var current *Family
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fam, err := e.parseComment(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if fam != nil {
+				current = fam
+			}
+			continue
+		}
+		if err := e.parseSample(line, lineNo, &current); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("calibration: prometheus: %w", err)
+	}
+	return e, nil
+}
+
+// parseComment handles "# HELP", "# TYPE" and free-form comments. It returns
+// the family a HELP/TYPE line introduces (nil for plain comments).
+func (e *Exposition) parseComment(line string, lineNo int) (*Family, error) {
+	rest := strings.TrimPrefix(line, "#")
+	rest = strings.TrimPrefix(rest, " ")
+	switch {
+	case strings.HasPrefix(rest, "HELP "):
+		fields := strings.SplitN(rest[len("HELP "):], " ", 2)
+		name := fields[0]
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("calibration: prometheus line %d: bad metric name %q in HELP", lineNo, name)
+		}
+		fam := e.family(name)
+		fam.header = true
+		if len(fields) == 2 {
+			fam.Help = unescapeHelp(fields[1])
+		}
+		return fam, nil
+	case strings.HasPrefix(rest, "TYPE "):
+		fields := strings.Fields(rest[len("TYPE "):])
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("calibration: prometheus line %d: TYPE wants \"name kind\"", lineNo)
+		}
+		name, kind := fields[0], fields[1]
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("calibration: prometheus line %d: bad metric name %q in TYPE", lineNo, name)
+		}
+		if !promKinds[kind] {
+			return nil, fmt.Errorf("calibration: prometheus line %d: unknown metric kind %q", lineNo, kind)
+		}
+		fam := e.family(name)
+		fam.header = true
+		fam.Kind = kind
+		return fam, nil
+	default:
+		// Free-form comment: legal, carries no structure.
+		return nil, nil
+	}
+}
+
+// parseSample parses one sample line and appends it to the owning family.
+func (e *Exposition) parseSample(line string, lineNo int, current **Family) error {
+	s, err := parseSampleLine(line)
+	if err != nil {
+		return fmt.Errorf("calibration: prometheus line %d: %w", lineNo, err)
+	}
+	fam := *current
+	if fam == nil || !sampleBelongs(fam, s.Name) {
+		fam = e.family(baseName(s.Name))
+		*current = fam
+	}
+	fam.Samples = append(fam.Samples, s)
+	return nil
+}
+
+// family returns (creating if needed, preserving order) the family for name.
+func (e *Exposition) family(name string) *Family {
+	if f, ok := e.byName[name]; ok {
+		return f
+	}
+	f := &Family{Name: name, Kind: "untyped"}
+	e.byName[name] = f
+	e.Families = append(e.Families, f)
+	return f
+}
+
+// sampleBelongs reports whether a sample named n belongs to family f —
+// either the name matches, or it is a histogram/summary child series.
+func sampleBelongs(f *Family, n string) bool {
+	if n == f.Name {
+		return true
+	}
+	if f.Kind == "histogram" || f.Kind == "summary" {
+		return n == f.Name+"_bucket" || n == f.Name+"_sum" || n == f.Name+"_count"
+	}
+	return false
+}
+
+// baseName maps an isolated child sample name back to a plausible family
+// name. Without a TYPE header there is no histogram context, so the name is
+// its own family.
+func baseName(n string) string { return n }
+
+// parseSampleLine parses `name[{labels}] value [timestamp]`. The optional
+// timestamp is accepted and discarded (obs never writes one).
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("missing metric name")
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	if rest == "" {
+		return s, fmt.Errorf("missing value")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return s, fmt.Errorf("missing value")
+	}
+	if len(fields) > 2 {
+		return s, fmt.Errorf("trailing garbage after value")
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `{name="value",...}` returning the remaining tail.
+func parseLabels(in string) ([]Label, string, error) {
+	var labels []Label
+	i := 1 // past '{'
+	for {
+		if i >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		if len(labels) > 0 {
+			if in[i] != ',' {
+				return nil, "", fmt.Errorf("expected ',' between labels")
+			}
+			i++
+		}
+		start := i
+		for i < len(in) && isNameChar(in[i], i == start) {
+			i++
+		}
+		if i == start {
+			return nil, "", fmt.Errorf("missing label name")
+		}
+		name := in[start:i]
+		if !strings.HasPrefix(in[i:], `="`) {
+			return nil, "", fmt.Errorf("label %s: expected =\"", name)
+		}
+		i += 2
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch in[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case 'n':
+					val.WriteByte('\n')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", name, in[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Name: name, Value: val.String()})
+	}
+}
+
+// parsePromValue parses a sample value, accepting the exposition spellings
+// +Inf, -Inf and NaN (Go's ParseFloat accepts them too, along with the
+// case variants Prometheus tolerates).
+func parsePromValue(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteText re-renders the exposition in the obs package's dialect: HELP
+// then TYPE per family, samples in order, shortest round-trip float
+// formatting. Parsing obs.WriteText output and re-rendering reproduces the
+// input byte for byte.
+func (e *Exposition) WriteText(w io.Writer) error {
+	for _, f := range e.Families {
+		if len(f.Samples) == 0 && !f.header {
+			continue
+		}
+		if f.header {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+				f.Name, escapeHelp(f.Help), f.Name, f.Kind); err != nil {
+				return err
+			}
+		}
+		for _, s := range f.Samples {
+			var b strings.Builder
+			b.WriteString(s.Name)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(l.Name)
+					b.WriteString(`="`)
+					b.WriteString(escapeLabel(l.Value))
+					b.WriteByte('"')
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+			if _, err := io.WriteString(w, b.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Value returns the sample with the given name whose labels match want
+// exactly (order-insensitive). The second return is false when absent.
+func (e *Exposition) Value(name string, want map[string]string) (float64, bool) {
+	for _, f := range e.Families {
+		for _, s := range f.Samples {
+			if s.Name != name || len(s.Labels) != len(want) {
+				continue
+			}
+			match := true
+			for _, l := range s.Labels {
+				if want[l.Name] != l.Value {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the value of an unlabeled single-sample metric.
+func (e *Exposition) Gauge(name string) (float64, bool) {
+	return e.Value(name, nil)
+}
+
+// formatValue mirrors obs: Inf/NaN spellings plus shortest-round-trip floats.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func unescapeHelp(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

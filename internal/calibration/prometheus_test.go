@@ -1,0 +1,153 @@
+package calibration
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynamicdf/internal/obs"
+)
+
+// exerciseRegistry builds a registry spanning every feature the obs
+// exposition renderer has: plain and labeled counters/gauges, histograms,
+// label values needing escaping, and the special float spellings.
+func exerciseRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter("jobs_total", "Jobs processed.").Add(42)
+	g := reg.Gauge("sim_omega", "Relative application throughput over the last interval.")
+	g.Set(0.9337215947412415)
+	reg.Gauge("weird_values", "Special float spellings.").Set(math.Inf(1))
+	cv := reg.CounterVec("http_requests_total", "Requests by method and code.", "method", "code")
+	cv.With("GET", "200").Add(17)
+	cv.With("POST", "500").Inc()
+	gv := reg.GaugeVec("escaped", `Help with backslash \ and
+newline.`, "path")
+	gv.With(`C:\temp\"quoted"` + "\nnext").Set(-1.5e-9)
+	h := reg.Histogram("latency_seconds", "Request latency.", obs.DefBuckets)
+	for _, v := range []float64{0.0004, 0.003, 0.02, 0.07, 0.3, 2, 10} {
+		h.Observe(v)
+	}
+	hv := reg.HistogramVec("stage_seconds", "Stage latency.", []float64{0.1, 1}, "stage")
+	hv.With("fit").Observe(0.05)
+	hv.With("validate").Observe(3)
+	return reg
+}
+
+// The importer must reproduce obs.WriteText output byte for byte:
+// parse(render(registry)) re-renders to identical bytes, and every sample
+// value survives.
+func TestParsePrometheusRoundTripsObs(t *testing.T) {
+	var orig bytes.Buffer
+	if err := exerciseRegistry().WriteText(&orig); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParsePrometheus(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatalf("parse obs output: %v", err)
+	}
+	var rendered bytes.Buffer
+	if err := exp.WriteText(&rendered); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), rendered.Bytes()) {
+		t.Fatalf("round trip not byte-identical:\n--- obs ---\n%s\n--- reparsed ---\n%s",
+			orig.String(), rendered.String())
+	}
+
+	// Spot-check value extraction.
+	if v, ok := exp.Gauge("sim_omega"); !ok || v != 0.9337215947412415 {
+		t.Fatalf("sim_omega = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("http_requests_total", map[string]string{"method": "GET", "code": "200"}); !ok || v != 17 {
+		t.Fatalf("labeled counter = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("latency_seconds_bucket", map[string]string{"le": "+Inf"}); !ok || v != 7 {
+		t.Fatalf("histogram +Inf bucket = %v, %v", v, ok)
+	}
+	if v, ok := exp.Gauge("weird_values"); !ok || !math.IsInf(v, 1) {
+		t.Fatalf("inf gauge = %v, %v", v, ok)
+	}
+	if _, ok := exp.Gauge("missing_metric"); ok {
+		t.Fatal("phantom metric found")
+	}
+}
+
+// The golden fixture pins the exposition dialect: if either the obs
+// renderer or this parser drifts, the byte comparison breaks.
+func TestParsePrometheusGoldenFixture(t *testing.T) {
+	golden := filepath.Join("testdata", "golden.prom")
+	var gen bytes.Buffer
+	if err := exerciseRegistry().WriteText(&gen); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, gen.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gen.Bytes(), want) {
+		t.Fatalf("obs.WriteText no longer matches testdata/golden.prom; regenerate the fixture if the format change is intentional")
+	}
+	exp, err := ParsePrometheus(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rendered bytes.Buffer
+	if err := exp.WriteText(&rendered); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rendered.Bytes(), want) {
+		t.Fatal("golden fixture does not round-trip byte-for-byte")
+	}
+}
+
+func TestParsePrometheusMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad type kind":      "# TYPE foo widget\n",
+		"type missing kind":  "# TYPE foo\n",
+		"bad name in help":   "# HELP 1foo x\n",
+		"bad name in type":   "# TYPE 1foo gauge\n",
+		"missing value":      "foo\n",
+		"bad value":          "foo bar\n",
+		"trailing garbage":   "foo 1 2 3\n",
+		"bad timestamp":      "foo 1 nope\n",
+		"unterminated label": "foo{a=\"x\n",
+		"bad escape":         "foo{a=\"\\x\"} 1\n",
+		"dangling escape":    "foo{a=\"\\\n",
+		"missing label name": "foo{=\"x\"} 1\n",
+		"missing quote":      "foo{a=x} 1\n",
+		"no comma":           "foo{a=\"x\"b=\"y\"} 1\n",
+		"value only":         "{} 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestParsePrometheusLenient(t *testing.T) {
+	// Things the format allows that obs never emits: free comments, blank
+	// lines, samples without headers, timestamps, empty label sets.
+	in := "# just a comment\n\nfree_metric 3\nstamped 1 1700000000\nempty{} 2\n"
+	exp, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Gauge("free_metric"); !ok || v != 3 {
+		t.Fatalf("free_metric = %v, %v", v, ok)
+	}
+	if v, ok := exp.Gauge("stamped"); !ok || v != 1 {
+		t.Fatalf("stamped = %v, %v", v, ok)
+	}
+	if v, ok := exp.Gauge("empty"); !ok || v != 2 {
+		t.Fatalf("empty = %v, %v", v, ok)
+	}
+}

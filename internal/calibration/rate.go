@@ -1,0 +1,84 @@
+package calibration
+
+import (
+	"fmt"
+	"math"
+
+	"dynamicdf/internal/metrics"
+	"dynamicdf/internal/scenario"
+)
+
+// ratePeriods is the deterministic grid of candidate wave periods (seconds)
+// FitRate scans — the spans continuous dataflows actually cycle on, from
+// ten minutes to a day.
+var ratePeriods = []int64{600, 900, 1200, 1800, 2400, 3600, 5400, 7200, 10800, 14400, 21600, 43200, 86400}
+
+// FitRate recovers a scenario rate profile from the observed per-interval
+// input rates: the mean, plus a sinusoid when one candidate period explains
+// a dominant variance share (>= 30%). The fit is phase-blind — RateSpec
+// carries no phase, so only mean/amplitude/period transfer; validation
+// therefore compares period-level aggregates, not instantaneous rates.
+func FitRate(points []metrics.Point) (scenario.RateSpec, error) {
+	if len(points) < 4 {
+		return scenario.RateSpec{}, fmt.Errorf("calibration: need >= 4 points to fit a rate profile, have %d", len(points))
+	}
+	mean := 0.0
+	for _, p := range points {
+		if p.InputRate < 0 {
+			return scenario.RateSpec{}, fmt.Errorf("calibration: negative input rate %v at %d", p.InputRate, p.Sec)
+		}
+		mean += p.InputRate
+	}
+	mean /= float64(len(points))
+
+	variance := 0.0
+	for _, p := range points {
+		d := p.InputRate - mean
+		variance += d * d
+	}
+	variance /= float64(len(points))
+	if variance == 0 || mean == 0 {
+		return scenario.RateSpec{Kind: "constant", Mean: mean}, nil
+	}
+
+	duration := points[len(points)-1].Sec - points[0].Sec
+	bestExplained, bestAmp := 0.0, 0.0
+	var bestPeriod int64
+	for _, period := range ratePeriods {
+		if period > duration {
+			continue
+		}
+		// Least-squares b*sin + c*cos at this period.
+		var sbb, scc, sbc, sby, scy float64
+		for _, p := range points {
+			w := 2 * math.Pi * float64(p.Sec) / float64(period)
+			sb, cb := math.Sin(w), math.Cos(w)
+			y := p.InputRate - mean
+			sbb += sb * sb
+			scc += cb * cb
+			sbc += sb * cb
+			sby += sb * y
+			scy += cb * y
+		}
+		det := sbb*scc - sbc*sbc
+		if det <= 1e-9*(sbb*scc+1) {
+			continue
+		}
+		b := (sby*scc - scy*sbc) / det
+		c := (scy*sbb - sby*sbc) / det
+		explained := (b*sby + c*scy) / float64(len(points)) / variance
+		if explained > bestExplained {
+			bestExplained = explained
+			bestPeriod = period
+			bestAmp = math.Hypot(b, c)
+		}
+	}
+	if bestExplained >= 0.3 && bestAmp > 0 {
+		amp := bestAmp
+		if amp > mean {
+			amp = mean // the wave profile requires amplitude <= mean
+		}
+		return scenario.RateSpec{Kind: "wave", Mean: mean, Amplitude: amp, PeriodSec: bestPeriod}, nil
+	}
+	return scenario.RateSpec{Kind: "constant", Mean: mean}, nil
+}

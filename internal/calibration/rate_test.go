@@ -1,0 +1,102 @@
+package calibration
+
+import (
+	"math"
+	"testing"
+
+	"dynamicdf/internal/metrics"
+)
+
+func wavePoints(mean, amp float64, periodSec, intervalSec, n int64) []metrics.Point {
+	pts := make([]metrics.Point, 0, n)
+	for i := int64(0); i < n; i++ {
+		sec := i * intervalSec
+		pts = append(pts, metrics.Point{
+			Sec:       sec,
+			InputRate: mean + amp*math.Sin(2*math.Pi*float64(sec)/float64(periodSec)),
+		})
+	}
+	return pts
+}
+
+func TestFitRateWave(t *testing.T) {
+	pts := wavePoints(100, 30, 1800, 60, 240) // 4 hours of a 30-minute wave
+	spec, err := FitRate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != "wave" {
+		t.Fatalf("kind = %q, want wave (%+v)", spec.Kind, spec)
+	}
+	if spec.PeriodSec != 1800 {
+		t.Errorf("period = %d, want 1800", spec.PeriodSec)
+	}
+	if relDiff(spec.Mean, 100) > 0.01 {
+		t.Errorf("mean = %v, want 100", spec.Mean)
+	}
+	if relDiff(spec.Amplitude, 30) > 0.05 {
+		t.Errorf("amplitude = %v, want 30", spec.Amplitude)
+	}
+}
+
+func TestFitRateConstant(t *testing.T) {
+	pts := make([]metrics.Point, 120)
+	for i := range pts {
+		// Uncorrelated deterministic jitter, no periodic structure.
+		pts[i] = metrics.Point{Sec: int64(i) * 60, InputRate: 50 + 3*math.Sin(float64(i*i))}
+	}
+	spec, err := FitRate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != "constant" {
+		t.Fatalf("kind = %q, want constant (%+v)", spec.Kind, spec)
+	}
+	if relDiff(spec.Mean, 50) > 0.05 {
+		t.Errorf("mean = %v, want ~50", spec.Mean)
+	}
+
+	// A perfectly flat series is constant too (zero-variance path).
+	flat := make([]metrics.Point, 10)
+	for i := range flat {
+		flat[i] = metrics.Point{Sec: int64(i) * 60, InputRate: 7}
+	}
+	spec, err = FitRate(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != "constant" || spec.Mean != 7 {
+		t.Fatalf("flat fit = %+v", spec)
+	}
+}
+
+func TestFitRateErrors(t *testing.T) {
+	if _, err := FitRate(nil); err == nil {
+		t.Error("empty points accepted")
+	}
+	bad := []metrics.Point{{Sec: 0, InputRate: 1}, {Sec: 60, InputRate: -2}, {Sec: 120}, {Sec: 180}}
+	if _, err := FitRate(bad); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+// Amplitude is capped at the mean so the fitted profile stays valid for
+// rates.NewWave.
+func TestFitRateAmplitudeCap(t *testing.T) {
+	pts := make([]metrics.Point, 240)
+	for i := range pts {
+		sec := int64(i) * 60
+		v := 10 + 40*math.Sin(2*math.Pi*float64(sec)/1800)
+		if v < 0 {
+			v = 0 // observed rates cannot be negative; the wave clips
+		}
+		pts[i] = metrics.Point{Sec: sec, InputRate: v}
+	}
+	spec, err := FitRate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind == "wave" && spec.Amplitude > spec.Mean {
+		t.Fatalf("amplitude %v exceeds mean %v", spec.Amplitude, spec.Mean)
+	}
+}

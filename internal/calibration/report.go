@@ -1,0 +1,83 @@
+package calibration
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// MetricResult compares one metric between the observed system and the
+// fitted simulator.
+type MetricResult struct {
+	Name      string  `json:"name"`
+	Observed  float64 `json:"observed"`
+	Predicted float64 `json:"predicted"`
+	RelErr    float64 `json:"relErr"`
+	Tolerance float64 `json:"tolerance"`
+	Pass      bool    `json:"pass"`
+}
+
+// ReportIntervals records how many intervals each side aggregated.
+type ReportIntervals struct {
+	Observed  int `json:"observed"`
+	Predicted int `json:"predicted"`
+}
+
+// Report is the deterministic validation verdict: per-metric residuals in a
+// fixed order plus the overall pass flag (every metric within tolerance).
+type Report struct {
+	Intervals ReportIntervals `json:"intervals"`
+	Metrics   []MetricResult  `json:"metrics"`
+	Pass      bool            `json:"pass"`
+}
+
+func (r *Report) add(name string, obs, pred, tolerance float64) {
+	e := relErr(obs, pred)
+	r.Metrics = append(r.Metrics, MetricResult{
+		Name: name, Observed: obs, Predicted: pred,
+		RelErr: e, Tolerance: tolerance, Pass: e <= tolerance,
+	})
+}
+
+func (r *Report) finalize() {
+	r.Pass = true
+	for _, m := range r.Metrics {
+		if !m.Pass {
+			r.Pass = false
+			return
+		}
+	}
+}
+
+// JSON renders the report as indented JSON. Field order is fixed by the
+// struct definitions and float formatting by encoding/json, so equal
+// reports marshal to identical bytes.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Table renders the report as a fixed-width human-readable table.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %14s %14s %9s %6s  %s\n",
+		"metric", "observed", "predicted", "relerr", "tol", "verdict")
+	for _, m := range r.Metrics {
+		verdict := "PASS"
+		if !m.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-16s %14.6g %14.6g %8.2f%% %5.0f%%  %s\n",
+			m.Name, m.Observed, m.Predicted, m.RelErr*100, m.Tolerance*100, verdict)
+	}
+	fmt.Fprintf(&b, "intervals: observed=%d predicted=%d\n", r.Intervals.Observed, r.Intervals.Predicted)
+	if r.Pass {
+		b.WriteString("verdict: PASS — the fitted simulator tracks the observed system within tolerance\n")
+	} else {
+		b.WriteString("verdict: FAIL — at least one metric exceeds its tolerance\n")
+	}
+	return b.String()
+}

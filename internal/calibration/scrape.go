@@ -1,0 +1,145 @@
+package calibration
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dynamicdf/internal/metrics"
+	"dynamicdf/internal/trace"
+)
+
+// Scrape is one exposition snapshot taken at a known simulation/wall time.
+type Scrape struct {
+	Sec int64
+	Exp *Exposition
+}
+
+// LoadScrapeDir reads a directory of exposition snapshots named
+// "<sec>.prom" (e.g. 0.prom, 60.prom, ... — the natural dump format for a
+// loop scraping /metrics) and returns them sorted by time. Files with other
+// extensions are ignored; a .prom file whose stem is not an integer is an
+// error, as is an empty directory.
+func LoadScrapeDir(dir string) ([]Scrape, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("calibration: %w", err)
+	}
+	var out []Scrape
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(strings.ToLower(name), ".prom") {
+			continue
+		}
+		stem := name[:len(name)-len(".prom")]
+		sec, err := strconv.ParseInt(stem, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("calibration: scrape file %s: name must be <sec>.prom", name)
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("calibration: %w", err)
+		}
+		exp, err := ParsePrometheus(f)
+		closeErr := f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("calibration: scrape file %s: %w", name, err)
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
+		out = append(out, Scrape{Sec: sec, Exp: exp})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("calibration: no .prom files in %s", dir)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sec < out[j].Sec })
+	return out, nil
+}
+
+// SeriesFromScrapes assembles the time series of one gauge across uniformly
+// spaced scrapes — the bridge from a /metrics scrape log to a calibration
+// target series.
+func SeriesFromScrapes(scrapes []Scrape, metric string) (*trace.Series, error) {
+	if len(scrapes) < 2 {
+		return nil, fmt.Errorf("calibration: need at least 2 scrapes for %s, have %d", metric, len(scrapes))
+	}
+	period := scrapes[1].Sec - scrapes[0].Sec
+	if period <= 0 {
+		return nil, fmt.Errorf("calibration: scrape times must increase (step %d)", period)
+	}
+	samples := make([]float64, 0, len(scrapes))
+	for i, sc := range scrapes {
+		if i > 0 {
+			if step := sc.Sec - scrapes[i-1].Sec; step != period {
+				return nil, fmt.Errorf("calibration: scrapes not uniformly spaced: step %d at %d, want %d",
+					step, sc.Sec, period)
+			}
+		}
+		v, ok := sc.Exp.Gauge(metric)
+		if !ok {
+			return nil, fmt.Errorf("calibration: metric %s missing from scrape at %d", metric, sc.Sec)
+		}
+		samples = append(samples, v)
+	}
+	return trace.NewSeries(period, samples)
+}
+
+// PointsFromScrapes reconstructs per-interval metrics points from the sim_*
+// gauge set each scrape carries — enough of a run record to validate
+// against when no metrics CSV was kept.
+func PointsFromScrapes(scrapes []Scrape) ([]metrics.Point, error) {
+	if len(scrapes) == 0 {
+		return nil, fmt.Errorf("calibration: no scrapes")
+	}
+	pts := make([]metrics.Point, 0, len(scrapes))
+	for _, sc := range scrapes {
+		p := metrics.Point{Sec: sc.Sec}
+		grab := func(name string, dst *float64) bool {
+			v, ok := sc.Exp.Gauge(name)
+			if ok {
+				*dst = v
+			}
+			return ok
+		}
+		if !grab("sim_omega", &p.Omega) {
+			return nil, fmt.Errorf("calibration: sim_omega missing from scrape at %d", sc.Sec)
+		}
+		grab("sim_gamma", &p.Gamma)
+		grab("sim_cost_usd", &p.CostUSD)
+		grab("sim_input_rate", &p.InputRate)
+		grab("sim_backlog_messages", &p.Backlog)
+		var f float64
+		if grab("sim_active_vms", &f) {
+			p.ActiveVMs = int(f)
+		}
+		if grab("sim_pending_vms", &f) {
+			p.PendingVMs = int(f)
+		}
+		if grab("sim_used_cores", &f) {
+			p.UsedCores = int(f)
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// LoadPointsCSV reads a metrics CSV (the dfsim -csv output) as observed
+// points.
+func LoadPointsCSV(path string) ([]metrics.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("calibration: %w", err)
+	}
+	defer f.Close()
+	return metrics.ReadCSV(f)
+}
+
+// LoadTraceDir loads a directory of per-VM trace CSVs as calibration target
+// series (see trace.LoadDir for the typed errors it surfaces).
+func LoadTraceDir(dir string) ([]*trace.Series, error) {
+	return trace.LoadDir(dir)
+}

@@ -1,0 +1,135 @@
+package calibration
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynamicdf/internal/obs"
+)
+
+// writeScrape renders one sim_* gauge snapshot to <sec>.prom in dir.
+func writeScrape(t *testing.T, dir string, sec int64, set func(*obs.RunGauges)) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	g := obs.NewRunGauges(reg)
+	set(g)
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%d.prom", sec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := reg.WriteText(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadScrapeDirAndSeries(t *testing.T) {
+	dir := t.TempDir()
+	vals := []float64{0.9, 0.8, 0.95, 1.0}
+	// Written out of order on purpose: the loader must sort by time.
+	for _, i := range []int{2, 0, 3, 1} {
+		i := i
+		writeScrape(t, dir, int64(i)*60, func(g *obs.RunGauges) {
+			g.Omega.Set(vals[i])
+			g.Gamma.Set(vals[i] / 2)
+			g.InputRate.Set(100 + float64(i))
+			g.CostUSD.Set(float64(i) * 0.06)
+			g.ActiveVMs.Set(float64(1 + i))
+			g.UsedCores.Set(float64(2 * i))
+		})
+	}
+	// A non-prom file is ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	scrapes, err := LoadScrapeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scrapes) != 4 {
+		t.Fatalf("loaded %d scrapes", len(scrapes))
+	}
+	for i, sc := range scrapes {
+		if sc.Sec != int64(i)*60 {
+			t.Fatalf("scrape %d at sec %d, not sorted", i, sc.Sec)
+		}
+	}
+
+	s, err := SeriesFromScrapes(scrapes, "sim_omega")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PeriodSec != 60 || len(s.Samples) != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+	for i, v := range vals {
+		if s.Samples[i] != v {
+			t.Errorf("sample %d = %v, want %v", i, s.Samples[i], v)
+		}
+	}
+
+	pts, err := PointsFromScrapes(scrapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	p := pts[2]
+	if p.Sec != 120 || p.Omega != 0.95 || p.Gamma != 0.475 || p.InputRate != 102 ||
+		p.ActiveVMs != 3 || p.UsedCores != 4 || relDiff(p.CostUSD, 0.12) > 1e-12 {
+		t.Fatalf("point = %+v", p)
+	}
+}
+
+func TestLoadScrapeDirErrors(t *testing.T) {
+	empty := t.TempDir()
+	if _, err := LoadScrapeDir(empty); err == nil {
+		t.Error("empty dir accepted")
+	}
+	if _, err := LoadScrapeDir(filepath.Join(empty, "missing")); err == nil {
+		t.Error("missing dir accepted")
+	}
+
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "notatime.prom"), []byte("m 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScrapeDir(bad); err == nil {
+		t.Error("non-integer stem accepted")
+	}
+
+	malformed := t.TempDir()
+	if err := os.WriteFile(filepath.Join(malformed, "0.prom"), []byte("m{a=\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScrapeDir(malformed); err == nil {
+		t.Error("malformed exposition accepted")
+	}
+}
+
+func TestSeriesFromScrapesErrors(t *testing.T) {
+	dir := t.TempDir()
+	writeScrape(t, dir, 0, func(g *obs.RunGauges) { g.Omega.Set(1) })
+	writeScrape(t, dir, 60, func(g *obs.RunGauges) { g.Omega.Set(1) })
+	writeScrape(t, dir, 180, func(g *obs.RunGauges) { g.Omega.Set(1) }) // gap: 120 missing
+	scrapes, err := LoadScrapeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SeriesFromScrapes(scrapes, "sim_omega"); err == nil {
+		t.Error("non-uniform spacing accepted")
+	}
+	if _, err := SeriesFromScrapes(scrapes[:1], "sim_omega"); err == nil {
+		t.Error("single scrape accepted")
+	}
+	if _, err := SeriesFromScrapes(scrapes[:2], "no_such_metric"); err == nil {
+		t.Error("missing metric accepted")
+	}
+	if _, err := PointsFromScrapes(nil); err == nil {
+		t.Error("empty scrape list accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package calibration
+
+import (
+	"fmt"
+	"math"
+
+	"dynamicdf/internal/metrics"
+	"dynamicdf/internal/scenario"
+)
+
+// Tolerances bounds the acceptable relative error per compared metric when
+// judging the fitted simulator as a digital twin. Relative error is
+// |predicted - observed| / max(|observed|, floor); a metric passes when its
+// relative error is <= its tolerance.
+type Tolerances struct {
+	MeanOmega     float64
+	MeanGamma     float64
+	Theta         float64
+	TotalCostUSD  float64
+	MeanUsedCores float64
+	MeanVMs       float64
+}
+
+// DefaultTolerances returns the validation defaults: tight on the
+// dimensionless ratios the controller tracks (omega, gamma), looser on the
+// resource/cost aggregates that compound stochastic scheduling differences.
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		MeanOmega:     0.05,
+		MeanGamma:     0.10,
+		Theta:         0.15,
+		TotalCostUSD:  0.15,
+		MeanUsedCores: 0.15,
+		MeanVMs:       0.15,
+	}
+}
+
+// relErrFloor keeps relative error finite for observed values at zero.
+const relErrFloor = 1e-9
+
+// Validate runs the (typically fitted) scenario through the real engine and
+// compares its predicted summary against the observed run, metric by
+// metric. The returned report is deterministic: same scenario bytes and
+// observed points give identical output.
+func Validate(sc *scenario.Scenario, observed []metrics.Point, tol Tolerances) (*Report, error) {
+	if len(observed) == 0 {
+		return nil, fmt.Errorf("calibration: no observed points to validate against")
+	}
+	built, err := sc.Build()
+	if err != nil {
+		return nil, fmt.Errorf("calibration: %w", err)
+	}
+	predicted, err := built.Engine.Run(built.Scheduler)
+	if err != nil {
+		return nil, fmt.Errorf("calibration: predicted run: %w", err)
+	}
+	obsSum := metrics.SummarizePoints(observed)
+
+	rep := &Report{
+		Intervals: ReportIntervals{Observed: obsSum.Intervals, Predicted: predicted.Intervals},
+	}
+	add := func(name string, obs, pred, tolerance float64) {
+		rep.add(name, obs, pred, tolerance)
+	}
+	add("mean_omega", obsSum.MeanOmega, predicted.MeanOmega, tol.MeanOmega)
+	add("mean_gamma", obsSum.MeanGamma, predicted.MeanGamma, tol.MeanGamma)
+	add("theta",
+		built.Objective.Theta(obsSum.MeanGamma, obsSum.TotalCostUSD),
+		built.Objective.Theta(predicted.MeanGamma, predicted.TotalCostUSD),
+		tol.Theta)
+	add("total_cost_usd", obsSum.TotalCostUSD, predicted.TotalCostUSD, tol.TotalCostUSD)
+	add("mean_used_cores", obsSum.MeanUsedCores, predicted.MeanUsedCores, tol.MeanUsedCores)
+	add("mean_vms", obsSum.MeanVMs, predicted.MeanVMs, tol.MeanVMs)
+	rep.finalize()
+	return rep, nil
+}
+
+// relErr computes |p-o| / max(|o|, floor).
+func relErr(obs, pred float64) float64 {
+	den := math.Abs(obs)
+	if den < relErrFloor {
+		den = relErrFloor
+	}
+	return math.Abs(pred-obs) / den
+}

@@ -1,0 +1,153 @@
+package calibration
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynamicdf/internal/scenario"
+)
+
+const minimalScenario = `{
+  "graph": {
+    "pes": [
+      {"name": "a", "alternates": [{"name": "x", "value": 1, "cost": 0.2, "selectivity": 1}]},
+      {"name": "b", "alternates": [
+        {"name": "full", "value": 1, "cost": 1.0, "selectivity": 1},
+        {"name": "lite", "value": 0.8, "cost": 0.5, "selectivity": 1}
+      ]}
+    ],
+    "edges": [["a", "b"]]
+  },
+  "rate": {"kind": "constant", "mean": 5},
+  "horizonHours": 1
+}`
+
+func parseScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Parse(strings.NewReader(minimalScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// The loopback identity: validating a deterministic scenario against its own
+// run must pass with zero residual on every metric.
+func TestValidateSelfLoopback(t *testing.T) {
+	sc := parseScenario(t)
+	built, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := built.Engine.Run(built.Scheduler); err != nil {
+		t.Fatal(err)
+	}
+	observed := built.Engine.Collector().Points()
+
+	rep, err := Validate(parseScenario(t), observed, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("self-loopback failed:\n%s", rep.Table())
+	}
+	if len(rep.Metrics) != 6 {
+		t.Fatalf("%d metrics, want 6", len(rep.Metrics))
+	}
+	for _, m := range rep.Metrics {
+		if m.RelErr != 0 {
+			t.Errorf("%s: relErr = %v, want 0 (obs %v pred %v)", m.Name, m.RelErr, m.Observed, m.Predicted)
+		}
+	}
+	if rep.Intervals.Observed != rep.Intervals.Predicted {
+		t.Errorf("intervals %+v", rep.Intervals)
+	}
+}
+
+// Perturbing the observed series past tolerance must flip the verdict, and
+// the failing metric must be identifiable in the report.
+func TestValidateDetectsDivergence(t *testing.T) {
+	sc := parseScenario(t)
+	built, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := built.Engine.Run(built.Scheduler); err != nil {
+		t.Fatal(err)
+	}
+	observed := built.Engine.Collector().Points()
+	for i := range observed {
+		observed[i].Omega *= 1.5
+	}
+
+	rep, err := Validate(parseScenario(t), observed, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatalf("divergent run passed:\n%s", rep.Table())
+	}
+	failed := map[string]bool{}
+	for _, m := range rep.Metrics {
+		if !m.Pass {
+			failed[m.Name] = true
+		}
+	}
+	if !failed["mean_omega"] {
+		t.Errorf("mean_omega did not fail: %+v", rep.Metrics)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := Validate(parseScenario(t), nil, DefaultTolerances()); err == nil {
+		t.Error("empty observations accepted")
+	}
+	bad := parseScenario(t)
+	bad.Rate.Kind = "ghost"
+	built, err := parseScenario(t).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := built.Engine.Run(built.Scheduler); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(bad, built.Engine.Collector().Points(), DefaultTolerances()); err == nil {
+		t.Error("unbuildable scenario accepted")
+	}
+}
+
+// Reports must be byte-deterministic: same inputs, identical JSON and table.
+func TestReportDeterministic(t *testing.T) {
+	run := func() ([]byte, string) {
+		sc := parseScenario(t)
+		built, err := sc.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := built.Engine.Run(built.Scheduler); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Validate(parseScenario(t), built.Engine.Collector().Points(), DefaultTolerances())
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j, rep.Table()
+	}
+	j1, t1 := run()
+	j2, t2 := run()
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("JSON not deterministic:\n%s\n---\n%s", j1, j2)
+	}
+	if t1 != t2 {
+		t.Fatalf("table not deterministic:\n%s\n---\n%s", t1, t2)
+	}
+	// The JSON must parse-roundtrip structurally: spot-check shape markers.
+	if !bytes.Contains(j1, []byte(`"mean_omega"`)) || !bytes.Contains(j1, []byte(`"pass"`)) {
+		t.Fatalf("unexpected JSON shape:\n%s", j1)
+	}
+}

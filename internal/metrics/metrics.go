@@ -227,6 +227,81 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// ReadCSV parses points written by WriteCSV back into a slice — the inverse
+// used by the calibration importer to treat a recorded run as an observed
+// system. The header row must match WriteCSV's column set exactly (order
+// included), so schema drift fails loudly instead of silently misreading.
+func ReadCSV(r io.Reader) ([]Point, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("metrics: csv is empty")
+	}
+	want := []string{"sec", "omega", "gamma", "cost_usd", "vms", "cores", "in_rate", "out_rate", "backlog", "latency_sec", "pending_vms"}
+	if len(rows[0]) != len(want) {
+		return nil, fmt.Errorf("metrics: csv header has %d columns, want %d", len(rows[0]), len(want))
+	}
+	for i, col := range want {
+		if rows[0][i] != col {
+			return nil, fmt.Errorf("metrics: csv header column %d is %q, want %q", i+1, rows[0][i], col)
+		}
+	}
+	points := make([]Point, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		fl := func(j int) (float64, error) {
+			v, err := strconv.ParseFloat(row[j], 64)
+			if err != nil {
+				return 0, fmt.Errorf("metrics: csv row %d column %s: %w", i+2, want[j], err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("metrics: csv row %d column %s: non-finite %v", i+2, want[j], v)
+			}
+			return v, nil
+		}
+		in := func(j int) (int, error) {
+			v, err := strconv.Atoi(row[j])
+			if err != nil {
+				return 0, fmt.Errorf("metrics: csv row %d column %s: %w", i+2, want[j], err)
+			}
+			return v, nil
+		}
+		var p Point
+		var errs [11]error
+		p.Sec, errs[0] = strconv.ParseInt(row[0], 10, 64)
+		if errs[0] != nil {
+			errs[0] = fmt.Errorf("metrics: csv row %d column sec: %w", i+2, errs[0])
+		}
+		p.Omega, errs[1] = fl(1)
+		p.Gamma, errs[2] = fl(2)
+		p.CostUSD, errs[3] = fl(3)
+		p.ActiveVMs, errs[4] = in(4)
+		p.UsedCores, errs[5] = in(5)
+		p.InputRate, errs[6] = fl(6)
+		p.OutputRate, errs[7] = fl(7)
+		p.Backlog, errs[8] = fl(8)
+		p.LatencySec, errs[9] = fl(9)
+		p.PendingVMs, errs[10] = in(10)
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// SummarizePoints reduces an arbitrary point slice the same way a Collector
+// summarizes its own run — so imported observations and simulated runs are
+// compared through identical arithmetic.
+func SummarizePoints(points []Point) Summary {
+	c := &Collector{points: points}
+	return c.Summarize()
+}
+
 // String renders the summary as one line.
 func (s Summary) String() string {
 	return fmt.Sprintf("intervals=%d omega=%.3f (min %.3f) gamma=%.3f cost=$%.2f vms(mean/peak)=%.1f/%d",

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVRoundTrip(t *testing.T) {
+	c := NewCollector()
+	pts := []Point{
+		{Sec: 0, Omega: 0.91, Gamma: 1, CostUSD: 0.06, ActiveVMs: 3, PendingVMs: 1,
+			UsedCores: 7, InputRate: 120.5, OutputRate: 118.25, Backlog: 42, LatencySec: 0.015},
+		{Sec: 60, Omega: 0.97, Gamma: 0.8, CostUSD: 0.12, ActiveVMs: 4,
+			UsedCores: 9, InputRate: 130, OutputRate: 131, Backlog: 0, LatencySec: 0.011},
+	}
+	for _, p := range pts {
+		if err := c.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("parsed %d points, want %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if got[i] != pts[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, got[i], pts[i])
+		}
+	}
+	// Summarizing imported points matches summarizing the live collector.
+	if SummarizePoints(got) != c.Summarize() {
+		t.Fatal("summaries diverge between imported and live points")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	header := "sec,omega,gamma,cost_usd,vms,cores,in_rate,out_rate,backlog,latency_sec,pending_vms\n"
+	cases := map[string]string{
+		"empty":            "",
+		"wrong header":     "sec,omega\n0,1\n",
+		"renamed column":   strings.Replace(header, "gamma", "value", 1) + "0,1,1,0,1,1,1,1,0,0,0\n",
+		"bad sec":          header + "x,1,1,0,1,1,1,1,0,0,0\n",
+		"bad float":        header + "0,x,1,0,1,1,1,1,0,0,0\n",
+		"nan":              header + "0,NaN,1,0,1,1,1,1,0,0,0\n",
+		"bad int":          header + "0,1,1,0,1.5,1,1,1,0,0,0\n",
+		"short row":        header + "0,1\n",
+		"mismatched quote": header + "0,\"1,1,0,1,1,1,1,0,0,0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Header alone is a valid, empty run.
+	got, err := ReadCSV(strings.NewReader(header))
+	if err != nil {
+		t.Fatalf("header-only: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("header-only: %d points", len(got))
+	}
+}

@@ -7,6 +7,10 @@ package obs
 type RunGauges struct {
 	// Omega is the last interval's relative application throughput.
 	Omega *Gauge
+	// Gamma is the last interval's normalized application value.
+	Gamma *Gauge
+	// InputRate is the aggregate external input rate, msg/s.
+	InputRate *Gauge
 	// Theta is the run's objective value (set by the runner at completion;
 	// the engine itself does not know the objective).
 	Theta *Gauge
@@ -29,6 +33,8 @@ type RunGauges struct {
 func NewRunGauges(reg *Registry) *RunGauges {
 	return &RunGauges{
 		Omega:      reg.Gauge("sim_omega", "Relative application throughput over the last interval."),
+		Gamma:      reg.Gauge("sim_gamma", "Normalized application value over the last interval."),
+		InputRate:  reg.Gauge("sim_input_rate", "Aggregate external input rate in messages per second."),
 		Theta:      reg.Gauge("sim_theta", "Objective value of the most recently completed run."),
 		UsedCores:  reg.Gauge("sim_used_cores", "CPU cores currently assigned to PEs."),
 		PendingVMs: reg.Gauge("sim_pending_vms", "VMs acquired but still provisioning."),

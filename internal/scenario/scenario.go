@@ -92,6 +92,48 @@ type InfraSpec struct {
 	Kind string `json:"kind"` // ideal | replayed | csvdir
 	Seed int64  `json:"seed"`
 	Dir  string `json:"dir"`
+	// CPU, Latency and Bandwidth override the replayed provider's generator
+	// parameters (kind "replayed" only; nil keeps the package defaults).
+	// Pointers with omitempty keep the canonical JSON of scenarios that do
+	// not use them unchanged, so existing sweep-journal cache keys stay
+	// valid. This is the slot calibration writes fitted parameters into.
+	CPU       *GenSpec `json:"cpu,omitempty"`
+	Latency   *GenSpec `json:"latency,omitempty"`
+	Bandwidth *GenSpec `json:"bandwidth,omitempty"`
+}
+
+// GenSpec mirrors trace.GenConfig in the scenario schema: the OU/regime/
+// diurnal generator parameters for one performance dimension.
+type GenSpec struct {
+	Mean       float64 `json:"mean"`
+	Theta      float64 `json:"theta"`
+	Sigma      float64 `json:"sigma"`
+	RegimeProb float64 `json:"regimeProb"`
+	RegimeAmp  float64 `json:"regimeAmp"`
+	DiurnalAmp float64 `json:"diurnalAmp"`
+	Min        float64 `json:"min"`
+	Max        float64 `json:"max"`
+	PeriodSec  int64   `json:"periodSec"`
+}
+
+// GenConfig converts the spec to the generator's config type.
+func (g *GenSpec) GenConfig() trace.GenConfig {
+	return trace.GenConfig{
+		Mean: g.Mean, Theta: g.Theta, Sigma: g.Sigma,
+		RegimeProb: g.RegimeProb, RegimeAmp: g.RegimeAmp,
+		DiurnalAmp: g.DiurnalAmp, Min: g.Min, Max: g.Max,
+		PeriodSec: g.PeriodSec,
+	}
+}
+
+// GenSpecFrom converts a generator config into its scenario representation.
+func GenSpecFrom(c trace.GenConfig) *GenSpec {
+	return &GenSpec{
+		Mean: c.Mean, Theta: c.Theta, Sigma: c.Sigma,
+		RegimeProb: c.RegimeProb, RegimeAmp: c.RegimeAmp,
+		DiurnalAmp: c.DiurnalAmp, Min: c.Min, Max: c.Max,
+		PeriodSec: c.PeriodSec,
+	}
 }
 
 // PolicySpec selects the scheduler.
@@ -394,7 +436,26 @@ func (sc *Scenario) perf() (trace.Provider, error) {
 	case "ideal", "":
 		return trace.NewIdeal(), nil
 	case "replayed":
-		return trace.NewReplayed(trace.ReplayedConfig{Seed: sc.Infra.Seed})
+		cfg := trace.ReplayedConfig{Seed: sc.Infra.Seed}
+		if sc.Infra.CPU != nil {
+			cfg.CPU = sc.Infra.CPU.GenConfig()
+			if err := cfg.CPU.Validate(); err != nil {
+				return nil, fmt.Errorf("scenario: infra cpu: %w", err)
+			}
+		}
+		if sc.Infra.Latency != nil {
+			cfg.Latency = sc.Infra.Latency.GenConfig()
+			if err := cfg.Latency.Validate(); err != nil {
+				return nil, fmt.Errorf("scenario: infra latency: %w", err)
+			}
+		}
+		if sc.Infra.Bandwidth != nil {
+			cfg.Bandwidth = sc.Infra.Bandwidth.GenConfig()
+			if err := cfg.Bandwidth.Validate(); err != nil {
+				return nil, fmt.Errorf("scenario: infra bandwidth: %w", err)
+			}
+		}
+		return trace.NewReplayed(cfg)
 	case "csvdir":
 		pool, err := trace.LoadDir(sc.Infra.Dir)
 		if err != nil {

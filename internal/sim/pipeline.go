@@ -355,6 +355,8 @@ func (e *Engine) stageObserve(c *stepContext) error {
 	}
 	if e.gauges != nil {
 		e.gauges.Omega.Set(c.omega)
+		e.gauges.Gamma.Set(c.gamma)
+		e.gauges.InputRate.Set(c.totalIn)
 		e.gauges.UsedCores.Set(float64(c.usedCores))
 		e.gauges.PendingVMs.Set(float64(c.pendingVMs))
 		e.gauges.ActiveVMs.Set(float64(len(c.active)))

@@ -1,0 +1,272 @@
+package trace
+
+import "math"
+
+// Autocovariance returns the sample autocovariance gamma(k) of the series
+// for k = 0..maxLag, using the biased 1/n normalization (the convention that
+// keeps the estimated sequence positive semi-definite). maxLag is clamped to
+// len(Samples)-1.
+func Autocovariance(s *Series, maxLag int) []float64 {
+	n := len(s.Samples)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	mean := 0.0
+	for _, v := range s.Samples {
+		mean += v
+	}
+	mean /= float64(n)
+	out := make([]float64, maxLag+1)
+	for k := 0; k <= maxLag; k++ {
+		acc := 0.0
+		for i := 0; i+k < n; i++ {
+			acc += (s.Samples[i] - mean) * (s.Samples[i+k] - mean)
+		}
+		out[k] = acc / float64(n)
+	}
+	return out
+}
+
+// Autocorrelation returns the sample autocorrelation rho(k) = gamma(k)/gamma(0)
+// for k = 0..maxLag. A constant series (gamma(0) == 0) yields all zeros past
+// lag 0 (and rho(0) = 1 by convention).
+func Autocorrelation(s *Series, maxLag int) []float64 {
+	g := Autocovariance(s, maxLag)
+	out := make([]float64, len(g))
+	out[0] = 1
+	if g[0] == 0 {
+		return out
+	}
+	for k := 1; k < len(g); k++ {
+		out[k] = g[k] / g[0]
+	}
+	return out
+}
+
+// ACDecomposition splits an autocorrelation function into a fast and a slow
+// exponentially decaying component,
+//
+//	rho(k) ~= FastWeight*FastDecay^k + SlowWeight*SlowDecay^k,
+//
+// the signature of the package's generator: an Ornstein-Uhlenbeck diffusion
+// (fast, per-sample decay 1-Theta*dt) riding on occasional regime shifts
+// (slow, per-sample decay 1-RegimeProb). Weights are fractions of the total
+// variance. SlowWeight == 0 means no slow component was detected.
+//
+// Identification assumes the two time scales are separated: a slow OU and
+// persistent regimes are indistinguishable from second-order statistics
+// alone. A fit that collapses onto a single exponential is reported in the
+// fast slot (the more parsimonious generator — regimes without diffusion do
+// not occur).
+type ACDecomposition struct {
+	FastWeight, FastDecay float64
+	SlowWeight, SlowDecay float64
+	// SSE is the sum of squared residuals of the fit over the lag sample.
+	SSE float64
+}
+
+// DecomposeAC fits the two-component model to a sampled autocorrelation
+// function (rho[0] must be 1; use Autocorrelation) by least squares over a
+// deterministic coarse-to-fine grid of decay-rate pairs, solving the two
+// component weights in closed form at each grid point. The lag axis is
+// subsampled (dense early, sparse late) and truncated where the sample AC
+// sinks into finite-sample noise, so the cost stays negligible for multi-day
+// traces.
+func DecomposeAC(rho []float64) ACDecomposition {
+	d := ACDecomposition{FastWeight: 1}
+	if len(rho) < 3 {
+		if len(rho) == 2 {
+			d.FastDecay = clamp01(rho[1])
+		}
+		return d
+	}
+	lags, vals := subsampleAC(rho)
+
+	// Coarse grids: fast decay linear in [0, 0.99]; slow decay 1-q with q
+	// log-spaced so multi-hour dwells are resolvable.
+	fast := make([]float64, 0, 100)
+	for f := 0.0; f < 0.995; f += 0.01 {
+		fast = append(fast, f)
+	}
+	slow := decayGrid(1e-5, 0.5, 60)
+	best := fitACGrid(lags, vals, fast, slow, ACDecomposition{SSE: math.Inf(1)})
+
+	// Refine around the winner.
+	fast = fast[:0]
+	for f := best.FastDecay - 0.012; f <= best.FastDecay+0.012; f += 0.001 {
+		if f >= 0 && f < 0.9995 {
+			fast = append(fast, f)
+		}
+	}
+	q := 1 - best.SlowDecay
+	if q <= 0 || q > 1 {
+		q = 0.01
+	}
+	slow = decayGrid(q/2.5, math.Min(q*2.5, 0.9), 40)
+	best = fitACGrid(lags, vals, fast, slow, best)
+
+	// Components whose timescales are not separated (within a factor ~3)
+	// are one process that the fit split across two neighboring grid
+	// points; merge them so a pure OU never reports a phantom regime.
+	if best.SlowWeight > 0 && (1-best.SlowDecay) > (1-best.FastDecay)/3 {
+		w := best.FastWeight + best.SlowWeight
+		if w > 0 {
+			best.FastDecay = (best.FastWeight*best.FastDecay + best.SlowWeight*best.SlowDecay) / w
+		}
+		best.FastWeight = w
+		best.SlowWeight, best.SlowDecay = 0, 0
+	}
+	// A fit with a negligible fast share is a single exponential that
+	// landed in the slow slot (e.g. a slow pure OU); report it as pure OU —
+	// the identifiability caveat above.
+	if best.SlowWeight > 0 && best.FastWeight < 0.05*best.SlowWeight {
+		best.FastDecay = best.SlowDecay
+		best.FastWeight = best.FastWeight + best.SlowWeight
+		best.SlowWeight, best.SlowDecay = 0, 0
+	}
+	// A vanishing slow weight is no slow component at all.
+	if best.SlowWeight < 1e-6 {
+		best.SlowWeight, best.SlowDecay = 0, 0
+	}
+	return best
+}
+
+// subsampleAC picks the lag sample the fit runs on: every lag up to 32, then
+// geometrically sparser, stopping once the AC has sunk below noise level for
+// good (the deep tail of a sample ACF is bias-dominated and would drag the
+// slow component down).
+func subsampleAC(rho []float64) (lags []int, vals []float64) {
+	l := len(rho) - 1
+	// Find the last lag worth fitting: the first k from which rho stays
+	// below 0.01 (never to return above 0.05).
+	stop := l
+	for k := 1; k <= l; k++ {
+		if rho[k] < 0.01 {
+			rest := rho[k:]
+			high := false
+			for _, v := range rest {
+				if v > 0.05 {
+					high = true
+					break
+				}
+			}
+			if !high {
+				stop = k
+				break
+			}
+		}
+	}
+	step := 1
+	for k := 0; k <= stop; k += step {
+		lags = append(lags, k)
+		vals = append(vals, rho[k])
+		switch {
+		case k >= 256:
+			step = 16
+		case k >= 64:
+			step = 4
+		case k >= 32:
+			step = 2
+		}
+	}
+	return lags, vals
+}
+
+// decayGrid returns decays 1-q for nGrid values of q log-spaced in
+// [qMin, qMax], slowest (largest decay) first.
+func decayGrid(qMin, qMax float64, nGrid int) []float64 {
+	if qMin <= 0 {
+		qMin = 1e-6
+	}
+	if qMax <= qMin {
+		qMax = qMin * 10
+	}
+	out := make([]float64, 0, nGrid)
+	ratio := math.Pow(qMax/qMin, 1/float64(nGrid-1))
+	q := qMin
+	for i := 0; i < nGrid; i++ {
+		out = append(out, 1-q)
+		q *= ratio
+	}
+	return out
+}
+
+// fitACGrid scans every (fast, slow) decay pair with fast < slow, solving
+// the non-negative component weights in closed form, and returns the best
+// fit found (seeded with prior so refinement never regresses).
+func fitACGrid(lags []int, vals []float64, fast, slow []float64, prior ACDecomposition) ACDecomposition {
+	best := prior
+	var yy float64
+	for _, v := range vals {
+		yy += v * v
+	}
+	for _, ps := range slow {
+		for _, pf := range fast {
+			if pf >= ps {
+				continue
+			}
+			var sff, sss, sfs, sfy, ssy float64
+			for i, k := range lags {
+				fk := math.Pow(pf, float64(k))
+				sk := math.Pow(ps, float64(k))
+				sff += fk * fk
+				sss += sk * sk
+				sfs += fk * sk
+				sfy += fk * vals[i]
+				ssy += sk * vals[i]
+			}
+			a, b := solveWeights(sff, sss, sfs, sfy, ssy)
+			sse := yy - 2*(a*sfy+b*ssy) + a*a*sff + b*b*sss + 2*a*b*sfs
+			if sse < best.SSE {
+				best = ACDecomposition{
+					FastWeight: a, FastDecay: pf,
+					SlowWeight: b, SlowDecay: ps,
+					SSE: sse,
+				}
+			}
+		}
+	}
+	return best
+}
+
+// solveWeights solves the 2x2 least-squares system for non-negative
+// component weights, falling back to single-component fits when the
+// unconstrained solution leaves the feasible region.
+func solveWeights(sff, sss, sfs, sfy, ssy float64) (a, b float64) {
+	det := sff*sss - sfs*sfs
+	if det > 1e-12*sff*sss {
+		a = (sfy*sss - ssy*sfs) / det
+		b = (ssy*sff - sfy*sfs) / det
+		if a >= 0 && b >= 0 {
+			return a, b
+		}
+	}
+	// Constrained edges: one of the components is absent.
+	a, b = 0, 0
+	if sff > 0 {
+		a = math.Max(sfy/sff, 0)
+	}
+	if sss > 0 {
+		b = math.Max(ssy/sss, 0)
+	}
+	// Pick the edge with the lower residual (larger explained sum).
+	if a*sfy >= b*ssy {
+		return a, 0
+	}
+	return 0, b
+}
+
+func clamp01(v float64) float64 { return clamp(v, 0, 1) }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAutocovarianceEdgeCases(t *testing.T) {
+	// Constant series: gamma(0)=0, rho degenerates to [1, 0, 0, ...].
+	s := &Series{PeriodSec: 60, Samples: []float64{3, 3, 3, 3, 3}}
+	g := Autocovariance(s, 3)
+	for k, v := range g {
+		if v != 0 {
+			t.Fatalf("gamma(%d) = %v for constant series, want 0", k, v)
+		}
+	}
+	rho := Autocorrelation(s, 3)
+	if rho[0] != 1 || rho[1] != 0 || rho[2] != 0 {
+		t.Fatalf("rho = %v for constant series, want [1 0 0 0]", rho)
+	}
+
+	// maxLag clamps to n-1.
+	s2 := &Series{PeriodSec: 60, Samples: []float64{1, 2}}
+	if got := len(Autocovariance(s2, 99)); got != 2 {
+		t.Fatalf("len(gamma) = %d with maxLag clamped, want 2", got)
+	}
+	if got := len(Autocovariance(s2, -1)); got != 1 {
+		t.Fatalf("len(gamma) = %d with negative maxLag, want 1", got)
+	}
+}
+
+// An AR(1) process x[t+1] = phi*x[t] + eps has rho(k) = phi^k; the sample
+// autocorrelation of a long realization should track that closely at small
+// lags.
+func TestAutocorrelationAR1(t *testing.T) {
+	const phi = 0.9
+	rng := rand.New(rand.NewSource(42))
+	n := 200000
+	samples := make([]float64, n)
+	x := 0.0
+	for i := range samples {
+		x = phi*x + rng.NormFloat64()
+		samples[i] = x
+	}
+	s := &Series{PeriodSec: 60, Samples: samples}
+	rho := Autocorrelation(s, 20)
+	for k := 1; k <= 10; k++ {
+		want := math.Pow(phi, float64(k))
+		if math.Abs(rho[k]-want) > 0.02 {
+			t.Fatalf("rho(%d) = %.4f, want %.4f +- 0.02", k, rho[k], want)
+		}
+	}
+}
+
+// DecomposeAC on a noiseless two-exponential curve recovers both components
+// to grid resolution.
+func TestDecomposeACExact(t *testing.T) {
+	const (
+		aW, aD = 0.25, 0.70
+		bW, bD = 0.75, 0.995
+	)
+	rho := make([]float64, 4000)
+	for k := range rho {
+		rho[k] = aW*math.Pow(aD, float64(k)) + bW*math.Pow(bD, float64(k))
+	}
+	d := DecomposeAC(rho)
+	if d.SlowWeight == 0 {
+		t.Fatalf("no slow component detected: %+v", d)
+	}
+	if math.Abs(d.FastDecay-aD) > 0.01 {
+		t.Errorf("FastDecay = %.4f, want %.2f +- 0.01", d.FastDecay, aD)
+	}
+	if math.Abs(d.FastWeight-aW) > 0.05 {
+		t.Errorf("FastWeight = %.4f, want %.2f +- 0.05", d.FastWeight, aW)
+	}
+	q, wantQ := 1-d.SlowDecay, 1-bD
+	if q < wantQ*0.8 || q > wantQ*1.25 {
+		t.Errorf("slow decay rate = %.5f, want %.5f within 25%%", q, wantQ)
+	}
+	if math.Abs(d.SlowWeight-bW) > 0.05 {
+		t.Errorf("SlowWeight = %.4f, want %.2f +- 0.05", d.SlowWeight, bW)
+	}
+}
+
+// A single exponential must not grow a phantom slow component.
+func TestDecomposeACSingleExponential(t *testing.T) {
+	for _, decay := range []float64{0.5, 0.9, 0.995} {
+		rho := make([]float64, 3000)
+		for k := range rho {
+			rho[k] = math.Pow(decay, float64(k))
+		}
+		d := DecomposeAC(rho)
+		if d.SlowWeight != 0 {
+			t.Errorf("decay %.3f: phantom slow component %+v", decay, d)
+		}
+		if math.Abs(d.FastDecay-decay) > 0.01 {
+			t.Errorf("decay %.3f: FastDecay = %.4f", decay, d.FastDecay)
+		}
+		if math.Abs(d.FastWeight-1) > 0.05 {
+			t.Errorf("decay %.3f: FastWeight = %.4f, want ~1", decay, d.FastWeight)
+		}
+	}
+}
+
+func TestDecomposeACDegenerate(t *testing.T) {
+	if d := DecomposeAC(nil); d.FastWeight != 1 || d.FastDecay != 0 {
+		t.Errorf("nil rho: %+v", d)
+	}
+	if d := DecomposeAC([]float64{1}); d.FastWeight != 1 {
+		t.Errorf("lag-0 only: %+v", d)
+	}
+	if d := DecomposeAC([]float64{1, 0.7}); math.Abs(d.FastDecay-0.7) > 1e-9 {
+		t.Errorf("two-lag rho: %+v", d)
+	}
+}
+
+// Characterize's temporal fields on generated series of known parameters.
+// These are estimates from a single realization, so tolerances are looser
+// than the pooled calibration fit (see internal/calibration).
+func TestCharacterizeTemporal(t *testing.T) {
+	// Pure OU: reversion recovered well, no regime dwell reported.
+	ou := GenConfig{Mean: 0.8, Theta: 0.004, Sigma: 0.0045, Min: 0, Max: 2, PeriodSec: 60}
+	s, err := ou.Generate(rand.New(rand.NewSource(3)), 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Characterize(s)
+	if st.Lag1Corr < 0.7 || st.Lag1Corr > 0.82 {
+		t.Errorf("pure OU Lag1Corr = %.4f, want ~0.76", st.Lag1Corr)
+	}
+	if st.MeanReversionPerSec < 0.004*0.7 || st.MeanReversionPerSec > 0.004*1.3 {
+		t.Errorf("pure OU MeanReversionPerSec = %.5f, want 0.004 +- 30%%", st.MeanReversionPerSec)
+	}
+	if st.RegimeDwellSec != 0 {
+		t.Errorf("pure OU RegimeDwellSec = %.0f, want 0", st.RegimeDwellSec)
+	}
+
+	// OU + regimes: dwell estimate lands within a factor ~2 of the true
+	// 1/RegimeProb dwell.
+	reg := ou
+	reg.RegimeProb = 0.01
+	reg.RegimeAmp = 0.2
+	s, err = reg.Generate(rand.New(rand.NewSource(3)), 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = Characterize(s)
+	if st.RegimeDwellSec == 0 {
+		t.Fatalf("regime series: no dwell detected (stats %+v)", st)
+	}
+	trueDwell := 60.0 / reg.RegimeProb
+	if st.RegimeDwellSec < trueDwell/2.5 || st.RegimeDwellSec > trueDwell*2.5 {
+		t.Errorf("RegimeDwellSec = %.0f, want %.0f within factor 2.5", st.RegimeDwellSec, trueDwell)
+	}
+
+	// Short or flat series leave the temporal fields zero without panicking.
+	flat := &Series{PeriodSec: 60, Samples: []float64{1, 1, 1, 1, 1, 1, 1, 1, 1}}
+	st = Characterize(flat)
+	if st.Lag1Corr != 0 || st.MeanReversionPerSec != 0 || st.RegimeDwellSec != 0 {
+		t.Errorf("flat series temporal stats nonzero: %+v", st)
+	}
+}

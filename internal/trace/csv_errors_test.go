@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Table-driven coverage of every typed failure mode the CSV loader exposes
+// to importers (internal/calibration keys on these with errors.Is/As).
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		is    error // expected errors.Is target, nil to skip
+		row   int   // expected *RowError row, 0 if none
+	}{
+		{name: "empty file", input: "", is: ErrShortCSV},
+		{name: "header only", input: "sec,value\n", is: ErrShortCSV},
+		{name: "too few fields", input: "sec,value\n60\n", row: 2},
+		{name: "too many fields", input: "sec,value\n0,1,2\n", row: 2},
+		{name: "bad sec", input: "sec,value\nxx,0.5\n", row: 2},
+		{name: "bad value", input: "sec,value\n0,zz\n", row: 2},
+		{name: "nan value", input: "sec,value\n0,nan\n", row: 2},
+		{name: "inf value", input: "sec,value\n0,+Inf\n", row: 2},
+		{name: "bad row deep", input: "sec,value\n0,0.5\n60,0.6\n120,oops\n", row: 4},
+		{name: "times decrease", input: "sec,value\n60,0.5\n0,0.6\n", is: ErrNotUniform},
+		{name: "times repeat", input: "sec,value\n60,0.5\n60,0.6\n", is: ErrNotUniform},
+		{name: "mismatched period", input: "sec,value\n0,0.5\n60,0.6\n180,0.7\n", is: ErrNotUniform},
+		{name: "ok", input: "sec,value\n0,0.5\n60,0.6\n120,0.7\n"},
+		{name: "ok single row", input: "sec,value\n0,0.5\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ReadCSV(strings.NewReader(tc.input))
+			if tc.is == nil && tc.row == 0 {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if s == nil || len(s.Samples) == 0 {
+					t.Fatalf("no series parsed")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted malformed input %q", tc.input)
+			}
+			if tc.is != nil && !errors.Is(err, tc.is) {
+				t.Errorf("error %v, want errors.Is(%v)", err, tc.is)
+			}
+			if tc.row != 0 {
+				var re *RowError
+				if !errors.As(err, &re) {
+					t.Fatalf("error %v, want *RowError", err)
+				}
+				if re.Row != tc.row {
+					t.Errorf("RowError.Row = %d, want %d", re.Row, tc.row)
+				}
+			}
+		})
+	}
+}
+
+func TestReadCSVPeriodAndValues(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("sec,value\n0,0.25\n30,0.5\n60,0.75\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PeriodSec != 30 {
+		t.Fatalf("PeriodSec = %d, want 30", s.PeriodSec)
+	}
+	want := []float64{0.25, 0.5, 0.75}
+	for i, v := range want {
+		if s.Samples[i] != v {
+			t.Fatalf("Samples[%d] = %v, want %v", i, s.Samples[i], v)
+		}
+	}
+	// Single data row falls back to the default 60s period.
+	s, err = ReadCSV(strings.NewReader("sec,value\n0,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PeriodSec != 60 {
+		t.Fatalf("single-row PeriodSec = %d, want 60", s.PeriodSec)
+	}
+}
+
+func TestLoadDirTypedErrors(t *testing.T) {
+	// Empty directory surfaces ErrNoCSVFiles.
+	empty := t.TempDir()
+	_, err := LoadDir(empty)
+	if !errors.Is(err, ErrNoCSVFiles) {
+		t.Errorf("empty dir error = %v, want ErrNoCSVFiles", err)
+	}
+
+	// A malformed file keeps its typed cause and names the file.
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "vm0.csv"), []byte("sec,value\n0,bogus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadDir(bad)
+	var re *RowError
+	if !errors.As(err, &re) || re.Row != 2 {
+		t.Errorf("malformed file error = %v, want *RowError row 2", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "vm0.csv") {
+		t.Errorf("error %v does not name the file", err)
+	}
+
+	// An empty file surfaces ErrShortCSV.
+	short := t.TempDir()
+	if err := os.WriteFile(filepath.Join(short, "vm0.csv"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(short); !errors.Is(err, ErrShortCSV) {
+		t.Errorf("empty file error = %v, want ErrShortCSV", err)
+	}
+
+	// Mismatched period surfaces ErrNotUniform.
+	skew := t.TempDir()
+	if err := os.WriteFile(filepath.Join(skew, "vm0.csv"), []byte("sec,value\n0,1\n60,1\n300,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(skew); !errors.Is(err, ErrNotUniform) {
+		t.Errorf("skewed file error = %v, want ErrNotUniform", err)
+	}
+}

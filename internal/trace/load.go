@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -56,9 +57,14 @@ func validatePool(kind string, pool []*Series) error {
 	return nil
 }
 
+// ErrNoCSVFiles marks a trace directory without any *.csv file.
+var ErrNoCSVFiles = errors.New("trace: no .csv files")
+
 // LoadDir reads every *.csv file under dir (sorted by name, so pools are
 // deterministic) as one Series per file — the layout `tracegen -out`
-// produces and the natural dump format for per-VM monitoring logs.
+// produces and the natural dump format for per-VM monitoring logs. Parse
+// failures keep their typed cause (*RowError, ErrShortCSV, ErrNotUniform)
+// wrapped under the offending file name.
 func LoadDir(dir string) ([]*Series, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -71,7 +77,7 @@ func LoadDir(dir string) ([]*Series, error) {
 		}
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("trace: no .csv files in %s", dir)
+		return nil, fmt.Errorf("%w in %s", ErrNoCSVFiles, dir)
 	}
 	sort.Strings(names)
 	pool := make([]*Series, 0, len(names))

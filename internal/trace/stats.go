@@ -22,7 +22,24 @@ type Stats struct {
 	P5, P50, P95  float64
 	MaxAbsRelDev  float64 // max |x - mean| / mean
 	MeanAbsRelDev float64 // mean |x - mean| / mean
+
+	// Temporal structure (what the calibration fitters consume; see
+	// Autocorrelation and DecomposeAC).
+
+	// Lag1Corr is the sample lag-1 autocorrelation.
+	Lag1Corr float64
+	// MeanReversionPerSec estimates the OU reversion rate theta implied by
+	// the fast autocorrelation component: (1 - FastDecay) / PeriodSec.
+	MeanReversionPerSec float64
+	// RegimeDwellSec estimates the mean dwell time of the slow (regime)
+	// component: PeriodSec / (1 - SlowDecay). Zero when no slow component
+	// is detected.
+	RegimeDwellSec float64
 }
+
+// statsMaxLag caps the autocorrelation depth Characterize computes, keeping
+// its cost linear-ish for multi-day minute-sampled traces.
+const statsMaxLag = 1440
 
 // Characterize computes Stats for the series.
 func Characterize(s *Series) Stats {
@@ -65,6 +82,19 @@ func Characterize(s *Series) Stats {
 	st.P5 = percentile(sorted, 0.05)
 	st.P50 = percentile(sorted, 0.50)
 	st.P95 = percentile(sorted, 0.95)
+	if n >= 8 && st.Stddev > 0 {
+		maxLag := n / 4
+		if maxLag > statsMaxLag {
+			maxLag = statsMaxLag
+		}
+		rho := Autocorrelation(s, maxLag)
+		st.Lag1Corr = rho[1]
+		d := DecomposeAC(rho)
+		st.MeanReversionPerSec = (1 - d.FastDecay) / float64(s.PeriodSec)
+		if d.SlowWeight > 0 && d.SlowDecay < 1 {
+			st.RegimeDwellSec = float64(s.PeriodSec) / (1 - d.SlowDecay)
+		}
+	}
 	return st
 }
 
@@ -125,30 +155,58 @@ func (s *Series) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// Typed CSV-loading errors, so importers (internal/calibration) can
+// distinguish structural problems from I/O failures with errors.Is/As.
+var (
+	// ErrShortCSV marks input without a header plus at least one data row
+	// (this includes empty files).
+	ErrShortCSV = errors.New("trace: csv needs a header and at least one row")
+	// ErrNotUniform marks sample times that do not increase by a constant
+	// period.
+	ErrNotUniform = errors.New("trace: csv not uniformly spaced")
+)
+
+// RowError locates a malformed CSV data row (1-based; the header is row 1).
+type RowError struct {
+	Row int
+	Err error
+}
+
+func (e *RowError) Error() string { return fmt.Sprintf("trace: csv row %d: %v", e.Row, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *RowError) Unwrap() error { return e.Err }
+
 // ReadCSV parses a series written by WriteCSV (or any two-column CSV with a
-// header, monotone uniformly spaced seconds, and float values).
+// header, monotone uniformly spaced seconds, and finite float values).
+// Malformed rows surface as *RowError; structural problems as ErrShortCSV or
+// ErrNotUniform.
 func ReadCSV(r io.Reader) (*Series, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // field-count errors become typed RowErrors below
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("trace: csv: %w", err)
 	}
 	if len(rows) < 2 {
-		return nil, errors.New("trace: csv needs a header and at least one row")
+		return nil, ErrShortCSV
 	}
 	var samples []float64
 	var times []int64
 	for i, row := range rows[1:] {
 		if len(row) != 2 {
-			return nil, fmt.Errorf("trace: csv row %d has %d fields", i+2, len(row))
+			return nil, &RowError{Row: i + 2, Err: fmt.Errorf("%d fields, want 2", len(row))}
 		}
 		sec, err := strconv.ParseInt(row[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: csv row %d: %w", i+2, err)
+			return nil, &RowError{Row: i + 2, Err: err}
 		}
 		v, err := strconv.ParseFloat(row[1], 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: csv row %d: %w", i+2, err)
+			return nil, &RowError{Row: i + 2, Err: err}
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, &RowError{Row: i + 2, Err: fmt.Errorf("non-finite value %v", v)}
 		}
 		times = append(times, sec)
 		samples = append(samples, v)
@@ -157,11 +215,12 @@ func ReadCSV(r io.Reader) (*Series, error) {
 	if len(times) > 1 {
 		period = times[1] - times[0]
 		if period <= 0 {
-			return nil, errors.New("trace: csv times must increase")
+			return nil, fmt.Errorf("%w: times must increase (row 3 step %d)", ErrNotUniform, period)
 		}
 		for i := 2; i < len(times); i++ {
 			if times[i]-times[i-1] != period {
-				return nil, fmt.Errorf("trace: csv not uniformly spaced at row %d", i+2)
+				return nil, fmt.Errorf("%w: row %d step %d, want %d",
+					ErrNotUniform, i+2, times[i]-times[i-1], period)
 			}
 		}
 	}

@@ -292,23 +292,6 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
-func TestReadCSVErrors(t *testing.T) {
-	cases := map[string]string{
-		"empty":        "",
-		"header only":  "sec,value\n",
-		"bad sec":      "sec,value\nx,1\n",
-		"bad value":    "sec,value\n0,x\n",
-		"nonuniform":   "sec,value\n0,1\n60,2\n180,3\n",
-		"nonmonotone":  "sec,value\n60,1\n0,2\n",
-		"wrong fields": "sec,value,extra\n0,1,2\n",
-	}
-	for name, in := range cases {
-		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
-			t.Fatalf("%s: accepted", name)
-		}
-	}
-}
-
 func TestPercentile(t *testing.T) {
 	sorted := []float64{1, 2, 3, 4}
 	if p := percentile(sorted, 0); p != 1 {
