@@ -9,9 +9,10 @@
 # dftrace smoke over the golden fixture, a checkpoint/restore
 # byte-determinism smoke, the dfcalib calibration loopback (parameter
 # recovery + digital-twin validation), the invariant-conservation,
-# snapshot-decoder and Prometheus-importer fuzz passes, and the zero-alloc
-# guarantees for the disabled-tracer and disabled-checker hot paths.
-# Run from the repo root.
+# snapshot-decoder and Prometheus-importer fuzz passes, the zero-alloc
+# guarantees for the disabled-tracer, disabled-checker, and detached
+# stage-profiler hot paths, and an engine-step benchmark snapshot written
+# to BENCH_step.json. Run from the repo root.
 set -eu
 
 fmt=$(gofmt -l .)
@@ -89,3 +90,25 @@ echo "$bench" | grep -q ' 0 allocs/op' || {
     echo "disabled invariant-checker hook allocates on the engine hot path" >&2
     exit 1
 }
+
+# Same guarantee for the stage-profiler hook while no profiler is attached.
+bench=$(go test ./internal/sim -run '^$' -bench 'BenchmarkEngineStepProfiler/hook/disabled' -benchtime 100x -benchmem)
+echo "$bench"
+echo "$bench" | grep -q ' 0 allocs/op' || {
+    echo "detached stage-profiler hook allocates on the engine hot path" >&2
+    exit 1
+}
+
+# Benchmark snapshot: run the engine-step benchmark suite with -benchmem and
+# record ns/op, B/op, allocs/op per benchmark as BENCH_step.json, so perf
+# regressions show up in review diffs. The numbers are machine-dependent;
+# the file is a tracked observation, not a gate.
+go test ./internal/sim -run '^$' -bench 'BenchmarkEngineStep' -benchtime 100x -benchmem |
+    awk 'BEGIN { print "[" }
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            if (n++) printf ",\n"
+            printf "  {\"name\": \"%s\", \"nsPerOp\": %s, \"bytesPerOp\": %s, \"allocsPerOp\": %s}", name, $3, $5, $7
+        }
+        END { print "\n]" }' > BENCH_step.json
+cat BENCH_step.json

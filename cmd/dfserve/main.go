@@ -9,7 +9,12 @@
 //
 //	dfserve [-addr HOST:PORT] [-workers N] [-journal DIR]
 //	dfserve -fabric [-lease-ttl D] ...      coordinator: execute on attached workers
-//	dfserve -worker -coordinator URL [-worker-id ID] [-worker-slots N]
+//	dfserve -worker -coordinator URL [-worker-id ID] [-worker-slots N] [-worker-addr HOST:PORT]
+//
+// A worker serves its own /metrics and /debug/pprof/ on -worker-addr
+// (default an ephemeral loopback port, logged at startup): the jobs run on
+// the workers, so that is where the run gauges and profiles live.
+//
 //	dfserve -selftest
 //
 // Endpoints:
@@ -84,6 +89,7 @@ func main() {
 	coordinator := flag.String("coordinator", "", "coordinator base URL (with -worker), e.g. http://127.0.0.1:8350")
 	workerID := flag.String("worker-id", "", "worker id (default hostname.pid)")
 	workerSlots := flag.Int("worker-slots", 0, "concurrent job slots per worker (0 = GOMAXPROCS)")
+	workerAddr := flag.String("worker-addr", "127.0.0.1:0", "worker introspection listen address (/metrics, /debug/pprof; with -worker)")
 	selftest := flag.Bool("selftest", false, "start, submit a 2-job sweep, assert results, shut down")
 	flag.Parse()
 
@@ -95,7 +101,7 @@ func main() {
 		return
 	}
 	if *workerMode {
-		if err := runWorker(*coordinator, *workerID, *workerSlots); err != nil &&
+		if err := runWorker(*coordinator, *workerID, *workerAddr, *workerSlots); err != nil &&
 			!errors.Is(err, context.Canceled) {
 			log.Fatal(err)
 		}
@@ -181,17 +187,39 @@ func newService(cfg sweep.ServerConfig, fabricCfg *fabric.Config) (*sweep.Server
 
 	mux := http.NewServeMux()
 	mux.Handle("/", obs.InstrumentHandler(reg, "dfserve_http", api))
+	mountIntrospection(mux, reg)
+	return srv, mux
+}
+
+// mountIntrospection adds the observability surface every dfserve mode
+// shares: the registry's Prometheus text exposition at /metrics and pprof
+// under /debug/pprof/.
+func mountIntrospection(mux *http.ServeMux, reg *obs.Registry) {
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	return srv, mux
 }
 
-// runWorker leases jobs from a fabric coordinator until SIGINT/SIGTERM.
-func runWorker(coordinator, id string, slots int) error {
+// newWorkerService builds a fabric worker's own observability surface: a
+// private registry whose run gauge set is driven by every job the worker
+// executes, exposed through the same /metrics and /debug/pprof handlers
+// (and the same server hardening) the coordinator modes use. Workers are
+// where the simulations actually run, so they must be just as inspectable.
+func newWorkerService() (*obs.RunGauges, http.Handler) {
+	reg := obs.NewRegistry()
+	gauges := obs.NewRunGauges(reg)
+	mux := http.NewServeMux()
+	mountIntrospection(mux, reg)
+	return gauges, mux
+}
+
+// runWorker leases jobs from a fabric coordinator until SIGINT/SIGTERM,
+// serving its own /metrics and /debug/pprof on addr so a worker process is
+// as inspectable as the coordinator it attaches to.
+func runWorker(coordinator, id, addr string, slots int) error {
 	if coordinator == "" {
 		return fmt.Errorf("-worker requires -coordinator URL")
 	}
@@ -202,15 +230,24 @@ func runWorker(coordinator, id string, slots int) error {
 		}
 		id = fmt.Sprintf("%s.%d", host, os.Getpid())
 	}
+	gauges, handler := newWorkerService()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := newHTTPServer(handler)
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	w := fabric.NewWorker(fabric.WorkerConfig{
 		ID:     id,
 		Client: fabric.NewClient(coordinator),
 		Slots:  slots,
+		Gauges: gauges,
 		Logf:   log.Printf,
 	})
-	log.Printf("worker %s attaching to %s", id, coordinator)
+	log.Printf("worker %s attaching to %s (introspection on http://%s)", id, coordinator, ln.Addr())
 	return w.Run(ctx)
 }
 
@@ -287,12 +324,23 @@ func selftestRound(workers int, fabricCfg *fabric.Config, extraMetrics []string)
 
 	workerCtx, stopWorker := context.WithCancel(context.Background())
 	defer stopWorker()
+	var workerBase string
 	if fabricCfg != nil {
+		gauges, workerHandler := newWorkerService()
+		workerLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		workerHTTP := newHTTPServer(workerHandler)
+		go func() { _ = workerHTTP.Serve(workerLn) }()
+		defer workerHTTP.Close()
+		workerBase = "http://" + workerLn.Addr().String()
 		w := fabric.NewWorker(fabric.WorkerConfig{
 			ID:           "selftest-worker",
 			Client:       fabric.NewClient(base),
 			Slots:        2,
 			PollInterval: 10 * time.Millisecond,
+			Gauges:       gauges,
 		})
 		go func() { _ = w.Run(workerCtx) }()
 	}
@@ -407,6 +455,26 @@ func selftestRound(workers int, fabricCfg *fabric.Config, extraMetrics []string)
 	for _, line := range want {
 		if !strings.Contains(string(expo), line) {
 			return nil, fmt.Errorf("metrics output missing %q:\n%s", line, expo)
+		}
+	}
+
+	if workerBase != "" {
+		// The worker ran the jobs, so its own introspection surface must
+		// show the run gauges its engines drove.
+		resp, err := http.Get(workerBase + "/metrics")
+		if err != nil {
+			return nil, fmt.Errorf("worker metrics: %w", err)
+		}
+		wexpo, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("worker metrics read: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("worker metrics: status %d", resp.StatusCode)
+		}
+		if !strings.Contains(string(wexpo), "# TYPE sim_omega gauge") {
+			return nil, fmt.Errorf("worker metrics output missing sim_omega:\n%s", wexpo)
 		}
 	}
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dfsim -config scenario.json [-csv metrics.csv] [-audit actions.jsonl] [-trace events.ndjson] [-check]
+//	dfsim -config scenario.json [-csv metrics.csv] [-audit actions.jsonl] [-trace events.ndjson] [-check] [-profile]
 //	dfsim -config scenario.json -checkpoint snap.json -checkpoint-sec 1800
 //	dfsim -config scenario.json -restore snap.json
 //	dfsim -example > scenario.json
@@ -81,6 +81,7 @@ func main() {
 	resilientFlag := flag.Bool("resilient", false, "wrap the policy in the resilient control-plane middleware")
 	degradeOmega := flag.Float64("degrade-omega", 0, "arm the middleware's degradation hook below this Omega (with -resilient)")
 	check := flag.Bool("check", false, "verify the run against the invariant catalog (strict: abort on the first violated law)")
+	profileFlag := flag.Bool("profile", false, "profile the engine's per-stage step cost and print the breakdown after the run")
 	checkpointPath := flag.String("checkpoint", "", "write a state/v1 snapshot here at -checkpoint-sec, then continue")
 	checkpointSec := flag.Int64("checkpoint-sec", 0, "simulated second to checkpoint at (an interval boundary; with -checkpoint)")
 	restorePath := flag.String("restore", "", "resume from a state/v1 snapshot instead of starting at t=0")
@@ -131,6 +132,11 @@ func main() {
 		}
 		built.Engine = eng
 		fmt.Printf("restored: %s (t=%ds)\n", *restorePath, snap.ClockSec)
+	}
+	var prof *obs.StageProfiler
+	if *profileFlag {
+		prof = obs.NewStageProfiler(nil)
+		built.Engine.SetProfiler(prof)
 	}
 	var tracer *obs.Tracer
 	if *tracePath != "" {
@@ -211,6 +217,9 @@ func main() {
 			rs.Retries(), rs.Fallbacks(), rs.BreakerTrips(), rs.Degrades())
 	}
 
+	if prof != nil {
+		fmt.Print(prof.Report())
+	}
 	if *csvPath != "" {
 		out, err := os.Create(*csvPath)
 		if err != nil {

@@ -1,17 +1,29 @@
 // Command dftrace inspects structured event streams (schema obs/v1)
 // captured with dfsim -trace or a sweep engine's tracer. It renders a
 // deterministic decision timeline, summarizes how long each PE spent on
-// each alternate, and diffs the adaptation decisions of two runs.
+// each alternate, diffs the adaptation decisions of two runs, stitches a
+// fabric campaign's coordinator and worker captures into one causally
+// ordered timeline, profiles a scenario's per-stage step cost, and
+// explains the provenance of an adaptation decision.
 //
 // Usage:
 //
-//	dftrace [-all] events.ndjson            timeline + occupancy summary
-//	dftrace timeline [-all] events.ndjson   decision timeline only
-//	dftrace occupancy events.ndjson         per-PE alternate occupancy only
-//	dftrace diff a.ndjson b.ndjson          decision diff (exit 1 if they differ)
+//	dftrace [-all] events.ndjson              timeline + occupancy summary
+//	dftrace timeline [-all] a.ndjson [b...]   decision timeline; several captures
+//	                                          (coordinator + workers) are stitched
+//	                                          into one causal campaign timeline
+//	dftrace occupancy events.ndjson           per-PE alternate occupancy only
+//	dftrace diff a.ndjson b.ndjson            decision diff (exit 1 if they differ)
+//	dftrace profile scenario.json             run the scenario with the stage
+//	                                          profiler and print the per-stage
+//	                                          cost table + step breakdown
+//	dftrace explain <sec> events.ndjson       reconstruct the causal chain behind
+//	                                          the adaptation decisions at <sec>
 //
-// All output is derived from simulation timestamps, so the same capture
-// always renders to the same bytes.
+// Timeline, occupancy, diff, and explain output is derived from simulation
+// timestamps, so the same capture always renders to the same bytes;
+// profile reports wall-clock cost and is the one deliberately
+// non-deterministic rendering.
 package main
 
 import (
@@ -19,8 +31,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 
 	"dynamicdf/internal/obs"
+	"dynamicdf/internal/scenario"
 )
 
 func main() {
@@ -36,12 +50,16 @@ func main() {
 		cmd, args = "occupancy", args[1:]
 	case len(args) > 0 && args[0] == "diff":
 		cmd, args = "diff", args[1:]
+	case len(args) > 0 && args[0] == "profile":
+		cmd, args = "profile", args[1:]
+	case len(args) > 0 && args[0] == "explain":
+		cmd, args = "explain", args[1:]
 	}
 
 	fs := flag.NewFlagSet("dftrace", flag.ExitOnError)
 	all := fs.Bool("all", false, "include bookkeeping events (step/run spans, init snapshots)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dftrace [timeline|occupancy|diff] [-all] events.ndjson [b.ndjson]")
+		fmt.Fprintln(os.Stderr, "usage: dftrace [timeline|occupancy|diff|profile|explain] [-all] args...")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
@@ -59,9 +77,20 @@ func main() {
 			os.Exit(1)
 		}
 	case "timeline":
-		fmt.Print(obs.Timeline(readFile(oneArg(args)), *all))
+		fmt.Print(obs.Timeline(readAll(args), *all))
 	case "occupancy":
 		fmt.Print(obs.Occupancy(readFile(oneArg(args))))
+	case "profile":
+		profile(oneArg(args))
+	case "explain":
+		if len(args) < 2 {
+			log.Fatal("explain needs a sim-second and at least one event file")
+		}
+		sec, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			log.Fatalf("explain: bad sim-second %q: %v", args[0], err)
+		}
+		fmt.Print(obs.Explain(readAll(args[1:]), sec))
 	default:
 		events := readFile(oneArg(args))
 		fmt.Print(obs.Timeline(events, *all))
@@ -70,11 +99,53 @@ func main() {
 	}
 }
 
+// profile runs the scenario in-process with a stage profiler attached and
+// prints where each engine step's cost went.
+func profile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := scenario.Parse(f)
+	_ = f.Close()
+	if err != nil {
+		log.Fatalf("parse %s: %v", path, err)
+	}
+	built, err := sc.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := obs.NewStageProfiler(nil)
+	built.Engine.SetProfiler(prof)
+	sum, err := built.Engine.Run(built.Scheduler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario: %s (policy=%s, %d intervals)\n", path, built.Scheduler.Name(), sum.Intervals)
+	fmt.Print(prof.Report())
+}
+
 func oneArg(args []string) string {
 	if len(args) != 1 {
-		log.Fatal("need exactly one event file (see -h)")
+		log.Fatal("need exactly one argument (see -h)")
 	}
 	return args[0]
+}
+
+// readAll reads one capture, or stitches several (a coordinator's plus its
+// workers') into one causally ordered campaign stream.
+func readAll(args []string) []obs.Event {
+	if len(args) == 0 {
+		log.Fatal("need at least one event file (see -h)")
+	}
+	if len(args) == 1 {
+		return readFile(args[0])
+	}
+	streams := make([][]obs.Event, len(args))
+	for i, path := range args {
+		streams[i] = readFile(path)
+	}
+	return obs.StitchTimeline(streams...)
 }
 
 func readFile(path string) []obs.Event {

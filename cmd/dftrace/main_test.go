@@ -36,6 +36,53 @@ func TestGoldenTimeline(t *testing.T) {
 	}
 }
 
+// TestGoldenStitch stitches the checked-in fabric campaign fixture — one
+// coordinator capture plus two worker captures — and asserts the merged
+// timeline is byte-identical to the golden output. The fixture's events all
+// share wall-clock-free timestamps (coordinator events at t=0), so the
+// golden pins the causal ordering rules: a lease precedes its span's
+// worker events, a result ack follows the span's job-end, ties break by
+// argument order. Regenerate with:
+//
+//	dftrace timeline -all testdata/stitch_coord.ndjson \
+//	    testdata/stitch_w1.ndjson testdata/stitch_w2.ndjson > testdata/stitch_golden.txt
+func TestGoldenStitch(t *testing.T) {
+	read := func(path string) []obs.Event {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		events, err := obs.ReadEvents(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	coord := read("testdata/stitch_coord.ndjson")
+	w1 := read("testdata/stitch_w1.ndjson")
+	w2 := read("testdata/stitch_w2.ndjson")
+
+	stitched := obs.StitchTimeline(coord, w1, w2)
+	if len(stitched) != len(coord)+len(w1)+len(w2) {
+		t.Fatalf("stitch dropped events: %d in, %d out", len(coord)+len(w1)+len(w2), len(stitched))
+	}
+	got := obs.Timeline(stitched, true)
+	want, err := os.ReadFile("testdata/stitch_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("stitched timeline diverged from golden output\n-- got --\n%s-- want --\n%s", got, want)
+	}
+	// Stitching is deterministic: a second pass over the same captures
+	// yields the same bytes.
+	again := obs.Timeline(obs.StitchTimeline(coord, w1, w2), true)
+	if again != got {
+		t.Fatal("stitching the same captures twice diverged")
+	}
+}
+
 // TestGoldenDiffSelf asserts a capture diffed against itself reports no
 // divergence.
 func TestGoldenDiffSelf(t *testing.T) {

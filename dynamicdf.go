@@ -525,6 +525,15 @@ type (
 	RunGauges = obs.RunGauges
 	// PoolMetrics instruments a sweep worker pool.
 	PoolMetrics = obs.PoolMetrics
+	// StageProfiler records per-stage wall time and allocation deltas for
+	// the engine's step pipeline; attach with Config.Profiler or
+	// Engine.SetProfiler. A nil *StageProfiler is a no-op.
+	StageProfiler = obs.StageProfiler
+	// Decision is the structured provenance payload of "decision" trace
+	// events: inputs, candidates with scores, and rejection reasons.
+	Decision = obs.Decision
+	// DecisionOption is one candidate a Decision weighed.
+	DecisionOption = obs.DecisionOption
 )
 
 // NewTracer returns a tracer writing NDJSON events to w (Flush before
@@ -550,6 +559,18 @@ func TraceOccupancy(events []TraceEvent) string { return obs.Occupancy(events) }
 // DiffTraceDecisions compares two runs' adaptation decisions; identical
 // streams return true.
 func DiffTraceDecisions(a, b []TraceEvent) (string, bool) { return obs.DiffDecisions(a, b) }
+
+// NewStageProfiler returns a stage profiler; a non-nil registry also
+// publishes sim_stage_seconds / sim_stage_allocs histograms.
+func NewStageProfiler(reg *MetricsRegistry) *StageProfiler { return obs.NewStageProfiler(reg) }
+
+// StitchTimeline merges a fabric campaign's coordinator and worker
+// captures into one causally ordered event sequence.
+func StitchTimeline(streams ...[]TraceEvent) []TraceEvent { return obs.StitchTimeline(streams...) }
+
+// ExplainDecisions reconstructs the causal chain behind the elasticity
+// decisions taken at one simulation second.
+func ExplainDecisions(events []TraceEvent, sec int64) string { return obs.Explain(events, sec) }
 
 // Calibration: fit the simulator to an observed system — generator
 // parameters from performance traces, the input-rate profile from run

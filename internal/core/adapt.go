@@ -1,17 +1,30 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/obs"
 	"dynamicdf/internal/sim"
 )
+
+// decisionSink returns the provenance side-channel of the control surface,
+// or nil when none is attached (or nothing observes it) — the nil check
+// keeps untraced runs free of provenance assembly.
+func decisionSink(act sim.Control) sim.DecisionSink {
+	if ds, ok := act.(sim.DecisionSink); ok && ds.DecisionsObserved() {
+		return ds
+	}
+	return nil
+}
 
 // resourceStage is Alg. 2's resource re-deployment: grow bottleneck PEs
 // while the required capacity is not met, shrink over-provisioned PEs when
 // there is comfortable headroom, consolidate (global only), and release
 // idle VMs as they approach their paid hour boundary.
 func (h *Heuristic) resourceStage(v *sim.View, act sim.Control) error {
+	sink := decisionSink(act)
 	g := v.Graph()
 	sel := v.Selection()
 	demand, err := h.demandECU(v, sel)
@@ -58,9 +71,30 @@ func (h *Heuristic) resourceStage(v *sim.View, act sim.Control) error {
 		}
 		spill := h.opts.UseSpot &&
 			eff[bottleneck] >= demand[bottleneck]*h.opts.Objective.OmegaHat
-		added, err := h.addCore(v, act, bottleneck, required[bottleneck]-eff[bottleneck], spill)
+		var dec *obs.Decision
+		if sink != nil {
+			spillF := 0.0
+			if spill {
+				spillF = 1
+			}
+			dec = &obs.Decision{
+				Kind: "scale-up", PE: bottleneck,
+				Inputs: map[string]float64{
+					"meanOmega":    v.MeanOmega(),
+					"targetOmega":  target,
+					"demandEcu":    demand[bottleneck],
+					"requiredEcu":  required[bottleneck],
+					"effectiveEcu": eff[bottleneck],
+					"spill":        spillF,
+				},
+			}
+		}
+		added, err := h.addCore(v, act, bottleneck, required[bottleneck]-eff[bottleneck], spill, dec)
 		if err != nil {
 			return err
+		}
+		if dec != nil {
+			sink.Decide(*dec)
 		}
 		if added <= 0 {
 			break // could not add (fleet cap); stop rather than spin
@@ -73,9 +107,28 @@ func (h *Heuristic) resourceStage(v *sim.View, act sim.Control) error {
 	for pe := range required {
 		relax := required[pe] + demand[pe]*h.opts.Hysteresis
 		for eff[pe] > relax {
-			removed, err := h.removeCore(v, act, pe, eff[pe]-relax)
+			var dec *obs.Decision
+			if sink != nil {
+				dec = &obs.Decision{
+					Kind: "scale-down", PE: pe,
+					Inputs: map[string]float64{
+						"meanOmega":    v.MeanOmega(),
+						"demandEcu":    demand[pe],
+						"requiredEcu":  required[pe],
+						"relaxEcu":     relax,
+						"effectiveEcu": eff[pe],
+						"hysteresis":   h.opts.Hysteresis,
+					},
+				}
+			}
+			removed, err := h.removeCore(v, act, pe, eff[pe]-relax, dec)
 			if err != nil {
 				return err
+			}
+			// A stuck shrink would re-emit an identical no-action decision
+			// every interval; only record shrinks that moved a core.
+			if dec != nil && removed > 0 {
+				sink.Decide(*dec)
 			}
 			if removed <= 0 {
 				break
@@ -98,8 +151,9 @@ func (h *Heuristic) resourceStage(v *sim.View, act sim.Control) error {
 // the smallest class covering the remaining deficit under global (best
 // fit); with spill set and a spot market on the menu, the new VM is the
 // cheapest preemptible class instead. It returns the effective ECU added
-// (0 when the fleet cap blocks).
-func (h *Heuristic) addCore(v *sim.View, act sim.Control, pe int, deficitECU float64, spill bool) (float64, error) {
+// (0 when the fleet cap blocks). A non-nil dec is filled with the
+// candidates weighed, their scores, and why the losers lost.
+func (h *Heuristic) addCore(v *sim.View, act sim.Control, pe int, deficitECU float64, spill bool, dec *obs.Decision) (float64, error) {
 	hosting := map[int]bool{}
 	for _, a := range v.Assignments(pe) {
 		hosting[a.VMID] = true
@@ -115,6 +169,10 @@ func (h *Heuristic) addCore(v *sim.View, act sim.Control, pe int, deficitECU flo
 		if hosting[vm.ID] {
 			score *= 4 // strongly prefer collocating with the PE's instances
 		}
+		if dec != nil {
+			dec.Options = append(dec.Options, obs.DecisionOption{
+				Name: fmt.Sprintf("free core on vm-%d (%s)", vm.ID, vm.Class.Name), Score: score})
+		}
 		if score > bestScore {
 			bestScore = score
 			best = vm
@@ -124,6 +182,16 @@ func (h *Heuristic) addCore(v *sim.View, act sim.Control, pe int, deficitECU flo
 	if found {
 		if err := act.AssignCores(pe, best.ID, 1); err != nil {
 			return 0, err
+		}
+		if dec != nil {
+			chosen := fmt.Sprintf("free core on vm-%d (%s)", best.ID, best.Class.Name)
+			for i := range dec.Options {
+				if dec.Options[i].Name != chosen {
+					dec.Options[i].Rejected = "outscored"
+				}
+			}
+			dec.Chosen = fmt.Sprintf("assign-cores vm-%d", best.ID)
+			dec.Reason = "already-paid free core available"
 		}
 		return best.Class.CoreSpeed * best.CPUCoeff, nil
 	}
@@ -138,6 +206,10 @@ func (h *Heuristic) addCore(v *sim.View, act sim.Control, pe int, deficitECU flo
 		}
 		if err := act.AssignCores(pe, p.ID, 1); err != nil {
 			return 0, err
+		}
+		if dec != nil {
+			dec.Chosen = fmt.Sprintf("reserve core on pending vm-%d (%s)", p.ID, p.Class.Name)
+			dec.Reason = "capacity already provisioning; wait for the boot instead of stacking acquisitions"
 		}
 		return 0, nil
 	}
@@ -163,13 +235,46 @@ func (h *Heuristic) addCore(v *sim.View, act sim.Control, pe int, deficitECU flo
 			class = c
 		}
 	}
+	if dec != nil {
+		considered := menu.Classes()
+		if !spill {
+			considered = onDemand.Classes()
+		}
+		for _, c := range considered {
+			opt := obs.DecisionOption{Name: c.Name, Score: c.CoreSpeed}
+			switch {
+			case c.Name == class.Name:
+				// chosen
+			case spill && !c.Preemptible:
+				opt.Rejected = "spill targets the spot market"
+			case c.CoreSpeed < deficitECU:
+				opt.Rejected = "below the remaining deficit"
+			default:
+				opt.Rejected = "not the best fit"
+			}
+			dec.Options = append(dec.Options, opt)
+		}
+	}
 	id, err := act.AcquireVM(class.Name)
 	if err != nil {
 		// Fleet cap reached: degrade gracefully, the next interval retries.
+		if dec != nil {
+			dec.Reason = fmt.Sprintf("acquire %s failed (%v); retry next interval", class.Name, err)
+		}
 		return 0, nil
 	}
 	if err := act.AssignCores(pe, id, 1); err != nil {
 		return 0, err
+	}
+	if dec != nil {
+		dec.Chosen = fmt.Sprintf("acquire %s (vm-%d)", class.Name, id)
+		if spill {
+			dec.Reason = "beyond the constraint-critical base; spill onto the spot market"
+		} else if h.opts.Strategy == Global {
+			dec.Reason = "smallest on-demand class covering the deficit"
+		} else {
+			dec.Reason = "largest on-demand class (local strategy)"
+		}
 	}
 	return class.CoreSpeed, nil
 }
@@ -179,14 +284,18 @@ func (h *Heuristic) addCore(v *sim.View, act sim.Control, pe int, deficitECU flo
 // removes the PE's last core, and never removes a core whose effective
 // contribution exceeds maxRemove (that would undershoot the requirement).
 // It returns the effective ECU removed (0 when nothing is safely
-// removable).
-func (h *Heuristic) removeCore(v *sim.View, act sim.Control, pe int, maxRemove float64) (float64, error) {
+// removable). A non-nil dec is filled with the shed candidates in order
+// and why the skipped ones were kept.
+func (h *Heuristic) removeCore(v *sim.View, act sim.Control, pe int, maxRemove float64, dec *obs.Decision) (float64, error) {
 	as := v.Assignments(pe)
 	totalCores := 0
 	for _, a := range as {
 		totalCores += a.Cores
 	}
 	if totalCores <= 1 {
+		if dec != nil {
+			dec.Reason = "last core protected"
+		}
 		return 0, nil
 	}
 	type option struct {
@@ -219,14 +328,37 @@ func (h *Heuristic) removeCore(v *sim.View, act sim.Control, pe int, maxRemove f
 		}
 		return opts[i].contrib < opts[j].contrib
 	})
-	for _, o := range opts {
+	for i, o := range opts {
 		if o.contrib > maxRemove+1e-9 {
+			if dec != nil {
+				dec.Options = append(dec.Options, obs.DecisionOption{
+					Name:     fmt.Sprintf("core on vm-%d", o.vmID),
+					Score:    o.contrib,
+					Rejected: "contribution exceeds removable headroom",
+				})
+			}
 			continue
 		}
 		if err := act.UnassignCores(pe, o.vmID, 1); err != nil {
 			return 0, err
 		}
+		if dec != nil {
+			dec.Options = append(dec.Options, obs.DecisionOption{
+				Name: fmt.Sprintf("core on vm-%d", o.vmID), Score: o.contrib})
+			for _, rest := range opts[i+1:] {
+				dec.Options = append(dec.Options, obs.DecisionOption{
+					Name:     fmt.Sprintf("core on vm-%d", rest.vmID),
+					Score:    rest.contrib,
+					Rejected: "later in the shed order (spot first, emptiest VM, weakest core)",
+				})
+			}
+			dec.Chosen = fmt.Sprintf("unassign-cores vm-%d", o.vmID)
+			dec.Reason = "hysteresis headroom above the requirement"
+		}
 		return o.contrib, nil
+	}
+	if dec != nil {
+		dec.Reason = "every candidate core contributes more than the removable headroom"
 	}
 	return 0, nil
 }
@@ -326,6 +458,7 @@ func classOf(vms []sim.VMInfo, id int) *cloud.Class {
 // releaseIdle releases empty VMs approaching their paid hour boundary; an
 // empty VM far from the boundary is kept as already-paid spare capacity.
 func (h *Heuristic) releaseIdle(v *sim.View, act sim.Control) error {
+	sink := decisionSink(act)
 	window := h.opts.ReleaseWindowSec
 	if window == 0 {
 		window = 2 * v.IntervalSec()
@@ -337,6 +470,17 @@ func (h *Heuristic) releaseIdle(v *sim.View, act sim.Control) error {
 		if vm.SecsToHourBoundary <= window {
 			if err := act.ReleaseVM(vm.ID); err != nil {
 				return err
+			}
+			if sink != nil {
+				sink.Decide(obs.Decision{
+					Kind:   "release",
+					Chosen: fmt.Sprintf("release-vm vm-%d (%s)", vm.ID, vm.Class.Name),
+					Reason: "idle and approaching its paid hour boundary",
+					Inputs: map[string]float64{
+						"secsToHourBoundary": float64(vm.SecsToHourBoundary),
+						"windowSec":          float64(window),
+					},
+				})
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/obs"
 	"dynamicdf/internal/sim"
 )
 
@@ -245,6 +246,7 @@ func (h *Heuristic) alternateStage(v *sim.View, act sim.Control) error {
 	if !under && !over {
 		return nil
 	}
+	sink := decisionSink(act)
 	demand, err := h.demandECU(v, sel)
 	if err != nil {
 		return err
@@ -303,7 +305,8 @@ func (h *Heuristic) alternateStage(v *sim.View, act sim.Control) error {
 				break
 			}
 		}
-		if chosen < 0 && under {
+		lightest := chosen < 0 && under
+		if lightest {
 			// Nothing fits the degraded capacity: take the lightest
 			// alternate to relieve pressure fastest.
 			best := feasible[0]
@@ -319,6 +322,40 @@ func (h *Heuristic) alternateStage(v *sim.View, act sim.Control) error {
 				return err
 			}
 			sel[pe] = chosen
+			if sink != nil {
+				dec := obs.Decision{
+					Kind: "alternate", PE: pe,
+					Chosen: fmt.Sprintf("select-alternate %s", alts[chosen].Name),
+					Inputs: map[string]float64{
+						"meanOmega":    omega,
+						"omegaHat":     obj.OmegaHat,
+						"epsilon":      obj.Epsilon,
+						"arrivalRate":  arrival,
+						"availableEcu": available[pe],
+					},
+				}
+				if lightest {
+					dec.Reason = "no feasible alternate fits the degraded capacity; lightest taken to relieve pressure"
+				} else if under {
+					dec.Reason = "period omega under the constraint band; cheaper processing"
+				} else {
+					dec.Reason = "period omega above the constraint band; buy value back"
+				}
+				seenChosen := false
+				for _, c := range feasible {
+					opt := obs.DecisionOption{Name: alts[c.idx].Name, Score: c.ratio}
+					switch {
+					case c.idx == chosen:
+						seenChosen = true
+					case !seenChosen:
+						opt.Rejected = fmt.Sprintf("needs %.2f ECU, only %.2f available", c.need, available[pe])
+					default:
+						opt.Rejected = "lower value/cost rank"
+					}
+					dec.Options = append(dec.Options, opt)
+				}
+				sink.Decide(dec)
+			}
 		}
 	}
 	return nil

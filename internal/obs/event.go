@@ -68,7 +68,63 @@ const (
 	EventRequeue     = "requeue"      // expired job requeued with backoff
 	EventQuarantine  = "quarantine"   // job retired as poison after repeated lease failures
 	EventResultDup   = "result-dup"   // duplicate result delivery ignored
+	EventResultAck   = "result-ack"   // result accepted and journaled (closes a job span)
+
+	// Point event: structured elasticity-decision provenance. The Decision
+	// payload carries the inputs, candidates, and rejected alternatives.
+	EventDecision = "decision"
 )
+
+// Decision is the structured provenance attached to an EventDecision event:
+// everything the scheduler looked at when it made one elasticity decision.
+// Inputs is marshaled with sorted keys (encoding/json map behavior), so a
+// decision renders byte-deterministically under a seed.
+type Decision struct {
+	// Kind classifies the decision: "scale-up", "scale-down", "release",
+	// "alternate", "fallback", ...
+	Kind string `json:"kind"`
+	// PE is the processing element the decision concerns (-1 when none).
+	PE int `json:"pe,omitempty"`
+	// Chosen names the action taken ("acquire m1.large", "unassign-core
+	// vm-3", ...); empty when the decision concluded with no action.
+	Chosen string `json:"chosen,omitempty"`
+	// Reason explains the outcome in one clause.
+	Reason string `json:"reason,omitempty"`
+	// Inputs are the monitored quantities the decision was computed from
+	// (omega, gamma, target, required/effective ECU, ...).
+	Inputs map[string]float64 `json:"inputs,omitempty"`
+	// Options are the candidates considered, with scores and — for the ones
+	// not taken — the rejection reason.
+	Options []DecisionOption `json:"options,omitempty"`
+	// Notes carries middleware annotations (e.g. open circuit breakers).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// DecisionOption is one candidate a decision weighed.
+type DecisionOption struct {
+	// Name identifies the candidate (a VM class, a core slot, an alternate).
+	Name string `json:"name"`
+	// Score is the candidate's rank value at the decision site.
+	Score float64 `json:"score,omitempty"`
+	// Rejected explains why the candidate was not chosen; empty for the
+	// chosen one.
+	Rejected string `json:"rejected,omitempty"`
+}
+
+// String renders the decision as one deterministic clause.
+func (d Decision) String() string {
+	s := d.Kind
+	if d.Chosen != "" {
+		s += " -> " + d.Chosen
+	}
+	if d.Reason != "" {
+		s += ": " + d.Reason
+	}
+	if n := len(d.Options); n > 0 {
+		s += fmt.Sprintf(" [%d options]", n)
+	}
+	return s
+}
 
 // Event is one structured trace record. Sec is simulation time (seconds),
 // never wall-clock, so a run's event stream is byte-deterministic under a
@@ -98,6 +154,15 @@ type Event struct {
 	Value float64 `json:"value,omitempty"`
 	// Detail is free-form context (class names, alternate names, job ids).
 	Detail string `json:"detail,omitempty"`
+	// Trace identifies the campaign this event belongs to (fabric runs);
+	// Span identifies one job attempt within it, and Worker the worker that
+	// emitted the event. All empty outside the fabric, so single-run streams
+	// are byte-identical to schema obs/v1 before these fields existed.
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	// Decision is the structured provenance payload of EventDecision events.
+	Decision *Decision `json:"decision,omitempty"`
 }
 
 // String renders the event as one deterministic log line.
@@ -125,6 +190,17 @@ func (e Event) String() string {
 	}
 	if e.Detail != "" {
 		s += " (" + e.Detail + ")"
+	}
+	if e.Decision != nil {
+		s += " " + e.Decision.String()
+	}
+	if e.Span != "" || e.Worker != "" {
+		s += " ["
+		s += e.Span
+		if e.Worker != "" {
+			s += "@" + e.Worker
+		}
+		s += "]"
 	}
 	return s
 }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain reconstructs the causal chain behind the elasticity decisions
+// taken at one simulation second: the monitored inputs the scheduler saw,
+// every candidate it weighed with its score and rejection reason, the
+// middleware notes (open breakers), and the control actions recorded at
+// the same second. When no decision happened at sec, it lists the seconds
+// that do carry decisions. Output is deterministic for a deterministic
+// stream.
+func Explain(events []Event, sec int64) string {
+	var b strings.Builder
+	var decisions []Event
+	var actions []Event
+	var secs []int64
+	seenSec := map[int64]bool{}
+	var omegaBefore float64
+	haveOmega := false
+	for _, ev := range events {
+		if ev.Type == EventDecision && ev.Decision != nil {
+			if !seenSec[ev.Sec] {
+				seenSec[ev.Sec] = true
+				secs = append(secs, ev.Sec)
+			}
+			if ev.Sec == sec {
+				decisions = append(decisions, ev)
+			}
+		}
+		if ev.Sec == sec && ev.Type != EventDecision && decision(ev) {
+			actions = append(actions, ev)
+		}
+		if ev.Type == EventStep && ev.Phase == PhaseEnd && ev.Sec <= sec {
+			omegaBefore = ev.Value
+			haveOmega = true
+		}
+	}
+	if len(decisions) == 0 {
+		fmt.Fprintf(&b, "no decisions at t=%ds\n", sec)
+		if len(secs) > 0 {
+			sort.Slice(secs, func(i, j int) bool { return secs[i] < secs[j] })
+			parts := make([]string, len(secs))
+			for i, s := range secs {
+				parts[i] = fmt.Sprintf("%d", s)
+			}
+			fmt.Fprintf(&b, "decision seconds: %s\n", strings.Join(parts, " "))
+		} else {
+			b.WriteString("the stream carries no decision events (run with auditing or tracing through a provenance-aware scheduler)\n")
+		}
+		return b.String()
+	}
+
+	for _, ev := range decisions {
+		d := ev.Decision
+		fmt.Fprintf(&b, "t=%ds decision %s", ev.Sec, d.Kind)
+		if d.PE != 0 || ev.PE != 0 {
+			pe := d.PE
+			if pe == 0 {
+				pe = ev.PE
+			}
+			fmt.Fprintf(&b, " pe=%d", pe)
+		}
+		b.WriteByte('\n')
+		if haveOmega {
+			fmt.Fprintf(&b, "  context: omega at last step end = %.4f\n", omegaBefore)
+		}
+		if len(d.Inputs) > 0 {
+			keys := make([]string, 0, len(d.Inputs))
+			for k := range d.Inputs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			b.WriteString("  inputs:")
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%.4f", k, d.Inputs[k])
+			}
+			b.WriteByte('\n')
+		}
+		if len(d.Options) > 0 {
+			b.WriteString("  options:\n")
+			for _, o := range d.Options {
+				mark := "+"
+				if o.Rejected != "" {
+					mark = "-"
+				}
+				fmt.Fprintf(&b, "    %s %-24s score=%.4f", mark, o.Name, o.Score)
+				if o.Rejected != "" {
+					fmt.Fprintf(&b, "  %s", o.Rejected)
+				}
+				b.WriteByte('\n')
+			}
+		}
+		if d.Chosen != "" {
+			fmt.Fprintf(&b, "  chosen: %s\n", d.Chosen)
+		} else {
+			b.WriteString("  chosen: (no action)\n")
+		}
+		if d.Reason != "" {
+			fmt.Fprintf(&b, "  reason: %s\n", d.Reason)
+		}
+		for _, n := range d.Notes {
+			fmt.Fprintf(&b, "  note: %s\n", n)
+		}
+	}
+	if len(actions) > 0 {
+		fmt.Fprintf(&b, "actions at t=%ds:\n", sec)
+		for _, ev := range actions {
+			fmt.Fprintf(&b, "  %s\n", ev)
+		}
+	}
+	return b.String()
+}

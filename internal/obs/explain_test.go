@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func explainFixture() []Event {
+	return []Event{
+		{Sec: 60, Type: EventStep, Phase: PhaseEnd, Value: 0.62},
+		{Sec: 120, Type: EventDecision, PE: 1, Decision: &Decision{
+			Kind: "scale-up", PE: 1,
+			Chosen: "acquire m1.medium (vm-4)",
+			Reason: "smallest on-demand class covering the deficit",
+			Inputs: map[string]float64{"meanOmega": 0.62, "requiredEcu": 3.1},
+			Options: []DecisionOption{
+				{Name: "m1.small", Score: 1, Rejected: "below the remaining deficit"},
+				{Name: "m1.medium", Score: 2},
+			},
+			Notes: []string{"breaker open: m1.large until t=300s"},
+		}},
+		{Sec: 120, Type: EventAcquireVM, VM: 4, Detail: "m1.medium"},
+		{Sec: 180, Type: EventDecision, Decision: &Decision{Kind: "scale-down", Chosen: "unassign-cores vm-2"}},
+	}
+}
+
+func TestExplainRendersDecision(t *testing.T) {
+	out := Explain(explainFixture(), 120)
+	for _, want := range []string{
+		"t=120s decision scale-up pe=1",
+		"context: omega at last step end = 0.6200",
+		"inputs: meanOmega=0.6200 requiredEcu=3.1000",
+		"- m1.small",
+		"below the remaining deficit",
+		"+ m1.medium",
+		"chosen: acquire m1.medium (vm-4)",
+		"reason: smallest on-demand class covering the deficit",
+		"note: breaker open: m1.large until t=300s",
+		"actions at t=120s:",
+		"acquire-vm vm=4 (m1.medium)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainListsDecisionSeconds(t *testing.T) {
+	out := Explain(explainFixture(), 90)
+	if !strings.Contains(out, "no decisions at t=90s") {
+		t.Fatalf("missing no-decision header:\n%s", out)
+	}
+	if !strings.Contains(out, "decision seconds: 120 180") {
+		t.Fatalf("missing sorted decision seconds:\n%s", out)
+	}
+}
+
+func TestExplainEmptyStream(t *testing.T) {
+	out := Explain(nil, 60)
+	if !strings.Contains(out, "carries no decision events") {
+		t.Fatalf("missing empty-stream hint:\n%s", out)
+	}
+}

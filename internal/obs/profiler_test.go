@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStageProfilerAccumulates(t *testing.T) {
+	p := NewStageProfiler(nil)
+	flow := p.StageIndex("flow")
+	if again := p.StageIndex("flow"); again != flow {
+		t.Fatalf("StageIndex not idempotent: %d then %d", flow, again)
+	}
+	billing := p.StageIndex("billing")
+
+	for i := 0; i < 3; i++ {
+		m := p.Begin()
+		_ = make([]byte, 1<<10)
+		p.End(flow, m)
+	}
+	p.End(billing, p.Begin())
+
+	stats := p.Snapshot()
+	if len(stats) != 2 || stats[0].Name != "flow" || stats[1].Name != "billing" {
+		t.Fatalf("snapshot not in registration order: %+v", stats)
+	}
+	if stats[0].Count != 3 || stats[1].Count != 1 {
+		t.Fatalf("counts wrong: %+v", stats)
+	}
+	if stats[0].WallNs <= 0 || stats[0].MinNs > stats[0].MaxNs {
+		t.Fatalf("wall-time aggregates inconsistent: %+v", stats[0])
+	}
+
+	report := p.Report()
+	for _, want := range []string{"flow", "billing", "where did the step go", "allocs/call"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestStageProfilerNilSafe(t *testing.T) {
+	var p *StageProfiler
+	m := p.Begin()
+	p.End(0, m)
+	if p.Snapshot() != nil {
+		t.Fatal("nil profiler snapshot not nil")
+	}
+}
+
+func TestStageProfilerPublishesHistograms(t *testing.T) {
+	reg := NewRegistry()
+	p := NewStageProfiler(reg)
+	i := p.StageIndex("flow")
+	p.End(i, p.Begin())
+
+	var b bytes.Buffer
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sim_stage_seconds histogram",
+		"# TYPE sim_stage_allocs histogram",
+		`sim_stage_seconds_count{stage="flow"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+// StitchTimeline merges NDJSON captures from a fabric campaign — one
+// coordinator stream plus any number of worker streams — into a single
+// causally ordered event sequence. Each input stream's internal order is
+// preserved; across streams the merge enforces the span lifecycle:
+//
+//   - a span's lease event (coordinator) precedes every event carrying
+//     that span from other streams (the worker can only have run the job
+//     after the lease was granted);
+//   - a span's result ack (result-ack / result-dup, coordinator) follows
+//     the span's sweep-job end event from other streams when one exists
+//     (the coordinator can only have journaled a result the worker sent).
+//
+// Ties are broken by input-stream index, so the output is deterministic
+// for a given argument order regardless of wall-clock interleaving —
+// equal-timestamp events from different captures always stitch the same
+// way. Streams with missing endpoints (partial captures) degrade
+// gracefully: a constraint whose witness event appears in no stream is
+// waived, and if the constraint graph is unsatisfiable the merge falls
+// back to stream order rather than deadlocking.
+func StitchTimeline(streams ...[]Event) []Event {
+	total := 0
+	// leases[s] counts lease events for span s across all streams;
+	// jobEnds[s] counts sweep-job end events for span s.
+	leases := map[string]int{}
+	jobEnds := map[string]int{}
+	for _, st := range streams {
+		total += len(st)
+		for _, ev := range st {
+			if ev.Span == "" {
+				continue
+			}
+			switch {
+			case ev.Type == EventLease:
+				leases[ev.Span]++
+			case ev.Type == EventSweepJob && ev.Phase == PhaseEnd:
+				jobEnds[ev.Span]++
+			}
+		}
+	}
+
+	out := make([]Event, 0, total)
+	pos := make([]int, len(streams))
+	leasedOut := map[string]bool{} // span -> lease already emitted
+	endedOut := map[string]int{}   // span -> job-end events emitted
+
+	eligible := func(ev Event) bool {
+		if ev.Span == "" {
+			return true
+		}
+		switch ev.Type {
+		case EventLease:
+			return true
+		case EventResultAck, EventResultDup:
+			// The ack closes the span: wait for every job-end the
+			// captures contain (requeued spans can have several).
+			return endedOut[ev.Span] >= jobEnds[ev.Span]
+		default:
+			// Worker-side (and expiry-side) span events wait for the
+			// lease that granted the span, when any capture has it.
+			return leases[ev.Span] == 0 || leasedOut[ev.Span]
+		}
+	}
+	emit := func(i int) {
+		ev := streams[i][pos[i]]
+		pos[i]++
+		out = append(out, ev)
+		if ev.Span == "" {
+			return
+		}
+		switch {
+		case ev.Type == EventLease:
+			leasedOut[ev.Span] = true
+		case ev.Type == EventSweepJob && ev.Phase == PhaseEnd:
+			endedOut[ev.Span]++
+		}
+	}
+
+	for len(out) < total {
+		progressed := false
+		for i := range streams {
+			if pos[i] < len(streams[i]) && eligible(streams[i][pos[i]]) {
+				emit(i)
+				progressed = true
+				break
+			}
+		}
+		if progressed {
+			continue
+		}
+		// Unsatisfiable constraints (malformed captures): fall back to the
+		// first non-exhausted stream so the merge always terminates.
+		for i := range streams {
+			if pos[i] < len(streams[i]) {
+				emit(i)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func types(events []Event) []string {
+	out := make([]string, len(events))
+	for i, ev := range events {
+		out[i] = ev.Type
+		if ev.Phase != "" {
+			out[i] += ":" + ev.Phase
+		}
+	}
+	return out
+}
+
+// TestStitchLeaseBeforeWorkerEvents: a worker capture listed first still
+// stitches after the coordinator's lease for its span.
+func TestStitchLeaseBeforeWorkerEvents(t *testing.T) {
+	worker := []Event{
+		{Type: EventSweepJob, Phase: PhaseStart, Span: "j#0"},
+		{Type: EventSweepJob, Phase: PhaseEnd, Span: "j#0"},
+	}
+	coord := []Event{
+		{Type: EventLease, Span: "j#0"},
+		{Type: EventResultAck, Span: "j#0"},
+	}
+	got := types(StitchTimeline(worker, coord))
+	want := []string{"lease", "sweep-job:start", "sweep-job:end", "result-ack"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestStitchAckWaitsForEveryJobEnd: a requeued span delivers several
+// job-end events; the ack must follow all of them.
+func TestStitchAckWaitsForEveryJobEnd(t *testing.T) {
+	coord := []Event{
+		{Type: EventLease, Span: "j#0"},
+		{Type: EventResultDup, Span: "j#0"},
+	}
+	w1 := []Event{{Type: EventSweepJob, Phase: PhaseEnd, Span: "j#0"}}
+	w2 := []Event{{Type: EventSweepJob, Phase: PhaseEnd, Span: "j#0"}}
+	got := types(StitchTimeline(coord, w1, w2))
+	want := []string{"lease", "sweep-job:end", "sweep-job:end", "result-dup"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestStitchWaivesMissingWitness: a partial capture set (no stream holds
+// the span's lease) must not block the worker's events.
+func TestStitchWaivesMissingWitness(t *testing.T) {
+	worker := []Event{
+		{Type: EventSweepJob, Phase: PhaseStart, Span: "j#0"},
+		{Type: EventSweepJob, Phase: PhaseEnd, Span: "j#0"},
+	}
+	got := StitchTimeline(worker)
+	if len(got) != 2 {
+		t.Fatalf("waived merge dropped events: %v", types(got))
+	}
+}
+
+// TestStitchMalformedCapturesTerminate: an ack ordered before its own
+// stream's job-end is unsatisfiable; the merge must fall back to stream
+// order instead of deadlocking, and keep every event.
+func TestStitchMalformedCapturesTerminate(t *testing.T) {
+	bad := []Event{
+		{Type: EventLease, Span: "j#0"},
+		{Type: EventResultAck, Span: "j#0"},
+		{Type: EventSweepJob, Phase: PhaseEnd, Span: "j#0"},
+	}
+	got := StitchTimeline(bad)
+	if len(got) != 3 {
+		t.Fatalf("fallback merge lost events: %v", types(got))
+	}
+}
+
+// TestStitchTieBreaksByStreamIndex: events with no cross-stream constraint
+// interleave deterministically, lowest argument index first.
+func TestStitchTieBreaksByStreamIndex(t *testing.T) {
+	a := []Event{{Type: EventWorkerJoin, Detail: "a"}}
+	b := []Event{{Type: EventWorkerJoin, Detail: "b"}}
+	got := StitchTimeline(a, b)
+	if got[0].Detail != "a" || got[1].Detail != "b" {
+		t.Fatalf("tie-break not by stream index: %v, %v", got[0], got[1])
+	}
+	rev := StitchTimeline(b, a)
+	if rev[0].Detail != "b" || rev[1].Detail != "a" {
+		t.Fatalf("tie-break not by stream index when reversed: %v, %v", rev[0], rev[1])
+	}
+}

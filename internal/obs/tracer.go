@@ -16,7 +16,19 @@ import (
 // Events are written in arrival order. A single-threaded emitter (the
 // simulation engine) therefore produces a byte-deterministic stream for a
 // given seed; concurrent emitters (sweep workers) interleave arbitrarily.
+//
+// With derives stamping children that share the parent's sink: a child
+// fills empty Trace/Span/Worker fields on every event it emits, which is
+// how fabric workers attribute their job runs to a campaign's trace
+// context without the instrumented code knowing about spans.
 type Tracer struct {
+	core                *tracerCore
+	trace, span, worker string
+}
+
+// tracerCore is the sink state shared by a tracer and all its With
+// children: one writer, one mutex, one error latch, one event count.
+type tracerCore struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
 	enc *json.Encoder
@@ -28,36 +40,68 @@ type Tracer struct {
 // Close) before reading the sink: writes are buffered.
 func NewTracer(w io.Writer) *Tracer {
 	bw := bufio.NewWriter(w)
-	return &Tracer{bw: bw, enc: json.NewEncoder(bw)}
+	return &Tracer{core: &tracerCore{bw: bw, enc: json.NewEncoder(bw)}}
 }
 
-// Emit writes one event, stamping the schema version. After the first sink
-// error the tracer goes quiet; check Err.
+// With returns a child tracer sharing t's sink that stamps the given
+// trace/span/worker onto every event whose corresponding field is empty.
+// Empty arguments inherit t's own stamps; a nil receiver returns nil.
+func (t *Tracer) With(trace, span, worker string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	child := &Tracer{core: t.core, trace: t.trace, span: t.span, worker: t.worker}
+	if trace != "" {
+		child.trace = trace
+	}
+	if span != "" {
+		child.span = span
+	}
+	if worker != "" {
+		child.worker = worker
+	}
+	return child
+}
+
+// Emit writes one event, stamping the schema version and any trace context
+// this tracer carries. After the first sink error the tracer goes quiet;
+// check Err.
 func (t *Tracer) Emit(ev Event) {
 	if t == nil {
 		return
 	}
 	ev.V = SchemaVersion
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.err != nil {
+	if ev.Trace == "" {
+		ev.Trace = t.trace
+	}
+	if ev.Span == "" {
+		ev.Span = t.span
+	}
+	if ev.Worker == "" {
+		ev.Worker = t.worker
+	}
+	c := t.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
 		return
 	}
-	if err := t.enc.Encode(ev); err != nil {
-		t.err = fmt.Errorf("obs: emit: %w", err)
+	if err := c.enc.Encode(ev); err != nil {
+		c.err = fmt.Errorf("obs: emit: %w", err)
 		return
 	}
-	t.n++
+	c.n++
 }
 
-// Count returns how many events were successfully encoded.
+// Count returns how many events were successfully encoded on the shared
+// sink (children count toward their parent).
 func (t *Tracer) Count() int64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.n
+	t.core.mu.Lock()
+	defer t.core.mu.Unlock()
+	return t.core.n
 }
 
 // Err returns the first sink error, if any.
@@ -65,9 +109,9 @@ func (t *Tracer) Err() error {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.err
+	t.core.mu.Lock()
+	defer t.core.mu.Unlock()
+	return t.core.err
 }
 
 // Flush forces buffered events to the sink.
@@ -75,15 +119,16 @@ func (t *Tracer) Flush() error {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.err != nil {
-		return t.err
+	c := t.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
 	}
-	if err := t.bw.Flush(); err != nil {
-		t.err = fmt.Errorf("obs: flush: %w", err)
+	if err := c.bw.Flush(); err != nil {
+		c.err = fmt.Errorf("obs: flush: %w", err)
 	}
-	return t.err
+	return c.err
 }
 
 // ReadEvents parses an NDJSON event stream, rejecting lines from an

@@ -75,6 +75,52 @@ func TestNilTracerZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestTracerWithStamping: a With child fills empty trace-context fields,
+// inherits the parent's stamps, never overrides explicit fields, and
+// shares the parent's sink and count.
+func TestTracerWithStamping(t *testing.T) {
+	var buf bytes.Buffer
+	parent := NewTracer(&buf)
+	child := parent.With("campaign-1", "job#0", "w1")
+	grandchild := child.With("", "job#1", "")
+
+	parent.Emit(Event{Type: EventStep})
+	child.Emit(Event{Type: EventStep})
+	child.Emit(Event{Type: EventStep, Worker: "explicit"})
+	grandchild.Emit(Event{Type: EventStep})
+	if err := parent.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if parent.Count() != 4 {
+		t.Fatalf("children must count on the shared sink: %d", parent.Count())
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Trace: "", Span: "", Worker: ""},
+		{Trace: "campaign-1", Span: "job#0", Worker: "w1"},
+		{Trace: "campaign-1", Span: "job#0", Worker: "explicit"},
+		{Trace: "campaign-1", Span: "job#1", Worker: "w1"},
+	}
+	for i, w := range want {
+		ev := events[i]
+		if ev.Trace != w.Trace || ev.Span != w.Span || ev.Worker != w.Worker {
+			t.Fatalf("event %d stamped (%q,%q,%q), want (%q,%q,%q)",
+				i, ev.Trace, ev.Span, ev.Worker, w.Trace, w.Span, w.Worker)
+		}
+	}
+}
+
+func TestNilTracerWith(t *testing.T) {
+	var tr *Tracer
+	if child := tr.With("a", "b", "c"); child != nil {
+		t.Fatal("nil tracer's With must return nil")
+	}
+}
+
 func TestReadEventsRejectsBadStreams(t *testing.T) {
 	cases := map[string]string{
 		"bad json":       "{not json}\n",

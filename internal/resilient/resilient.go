@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/obs"
 	"dynamicdf/internal/sim"
 )
 
@@ -264,6 +265,35 @@ func (a *Actions) Menu() *cloud.Menu { return a.inner.Menu() }
 // Log passes through.
 func (a *Actions) Log(action, detail string) { a.inner.Log(action, detail) }
 
+var _ sim.DecisionSink = (*Actions)(nil)
+
+// Decide forwards decision provenance to the inner sink, annotating it with
+// the middleware's view of the world: every currently open circuit breaker
+// lands in the decision's notes (sorted by class, so the record stays
+// deterministic). No-op when the inner surface has no sink.
+func (a *Actions) Decide(d obs.Decision) {
+	ds, ok := a.inner.(sim.DecisionSink)
+	if !ok {
+		return
+	}
+	now := a.v.Now()
+	var open []string
+	for class, b := range a.s.breakers {
+		if now < b.openUntil {
+			open = append(open, fmt.Sprintf("breaker open: %s until t=%ds", class, b.openUntil))
+		}
+	}
+	sort.Strings(open)
+	d.Notes = append(d.Notes, open...)
+	ds.Decide(d)
+}
+
+// DecisionsObserved forwards to the inner sink.
+func (a *Actions) DecisionsObserved() bool {
+	ds, ok := a.inner.(sim.DecisionSink)
+	return ok && ds.DecisionsObserved()
+}
+
 // AcquireVM acquires a VM of the named class, riding out transient capacity
 // errors: bounded retries against the requested class, then — unless
 // fallback is disabled — the same treatment for each substitute class in
@@ -277,9 +307,20 @@ func (a *Actions) AcquireVM(className string) (int, error) {
 	}
 	now := a.v.Now()
 	var lastErr error
+	// Assemble fallback provenance only when somebody observes it.
+	var dec *obs.Decision
+	if ds, ok := a.inner.(sim.DecisionSink); ok && ds.DecisionsObserved() {
+		dec = &obs.Decision{Kind: "fallback", PE: -1,
+			Inputs: map[string]float64{"requestedPricePerHour": requested.PricePerHour}}
+	}
 	for _, class := range a.s.ladder(a.inner.Menu(), requested) {
 		br := a.s.breakerFor(class.Name)
 		if now < br.openUntil {
+			if dec != nil {
+				dec.Options = append(dec.Options, obs.DecisionOption{
+					Name: class.Name, Score: class.PricePerHour,
+					Rejected: fmt.Sprintf("breaker open until t=%ds", br.openUntil)})
+			}
 			continue // circuit open: shun the class until cooldown expires
 		}
 		id, err := a.acquireWithRetry(class.Name, now)
@@ -287,11 +328,23 @@ func (a *Actions) AcquireVM(className string) (int, error) {
 			if class.Name != className {
 				a.s.fallbacks++
 				a.inner.Log("fallback-acquire", fmt.Sprintf("%s in place of %s", class.Name, className))
+				if dec != nil {
+					dec.Options = append(dec.Options, obs.DecisionOption{
+						Name: class.Name, Score: class.PricePerHour})
+					dec.Chosen = fmt.Sprintf("acquire %s in place of %s", class.Name, className)
+					dec.Reason = "requested class unavailable; next rung of the same-market price ladder"
+					a.Decide(*dec)
+				}
 			}
 			return id, nil
 		}
 		if !sim.IsCapacityError(err) {
 			return 0, err // fleet cap etc.: not retryable, not our business
+		}
+		if dec != nil {
+			dec.Options = append(dec.Options, obs.DecisionOption{
+				Name: class.Name, Score: class.PricePerHour,
+				Rejected: "capacity error after retries"})
 		}
 		lastErr = err
 		if a.s.cfg.NoFallback {
@@ -302,6 +355,10 @@ func (a *Actions) AcquireVM(className string) (int, error) {
 		// Every candidate was behind an open breaker: fail fast without
 		// issuing a single doomed request.
 		lastErr = &sim.CapacityError{Class: className, Sec: now}
+	}
+	if dec != nil {
+		dec.Reason = fmt.Sprintf("every rung of the ladder failed or was shunned acquiring %s", className)
+		a.Decide(*dec)
 	}
 	return 0, lastErr
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/obs"
 )
 
 // Control is the interface of the control surface a scheduler acts through
@@ -36,6 +37,22 @@ type Control interface {
 	// Config.Audit), so middleware decisions — breaker trips, fallbacks,
 	// degradations — land in the same decision trace as the actions.
 	Log(action, detail string)
+}
+
+// DecisionSink is the optional provenance side-channel of a Control: a
+// policy that explains its elasticity decisions type-asserts its Control to
+// this interface and, when DecisionsObserved reports true, hands each
+// decision's structured provenance to Decide. Middleware wrapping a Control
+// should forward both methods to the inner surface (annotating the
+// decision on the way through, e.g. with open-breaker state).
+type DecisionSink interface {
+	// Decide records one structured elasticity decision in the audit/trace
+	// stream as an obs.EventDecision entry.
+	Decide(d obs.Decision)
+	// DecisionsObserved reports whether Decide lands anywhere (a tracer is
+	// attached or auditing is on), so policies can skip assembling
+	// provenance nobody will see.
+	DecisionsObserved() bool
 }
 
 // Actions is the engine's own control surface (§5's runtime controls). The
@@ -206,4 +223,18 @@ func (a *Actions) Menu() *cloud.Menu { return a.e.cfg.Menu }
 // Config.Audit is set).
 func (a *Actions) Log(action, detail string) {
 	a.e.audit(AuditEntry{Action: action, Detail: detail})
+}
+
+var _ DecisionSink = (*Actions)(nil)
+
+// Decide implements DecisionSink: the decision lands in the audit log and
+// the trace stream through the same path as control actions, so the two
+// views of a run stay 1:1.
+func (a *Actions) Decide(d obs.Decision) {
+	a.e.audit(AuditEntry{Action: obs.EventDecision, PE: d.PE, Decision: &d})
+}
+
+// DecisionsObserved implements DecisionSink.
+func (a *Actions) DecisionsObserved() bool {
+	return a.e.tracer != nil || a.e.cfg.Audit
 }

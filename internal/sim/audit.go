@@ -25,6 +25,10 @@ type AuditEntry struct {
 	// entries), so replays show why throughput dipped.
 	Lost   float64 `json:"lost,omitempty"`
 	Detail string  `json:"detail,omitempty"`
+	// Decision carries the structured provenance of "decision" entries.
+	// Nil for every legacy action, so pre-provenance audit logs encode
+	// byte-identically.
+	Decision *obs.Decision `json:"decision,omitempty"`
 }
 
 // String renders the entry as one log line.
@@ -36,6 +40,9 @@ func (a AuditEntry) String() string {
 	if a.Detail != "" {
 		s += " " + a.Detail
 	}
+	if a.Decision != nil {
+		s += " " + a.Decision.String()
+	}
 	return s
 }
 
@@ -43,13 +50,13 @@ func (a AuditEntry) String() string {
 // audit action name is the event type).
 func (a AuditEntry) event() obs.Event {
 	return obs.Event{Sec: a.Sec, Type: a.Action, PE: a.PE, VM: a.VM, N: a.N,
-		Lost: a.Lost, Detail: a.Detail}
+		Lost: a.Lost, Detail: a.Detail, Decision: a.Decision}
 }
 
 // auditFromEvent converts an event back to the legacy audit form.
 func auditFromEvent(ev obs.Event) AuditEntry {
 	return AuditEntry{Sec: ev.Sec, Action: ev.Type, PE: ev.PE, VM: ev.VM, N: ev.N,
-		Lost: ev.Lost, Detail: ev.Detail}
+		Lost: ev.Lost, Detail: ev.Detail, Decision: ev.Decision}
 }
 
 // audit records one control action: it is stamped with the current clock,
@@ -95,6 +102,13 @@ func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
 // SetGauges attaches (or, with nil, detaches) the live metric gauge set the
 // engine updates at the end of every interval.
 func (e *Engine) SetGauges(g *obs.RunGauges) { e.gauges = g }
+
+// SetProfiler attaches (or, with nil, detaches) the per-stage profiler the
+// step pipeline feeds. Attach before Run.
+func (e *Engine) SetProfiler(p *obs.StageProfiler) {
+	e.profiler = p
+	e.registerStages()
+}
 
 // AuditLog returns the recorded actions (empty unless Config.Audit).
 func (e *Engine) AuditLog() []AuditEntry {

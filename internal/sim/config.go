@@ -71,6 +71,12 @@ type Config struct {
 	// provision, faults, arrivals, rehome, flow, billing, observe, check.
 	// Off by default to keep existing trace streams byte-stable.
 	StageSpans bool
+	// Profiler, when non-nil, records per-stage wall time and allocation
+	// deltas for every interval (obs.StageProfiler). Wall-clock readings
+	// never enter the trace stream, so determinism is unaffected; nil costs
+	// zero allocations on the hot path, like the tracer and checker hooks.
+	// Equivalent to calling Engine.SetProfiler before Run.
+	Profiler *obs.StageProfiler
 	// OmegaFloor, when positive, is the QoS constraint Ω̃: intervals whose
 	// relative throughput falls below it emit an omega-violation trace
 	// event. Purely observational — it never alters the simulation.

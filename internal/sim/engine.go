@@ -55,6 +55,11 @@ type Engine struct {
 	collector     *metrics.Collector
 	stepped       bool
 
+	// Per-stage profiling: profIdx maps the pipeline's stage positions to
+	// the attached profiler's dense indices; nil profiler = zero overhead.
+	profiler *obs.StageProfiler
+	profIdx  []int
+
 	// Cached at NewEngine: the graph's topological order and the sorted
 	// input-PE key list, both loop invariants of every interval.
 	topoOrder []int
@@ -128,6 +133,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.netMon, _ = monitor.NewNetMonitor(cfg.MonitorAlpha)
 	e.tracer = cfg.Tracer
 	e.gauges = cfg.Gauges
+	e.profiler = cfg.Profiler
+	e.registerStages()
 	if cfg.Checker != nil {
 		e.checker = cfg.Checker
 		e.invState = &invariant.State{

@@ -272,6 +272,7 @@ func TestDifferentialLocalVsGlobal(t *testing.T) {
 		t.Fatal(err)
 	}
 	decisionEvents := map[string]bool{
+		obs.EventDecision:        true,
 		obs.EventSelectAlternate: true,
 		obs.EventSelectRoute:     true,
 		obs.EventAcquireVM:       true,

@@ -81,11 +81,13 @@ type stepContext struct {
 func (e *Engine) step() error {
 	c := stepContext{sec: e.clock, dt: float64(e.cfg.IntervalSec)}
 	spans := e.cfg.StageSpans && e.tracer != nil
-	for _, st := range stepStages {
+	for i, st := range stepStages {
 		if spans {
 			e.trace(obs.Event{Type: obs.EventStage, Phase: obs.PhaseStart, Detail: st.name})
 		}
+		mark := e.profBegin()
 		err := st.run(e, &c)
+		e.profEnd(i, mark)
 		if spans {
 			e.trace(obs.Event{Type: obs.EventStage, Phase: obs.PhaseEnd, Detail: st.name})
 		}
@@ -94,6 +96,36 @@ func (e *Engine) step() error {
 		}
 	}
 	return nil
+}
+
+// registerStages maps the pipeline's stage positions onto the attached
+// profiler's dense indices. Idempotent; a no-op with no profiler.
+func (e *Engine) registerStages() {
+	if e.profiler == nil {
+		e.profIdx = nil
+		return
+	}
+	e.profIdx = make([]int, len(stepStages))
+	for i, st := range stepStages {
+		e.profIdx[i] = e.profiler.StageIndex(st.name)
+	}
+}
+
+// profBegin/profEnd are the per-stage profiler hook. Like the tracer and
+// checker hooks they are nil-guarded so a detached profiler costs zero
+// allocations on the step hot path (the mark lives on the caller's stack).
+func (e *Engine) profBegin() obs.StageMark {
+	if e.profiler == nil {
+		return obs.StageMark{}
+	}
+	return e.profiler.Begin()
+}
+
+func (e *Engine) profEnd(i int, m obs.StageMark) {
+	if e.profiler == nil {
+		return
+	}
+	e.profiler.End(e.profIdx[i], m)
 }
 
 // stageProvision opens the step span and completes provisioning for pending

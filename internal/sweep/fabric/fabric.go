@@ -120,6 +120,13 @@ type Lease struct {
 	Prefix    json.RawMessage `json:"prefix,omitempty"`
 	PrefixKey string          `json:"prefixKey,omitempty"`
 	PrefixSec int64           `json:"prefixSec,omitempty"`
+	// TraceID/SpanID are the campaign trace context the coordinator injects:
+	// the worker stamps them (plus its own id) onto every event its tracer
+	// emits while running the job, and echoes the span in its result
+	// delivery, so dftrace can stitch coordinator and worker captures into
+	// one causally ordered campaign timeline.
+	TraceID string `json:"traceId,omitempty"`
+	SpanID  string `json:"spanId,omitempty"`
 }
 
 // LeaseRef names one held lease in heartbeats: the campaign plus the

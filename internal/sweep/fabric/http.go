@@ -40,9 +40,14 @@ type heartbeatResponse struct {
 }
 
 // resultEnvelope is one NDJSON result line: the campaign the result
-// belongs to plus the result itself.
+// belongs to plus the result itself. Worker and Span echo the lease's
+// trace context so the coordinator's result-ack event closes the span
+// that worker's job-run events opened; older workers omit them and the
+// coordinator falls back to the slot's own attribution.
 type resultEnvelope struct {
 	Campaign string       `json:"campaign"`
+	Worker   string       `json:"worker,omitempty"`
+	Span     string       `json:"span,omitempty"`
 	Result   sweep.Result `json:"result"`
 }
 
@@ -98,7 +103,7 @@ func (h *Hub) Handler() http.Handler {
 			ack := ackLine{Status: AckUnknown}
 			if err := json.Unmarshal(line, &env); err == nil && env.Result.Key != "" {
 				ack.Key = env.Result.Key
-				ack.Status = h.Ack(env.Campaign, env.Result)
+				ack.Status = h.AckSpanned(env.Campaign, env.Worker, env.Span, env.Result)
 			}
 			if err := enc.Encode(ack); err != nil {
 				return
@@ -211,7 +216,13 @@ func (c *Client) Heartbeat(ctx context.Context, worker string, held []LeaseRef) 
 // returns the coordinator's ack status. Safe to call repeatedly for the
 // same result: acks are idempotent by job key.
 func (c *Client) SendResult(ctx context.Context, campaign string, res sweep.Result) (string, error) {
-	line, err := json.Marshal(resultEnvelope{Campaign: campaign, Result: res})
+	return c.SendResultSpanned(ctx, campaign, "", "", res)
+}
+
+// SendResultSpanned is SendResult carrying the worker id and lease span,
+// attributing the coordinator's result-ack event to this delivery.
+func (c *Client) SendResultSpanned(ctx context.Context, campaign, worker, span string, res sweep.Result) (string, error) {
+	line, err := json.Marshal(resultEnvelope{Campaign: campaign, Worker: worker, Span: span, Result: res})
 	if err != nil {
 		return "", err
 	}

@@ -290,7 +290,10 @@ func (h *Hub) Lease(workerID string) *Lease {
 				grant.PrefixSec = c.spec.WarmStart.PrefixSec
 			}
 		}
-		h.emit(obs.Event{Type: obs.EventLease, N: s.attempts, Detail: s.job.ID + " -> " + workerID})
+		grant.TraceID = c.id
+		grant.SpanID = spanID(s.job.Key, s.attempts)
+		h.emit(obs.Event{Type: obs.EventLease, N: s.attempts, Detail: s.job.ID + " -> " + workerID,
+			Trace: c.id, Span: grant.SpanID, Worker: workerID})
 		if m := h.cfg.Metrics; m != nil {
 			m.LeasesTotal.Inc()
 			m.LeasesActive.Add(1)
@@ -373,6 +376,13 @@ func (h *Hub) Heartbeat(workerID string, held []LeaseRef) (expired []LeaseRef) {
 // Results are deterministic per key, so any delivery carries the same
 // payload and accepting the first preserves exactly-once aggregation.
 func (h *Hub) Ack(campaignID string, res sweep.Result) string {
+	return h.AckSpanned(campaignID, "", "", res)
+}
+
+// AckSpanned is Ack carrying the delivering worker's identity and the
+// lease's span id (both optional), so the coordinator's result-ack event
+// closes the same span the worker's job-run events opened.
+func (h *Hub) AckSpanned(campaignID, worker, span string, res sweep.Result) string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	now := h.cfg.Now()
@@ -386,11 +396,15 @@ func (h *Hub) Ack(campaignID string, res sweep.Result) string {
 		return AckUnknown
 	}
 	s := &c.slots[i]
+	if span == "" {
+		span = spanID(s.job.Key, s.attempts)
+	}
 	if s.state == jobDone {
 		if m := h.cfg.Metrics; m != nil {
 			m.DupResults.Inc()
 		}
-		h.emit(obs.Event{Type: obs.EventResultDup, Detail: s.job.ID})
+		h.emit(obs.Event{Type: obs.EventResultDup, Detail: s.job.ID,
+			Trace: c.id, Span: span, Worker: worker})
 		return AckDuplicate
 	}
 	// Trust the coordinator's identity for the slot, not the wire's.
@@ -412,6 +426,11 @@ func (h *Hub) Ack(campaignID string, res sweep.Result) string {
 			m.LeasesActive.Add(-1)
 		}
 	}
+	if worker == "" {
+		worker = s.worker
+	}
+	h.emit(obs.Event{Type: obs.EventResultAck, Detail: s.job.ID + " <- " + worker,
+		Trace: c.id, Span: span, Worker: worker})
 	s.state = jobDone
 	s.worker = ""
 	s.result = &res
@@ -442,8 +461,10 @@ func (h *Hub) expireLocked(now time.Time) {
 			dirty = true
 			s.failures++
 			s.lastErr = fmt.Sprintf("lease %d expired on worker %s", s.attempts, s.worker)
+			span := spanID(s.job.Key, s.attempts)
 			h.emit(obs.Event{Type: obs.EventLeaseExpire, N: s.failures,
-				Detail: s.job.ID + " on " + s.worker})
+				Detail: s.job.ID + " on " + s.worker,
+				Trace:  c.id, Span: span, Worker: s.worker})
 			if m := h.cfg.Metrics; m != nil {
 				m.LeaseExpiries.Inc()
 				m.LeasesActive.Add(-1)
@@ -462,7 +483,8 @@ func (h *Hub) expireLocked(now time.Time) {
 				s.result = &res
 				c.quarantined++
 				c.errors++
-				h.emit(obs.Event{Type: obs.EventQuarantine, N: s.failures, Detail: s.job.ID})
+				h.emit(obs.Event{Type: obs.EventQuarantine, N: s.failures, Detail: s.job.ID,
+					Trace: c.id, Span: span})
 				if m := h.cfg.Metrics; m != nil {
 					m.Quarantined.Inc()
 				}
@@ -475,7 +497,8 @@ func (h *Hub) expireLocked(now time.Time) {
 				s.worker = ""
 				s.notBefore = now.Add(backoff)
 				c.requeues++
-				h.emit(obs.Event{Type: obs.EventRequeue, N: s.failures, Detail: s.job.ID})
+				h.emit(obs.Event{Type: obs.EventRequeue, N: s.failures, Detail: s.job.ID,
+					Trace: c.id, Span: span})
 				if m := h.cfg.Metrics; m != nil {
 					m.Requeues.Inc()
 				}
@@ -576,4 +599,14 @@ func (c *campaign) emitProgressLocked(h *Hub) {
 // emit forwards a coordinator event to the tracer (nil-safe).
 func (h *Hub) emit(ev obs.Event) {
 	h.cfg.Tracer.Emit(ev)
+}
+
+// spanID names one job attempt within a campaign trace: a short prefix of
+// the job's content key plus the attempt ordinal. Keys are sha256 hex, so
+// twelve characters stay unique within any real campaign.
+func spanID(key string, attempt int) string {
+	if len(key) > 12 {
+		key = key[:12]
+	}
+	return fmt.Sprintf("%s#%d", key, attempt)
 }

@@ -233,7 +233,10 @@ func (w *Worker) process(ctx context.Context, lease *Lease) error {
 }
 
 // runLease rebuilds the job from the lease and executes it; nil means the
-// run was cancelled before completing.
+// run was cancelled before completing. The worker's tracer is stamped with
+// the lease's trace context so every event this run emits carries the
+// campaign trace id, the job's span, and this worker's identity — the
+// capture stitches against the coordinator's by span.
 func (w *Worker) runLease(ctx context.Context, lease *Lease) *sweep.Result {
 	job, err := JobFromLease(lease)
 	if err != nil {
@@ -244,7 +247,10 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) *sweep.Result {
 	if job.Prefix != nil && lease.PrefixSec > 0 && lease.PrefixKey != "" {
 		snap = w.prefixSnapshot(ctx, lease.PrefixKey, job.Prefix, lease.PrefixSec)
 	}
-	res, canceled := sweep.ExecuteJob(ctx, job, snap, w.cfg.Tracer, w.cfg.Gauges, lease.Attempt)
+	tracer := w.cfg.Tracer.With(lease.TraceID, lease.SpanID, w.cfg.ID)
+	tracer.Emit(obs.Event{Type: obs.EventSweepJob, Phase: obs.PhaseStart,
+		N: lease.Attempt, Detail: job.ID})
+	res, canceled := sweep.ExecuteJob(ctx, job, snap, tracer, w.cfg.Gauges, lease.Attempt)
 	if canceled {
 		return nil
 	}
@@ -297,7 +303,7 @@ func (w *Worker) deliver(ctx context.Context, lease *Lease, res sweep.Result) {
 			w.logf("worker %s: DROP fault on %s, re-acking", w.cfg.ID, lease.JobID)
 			continue // first delivery lost in transit
 		}
-		status, err := w.cfg.Client.SendResult(ctx, lease.Campaign, res)
+		status, err := w.cfg.Client.SendResultSpanned(ctx, lease.Campaign, w.cfg.ID, lease.SpanID, res)
 		if err == nil {
 			if status == AckDuplicate {
 				w.logf("worker %s: %s already completed elsewhere", w.cfg.ID, lease.JobID)
@@ -309,7 +315,7 @@ func (w *Worker) deliver(ctx context.Context, lease *Lease, res sweep.Result) {
 		}
 	}
 	if w.cfg.Faults.DupResult(lease.Key, lease.Attempt) {
-		_, _ = w.cfg.Client.SendResult(ctx, lease.Campaign, res) // duplicated delivery
+		_, _ = w.cfg.Client.SendResultSpanned(ctx, lease.Campaign, w.cfg.ID, lease.SpanID, res) // duplicated delivery
 	}
 }
 
