@@ -11,8 +11,11 @@
 # recovery + digital-twin validation), the invariant-conservation,
 # snapshot-decoder and Prometheus-importer fuzz passes, the zero-alloc
 # guarantees for the disabled-tracer, disabled-checker, and detached
-# stage-profiler hot paths, and an engine-step benchmark snapshot written
-# to BENCH_step.json. Run from the repo root.
+# stage-profiler hot paths plus the steady-state large-DAG step itself, an
+# attached-profiler overhead-ratio guard, and an engine-step benchmark
+# snapshot written to BENCH_step.json. The flow-stage differential battery
+# (TestFlowParallelByteIdentical) and the parallel-flow race stress test
+# ride the `go test -race ./...` pass above. Run from the repo root.
 set -eu
 
 fmt=$(gofmt -l .)
@@ -98,6 +101,35 @@ echo "$bench" | grep -q ' 0 allocs/op' || {
     echo "detached stage-profiler hook allocates on the engine hot path" >&2
     exit 1
 }
+
+# The arena-backed engine must step a 1000-PE DAG with zero steady-state
+# heap allocations — the core guarantee of the hot-path flattening.
+bench=$(go test ./internal/sim -run '^$' -bench 'BenchmarkEngineStepLargeDAG/steady' -benchtime 100x -benchmem)
+echo "$bench"
+echo "$bench" | grep -q ' 0 allocs/op' || {
+    echo "steady-state engine step allocates on the large-DAG hot path" >&2
+    exit 1
+}
+
+# An attached stage profiler must stay cheap: with allocation sampling it
+# reads the heap counter on ~1/33rd of calls, so a profiled run may cost at
+# most 8x an unprofiled one (observed ~4x; the pre-sampling regression was
+# well past this). Both sides come from one invocation so machine noise
+# largely cancels.
+bench=$(go test ./internal/sim -run '^$' -bench 'BenchmarkEngineStepProfiler/run' -benchtime 200x)
+echo "$bench"
+echo "$bench" | awk '
+    /profiler=off/ { off = $3 }
+    /profiler=on/  { on = $3 }
+    END {
+        if (off == "" || on == "") { print "profiler ratio guard: benchmarks missing" > "/dev/stderr"; exit 1 }
+        ratio = on / off
+        printf "profiler overhead ratio: %.2fx\n", ratio
+        if (ratio > 8.0) {
+            printf "attached stage profiler costs %.2fx the unprofiled step (limit 8.0x)\n", ratio > "/dev/stderr"
+            exit 1
+        }
+    }'
 
 # Benchmark snapshot: run the engine-step benchmark suite with -benchmem and
 # record ns/op, B/op, allocs/op per benchmark as BENCH_step.json, so perf

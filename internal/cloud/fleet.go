@@ -240,6 +240,17 @@ func (f *Fleet) Active() []*VM {
 	return out
 }
 
+// ActiveInto appends the currently running VMs to buf, in id order, and
+// returns it — Active for callers reusing a buffer across calls.
+func (f *Fleet) ActiveInto(buf []*VM) []*VM {
+	for _, v := range f.vms {
+		if v.Active() {
+			buf = append(buf, v)
+		}
+	}
+	return buf
+}
+
 // All returns every VM ever acquired, in id order. The slice is shared.
 func (f *Fleet) All() []*VM { return f.vms }
 

@@ -52,6 +52,19 @@ func (c *Collector) Add(p Point) error {
 	return nil
 }
 
+// Reserve grows the collector's backing array so the next n Adds append
+// without reallocating — lets zero-alloc benchmarks and long fixed-horizon
+// runs pre-size the series.
+func (c *Collector) Reserve(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if free := cap(c.points) - len(c.points); free < n {
+		grown := make([]Point, len(c.points), len(c.points)+n)
+		copy(grown, c.points)
+		c.points = grown
+	}
+}
+
 // Points returns a snapshot of the collected points.
 func (c *Collector) Points() []Point {
 	c.mu.Lock()

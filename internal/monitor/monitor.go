@@ -5,6 +5,11 @@
 // provider; the estimators here smooth those observations into the values
 // the runtime heuristics consume, exactly as a real deployment would smooth
 // noisy probe results.
+//
+// All pools store their estimators in dense slices indexed by the small
+// integer ids the simulator hands out (PE indices, VM ids): the per-interval
+// probe loop touches every VM pair, so estimator lookup is the hottest read
+// in the engine and must not hash.
 package monitor
 
 import (
@@ -59,9 +64,13 @@ func (e *EWMA) Reset() { e.primed = false; e.value = 0 }
 
 // RateEstimator tracks per-key message rates with EWMA smoothing — the
 // "observed input data rates" fed to the runtime heuristics each interval.
+// Keys must be small non-negative integers (the engine uses PE indices);
+// storage is dense over the largest key seen.
 type RateEstimator struct {
 	alpha float64
-	est   map[int]*EWMA
+	est   []EWMA
+	has   []bool
+	n     int
 }
 
 // NewRateEstimator returns an estimator pool with the given smoothing.
@@ -69,29 +78,40 @@ func NewRateEstimator(alpha float64) (*RateEstimator, error) {
 	if !(alpha > 0 && alpha <= 1) {
 		return nil, fmt.Errorf("monitor: rate alpha %v outside (0,1]", alpha)
 	}
-	return &RateEstimator{alpha: alpha, est: map[int]*EWMA{}}, nil
+	return &RateEstimator{alpha: alpha}, nil
 }
 
-// Observe records a rate observation for key (e.g. a PE index).
-func (r *RateEstimator) Observe(key int, rate float64) {
-	e, ok := r.est[key]
-	if !ok {
-		e, _ = NewEWMA(r.alpha)
-		r.est[key] = e
+func (r *RateEstimator) grow(key int) {
+	for len(r.est) <= key {
+		r.est = append(r.est, EWMA{alpha: r.alpha})
+		r.has = append(r.has, false)
 	}
-	e.Observe(rate)
+}
+
+// Observe records a rate observation for key (e.g. a PE index). Negative
+// keys are ignored.
+func (r *RateEstimator) Observe(key int, rate float64) {
+	if key < 0 {
+		return
+	}
+	r.grow(key)
+	if !r.has[key] {
+		r.has[key] = true
+		r.n++
+	}
+	r.est[key].Observe(rate)
 }
 
 // Estimate returns the smoothed rate for key, or def when never observed.
 func (r *RateEstimator) Estimate(key int, def float64) float64 {
-	if e, ok := r.est[key]; ok {
-		return e.ValueOr(def)
+	if key < 0 || key >= len(r.est) || !r.has[key] {
+		return def
 	}
-	return def
+	return r.est[key].ValueOr(def)
 }
 
 // Keys returns the number of tracked keys.
-func (r *RateEstimator) Keys() int { return len(r.est) }
+func (r *RateEstimator) Keys() int { return r.n }
 
 // Probe is one synthetic-benchmark measurement of a VM or VM pair.
 type Probe struct {
@@ -101,11 +121,14 @@ type Probe struct {
 	CPUCoeff float64
 }
 
-// VMMonitor smooths per-VM CPU probes, keyed by VM id.
+// VMMonitor smooths per-VM CPU probes, keyed by VM id. Ids must be small
+// non-negative integers; storage is dense over the largest id seen.
 type VMMonitor struct {
 	alpha float64
-	cpu   map[int]*EWMA
-	last  map[int]int64
+	cpu   []EWMA
+	last  []int64
+	has   []bool
+	n     int
 }
 
 // NewVMMonitor returns a monitor with the given EWMA smoothing factor.
@@ -113,20 +136,31 @@ func NewVMMonitor(alpha float64) (*VMMonitor, error) {
 	if !(alpha > 0 && alpha <= 1) {
 		return nil, fmt.Errorf("monitor: vm alpha %v outside (0,1]", alpha)
 	}
-	return &VMMonitor{alpha: alpha, cpu: map[int]*EWMA{}, last: map[int]int64{}}, nil
+	return &VMMonitor{alpha: alpha}, nil
+}
+
+func (m *VMMonitor) grow(vmID int) {
+	for len(m.cpu) <= vmID {
+		m.cpu = append(m.cpu, EWMA{alpha: m.alpha})
+		m.last = append(m.last, 0)
+		m.has = append(m.has, false)
+	}
 }
 
 // ObserveCPU records a CPU probe for a VM.
 func (m *VMMonitor) ObserveCPU(vmID int, p Probe) error {
+	if vmID < 0 {
+		return fmt.Errorf("monitor: negative vm id %d", vmID)
+	}
 	if p.CPUCoeff <= 0 {
 		return fmt.Errorf("monitor: vm %d: non-positive CPU coefficient %v", vmID, p.CPUCoeff)
 	}
-	e, ok := m.cpu[vmID]
-	if !ok {
-		e, _ = NewEWMA(m.alpha)
-		m.cpu[vmID] = e
+	m.grow(vmID)
+	if !m.has[vmID] {
+		m.has[vmID] = true
+		m.n++
 	}
-	e.Observe(p.CPUCoeff)
+	m.cpu[vmID].Observe(p.CPUCoeff)
 	m.last[vmID] = p.Sec
 	return nil
 }
@@ -134,26 +168,33 @@ func (m *VMMonitor) ObserveCPU(vmID int, p Probe) error {
 // CPUCoeff returns the smoothed coefficient for a VM, or def when the VM
 // has never been probed (a just-acquired instance is assumed rated: 1).
 func (m *VMMonitor) CPUCoeff(vmID int, def float64) float64 {
-	if e, ok := m.cpu[vmID]; ok {
-		return e.ValueOr(def)
+	if vmID < 0 || vmID >= len(m.cpu) || !m.has[vmID] {
+		return def
 	}
-	return def
+	return m.cpu[vmID].ValueOr(def)
 }
 
 // LastProbe returns the time of the VM's latest probe.
 func (m *VMMonitor) LastProbe(vmID int) (int64, bool) {
-	s, ok := m.last[vmID]
-	return s, ok
+	if vmID < 0 || vmID >= len(m.cpu) || !m.has[vmID] {
+		return 0, false
+	}
+	return m.last[vmID], true
 }
 
 // Forget drops state for a released VM.
 func (m *VMMonitor) Forget(vmID int) {
-	delete(m.cpu, vmID)
-	delete(m.last, vmID)
+	if vmID < 0 || vmID >= len(m.cpu) || !m.has[vmID] {
+		return
+	}
+	m.has[vmID] = false
+	m.cpu[vmID].Reset()
+	m.last[vmID] = 0
+	m.n--
 }
 
 // Tracked returns how many VMs have state.
-func (m *VMMonitor) Tracked() int { return len(m.cpu) }
+func (m *VMMonitor) Tracked() int { return m.n }
 
 // PairKey canonicalizes an unordered VM pair into a map key.
 func PairKey(a, b int) [2]int {
@@ -163,11 +204,30 @@ func PairKey(a, b int) [2]int {
 	return [2]int{a, b}
 }
 
-// NetMonitor smooths pairwise latency/bandwidth probes.
+// netCell holds both estimators of one live VM pair, unpacked: the smoothing
+// factor lives once on the monitor and the fold is inlined into Observe, so a
+// cell is 3 words instead of 2 EWMA structs — the O(V^2) probe loop streams
+// through megabytes of cells per interval, and cell size is its bandwidth.
+type netCell struct {
+	lat, bw     float64
+	latOK, bwOK bool // primed
+	present     bool
+}
+
+// isFinite reports x is neither NaN nor an infinity (x-x is 0 exactly for
+// finite x, NaN otherwise).
+func isFinite(x float64) bool { return x-x == 0 }
+
+// NetMonitor smooths pairwise latency/bandwidth probes. Internally each
+// tracked VM id maps to a compact slot (slots are recycled by ForgetVM), and
+// pair state lives in a triangular slice indexed by the slot pair — the
+// per-interval O(V^2) probe loop reads and writes cells without hashing.
 type NetMonitor struct {
 	alpha float64
-	lat   map[[2]int]*EWMA
-	bw    map[[2]int]*EWMA
+	slot  []int32 // VM id -> slot, -1 when untracked
+	ids   []int   // slot -> VM id, -1 when free
+	free  []int32 // recycled slots
+	cells []netCell
 }
 
 // NewNetMonitor returns a pairwise network monitor.
@@ -175,7 +235,51 @@ func NewNetMonitor(alpha float64) (*NetMonitor, error) {
 	if !(alpha > 0 && alpha <= 1) {
 		return nil, fmt.Errorf("monitor: net alpha %v outside (0,1]", alpha)
 	}
-	return &NetMonitor{alpha: alpha, lat: map[[2]int]*EWMA{}, bw: map[[2]int]*EWMA{}}, nil
+	return &NetMonitor{alpha: alpha}, nil
+}
+
+// cellIndex maps an ordered slot pair s < t into the triangular cell slice.
+// Rows are laid out by the larger slot, so adding a slot only appends cells.
+func cellIndex(s, t int32) int { return int(t)*int(t-1)/2 + int(s) }
+
+// slotOf returns the VM's slot or -1.
+func (m *NetMonitor) slotOf(vmID int) int32 {
+	if vmID < 0 || vmID >= len(m.slot) {
+		return -1
+	}
+	return m.slot[vmID]
+}
+
+// ensureSlot returns the VM's slot, assigning one if needed.
+func (m *NetMonitor) ensureSlot(vmID int) int32 {
+	for len(m.slot) <= vmID {
+		m.slot = append(m.slot, -1)
+	}
+	if s := m.slot[vmID]; s >= 0 {
+		return s
+	}
+	var s int32
+	if n := len(m.free); n > 0 {
+		s = m.free[n-1]
+		m.free = m.free[:n-1]
+		m.ids[s] = vmID
+	} else {
+		s = int32(len(m.ids))
+		m.ids = append(m.ids, vmID)
+		for len(m.cells) < cellIndex(0, s+1) {
+			m.cells = append(m.cells, netCell{})
+		}
+	}
+	m.slot[vmID] = s
+	return s
+}
+
+// cell returns the cell for two distinct slots.
+func (m *NetMonitor) cell(sa, sb int32) *netCell {
+	if sa > sb {
+		sa, sb = sb, sa
+	}
+	return &m.cells[cellIndex(sa, sb)]
 }
 
 // Observe records one latency (seconds) + bandwidth (Mbps) probe for a pair.
@@ -183,29 +287,41 @@ func (m *NetMonitor) Observe(a, b int, latSec, bwMbps float64) error {
 	if a == b {
 		return errors.New("monitor: net probe on identical VMs")
 	}
+	if a < 0 || b < 0 {
+		return fmt.Errorf("monitor: net probe on negative vm id (%d, %d)", a, b)
+	}
 	if latSec < 0 || bwMbps <= 0 {
 		return fmt.Errorf("monitor: net probe lat=%v bw=%v invalid", latSec, bwMbps)
 	}
-	k := PairKey(a, b)
-	le, ok := m.lat[k]
-	if !ok {
-		le, _ = NewEWMA(m.alpha)
-		m.lat[k] = le
+	c := m.cell(m.ensureSlot(a), m.ensureSlot(b))
+	c.present = true
+	// The folds are EWMA.Observe inlined (same expression, same drop-broken-
+	// probes rule) — this is the hottest write in the engine.
+	if isFinite(latSec) {
+		if c.latOK {
+			c.lat += m.alpha * (latSec - c.lat)
+		} else {
+			c.lat, c.latOK = latSec, true
+		}
 	}
-	le.Observe(latSec)
-	be, ok := m.bw[k]
-	if !ok {
-		be, _ = NewEWMA(m.alpha)
-		m.bw[k] = be
+	if isFinite(bwMbps) {
+		if c.bwOK {
+			c.bw += m.alpha * (bwMbps - c.bw)
+		} else {
+			c.bw, c.bwOK = bwMbps, true
+		}
 	}
-	be.Observe(bwMbps)
 	return nil
 }
 
 // Latency returns the smoothed latency for the pair or def.
 func (m *NetMonitor) Latency(a, b int, def float64) float64 {
-	if e, ok := m.lat[PairKey(a, b)]; ok {
-		return e.ValueOr(def)
+	sa, sb := m.slotOf(a), m.slotOf(b)
+	if sa < 0 || sb < 0 || sa == sb {
+		return def
+	}
+	if c := m.cell(sa, sb); c.present && c.latOK {
+		return c.lat
 	}
 	return def
 }
@@ -213,22 +329,29 @@ func (m *NetMonitor) Latency(a, b int, def float64) float64 {
 // Bandwidth returns the smoothed bandwidth for the pair or def — the paper
 // uses rated values at deployment and monitored values at runtime.
 func (m *NetMonitor) Bandwidth(a, b int, def float64) float64 {
-	if e, ok := m.bw[PairKey(a, b)]; ok {
-		return e.ValueOr(def)
+	sa, sb := m.slotOf(a), m.slotOf(b)
+	if sa < 0 || sb < 0 || sa == sb {
+		return def
+	}
+	if c := m.cell(sa, sb); c.present && c.bwOK {
+		return c.bw
 	}
 	return def
 }
 
-// ForgetVM drops all pairs touching the VM.
+// ForgetVM drops all pairs touching the VM and recycles its slot.
 func (m *NetMonitor) ForgetVM(vmID int) {
-	for k := range m.lat {
-		if k[0] == vmID || k[1] == vmID {
-			delete(m.lat, k)
-		}
+	s := m.slotOf(vmID)
+	if s < 0 {
+		return
 	}
-	for k := range m.bw {
-		if k[0] == vmID || k[1] == vmID {
-			delete(m.bw, k)
+	for t := int32(0); t < int32(len(m.ids)); t++ {
+		if t == s || m.ids[t] < 0 {
+			continue
 		}
+		*m.cell(s, t) = netCell{}
 	}
+	m.slot[vmID] = -1
+	m.ids[s] = -1
+	m.free = append(m.free, s)
 }

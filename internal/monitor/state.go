@@ -5,8 +5,9 @@ import "sort"
 // This file is the estimator state surface used by engine checkpointing
 // (internal/state): every EWMA pool can export its full state as plain,
 // deterministically ordered records and rebuild itself from them. Export
-// orders map entries by key so the serialized form — and therefore any
-// digest over it — is stable across runs.
+// orders entries by key so the serialized form — and therefore any digest
+// over it — is stable across runs, and stays byte-identical to the encoding
+// the original map-backed pools produced.
 
 // EWMAState is the complete serializable state of one EWMA estimator.
 type EWMAState struct {
@@ -29,21 +30,26 @@ type RateEntry struct {
 
 // Export returns every tracked key's estimator state, ordered by key.
 func (r *RateEstimator) Export() []RateEntry {
-	out := make([]RateEntry, 0, len(r.est))
-	for k, e := range r.est {
-		out = append(out, RateEntry{Key: k, E: e.State()})
+	out := make([]RateEntry, 0, r.n)
+	for k := range r.est {
+		if r.has[k] {
+			out = append(out, RateEntry{Key: k, E: r.est[k].State()})
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
-// Import replaces the estimator pool with the exported entries.
+// Import replaces the estimator pool with the exported entries. Entries with
+// negative keys are dropped (the pool cannot represent them).
 func (r *RateEstimator) Import(entries []RateEntry) {
-	r.est = make(map[int]*EWMA, len(entries))
+	r.est = nil
+	r.has = nil
+	r.n = 0
 	for _, en := range entries {
-		e, _ := NewEWMA(r.alpha)
-		e.SetState(en.E)
-		r.est[en.Key] = e
+		r.Observe(en.Key, 0)
+		if en.Key >= 0 {
+			r.est[en.Key].SetState(en.E)
+		}
 	}
 }
 
@@ -56,22 +62,32 @@ type VMCPUEntry struct {
 
 // Export returns every tracked VM's CPU estimator state, ordered by VM id.
 func (m *VMMonitor) Export() []VMCPUEntry {
-	out := make([]VMCPUEntry, 0, len(m.cpu))
-	for vm, e := range m.cpu {
-		out = append(out, VMCPUEntry{VM: vm, E: e.State(), LastSec: m.last[vm]})
+	out := make([]VMCPUEntry, 0, m.n)
+	for vm := range m.cpu {
+		if m.has[vm] {
+			out = append(out, VMCPUEntry{VM: vm, E: m.cpu[vm].State(), LastSec: m.last[vm]})
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].VM < out[j].VM })
 	return out
 }
 
-// Import replaces the monitor's state with the exported entries.
+// Import replaces the monitor's state with the exported entries. Entries
+// with negative ids are dropped.
 func (m *VMMonitor) Import(entries []VMCPUEntry) {
-	m.cpu = make(map[int]*EWMA, len(entries))
-	m.last = make(map[int]int64, len(entries))
+	m.cpu = nil
+	m.last = nil
+	m.has = nil
+	m.n = 0
 	for _, en := range entries {
-		e, _ := NewEWMA(m.alpha)
-		e.SetState(en.E)
-		m.cpu[en.VM] = e
+		if en.VM < 0 {
+			continue
+		}
+		m.grow(en.VM)
+		if !m.has[en.VM] {
+			m.has[en.VM] = true
+			m.n++
+		}
+		m.cpu[en.VM].SetState(en.E)
 		m.last[en.VM] = en.LastSec
 	}
 }
@@ -86,35 +102,62 @@ type NetEntry struct {
 // Export returns the latency and bandwidth estimator states, each ordered
 // by (A, B).
 func (m *NetMonitor) Export() (lat, bw []NetEntry) {
-	return exportPairs(m.lat), exportPairs(m.bw)
-}
-
-// Import replaces the monitor's state with the exported entries.
-func (m *NetMonitor) Import(lat, bw []NetEntry) {
-	m.lat = importPairs(m.alpha, lat)
-	m.bw = importPairs(m.alpha, bw)
-}
-
-func exportPairs(src map[[2]int]*EWMA) []NetEntry {
-	out := make([]NetEntry, 0, len(src))
-	for k, e := range src {
-		out = append(out, NetEntry{A: k[0], B: k[1], E: e.State()})
+	for t := int32(1); t < int32(len(m.ids)); t++ {
+		if m.ids[t] < 0 {
+			continue
+		}
+		for s := int32(0); s < t; s++ {
+			if m.ids[s] < 0 {
+				continue
+			}
+			c := &m.cells[cellIndex(s, t)]
+			if !c.present {
+				continue
+			}
+			k := PairKey(m.ids[s], m.ids[t])
+			lat = append(lat, NetEntry{A: k[0], B: k[1], E: EWMAState{Value: c.lat, Primed: c.latOK}})
+			bw = append(bw, NetEntry{A: k[0], B: k[1], E: EWMAState{Value: c.bw, Primed: c.bwOK}})
+		}
 	}
+	sortNetEntries(lat)
+	sortNetEntries(bw)
+	return lat, bw
+}
+
+func sortNetEntries(out []NetEntry) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].A != out[j].A {
 			return out[i].A < out[j].A
 		}
 		return out[i].B < out[j].B
 	})
-	return out
 }
 
-func importPairs(alpha float64, entries []NetEntry) map[[2]int]*EWMA {
-	dst := make(map[[2]int]*EWMA, len(entries))
-	for _, en := range entries {
-		e, _ := NewEWMA(alpha)
-		e.SetState(en.E)
-		dst[PairKey(en.A, en.B)] = e
+// Import replaces the monitor's state with the exported entries. The map
+// form kept latency and bandwidth pools independent; the dense form stores
+// a pair's estimators together, so a pair present in either list gets a
+// cell (the missing half stays unprimed, which reads the same as an absent
+// map entry did). Entries with invalid ids (negative, or A == B) are
+// dropped.
+func (m *NetMonitor) Import(lat, bw []NetEntry) {
+	m.slot = nil
+	m.ids = nil
+	m.free = nil
+	m.cells = nil
+	for _, en := range lat {
+		if en.A < 0 || en.B < 0 || en.A == en.B {
+			continue
+		}
+		c := m.cell(m.ensureSlot(en.A), m.ensureSlot(en.B))
+		c.present = true
+		c.lat, c.latOK = en.E.Value, en.E.Primed
 	}
-	return dst
+	for _, en := range bw {
+		if en.A < 0 || en.B < 0 || en.A == en.B {
+			continue
+		}
+		c := m.cell(m.ensureSlot(en.A), m.ensureSlot(en.B))
+		c.present = true
+		c.bw, c.bwOK = en.E.Value, en.E.Primed
+	}
 }

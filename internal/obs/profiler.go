@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,35 +20,47 @@ import (
 // Like the tracer and checker hooks, a nil *StageProfiler is a no-op and
 // the detached hook costs zero allocations on the engine hot path: Begin
 // returns a stack StageMark and End returns immediately. Allocation deltas
-// come from the runtime/metrics heap-objects counter, which is cheap to
-// sample and monotonic; because the counter is process-global, attach one
-// profiler to one single-threaded engine at a time for faithful
-// attribution (concurrent use is safe, just blurs the numbers).
+// come from the runtime/metrics heap-objects counter; because the counter
+// is process-global, attach one profiler to one single-threaded engine at a
+// time for faithful attribution (concurrent use is safe, just blurs the
+// numbers). Wall time is recorded on every call, but the counter is read
+// only on sampled calls: a runtime/metrics read costs far more than a fast
+// stage's body, and reading it twice per stage nearly tripled the step time
+// of a profiled engine.
 type StageProfiler struct {
 	mu      sync.Mutex
 	names   []string
 	index   map[string]int
 	stats   []stageAcc
 	sample  []metrics.Sample
+	calls   atomic.Uint64
 	seconds *HistogramVec
 	allocs  *HistogramVec
 }
 
+// allocSampleEvery is the allocation-sampling period in Begin calls. It is
+// coprime to the pipeline length (8 stages), so the sampled call rotates
+// through every stage instead of pinning to one; the first call is sampled,
+// so even a single-shot profile reports allocation data.
+const allocSampleEvery = 33
+
 // stageAcc accumulates one stage's samples.
 type stageAcc struct {
-	count   int64
-	wallNs  int64
-	minNs   int64
-	maxNs   int64
-	allocs  uint64
-	started bool
+	count        int64
+	wallNs       int64
+	minNs        int64
+	maxNs        int64
+	allocs       uint64
+	allocSamples int64
+	started      bool
 }
 
 // StageMark is the begin-of-stage reading End consumes; it lives on the
 // caller's stack so the hook allocates nothing.
 type StageMark struct {
-	t      time.Time
-	allocs uint64
+	t       time.Time
+	allocs  uint64
+	sampled bool
 }
 
 // StageSecondsBuckets is the histogram ladder for per-stage wall time
@@ -94,10 +107,15 @@ func (p *StageProfiler) Begin() StageMark {
 	if p == nil {
 		return StageMark{}
 	}
-	p.mu.Lock()
-	metrics.Read(p.sample)
-	m := StageMark{t: time.Now(), allocs: p.sample[0].Value.Uint64()}
-	p.mu.Unlock()
+	var m StageMark
+	m.sampled = (p.calls.Add(1)-1)%allocSampleEvery == 0
+	if m.sampled {
+		p.mu.Lock()
+		metrics.Read(p.sample)
+		m.allocs = p.sample[0].Value.Uint64()
+		p.mu.Unlock()
+	}
+	m.t = time.Now()
 	return m
 }
 
@@ -109,8 +127,11 @@ func (p *StageProfiler) End(i int, m StageMark) {
 	ns := time.Since(m.t).Nanoseconds()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	metrics.Read(p.sample)
-	da := p.sample[0].Value.Uint64() - m.allocs
+	var da uint64
+	if m.sampled {
+		metrics.Read(p.sample)
+		da = p.sample[0].Value.Uint64() - m.allocs
+	}
 	a := &p.stats[i]
 	if !a.started || ns < a.minNs {
 		a.minNs = ns
@@ -121,21 +142,28 @@ func (p *StageProfiler) End(i int, m StageMark) {
 	a.started = true
 	a.count++
 	a.wallNs += ns
-	a.allocs += da
+	if m.sampled {
+		a.allocs += da
+		a.allocSamples++
+	}
 	if p.seconds != nil {
 		p.seconds.With(p.names[i]).Observe(float64(ns) / 1e9)
-		p.allocs.With(p.names[i]).Observe(float64(da))
+		if m.sampled {
+			p.allocs.With(p.names[i]).Observe(float64(da))
+		}
 	}
 }
 
-// StageStats is one stage's aggregate profile.
+// StageStats is one stage's aggregate profile. Allocs covers only the
+// AllocSamples sampled calls, not all Count calls.
 type StageStats struct {
-	Name   string
-	Count  int64
-	WallNs int64
-	MinNs  int64
-	MaxNs  int64
-	Allocs uint64
+	Name         string
+	Count        int64
+	WallNs       int64
+	MinNs        int64
+	MaxNs        int64
+	Allocs       uint64
+	AllocSamples int64
 }
 
 // Snapshot returns per-stage aggregates in registration (pipeline) order.
@@ -148,7 +176,8 @@ func (p *StageProfiler) Snapshot() []StageStats {
 	out := make([]StageStats, len(p.names))
 	for i, name := range p.names {
 		a := p.stats[i]
-		out[i] = StageStats{Name: name, Count: a.count, WallNs: a.wallNs, MinNs: a.minNs, MaxNs: a.maxNs, Allocs: a.allocs}
+		out[i] = StageStats{Name: name, Count: a.count, WallNs: a.wallNs, MinNs: a.minNs,
+			MaxNs: a.maxNs, Allocs: a.allocs, AllocSamples: a.allocSamples}
 	}
 	return out
 }
@@ -173,7 +202,9 @@ func (p *StageProfiler) Report() string {
 		var perCall float64
 		if s.Count > 0 {
 			mean = time.Duration(s.WallNs / s.Count)
-			perCall = float64(s.Allocs) / float64(s.Count)
+		}
+		if s.AllocSamples > 0 {
+			perCall = float64(s.Allocs) / float64(s.AllocSamples)
 		}
 		fmt.Fprintf(&b, "%-12s %8d %12s %10s %10s %10s %10d %12.1f\n",
 			s.Name, s.Count, time.Duration(s.WallNs), mean,

@@ -40,6 +40,28 @@ func TestStageProfilerAccumulates(t *testing.T) {
 	}
 }
 
+// TestStageProfilerSamplesAllocs pins the allocation-sampling cadence: the
+// heap-objects counter is read only on every allocSampleEvery-th Begin
+// (starting with the first), while wall time and counts cover every call.
+// Reading the counter on every call is the overhead regression this guards
+// against — it once tripled a profiled engine's step time.
+func TestStageProfilerSamplesAllocs(t *testing.T) {
+	p := NewStageProfiler(nil)
+	i := p.StageIndex("flow")
+	const cycles = 2*allocSampleEvery + 1
+	for c := 0; c < cycles; c++ {
+		p.End(i, p.Begin())
+	}
+	s := p.Snapshot()[0]
+	if s.Count != cycles {
+		t.Fatalf("Count = %d, want %d (every call counted)", s.Count, cycles)
+	}
+	if s.AllocSamples != 3 {
+		t.Fatalf("AllocSamples = %d over %d calls, want 3 (calls 0, %d, %d)",
+			s.AllocSamples, cycles, allocSampleEvery, 2*allocSampleEvery)
+	}
+}
+
 func TestStageProfilerNilSafe(t *testing.T) {
 	var p *StageProfiler
 	m := p.Begin()

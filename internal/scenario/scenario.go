@@ -44,6 +44,10 @@ type Scenario struct {
 	// keeps the canonical JSON of scenarios that do not use it unchanged, so
 	// existing sweep-journal cache keys stay valid.
 	Check *CheckSpec `json:"check,omitempty"`
+	// FlowWorkers shards the engine's flow stage across a worker pool
+	// (sim.Config.FlowWorkers). 0 — and hence the canonical JSON of existing
+	// scenarios — runs it serially; any value produces byte-identical output.
+	FlowWorkers int `json:"flowWorkers,omitempty"`
 }
 
 // GraphSpec mirrors the canonical dataflow JSON inline.
@@ -365,6 +369,7 @@ func (sc *Scenario) Build() (*Built, error) {
 		Audit:         sc.Audit,
 		OmegaFloor:    obj.OmegaHat,
 		Checker:       checker,
+		FlowWorkers:   sc.FlowWorkers,
 	}
 	engine, err := sim.NewEngine(cfg)
 	if err != nil {

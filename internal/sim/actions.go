@@ -80,6 +80,7 @@ func (a *Actions) SelectAlternate(pe, alt int) error {
 		return fmt.Errorf("sim: PE %q has no alternate %d", g.PEs[pe].Name, alt)
 	}
 	a.e.sel[pe] = alt
+	a.e.gammaDirty = true
 	a.e.audit(AuditEntry{Action: "select-alternate", PE: pe, N: alt,
 		Detail: g.PEs[pe].Alternates[alt].Name})
 	return nil
@@ -97,6 +98,7 @@ func (a *Actions) SelectRoute(group, target int) error {
 		return fmt.Errorf("sim: choice group %q has no target %d", g.Choices[group].Name, target)
 	}
 	a.e.routing[group] = target
+	a.e.rebuildFlowCaches()
 	a.e.audit(AuditEntry{Action: "select-route", PE: g.Choices[group].From, N: target,
 		Detail: g.Choices[group].Name})
 	return nil
@@ -142,8 +144,9 @@ func (a *Actions) AcquireVM(className string) (int, error) {
 // remaining message buffers were already migrated by UnassignCores.
 func (a *Actions) ReleaseVM(vmID int) error {
 	// Migrate any residual buffered messages before the VM disappears.
-	for pe := range a.e.queue {
-		if a.e.queue[pe][vmID] > 0 {
+	for pe := range a.e.pes {
+		p := &a.e.pes[pe]
+		if s := p.slotOf(vmID); s >= 0 && p.queue[s] > 0 {
 			a.e.migrateQueue(pe, vmID)
 		}
 	}
@@ -165,7 +168,8 @@ func (a *Actions) AssignCores(pe, vmID, n int) error {
 	if err := a.e.fleet.AssignCores(vmID, n, a.e.clock); err != nil {
 		return err
 	}
-	a.e.cores[pe][vmID] += n
+	p := &a.e.pes[pe]
+	p.cores[p.ensureSlot(vmID)] += n
 	a.e.audit(AuditEntry{Action: "assign-cores", PE: pe, VM: vmID, N: n})
 	return nil
 }
@@ -178,7 +182,12 @@ func (a *Actions) UnassignCores(pe, vmID, n int) error {
 	if pe < 0 || pe >= g.N() {
 		return fmt.Errorf("sim: unassign cores from unknown PE %d", pe)
 	}
-	have := a.e.cores[pe][vmID]
+	p := &a.e.pes[pe]
+	s := p.slotOf(vmID)
+	have := 0
+	if s >= 0 {
+		have = p.cores[s]
+	}
 	if n <= 0 || n > have {
 		return fmt.Errorf("sim: PE %q has %d cores on VM %d, cannot unassign %d",
 			g.PEs[pe].Name, have, vmID, n)
@@ -187,12 +196,12 @@ func (a *Actions) UnassignCores(pe, vmID, n int) error {
 		return err
 	}
 	if have == n {
-		delete(a.e.cores[pe], vmID)
-		if a.e.queue[pe][vmID] > 0 {
+		p.cores[s] = 0
+		if p.queue[s] > 0 {
 			a.e.migrateQueue(pe, vmID)
 		}
 	} else {
-		a.e.cores[pe][vmID] = have - n
+		p.cores[s] = have - n
 	}
 	a.e.audit(AuditEntry{Action: "unassign-cores", PE: pe, VM: vmID, N: n})
 	return nil

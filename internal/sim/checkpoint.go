@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/monitor"
 	"dynamicdf/internal/obs"
 	"dynamicdf/internal/state"
 )
@@ -66,14 +67,22 @@ func (e *Engine) Checkpoint() (*state.Snapshot, error) {
 		Metrics: e.collector.Points(),
 		Audit:   append([]obs.Event(nil), e.auditLog...),
 	}
-	for pe := range e.cores {
-		for _, vmID := range sortedKeys(e.cores[pe]) {
-			s.Cores = append(s.Cores, state.CoreCell{PE: pe, VM: vmID, Cores: e.cores[pe][vmID]})
+	// Arena slots are ascending by VM id (-1 first), the same order the
+	// map engine's sorted-key export produced.
+	for pe := range e.pes {
+		p := &e.pes[pe]
+		for sl, vmID := range p.vms {
+			if p.cores[sl] > 0 {
+				s.Cores = append(s.Cores, state.CoreCell{PE: pe, VM: vmID, Cores: p.cores[sl]})
+			}
 		}
 	}
-	for pe := range e.queue {
-		for _, vmID := range sortedKeys(e.queue[pe]) {
-			s.Queues = append(s.Queues, state.QueueCell{PE: pe, VM: vmID, Queue: e.queue[pe][vmID]})
+	for pe := range e.pes {
+		p := &e.pes[pe]
+		for sl, vmID := range p.vms {
+			if p.hasQ[sl] {
+				s.Queues = append(s.Queues, state.QueueCell{PE: pe, VM: vmID, Queue: p.queue[sl]})
+			}
 		}
 	}
 	s.RateEst = e.rateEst.Export()
@@ -158,7 +167,8 @@ func Restore(snap *state.Snapshot, cfg Config) (*Engine, error) {
 		if _, err := e.fleet.Get(cell.VM); err != nil {
 			return nil, fmt.Errorf("sim: restore: core cell for unknown VM %d", cell.VM)
 		}
-		e.cores[cell.PE][cell.VM] = cell.Cores
+		p := &e.pes[cell.PE]
+		p.cores[p.ensureSlot(cell.VM)] = cell.Cores
 	}
 	for _, cell := range snap.Queues {
 		if cell.PE < 0 || cell.PE >= n {
@@ -167,11 +177,40 @@ func Restore(snap *state.Snapshot, cfg Config) (*Engine, error) {
 		if cell.VM < -1 || cell.Queue < 0 {
 			return nil, fmt.Errorf("sim: restore: bad queue cell (%d,%d,%g)", cell.PE, cell.VM, cell.Queue)
 		}
-		e.queue[cell.PE][cell.VM] = cell.Queue
+		p := &e.pes[cell.PE]
+		sl := p.ensureSlot(cell.VM)
+		p.queue[sl] = cell.Queue
+		p.hasQ[sl] = true
+	}
+	// The dense monitor pools size themselves by the largest imported id, so
+	// reject ids a legitimate snapshot cannot contain (the fleet export covers
+	// every VM that ever existed) before they can inflate the pools.
+	for _, en := range snap.RateEst {
+		if en.Key < 0 || en.Key >= n {
+			return nil, fmt.Errorf("sim: restore: rate-estimator key %d outside graph", en.Key)
+		}
+	}
+	for _, en := range snap.VMCPU {
+		if _, err := e.fleet.Get(en.VM); err != nil {
+			return nil, fmt.Errorf("sim: restore: cpu-monitor entry for unknown VM %d", en.VM)
+		}
+	}
+	for _, list := range [][]monitor.NetEntry{snap.NetLat, snap.NetBW} {
+		for _, en := range list {
+			if en.A == en.B {
+				return nil, fmt.Errorf("sim: restore: net-monitor entry with A == B == %d", en.A)
+			}
+			for _, id := range [2]int{en.A, en.B} {
+				if _, err := e.fleet.Get(id); err != nil {
+					return nil, fmt.Errorf("sim: restore: net-monitor entry for unknown VM %d", id)
+				}
+			}
+		}
 	}
 	e.rateEst.Import(snap.RateEst)
 	e.vmMon.Import(snap.VMCPU)
 	e.netMon.Import(snap.NetLat, snap.NetBW)
+	e.rebuildFlowCaches()
 
 	e.lastOmega = snap.LastOmega
 	e.omegaSum = snap.OmegaSum

@@ -28,10 +28,10 @@ type Engine struct {
 	sel     dataflow.Selection
 	routing dataflow.Routing
 
-	// cores[pe][vmID] = number of the VM's cores assigned to the PE.
-	cores []map[int]int
-	// queue[pe][vmID] = messages buffered for the PE at the VM.
-	queue []map[int]float64
+	// pes is the flow arena: per-PE struct-of-arrays state (cores, queues,
+	// per-interval arrivals/capacity/share scratch) replacing the old
+	// per-PE maps. See arena.go.
+	pes []peState
 
 	// Monitoring state exposed through View.
 	rateEst   *monitor.RateEstimator
@@ -60,13 +60,29 @@ type Engine struct {
 	profiler *obs.StageProfiler
 	profIdx  []int
 
-	// Cached at NewEngine: the graph's topological order and the sorted
-	// input-PE key list, both loop invariants of every interval.
+	// Cached at NewEngine: the graph's topological order, the sorted
+	// input-PE key list (and its membership mask), and the output-PE list —
+	// loop invariants of every interval.
 	topoOrder []int
 	inputKeys []int
-	// keyBuf is scratch for sorted map-key iteration at sites whose uses
-	// never overlap (queue rehoming and the conservation snapshots).
-	keyBuf []int
+	isInput   []bool
+	outputs   []int
+
+	// Routing-dependent flow topology (rebuilt by rebuildFlowCaches) and the
+	// static level schedule for the sharded flow stage (buildLevels).
+	activeSucc [][]int
+	flowPreds  [][]int
+	levels     [][]int
+
+	// gammaV caches dataflow.RoutedValue, which only changes when the
+	// selection or routing does; gammaDirty forces a recompute.
+	gammaV     float64
+	gammaDirty bool
+
+	// ctx is the reused per-interval stage context; flowPool is the level
+	// sharding pool, non-nil only while a FlowWorkers > 0 run is active.
+	ctx      stepContext
+	flowPool *flowPool
 
 	// Run lifecycle. deployed flips once the scheduler's Deploy phase has
 	// run, so a restored engine resumes without redeploying; sched is the
@@ -111,16 +127,14 @@ func NewEngine(cfg Config) (*Engine, error) {
 		fleet:     cloud.NewFleet(cfg.Menu),
 		sel:       dataflow.DefaultSelection(cfg.Graph),
 		routing:   dataflow.DefaultRouting(cfg.Graph),
-		cores:     make([]map[int]int, n),
-		queue:     make([]map[int]float64, n),
+		pes:       make([]peState, n),
 		lastPEOut: make([]float64, n),
 		lastPEExp: make([]float64, n),
 		lastPEIn:  make([]float64, n),
 		collector: metrics.NewCollector(),
 	}
 	for i := 0; i < n; i++ {
-		e.cores[i] = map[int]int{}
-		e.queue[i] = map[int]float64{}
+		e.pes[i] = newPEState()
 	}
 	order, err := cfg.Graph.TopoOrder()
 	if err != nil {
@@ -128,6 +142,20 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	e.topoOrder = order
 	e.inputKeys = sortedKeys(cfg.Inputs)
+	e.isInput = make([]bool, n)
+	for _, pe := range e.inputKeys {
+		e.isInput[pe] = true
+	}
+	e.outputs = cfg.Graph.Outputs()
+	e.rebuildFlowCaches()
+	e.buildLevels()
+	e.ctx = stepContext{
+		extRate:     make([]float64, n),
+		inRate:      make([]float64, n),
+		expOut:      make([]float64, n),
+		observedOut: make([]float64, n),
+		observedIn:  make([]float64, n),
+	}
 	e.rateEst, _ = monitor.NewRateEstimator(cfg.MonitorAlpha)
 	e.vmMon, _ = monitor.NewVMMonitor(cfg.MonitorAlpha)
 	e.netMon, _ = monitor.NewNetMonitor(cfg.MonitorAlpha)
@@ -199,6 +227,14 @@ func (e *Engine) RunUntil(ctx context.Context, s Scheduler, untilSec int64) erro
 			untilSec, e.cfg.IntervalSec, e.clock, e.cfg.HorizonSec)
 	}
 	e.sched = s
+	if e.cfg.FlowWorkers > 0 && e.flowPool == nil {
+		pool := newFlowPool(e, e.cfg.FlowWorkers)
+		e.flowPool = pool
+		defer func() {
+			pool.close()
+			e.flowPool = nil
+		}()
+	}
 	view := &View{e: e}
 	act := &Actions{e: e}
 	if !e.deployed {
@@ -255,52 +291,6 @@ func (e *Engine) coeff(vmID int, sec int64) float64 {
 	return e.cfg.Perf.CPUCoeff(e.vmTraceID(vmID), sec)
 }
 
-// peCapacity returns the PE's total processing capacity in msg/s at sec,
-// plus the per-VM capacity split.
-func (e *Engine) peCapacity(pe int, sec int64) (total float64, perVM map[int]float64) {
-	alt := e.sel.Alt(e.cfg.Graph, pe)
-	perVM = make(map[int]float64, len(e.cores[pe]))
-	for _, vmID := range sortedKeys(e.cores[pe]) {
-		n := e.cores[pe][vmID]
-		vm, err := e.fleet.Get(vmID)
-		if err != nil || !vm.Active() {
-			continue
-		}
-		speed := float64(n) * vm.Class.CoreSpeed * e.coeff(vmID, sec)
-		cap := speed / alt.Cost
-		perVM[vmID] = cap
-		total += cap
-	}
-	return total, perVM
-}
-
-// peRatedShares returns each hosting VM's share of the PE's *rated*
-// capacity. The load balancer splits messages by rated shares — it has no
-// visibility into instantaneous coefficients — so a degraded VM becomes a
-// straggler whose queue grows, one of the ways infrastructure variability
-// hurts QoS (§1).
-func (e *Engine) peRatedShares(pe int) map[int]float64 {
-	shares := make(map[int]float64, len(e.cores[pe]))
-	total := 0.0
-	for _, vmID := range sortedKeys(e.cores[pe]) {
-		n := e.cores[pe][vmID]
-		vm, err := e.fleet.Get(vmID)
-		if err != nil || !vm.Active() {
-			continue
-		}
-		r := float64(n) * vm.Class.CoreSpeed
-		shares[vmID] = r
-		total += r
-	}
-	if total <= 0 {
-		return nil
-	}
-	for vmID := range shares {
-		shares[vmID] /= total
-	}
-	return shares
-}
-
 // linkMsgCap converts pairwise bandwidth into a message rate cap for an
 // edge whose messages are msgBytes large. Colocated VMs short-circuit.
 func (e *Engine) linkMsgCap(srcVM, dstVM int, msgBytes int, sec int64) float64 {
@@ -325,17 +315,6 @@ func sortedKeys[V any](m map[int]V) []int {
 	return out
 }
 
-// sortedKeysInto is sortedKeys over a reusable buffer, for hot-loop sites
-// whose result never outlives the next call.
-func sortedKeysInto[V any](m map[int]V, buf []int) []int {
-	buf = buf[:0]
-	for k := range m {
-		buf = append(buf, k)
-	}
-	sort.Ints(buf)
-	return buf
-}
-
 // AcquireFailures reports how many AcquireVM attempts hit a transient
 // insufficient-capacity error so far.
 func (e *Engine) AcquireFailures() int { return e.acquireFailures }
@@ -343,105 +322,6 @@ func (e *Engine) AcquireFailures() int { return e.acquireFailures }
 // StaleProbes reports how many monitor probes were dropped by degraded
 // monitoring so far.
 func (e *Engine) StaleProbes() int { return e.staleProbes }
-
-// splitArrival distributes rate across the PE's hosting VMs by rated share
-// (the load balancer of §5 cannot see instantaneous coefficients). With no
-// cores assigned the messages buffer at a virtual unassigned queue (vmID
-// -1) so they are not silently lost.
-func (e *Engine) splitArrival(pe int, rate float64, dst map[int]float64) {
-	shares := e.peRatedShares(pe)
-	if len(shares) == 0 {
-		dst[-1] += rate
-		return
-	}
-	for vmID, s := range shares {
-		dst[vmID] += rate * s
-	}
-}
-
-// outputShares returns each source VM's share of the PE's processed output.
-func (e *Engine) outputShares(pe int, perVMcap map[int]float64, processed float64) map[int]float64 {
-	shares := make(map[int]float64, len(perVMcap))
-	if processed <= 0 {
-		return shares
-	}
-	total := 0.0
-	for _, vmID := range sortedKeys(perVMcap) {
-		total += perVMcap[vmID]
-	}
-	if total <= 0 {
-		return shares
-	}
-	for vmID, c := range perVMcap {
-		shares[vmID] = c / total
-	}
-	return shares
-}
-
-// deliver moves out msg/s from PE src (split across srcShare VMs) to PE dst,
-// splitting across dst's hosting VMs by capacity and capping every
-// cross-VM sub-flow at the pairwise bandwidth. Messages in excess of link
-// capacity are lost in transit (network backpressure shows up as reduced
-// downstream throughput, as in the paper's QoS degradation).
-func (e *Engine) deliver(src, dst int, out float64, msgBytes int, srcShare map[int]float64, sec int64, arrivals map[int]float64) {
-	dstShares := e.peRatedShares(dst)
-	if len(dstShares) == 0 {
-		// No cores downstream: buffer at the unassigned queue.
-		arrivals[-1] += out
-		return
-	}
-	for _, dstVM := range sortedKeys(dstShares) {
-		want := out * dstShares[dstVM]
-		if want <= 0 {
-			continue
-		}
-		if len(srcShare) == 0 {
-			// Source processed nothing yet output > 0 cannot happen, but
-			// stay safe: treat as colocated.
-			arrivals[dstVM] += want
-			continue
-		}
-		for _, srcVM := range sortedKeys(srcShare) {
-			flow := want * srcShare[srcVM]
-			cap := e.linkMsgCap(srcVM, dstVM, msgBytes, sec)
-			if flow > cap {
-				flow = cap
-			}
-			arrivals[dstVM] += flow
-		}
-	}
-}
-
-// migrateQueue moves any buffered messages for pe at fromVM onto the PE's
-// other hosting VMs (proportional to capacity), recording the bytes
-// transferred (§5: network cost paid for the transfer).
-func (e *Engine) migrateQueue(pe, fromVM int) {
-	q := e.queue[pe][fromVM]
-	if q <= 0 {
-		delete(e.queue[pe], fromVM)
-		return
-	}
-	delete(e.queue[pe], fromVM)
-	_, perVM := e.peCapacity(pe, e.clock)
-	total := 0.0
-	for _, vmID := range sortedKeys(perVM) {
-		if vmID != fromVM {
-			total += perVM[vmID]
-		}
-	}
-	if total <= 0 {
-		// Nowhere to go: hold at the unassigned queue.
-		e.queue[pe][-1] += q
-	} else {
-		for _, vmID := range sortedKeys(perVM) {
-			if vmID == fromVM {
-				continue
-			}
-			e.queue[pe][vmID] += q * perVM[vmID] / total
-		}
-	}
-	e.migratedBytes += q * float64(e.cfg.Graph.MsgBytes(pe))
-}
 
 // MigratedBytes reports the cumulative message-buffer bytes moved by core
 // unassignments and VM releases.

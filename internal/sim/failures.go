@@ -91,16 +91,24 @@ func (e *Engine) crashDueVMs(sec int64) error {
 			action = "preempt"
 		}
 		lost := 0.0
-		for pe := range e.cores {
-			if n := e.cores[pe][vm.ID]; n > 0 {
+		for pe := range e.pes {
+			p := &e.pes[pe]
+			s := p.slotOf(vm.ID)
+			if s < 0 {
+				continue
+			}
+			if n := p.cores[s]; n > 0 {
 				if err := e.fleet.UnassignCores(vm.ID, n); err != nil {
 					return fmt.Errorf("sim: crash cleanup: %w", err)
 				}
-				delete(e.cores[pe], vm.ID)
+				p.cores[s] = 0
 			}
-			if q := e.queue[pe][vm.ID]; q > 0 {
+			// A zero-valued queue entry survives the crash (the map engine
+			// only deleted entries with q > 0).
+			if q := p.queue[s]; q > 0 {
 				lost += q
-				delete(e.queue[pe], vm.ID)
+				p.queue[s] = 0
+				p.hasQ[s] = false
 			}
 		}
 		e.lostMessages += lost

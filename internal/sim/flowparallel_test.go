@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/invariant"
+	"dynamicdf/internal/obs"
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/state"
+)
+
+// flowRunOutputs is every consumer-visible byte surface of one finished run:
+// the event trace, the audit log, the per-interval metrics, and the encoded
+// checkpoint. The parallel flow stage claims byte-identity, so identity is
+// asserted on all four, not on a summary.
+type flowRunOutputs struct {
+	trace []byte
+	audit []byte
+	csv   []byte
+	snap  []byte
+}
+
+// runFlowDifferential executes the property-test scenario for one seed with
+// the given worker count and captures every output surface. Odd seeds crash
+// VMs mid-run; all seeds deploy scarce (queues build) and scale up halfway
+// (queues drain), so the run crosses rehome, migration, and multi-VM
+// delivery — the flow paths a parallelism bug would perturb.
+func runFlowDifferential(t *testing.T, seed int64, workers int) flowRunOutputs {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1000 + seed))
+	g := randomPipelineDAG(rng)
+	rate := 1 + rng.Float64()*8
+	profiles := map[int]rates.Profile{}
+	for _, pe := range g.Inputs() {
+		c, err := rates.NewConstant(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles[pe] = c
+	}
+	var traceBuf bytes.Buffer
+	cfg := Config{
+		Graph:       g,
+		Menu:        cloud.MustMenu(cloud.AWS2013Classes()),
+		Inputs:      profiles,
+		HorizonSec:  3600,
+		Seed:        seed,
+		MaxVMs:      256,
+		Audit:       true,
+		Tracer:      obs.NewTracer(&traceBuf),
+		FlowWorkers: workers,
+	}
+	if seed%2 == 1 {
+		cfg.Failures = ExponentialFailures{MTBFSec: 1200, Seed: seed}
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaledUp := false
+	sched := &fixed{
+		deploy: func(v *View, act Control) error {
+			for pe := 0; pe < g.N(); pe++ {
+				id, err := act.AcquireVM("m1.small")
+				if err != nil {
+					return err
+				}
+				if err := act.AssignCores(pe, id, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		adapt: func(v *View, act Control) error {
+			if !scaledUp && v.Now() >= 1800 {
+				scaledUp = true
+				for pe := 0; pe < g.N(); pe++ {
+					id, err := act.AcquireVM("m1.xlarge")
+					if err != nil {
+						return err
+					}
+					if err := act.AssignCores(pe, id, 4); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+	if _, err := e.Run(sched); err != nil {
+		t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+	}
+	if err := cfg.Tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var out flowRunOutputs
+	out.trace = traceBuf.Bytes()
+	var auditBuf bytes.Buffer
+	if err := e.WriteAuditJSONL(&auditBuf); err != nil {
+		t.Fatal(err)
+	}
+	out.audit = auditBuf.Bytes()
+	var csvBuf bytes.Buffer
+	if err := e.Collector().WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	out.csv = csvBuf.Bytes()
+	snap, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.snap, err = state.Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestFlowParallelByteIdentical is the differential battery for the sharded
+// flow stage: across random faulted DAGs, a run at any FlowWorkers setting
+// must produce byte-for-byte the trace, audit log, metrics CSV, and
+// state/v1 checkpoint of the serial engine.
+func TestFlowParallelByteIdentical(t *testing.T) {
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%02d", seed), func(t *testing.T) {
+			serial := runFlowDifferential(t, seed, 0)
+			if len(serial.trace) == 0 || len(serial.audit) == 0 || len(serial.csv) == 0 || len(serial.snap) == 0 {
+				t.Fatal("serial run produced an empty output surface; the differential would be vacuous")
+			}
+			for _, w := range workerCounts {
+				got := runFlowDifferential(t, seed, w)
+				for _, surface := range []struct {
+					name         string
+					want, gotlen []byte
+				}{
+					{"trace", serial.trace, got.trace},
+					{"audit", serial.audit, got.audit},
+					{"csv", serial.csv, got.csv},
+					{"checkpoint", serial.snap, got.snap},
+				} {
+					if !bytes.Equal(surface.want, surface.gotlen) {
+						t.Errorf("workers=%d: %s differs from serial (%d vs %d bytes)",
+							w, surface.name, len(surface.gotlen), len(surface.want))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFlowParallelRaceStress steps a wide multi-level DAG with FlowWorkers=8
+// and every observer attached — strict invariant checker, tracer, profiler —
+// so the race detector sees the parallel flow stage interleaved with all the
+// hook paths that read engine state. The run itself must also stay clean.
+func TestFlowParallelRaceStress(t *testing.T) {
+	cfg := largeDAGConfig(4, 12)
+	cfg.HorizonSec = 30 * 60
+	cfg.FlowWorkers = 8
+	cfg.Checker = invariant.NewStrict()
+	cfg.StageSpans = true
+	var traceBuf bytes.Buffer
+	cfg.Tracer = obs.NewTracer(&traceBuf)
+	cfg.Profiler = obs.NewStageProfiler(nil)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := e.Run(&fixed{deploy: deployLargeDAG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Intervals != 30 {
+		t.Fatalf("ran %d intervals, want 30", sum.Intervals)
+	}
+	if n := e.InvariantViolations(); n != 0 {
+		t.Fatalf("%d invariant violations under parallel flow", n)
+	}
+	if err := cfg.Tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if traceBuf.Len() == 0 {
+		t.Fatal("tracer captured nothing")
+	}
+	if stats := cfg.Profiler.Snapshot(); len(stats) == 0 || stats[0].Count != int64(sum.Intervals) {
+		t.Fatalf("profiler stats inconsistent: %+v", stats)
+	}
+}

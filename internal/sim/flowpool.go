@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flowPool is the bounded worker pool the flow stage shards PEs over when
+// Config.FlowWorkers > 0. RunUntil owns its lifecycle: the workers start
+// when a run begins and exit when it returns, so an idle engine holds no
+// goroutines. Within a run the same workers serve every interval.
+//
+// Safety: workers only run processPE, which touches its own PE's arena row,
+// reads predecessor rows finalized in earlier levels (the WaitGroup barrier
+// between levels publishes them), and writes per-PE cells of the step
+// context — no two workers ever write the same memory.
+type flowPool struct {
+	e      *Engine
+	c      *stepContext
+	level  []int
+	cursor atomic.Int64
+	wg     sync.WaitGroup
+	start  chan struct{}
+	n      int
+}
+
+// newFlowPool starts workers goroutines that wait for level batches.
+func newFlowPool(e *Engine, workers int) *flowPool {
+	fp := &flowPool{e: e, n: workers, start: make(chan struct{})}
+	for i := 0; i < workers; i++ {
+		go fp.worker()
+	}
+	return fp
+}
+
+func (fp *flowPool) worker() {
+	for range fp.start {
+		for {
+			i := int(fp.cursor.Add(1)) - 1
+			if i >= len(fp.level) {
+				break
+			}
+			fp.e.processPE(fp.c, fp.level[i])
+		}
+		fp.wg.Done()
+	}
+}
+
+// run processes one topological level across the pool and blocks until every
+// PE in it finished. The token sends publish the batch to the workers; the
+// WaitGroup wait publishes their writes back — and to the next level.
+func (fp *flowPool) run(c *stepContext, level []int) {
+	fp.c = c
+	fp.level = level
+	fp.cursor.Store(0)
+	fp.wg.Add(fp.n)
+	for i := 0; i < fp.n; i++ {
+		fp.start <- struct{}{}
+	}
+	fp.wg.Wait()
+}
+
+// close terminates the workers. Must not overlap a run call.
+func (fp *flowPool) close() { close(fp.start) }

@@ -51,11 +51,11 @@ func (e *Engine) checkStep(omega, gamma, costUSD, backlog float64) error {
 	st.PreemptEvents = e.preemptEvents
 
 	minQ := 0.0
-	for pe := range e.queue {
+	for pe := range e.pes {
+		p := &e.pes[pe]
 		tot := 0.0
-		e.keyBuf = sortedKeysInto(e.queue[pe], e.keyBuf)
-		for _, vmID := range e.keyBuf {
-			q := e.queue[pe][vmID]
+		for s := range p.queue {
+			q := p.queue[s]
 			tot += q
 			if q < minQ {
 				minQ = q
@@ -77,10 +77,13 @@ func (e *Engine) checkStep(omega, gamma, costUSD, backlog float64) error {
 		})
 	}
 	st.Placements = st.Placements[:0]
-	for pe := range e.cores {
-		for _, vmID := range sortedKeys(e.cores[pe]) {
-			st.Placements = append(st.Placements, invariant.Placement{
-				PE: pe, VM: vmID, Cores: e.cores[pe][vmID]})
+	for pe := range e.pes {
+		p := &e.pes[pe]
+		for s, vmID := range p.vms {
+			if p.cores[s] > 0 {
+				st.Placements = append(st.Placements, invariant.Placement{
+					PE: pe, VM: vmID, Cores: p.cores[s]})
+			}
 		}
 	}
 

@@ -45,18 +45,20 @@ var stepStages = []stepStage{
 	{"check", (*Engine).stageCheck},
 }
 
-// stepContext carries one interval's intermediate values between stages.
+// stepContext carries one interval's intermediate values between stages. The
+// engine owns a single instance whose buffers are reset (not reallocated)
+// every interval, so the steady-state step performs no heap allocation.
 type stepContext struct {
 	sec int64   // clock at the interval's start (the clock advances in billing)
 	dt  float64 // interval length in seconds
 
 	// arrivals.
-	extRate map[int]float64 // external msg/s per input PE
+	extRate []float64 // external msg/s per input PE (valid at input indices)
 	totalIn float64
+	inRate  []float64 // propagation scratch
 	expOut  []float64 // expected (uncapped) output rate per PE
 
 	// flow.
-	arrivals     []map[int]float64 // msg/s arriving per (PE, hosting VM)
 	observedOut  []float64
 	observedIn   []float64
 	totalBacklog float64
@@ -76,17 +78,42 @@ type stepContext struct {
 	gamma       float64
 }
 
+// resetStepContext rewinds the engine's reusable context for a new interval.
+// extRate/expOut/observedOut/observedIn are fully overwritten by their
+// producing stages before any read, so only the accumulators need clearing.
+func (e *Engine) resetStepContext() *stepContext {
+	c := &e.ctx
+	c.sec = e.clock
+	c.dt = float64(e.cfg.IntervalSec)
+	c.totalIn = 0
+	for i := range c.inRate {
+		c.inRate[i] = 0
+	}
+	c.totalBacklog = 0
+	c.latencyAccum = 0
+	c.latencyN = 0
+	c.omega = 0
+	c.totalOut = 0
+	c.costUSD = 0
+	c.active = c.active[:0]
+	c.usedCores = 0
+	c.pendingVMs = 0
+	c.meanLatency = 0
+	c.gamma = 0
+	return c
+}
+
 // step simulates one interval [clock, clock+interval) by running the stage
 // pipeline in order. A stage error aborts the interval (and the run).
 func (e *Engine) step() error {
-	c := stepContext{sec: e.clock, dt: float64(e.cfg.IntervalSec)}
+	c := e.resetStepContext()
 	spans := e.cfg.StageSpans && e.tracer != nil
 	for i, st := range stepStages {
 		if spans {
 			e.trace(obs.Event{Type: obs.EventStage, Phase: obs.PhaseStart, Detail: st.name})
 		}
 		mark := e.profBegin()
-		err := st.run(e, &c)
+		err := st.run(e, c)
 		e.profEnd(i, mark)
 		if spans {
 			e.trace(obs.Event{Type: obs.EventStage, Phase: obs.PhaseEnd, Detail: st.name})
@@ -142,16 +169,20 @@ func (e *Engine) stageProvision(c *stepContext) error {
 
 // stageFaults crashes VMs whose lifetime expired before this interval's
 // flow runs, so the interval executes on the surviving capacity. Mutates:
-// fleet, cores, queues, loss/crash counters, monitors, audit log.
+// fleet, arena cores/queues, loss/crash counters, monitors, audit log.
 func (e *Engine) stageFaults(c *stepContext) error {
 	return e.crashDueVMs(c.sec)
 }
 
 // stageArrivals reads the external arrival rates for this interval and
-// computes the expected (uncapped) propagation for Def. 4's denominator.
-// Mutates: nothing on the engine (pure reads into the context).
+// computes the expected (uncapped) propagation for Def. 4's denominator —
+// PropagateRatesRouted inlined over the cached topological order and
+// active-successor lists into reused buffers (selection and routing are
+// validated wherever they change, so the checks the library routine repeats
+// per call hold by construction; the fold order is identical). Mutates:
+// nothing on the engine (pure reads into the context).
 func (e *Engine) stageArrivals(c *stepContext) error {
-	c.extRate = make(map[int]float64, len(e.cfg.Inputs))
+	g := e.cfg.Graph
 	for _, pe := range e.inputKeys {
 		r := e.cfg.Inputs[pe].Rate(c.sec)
 		if r < 0 {
@@ -160,142 +191,86 @@ func (e *Engine) stageArrivals(c *stepContext) error {
 		c.extRate[pe] = r
 		c.totalIn += r
 	}
-	inRates := dataflow.InputRates{}
-	for pe, r := range c.extRate {
-		inRates[pe] = r
+	for _, pe := range e.inputKeys {
+		c.inRate[pe] = c.extRate[pe]
 	}
-	var err error
-	_, c.expOut, err = dataflow.PropagateRatesRouted(e.cfg.Graph, e.sel, e.routing, inRates)
-	return err
-}
-
-// stageRehome moves messages that buffered while a PE had no cores (virtual
-// VM -1) onto real hosting VMs as soon as capacity exists, then snapshots
-// per-PE queue totals for the conservation law. This point — after crash
-// cleanup and unassigned-queue rehoming, both of which move or destroy
-// messages outside the interval's flow accounting — is where
-// QueueBefore + In·dt = Processed·dt + QueueAfter holds exactly. Mutates:
-// queues, invState.QueueBefore.
-func (e *Engine) stageRehome(c *stepContext) error {
-	g := e.cfg.Graph
-	for pe := 0; pe < g.N(); pe++ {
-		if q := e.queue[pe][-1]; q > 0 {
-			total, perVM := e.peCapacity(pe, c.sec)
-			if total > 0 {
-				delete(e.queue[pe], -1)
-				e.keyBuf = sortedKeysInto(perVM, e.keyBuf)
-				for _, vmID := range e.keyBuf {
-					e.queue[pe][vmID] += q * perVM[vmID] / total
-				}
-			}
-		}
-		if e.invState != nil {
-			tot := 0.0
-			e.keyBuf = sortedKeysInto(e.queue[pe], e.keyBuf)
-			for _, vmID := range e.keyBuf {
-				tot += e.queue[pe][vmID]
-			}
-			e.invState.QueueBefore[pe] = tot
+	for _, v := range e.topoOrder {
+		c.expOut[v] = c.inRate[v] * e.sel.Alt(g, v).Selectivity
+		for _, w := range e.activeSucc[v] {
+			c.inRate[w] += c.expOut[v]
 		}
 	}
 	return nil
 }
 
-// stageFlow runs the fluid-flow computation in topological order: per-VM
-// processing bounded by capacity, backlog drain, queueing-latency
-// accumulation, and delivery to successors capped by pairwise bandwidth —
-// then derives Omega (Def. 4). Mutates: queues, invState.In/Processed.
-func (e *Engine) stageFlow(c *stepContext) error {
-	g := e.cfg.Graph
-	c.arrivals = make([]map[int]float64, g.N())
-	for i := range c.arrivals {
-		c.arrivals[i] = map[int]float64{}
+// stageRehome moves messages that buffered while a PE had no cores (the
+// virtual slot 0, VM -1) onto real hosting VMs as soon as capacity exists,
+// then snapshots per-PE queue totals for the conservation law. This point —
+// after crash cleanup and unassigned-queue rehoming, both of which move or
+// destroy messages outside the interval's flow accounting — is where
+// QueueBefore + In·dt = Processed·dt + QueueAfter holds exactly. Mutates:
+// arena queues, invState.QueueBefore.
+func (e *Engine) stageRehome(c *stepContext) error {
+	n := e.cfg.Graph.N()
+	for pe := 0; pe < n; pe++ {
+		p := &e.pes[pe]
+		if q := p.queue[0]; q > 0 {
+			alt := e.sel.Alt(e.cfg.Graph, pe)
+			total := p.computeCapacity(e, c.sec, alt)
+			if total > 0 {
+				p.queue[0] = 0
+				p.hasQ[0] = false
+				for s := 1; s < len(p.vms); s++ {
+					if p.host[s] {
+						p.queue[s] += q * p.capa[s] / total
+						p.hasQ[s] = true
+					}
+				}
+			}
+		}
+		if e.invState != nil {
+			e.invState.QueueBefore[pe] = p.totalQueue()
+		}
 	}
-	c.observedOut = make([]float64, g.N())
-	c.observedIn = make([]float64, g.N())
+	return nil
+}
 
-	// Seed external arrivals, split across the input PE's VMs.
-	for pe, r := range c.extRate {
-		e.splitArrival(pe, r, c.arrivals[pe])
+// stageFlow runs the fluid-flow computation — per-VM processing bounded by
+// capacity, backlog drain, queueing-latency accumulation, and delivery to
+// successors capped by pairwise bandwidth — then derives Omega (Def. 4).
+//
+// Each PE's computation (processPE) is independent of its level peers: it
+// pulls arrivals from predecessor output finalized in earlier levels rather
+// than pushing to successors, so with FlowWorkers > 0 the PEs of one
+// topological level shard across the pool, level by level. The
+// order-sensitive float folds (latency, backlog, Omega) run serially
+// afterwards in topological order, making parallel runs byte-identical to
+// serial ones. Mutates: arena queues/shares, invState.In/Processed.
+func (e *Engine) stageFlow(c *stepContext) error {
+	if e.flowPool != nil {
+		for _, level := range e.levels {
+			e.flowPool.run(c, level)
+		}
+	} else {
+		for _, pe := range e.topoOrder {
+			e.processPE(c, pe)
+		}
 	}
 
 	for _, pe := range e.topoOrder {
-		alt := e.sel.Alt(g, pe)
-		_, perVMcap := e.peCapacity(pe, c.sec)
-		// Process per hosting VM: arrivals plus backlog drain, bounded by
-		// capacity.
-		processed := 0.0
-		arrivalTotal := 0.0
-		for _, vmID := range sortedKeys(c.arrivals[pe]) {
-			arr := c.arrivals[pe][vmID]
-			arrivalTotal += arr
-			cap := perVMcap[vmID]
-			q := e.queue[pe][vmID]
-			avail := arr + q/c.dt
-			p := avail
-			if p > cap {
-				p = cap
-			}
-			newQ := q + (arr-p)*c.dt
-			if newQ < 1e-9 {
-				newQ = 0
-			}
-			e.queue[pe][vmID] = newQ
-			processed += p
-			if cap > 0 {
-				c.latencyAccum += newQ / cap
-				c.latencyN++
-			}
+		p := &e.pes[pe]
+		for _, t := range p.latTerms {
+			c.latencyAccum += t
 		}
-		// Backlog on VMs with no arrivals this interval still drains.
-		for _, vmID := range sortedKeys(e.queue[pe]) {
-			q := e.queue[pe][vmID]
-			if _, seen := c.arrivals[pe][vmID]; seen || q == 0 {
-				continue
-			}
-			cap := perVMcap[vmID]
-			p := q / c.dt
-			if p > cap {
-				p = cap
-			}
-			newQ := q - p*c.dt
-			if newQ < 1e-9 {
-				newQ = 0
-			}
-			e.queue[pe][vmID] = newQ
-			processed += p
-			if cap > 0 {
-				c.latencyAccum += newQ / cap
-				c.latencyN++
-			}
-		}
-		c.observedIn[pe] = arrivalTotal
-		out := processed * alt.Selectivity
-		c.observedOut[pe] = out
-		if e.invState != nil {
-			e.invState.In[pe] = arrivalTotal
-			e.invState.Processed[pe] = processed
-		}
-
-		// Deliver to successors: duplicate the full output onto each
-		// outgoing edge (and-split), splitting across destination VMs by
-		// capacity and capping each VM-pair sub-flow by bandwidth.
-		if out > 0 {
-			msgBytes := g.MsgBytes(pe)
-			srcShare := e.outputShares(pe, perVMcap, processed)
-			for _, succ := range g.ActiveSuccessors(pe, e.routing) {
-				e.deliver(pe, succ, out, msgBytes, srcShare, c.sec, c.arrivals[succ])
-			}
-		}
-		for _, vmID := range sortedKeys(e.queue[pe]) {
-			c.totalBacklog += e.queue[pe][vmID]
+		c.latencyN += len(p.latTerms)
+		for s := range p.queue {
+			c.totalBacklog += p.queue[s]
 		}
 	}
 
 	// Relative application throughput (Def. 4): mean over output PEs of
 	// observed/expected, clamped to [0, 1].
-	outs := g.Outputs()
-	for _, pe := range outs {
+	for _, pe := range e.outputs {
 		exp := c.expOut[pe]
 		if exp <= 0 {
 			c.omega += 1
@@ -307,11 +282,165 @@ func (e *Engine) stageFlow(c *stepContext) error {
 		}
 		c.omega += r
 	}
-	c.omega /= float64(len(outs))
-	for _, pe := range outs {
+	c.omega /= float64(len(e.outputs))
+	for _, pe := range e.outputs {
 		c.totalOut += c.observedOut[pe]
 	}
 	return nil
+}
+
+// processPE runs one PE's slice of the flow stage: gather this interval's
+// arrivals (external feed, then each active predecessor's delivery — the
+// same accumulation sequence the push-based engine produced), process
+// per-VM bounded by capacity, drain backlog, and publish the output split
+// for successors. Writes only this PE's arena row and per-PE cells of the
+// context, so level peers can run it concurrently.
+func (e *Engine) processPE(c *stepContext, pe int) {
+	g := e.cfg.Graph
+	p := &e.pes[pe]
+	alt := e.sel.Alt(g, pe)
+	ratedTotal := p.computeRatedShares(e)
+	nslots := len(p.vms)
+
+	for s := 0; s < nslots; s++ {
+		p.arr[s] = 0
+		p.hasArr[s] = false
+	}
+	if e.isInput[pe] {
+		// External arrivals split across hosting VMs by rated share; with no
+		// capacity they buffer at the virtual unassigned slot (not lost).
+		rate := c.extRate[pe]
+		if ratedTotal <= 0 {
+			p.arr[0] += rate
+			p.hasArr[0] = true
+		} else {
+			for s := 1; s < nslots; s++ {
+				if sh := p.rshare[s]; sh > 0 {
+					p.arr[s] += rate * sh
+					p.hasArr[s] = true
+				}
+			}
+		}
+	}
+	for _, u := range e.flowPreds[pe] {
+		out := c.observedOut[u]
+		if out <= 0 {
+			continue
+		}
+		if ratedTotal <= 0 {
+			// No cores downstream: buffer at the unassigned queue.
+			p.arr[0] += out
+			p.hasArr[0] = true
+			continue
+		}
+		src := &e.pes[u]
+		msgBytes := g.MsgBytes(u)
+		for t := 1; t < nslots; t++ {
+			sh := p.rshare[t]
+			if sh <= 0 {
+				continue
+			}
+			want := out * sh
+			if want <= 0 {
+				continue
+			}
+			p.hasArr[t] = true
+			if src.srcEmpty {
+				// Source processed nothing yet output > 0 cannot happen, but
+				// stay safe: treat as colocated.
+				p.arr[t] += want
+				continue
+			}
+			dstVM := p.vms[t]
+			for s := 0; s < len(src.vms); s++ {
+				if !src.host[s] {
+					continue
+				}
+				flow := want * src.oshare[s]
+				if lcap := e.linkMsgCap(src.vms[s], dstVM, msgBytes, c.sec); flow > lcap {
+					flow = lcap
+				}
+				p.arr[t] += flow
+			}
+		}
+	}
+
+	p.computeCapacity(e, c.sec, alt)
+	// Process per hosting VM: arrivals plus backlog drain, bounded by
+	// capacity; then backlog on VMs with no arrivals this interval.
+	processed := 0.0
+	arrivalTotal := 0.0
+	p.latTerms = p.latTerms[:0]
+	for s := 0; s < nslots; s++ {
+		if !p.hasArr[s] {
+			continue
+		}
+		arr := p.arr[s]
+		arrivalTotal += arr
+		vcap := p.capa[s]
+		q := p.queue[s]
+		pr := arr + q/c.dt
+		if pr > vcap {
+			pr = vcap
+		}
+		newQ := q + (arr-pr)*c.dt
+		if newQ < 1e-9 {
+			newQ = 0
+		}
+		p.queue[s] = newQ
+		p.hasQ[s] = true
+		processed += pr
+		if vcap > 0 {
+			p.latTerms = append(p.latTerms, newQ/vcap)
+		}
+	}
+	for s := 0; s < nslots; s++ {
+		q := p.queue[s]
+		if p.hasArr[s] || q == 0 {
+			continue
+		}
+		vcap := p.capa[s]
+		pr := q / c.dt
+		if pr > vcap {
+			pr = vcap
+		}
+		newQ := q - pr*c.dt
+		if newQ < 1e-9 {
+			newQ = 0
+		}
+		p.queue[s] = newQ
+		processed += pr
+		if vcap > 0 {
+			p.latTerms = append(p.latTerms, newQ/vcap)
+		}
+	}
+	c.observedIn[pe] = arrivalTotal
+	out := processed * alt.Selectivity
+	c.observedOut[pe] = out
+	if e.invState != nil {
+		e.invState.In[pe] = arrivalTotal
+		e.invState.Processed[pe] = processed
+	}
+
+	// Publish the output split (each source VM's share of processed output,
+	// by instantaneous capacity) for the successors' gather.
+	p.srcEmpty = true
+	if out > 0 {
+		total := 0.0
+		for s := 0; s < nslots; s++ {
+			if p.host[s] {
+				total += p.capa[s]
+			}
+		}
+		if total > 0 {
+			for s := 0; s < nslots; s++ {
+				if p.host[s] {
+					p.oshare[s] = p.capa[s] / total
+				}
+			}
+			p.srcEmpty = false
+		}
+	}
 }
 
 // stageBilling advances the clock past the interval so the elapsed time is
@@ -320,7 +449,7 @@ func (e *Engine) stageFlow(c *stepContext) error {
 func (e *Engine) stageBilling(c *stepContext) error {
 	e.clock += e.cfg.IntervalSec
 	c.costUSD = e.fleet.TotalCost(e.clock)
-	c.active = e.fleet.Active()
+	c.active = e.fleet.ActiveInto(c.active)
 	c.pendingVMs = e.fleet.PendingCount()
 	for _, vm := range c.active {
 		c.usedCores += vm.UsedCores
@@ -339,12 +468,12 @@ func (e *Engine) stageBilling(c *stepContext) error {
 // collector.
 func (e *Engine) stageObserve(c *stepContext) error {
 	cf := e.cfg.ControlFaults
-	for pe, r := range c.extRate {
+	for _, pe := range e.inputKeys {
 		if cf.probeStale(drawStaleRate, uint64(pe), e.clock) {
 			e.staleProbes++
 			continue
 		}
-		e.rateEst.Observe(pe, r*cf.probeNoise(drawNoiseRate, uint64(pe), e.clock))
+		e.rateEst.Observe(pe, c.extRate[pe]*cf.probeNoise(drawNoiseRate, uint64(pe), e.clock))
 	}
 	for _, vm := range c.active {
 		if cf.probeStale(drawStaleCPU, uint64(vm.ID), e.clock) {
@@ -380,11 +509,17 @@ func (e *Engine) stageObserve(c *stepContext) error {
 		c.meanLatency = c.latencyAccum / float64(c.latencyN)
 	}
 	e.lastLatency = c.meanLatency
-	var err error
-	c.gamma, err = dataflow.RoutedValue(e.cfg.Graph, e.sel, e.routing)
-	if err != nil {
-		return err
+	// The application value only changes when the selection or routing does;
+	// recompute lazily instead of re-walking the graph every interval.
+	if e.gammaDirty {
+		gv, err := dataflow.RoutedValue(e.cfg.Graph, e.sel, e.routing)
+		if err != nil {
+			return err
+		}
+		e.gammaV = gv
+		e.gammaDirty = false
 	}
+	c.gamma = e.gammaV
 	if e.gauges != nil {
 		e.gauges.Omega.Set(c.omega)
 		e.gauges.Gamma.Set(c.gamma)

@@ -141,17 +141,17 @@ type Assignment struct {
 // Assignments returns the PE's current core allocation, in VM id order.
 func (v *View) Assignments(pe int) []Assignment {
 	var out []Assignment
-	for vmID := 0; ; vmID++ {
-		vm, err := v.e.fleet.Get(vmID)
-		if err != nil {
-			break
-		}
-		if !vm.Active() {
+	p := &v.e.pes[pe]
+	for s, vmID := range p.vms {
+		n := p.cores[s]
+		if n <= 0 {
 			continue
 		}
-		if n := v.e.cores[pe][vmID]; n > 0 {
-			out = append(out, Assignment{VMID: vmID, Cores: n})
+		vm, err := v.e.fleet.Get(vmID)
+		if err != nil || !vm.Active() {
+			continue
 		}
+		out = append(out, Assignment{VMID: vmID, Cores: n})
 	}
 	return out
 }
@@ -159,7 +159,7 @@ func (v *View) Assignments(pe int) []Assignment {
 // AssignedCores returns the PE's total core count.
 func (v *View) AssignedCores(pe int) int {
 	total := 0
-	for _, n := range v.e.cores[pe] {
+	for _, n := range v.e.pes[pe].cores {
 		total += n
 	}
 	return total
@@ -171,7 +171,12 @@ func (v *View) AssignedCores(pe int) int {
 func (v *View) MonitoredCapacity(pe int) float64 {
 	alt := v.e.sel.Alt(v.e.cfg.Graph, pe)
 	total := 0.0
-	for vmID, n := range v.e.cores[pe] {
+	p := &v.e.pes[pe]
+	for s, vmID := range p.vms {
+		n := p.cores[s]
+		if n <= 0 {
+			continue
+		}
 		vm, err := v.e.fleet.Get(vmID)
 		if err != nil || !vm.Active() {
 			continue
@@ -239,11 +244,7 @@ func (v *View) ObservedArrivalRate(pe int) float64 {
 
 // Backlog returns the messages queued for the PE across all VMs.
 func (v *View) Backlog(pe int) float64 {
-	total := 0.0
-	for _, q := range v.e.queue[pe] {
-		total += q
-	}
-	return total
+	return v.e.pes[pe].totalQueue()
 }
 
 // Bandwidth returns the monitored bandwidth (Mbps) between two VMs, falling

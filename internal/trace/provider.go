@@ -132,11 +132,14 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-func (p *Replayed) pick(id int64, pool []*Series) *Window {
+// pickAt maps the id to its (trace, window offset) pair and reads the window
+// at time sec, without materializing a Window value — the replay path sits on
+// the simulator's per-interval probe loops, which must not allocate.
+func (p *Replayed) pickAt(id int64, pool []*Series, sec int64) float64 {
 	h := splitmix64(uint64(id) ^ uint64(p.seed)*0x9e3779b97f4a7c15)
 	s := pool[int(h%uint64(len(pool)))]
 	offset := int64((h >> 20) % uint64(s.Duration()))
-	return s.Window(offset)
+	return s.At(sec + offset)
 }
 
 func pairID(a, b int64) int64 {
@@ -148,19 +151,19 @@ func pairID(a, b int64) int64 {
 
 // CPUCoeff implements Provider.
 func (p *Replayed) CPUCoeff(vmTraceID int64, sec int64) float64 {
-	return p.pick(vmTraceID, p.cpu).At(sec)
+	return p.pickAt(vmTraceID, p.cpu, sec)
 }
 
 // LatencySec implements Provider. Colocation shortcuts (lambda -> 0 for PEs
 // on the same VM) are the simulator's job; the provider always reports the
 // network path.
 func (p *Replayed) LatencySec(a, b int64, sec int64) float64 {
-	return p.pick(pairID(a, b), p.lat).At(sec)
+	return p.pickAt(pairID(a, b), p.lat, sec)
 }
 
 // BandwidthMbps implements Provider.
 func (p *Replayed) BandwidthMbps(a, b int64, sec int64) float64 {
-	return p.pick(pairID(a, b), p.bw).At(sec)
+	return p.pickAt(pairID(a, b), p.bw, sec)
 }
 
 // Scaled wraps a Provider and scales its CPU coefficient, for ablations
