@@ -7,11 +7,14 @@
 # incl. /metrics and the prefix fork count, then repeat it through a fabric
 # coordinator with one worker and assert CSV byte-equality, shut down), a
 # dftrace smoke over the golden fixture, a checkpoint/restore
-# byte-determinism smoke, the dfcalib calibration loopback (parameter
-# recovery + digital-twin validation), the invariant-conservation,
-# snapshot-decoder and Prometheus-importer fuzz passes, the zero-alloc
-# guarantees for the disabled-tracer, disabled-checker, and detached
-# stage-profiler hot paths plus the steady-state large-DAG step itself, an
+# byte-determinism smoke, a single-tenant golden diff against the committed
+# pre-refactor fixture (the multi-tenant refactor must stay byte-invisible
+# to single-tenant runs), a multi-tenant example smoke, the dfcalib
+# calibration loopback (parameter recovery + digital-twin validation), the
+# invariant-conservation, snapshot-decoder and Prometheus-importer fuzz
+# passes, the zero-alloc guarantees for the disabled-tracer,
+# disabled-checker, and detached stage-profiler hot paths plus the
+# steady-state large-DAG and 8-tenant steps themselves, an
 # attached-profiler overhead-ratio guard, and an engine-step benchmark
 # snapshot written to BENCH_step.json. The flow-stage differential battery
 # (TestFlowParallelByteIdentical) and the parallel-flow race stress test
@@ -65,6 +68,29 @@ tail -n "$(wc -l < "$ckpt/warm.ndjson")" "$ckpt/cold.ndjson" | cmp - "$ckpt/warm
 }
 rm -rf "$ckpt"
 
+# Single-tenant golden diff: a restore from the committed pre-refactor
+# state/v1 snapshot must reproduce the committed CSV, audit log, and trace
+# byte-for-byte — the tenant dimension added to the engine must be
+# invisible to single-tenant runs.
+gold=testdata/prerefactor
+gtmp=$(mktemp -d)
+go run ./cmd/dfsim -config "$gold/scenario.json" -restore "$gold/snap.json" \
+    -csv "$gtmp/warm.csv" -audit "$gtmp/warm.jsonl" -trace "$gtmp/warm.ndjson" > /dev/null
+for f in warm.csv warm.jsonl warm.ndjson; do
+    cmp "$gold/$f" "$gtmp/$f" || { echo "single-tenant output diverged from pre-refactor golden $f" >&2; exit 1; }
+done
+rm -rf "$gtmp"
+
+# Multi-tenant smoke: three tenants (one session-driven) on one fleet with
+# fair-share arbitration must build, run, and keep every Ω floor.
+mt=$(go run ./examples/multitenant)
+echo "$mt"
+if echo "$mt" | grep -q 'MISSED'; then
+    echo "multitenant example missed an omega floor" >&2
+    exit 1
+fi
+echo "$mt" | grep -q 'fair-share rulings' || { echo "multitenant example reported no arbitration line" >&2; exit 1; }
+
 # Conservation fuzzing: arbitrary scenario JSON through parse/build/run
 # with the strict invariant checker; any violated law is a crasher.
 go test ./internal/invariant -run '^$' -fuzz 'FuzzCheckerConservation' -fuzztime 10s
@@ -108,6 +134,15 @@ bench=$(go test ./internal/sim -run '^$' -bench 'BenchmarkEngineStepLargeDAG/ste
 echo "$bench"
 echo "$bench" | grep -q ' 0 allocs/op' || {
     echo "steady-state engine step allocates on the large-DAG hot path" >&2
+    exit 1
+}
+
+# The same 0-alloc guarantee must hold with the tenant dimension hot:
+# 8 tenants x 125 PEs with per-tenant Ω/Γ/spend folds every interval.
+bench=$(go test ./internal/sim -run '^$' -bench 'BenchmarkEngineStepMultiTenant' -benchtime 100x -benchmem)
+echo "$bench"
+echo "$bench" | grep -q ' 0 allocs/op' || {
+    echo "multi-tenant engine step allocates on the hot path" >&2
     exit 1
 }
 

@@ -204,6 +204,20 @@ func main() {
 		}
 		fmt.Printf("latency bound %.0fs: %s (mean %.1fs)\n", obj.LatencyHatSec, latMet, sum.MeanLatencySec)
 	}
+	for i, ts := range sum.Tenants {
+		to := obj
+		if i < len(built.TenantObjectives) {
+			to = built.TenantObjectives[i]
+		}
+		tenMet := "MET"
+		if !to.MeetsConstraint(ts.MeanOmega) {
+			tenMet = "MISSED"
+		}
+		floor := built.Config.Tenants[i].OmegaFloor
+		fmt.Printf("tenant %-16s omega=%.3f [min %.3f] floor %.2f: %s; gamma=%.3f spend=$%.2f theta=%+.4f\n",
+			ts.Name, ts.MeanOmega, ts.MinOmega, floor, tenMet,
+			ts.MeanGamma, ts.SpendUSD, to.Theta(ts.MeanGamma, ts.SpendUSD))
+	}
 	if built.Engine.Crashes() > 0 {
 		fmt.Printf("crashes: %d (%d preemptions), lost messages: %.0f\n",
 			built.Engine.Crashes(), built.Engine.Preemptions(), built.Engine.LostMessages())

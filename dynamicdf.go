@@ -59,6 +59,7 @@ import (
 	"dynamicdf/internal/sweep"
 	"dynamicdf/internal/sweep/fabric"
 	"dynamicdf/internal/trace"
+	"dynamicdf/internal/workload"
 )
 
 // Dataflow model (paper §3).
@@ -374,6 +375,64 @@ func PaperSigma(g *Graph, dataRate, hours float64) (Objective, error) {
 // SigmaFromExpectations derives sigma from user-acceptable costs (§6).
 func SigmaFromExpectations(g *Graph, costAtMaxUSD, costAtMinUSD float64) (float64, error) {
 	return core.SigmaFromExpectations(g, costAtMaxUSD, costAtMinUSD)
+}
+
+// Multi-tenant fleets: several dataflows, each with its own graph, rate,
+// Ω floor and priority, share one VM fleet; a per-tenant policy stack is
+// arbitrated by a fairness layer that defends Ω floors under scarcity.
+type (
+	// Tenant declares one dataflow's slice of a multi-tenant run: its PE
+	// and choice-group ranges in the composite graph, its Ω floor, and its
+	// arbitration priority (see Config.Tenants).
+	Tenant = sim.Tenant
+	// TenantSummary is one tenant's slice of a run Summary.
+	TenantSummary = metrics.TenantSummary
+	// MultiTenantPolicy runs one inner policy per tenant over the shared
+	// fleet, arbitrating scale-up contention.
+	MultiTenantPolicy = core.MultiTenant
+	// FairShareArbiter is the fairness policy governing scale-up under
+	// scarcity: Ω floors first, priority second.
+	FairShareArbiter = core.Arbiter
+	// AcquisitionDenied is the typed error a tenant's AcquireVM returns
+	// when the arbiter rules against it (test with errors.As).
+	AcquisitionDenied = core.DeniedError
+	// ScenarioTenantSpec declares one tenant in the scenario schema's
+	// tenants block.
+	ScenarioTenantSpec = scenario.TenantSpec
+)
+
+// NewMultiTenantPolicy builds the multi-tenant policy: inner[i] drives
+// tenant i of the run's Config.Tenants.
+func NewMultiTenantPolicy(inner []Scheduler, arb FairShareArbiter) (*MultiTenantPolicy, error) {
+	return core.NewMultiTenant(inner, arb)
+}
+
+// Session-based workload library (internal/workload): open/closed session
+// populations with MMPP bursts, diurnal cycles and flash crowds, usable
+// anywhere a rate Profile is (and as scenario rate kind "sessions").
+type (
+	// WorkloadSpec parameterizes a session generator.
+	WorkloadSpec = workload.Spec
+	// SessionsProfile is the session-population rate profile.
+	SessionsProfile = workload.Sessions
+	// WorkloadModel selects how sessions enter: OpenSessions arrive from an
+	// unbounded population, ClosedSessions cycle a fixed one.
+	WorkloadModel = workload.Model
+)
+
+// Session-population models.
+const (
+	OpenSessions   = workload.Open
+	ClosedSessions = workload.Closed
+)
+
+// NewSessions validates a workload spec and returns its profile.
+func NewSessions(spec WorkloadSpec) (*SessionsProfile, error) { return workload.New(spec) }
+
+// FanProfile splits one profile across k input PEs by weight (uniform when
+// weights is nil), preserving the total rate.
+func FanProfile(p Profile, weights []float64, k int) ([]Profile, error) {
+	return workload.Fan(p, weights, k)
 }
 
 // Experiments (paper §8).

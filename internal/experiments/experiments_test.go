@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -60,7 +61,7 @@ func TestRunDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Summary != b.Summary || a.Theta != b.Theta {
+	if !reflect.DeepEqual(a.Summary, b.Summary) || a.Theta != b.Theta {
 		t.Fatalf("nondeterministic: %+v vs %+v", a.Summary, b.Summary)
 	}
 }

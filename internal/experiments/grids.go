@@ -147,11 +147,82 @@ func GridFaults(c Config, replicas int) (*sweep.Spec, error) {
 	}, nil
 }
 
+// fairTenants builds the fairness grid's two-tenant block: "front" (the
+// user-facing dataflow, optionally prioritized) and "batch" (a throughput
+// workload at the same rate). Ω floors are left zero so each tenant's floor
+// follows its objective OmegaHat — which the grid's floor axis sweeps via
+// the scenario-level override.
+func fairTenants(frontPriority int) []scenario.TenantSpec {
+	gs, _ := scenario.FromGraph(dataflow.NewBuilder().
+		AddPE("src", dataflow.Alt("e", 1, 0.2, 1)).
+		AddPE("work",
+			dataflow.Alt("full", 1, 1.0, 1),
+			dataflow.Alt("lite", 0.8, 0.5, 1)).
+		Connect("src", "work").
+		MustBuild())
+	return []scenario.TenantSpec{
+		{Name: "front", Graph: gs, Rate: scenario.RateSpec{Kind: "constant", Mean: 8}, Priority: frontPriority},
+		{Name: "batch", Graph: gs, Rate: scenario.RateSpec{Kind: "constant", Mean: 8}},
+	}
+}
+
+// GridFairness probes the multi-tenant arbiter: priority (flat vs tiered)
+// x Ω floor (lax vs strict, via the scenario-level OmegaHat override every
+// tenant's floor defaults to) x fleet scarcity (ample vs scarce MaxVMs).
+// Merge patches replace arrays wholesale (RFC 7386), so the priority axis
+// carries the complete tenants array; the other axes stay scalar.
+func GridFairness(c Config, replicas int) (*sweep.Spec, error) {
+	base := scenario.Scenario{
+		Tenants:      fairTenants(0),
+		Infra:        scenario.InfraSpec{Kind: "ideal"},
+		HorizonHours: float64(c.HorizonSec) / 3600,
+		IntervalSec:  c.IntervalSec,
+		Seed:         c.Seed,
+		MaxVMs:       12,
+		Check:        &scenario.CheckSpec{Enabled: true, Strict: true},
+	}
+	baseDoc, err := json.Marshal(&base)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fairness base: %w", err)
+	}
+	priorityPatch := func(p int) (json.RawMessage, error) {
+		return json.Marshal(map[string][]scenario.TenantSpec{"tenants": fairTenants(p)})
+	}
+	flat, err := priorityPatch(0)
+	if err != nil {
+		return nil, err
+	}
+	tiered, err := priorityPatch(2)
+	if err != nil {
+		return nil, err
+	}
+	return &sweep.Spec{
+		Name: "fairness-arbitration",
+		Base: baseDoc,
+		Axes: []sweep.Axis{
+			{Name: "priority", Values: []sweep.AxisValue{
+				{Label: "flat", Patch: flat},
+				{Label: "tiered", Patch: tiered},
+			}},
+			{Name: "floor", Values: []sweep.AxisValue{
+				{Label: "lax", Patch: patch(`{"omegaHat": 0.6}`)},
+				{Label: "strict", Patch: patch(`{"omegaHat": 0.85}`)},
+			}},
+			{Name: "fleet", Values: []sweep.AxisValue{
+				{Label: "ample", Patch: patch(`{"maxVMs": 12}`)},
+				{Label: "scarce", Patch: patch(`{"maxVMs": 5}`)},
+			}},
+		},
+		Seeds: seedLadder(c.Seed, replicas),
+	}, nil
+}
+
 // namedGrids maps the -sweep names to their builders.
 var namedGrids = map[string]func(Config, int) (*sweep.Spec, error){
-	"fig5":   GridFig5,
-	"fig67":  GridAdaptive,
-	"faults": GridFaults,
+	"fig5":     GridFig5,
+	"fig67":    GridAdaptive,
+	"faults":   GridFaults,
+	"fairness": GridFairness,
 }
 
 // GridNames lists the named grids, sorted.

@@ -92,3 +92,32 @@ func TestGridFaultsRuns(t *testing.T) {
 		t.Fatalf("report = %+v", rep)
 	}
 }
+
+// TestGridFairnessRuns executes the scarce/tiered corner of the fairness
+// grid: tenants survive the merge-patch path, and per-tenant results come
+// back through the sweep engine.
+func TestGridFairnessRuns(t *testing.T) {
+	c := gridConfig()
+	spec, err := GridFairness(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep only (tiered, strict, scarce) — the cell where arbitration bites.
+	spec.Axes[0].Values = spec.Axes[0].Values[1:2]
+	spec.Axes[1].Values = spec.Axes[1].Values[1:2]
+	spec.Axes[2].Values = spec.Axes[2].Values[1:2]
+	rep, err := (&sweep.Engine{Workers: 1}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Total != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	res := rep.Results[0]
+	if len(res.Tenants) != 2 || res.Tenants[0].Name != "front" || res.Tenants[1].Name != "batch" {
+		t.Fatalf("tenants = %+v", res.Tenants)
+	}
+	if len(rep.Rows) != 1 || len(rep.Rows[0].Tenants) != 2 {
+		t.Fatalf("aggregate rows = %+v", rep.Rows)
+	}
+}

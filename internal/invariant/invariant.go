@@ -77,6 +77,10 @@ type State struct {
 	// (PE, VM, cores>0) assignment cell.
 	VMs        []VMState
 	Placements []Placement
+
+	// TenantOmega is each tenant's interval Ω in a multi-tenant run (nil
+	// otherwise). Each entry obeys the same [0, 1] bound as Omega.
+	TenantOmega []float64
 }
 
 // VMState is the billing- and capacity-relevant view of one VM.

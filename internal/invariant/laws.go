@@ -147,6 +147,11 @@ func checkBounds(st *State, eps float64) string {
 				st.Gamma, st.GammaMin, st.GammaMax)
 		}
 	}
+	for i, o := range st.TenantOmega {
+		if o < -eps || o > 1+eps {
+			return fmt.Sprintf("tenant %d omega %v outside [0,1]", i, o)
+		}
+	}
 	return ""
 }
 

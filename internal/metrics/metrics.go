@@ -36,6 +36,13 @@ type Point struct {
 type Collector struct {
 	mu     sync.Mutex
 	points []Point
+	// Multi-tenant runs declare a tenant dimension with SetTenants and
+	// append one flattened row per interval with AddTenant (stride
+	// len(tenants), row-major). All nil/empty for single-tenant runs.
+	tenants []string
+	tOmega  []float64
+	tGamma  []float64
+	tSpend  []float64
 }
 
 // NewCollector returns an empty collector.
@@ -62,6 +69,11 @@ func (c *Collector) Reserve(n int) {
 		grown := make([]Point, len(c.points), len(c.points)+n)
 		copy(grown, c.points)
 		c.points = grown
+	}
+	if t := len(c.tenants); t > 0 {
+		c.tOmega = reserveFloats(c.tOmega, n*t)
+		c.tGamma = reserveFloats(c.tGamma, n*t)
+		c.tSpend = reserveFloats(c.tSpend, n*t)
 	}
 }
 
@@ -101,6 +113,9 @@ type Summary struct {
 	// MeanUsedCores averages the cores actually assigned to PEs — the
 	// utilization quantity sweep aggregation reports alongside cost.
 	MeanUsedCores float64
+	// Tenants carries the per-tenant reductions of a multi-tenant run, in
+	// SetTenants order; nil for single-tenant runs.
+	Tenants []TenantSummary
 }
 
 // Summarize reduces the collected points.
@@ -135,6 +150,7 @@ func (c *Collector) Summarize() Summary {
 	s.MeanBacklog /= n
 	s.MeanUsedCores /= n
 	s.TotalCostUSD = c.points[len(c.points)-1].CostUSD
+	s.Tenants = c.summarizeTenantsLocked()
 	return s
 }
 
@@ -220,17 +236,28 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 	defer c.mu.Unlock()
 	cw := csv.NewWriter(w)
 	header := []string{"sec", "omega", "gamma", "cost_usd", "vms", "cores", "in_rate", "out_rate", "backlog", "latency_sec", "pending_vms"}
+	// Multi-tenant runs append per-tenant columns after the fixed set;
+	// single-tenant output keeps the exact historical header and rows.
+	nt := len(c.tenants)
+	for _, name := range c.tenants {
+		header = append(header, "omega_"+name, "gamma_"+name, "spend_usd_"+name)
+	}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	for _, p := range c.points {
+	for i, p := range c.points {
 		rec := []string{
 			strconv.FormatInt(p.Sec, 10),
 			f(p.Omega), f(p.Gamma), f(p.CostUSD),
 			strconv.Itoa(p.ActiveVMs), strconv.Itoa(p.UsedCores),
 			f(p.InputRate), f(p.OutputRate), f(p.Backlog), f(p.LatencySec),
 			strconv.Itoa(p.PendingVMs),
+		}
+		if nt > 0 && (i+1)*nt <= len(c.tOmega) {
+			for t := 0; t < nt; t++ {
+				rec = append(rec, f(c.tOmega[i*nt+t]), f(c.tGamma[i*nt+t]), f(c.tSpend[i*nt+t]))
+			}
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

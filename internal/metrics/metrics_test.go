@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -67,7 +68,7 @@ func TestSummarizeEmpty(t *testing.T) {
 	// mean well-defined (no 0/0 NaNs), MinOmega 0 rather than +Inf, so the
 	// invariant checker and aggregation can assert on empty runs.
 	s := NewCollector().Summarize()
-	if s != (Summary{}) {
+	if !reflect.DeepEqual(s, Summary{}) {
 		t.Fatalf("empty summary = %+v, want zero value", s)
 	}
 	if math.IsNaN(s.MeanOmega) || math.IsInf(s.MinOmega, 0) {

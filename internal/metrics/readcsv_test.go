@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -36,7 +37,7 @@ func TestReadCSVRoundTrip(t *testing.T) {
 		}
 	}
 	// Summarizing imported points matches summarizing the live collector.
-	if SummarizePoints(got) != c.Summarize() {
+	if !reflect.DeepEqual(SummarizePoints(got), c.Summarize()) {
 		t.Fatal("summaries diverge between imported and live points")
 	}
 }

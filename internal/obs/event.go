@@ -85,6 +85,9 @@ type Decision struct {
 	Kind string `json:"kind"`
 	// PE is the processing element the decision concerns (-1 when none).
 	PE int `json:"pe,omitempty"`
+	// Tenant names the dataflow the decision concerns; empty outside
+	// multi-tenant runs, so single-tenant streams keep their byte encoding.
+	Tenant string `json:"tenant,omitempty"`
 	// Chosen names the action taken ("acquire m1.large", "unassign-core
 	// vm-3", ...); empty when the decision concluded with no action.
 	Chosen string `json:"chosen,omitempty"`
@@ -114,6 +117,9 @@ type DecisionOption struct {
 // String renders the decision as one deterministic clause.
 func (d Decision) String() string {
 	s := d.Kind
+	if d.Tenant != "" {
+		s += "@" + d.Tenant
+	}
 	if d.Chosen != "" {
 		s += " -> " + d.Chosen
 	}
@@ -161,6 +167,9 @@ type Event struct {
 	Trace  string `json:"trace,omitempty"`
 	Span   string `json:"span,omitempty"`
 	Worker string `json:"worker,omitempty"`
+	// Tenant names the dataflow the event concerns in multi-tenant runs;
+	// empty otherwise, so single-tenant streams keep their byte encoding.
+	Tenant string `json:"tenant,omitempty"`
 	// Decision is the structured provenance payload of EventDecision events.
 	Decision *Decision `json:"decision,omitempty"`
 }
@@ -187,6 +196,9 @@ func (e Event) String() string {
 	}
 	if e.Value != 0 {
 		s += fmt.Sprintf(" value=%.4f", e.Value)
+	}
+	if e.Tenant != "" {
+		s += " tenant=" + e.Tenant
 	}
 	if e.Detail != "" {
 		s += " (" + e.Detail + ")"

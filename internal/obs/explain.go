@@ -57,6 +57,11 @@ func Explain(events []Event, sec int64) string {
 	for _, ev := range decisions {
 		d := ev.Decision
 		fmt.Fprintf(&b, "t=%ds decision %s", ev.Sec, d.Kind)
+		if d.Tenant != "" {
+			fmt.Fprintf(&b, " tenant=%s", d.Tenant)
+		} else if ev.Tenant != "" {
+			fmt.Fprintf(&b, " tenant=%s", ev.Tenant)
+		}
 		if d.PE != 0 || ev.PE != 0 {
 			pe := d.PE
 			if pe == 0 {

@@ -27,6 +27,13 @@ type RunGauges struct {
 	// Violations is the invariant violations recorded so far (stays 0 when
 	// no checker is attached).
 	Violations *Gauge
+	// TenantOmega, TenantGamma, and TenantSpend break Omega, Gamma, and
+	// attributed spend out per tenant dataflow ("tenant" label). The
+	// families stay empty — and invisible in the exposition — outside
+	// multi-tenant runs.
+	TenantOmega *GaugeVec
+	TenantGamma *GaugeVec
+	TenantSpend *GaugeVec
 }
 
 // NewRunGauges registers the sim_* gauge set on a registry.
@@ -42,6 +49,12 @@ func NewRunGauges(reg *Registry) *RunGauges {
 		Backlog:    reg.Gauge("sim_backlog_messages", "Messages queued across all PEs."),
 		CostUSD:    reg.Gauge("sim_cost_usd", "Cumulative dollars billed this run."),
 		Violations: reg.Gauge("sim_invariant_violations", "Invariant violations recorded this run."),
+		TenantOmega: reg.GaugeVec("sim_tenant_omega",
+			"Per-tenant relative throughput over the last interval.", "tenant"),
+		TenantGamma: reg.GaugeVec("sim_tenant_gamma",
+			"Per-tenant normalized application value over the last interval.", "tenant"),
+		TenantSpend: reg.GaugeVec("sim_tenant_spend_usd",
+			"Cumulative dollars attributed to the tenant this run.", "tenant"),
 	}
 }
 

@@ -243,3 +243,73 @@ func TestPropertyWalkWithinClamp(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWaveZeroAmplitude: a zero-amplitude wave degenerates to a constant at
+// the mean for every instant.
+func TestWaveZeroAmplitude(t *testing.T) {
+	w, err := NewWave(7, 0, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range []int64{0, 450, 900, 86400} {
+		if r := w.Rate(sec); r != 7 {
+			t.Fatalf("Rate(%d) = %v, want 7", sec, r)
+		}
+	}
+}
+
+// TestRandomWalkZeroStep: with a zero step the walk never leaves the mean —
+// mean reversion over a zero deficit contributes nothing.
+func TestRandomWalkZeroStep(t *testing.T) {
+	rw, err := NewRandomWalk(10, 0, 60, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range []int64{0, 59, 60, 3600, 864000} {
+		if r := rw.Rate(sec); math.Abs(r-10) > 1e-12 {
+			t.Fatalf("Rate(%d) = %v, want 10", sec, r)
+		}
+	}
+}
+
+// TestRandomWalkSeedStability: Rate is a pure function of (seed, sec) —
+// query order must not matter, equal seeds (including 0) must agree, and
+// distinct seeds must diverge.
+func TestRandomWalkSeedStability(t *testing.T) {
+	for _, seed := range []int64{0, 1, 99} {
+		fwd, err := NewRandomWalk(10, 0.2, 60, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev, err := NewRandomWalk(10, 0.2, 60, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs := []int64{0, 600, 60000, 864000}
+		got := make([]float64, len(secs))
+		for i, sec := range secs {
+			got[i] = fwd.Rate(sec)
+		}
+		// Reverse query order: the cache must regenerate identically.
+		for i := len(secs) - 1; i >= 0; i-- {
+			if r := rev.Rate(secs[i]); r != got[i] {
+				t.Fatalf("seed %d: Rate(%d) = %v forward, %v reverse", seed, secs[i], r, got[i])
+			}
+		}
+	}
+	a, err := NewRandomWalk(10, 0.2, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandomWalk(10, 0.2, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for sec := int64(0); sec < 100*60 && same; sec += 60 {
+		same = a.Rate(sec) == b.Rate(sec)
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical walks")
+	}
+}

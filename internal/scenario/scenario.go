@@ -19,6 +19,7 @@ import (
 	"dynamicdf/internal/resilient"
 	"dynamicdf/internal/sim"
 	"dynamicdf/internal/trace"
+	"dynamicdf/internal/workload"
 )
 
 // Scenario is the top-level schema.
@@ -48,6 +49,11 @@ type Scenario struct {
 	// (sim.Config.FlowWorkers). 0 — and hence the canonical JSON of existing
 	// scenarios — runs it serially; any value produces byte-identical output.
 	FlowWorkers int `json:"flowWorkers,omitempty"`
+	// Tenants declares a multi-tenant run: N dataflows, each with its own
+	// graph, rate, Ω floor and priority, sharing one fleet under a fairness
+	// arbiter (see tenants.go). Mutually exclusive with the top-level graph
+	// block; omitempty keeps single-tenant canonical JSON unchanged.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
 }
 
 // GraphSpec mirrors the canonical dataflow JSON inline.
@@ -81,14 +87,20 @@ type ChoiceSpec struct {
 
 // RateSpec selects the input profile. Kind "wavewalk" superimposes the
 // paper's periodic wave on a random walk (the §8.1 data-variability
-// workload): the two profiles are averaged so the mean stays at Mean.
+// workload): the two profiles are averaged so the mean stays at Mean. Kind
+// "sessions" drives the rate from a session-population generator
+// (internal/workload): open/closed user models with diurnal, burst and
+// flash-crowd modulation.
 type RateSpec struct {
-	Kind      string  `json:"kind"` // constant | wave | randomwalk | wavewalk
+	Kind      string  `json:"kind"` // constant | wave | randomwalk | wavewalk | sessions
 	Mean      float64 `json:"mean"`
 	Amplitude float64 `json:"amplitude"`
 	PeriodSec int64   `json:"periodSec"`
 	StepFrac  float64 `json:"stepFrac"`
 	Seed      int64   `json:"seed"`
+	// Sessions parameterizes kind "sessions". Its Seed falls back to the
+	// rate's Seed when zero.
+	Sessions *workload.Spec `json:"sessions,omitempty"`
 }
 
 // InfraSpec selects the performance provider.
@@ -270,31 +282,22 @@ type Built struct {
 	// can restore a checkpoint of an identical scenario onto it
 	// (sim.Restore) instead of stepping Engine from zero.
 	Config sim.Config
+	// TenantNames and TenantObjectives describe the tenants of a
+	// multi-tenant scenario in declaration order (nil for single-tenant
+	// runs). TenantObjectives[i] carries tenant i's own Θ calibration.
+	TenantNames      []string
+	TenantObjectives []core.Objective
 }
 
 // Build validates the scenario and constructs the engine and scheduler.
 func (sc *Scenario) Build() (*Built, error) {
-	b := dataflow.NewBuilder()
-	if sc.Graph.DefaultMsgBytes > 0 {
-		b.DefaultMsgBytes(sc.Graph.DefaultMsgBytes)
-	}
-	for _, pe := range sc.Graph.PEs {
-		alts := make([]dataflow.Alternate, 0, len(pe.Alternates))
-		for _, a := range pe.Alternates {
-			alts = append(alts, dataflow.Alt(a.Name, a.Value, a.Cost, a.Selectivity))
+	if len(sc.Tenants) > 0 {
+		if len(sc.Graph.PEs) > 0 {
+			return nil, fmt.Errorf("scenario: graph and tenants blocks are mutually exclusive")
 		}
-		b.AddPE(pe.Name, alts...)
-		if pe.MsgBytes > 0 {
-			b.SetMsgBytes(pe.Name, pe.MsgBytes)
-		}
+		return sc.buildTenants()
 	}
-	for _, e := range sc.Graph.Edges {
-		b.Connect(e[0], e[1])
-	}
-	for _, ch := range sc.Choices {
-		b.AddChoice(ch.Name, ch.From, ch.Targets...)
-	}
-	g, err := b.Build()
+	g, err := buildGraph(sc.Graph, sc.Choices)
 	if err != nil {
 		return nil, err
 	}
@@ -312,18 +315,8 @@ func (sc *Scenario) Build() (*Built, error) {
 	if hours == 0 {
 		hours = 4
 	}
-	obj, err := core.PaperSigma(g, prof.Mean(), hours)
+	obj, err := sc.objective(g, prof.Mean(), hours)
 	if err != nil {
-		return nil, err
-	}
-	if sc.OmegaHat != 0 {
-		obj.OmegaHat = sc.OmegaHat
-	}
-	if sc.Epsilon != 0 {
-		obj.Epsilon = sc.Epsilon
-	}
-	obj.LatencyHatSec = sc.LatencyHatSec
-	if err := obj.Validate(); err != nil {
 		return nil, err
 	}
 
@@ -332,22 +325,9 @@ func (sc *Scenario) Build() (*Built, error) {
 		return nil, err
 	}
 
-	classes := cloud.AWS2013Classes()
-	var preemption sim.FailureModel
-	if sc.Spot.PriceFraction > 0 {
-		if sc.Spot.PriceFraction >= 1 {
-			return nil, fmt.Errorf("scenario: spot price fraction %v must be in (0,1)", sc.Spot.PriceFraction)
-		}
-		classes = cloud.WithSpotMarket(classes, sc.Spot.PriceFraction)
-		mtbf := sc.Spot.PreemptMTBFHours
-		if mtbf == 0 {
-			mtbf = 1
-		}
-		preemption = sim.ExponentialFailures{MTBFSec: int64(mtbf * 3600), Seed: sc.Seed + 1}
-	}
-	var failures sim.FailureModel
-	if sc.FailureMTBFHrs > 0 {
-		failures = sim.ExponentialFailures{MTBFSec: int64(sc.FailureMTBFHrs * 3600), Seed: sc.Seed}
+	menu, failures, preemption, err := sc.platform()
+	if err != nil {
+		return nil, err
 	}
 	interval := sc.IntervalSec
 	if interval == 0 {
@@ -356,7 +336,7 @@ func (sc *Scenario) Build() (*Built, error) {
 	checker := sc.Check.checker()
 	cfg := sim.Config{
 		Graph:         g,
-		Menu:          cloud.MustMenu(classes),
+		Menu:          menu,
 		Perf:          perf,
 		Inputs:        map[int]rates.Profile{g.Inputs()[0]: prof},
 		IntervalSec:   interval,
@@ -378,53 +358,133 @@ func (sc *Scenario) Build() (*Built, error) {
 	return &Built{Engine: engine, Scheduler: sched, Objective: obj, Graph: g, Checker: checker, Config: cfg}, nil
 }
 
+// buildGraph constructs one dataflow graph from its spec form.
+func buildGraph(gs GraphSpec, choices []ChoiceSpec) (*dataflow.Graph, error) {
+	b := dataflow.NewBuilder()
+	if gs.DefaultMsgBytes > 0 {
+		b.DefaultMsgBytes(gs.DefaultMsgBytes)
+	}
+	addGraphSpec(b, gs, choices, "")
+	return b.Build()
+}
+
+// addGraphSpec lowers one graph spec onto a (possibly shared) builder. With
+// a non-empty prefix every PE and choice name is namespaced "prefix<name>"
+// and the spec's DefaultMsgBytes is applied per PE, so multiple tenants'
+// graphs compose onto one builder without collisions.
+func addGraphSpec(b *dataflow.Builder, gs GraphSpec, choices []ChoiceSpec, prefix string) {
+	for _, pe := range gs.PEs {
+		alts := make([]dataflow.Alternate, 0, len(pe.Alternates))
+		for _, a := range pe.Alternates {
+			alts = append(alts, dataflow.Alt(a.Name, a.Value, a.Cost, a.Selectivity))
+		}
+		b.AddPE(prefix+pe.Name, alts...)
+		mb := pe.MsgBytes
+		if mb == 0 && prefix != "" {
+			mb = gs.DefaultMsgBytes
+		}
+		if mb > 0 {
+			b.SetMsgBytes(prefix+pe.Name, mb)
+		}
+	}
+	for _, e := range gs.Edges {
+		b.Connect(prefix+e[0], prefix+e[1])
+	}
+	for _, ch := range choices {
+		targets := make([]string, len(ch.Targets))
+		for i, t := range ch.Targets {
+			targets[i] = prefix + t
+		}
+		b.AddChoice(prefix+ch.Name, prefix+ch.From, targets...)
+	}
+}
+
+// platform assembles the VM menu and failure models shared by the single-
+// and multi-tenant build paths.
+func (sc *Scenario) platform() (*cloud.Menu, sim.FailureModel, sim.FailureModel, error) {
+	classes := cloud.AWS2013Classes()
+	var preemption sim.FailureModel
+	if sc.Spot.PriceFraction > 0 {
+		if sc.Spot.PriceFraction >= 1 {
+			return nil, nil, nil, fmt.Errorf("scenario: spot price fraction %v must be in (0,1)", sc.Spot.PriceFraction)
+		}
+		classes = cloud.WithSpotMarket(classes, sc.Spot.PriceFraction)
+		mtbf := sc.Spot.PreemptMTBFHours
+		if mtbf == 0 {
+			mtbf = 1
+		}
+		preemption = sim.ExponentialFailures{MTBFSec: int64(mtbf * 3600), Seed: sc.Seed + 1}
+	}
+	var failures sim.FailureModel
+	if sc.FailureMTBFHrs > 0 {
+		failures = sim.ExponentialFailures{MTBFSec: int64(sc.FailureMTBFHrs * 3600), Seed: sc.Seed}
+	}
+	return cloud.MustMenu(classes), failures, preemption, nil
+}
+
 func (sc *Scenario) profile() (rates.Profile, error) {
-	switch sc.Rate.Kind {
+	return sc.Rate.profile(sc.IntervalSec)
+}
+
+// profile builds the rate spec's input profile. intervalSec is the
+// scenario's adaptation interval (0 means the 60s default); the wavewalk
+// kind steps its random walk at that cadence.
+func (r RateSpec) profile(intervalSec int64) (rates.Profile, error) {
+	switch r.Kind {
 	case "constant", "":
-		return rates.NewConstant(sc.Rate.Mean)
+		return rates.NewConstant(r.Mean)
 	case "wave":
-		period := sc.Rate.PeriodSec
+		period := r.PeriodSec
 		if period == 0 {
 			period = 1800
 		}
-		return rates.NewWave(sc.Rate.Mean, sc.Rate.Amplitude, period)
+		return rates.NewWave(r.Mean, r.Amplitude, period)
 	case "randomwalk":
-		step := sc.Rate.StepFrac
+		step := r.StepFrac
 		if step == 0 {
 			step = 0.1
 		}
-		return rates.NewRandomWalk(sc.Rate.Mean, step, 60, sc.Rate.Seed)
+		return rates.NewRandomWalk(r.Mean, step, 60, r.Seed)
 	case "wavewalk":
-		period := sc.Rate.PeriodSec
+		period := r.PeriodSec
 		if period == 0 {
 			period = 1800
 		}
-		amp := sc.Rate.Amplitude
+		amp := r.Amplitude
 		if amp == 0 {
-			amp = 0.4 * sc.Rate.Mean
+			amp = 0.4 * r.Mean
 		}
-		w, err := rates.NewWave(sc.Rate.Mean, amp, period)
+		w, err := rates.NewWave(r.Mean, amp, period)
 		if err != nil {
 			return nil, err
 		}
 		// Start at the trough so a static deployment provisions below the
 		// rates that arrive later (as in the experiments package).
 		w.PhaseSec = 3 * period / 4
-		step := sc.Rate.StepFrac
+		step := r.StepFrac
 		if step == 0 {
 			step = 0.08
 		}
-		interval := sc.IntervalSec
+		interval := intervalSec
 		if interval == 0 {
 			interval = 60
 		}
-		rw, err := rates.NewRandomWalk(sc.Rate.Mean, step, interval, sc.Rate.Seed)
+		rw, err := rates.NewRandomWalk(r.Mean, step, interval, r.Seed)
 		if err != nil {
 			return nil, err
 		}
 		return &wavewalk{a: w, b: rw}, nil
+	case "sessions":
+		if r.Sessions == nil {
+			return nil, fmt.Errorf("scenario: rate kind sessions needs a sessions block")
+		}
+		spec := *r.Sessions
+		if spec.Seed == 0 {
+			spec.Seed = r.Seed
+		}
+		return workload.New(spec)
 	default:
-		return nil, fmt.Errorf("scenario: unknown rate kind %q", sc.Rate.Kind)
+		return nil, fmt.Errorf("scenario: unknown rate kind %q", r.Kind)
 	}
 }
 

@@ -3,6 +3,9 @@ package scenario
 import (
 	"strings"
 	"testing"
+
+	"dynamicdf/internal/rates"
+	"dynamicdf/internal/workload"
 )
 
 const minimal = `{
@@ -148,5 +151,72 @@ func TestBuildWithChoices(t *testing.T) {
 	}
 	if _, err := built.Engine.Run(built.Scheduler); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRateSpecWavewalkDefaults pins the wavewalk lowering: zero amplitude
+// defaults to 0.4x the mean, zero step fraction to 0.08, the wave starts at
+// its trough, and the walk steps at the adaptation interval.
+func TestRateSpecWavewalkDefaults(t *testing.T) {
+	r := RateSpec{Kind: "wavewalk", Mean: 10, Seed: 3}
+	p, err := r.profile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ww, ok := p.(*wavewalk)
+	if !ok {
+		t.Fatalf("profile = %T", p)
+	}
+	w, ok := ww.a.(*rates.Wave)
+	if !ok {
+		t.Fatalf("wave half = %T", ww.a)
+	}
+	if w.Amplitude != 4 || w.PeriodSec != 1800 || w.PhaseSec != 3*1800/4 {
+		t.Fatalf("wave defaults = %+v", w)
+	}
+	rw, ok := ww.b.(*rates.RandomWalk)
+	if !ok {
+		t.Fatalf("walk half = %T", ww.b)
+	}
+	if rw.Step != 0.08 || rw.StepSec != 60 || rw.Seed != 3 {
+		t.Fatalf("walk defaults = %+v", rw)
+	}
+	// A custom adaptation interval re-paces the walk.
+	p2, err := r.profile(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw2 := p2.(*wavewalk).b.(*rates.RandomWalk); rw2.StepSec != 120 {
+		t.Fatalf("walk step period = %d, want 120", rw2.StepSec)
+	}
+}
+
+// TestRateSpecSessionsSeedFallback: a sessions block without its own seed
+// inherits the rate's, producing the identical stream.
+func TestRateSpecSessionsSeedFallback(t *testing.T) {
+	spec := workload.Spec{
+		Model: workload.Open, ArrivalPerSec: 0.05,
+		MeanSessionSec: 300, MsgPerSessionSec: 0.4,
+	}
+	inherit := RateSpec{Kind: "sessions", Seed: 9, Sessions: &spec}
+	explicit := spec
+	explicit.Seed = 9
+	direct := RateSpec{Kind: "sessions", Sessions: &explicit}
+	p1, err := inherit.profile(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := direct.profile(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sec := int64(0); sec <= 3600; sec += 300 {
+		if a, b := p1.Rate(sec), p2.Rate(sec); a != b {
+			t.Fatalf("Rate(%d): inherited %v != explicit %v", sec, a, b)
+		}
+	}
+	// The fallback must not mutate the caller's spec.
+	if spec.Seed != 0 {
+		t.Fatalf("sessions spec mutated: seed = %d", spec.Seed)
 	}
 }

@@ -25,6 +25,9 @@ type AuditEntry struct {
 	// entries), so replays show why throughput dipped.
 	Lost   float64 `json:"lost,omitempty"`
 	Detail string  `json:"detail,omitempty"`
+	// Tenant names the dataflow the action concerns in multi-tenant runs;
+	// empty otherwise, keeping single-tenant logs byte-identical.
+	Tenant string `json:"tenant,omitempty"`
 	// Decision carries the structured provenance of "decision" entries.
 	// Nil for every legacy action, so pre-provenance audit logs encode
 	// byte-identically.
@@ -50,13 +53,13 @@ func (a AuditEntry) String() string {
 // audit action name is the event type).
 func (a AuditEntry) event() obs.Event {
 	return obs.Event{Sec: a.Sec, Type: a.Action, PE: a.PE, VM: a.VM, N: a.N,
-		Lost: a.Lost, Detail: a.Detail, Decision: a.Decision}
+		Lost: a.Lost, Detail: a.Detail, Tenant: a.Tenant, Decision: a.Decision}
 }
 
 // auditFromEvent converts an event back to the legacy audit form.
 func auditFromEvent(ev obs.Event) AuditEntry {
 	return AuditEntry{Sec: ev.Sec, Action: ev.Type, PE: ev.PE, VM: ev.VM, N: ev.N,
-		Lost: ev.Lost, Detail: ev.Detail, Decision: ev.Decision}
+		Lost: ev.Lost, Detail: ev.Detail, Tenant: ev.Tenant, Decision: ev.Decision}
 }
 
 // audit records one control action: it is stamped with the current clock,
@@ -101,7 +104,10 @@ func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
 
 // SetGauges attaches (or, with nil, detaches) the live metric gauge set the
 // engine updates at the end of every interval.
-func (e *Engine) SetGauges(g *obs.RunGauges) { e.gauges = g }
+func (e *Engine) SetGauges(g *obs.RunGauges) {
+	e.gauges = g
+	e.bindTenantGauges()
+}
 
 // SetProfiler attaches (or, with nil, detaches) the per-stage profiler the
 // step pipeline feeds. Attach before Run.

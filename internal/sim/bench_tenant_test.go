@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dynamicdf/internal/cloud"
+	"dynamicdf/internal/dataflow"
+	"dynamicdf/internal/rates"
+)
+
+// multiTenantBenchConfig composes `tenants` copies of a levels x width
+// layered DAG onto one engine, one tenant per copy, each with its own
+// constant trickle on every input.
+func multiTenantBenchConfig(tenants, levels, width int) Config {
+	b := dataflow.NewBuilder()
+	name := func(tn, level, col int) string { return fmt.Sprintf("t%d/pe_%d_%d", tn, level, col) }
+	for tn := 0; tn < tenants; tn++ {
+		for level := 0; level < levels; level++ {
+			for col := 0; col < width; col++ {
+				b.AddPE(name(tn, level, col), dataflow.Alt("only", 1, 0.05, 1))
+			}
+		}
+		for level := 1; level < levels; level++ {
+			for col := 0; col < width; col++ {
+				b.Connect(name(tn, level-1, col), name(tn, level, col))
+				if col%2 == 0 {
+					b.Connect(name(tn, level-1, (col+1)%width), name(tn, level, col))
+				}
+			}
+		}
+	}
+	g := b.MustBuild()
+	inputs := make(map[int]rates.Profile, tenants*width)
+	for _, pe := range g.Inputs() {
+		c, err := rates.NewConstant(1)
+		if err != nil {
+			panic(err)
+		}
+		inputs[pe] = c
+	}
+	// One standalone per-tenant graph serves every tenant: all copies are
+	// structurally identical and the engine only reads it.
+	tg := largeLayeredDAG(levels, width)
+	per := levels * width
+	cfg := Config{
+		Graph:      g,
+		Menu:       cloud.MustMenu(cloud.AWS2013Classes()),
+		Inputs:     inputs,
+		HorizonSec: 60 << 32,
+	}
+	for tn := 0; tn < tenants; tn++ {
+		cfg.Tenants = append(cfg.Tenants, Tenant{
+			Name: fmt.Sprintf("t%d", tn), LoPE: tn * per, HiPE: (tn + 1) * per,
+			OmegaFloor: 0.7, Graph: tg,
+		})
+	}
+	return cfg
+}
+
+// BenchmarkEngineStepMultiTenant measures steady-state stepping with the
+// tenant dimension hot: 8 tenants x 125 PEs (1000 PEs total), per-tenant
+// Ω/Γ/spend folds and floor checks every interval. Must stay 0 allocs/op
+// like the single-tenant arena path.
+func BenchmarkEngineStepMultiTenant(b *testing.B) {
+	cfg := multiTenantBenchConfig(8, 25, 5)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.RunUntil(context.Background(), &fixed{deploy: deployLargeDAG}, 0); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := e.step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.Collector().Reserve(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

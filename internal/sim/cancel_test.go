@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 )
 
@@ -81,7 +82,7 @@ func TestRunEquivalentToRunContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("Run summary %+v != RunContext summary %+v", a, b)
 	}
 }

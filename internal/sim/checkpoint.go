@@ -89,6 +89,14 @@ func (e *Engine) Checkpoint() (*state.Snapshot, error) {
 	s.VMCPU = e.vmMon.Export()
 	s.NetLat, s.NetBW = e.netMon.Export()
 
+	if nt := len(e.cfg.Tenants); nt > 0 {
+		s.TenantOmega = append([]float64(nil), e.tenLastOmega...)
+		s.TenantOmegaSum = append([]float64(nil), e.tenOmegaSum...)
+		s.TenantSpendUSD = append([]float64(nil), e.tenSpend...)
+		s.TenantPrevCostUSD = e.tenPrevCost
+		s.TenantSeriesOmega, s.TenantSeriesGamma, s.TenantSeriesSpend = e.collector.TenantSeries()
+	}
+
 	if e.sched != nil {
 		s.SchedulerName = e.sched.Name()
 	}
@@ -242,6 +250,23 @@ func Restore(snap *state.Snapshot, cfg Config) (*Engine, error) {
 		if err := e.collector.Add(p); err != nil {
 			return nil, fmt.Errorf("sim: restore: %w", err)
 		}
+	}
+	if nt := len(c.Tenants); nt > 0 {
+		if len(snap.TenantOmega) != nt || len(snap.TenantOmegaSum) != nt || len(snap.TenantSpendUSD) != nt {
+			return nil, fmt.Errorf("sim: restore: snapshot carries %d/%d/%d tenant tallies, config has %d tenants",
+				len(snap.TenantOmega), len(snap.TenantOmegaSum), len(snap.TenantSpendUSD), nt)
+		}
+		copy(e.tenLastOmega, snap.TenantOmega)
+		copy(e.tenOmegaSum, snap.TenantOmegaSum)
+		copy(e.tenSpend, snap.TenantSpendUSD)
+		e.tenPrevCost = snap.TenantPrevCostUSD
+		if err := e.collector.ImportTenantSeries(
+			snap.TenantSeriesOmega, snap.TenantSeriesGamma, snap.TenantSeriesSpend); err != nil {
+			return nil, fmt.Errorf("sim: restore: %w", err)
+		}
+	} else if len(snap.TenantOmega) > 0 {
+		return nil, fmt.Errorf("sim: restore: snapshot carries %d tenant tallies, config has none",
+			len(snap.TenantOmega))
 	}
 	e.auditLog = append([]obs.Event(nil), snap.Audit...)
 	if snap.SchedulerState != nil {

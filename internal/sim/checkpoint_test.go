@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"dynamicdf/internal/cloud"
@@ -178,7 +179,7 @@ func TestCheckpointRestoreByteIdentical(t *testing.T) {
 			t.Fatalf("seed %d: resumed run: %v", seed, err)
 		}
 
-		if warmSum != coldSum {
+		if !reflect.DeepEqual(warmSum, coldSum) {
 			t.Errorf("seed %d: summary diverged after restore at t=%ds:\ncold %+v\nwarm %+v",
 				seed, k*60, coldSum, warmSum)
 		}
@@ -244,7 +245,7 @@ func TestCheckpointDoesNotPerturbRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sumA != sumB || !bytes.Equal(plain.Bytes(), observed.Bytes()) {
+	if !reflect.DeepEqual(sumA, sumB) || !bytes.Equal(plain.Bytes(), observed.Bytes()) {
 		t.Fatal("mid-run checkpoints perturbed the run")
 	}
 }
@@ -321,7 +322,7 @@ func TestRestoreSharedSnapshotIsolated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sum1 != sum2 {
+	if !reflect.DeepEqual(sum1, sum2) {
 		t.Fatalf("forked runs diverged: %+v vs %+v", sum1, sum2)
 	}
 }

@@ -93,6 +93,37 @@ type Config struct {
 	// byte-identical to the serial engine: the order-sensitive float folds
 	// always run serially after the parallel section.
 	FlowWorkers int
+	// Tenants partitions Graph into independent dataflows sharing the fleet:
+	// each entry scopes a contiguous PE (and choice-group) range of the
+	// composite graph to one tenant with its own Ω floor and priority. Empty
+	// means the classic single-tenant run, whose behaviour and output bytes
+	// are unchanged.
+	Tenants []Tenant
+}
+
+// Tenant scopes one dataflow of a multi-tenant run to a contiguous slice of
+// the composite graph. The scenario builder lowers a tenants block onto one
+// shared graph and fills these ranges; the engine keeps dense per-tenant
+// tallies (Ω, Γ, attributed spend) indexed by position in Config.Tenants.
+type Tenant struct {
+	// Name labels the tenant in metrics columns, gauge labels, trace events,
+	// and decisions.
+	Name string
+	// LoPE/HiPE bound the tenant's PEs in the composite graph: [LoPE, HiPE).
+	LoPE, HiPE int
+	// LoChoice/HiChoice bound the tenant's choice groups (routing slots) in
+	// the composite graph: [LoChoice, HiChoice).
+	LoChoice, HiChoice int
+	// OmegaFloor is the tenant's QoS constraint Ω̃: intervals where the
+	// tenant's relative throughput falls below it emit a tenant-tagged
+	// omega-violation event. 0 disables the check.
+	OmegaFloor float64
+	// Priority ranks the tenant for fairness arbitration (higher wins).
+	Priority int
+	// Graph is the tenant's standalone dataflow — the same shape as the
+	// composite PEs [LoPE, HiPE), with local indices. Per-tenant Γ is
+	// computed against it.
+	Graph *dataflow.Graph
 }
 
 // normalize fills defaults and validates.
@@ -147,7 +178,51 @@ func (c *Config) normalize() error {
 	if c.FlowWorkers < 0 {
 		return fmt.Errorf("sim: flow workers %d < 0", c.FlowWorkers)
 	}
+	if err := c.validateTenants(); err != nil {
+		return err
+	}
 	return c.ControlFaults.normalize()
+}
+
+// validateTenants checks that the tenant ranges tile cleanly onto the
+// composite graph: ascending, non-overlapping, with standalone graphs whose
+// shape matches their composite slice.
+func (c *Config) validateTenants() error {
+	if len(c.Tenants) == 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	prevPE, prevChoice := 0, 0
+	for i, t := range c.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("sim: tenant %d has no name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("sim: duplicate tenant name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.LoPE < prevPE || t.LoPE >= t.HiPE || t.HiPE > c.Graph.N() {
+			return fmt.Errorf("sim: tenant %q PE range [%d,%d) invalid or overlapping", t.Name, t.LoPE, t.HiPE)
+		}
+		nChoices := len(c.Graph.Choices)
+		if t.LoChoice < prevChoice || t.LoChoice > t.HiChoice || t.HiChoice > nChoices {
+			return fmt.Errorf("sim: tenant %q choice range [%d,%d) invalid or overlapping", t.Name, t.LoChoice, t.HiChoice)
+		}
+		if t.Graph == nil {
+			return fmt.Errorf("sim: tenant %q has no standalone graph", t.Name)
+		}
+		if t.Graph.N() != t.HiPE-t.LoPE {
+			return fmt.Errorf("sim: tenant %q graph has %d PEs, range holds %d", t.Name, t.Graph.N(), t.HiPE-t.LoPE)
+		}
+		if len(t.Graph.Choices) != t.HiChoice-t.LoChoice {
+			return fmt.Errorf("sim: tenant %q graph has %d choices, range holds %d", t.Name, len(t.Graph.Choices), t.HiChoice-t.LoChoice)
+		}
+		if t.OmegaFloor < 0 || t.OmegaFloor > 1 {
+			return fmt.Errorf("sim: tenant %q omega floor %v outside [0,1]", t.Name, t.OmegaFloor)
+		}
+		prevPE, prevChoice = t.HiPE, t.HiChoice
+	}
+	return nil
 }
 
 // Scheduler decides deployment and runtime adaptation. Deploy runs once

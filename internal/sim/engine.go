@@ -114,6 +114,21 @@ type Engine struct {
 	gammaMax      float64
 	crashEvents   int
 	preemptEvents int
+
+	// Dense per-tenant dimension, all nil/zero outside multi-tenant runs:
+	// tenOutputs holds each tenant's output PEs as composite-graph indices,
+	// tenLastOmega/tenOmegaSum mirror the global Ω tallies, tenGamma caches
+	// per-tenant RoutedValue under the same dirty flag as gammaV, tenSpend
+	// accumulates attributed dollars (tenPrevCost marks the last attributed
+	// cost level), and tenGauges caches the labeled gauge handles so the
+	// observe stage never allocates.
+	tenOutputs   [][]int
+	tenLastOmega []float64
+	tenOmegaSum  []float64
+	tenGamma     []float64
+	tenSpend     []float64
+	tenPrevCost  float64
+	tenGauges    [][3]*obs.Gauge
 }
 
 // NewEngine validates the config and prepares an engine.
@@ -156,11 +171,36 @@ func NewEngine(cfg Config) (*Engine, error) {
 		observedOut: make([]float64, n),
 		observedIn:  make([]float64, n),
 	}
+	if nt := len(cfg.Tenants); nt > 0 {
+		e.tenOutputs = make([][]int, nt)
+		names := make([]string, nt)
+		for i, t := range cfg.Tenants {
+			names[i] = t.Name
+			outs := t.Graph.Outputs()
+			global := make([]int, len(outs))
+			for j, pe := range outs {
+				global[j] = t.LoPE + pe
+			}
+			e.tenOutputs[i] = global
+		}
+		e.tenLastOmega = make([]float64, nt)
+		e.tenOmegaSum = make([]float64, nt)
+		e.tenGamma = make([]float64, nt)
+		e.tenSpend = make([]float64, nt)
+		e.ctx.tenOmega = make([]float64, nt)
+		e.ctx.tenGamma = make([]float64, nt)
+		e.ctx.tenSpend = make([]float64, nt)
+		e.ctx.tenCores = make([]int, nt)
+		if err := e.collector.SetTenants(names); err != nil {
+			return nil, err
+		}
+	}
 	e.rateEst, _ = monitor.NewRateEstimator(cfg.MonitorAlpha)
 	e.vmMon, _ = monitor.NewVMMonitor(cfg.MonitorAlpha)
 	e.netMon, _ = monitor.NewNetMonitor(cfg.MonitorAlpha)
 	e.tracer = cfg.Tracer
 	e.gauges = cfg.Gauges
+	e.bindTenantGauges()
 	e.profiler = cfg.Profiler
 	e.registerStages()
 	if cfg.Checker != nil {
@@ -171,9 +211,33 @@ func NewEngine(cfg Config) (*Engine, error) {
 			QueueBefore: make([]float64, n),
 			QueueAfter:  make([]float64, n),
 		}
+		if nt := len(cfg.Tenants); nt > 0 {
+			e.invState.TenantOmega = make([]float64, nt)
+		}
 		e.gammaMin, e.gammaMax = alternateValueRange(cfg.Graph)
 	}
 	return e, nil
+}
+
+// bindTenantGauges caches one labeled gauge handle per tenant and series so
+// the observe stage sets them without going through GaugeVec.With (which
+// allocates a wrapper per call). No-op unless both tenants and a gauge set
+// with tenant vecs are present.
+func (e *Engine) bindTenantGauges() {
+	nt := len(e.cfg.Tenants)
+	if nt == 0 || e.gauges == nil ||
+		e.gauges.TenantOmega == nil || e.gauges.TenantGamma == nil || e.gauges.TenantSpend == nil {
+		e.tenGauges = nil
+		return
+	}
+	e.tenGauges = make([][3]*obs.Gauge, nt)
+	for i, t := range e.cfg.Tenants {
+		e.tenGauges[i] = [3]*obs.Gauge{
+			e.gauges.TenantOmega.With(t.Name),
+			e.gauges.TenantGamma.With(t.Name),
+			e.gauges.TenantSpend.With(t.Name),
+		}
+	}
 }
 
 // Now returns the simulation clock in seconds.

@@ -49,6 +49,9 @@ func (e *Engine) checkStep(omega, gamma, costUSD, backlog float64) error {
 	st.Preemptions = e.preemptions
 	st.CrashEvents = e.crashEvents
 	st.PreemptEvents = e.preemptEvents
+	if len(st.TenantOmega) > 0 {
+		copy(st.TenantOmega, e.tenLastOmega)
+	}
 
 	minQ := 0.0
 	for pe := range e.pes {

@@ -76,6 +76,15 @@ type stepContext struct {
 	// observe.
 	meanLatency float64
 	gamma       float64
+
+	// Per-tenant accumulators (length = len(cfg.Tenants); nil outside
+	// multi-tenant runs). tenOmega/tenCores are rebuilt each interval;
+	// tenGamma/tenSpend are filled from engine tallies in observe so the
+	// collector sees one consistent row.
+	tenOmega []float64
+	tenGamma []float64
+	tenSpend []float64
+	tenCores []int
 }
 
 // resetStepContext rewinds the engine's reusable context for a new interval.
@@ -100,6 +109,12 @@ func (e *Engine) resetStepContext() *stepContext {
 	c.pendingVMs = 0
 	c.meanLatency = 0
 	c.gamma = 0
+	for i := range c.tenOmega {
+		c.tenOmega[i] = 0
+		c.tenGamma[i] = 0
+		c.tenSpend[i] = 0
+		c.tenCores[i] = 0
+	}
 	return c
 }
 
@@ -286,6 +301,24 @@ func (e *Engine) stageFlow(c *stepContext) error {
 	for _, pe := range e.outputs {
 		c.totalOut += c.observedOut[pe]
 	}
+	// Per-tenant Omega: the same Def. 4 fold, restricted to each tenant's
+	// own output PEs.
+	for t, outs := range e.tenOutputs {
+		var omega float64
+		for _, pe := range outs {
+			exp := c.expOut[pe]
+			if exp <= 0 {
+				omega += 1
+				continue
+			}
+			r := c.observedOut[pe] / exp
+			if r > 1 {
+				r = 1
+			}
+			omega += r
+		}
+		c.tenOmega[t] = omega / float64(len(outs))
+	}
 	return nil
 }
 
@@ -454,6 +487,22 @@ func (e *Engine) stageBilling(c *stepContext) error {
 	for _, vm := range c.active {
 		c.usedCores += vm.UsedCores
 	}
+	// Per-tenant core census for spend attribution: sum each tenant's cores
+	// on active VMs (the arena's host flag marks active hosting slots, set
+	// by computeCapacity during this interval's flow).
+	for t := range e.cfg.Tenants {
+		tn := &e.cfg.Tenants[t]
+		cores := 0
+		for pe := tn.LoPE; pe < tn.HiPE; pe++ {
+			p := &e.pes[pe]
+			for s := 1; s < len(p.vms); s++ {
+				if p.host[s] {
+					cores += p.cores[s]
+				}
+			}
+		}
+		c.tenCores[t] = cores
+	}
 	return nil
 }
 
@@ -517,9 +566,41 @@ func (e *Engine) stageObserve(c *stepContext) error {
 			return err
 		}
 		e.gammaV = gv
+		if err := e.recomputeTenantGamma(); err != nil {
+			return err
+		}
 		e.gammaDirty = false
 	}
 	c.gamma = e.gammaV
+	if nt := len(e.cfg.Tenants); nt > 0 {
+		// Attribute this interval's cost delta to tenants by their share of
+		// assigned cores; with no cores anywhere the delta stays unattributed
+		// (idle-fleet burn belongs to no tenant).
+		delta := c.costUSD - e.tenPrevCost
+		totalCores := 0
+		for _, n := range c.tenCores {
+			totalCores += n
+		}
+		if delta > 0 {
+			if totalCores > 0 {
+				for t := 0; t < nt; t++ {
+					e.tenSpend[t] += delta * float64(c.tenCores[t]) / float64(totalCores)
+				}
+			}
+			e.tenPrevCost = c.costUSD
+		}
+		for t := 0; t < nt; t++ {
+			e.tenLastOmega[t] = c.tenOmega[t]
+			e.tenOmegaSum[t] += c.tenOmega[t]
+			c.tenGamma[t] = e.tenGamma[t]
+			c.tenSpend[t] = e.tenSpend[t]
+		}
+		for t, g := range e.tenGauges {
+			g[0].Set(c.tenOmega[t])
+			g[1].Set(c.tenGamma[t])
+			g[2].Set(c.tenSpend[t])
+		}
+	}
 	if e.gauges != nil {
 		e.gauges.Omega.Set(c.omega)
 		e.gauges.Gamma.Set(c.gamma)
@@ -532,7 +613,7 @@ func (e *Engine) stageObserve(c *stepContext) error {
 	}
 	// The point is recorded before the check stage so that even an interval
 	// a strict checker aborts on remains inspectable in the partial metrics.
-	return e.collector.Add(metrics.Point{
+	if err := e.collector.Add(metrics.Point{
 		Sec:        e.clock,
 		Omega:      c.omega,
 		Gamma:      c.gamma,
@@ -544,7 +625,30 @@ func (e *Engine) stageObserve(c *stepContext) error {
 		OutputRate: c.totalOut,
 		Backlog:    c.totalBacklog,
 		LatencySec: c.meanLatency,
-	})
+	}); err != nil {
+		return err
+	}
+	if len(e.cfg.Tenants) > 0 {
+		return e.collector.AddTenant(c.tenOmega, c.tenGamma, c.tenSpend)
+	}
+	return nil
+}
+
+// recomputeTenantGamma refreshes each tenant's cached application value
+// against its standalone graph, slicing the composite selection and routing
+// to the tenant's ranges. Called under the same dirty flag as the global Γ.
+func (e *Engine) recomputeTenantGamma() error {
+	for t := range e.cfg.Tenants {
+		tn := &e.cfg.Tenants[t]
+		gv, err := dataflow.RoutedValue(tn.Graph,
+			dataflow.Selection(e.sel[tn.LoPE:tn.HiPE]),
+			dataflow.Routing(e.routing[tn.LoChoice:tn.HiChoice]))
+		if err != nil {
+			return fmt.Errorf("sim: tenant %q gamma: %w", tn.Name, err)
+		}
+		e.tenGamma[t] = gv
+	}
+	return nil
 }
 
 // stageCheck hands the end-of-interval state to the invariant checker,
@@ -557,6 +661,13 @@ func (e *Engine) stageCheck(c *stepContext) error {
 	if e.cfg.OmegaFloor > 0 && c.omega < e.cfg.OmegaFloor {
 		e.trace(obs.Event{Type: obs.EventOmegaViolation, Value: c.omega,
 			Detail: fmt.Sprintf("floor=%g", e.cfg.OmegaFloor)})
+	}
+	for t := range e.cfg.Tenants {
+		tn := &e.cfg.Tenants[t]
+		if tn.OmegaFloor > 0 && c.tenOmega[t] < tn.OmegaFloor {
+			e.trace(obs.Event{Type: obs.EventOmegaViolation, Value: c.tenOmega[t],
+				Tenant: tn.Name, Detail: fmt.Sprintf("floor=%g", tn.OmegaFloor)})
+		}
 	}
 	e.trace(obs.Event{Type: obs.EventStep, Phase: obs.PhaseEnd, Value: c.omega,
 		N: c.usedCores})

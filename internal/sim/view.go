@@ -12,11 +12,33 @@ import (
 // the engine's internal ground truth.
 type View struct {
 	e *Engine
+	// ten scopes the view to one tenant of a multi-tenant run: 0 is the
+	// global (whole-graph) view, i+1 the view of cfg.Tenants[i]. A scoped
+	// view translates PE and choice indices to the tenant's local numbering
+	// and reports the tenant's own graph, Ω, and rates; fleet-level methods
+	// (ActiveVMs, TotalCost, MaxVMs, ...) stay global — the fleet is shared.
+	ten int
 }
 
 // NewView builds a read-only view over an engine, for tools and tests that
 // inspect state outside a Scheduler callback.
 func NewView(e *Engine) *View { return &View{e: e} }
+
+// tenantScope returns the scoping tenant, or nil for the global view.
+func (v *View) tenantScope() *Tenant {
+	if v.ten == 0 {
+		return nil
+	}
+	return &v.e.cfg.Tenants[v.ten-1]
+}
+
+// gpe translates a view-local PE index to the composite graph's numbering.
+func (v *View) gpe(pe int) int {
+	if t := v.tenantScope(); t != nil {
+		return pe + t.LoPE
+	}
+	return pe
+}
 
 // Now returns the simulation time in seconds.
 func (v *View) Now() int64 { return v.e.clock }
@@ -24,23 +46,42 @@ func (v *View) Now() int64 { return v.e.clock }
 // IntervalSec returns the adaptation interval length.
 func (v *View) IntervalSec() int64 { return v.e.cfg.IntervalSec }
 
-// Graph returns the dataflow being executed.
-func (v *View) Graph() *dataflow.Graph { return v.e.cfg.Graph }
+// Graph returns the dataflow being executed — the scoping tenant's own
+// graph on a tenant view.
+func (v *View) Graph() *dataflow.Graph {
+	if t := v.tenantScope(); t != nil {
+		return t.Graph
+	}
+	return v.e.cfg.Graph
+}
 
 // Menu returns the VM class menu.
 func (v *View) Menu() *cloud.Menu { return v.e.cfg.Menu }
 
-// Selection returns a copy of the current alternate selection.
-func (v *View) Selection() dataflow.Selection { return v.e.sel.Clone() }
+// Selection returns a copy of the current alternate selection (the tenant's
+// slice on a tenant view).
+func (v *View) Selection() dataflow.Selection {
+	if t := v.tenantScope(); t != nil {
+		return append(dataflow.Selection(nil), v.e.sel[t.LoPE:t.HiPE]...)
+	}
+	return v.e.sel.Clone()
+}
 
-// Routing returns a copy of the current choice-group routing.
-func (v *View) Routing() dataflow.Routing { return v.e.routing.Clone() }
+// Routing returns a copy of the current choice-group routing (the tenant's
+// slice on a tenant view).
+func (v *View) Routing() dataflow.Routing {
+	if t := v.tenantScope(); t != nil {
+		return append(dataflow.Routing(nil), v.e.routing[t.LoChoice:t.HiChoice]...)
+	}
+	return v.e.routing.Clone()
+}
 
 // EstimatedInputRate returns the best current estimate of the external rate
 // at an input PE: the smoothed measured rate once the dataflow has run, or
 // the profile's declared initial rate before t0 (the paper's "estimated
 // input data rates at each input PE" given at submission).
 func (v *View) EstimatedInputRate(pe int) float64 {
+	pe = v.gpe(pe)
 	var initial float64
 	if prof, ok := v.e.cfg.Inputs[pe]; ok {
 		initial = prof.Rate(v.e.clock)
@@ -48,9 +89,18 @@ func (v *View) EstimatedInputRate(pe int) float64 {
 	return v.e.rateEst.Estimate(pe, initial)
 }
 
-// EstimatedInputRates returns estimates for every input PE.
+// EstimatedInputRates returns estimates for every input PE — on a tenant
+// view, the tenant's own inputs under its local numbering.
 func (v *View) EstimatedInputRates() dataflow.InputRates {
 	in := dataflow.InputRates{}
+	if t := v.tenantScope(); t != nil {
+		for pe := range v.e.cfg.Inputs {
+			if pe >= t.LoPE && pe < t.HiPE {
+				in[pe-t.LoPE] = v.EstimatedInputRate(pe - t.LoPE)
+			}
+		}
+		return in
+	}
 	for pe := range v.e.cfg.Inputs {
 		in[pe] = v.EstimatedInputRate(pe)
 	}
@@ -141,7 +191,7 @@ type Assignment struct {
 // Assignments returns the PE's current core allocation, in VM id order.
 func (v *View) Assignments(pe int) []Assignment {
 	var out []Assignment
-	p := &v.e.pes[pe]
+	p := &v.e.pes[v.gpe(pe)]
 	for s, vmID := range p.vms {
 		n := p.cores[s]
 		if n <= 0 {
@@ -159,7 +209,7 @@ func (v *View) Assignments(pe int) []Assignment {
 // AssignedCores returns the PE's total core count.
 func (v *View) AssignedCores(pe int) int {
 	total := 0
-	for _, n := range v.e.pes[pe].cores {
+	for _, n := range v.e.pes[v.gpe(pe)].cores {
 		total += n
 	}
 	return total
@@ -169,6 +219,7 @@ func (v *View) AssignedCores(pe int) int {
 // from monitored coefficients (what the heuristics believe, not ground
 // truth).
 func (v *View) MonitoredCapacity(pe int) float64 {
+	pe = v.gpe(pe)
 	alt := v.e.sel.Alt(v.e.cfg.Graph, pe)
 	total := 0.0
 	p := &v.e.pes[pe]
@@ -198,19 +249,27 @@ func (v *View) EstimatedLatencySec() float64 {
 }
 
 // Omega returns the relative application throughput observed over the last
-// interval, or 1 before any interval has run.
+// interval — the scoping tenant's own Ω on a tenant view — or 1 before any
+// interval has run.
 func (v *View) Omega() float64 {
 	if !v.e.stepped {
 		return 1
+	}
+	if v.ten > 0 {
+		return v.e.tenLastOmega[v.ten-1]
 	}
 	return v.e.lastOmega
 }
 
 // MeanOmega returns the average relative throughput over the optimization
-// period so far (the constraint's left-hand side), or 1 before t0.
+// period so far (the constraint's left-hand side), or 1 before t0. Scoped
+// to the tenant on a tenant view.
 func (v *View) MeanOmega() float64 {
 	if v.e.omegaN == 0 {
 		return 1
+	}
+	if v.ten > 0 {
+		return v.e.tenOmegaSum[v.ten-1] / float64(v.e.omegaN)
 	}
 	return v.e.omegaSum / float64(v.e.omegaN)
 }
@@ -222,6 +281,7 @@ func (v *View) PEThroughput(pe int) float64 {
 	if !v.e.stepped {
 		return 1
 	}
+	pe = v.gpe(pe)
 	exp := v.e.lastPEExp[pe]
 	if exp <= 0 {
 		return 1
@@ -239,12 +299,12 @@ func (v *View) ObservedArrivalRate(pe int) float64 {
 	if !v.e.stepped {
 		return 0
 	}
-	return v.e.lastPEIn[pe]
+	return v.e.lastPEIn[v.gpe(pe)]
 }
 
 // Backlog returns the messages queued for the PE across all VMs.
 func (v *View) Backlog(pe int) float64 {
-	return v.e.pes[pe].totalQueue()
+	return v.e.pes[v.gpe(pe)].totalQueue()
 }
 
 // Bandwidth returns the monitored bandwidth (Mbps) between two VMs, falling
@@ -267,3 +327,26 @@ func (v *View) MaxVMs() int { return v.e.cfg.MaxVMs }
 
 // HourlyBurnRate returns the active fleet's $/hour.
 func (v *View) HourlyBurnRate() float64 { return v.e.fleet.HourlyBurnRate() }
+
+// TenantCount returns the number of tenants (0 for single-tenant runs).
+func (v *View) TenantCount() int { return len(v.e.cfg.Tenants) }
+
+// TenantInfo returns tenant i's descriptor (name, ranges, floor, priority).
+func (v *View) TenantInfo(i int) Tenant { return v.e.cfg.Tenants[i] }
+
+// Tenant returns a view scoped to tenant i: PE and choice indices become the
+// tenant's local numbering, Graph/Selection/Routing/Omega/rates report the
+// tenant's own dataflow, and fleet-level methods stay global.
+func (v *View) Tenant(i int) *View { return &View{e: v.e, ten: i + 1} }
+
+// TenantMeanOmega returns tenant i's mean relative throughput over the
+// period so far, or 1 before t0.
+func (v *View) TenantMeanOmega(i int) float64 {
+	if v.e.omegaN == 0 {
+		return 1
+	}
+	return v.e.tenOmegaSum[i] / float64(v.e.omegaN)
+}
+
+// TenantSpendUSD returns the cumulative dollars attributed to tenant i.
+func (v *View) TenantSpendUSD(i int) float64 { return v.e.tenSpend[i] }

@@ -123,6 +123,19 @@ type Snapshot struct {
 	// policies).
 	SchedulerName  string          `json:"schedulerName,omitempty"`
 	SchedulerState json.RawMessage `json:"schedulerState,omitempty"`
+
+	// Per-tenant tallies and recorded series of a multi-tenant run, indexed
+	// like the config's tenant list. The Tenant*Series slices are row-major
+	// with stride = tenant count, one row per recorded metrics point. All
+	// empty for single-tenant runs, so those snapshots keep the exact byte
+	// encoding they had before tenants existed.
+	TenantOmega       []float64 `json:"tenantOmega,omitempty"`
+	TenantOmegaSum    []float64 `json:"tenantOmegaSum,omitempty"`
+	TenantSpendUSD    []float64 `json:"tenantSpendUsd,omitempty"`
+	TenantPrevCostUSD float64   `json:"tenantPrevCostUsd,omitempty"`
+	TenantSeriesOmega []float64 `json:"tenantSeriesOmega,omitempty"`
+	TenantSeriesGamma []float64 `json:"tenantSeriesGamma,omitempty"`
+	TenantSeriesSpend []float64 `json:"tenantSeriesSpend,omitempty"`
 }
 
 // Encode serializes the snapshot as canonical JSON with the digest filled

@@ -31,15 +31,33 @@ type AggRow struct {
 	Omega       metrics.Distribution `json:"omega"`
 	Utilization metrics.Distribution `json:"utilization"`
 	CostUSD     metrics.Distribution `json:"costUsd"`
+
+	// Tenants holds per-tenant distributions for multi-tenant grid points,
+	// in the scenario's tenant declaration order; nil otherwise, keeping
+	// single-tenant reports (and the aggregate CSV schema) unchanged.
+	Tenants []TenantAggRow `json:"tenants,omitempty"`
+}
+
+// TenantAggRow aggregates one tenant's slice of a grid point's replicas.
+type TenantAggRow struct {
+	Name     string               `json:"name"`
+	Theta    metrics.Distribution `json:"theta"`
+	Omega    metrics.Distribution `json:"omega"`
+	SpendUSD metrics.Distribution `json:"spendUsd"`
 }
 
 // Aggregate reduces per-job results into per-group rows, in the jobs'
 // first-occurrence group order (deterministic for a given spec). Errored
 // and missing replicas are counted but excluded from the distributions.
 func Aggregate(jobs []Job, results []*Result) []AggRow {
+	type tenAcc struct {
+		theta, omega, spend []float64
+	}
 	type acc struct {
 		theta, omega, util, cost []float64
 		failed, missing, viol    int
+		tenNames                 []string
+		tens                     map[string]*tenAcc
 	}
 	accs := map[string]*acc{}
 	order := GroupsInOrder(jobs)
@@ -65,12 +83,26 @@ func Aggregate(jobs []Job, results []*Result) []AggRow {
 			a.omega = append(a.omega, r.Omega)
 			a.util = append(a.util, r.UsedCores)
 			a.cost = append(a.cost, r.CostUSD)
+			for _, tr := range r.Tenants {
+				if a.tens == nil {
+					a.tens = map[string]*tenAcc{}
+				}
+				ta := a.tens[tr.Name]
+				if ta == nil {
+					ta = &tenAcc{}
+					a.tens[tr.Name] = ta
+					a.tenNames = append(a.tenNames, tr.Name)
+				}
+				ta.theta = append(ta.theta, tr.Theta)
+				ta.omega = append(ta.omega, tr.Omega)
+				ta.spend = append(ta.spend, tr.SpendUSD)
+			}
 		}
 	}
 	rows := make([]AggRow, 0, len(order))
 	for _, g := range order {
 		a := accs[g]
-		rows = append(rows, AggRow{
+		row := AggRow{
 			Group:       g,
 			Seeds:       len(a.theta) + a.failed + a.missing,
 			Failed:      a.failed,
@@ -80,7 +112,17 @@ func Aggregate(jobs []Job, results []*Result) []AggRow {
 			Omega:       metrics.NewDistribution(a.omega),
 			Utilization: metrics.NewDistribution(a.util),
 			CostUSD:     metrics.NewDistribution(a.cost),
-		})
+		}
+		for _, name := range a.tenNames {
+			ta := a.tens[name]
+			row.Tenants = append(row.Tenants, TenantAggRow{
+				Name:     name,
+				Theta:    metrics.NewDistribution(ta.theta),
+				Omega:    metrics.NewDistribution(ta.omega),
+				SpendUSD: metrics.NewDistribution(ta.spend),
+			})
+		}
+		rows = append(rows, row)
 	}
 	return rows
 }
@@ -152,6 +194,11 @@ func (r *Report) Table() string {
 			fmt.Fprintf(&b, " INVARIANT-VIOLATIONS=%d", row.Violations)
 		}
 		b.WriteString("\n")
+		for _, tr := range row.Tenants {
+			fmt.Fprintf(&b, "  tenant %-20s theta=%+.4f [p95 %+.4f] omega=%.3f [p95 %.3f] spend=$%.2f [p95 $%.2f]\n",
+				tr.Name, tr.Theta.Mean, tr.Theta.P95, tr.Omega.Mean, tr.Omega.P95,
+				tr.SpendUSD.Mean, tr.SpendUSD.P95)
+		}
 	}
 	return strings.TrimRight(b.String(), "\n")
 }

@@ -45,10 +45,27 @@ type Result struct {
 	// Forked marks a job that resumed from a shared warm-start prefix
 	// checkpoint instead of simulating from zero.
 	Forked bool `json:"forked,omitempty"`
+	// Tenants carries the per-tenant slice of a multi-tenant job, in the
+	// scenario's declaration order; nil for single-tenant scenarios, so
+	// existing journal entries decode (and re-encode) unchanged.
+	Tenants []TenantResult `json:"tenants,omitempty"`
 
 	// Cached marks a result served from the journal instead of executed
 	// this run. Never persisted.
 	Cached bool `json:"-"`
+}
+
+// TenantResult is one tenant's slice of a multi-tenant job's outcome. Theta
+// and MeetsOmega are judged against the tenant's own calibrated objective,
+// with the tenant's attributed spend standing in for the whole bill.
+type TenantResult struct {
+	Name       string  `json:"name"`
+	Theta      float64 `json:"theta"`
+	Omega      float64 `json:"omega"`
+	MinOmega   float64 `json:"minOmega"`
+	Gamma      float64 `json:"gamma"`
+	SpendUSD   float64 `json:"spendUsd"`
+	MeetsOmega bool    `json:"meetsOmega"`
 }
 
 // Progress is a point-in-time view of a running campaign.
@@ -430,6 +447,21 @@ func ExecuteJob(ctx context.Context, job Job, snap *state.Snapshot, tracer *obs.
 	res.MeanVMs = sum.MeanVMs
 	res.LatencySec = sum.MeanLatencySec
 	res.MeetsOmega = built.Objective.MeetsConstraint(sum.MeanOmega)
+	for i, ts := range sum.Tenants {
+		obj := built.Objective
+		if i < len(built.TenantObjectives) {
+			obj = built.TenantObjectives[i]
+		}
+		res.Tenants = append(res.Tenants, TenantResult{
+			Name:       ts.Name,
+			Theta:      obj.Theta(ts.MeanGamma, ts.SpendUSD),
+			Omega:      ts.MeanOmega,
+			MinOmega:   ts.MinOmega,
+			Gamma:      ts.MeanGamma,
+			SpendUSD:   ts.SpendUSD,
+			MeetsOmega: obj.MeetsConstraint(ts.MeanOmega),
+		})
+	}
 	if gauges != nil {
 		gauges.Theta.Set(res.Theta)
 	}

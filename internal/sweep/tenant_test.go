@@ -1,0 +1,91 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// tenantBase is a small two-tenant scenario for sweep tests.
+const tenantBase = `{
+  "tenants": [
+    {
+      "name": "front",
+      "graph": {
+        "pes": [
+          {"name": "src", "alternates": [{"name": "e", "value": 1, "cost": 0.2, "selectivity": 1}]},
+          {"name": "work", "alternates": [{"name": "e", "value": 1, "cost": 0.5, "selectivity": 1}]}
+        ],
+        "edges": [["src", "work"]]
+      },
+      "rate": {"kind": "constant", "mean": 5},
+      "priority": 1
+    },
+    {
+      "name": "batch",
+      "graph": {
+        "pes": [
+          {"name": "src", "alternates": [{"name": "e", "value": 1, "cost": 0.2, "selectivity": 1}]},
+          {"name": "work", "alternates": [{"name": "e", "value": 1, "cost": 0.5, "selectivity": 1}]}
+        ],
+        "edges": [["src", "work"]]
+      },
+      "rate": {"kind": "constant", "mean": 3}
+    }
+  ],
+  "horizonHours": 0.1,
+  "seed": 1
+}`
+
+// TestSweepSurfacesTenants: multi-tenant jobs carry per-tenant results, the
+// aggregation grows per-tenant distributions, and the table renders tenant
+// sub-lines — while the aggregate CSV schema stays at its fixed 17 columns.
+func TestSweepSurfacesTenants(t *testing.T) {
+	doc := `{
+	  "name": "tenants",
+	  "base": ` + tenantBase + `,
+	  "seeds": [1, 2]
+	}`
+	spec, err := ParseSpec([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := (&Engine{Workers: 2}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors: %+v", rep.Results)
+	}
+	for _, res := range rep.Results {
+		if len(res.Tenants) != 2 || res.Tenants[0].Name != "front" || res.Tenants[1].Name != "batch" {
+			t.Fatalf("job tenants = %+v", res.Tenants)
+		}
+		spend := res.Tenants[0].SpendUSD + res.Tenants[1].SpendUSD
+		if spend <= 0 || spend > res.CostUSD+1e-9 {
+			t.Fatalf("tenant spend %v vs job cost %v", spend, res.CostUSD)
+		}
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %+v", rep.Rows)
+	}
+	row := rep.Rows[0]
+	if len(row.Tenants) != 2 || row.Tenants[0].Name != "front" {
+		t.Fatalf("aggregated tenants = %+v", row.Tenants)
+	}
+	if row.Tenants[0].Omega.Mean <= 0 {
+		t.Fatalf("front omega distribution = %+v", row.Tenants[0].Omega)
+	}
+	table := rep.Table()
+	if !strings.Contains(table, "tenant front") || !strings.Contains(table, "tenant batch") {
+		t.Fatalf("table missing tenant sub-lines:\n%s", table)
+	}
+	var csv strings.Builder
+	if err := rep.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(csv.String(), "\n", 2)[0]
+	if got := len(strings.Split(header, ",")); got != 17 {
+		t.Fatalf("aggregate CSV header has %d columns, want 17: %s", got, header)
+	}
+}

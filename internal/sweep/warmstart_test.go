@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"reflect"
 	"testing"
 )
 
@@ -140,7 +141,7 @@ func TestWarmStartMatchesColdRun(t *testing.T) {
 		// Everything except the Forked flag must agree.
 		wc := w
 		wc.Forked, wc.Cached = c.Forked, c.Cached
-		if wc != c {
+		if !reflect.DeepEqual(wc, c) {
 			t.Errorf("job %s diverged:\nwarm %+v\ncold %+v", w.JobID, w, c)
 		}
 	}
